@@ -1,0 +1,66 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run against a synthetic UEK-shaped dependency graph at
+``FRAPPE_BENCH_SCALE`` times the paper's size (default 1/50 so the
+suite finishes in CI). The graph is generated once per session, saved
+to a disk store, and reopened page-cached — the same deployment shape
+the paper measures.
+
+Paper-style result tables are appended to ``benchmarks/reports/`` so
+the rows that mirror the paper's Tables 3–5 and Figure 7 survive
+pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import bench_scale
+from repro.core.frappe import Frappe
+from repro.graphdb.storage import GraphStore
+from repro.workloads import generate_kernel_graph
+from repro.workloads.profiles import UEK_PROFILE
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def kernel_graph(scale):
+    """The in-memory synthetic kernel graph."""
+    return generate_kernel_graph(UEK_PROFILE.scaled(scale))
+
+
+@pytest.fixture(scope="session")
+def store_dir(kernel_graph, tmp_path_factory) -> str:
+    directory = str(tmp_path_factory.mktemp("bench") / "kernel.store")
+    GraphStore.write(kernel_graph, directory)
+    return directory
+
+
+@pytest.fixture(scope="session")
+def frappe_store(store_dir):
+    """Frappé over the page-cached disk store (what Table 5 measures)."""
+    with Frappe.open(store_dir) as frappe:
+        yield frappe
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Append paper-style tables to benchmarks/reports/summary.txt."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    path = os.path.join(REPORT_DIR, "summary.txt")
+    handle = open(path, "w", encoding="utf-8")
+
+    def write(text: str) -> None:
+        handle.write(text + "\n\n")
+        handle.flush()
+
+    yield write
+    handle.close()

@@ -1,0 +1,57 @@
+"""Experiment E4 — paper Figure 7: node degree distribution.
+
+The paper plots node count (log scale) against total degree and
+observes "a large majority of nodes have a small node degree, whereas
+a few nodes have a huge degree", naming the hubs: primitives like
+``int`` (degree ~79K) and common constants like ``NULL`` (~19K).
+
+The bench prints the log-binned series and asserts the shape: a heavy
+tail, ``int`` as the top hub with ``NULL`` among the top hubs, hub
+degrees roughly in the paper's proportions after scaling.
+"""
+
+from repro.graphdb import stats
+
+
+def test_fig7_distribution(benchmark, kernel_graph, scale, report):
+    distribution = benchmark(stats.degree_distribution, kernel_graph)
+    rows = stats.log_binned_histogram(distribution)
+    lines = [f"degree [{low:8.1f}, {high:8.1f})  nodes {count:>8}"
+             for low, high, count in rows if count]
+    top = stats.top_degree_nodes(kernel_graph, 10)
+    hubs = [(kernel_graph.node_property(node, "short_name"), degree)
+            for node, degree in top]
+    report(f"== Figure 7: degree distribution (scale {scale:g}) ==\n"
+           + "\n".join(lines)
+           + "\n\ntop hubs: "
+           + ", ".join(f"{name}={degree}" for name, degree in hubs))
+
+    # majority of nodes have small degree
+    small = sum(count for degree, count in distribution.items()
+                if degree <= 8)
+    total = sum(distribution.values())
+    assert small / total > 0.6
+    # the named hubs
+    hub_names = [name for name, _degree in hubs]
+    assert hub_names[0] == "int"
+    assert "NULL" in hub_names
+    # int's hub degree tracks the paper's 79K after scaling (loose)
+    int_degree = hubs[0][1]
+    expected = 79_000 * scale
+    assert expected * 0.2 <= int_degree <= expected * 6.0
+
+
+def test_fig7_tail_is_powerlaw_like(kernel_graph):
+    distribution = stats.degree_distribution(kernel_graph)
+    alpha = stats.powerlaw_alpha(distribution, degree_min=5)
+    # Figure 7's straight-ish log-log tail: exponent in a sane band
+    assert 1.2 < alpha < 3.5
+
+
+def test_fig7_hubs_are_types_and_constants(kernel_graph):
+    """The paper: hubs are 'normally primitives and other commonly
+    used types as well as common constants'."""
+    top = stats.top_degree_nodes(kernel_graph, 5)
+    kinds = {kernel_graph.node_property(node, "type")
+             for node, _degree in top}
+    assert kinds & {"primitive", "macro"}

@@ -1,0 +1,94 @@
+"""Scaling sweep: how each query class grows with graph size.
+
+The paper's pitch is that Frappé "scales both in terms of performance
+and presentation" to 10s of MLoC. This sweep generates the synthetic
+kernel at three sizes and measures the growth law of each query class:
+
+* index-backed code search — should be roughly flat (index probes),
+* native transitive closure — linear in the reached subgraph,
+* Cypher transitive closure — super-linear (path enumeration), which
+  is why the paper had to bypass Cypher (Section 6.1).
+"""
+
+import time
+
+import pytest
+
+from repro.core.frappe import Frappe
+from repro.errors import QueryTimeoutError
+from repro.workloads import generate_kernel_graph
+from repro.workloads.profiles import UEK_PROFILE
+
+SCALES = (0.005, 0.01, 0.02)
+
+SEARCH = ("START m=node:node_auto_index('short_name: wakeup.elf') "
+          "MATCH m -[:compiled_from|linked_from*]-> f "
+          "WITH distinct f "
+          "MATCH f -[:file_contains]-> (n:field{short_name: 'id'}) "
+          "RETURN n")
+CLOSURE = ("START n=node:node_auto_index('short_name: pci_read_bases') "
+           "MATCH n -[:calls*]-> m RETURN distinct m")
+
+
+@pytest.fixture(scope="module")
+def frappes():
+    instances = []
+    for scale in SCALES:
+        graph = generate_kernel_graph(UEK_PROFILE.scaled(scale))
+        instances.append((scale, Frappe(graph)))
+    return instances
+
+
+def _avg_ms(fn, runs: int = 5) -> float:
+    fn()
+    start = time.perf_counter()
+    for _ in range(runs):
+        fn()
+    return (time.perf_counter() - start) * 1000 / runs
+
+
+class TestScalingSweep:
+    def test_sweep(self, frappes, report, benchmark):
+        lines = [f"{'scale':>8} {'nodes':>8} {'search ms':>10} "
+                 f"{'closure ms':>11} {'cypher closure':>15}"]
+        search_times = []
+        closure_times = []
+        for scale, frappe in frappes:
+            search_ms = _avg_ms(lambda f=frappe: f.query(SEARCH))
+            closure_ms = _avg_ms(
+                lambda f=frappe: f.backward_slice("pci_read_bases"))
+            try:
+                start = time.perf_counter()
+                frappe.query(CLOSURE, timeout=2.0)
+                elapsed_ms = (time.perf_counter() - start) * 1000
+                cypher_cell = f"{elapsed_ms:>14.1f}m"
+            except QueryTimeoutError:
+                cypher_cell = "       aborted"
+            search_times.append(search_ms)
+            closure_times.append(closure_ms)
+            lines.append(f"{scale:>8g} {frappe.metrics().node_count:>8} "
+                         f"{search_ms:>10.2f} {closure_ms:>11.2f} "
+                         f"{cypher_cell:>15}")
+        report("== Scaling sweep ==\n" + "\n".join(lines)
+               + "\n(index search ~flat; native closure ~linear; "
+               "Cypher closure diverges)")
+        # search grows far slower than the 4x size spread
+        assert search_times[-1] < search_times[0] * 6
+        # native closure stays interactive at every scale
+        assert all(ms < 2000 for ms in closure_times)
+        scale, frappe = frappes[0]
+        benchmark.pedantic(frappe.query, args=(SEARCH,), rounds=1,
+                           iterations=1)
+
+    def test_closure_latency_tracks_result_size(self, frappes):
+        """Native closure cost is linear-ish in nodes reached."""
+        sizes = []
+        times = []
+        for _scale, frappe in frappes:
+            closure = frappe.backward_slice("pci_read_bases")
+            sizes.append(max(len(closure), 1))
+            times.append(_avg_ms(
+                lambda f=frappe: f.backward_slice("pci_read_bases")))
+        # cost per reached node must not explode across the sweep
+        unit_costs = [t / s for t, s in zip(times, sizes)]
+        assert max(unit_costs) < 25 * min(unit_costs)

@@ -1,0 +1,37 @@
+"""Experiment E2 — paper Table 3: graph metrics.
+
+Paper (full UEK scale): "just over half a million nodes and close to
+four million edges, for a ratio of 1:8", plus a graph-density figure.
+At bench scale we reproduce the *ratio* and density order of
+magnitude; absolute counts scale with FRAPPE_BENCH_SCALE.
+"""
+
+from repro.graphdb import stats
+
+
+def test_table3_graph_metrics(benchmark, kernel_graph, scale, report):
+    metrics = benchmark(stats.graph_metrics, kernel_graph)
+    assert metrics.node_count > 0
+    # the paper's 1:8 node:edge ratio, with generator tolerance
+    assert 5.5 <= metrics.edge_node_ratio <= 9.5
+    expected_nodes = 530_000 * scale
+    assert 0.5 * expected_nodes <= metrics.node_count \
+        <= 2.0 * expected_nodes
+    benchmark.extra_info["node_count"] = metrics.node_count
+    benchmark.extra_info["edge_count"] = metrics.edge_count
+    benchmark.extra_info["density"] = metrics.density
+    report(
+        "== Table 3: graph metrics "
+        f"(scale {scale:g} of UEK) ==\n"
+        f"Node count   {metrics.node_count}\n"
+        f"Edge count   {metrics.edge_count}\n"
+        f"Graph density {metrics.density:.6g}\n"
+        f"node:edge ratio 1:{metrics.edge_node_ratio:.1f} "
+        f"(paper: 1:8)")
+
+
+def test_table3_density_scales_inversely(kernel_graph, benchmark):
+    """Density ~ ratio / (V-1): sparse and shrinking with size."""
+    metrics = benchmark(stats.graph_metrics, kernel_graph)
+    predicted = metrics.edge_node_ratio / (metrics.node_count - 1)
+    assert metrics.density == abs(predicted)

@@ -1,0 +1,165 @@
+"""Experiment E5–E9 — paper Table 5: use-case query performance.
+
+The paper's protocol: each of the Section 4 example queries (Figures
+3–6), run ten times cold and ten times warm over the UEK graph in
+Neo4j; Table 5 reports min/avg/max per regime plus result counts. The
+comprehension query (Figure 6) "does not terminate within 15 minutes"
+in Cypher, while the embedded traversal answers in ~20 ms.
+
+Here the same queries run verbatim against the page-cached disk store;
+cold rounds evict the page + object caches first. The expected *shape*
+(paper at 50x our default scale):
+
+* code search / cross-referencing: cold in the seconds, warm ~100 ms —
+  for us: cold >> warm, both fast;
+* debugging: same shape, slightly heavier;
+* comprehension in Cypher: aborted on a time budget;
+* comprehension via the traversal API: sub-second even cold.
+"""
+
+import pytest
+
+from repro.bench.harness import run_cold_warm
+from repro.errors import QueryTimeoutError
+
+FIGURE3 = (
+    "START m=node:node_auto_index('short_name: wakeup.elf') "
+    "MATCH m -[:compiled_from|linked_from*]-> f "
+    "WITH distinct f "
+    "MATCH f -[:file_contains]-> (n:field{short_name: 'id'}) "
+    "RETURN n")
+
+FIGURE4_TEMPLATE = (
+    "START n=node:node_auto_index('short_name: id') "
+    "WHERE (n) <-[{{name_file_id: {file}, name_start_line: 104, "
+    "name_start_col: 16}}]- () RETURN n")
+
+FIGURE5 = """
+START from=node:node_auto_index('short_name: sr_media_change'),
+ to=node:node_auto_index('short_name: get_sectorsize'),
+ b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{use_start_line: 236}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line
+"""
+
+FIGURE6 = (
+    "START n=node:node_auto_index('short_name: pci_read_bases') "
+    "MATCH n -[:calls*]-> m RETURN distinct m")
+
+#: per-run time budget standing in for the paper's 15-minute abort.
+ABORT_AFTER_SECONDS = 5.0
+
+
+def _figure4(frappe):
+    wakeup_core = next(iter(frappe.view.indexes.lookup(
+        "short_name", "wakeup_core.c")))
+    return FIGURE4_TEMPLATE.format(file=wakeup_core)
+
+
+class TestTable5ColdWarmProtocol:
+    """One run of the full paper protocol, reported as a table."""
+
+    def test_table5_rows(self, frappe_store, report, scale, benchmark):
+        rows = []
+        queries = [
+            ("Code search (Fig.3)", lambda: frappe_store.query(FIGURE3)),
+            ("X-referencing (Fig.4)",
+             lambda: frappe_store.query(_figure4(frappe_store))),
+            ("Debugging (Fig.5)", lambda: frappe_store.query(FIGURE5)),
+            ("Comprehension (Fig.6)",
+             lambda: frappe_store.query(FIGURE6,
+                                        timeout=ABORT_AFTER_SECONDS)),
+        ]
+        for name, query in queries:
+            rows.append(run_cold_warm(
+                name, query, frappe_store.evict_caches,
+                abort_after=ABORT_AFTER_SECONDS))
+        native = run_cold_warm(
+            "Comprehension (native)",
+            lambda: frappe_store.backward_slice("pci_read_bases"),
+            frappe_store.evict_caches)
+        rows.append(native)
+        report(f"== Table 5: query performance (ms, scale {scale:g}, "
+               f"10 cold + 10 warm runs) ==\n"
+               + "\n".join(row.format_row() for row in rows))
+        # shape assertions, mirroring the paper
+        search, xref, debugging, comprehension, native_row = rows
+        for row in (search, xref, debugging):
+            assert not row.aborted
+            # cold never beats warm (30% tolerance: sub-millisecond
+            # rows are noisy on a shared machine)
+            assert row.cold.avg >= row.warm.avg * 0.7
+            assert row.result_count >= 1
+        assert comprehension.aborted  # Cypher closure: "> 15 mins"
+        assert not native_row.aborted  # "~20ms via the Java API"
+        assert native_row.warm.avg < 1000.0
+        # register one representative timing with pytest-benchmark so
+        # this protocol test also runs under --benchmark-only
+        benchmark.pedantic(frappe_store.query, args=(FIGURE3,),
+                           rounds=1, iterations=1)
+
+
+class TestTable5IndividualBenchmarks:
+    """pytest-benchmark timings per query, warm and cold."""
+
+    def test_code_search_warm(self, benchmark, frappe_store):
+        result = benchmark(frappe_store.query, FIGURE3)
+        assert len(result) >= 1
+
+    def test_code_search_cold(self, benchmark, frappe_store):
+        result = benchmark.pedantic(
+            frappe_store.query, args=(FIGURE3,),
+            setup=lambda: (frappe_store.evict_caches(), None)[1],
+            rounds=10, iterations=1)
+        assert len(result) >= 1
+
+    def test_xref_warm(self, benchmark, frappe_store):
+        query = _figure4(frappe_store)
+        result = benchmark(frappe_store.query, query)
+        assert len(result) == 1
+
+    def test_xref_cold(self, benchmark, frappe_store):
+        query = _figure4(frappe_store)
+        result = benchmark.pedantic(
+            frappe_store.query, args=(query,),
+            setup=lambda: (frappe_store.evict_caches(), None)[1],
+            rounds=10, iterations=1)
+        assert len(result) == 1
+
+    def test_debugging_warm(self, benchmark, frappe_store):
+        result = benchmark(frappe_store.query, FIGURE5)
+        assert len(result) >= 1
+
+    def test_debugging_cold(self, benchmark, frappe_store):
+        result = benchmark.pedantic(
+            frappe_store.query, args=(FIGURE5,),
+            setup=lambda: (frappe_store.evict_caches(), None)[1],
+            rounds=10, iterations=1)
+        assert len(result) >= 1
+
+    def test_comprehension_native_warm(self, benchmark, frappe_store):
+        closure = benchmark(frappe_store.backward_slice,
+                            "pci_read_bases")
+        assert len(closure) > 3
+
+    def test_comprehension_native_cold(self, benchmark, frappe_store):
+        closure = benchmark.pedantic(
+            frappe_store.backward_slice, args=("pci_read_bases",),
+            setup=lambda: (frappe_store.evict_caches(), None)[1],
+            rounds=10, iterations=1)
+        assert len(closure) > 3
+
+
+def test_comprehension_cypher_aborts(frappe_store, report, benchmark):
+    """The paper's '> 15 mins, aborted' row, with a scaled budget."""
+    with pytest.raises(QueryTimeoutError):
+        frappe_store.query(FIGURE6, timeout=ABORT_AFTER_SECONDS)
+    report("== Table 5 note ==\n"
+           f"Comprehension (Fig.6) in Cypher: aborted after "
+           f"{ABORT_AFTER_SECONDS:.0f}s budget "
+           "(paper: > 15 mins, aborted)")
+    benchmark.pedantic(frappe_store.backward_slice,
+                       args=("pci_read_bases",), rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Experiment E11 — paper Table 6: Cypher 1.x vs 2.x label syntax.
+
+The paper shows the same request both ways: the 1.x form spells out a
+TYPE disjunction inside the index query string::
+
+    START n=node:node_auto_index("(TYPE: struct TYPE: union
+        TYPE: enum_def ...) AND NAME: foo")
+
+while the 2.x form uses grouped node labels::
+
+    MATCH (n:container:symbol{name: "foo"})
+
+Both must return the same nodes; the bench measures both and reports
+the comparison the paper motivates qualitatively.
+"""
+
+import time
+
+import pytest
+
+from repro.core import model
+
+#: a Table 6-style target planted by the generator.
+TARGET = "packet_command"
+
+CYPHER1 = ("START n=node:node_auto_index("
+           "'(TYPE: struct TYPE: union TYPE: enum_def) "
+           f"AND NAME: {TARGET}') RETURN n")
+
+CYPHER2 = f'MATCH (n:container:symbol{{name: "{TARGET}"}}) RETURN n'
+
+
+class TestEquivalence:
+    def test_same_results(self, frappe_store):
+        first = {row[0].id for row in frappe_store.query(CYPHER1).rows}
+        second = {row[0].id for row in frappe_store.query(CYPHER2).rows}
+        assert first == second
+        assert first  # the target exists
+
+    def test_group_labels_match_model(self, kernel_graph):
+        node = next(iter(kernel_graph.indexes.lookup("short_name",
+                                                     TARGET)))
+        labels = kernel_graph.node_labels(node)
+        assert {"struct", "container", "symbol", "type"} <= labels
+
+    def test_container_group_members(self, kernel_graph):
+        for node in list(kernel_graph.nodes_with_label("container"))[:50]:
+            assert kernel_graph.node_property(node, "type") in \
+                model.CONTAINER_GROUP
+
+
+class TestTimings:
+    def test_report(self, frappe_store, report, scale, benchmark):
+        def run_many(query):
+            frappe_store.query(query)  # warm up
+            start = time.perf_counter()
+            for _ in range(10):
+                result = frappe_store.query(query)
+            return (time.perf_counter() - start) * 100, len(result)
+
+        cypher1_ms, count1 = run_many(CYPHER1)
+        cypher2_ms, count2 = run_many(CYPHER2)
+        report(f"== Table 6: label syntax (avg ms, scale {scale:g}) ==\n"
+               f"Cypher 1.x TYPE disjunction  {cypher1_ms:8.2f}  "
+               f"({count1} rows)\n"
+               f"Cypher 2.x label match       {cypher2_ms:8.2f}  "
+               f"({count2} rows)")
+        assert count1 == count2
+        benchmark.pedantic(frappe_store.query, args=(CYPHER2,),
+                           rounds=1, iterations=1)
+
+    def test_bench_cypher1(self, benchmark, frappe_store):
+        assert len(benchmark(frappe_store.query, CYPHER1)) >= 1
+
+    def test_bench_cypher2(self, benchmark, frappe_store):
+        assert len(benchmark(frappe_store.query, CYPHER2)) >= 1

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""The Figure 5 debugging session, on real extracted C code.
+
+The paper's scenario: "the value stored in the field 'cmd' is known to
+be correct at the beginning of the function 'sr_media_change' and
+invalid on entering the function 'get_sectorsize'" — so only writers
+of the field on call paths between those two points matter.
+
+This example compiles a miniature SCSI driver through the full front
+end (preprocessor, parser, sema, linker), then answers the question
+twice: with the paper's verbatim Cypher (Figure 5) and with the typed
+API, and shows they agree.
+
+Run:  python examples/debugging_invalid_state.py
+"""
+
+from repro.core.frappe import Frappe
+
+SOURCES = {
+    "scsi.h": """
+#ifndef SCSI_H
+#define SCSI_H
+struct packet_command {
+    unsigned char cmd[12];
+    int quiet;
+};
+struct scsi_device { int id; };
+int sr_do_ioctl(struct scsi_device *dev, struct packet_command *pc);
+int sr_packet(struct scsi_device *dev, struct packet_command *pc);
+int get_sectorsize(struct scsi_device *dev);
+int sr_media_change(struct scsi_device *dev);
+int sr_reset(struct scsi_device *dev);
+#endif
+""",
+    "sr_ioctl.c": """
+#include "scsi.h"
+int sr_do_ioctl(struct scsi_device *dev, struct packet_command *pc) {
+    pc->cmd[0] = 0x25;      /* the write the session is hunting */
+    return dev->id;
+}
+int sr_packet(struct scsi_device *dev, struct packet_command *pc) {
+    return sr_do_ioctl(dev, pc);
+}
+int sr_reset(struct scsi_device *dev) {
+    struct packet_command pc;
+    pc.quiet = 1;           /* touches the struct but not 'cmd' */
+    return dev->id;
+}
+""",
+    "sr.c": """
+#include "scsi.h"
+int get_sectorsize(struct scsi_device *dev) {
+    struct packet_command pc;
+    return sr_do_ioctl(dev, &pc);
+}
+int sr_media_change(struct scsi_device *dev) {
+    struct packet_command pc;
+    sr_packet(dev, &pc);
+    sr_reset(dev);
+    if (dev->id > 0) {
+        return get_sectorsize(dev);
+    }
+    return 0;
+}
+""",
+}
+
+BUILD = """
+gcc sr_ioctl.c -c -o sr_ioctl.o
+gcc sr.c -c -o sr.o
+gcc sr_ioctl.o sr.o -o sr_mod
+"""
+
+
+def main() -> None:
+    frappe = Frappe.index_sources(SOURCES, BUILD)
+    graph = frappe.view
+
+    print("== find-references would drown us ==")
+    field = frappe.query(
+        "MATCH (s:struct{short_name:'packet_command'}) -[:contains]-> "
+        "(f:field{short_name:'cmd'}) RETURN id(f)").value()
+    references = frappe.find_references(field)
+    print(f"  packet_command.cmd has {len(references)} references "
+          "overall")
+
+    print("\n== the Figure 5 query narrows it to the call path ==")
+    to_line = frappe.query(
+        "MATCH (a{short_name:'sr_media_change'}) "
+        "-[r:calls]-> (b{short_name:'get_sectorsize'}) "
+        "RETURN r.use_start_line").value()
+    cypher = f"""
+START from=node:node_auto_index('short_name: sr_media_change'),
+ to=node:node_auto_index('short_name: get_sectorsize'),
+ b=node:node_auto_index('short_name: packet_command')
+MATCH writer -[write:writes_member]-> ({{SHORT_NAME:'cmd'}}) <-[:contains]- b
+WITH to, from, writer, write
+MATCH direct <-[s:calls]- from -[r:calls{{use_start_line: {to_line}}}]-> to
+WHERE r.use_start_line >= s.use_start_line AND direct -[:calls*]-> writer
+RETURN distinct writer, write.use_start_line
+"""
+    result = frappe.query(cypher)
+    for row in result:
+        name = graph.node_property(row["writer"].id, "short_name")
+        print(f"  suspect: {name} writes cmd at line "
+              f"{row['write.use_start_line']}")
+
+    print("\n== the typed API agrees ==")
+    writers = frappe.writers_of_field_between(
+        "sr_media_change", "get_sectorsize", "packet_command", "cmd")
+    api_names = {graph.node_property(w.writer_node, "short_name")
+                 for w in writers}
+    cypher_names = {graph.node_property(row["writer"].id, "short_name")
+                    for row in result}
+    print(f"  Cypher: {sorted(cypher_names)}")
+    print(f"  API:    {sorted(api_names)}")
+    assert api_names == cypher_names
+    print("\n(sr_reset touches the struct but never writes 'cmd', so "
+          "it is correctly absent.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The container this reproduction targets has setuptools but no ``wheel``
+package and no network, so PEP 660 editable installs (which require
+``bdist_wheel``) fail. Keeping a ``setup.py`` and no
+``[build-system]`` table in pyproject.toml makes ``pip install -e .``
+take the legacy ``setup.py develop`` path, which works offline.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,7 @@
+"""Benchmark harness for the paper's evaluation protocol."""
+
+from repro.bench.harness import (ColdWarmResult, Timing, bench_scale,
+                                 print_table, run_cold_warm, time_callable)
+
+__all__ = ["ColdWarmResult", "Timing", "bench_scale", "print_table",
+           "run_cold_warm", "time_callable"]

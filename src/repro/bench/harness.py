@@ -1,0 +1,148 @@
+"""The paper's Section 5.2 measurement protocol, as a library.
+
+"Each query was run ten times with a cold cache and ten times with a
+warm cache"; Table 5 reports min/avg/max for both regimes plus the
+result count, and the comprehension query row records an abort instead
+of numbers. :func:`run_cold_warm` reproduces exactly that: cold runs
+call an eviction hook first (the store graph's page + object caches),
+warm runs execute back to back, and a per-run time budget turns a
+pathological query into an ``aborted`` row rather than a hung harness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Any, Callable, Optional, Sequence
+
+from repro.errors import QueryTimeoutError
+
+#: paper protocol: ten runs per cache regime.
+DEFAULT_RUNS = 10
+
+
+def bench_scale(default: float = 1 / 50) -> float:
+    """The workload scale factor, overridable via FRAPPE_BENCH_SCALE."""
+    raw = os.environ.get("FRAPPE_BENCH_SCALE")
+    if not raw:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError("FRAPPE_BENCH_SCALE must be positive")
+    return value
+
+
+@dataclasses.dataclass
+class Timing:
+    """min/avg/max over a set of runs, in milliseconds."""
+
+    samples_ms: list[float]
+
+    @property
+    def min(self) -> float:
+        return min(self.samples_ms)
+
+    @property
+    def avg(self) -> float:
+        return sum(self.samples_ms) / len(self.samples_ms)
+
+    @property
+    def max(self) -> float:
+        return max(self.samples_ms)
+
+    def row(self) -> str:
+        return f"{self.min:8.1f} {self.avg:8.1f} {self.max:8.1f}"
+
+
+@dataclasses.dataclass
+class ColdWarmResult:
+    """One Table 5 row."""
+
+    name: str
+    cold: Optional[Timing]
+    warm: Optional[Timing]
+    result_count: Optional[int]
+    aborted: bool = False
+    abort_after_seconds: Optional[float] = None
+
+    def format_row(self) -> str:
+        if self.aborted:
+            budget = (f"> {self.abort_after_seconds:.0f}s"
+                      if self.abort_after_seconds else "aborted")
+            return f"{self.name:<24} {budget}, aborted"
+        assert self.cold is not None and self.warm is not None
+        return (f"{self.name:<24} cold {self.cold.row()}   "
+                f"warm {self.warm.row()}   "
+                f"results {self.result_count}")
+
+
+def time_callable(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """(elapsed milliseconds, return value) of one call."""
+    start = time.perf_counter()
+    value = fn()
+    elapsed_ms = (time.perf_counter() - start) * 1000.0
+    return elapsed_ms, value
+
+
+def run_cold_warm(name: str, query: Callable[[], Any],
+                  evict: Callable[[], None],
+                  runs: int = DEFAULT_RUNS,
+                  count_results: Callable[[Any], int] = len,
+                  abort_after: float | None = None) -> ColdWarmResult:
+    """Run the paper's cold/warm protocol for one query.
+
+    ``query`` executes the workload and returns its result;
+    ``evict`` clears the caches (called before every cold run);
+    ``abort_after`` (seconds, per run) converts a timeout —
+    :class:`~repro.errors.QueryTimeoutError` from the Cypher engine or
+    a harness-side wall-clock overrun — into an aborted row, the way
+    the paper reports the Figure 6 comprehension query.
+    """
+    cold_samples: list[float] = []
+    result_count: Optional[int] = None
+    for _ in range(runs):
+        evict()
+        try:
+            elapsed_ms, value = time_callable(query)
+        except QueryTimeoutError:
+            return ColdWarmResult(name, None, None, None, aborted=True,
+                                  abort_after_seconds=abort_after)
+        if abort_after is not None and elapsed_ms > abort_after * 1000:
+            return ColdWarmResult(name, None, None, None, aborted=True,
+                                  abort_after_seconds=abort_after)
+        cold_samples.append(elapsed_ms)
+        result_count = count_results(value)
+    warm_samples: list[float] = []
+    query()  # one untimed run to settle the caches
+    for _ in range(runs):
+        try:
+            elapsed_ms, value = time_callable(query)
+        except QueryTimeoutError:
+            return ColdWarmResult(name, None, None, None, aborted=True,
+                                  abort_after_seconds=abort_after)
+        warm_samples.append(elapsed_ms)
+    return ColdWarmResult(name, Timing(cold_samples),
+                          Timing(warm_samples), result_count)
+
+
+def print_table(title: str, rows: Sequence[ColdWarmResult],
+                header: str | None = None) -> str:
+    """Format rows as a paper-style table; returns (and prints) it."""
+    lines = [f"== {title} ==" if title else ""]
+    if header:
+        lines.append(header)
+    lines.extend(row.format_row() for row in rows)
+    table = "\n".join(line for line in lines if line)
+    print(table)
+    return table
+
+
+def print_kv_table(title: str, rows: Sequence[tuple[str, Any]]) -> str:
+    """A simple two-column table (Tables 3 and 4)."""
+    width = max((len(str(key)) for key, _value in rows), default=8)
+    lines = [f"== {title} =="]
+    lines.extend(f"{str(key):<{width}}  {value}" for key, value in rows)
+    table = "\n".join(lines)
+    print(table)
+    return table

@@ -1,0 +1,304 @@
+"""The ``frappe`` command-line interface.
+
+Subcommands::
+
+    frappe index   <source-dir> --script build.sh --out store/
+    frappe search  <store> NAME [--type T] [--module M]
+    frappe query   <store> 'MATCH (n:function) RETURN n.short_name'
+    frappe explain <store> '<cypher>'
+    frappe refs    <store> NAME [--type T]
+    frappe slice   <store> FUNCTION [--forward]
+    frappe cycles  <store> [--edges calls,includes]
+    frappe map     <store> [--svg out.svg] [--highlight NAME]
+    frappe stats   <store>
+    frappe generate --scale 0.02 --out store/   (synthetic kernel)
+
+A "store" argument is a directory produced by ``frappe index``/
+``generate`` (or by :meth:`repro.core.frappe.Frappe.save`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.codemap import build_hierarchy, layout_map, render_ascii, render_svg
+from repro.codemap.render import overlay_nodes
+from repro.core.frappe import Frappe
+from repro.errors import FrappeError
+from repro.graphdb import stats
+from repro.graphdb.storage import GraphStore
+from repro.lang.source import VirtualFileSystem
+from repro.build.buildsys import Build
+from repro.core.extractor import extract_build
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    """The frappe CLI argument parser (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="frappe",
+        description="Query and visualize C dependency graphs "
+                    "(GRADES'15 Frappé reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    index = commands.add_parser(
+        "index", help="compile a source tree and build its store")
+    index.add_argument("source_dir")
+    index.add_argument("--script", required=True,
+                       help="build script of gcc command lines")
+    index.add_argument("--out", required=True, help="store directory")
+    index.add_argument("-I", "--include", action="append", default=[],
+                       help="additional include path")
+    index.add_argument("--ignore-missing-includes", action="store_true")
+
+    search = commands.add_parser("search", help="code search (Fig. 3)")
+    search.add_argument("store")
+    search.add_argument("name", help="symbol name (wildcards allowed)")
+    search.add_argument("--type", dest="node_type")
+    search.add_argument("--module")
+
+    query = commands.add_parser("query", help="run a Cypher query")
+    query.add_argument("store")
+    query.add_argument("cypher")
+    query.add_argument("--timeout", type=float, default=None)
+
+    explain = commands.add_parser(
+        "explain", help="show a query's execution plan")
+    explain.add_argument("store")
+    explain.add_argument("cypher")
+
+    refs = commands.add_parser(
+        "refs", help="find references to a symbol (Sec. 4.2)")
+    refs.add_argument("store")
+    refs.add_argument("name")
+    refs.add_argument("--type", dest="node_type")
+
+    slice_cmd = commands.add_parser(
+        "slice", help="call-graph slice of a function (Fig. 6)")
+    slice_cmd.add_argument("store")
+    slice_cmd.add_argument("function")
+    slice_cmd.add_argument("--forward", action="store_true",
+                           help="forward slice (default backward)")
+
+    cycles = commands.add_parser(
+        "cycles", help="find dependency cycles (calls or includes)")
+    cycles.add_argument("store")
+    cycles.add_argument("--edges", default="calls",
+                        help="comma-separated edge types "
+                        "(default: calls)")
+
+    map_cmd = commands.add_parser("map", help="render the code map")
+    map_cmd.add_argument("store")
+    map_cmd.add_argument("--svg", help="write an SVG to this path")
+    map_cmd.add_argument("--highlight", action="append", default=[],
+                         help="short_name to highlight (repeatable)")
+    map_cmd.add_argument("--width", type=int, default=100)
+    map_cmd.add_argument("--height", type=int, default=30)
+
+    stats_cmd = commands.add_parser(
+        "stats", help="graph metrics (Tables 3-4, Fig. 7)")
+    stats_cmd.add_argument("store")
+    stats_cmd.add_argument("--top", type=int, default=10,
+                           help="how many hub nodes to list")
+
+    generate = commands.add_parser(
+        "generate", help="synthesize a kernel-shaped store")
+    generate.add_argument("--scale", type=float, default=0.02,
+                          help="fraction of UEK size (default 0.02)")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", required=True)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except FrappeError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "index":
+        return _cmd_index(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "query":
+        return _cmd_query(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "refs":
+        return _cmd_refs(args)
+    if args.command == "cycles":
+        return _cmd_cycles(args)
+    if args.command == "slice":
+        return _cmd_slice(args)
+    if args.command == "map":
+        return _cmd_map(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+def _open(store: str) -> Frappe:
+    return Frappe.open(store)
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    filesystem = VirtualFileSystem()
+    count = filesystem.add_tree(args.source_dir)
+    with open(args.script, encoding="utf-8") as handle:
+        script = handle.read()
+    build = Build(filesystem, include_paths=args.include,
+                  ignore_missing_includes=args.ignore_missing_includes)
+    build.run_script(script)
+    graph = extract_build(build)
+    sizes = GraphStore.write(graph, args.out)
+    print(f"indexed {count} files -> {graph.node_count()} nodes, "
+          f"{graph.edge_count()} edges")
+    print(f"store: {args.out} ({sizes['total'] / 1024:.1f} KiB)")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        nodes = frappe.search(args.name, args.node_type, args.module)
+        for node_id in nodes:
+            info = frappe.describe(node_id)
+            print(f"{info['type']:<14} {info.get('name', '')}")
+        print(f"({len(nodes)} results)")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        result = frappe.query(args.cypher, timeout=args.timeout)
+        print("\t".join(result.columns))
+        for row in result.rows:
+            print("\t".join(str(value) for value in row))
+        print(f"({len(result)} rows, "
+              f"{result.stats.elapsed_seconds * 1000:.1f} ms)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        print(frappe.engine.explain(args.cypher))
+    return 0
+
+
+def _cmd_refs(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        targets = frappe.search(args.name, args.node_type)
+        total = 0
+        for target in targets:
+            info = frappe.describe(target)
+            references = frappe.find_references(target)
+            total += len(references)
+            print(f"{info['type']} {info.get('name', '')} "
+                  f"({len(references)} references)")
+            for reference in references:
+                source = frappe.describe(reference.from_node)
+                location = (f"file {reference.use_file_id} line "
+                            f"{reference.use_start_line}"
+                            if reference.use_start_line is not None
+                            else "")
+                print(f"  {reference.edge_type:<22} from "
+                      f"{source.get('name', '')} {location}")
+        print(f"({total} references across {len(targets)} symbols)")
+    return 0
+
+
+def _cmd_cycles(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        edge_types = tuple(name.strip()
+                           for name in args.edges.split(",") if name)
+        cycles = frappe.cycles(edge_types)
+        for index, cycle in enumerate(cycles):
+            names = ", ".join(
+                str(frappe.view.node_property(node, "short_name"))
+                for node in cycle)
+            print(f"cycle {index} ({len(cycle)} members): {names}")
+        print(f"({len(cycles)} cycles over {args.edges})")
+    return 0
+
+
+def _cmd_slice(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        nodes = (frappe.forward_slice(args.function) if args.forward
+                 else frappe.backward_slice(args.function))
+        for node_id in sorted(nodes):
+            info = frappe.describe(node_id)
+            print(f"{info['type']:<14} {info.get('name', '')}")
+        print(f"({len(nodes)} entities)")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        root = build_hierarchy(frappe.view)
+        highlights: set[int] = set()
+        for name in args.highlight:
+            found = frappe.search(name)
+            highlights |= overlay_nodes(frappe.view, root, found)
+        if args.svg:
+            box = layout_map(root, 1000, 700)
+            with open(args.svg, "w", encoding="utf-8") as handle:
+                handle.write(render_svg(box, highlights=highlights))
+            print(f"wrote {args.svg}")
+        else:
+            box = layout_map(root, float(args.width * 10),
+                             float(args.height * 10))
+            print(render_ascii(box, args.width, args.height,
+                               highlights=highlights))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        metrics = frappe.metrics()
+        print(f"nodes:   {metrics.node_count}")
+        print(f"edges:   {metrics.edge_count}")
+        print(f"density: {metrics.density:.6g}")
+        print(f"ratio:   1:{metrics.edge_node_ratio:.1f}")
+        sizes = GraphStore.size_breakdown(args.store)
+        for category in ("properties", "nodes", "relationships",
+                         "indexes", "total"):
+            print(f"{category:<14} {sizes[category] / 1024:10.1f} KiB")
+        print(f"top {args.top} hubs:")
+        for node_id, degree in stats.top_degree_nodes(frappe.view,
+                                                      args.top):
+            name = frappe.view.node_property(node_id, "short_name")
+            print(f"  {degree:>8}  {name}")
+        print("node types:")
+        node_types = stats.node_type_distribution(frappe.view)
+        for type_name, count in sorted(node_types.items(),
+                                       key=lambda kv: -kv[1])[:args.top]:
+            print(f"  {count:>8}  {type_name}")
+        print("edge types:")
+        edge_types = stats.edge_type_distribution(frappe.view)
+        for type_name, count in sorted(edge_types.items(),
+                                       key=lambda kv: -kv[1])[:args.top]:
+            print(f"  {count:>8}  {type_name}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.workloads import generate_kernel_graph
+    from repro.workloads.profiles import UEK_PROFILE
+    profile = UEK_PROFILE.scaled(args.scale)
+    graph = generate_kernel_graph(profile, args.seed)
+    sizes = GraphStore.write(graph, args.out)
+    print(f"generated {graph.node_count()} nodes, "
+          f"{graph.edge_count()} edges "
+          f"({sizes['total'] / 1024 / 1024:.1f} MiB store) -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

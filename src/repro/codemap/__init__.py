@@ -1,0 +1,23 @@
+"""The cartographic code map (the paper's interface component).
+
+Frappé renders query results "overlaid on a visualization of the
+dependency graph data based on a cartographic map metaphor such that
+the continent/country/state/city hierarchy of the map corresponds to
+the equivalent in source code: the high-level architectural components
+down to the individual files and functions" (paper Sections 1–2).
+
+The computable parts are implemented here:
+
+* :mod:`~repro.codemap.hierarchy` — the containment tree (directories
+  → files → functions) with size weights,
+* :mod:`~repro.codemap.layout` — a squarified-treemap spatial layout,
+* :mod:`~repro.codemap.render` — SVG and ASCII renderers with
+  query-result overlays (the perceptual-filtering story of Section 2).
+"""
+
+from repro.codemap.hierarchy import CodeRegion, build_hierarchy
+from repro.codemap.layout import LayoutBox, layout_map
+from repro.codemap.render import render_ascii, render_svg
+
+__all__ = ["CodeRegion", "LayoutBox", "build_hierarchy", "layout_map",
+           "render_ascii", "render_svg"]

@@ -1,0 +1,157 @@
+"""The containment hierarchy behind the code map.
+
+Continents are top-level directories, countries nested directories,
+states files, cities functions — following the paper's metaphor. Each
+region's weight is the number of graph entities it transitively
+contains, so map area corresponds to the amount of code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional
+
+from repro.core import model
+from repro.graphdb.view import Direction, GraphView
+
+#: hierarchy levels, outermost first.
+LEVELS = ("continent", "country", "state", "city")
+
+
+@dataclasses.dataclass
+class CodeRegion:
+    """One region of the map: a directory, file or function."""
+
+    node_id: int
+    name: str
+    kind: str                      # 'directory' | 'file' | 'function'
+    children: list["CodeRegion"] = dataclasses.field(default_factory=list)
+    weight: float = 1.0
+    depth: int = 0
+
+    @property
+    def level(self) -> str:
+        """The cartographic level label for this depth."""
+        return LEVELS[min(self.depth, len(LEVELS) - 1)]
+
+    def walk(self) -> Iterator["CodeRegion"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, node_id: int) -> Optional["CodeRegion"]:
+        for region in self.walk():
+            if region.node_id == node_id:
+                return region
+        return None
+
+    def __repr__(self) -> str:
+        return (f"CodeRegion({self.name!r}, {self.kind}, "
+                f"weight={self.weight:.0f}, "
+                f"children={len(self.children)})")
+
+
+def build_hierarchy(view: GraphView,
+                    root_node: int | None = None) -> CodeRegion:
+    """Build the region tree from dir_contains/file_contains edges.
+
+    ``root_node`` defaults to the root directory node ('.'); functions
+    become cities, everything else a file contains counts into the
+    file's weight but is not drawn individually.
+    """
+    if root_node is None:
+        root_node = _find_root_directory(view)
+    root = _region_for(view, root_node, depth=0)
+    _populate(view, root)
+    _compute_weights(root)
+    return root
+
+
+def _find_root_directory(view: GraphView) -> int:
+    candidates = [node_id for node_id in
+                  view.nodes_with_label(model.DIRECTORY)
+                  if view.degree(node_id, Direction.IN,
+                                 (model.DIR_CONTAINS,)) == 0]
+    if not candidates:
+        raise ValueError("graph has no root directory node")
+    if len(candidates) == 1:
+        return candidates[0]
+    # multiple roots: pick the one containing the most entities
+    return max(candidates,
+               key=lambda node_id: view.degree(node_id, Direction.OUT,
+                                               (model.DIR_CONTAINS,)))
+
+
+def _region_for(view: GraphView, node_id: int, depth: int) -> CodeRegion:
+    labels = view.node_labels(node_id)
+    if model.DIRECTORY in labels:
+        kind = "directory"
+    elif model.FILE in labels:
+        kind = "file"
+    else:
+        kind = "function"
+    return CodeRegion(node_id,
+                      view.node_property(node_id, model.P_SHORT_NAME,
+                                         f"#{node_id}"),
+                      kind, depth=depth)
+
+
+def _populate(view: GraphView, region: CodeRegion) -> None:
+    if region.kind == "directory":
+        for edge_id in view.edges_of(region.node_id, Direction.OUT,
+                                     (model.DIR_CONTAINS,)):
+            child = _region_for(view, view.edge_target(edge_id),
+                                region.depth + 1)
+            region.children.append(child)
+            _populate(view, child)
+    elif region.kind == "file":
+        contained = 0
+        for edge_id in view.edges_of(region.node_id, Direction.OUT,
+                                     (model.FILE_CONTAINS,)):
+            target = view.edge_target(edge_id)
+            contained += 1
+            if model.FUNCTION in view.node_labels(target):
+                region.children.append(
+                    _region_for(view, target, region.depth + 1))
+        region.weight = max(1.0, float(contained))
+    region.children.sort(key=lambda child: (-child.weight, child.name))
+
+
+def _compute_weights(region: CodeRegion) -> float:
+    if region.kind == "file":
+        # file weight = contained entity count (set during populate);
+        # function children get equal shares for display
+        for child in region.children:
+            child.weight = max(1.0,
+                               region.weight / max(len(region.children),
+                                                   1))
+        return region.weight
+    if region.children:
+        region.weight = sum(_compute_weights(child)
+                            for child in region.children)
+    region.children.sort(key=lambda child: (-child.weight, child.name))
+    return region.weight
+
+
+def region_of_node(root: CodeRegion, view: GraphView,
+                   node_id: int) -> Optional[CodeRegion]:
+    """The innermost drawn region containing a graph entity.
+
+    Functions map to their city; other entities map to their
+    containing file (state) via the incoming ``file_contains`` edge.
+    """
+    direct = root.find(node_id)
+    if direct is not None:
+        return direct
+    for edge_id in view.edges_of(node_id, Direction.IN,
+                                 (model.FILE_CONTAINS,
+                                  model.HAS_LOCAL, model.HAS_PARAM,
+                                  model.CONTAINS)):
+        container = view.edge_source(edge_id)
+        found = root.find(container)
+        if found is not None:
+            return found
+        found = region_of_node(root, view, container)
+        if found is not None:
+            return found
+    return None

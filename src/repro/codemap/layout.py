@@ -1,0 +1,156 @@
+"""Squarified-treemap layout for the code map.
+
+The classic squarified algorithm (Bruls, Huizing, van Wijk 2000):
+children are placed in rows along the shorter side of the remaining
+rectangle, greedily keeping aspect ratios close to 1 — which is what
+makes the map read like countries and states rather than slivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from repro.codemap.hierarchy import CodeRegion
+
+#: inner padding (per side) applied at each nesting level, so nested
+#: regions are visually distinct; in layout units.
+PADDING_FRACTION = 0.01
+
+
+@dataclasses.dataclass
+class LayoutBox:
+    """One placed region: the region plus its rectangle."""
+
+    region: CodeRegion
+    x: float
+    y: float
+    width: float
+    height: float
+    children: list["LayoutBox"] = dataclasses.field(default_factory=list)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def aspect_ratio(self) -> float:
+        if not self.width or not self.height:
+            return float("inf")
+        return max(self.width / self.height, self.height / self.width)
+
+    def walk(self) -> Iterator["LayoutBox"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"LayoutBox({self.region.name!r}, x={self.x:.1f}, "
+                f"y={self.y:.1f}, w={self.width:.1f}, "
+                f"h={self.height:.1f})")
+
+
+def layout_map(root: CodeRegion, width: float = 1000.0,
+               height: float = 700.0, max_depth: int = 4) -> LayoutBox:
+    """Lay the hierarchy out into a width x height rectangle."""
+    if width <= 0 or height <= 0:
+        raise ValueError("layout area must be positive")
+    box = LayoutBox(root, 0.0, 0.0, width, height)
+    _layout_children(box, max_depth)
+    return box
+
+
+def _layout_children(box: LayoutBox, remaining_depth: int) -> None:
+    region = box.region
+    if remaining_depth <= 0 or not region.children:
+        return
+    pad = min(box.width, box.height) * PADDING_FRACTION
+    inner_x = box.x + pad
+    inner_y = box.y + pad
+    inner_w = max(box.width - 2 * pad, 0.0)
+    inner_h = max(box.height - 2 * pad, 0.0)
+    if inner_w <= 0 or inner_h <= 0:
+        return
+    total_weight = sum(child.weight for child in region.children)
+    if total_weight <= 0:
+        return
+    scale = (inner_w * inner_h) / total_weight
+    areas = [(child, child.weight * scale)
+             for child in region.children]
+    rectangles = _squarify(areas, inner_x, inner_y, inner_w, inner_h)
+    for child, (x, y, w, h) in rectangles:
+        child_box = LayoutBox(child, x, y, w, h)
+        box.children.append(child_box)
+        _layout_children(child_box, remaining_depth - 1)
+
+
+def _squarify(areas: list[tuple[CodeRegion, float]], x: float, y: float,
+              width: float, height: float,
+              ) -> list[tuple[CodeRegion, tuple[float, float, float,
+                                                float]]]:
+    """Squarified treemap of (region, area) pairs into a rectangle."""
+    placed: list[tuple[CodeRegion, tuple[float, float, float, float]]] = []
+    remaining = list(areas)
+    while remaining:
+        short_side = min(width, height)
+        if short_side <= 0:
+            # degenerate leftover: stack everything in a zero strip
+            for region, _area in remaining:
+                placed.append((region, (x, y, max(width, 0.0),
+                                        max(height, 0.0))))
+            break
+        row = [remaining.pop(0)]
+        row_area = row[0][1]
+        while remaining:
+            candidate_area = row_area + remaining[0][1]
+            if _worst(row_area, max(item[1] for item in row),
+                      min(item[1] for item in row), short_side) >= \
+               _worst(candidate_area,
+                      max(max(item[1] for item in row), remaining[0][1]),
+                      min(min(item[1] for item in row), remaining[0][1]),
+                      short_side):
+                row.append(remaining.pop(0))
+                row_area = candidate_area
+            else:
+                break
+        # place the row along the short side
+        if width >= height:
+            row_width = row_area / height if height else 0.0
+            offset = y
+            for region, area in row:
+                item_height = area / row_width if row_width else 0.0
+                placed.append((region, (x, offset, row_width,
+                                        item_height)))
+                offset += item_height
+            x += row_width
+            width -= row_width
+        else:
+            row_height = row_area / width if width else 0.0
+            offset = x
+            for region, area in row:
+                item_width = area / row_height if row_height else 0.0
+                placed.append((region, (offset, y, item_width,
+                                        row_height)))
+                offset += item_width
+            y += row_height
+            height -= row_height
+    return placed
+
+
+def _worst(row_area: float, max_area: float, min_area: float,
+           side: float) -> float:
+    """Worst aspect ratio of a row with the given areas on *side*."""
+    if row_area <= 0 or min_area <= 0:
+        return float("inf")
+    side_squared = side * side
+    return max(side_squared * max_area / (row_area * row_area),
+               row_area * row_area / (side_squared * min_area))
+
+
+def average_leaf_aspect_ratio(root_box: LayoutBox) -> float:
+    """Mean aspect ratio of leaf boxes (layout-quality metric)."""
+    leaves = [box for box in root_box.walk() if not box.children
+              and box.area > 0]
+    if not leaves:
+        return 1.0
+    return sum(box.aspect_ratio for box in leaves) / len(leaves)

@@ -1,0 +1,146 @@
+"""Rendering the code map, with query-result overlays.
+
+Two renderers: SVG (for files a human opens) and ASCII (for terminals
+and tests). Overlays mirror the paper's Section 2: individual entities
+highlight their region, paths draw a route through the map, closures
+shade everything they touch — "an immediate general impression of the
+location, locality, structure, and quantity of results".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.codemap.hierarchy import CodeRegion, region_of_node
+from repro.codemap.layout import LayoutBox
+from repro.graphdb.view import GraphView
+
+_LEVEL_FILL = {
+    "directory": "#d7e3c8",   # continents/countries: land green
+    "file": "#f2ead3",        # states: parchment
+    "function": "#e8dcc0",    # cities
+}
+_HIGHLIGHT_FILL = "#e4572e"
+_PATH_STROKE = "#1d3557"
+
+
+def render_svg(root_box: LayoutBox,
+               highlights: Iterable[int] = (),
+               path: Sequence[int] = (),
+               title: str = "code map") -> str:
+    """Render the layout (plus overlays) as an SVG document string."""
+    highlight_set = set(highlights)
+    path_list = list(path)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{root_box.width:.0f}" height="{root_box.height:.0f}" '
+        f'viewBox="0 0 {root_box.width:.0f} {root_box.height:.0f}">',
+        f"<title>{_escape(title)}</title>",
+    ]
+    for box in root_box.walk():
+        fill = _LEVEL_FILL.get(box.region.kind, "#eeeeee")
+        if box.region.node_id in highlight_set:
+            fill = _HIGHLIGHT_FILL
+        parts.append(
+            f'<rect x="{box.x:.2f}" y="{box.y:.2f}" '
+            f'width="{box.width:.2f}" height="{box.height:.2f}" '
+            f'fill="{fill}" stroke="#55524c" stroke-width="0.5">'
+            f"<title>{_escape(box.region.name)} "
+            f"({box.region.level})</title></rect>")
+        if box.width > 40 and box.height > 12:
+            parts.append(
+                f'<text x="{box.x + 3:.2f}" y="{box.y + 11:.2f}" '
+                f'font-size="9" font-family="sans-serif" '
+                f'fill="#333333">{_escape(box.region.name[:24])}</text>')
+    if len(path_list) >= 2:
+        centers = []
+        boxes_by_node = {box.region.node_id: box
+                         for box in root_box.walk()}
+        for node_id in path_list:
+            box = boxes_by_node.get(node_id)
+            if box is not None:
+                centers.append((box.x + box.width / 2,
+                                box.y + box.height / 2))
+        if len(centers) >= 2:
+            points = " ".join(f"{x:.1f},{y:.1f}" for x, y in centers)
+            parts.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{_PATH_STROKE}" stroke-width="2" '
+                f'stroke-dasharray="6 3"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_ascii(root_box: LayoutBox, columns: int = 78, rows: int = 24,
+                 highlights: Iterable[int] = (),
+                 max_depth: int = 2) -> str:
+    """Render a coarse character-grid map (for terminals and tests).
+
+    A character grid cannot label every nesting level legibly, so only
+    regions down to *max_depth* are drawn (continents and countries by
+    default); highlighted entities deeper than that mark their visible
+    ancestor.
+    """
+    highlight_set = set(highlights)
+    deep_highlight_ancestors = set()
+    for box in root_box.walk():
+        if box.region.depth > max_depth:
+            continue
+        if any(child.region.node_id in highlight_set
+               for child in box.walk()):
+            deep_highlight_ancestors.add(box.region.node_id)
+    grid = [[" " for _ in range(columns)] for _ in range(rows)]
+    scale_x = columns / root_box.width
+    scale_y = rows / root_box.height
+    # draw shallow-to-deep so inner borders refine outer ones
+    boxes = sorted((box for box in root_box.walk()
+                    if box.region.depth <= max_depth),
+                   key=lambda box: box.region.depth)
+    highlight_set = highlight_set | deep_highlight_ancestors
+    cells = []
+    for box in boxes:
+        left = int(box.x * scale_x)
+        top = int(box.y * scale_y)
+        right = min(int((box.x + box.width) * scale_x), columns - 1)
+        bottom = min(int((box.y + box.height) * scale_y), rows - 1)
+        if right <= left or bottom <= top:
+            continue
+        cells.append((box, left, top, right, bottom))
+        for column in range(left, right + 1):
+            grid[top][column] = "-"
+            grid[bottom][column] = "-"
+        for row in range(top, bottom + 1):
+            grid[row][left] = "|"
+            grid[row][right] = "|"
+    # second pass: labels, shallow first, each on the first row of its
+    # box where the span is still free (so nesting doesn't clobber them)
+    for box, left, top, right, bottom in cells:
+        label = box.region.name[:max(right - left - 1, 0)]
+        if box.region.node_id in highlight_set and label:
+            label = f"#{label}"[:max(right - left - 1, 0)]
+        if not label:
+            continue
+        for row in range(top, bottom):
+            span = range(left + 1, min(left + 1 + len(label), right))
+            if all(grid[row][column] in (" ", "-") for column in span):
+                for offset, char in enumerate(label):
+                    if left + 1 + offset < right:
+                        grid[row][left + 1 + offset] = char
+                break
+    return "\n".join("".join(row).rstrip() for row in grid)
+
+
+def overlay_nodes(view: GraphView, root: CodeRegion,
+                  node_ids: Iterable[int]) -> set[int]:
+    """Map arbitrary graph entities to drawable region node ids."""
+    regions: set[int] = set()
+    for node_id in node_ids:
+        region = region_of_node(root, view, node_id)
+        if region is not None:
+            regions.add(region.node_id)
+    return regions
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

@@ -1,0 +1,19 @@
+"""Frappé proper: graph model, extractor, facade and use-case queries.
+
+* :mod:`~repro.core.model` — the Table 1/2 vocabulary (node types,
+  edge types, property keys) and the Table 6 label groups,
+* :mod:`~repro.core.extractor` — builds the dependency graph from a
+  finished :class:`~repro.build.buildsys.Build`,
+* :mod:`~repro.core.frappe` — the facade a downstream user drives:
+  index a codebase, open/save a store, run Cypher, run use-case
+  helpers,
+* :mod:`~repro.core.queries` — the Section 4 use cases (code search,
+  go-to-definition, find-references, debugging paths, slicing),
+* :mod:`~repro.core.slicing` — program-slice approximations over the
+  graph (Section 4.4).
+"""
+
+from repro.core.extractor import DependencyGraphExtractor, extract_build
+from repro.core.frappe import Frappe
+
+__all__ = ["DependencyGraphExtractor", "Frappe", "extract_build"]

@@ -1,0 +1,799 @@
+"""Building the dependency graph from a finished build.
+
+This is the synthesis step of paper Section 3: information from the
+preprocessor (macros, includes, expansions), the ASTs (symbols, types,
+references), the directory structure and the linker is merged into one
+labeled property graph using the Table 1/2 vocabulary.
+
+Cross-unit identity: nodes are deduplicated by ``(node type, USR)``,
+so a struct defined in a shared header becomes one node no matter how
+many translation units include it, while two ``static`` functions with
+the same name in different files stay distinct (their USRs embed the
+unit path).
+
+Reference edges carry Table 2's two source ranges: ``USE_*`` spans the
+whole mention (the complete call site for a ``calls`` edge) and
+``NAME_*`` spans the representative name token — go-to-definition
+(Figure 4) filters on the latter.
+"""
+
+from __future__ import annotations
+
+import bisect
+import posixpath
+from typing import Optional
+
+from repro.build.buildsys import Build
+from repro.build.compiler import ObjectFile
+from repro.core import model
+from repro.graphdb import PropertyGraph
+from repro.lang import cast as c
+from repro.lang import ctypes_ as ct
+from repro.lang import sema
+from repro.lang.source import SourceRange
+
+
+class DependencyGraphExtractor:
+    """Accumulates one dependency graph from build artifacts."""
+
+    def __init__(self) -> None:
+        self.graph = PropertyGraph(auto_index_keys=model.AUTO_INDEX_KEYS)
+        self._node_by_key: dict[tuple[str, str], int] = {}
+        self._file_nodes: dict[int, int] = {}       # file_id -> node
+        self._dir_nodes: dict[str, int] = {}
+        self._macro_nodes: dict[str, int] = {}      # name -> node
+        self._typedef_by_name: dict[str, int] = {}  # name -> node
+        self._symbol_nodes: dict[int, int] = {}     # id(symbol) -> node
+        # per-file sorted function extents for enclosing-entity lookup:
+        # file_id -> (sorted start lines, [(start, end, node)])
+        self._function_extents: dict[int, list[tuple[int, int, int]]] = {}
+
+    # ==================================================================
+    # public API
+    # ==================================================================
+
+    def extract_build(self, build: Build) -> PropertyGraph:
+        """Extract everything a finished build knows."""
+        self._extract_filesystem(build)
+        for obj in build.objects.values():
+            self.extract_unit(obj)
+        self._index_function_extents()
+        for obj in build.objects.values():
+            self._extract_macro_uses(obj)
+        for module in build.modules:
+            self.extract_module(module, build)
+        self._redirect_references_to_definitions()
+        return self.graph
+
+    # ==================================================================
+    # files and directories
+    # ==================================================================
+
+    def _extract_filesystem(self, build: Build) -> None:
+        for source in build.registry.known_files():
+            self._file_node(source.file_id, source.path)
+
+    def _file_node(self, file_id: int, path: str) -> int:
+        existing = self._file_nodes.get(file_id)
+        if existing is not None:
+            return existing
+        node = self.graph.add_node(
+            *model.labels_for(model.FILE),
+            properties={
+                model.P_TYPE: model.FILE,
+                model.P_SHORT_NAME: posixpath.basename(path),
+                model.P_NAME: path,
+                model.P_LONG_NAME: path,
+            })
+        self._file_nodes[file_id] = node
+        parent = self._dir_node(posixpath.dirname(path))
+        self.graph.add_edge(parent, node, model.DIR_CONTAINS)
+        return node
+
+    def _dir_node(self, path: str) -> int:
+        key = path or "."
+        existing = self._dir_nodes.get(key)
+        if existing is not None:
+            return existing
+        node = self.graph.add_node(
+            *model.labels_for(model.DIRECTORY),
+            properties={
+                model.P_TYPE: model.DIRECTORY,
+                model.P_SHORT_NAME: posixpath.basename(key) or key,
+                model.P_NAME: key,
+                model.P_LONG_NAME: key,
+            })
+        self._dir_nodes[key] = node
+        if key != ".":
+            parent = self._dir_node(posixpath.dirname(path))
+            self.graph.add_edge(parent, node, model.DIR_CONTAINS)
+        return node
+
+    # ==================================================================
+    # one translation unit
+    # ==================================================================
+
+    def extract_unit(self, obj: ObjectFile) -> None:
+        """Symbols, types and references of one compilation unit."""
+        info = obj.info
+        # includes first, so every seen file has its node
+        for include in obj.unit.includes:
+            self.graph.add_edge(
+                self._file_nodes[include.including_file_id],
+                self._file_nodes[include.included_file_id],
+                model.INCLUDES,
+                properties=model.range_properties(
+                    "use", _point_range(include.location)))
+        for definition in obj.unit.macro_definitions:
+            self._macro_node(definition.name, definition.name_range)
+        for symbol in info.symbols:
+            self._symbol_node(symbol)
+        for symbol in info.functions:
+            decl = symbol.decl
+            if isinstance(decl, c.FunctionDef) and \
+                    symbol.name_range is not None:
+                self.register_function_extent(
+                    symbol.name_range.file_id,
+                    symbol.name_range.start_line,
+                    max(decl.body_end_line,
+                        symbol.name_range.start_line),
+                    self._symbol_nodes[id(symbol)])
+        self._structure_edges(info)
+        self._reference_edges(obj)
+
+    # -- nodes ------------------------------------------------------------------
+
+    def _symbol_node(self, symbol: sema.Symbol) -> int:
+        cached = self._symbol_nodes.get(id(symbol))
+        if cached is not None:
+            return cached
+        node_type = _node_type_for(symbol)
+        key = (node_type, symbol.usr)
+        node = self._node_by_key.get(key)
+        if node is None:
+            properties = {
+                model.P_TYPE: node_type,
+                model.P_SHORT_NAME: symbol.name,
+                model.P_NAME: symbol.qualified_name,
+                model.P_LONG_NAME: _long_name(symbol),
+            }
+            if symbol.kind == sema.KIND_ENUMERATOR and \
+                    symbol.value is not None:
+                properties[model.P_VALUE] = symbol.value
+            if symbol.variadic:
+                properties[model.P_VARIADIC] = True
+            if getattr(symbol.decl, "in_macro", False):
+                properties[model.P_IN_MACRO] = True
+            node = self.graph.add_node(*model.labels_for(node_type),
+                                       properties=properties)
+            self._node_by_key[key] = node
+            if node_type == model.TYPEDEF:
+                self._typedef_by_name.setdefault(symbol.name, node)
+            if symbol.name_range is not None:
+                file_node = self._file_nodes.get(
+                    symbol.name_range.file_id)
+                # parameters and locals are contained via their
+                # function; everything else (incl. fields — paper
+                # Figure 3 matches file_contains into :field nodes)
+                # hangs off its defining file
+                if file_node is not None and symbol.kind not in (
+                        sema.KIND_PARAMETER, sema.KIND_LOCAL,
+                        sema.KIND_STATIC_LOCAL):
+                    self.graph.add_edge(file_node, node,
+                                        model.FILE_CONTAINS)
+        self._symbol_nodes[id(symbol)] = node
+        return node
+
+    def _macro_node(self, name: str,
+                    name_range: SourceRange | None) -> int:
+        node = self._macro_nodes.get(name)
+        if node is None:
+            node = self.graph.add_node(
+                *model.labels_for(model.MACRO),
+                properties={
+                    model.P_TYPE: model.MACRO,
+                    model.P_SHORT_NAME: name,
+                    model.P_NAME: name,
+                    model.P_LONG_NAME: name,
+                })
+            self._macro_nodes[name] = node
+            if name_range is not None:
+                file_node = self._file_nodes.get(name_range.file_id)
+                if file_node is not None:
+                    self.graph.add_edge(file_node, node,
+                                        model.FILE_CONTAINS)
+        return node
+
+    def _type_node(self, ctype: ct.CType) -> Optional[int]:
+        """The node a type reference resolves to (Table 1 type kinds)."""
+        if isinstance(ctype, ct.TypedefType):
+            declared = self._typedef_by_name.get(ctype.name)
+            if declared is not None:
+                return declared
+            key = (model.TYPEDEF, f"typedef@{ctype.name}")
+            node = self._node_by_key.get(key)
+            if node is None:
+                node = self.graph.add_node(
+                    *model.labels_for(model.TYPEDEF),
+                    properties={model.P_TYPE: model.TYPEDEF,
+                                model.P_SHORT_NAME: ctype.name,
+                                model.P_NAME: ctype.name,
+                                model.P_LONG_NAME: ctype.name})
+                self._node_by_key[key] = node
+            return node
+        base = ct.base_type(ctype)
+        if isinstance(base, ct.Primitive):
+            key = (model.PRIMITIVE, base.name)
+            node = self._node_by_key.get(key)
+            if node is None:
+                node = self.graph.add_node(
+                    *model.labels_for(model.PRIMITIVE),
+                    properties={model.P_TYPE: model.PRIMITIVE,
+                                model.P_SHORT_NAME: base.name,
+                                model.P_NAME: base.name,
+                                model.P_LONG_NAME: base.name})
+                self._node_by_key[key] = node
+            return node
+        if isinstance(base, ct.RecordType):
+            node_type = model.STRUCT if base.kind == "struct" \
+                else model.UNION
+            found = self._find_tag_node(node_type, base.tag)
+            if found is not None:
+                return found
+            # forward-declared only: emit a *_decl node
+            decl_type = model.STRUCT_DECL if base.kind == "struct" \
+                else model.UNION_DECL
+            return self._tag_decl_node(decl_type, base.tag)
+        if isinstance(base, ct.EnumType):
+            found = self._find_tag_node(model.ENUM_DEF, base.tag)
+            if found is not None:
+                return found
+            return self._tag_decl_node(model.ENUM_DEF, base.tag)
+        if isinstance(base, ct.FunctionType):
+            signature = base.spelled()
+            key = (model.FUNCTION_TYPE, signature)
+            node = self._node_by_key.get(key)
+            if node is None:
+                node = self.graph.add_node(
+                    *model.labels_for(model.FUNCTION_TYPE),
+                    properties={model.P_TYPE: model.FUNCTION_TYPE,
+                                model.P_SHORT_NAME: signature,
+                                model.P_NAME: signature,
+                                model.P_LONG_NAME: signature})
+                self._node_by_key[key] = node
+            return node
+        return None
+
+    def _find_tag_node(self, node_type: str,
+                       tag: Optional[str]) -> Optional[int]:
+        if tag is None:
+            return None
+        for prefix in ("S", "U", "E"):
+            node = self._node_by_key.get((node_type, f"c:@{prefix}@{tag}"))
+            if node is not None:
+                return node
+        return None
+
+    def _tag_decl_node(self, node_type: str, tag: Optional[str]) -> int:
+        name = tag or "<anonymous>"
+        key = (node_type, f"fwd@{node_type}@{name}")
+        node = self._node_by_key.get(key)
+        if node is None:
+            node = self.graph.add_node(
+                *model.labels_for(node_type),
+                properties={model.P_TYPE: node_type,
+                            model.P_SHORT_NAME: name,
+                            model.P_NAME: name,
+                            model.P_LONG_NAME: name})
+            self._node_by_key[key] = node
+        return node
+
+    # -- structural edges ------------------------------------------------------------
+
+    def _structure_edges(self, info: sema.UnitInfo) -> None:
+        for symbol in info.symbols:
+            node = self._symbol_nodes[id(symbol)]
+            if symbol.kind in (sema.KIND_FUNCTION, sema.KIND_FUNCTION_DECL):
+                self._function_type_edges(symbol, node)
+            elif symbol.kind in (sema.KIND_GLOBAL, sema.KIND_GLOBAL_DECL,
+                                 sema.KIND_LOCAL, sema.KIND_STATIC_LOCAL,
+                                 sema.KIND_PARAMETER):
+                self._isa_type_edge(node, symbol)
+                if symbol.kind == sema.KIND_PARAMETER and \
+                        symbol.parent is not None:
+                    parent = self._symbol_nodes.get(id(symbol.parent))
+                    if parent is not None:
+                        self.graph.add_edge(
+                            parent, node, model.HAS_PARAM,
+                            properties={model.P_INDEX: symbol.position})
+                elif symbol.kind in (sema.KIND_LOCAL,
+                                     sema.KIND_STATIC_LOCAL) and \
+                        symbol.parent is not None:
+                    parent = self._symbol_nodes.get(id(symbol.parent))
+                    if parent is not None:
+                        self.graph.add_edge(parent, node, model.HAS_LOCAL)
+            elif symbol.kind == sema.KIND_FIELD:
+                if symbol.parent is not None:
+                    parent = self._symbol_nodes.get(id(symbol.parent))
+                    if parent is not None and not self._has_edge(
+                            parent, node, model.CONTAINS):
+                        self.graph.add_edge(parent, node, model.CONTAINS)
+                self._isa_type_edge(node, symbol)
+            elif symbol.kind == sema.KIND_ENUMERATOR:
+                if symbol.parent is not None:
+                    parent = self._symbol_nodes.get(id(symbol.parent))
+                    if parent is not None and not self._has_edge(
+                            parent, node, model.CONTAINS):
+                        self.graph.add_edge(parent, node, model.CONTAINS)
+            elif symbol.kind == sema.KIND_TYPEDEF and \
+                    symbol.type is not None:
+                target = self._type_node(symbol.type)
+                if target is not None and not self._has_edge(
+                        node, target, model.ISA_TYPE):
+                    self.graph.add_edge(node, target, model.ISA_TYPE)
+            if symbol.matched_definition is not None:
+                target = self._symbol_nodes.get(
+                    id(symbol.matched_definition))
+                if target is not None and not self._has_edge(
+                        node, target, model.DECLARES):
+                    self.graph.add_edge(node, target, model.DECLARES)
+
+    def _function_type_edges(self, symbol: sema.Symbol, node: int) -> None:
+        ftype = ct.strip_typedefs(symbol.type) if symbol.type else None
+        if not isinstance(ftype, ct.FunctionType):
+            return
+        if self.graph.degree(node, types=(model.HAS_RET_TYPE,)):
+            return  # same node already wired (shared header decl)
+        return_node = self._type_node(ftype.return_type)
+        if return_node is not None:
+            self.graph.add_edge(
+                node, return_node, model.HAS_RET_TYPE,
+                properties=_type_use_properties(ftype.return_type))
+        for index, param_type in enumerate(ftype.parameters):
+            param_node = self._type_node(param_type)
+            if param_node is not None:
+                properties = _type_use_properties(param_type)
+                properties[model.P_INDEX] = index
+                self.graph.add_edge(node, param_node,
+                                    model.HAS_PARAM_TYPE,
+                                    properties=properties)
+
+    def _isa_type_edge(self, node: int, symbol: sema.Symbol) -> None:
+        if symbol.type is None:
+            return
+        if self.graph.degree(node, types=(model.ISA_TYPE,)):
+            return
+        target = self._type_node(symbol.type)
+        if target is None:
+            return
+        properties = _type_use_properties(symbol.type)
+        if symbol.bit_width is not None:
+            properties[model.P_BIT_WIDTH] = symbol.bit_width
+        self.graph.add_edge(node, target, model.ISA_TYPE,
+                            properties=properties)
+
+    def _has_edge(self, source: int, target: int, edge_type: str) -> bool:
+        return any(self.graph.edge_target(edge_id) == target
+                   for edge_id in self.graph.edges_of(
+                       source, types=(edge_type,)))
+
+    # -- reference edges --------------------------------------------------------------
+
+    def _reference_edges(self, obj: ObjectFile) -> None:
+        for decl in obj.info.tu.declarations:
+            if isinstance(decl, c.FunctionDef):
+                owner_symbol = next(
+                    (s for s in obj.info.functions
+                     if s.decl is decl), None)
+                if owner_symbol is None:
+                    continue
+                owner = self._symbol_nodes[id(owner_symbol)]
+                self._emit_stmt(decl.body, owner)
+            elif isinstance(decl, c.VarDecl) and decl.initializer:
+                owner_symbol = next(
+                    (s for s in obj.info.symbols if s.decl is decl), None)
+                if owner_symbol is None:
+                    continue
+                owner = self._symbol_nodes[id(owner_symbol)]
+                self._emit_expr(decl.initializer, owner)
+
+    def _emit_stmt(self, node: c.Node, owner: int) -> None:
+        if isinstance(node, c.CompoundStmt):
+            for item in node.body:
+                self._emit_stmt(item, owner)
+        elif isinstance(node, c.DeclStmt):
+            for var in node.declarations:
+                if var.initializer is not None:
+                    self._emit_expr(var.initializer, owner)
+        elif isinstance(node, c.ExprStmt):
+            self._emit_expr(node.expression, owner)
+        elif isinstance(node, c.IfStmt):
+            self._emit_expr(node.condition, owner)
+            self._emit_stmt(node.then_branch, owner)
+            if node.else_branch is not None:
+                self._emit_stmt(node.else_branch, owner)
+        elif isinstance(node, c.WhileStmt):
+            self._emit_expr(node.condition, owner)
+            self._emit_stmt(node.body, owner)
+        elif isinstance(node, c.DoStmt):
+            self._emit_stmt(node.body, owner)
+            self._emit_expr(node.condition, owner)
+        elif isinstance(node, c.ForStmt):
+            if node.init is not None:
+                self._emit_stmt(node.init, owner)
+            if node.condition is not None:
+                self._emit_expr(node.condition, owner)
+            if node.step is not None:
+                self._emit_expr(node.step, owner)
+            self._emit_stmt(node.body, owner)
+        elif isinstance(node, c.ReturnStmt):
+            if node.value is not None:
+                self._emit_expr(node.value, owner)
+        elif isinstance(node, c.SwitchStmt):
+            self._emit_expr(node.condition, owner)
+            self._emit_stmt(node.body, owner)
+        elif isinstance(node, c.CaseStmt):
+            if node.value is not None:
+                self._emit_expr(node.value, owner)
+            if node.body is not None:
+                self._emit_stmt(node.body, owner)
+        elif isinstance(node, c.LabelStmt):
+            self._emit_stmt(node.body, owner)
+
+    def _emit_expr(self, expr: c.Expr, owner: int,
+                   writing: bool = False) -> None:
+        """Emit reference edges for one expression tree.
+
+        ``writing`` marks store context (assignment targets and
+        ++/-- operands); compound assignments emit both directions.
+        """
+        if isinstance(expr, c.Identifier):
+            self._emit_identifier(expr, owner, writing)
+        elif isinstance(expr, c.Call):
+            self._emit_call(expr, owner)
+        elif isinstance(expr, c.Member):
+            self._emit_member(expr, owner, writing)
+        elif isinstance(expr, c.Index):
+            self._emit_expr(expr.base, owner, writing)
+            self._emit_expr(expr.index, owner)
+        elif isinstance(expr, c.Assignment):
+            compound = expr.op != "="
+            self._emit_expr(expr.target, owner, writing=True)
+            if compound:
+                self._emit_expr(expr.target, owner)  # also reads
+            self._emit_expr(expr.value, owner)
+        elif isinstance(expr, c.Unary):
+            self._emit_unary(expr, owner)
+        elif isinstance(expr, c.SizeofType):
+            edge_type = model.GETS_SIZE_OF if expr.op == "sizeof" \
+                else model.GETS_ALIGN_OF
+            target = self._type_node(expr.type)
+            if target is not None:
+                self.graph.add_edge(
+                    owner, target, edge_type,
+                    properties=model.range_properties("use", expr.range))
+        elif isinstance(expr, c.Cast):
+            target = self._type_node(expr.type)
+            if target is not None:
+                self.graph.add_edge(
+                    owner, target, model.CASTS_TO,
+                    properties=model.range_properties("use", expr.range))
+            self._emit_expr(expr.operand, owner)
+        elif isinstance(expr, c.Binary):
+            self._emit_expr(expr.left, owner)
+            self._emit_expr(expr.right, owner)
+        elif isinstance(expr, c.Conditional):
+            self._emit_expr(expr.condition, owner)
+            self._emit_expr(expr.then_value, owner)
+            self._emit_expr(expr.else_value, owner)
+        elif isinstance(expr, c.Comma):
+            self._emit_expr(expr.left, owner)
+            self._emit_expr(expr.right, owner)
+        elif isinstance(expr, c.InitList):
+            for item in expr.items:
+                self._emit_expr(item, owner)
+        # literals: no edges
+
+    def _emit_identifier(self, expr: c.Identifier, owner: int,
+                         writing: bool) -> None:
+        symbol = expr.symbol
+        if symbol is None:
+            return
+        target = self._symbol_nodes.get(id(symbol))
+        if target is None:
+            return
+        if symbol.kind == sema.KIND_ENUMERATOR:
+            edge_type = model.USES_ENUMERATOR
+        elif symbol.kind in (sema.KIND_FUNCTION, sema.KIND_FUNCTION_DECL):
+            # a function name in value position is an implicit &f
+            edge_type = model.TAKES_ADDRESS_OF
+        elif writing:
+            edge_type = model.WRITES
+        else:
+            edge_type = model.READS
+        self._reference(owner, target, edge_type, expr.range, expr.range)
+
+    def _emit_call(self, expr: c.Call, owner: int) -> None:
+        callee = expr.callee
+        if isinstance(callee, c.Identifier) and callee.symbol is not None \
+                and callee.symbol.kind in (sema.KIND_FUNCTION,
+                                           sema.KIND_FUNCTION_DECL):
+            target = self._symbol_nodes.get(id(callee.symbol))
+            if target is not None:
+                # USE = the complete call site; NAME = the callee token
+                self._reference(owner, target, model.CALLS, expr.range,
+                                callee.range)
+        else:
+            # call through an expression (function pointer etc.)
+            self._emit_expr(callee, owner)
+        for argument in expr.arguments:
+            self._emit_expr(argument, owner)
+
+    def _emit_member(self, expr: c.Member, owner: int,
+                     writing: bool) -> None:
+        field = expr.resolved_field
+        if field is not None:
+            target = self._symbol_nodes.get(id(field))
+            if target is not None:
+                if writing:
+                    edge_type = model.WRITES_MEMBER
+                elif expr.arrow:
+                    edge_type = model.DEREFERENCES_MEMBER
+                else:
+                    edge_type = model.READS_MEMBER
+                self._reference(owner, target, edge_type, expr.range,
+                                expr.name_range)
+                if expr.arrow and not writing:
+                    # p->x also reads the member value
+                    self._reference(owner, target, model.READS_MEMBER,
+                                    expr.range, expr.name_range)
+        self._emit_expr(expr.base, owner)
+
+    def _emit_unary(self, expr: c.Unary, owner: int) -> None:
+        operand = expr.operand
+        if expr.op == "&":
+            if isinstance(operand, c.Identifier) and operand.symbol and \
+                    operand.symbol.kind not in (sema.KIND_FUNCTION,
+                                                sema.KIND_FUNCTION_DECL):
+                target = self._symbol_nodes.get(id(operand.symbol))
+                if target is not None:
+                    self._reference(owner, target,
+                                    model.TAKES_ADDRESS_OF, expr.range,
+                                    operand.range)
+                    return
+            if isinstance(operand, c.Member) and operand.resolved_field:
+                target = self._symbol_nodes.get(
+                    id(operand.resolved_field))
+                if target is not None:
+                    self._reference(owner, target,
+                                    model.TAKES_ADDRESS_OF_MEMBER,
+                                    expr.range, operand.name_range)
+                    self._emit_expr(operand.base, owner)
+                    return
+            self._emit_expr(operand, owner)
+        elif expr.op == "*":
+            if isinstance(operand, c.Identifier) and operand.symbol:
+                target = self._symbol_nodes.get(id(operand.symbol))
+                if target is not None:
+                    self._reference(owner, target, model.DEREFERENCES,
+                                    expr.range, operand.range)
+                    self._reference(owner, target, model.READS,
+                                    operand.range, operand.range)
+                    return
+            self._emit_expr(operand, owner)
+        elif expr.op in ("++", "--", "post++", "post--"):
+            self._emit_expr(operand, owner, writing=True)
+            self._emit_expr(operand, owner)
+        else:
+            self._emit_expr(operand, owner)
+
+    def _reference(self, owner: int, target: int, edge_type: str,
+                   use_range: SourceRange, name_range: SourceRange) -> None:
+        properties = model.range_properties("use", use_range)
+        properties.update(model.range_properties("name", name_range))
+        self.graph.add_edge(owner, target, edge_type,
+                            properties=properties)
+
+    # ==================================================================
+    # macro uses (needs all function extents first)
+    # ==================================================================
+
+    def _index_function_extents(self) -> None:
+        for extents in self._function_extents.values():
+            extents.sort()
+
+    def register_function_extent(self, file_id: int, start: int, end: int,
+                                 node: int) -> None:
+        self._function_extents.setdefault(file_id, []).append(
+            (start, end, node))
+
+    def _enclosing_entity(self, file_id: int, line: int) -> int | None:
+        extents = self._function_extents.get(file_id)
+        if extents:
+            position = bisect.bisect_right(extents,
+                                           (line, float("inf"),
+                                            float("inf"))) - 1
+            if position >= 0:
+                start, end, node = extents[position]
+                if start <= line <= end:
+                    return node
+        return self._file_nodes.get(file_id)
+
+    def _extract_macro_uses(self, obj: ObjectFile) -> None:
+        for expansion in obj.unit.expansions:
+            if expansion.parent_macro is not None:
+                continue  # nested expansions attribute to the outer use
+            macro = self._macro_nodes.get(expansion.macro_name)
+            if macro is None:
+                continue
+            owner = self._enclosing_entity(expansion.use_range.file_id,
+                                           expansion.use_range.start_line)
+            if owner is not None:
+                self._reference(owner, macro, model.EXPANDS_MACRO,
+                                expansion.use_range, expansion.use_range)
+        for interrogation in obj.unit.interrogations:
+            macro = self._macro_nodes.get(interrogation.macro_name)
+            if macro is None:
+                macro = self._macro_node(interrogation.macro_name, None)
+            owner = self._enclosing_entity(
+                interrogation.use_range.file_id,
+                interrogation.use_range.start_line)
+            if owner is not None:
+                self._reference(owner, macro, model.INTERROGATES_MACRO,
+                                interrogation.use_range,
+                                interrogation.use_range)
+
+    # ==================================================================
+    # link layer
+    # ==================================================================
+
+    def extract_module(self, module, build: Build) -> None:
+        module_node = self._module_node(module.path)
+        link_order = 0
+        for obj in module.objects:
+            source_node = self._file_nodes.get(
+                build.registry.open(obj.source_path).file_id)
+            if obj.path in module.implicit_object_paths:
+                # compiled inline on the link line: paper Figure 2 shows
+                # prog -compiled_from-> main.c with no main.o node
+                if source_node is not None:
+                    self.graph.add_edge(module_node, source_node,
+                                        model.COMPILED_FROM)
+                continue
+            object_node = self._module_node(obj.path)
+            if source_node is not None and not self._has_edge(
+                    object_node, source_node, model.COMPILED_FROM):
+                self.graph.add_edge(object_node, source_node,
+                                    model.COMPILED_FROM)
+            self.graph.add_edge(
+                module_node, object_node, model.LINKED_FROM,
+                properties={model.P_LINK_ORDER: link_order})
+            link_order += 1
+        for library in module.libraries:
+            library_node = self._module_node(f"lib{library}",
+                                             is_library=True)
+            self.graph.add_edge(module_node, library_node,
+                                model.LINKED_FROM_LIB)
+        for resolution in module.resolutions.values():
+            definition_node = self._symbol_nodes.get(
+                id(resolution.definition))
+            if definition_node is None:
+                continue
+            if not self._has_edge(module_node, definition_node,
+                                  model.LINK_DECLARES):
+                self.graph.add_edge(module_node, definition_node,
+                                    model.LINK_DECLARES)
+            for reference_symbol, _obj in resolution.references:
+                reference_node = self._symbol_nodes.get(
+                    id(reference_symbol))
+                if reference_node is not None and not self._has_edge(
+                        reference_node, definition_node,
+                        model.LINK_MATCHES):
+                    self.graph.add_edge(reference_node, definition_node,
+                                        model.LINK_MATCHES)
+
+    def _redirect_references_to_definitions(self) -> None:
+        """Cross-link references to resolved definitions.
+
+        Inside one translation unit a call site can only see the
+        prototype, so reference edges initially target ``*_decl``
+        nodes. Once ``declares`` (in-unit) and ``link_matches``
+        (cross-unit) pairings are known, every reference into a decl
+        node with exactly one definition is re-pointed at the
+        definition — this is the "cross-linking of information" the
+        paper credits its extractor with, and what makes Figure 2 show
+        ``main -calls-> bar`` (the definition) directly.
+        """
+        graph = self.graph
+        decl_types = (model.FUNCTION_DECL, model.GLOBAL_DECL)
+        for decl_type in decl_types:
+            for decl_node in list(graph.nodes_with_label(decl_type)):
+                definitions = {
+                    graph.edge_target(edge_id)
+                    for edge_id in graph.edges_of(
+                        decl_node, types=(model.DECLARES,
+                                          model.LINK_MATCHES))
+                    if graph.edge_source(edge_id) == decl_node}
+                if len(definitions) != 1:
+                    continue
+                definition = next(iter(definitions))
+                incoming = [
+                    edge_id for edge_id in graph.edges_of(
+                        decl_node, types=model.REFERENCE_EDGE_TYPES)
+                    if graph.edge_target(edge_id) == decl_node]
+                for edge_id in incoming:
+                    source = graph.edge_source(edge_id)
+                    edge_type = graph.edge_type(edge_id)
+                    properties = graph.edge_properties(edge_id)
+                    graph.remove_edge(edge_id)
+                    graph.add_edge(source, definition, edge_type,
+                                   properties=properties)
+
+    def _module_node(self, path: str, is_library: bool = False) -> int:
+        key = (model.MODULE, f"module@{path}")
+        node = self._node_by_key.get(key)
+        if node is None:
+            node = self.graph.add_node(
+                *model.labels_for(model.MODULE),
+                properties={
+                    model.P_TYPE: model.MODULE,
+                    model.P_SHORT_NAME: posixpath.basename(path),
+                    model.P_NAME: path,
+                    model.P_LONG_NAME: path,
+                })
+            self._node_by_key[key] = node
+        return node
+
+
+def _node_type_for(symbol: sema.Symbol) -> str:
+    mapping = {
+        sema.KIND_FUNCTION: model.FUNCTION,
+        sema.KIND_FUNCTION_DECL: model.FUNCTION_DECL,
+        sema.KIND_GLOBAL: model.GLOBAL,
+        sema.KIND_GLOBAL_DECL: model.GLOBAL_DECL,
+        sema.KIND_LOCAL: model.LOCAL,
+        sema.KIND_STATIC_LOCAL: model.STATIC_LOCAL,
+        sema.KIND_PARAMETER: model.PARAMETER,
+        sema.KIND_FIELD: model.FIELD,
+        sema.KIND_ENUMERATOR: model.ENUMERATOR,
+        sema.KIND_TYPEDEF: model.TYPEDEF,
+        sema.KIND_STRUCT: model.STRUCT,
+        sema.KIND_STRUCT_DECL: model.STRUCT_DECL,
+        sema.KIND_UNION: model.UNION,
+        sema.KIND_UNION_DECL: model.UNION_DECL,
+        sema.KIND_ENUM: model.ENUM_DEF,
+        sema.KIND_ENUM_DECL: model.ENUM_DEF,
+    }
+    return mapping[symbol.kind]
+
+
+def _long_name(symbol: sema.Symbol) -> str:
+    stripped = ct.strip_typedefs(symbol.type) if symbol.type else None
+    if isinstance(stripped, ct.FunctionType) and symbol.kind in (
+            sema.KIND_FUNCTION, sema.KIND_FUNCTION_DECL):
+        params = ",".join(param.spelled()
+                          for param in stripped.parameters)
+        return f"{symbol.qualified_name}({params})"
+    return symbol.qualified_name
+
+
+def _type_use_properties(ctype: ct.CType) -> dict:
+    properties: dict = {}
+    qualifiers = ct.qualifier_code(ctype)
+    if qualifiers:
+        properties[model.P_QUALIFIERS] = qualifiers
+    lengths = ct.array_lengths(ctype)
+    if lengths:
+        properties[model.P_ARRAY_LENGTHS] = lengths
+    return properties
+
+
+def _point_range(location) -> SourceRange:
+    return SourceRange(location.file_id, location.line, location.column,
+                       location.line, location.column)
+
+
+def extract_build(build: Build) -> PropertyGraph:
+    """One-shot: dependency graph of a finished build."""
+    extractor = DependencyGraphExtractor()
+    return extractor.extract_build(build)

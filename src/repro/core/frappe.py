@@ -1,0 +1,177 @@
+"""The Frappé facade — what a downstream user drives.
+
+Typical flows::
+
+    # index a codebase from sources + build commands
+    frappe = Frappe.index_sources(
+        {"foo.h": ..., "foo.c": ..., "main.c": ...},
+        build_script=\"\"\"
+            gcc foo.c -c -o foo.o
+            gcc main.c foo.o -o prog
+        \"\"\")
+
+    # query it
+    frappe.query("MATCH (n:function) RETURN n.short_name")
+    frappe.search("pci_*", node_type="function")
+    frappe.backward_slice("pci_read_bases")
+
+    # persist and reopen as a page-cached disk store
+    frappe.save("/var/lib/frappe/kernel")
+    frappe = Frappe.open("/var/lib/frappe/kernel")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.build.buildsys import Build
+from repro.core import model, queries, slicing
+from repro.core.extractor import extract_build
+from repro.cypher import CypherEngine, Result
+from repro.graphdb import PropertyGraph, stats
+from repro.graphdb.storage import GraphStore, PageCache, StoreGraph
+from repro.graphdb.view import Direction, GraphView
+from repro.lang.source import VirtualFileSystem
+
+
+class Frappe:
+    """A queryable dependency graph of one codebase."""
+
+    def __init__(self, view: GraphView,
+                 default_timeout: float | None = None) -> None:
+        self.view = view
+        self.engine = CypherEngine(view, default_timeout)
+
+    # -- construction -------------------------------------------------------------
+
+    @classmethod
+    def index_build(cls, build: Build,
+                    default_timeout: float | None = None) -> "Frappe":
+        """Extract a dependency graph from a finished build."""
+        return cls(extract_build(build), default_timeout)
+
+    @classmethod
+    def index_sources(cls, files: Mapping[str, str], build_script: str,
+                      include_paths: Iterable[str] = (),
+                      defines: Mapping[str, str] | None = None,
+                      ignore_missing_includes: bool = False,
+                      default_timeout: float | None = None) -> "Frappe":
+        """Compile an in-memory source tree and index it."""
+        build = Build(VirtualFileSystem(dict(files)),
+                      include_paths=include_paths,
+                      defines=dict(defines or {}),
+                      ignore_missing_includes=ignore_missing_includes)
+        build.run_script(build_script)
+        return cls.index_build(build, default_timeout)
+
+    @classmethod
+    def open(cls, directory: str,
+             page_cache: PageCache | None = None,
+             default_timeout: float | None = None) -> "Frappe":
+        """Open a saved store as a page-cached read view."""
+        return cls(GraphStore.open(directory, page_cache),
+                   default_timeout)
+
+    def save(self, directory: str) -> dict[str, int]:
+        """Persist to a store directory; returns the size breakdown."""
+        if not isinstance(self.view, PropertyGraph):
+            raise TypeError("only an in-memory graph can be saved; "
+                            "this Frappe wraps a disk store already")
+        return GraphStore.write(self.view, directory)
+
+    # -- cache control (benchmark protocol) -------------------------------------------
+
+    def evict_caches(self) -> None:
+        """Cold-start the store-backed view (no-op for in-memory)."""
+        if isinstance(self.view, StoreGraph):
+            self.view.evict_caches()
+
+    def close(self) -> None:
+        if isinstance(self.view, StoreGraph):
+            self.view.close()
+
+    def __enter__(self) -> "Frappe":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- querying ------------------------------------------------------------------------
+
+    def query(self, text: str, parameters: Mapping[str, Any] | None = None,
+              timeout: float | None = None) -> Result:
+        """Run Cypher text against the graph."""
+        return self.engine.run(text, parameters, timeout)
+
+    def search(self, name: str, node_type: Optional[str] = None,
+               module: Optional[str] = None) -> list[int]:
+        """Code search (paper Section 4.1 / Figure 3)."""
+        return queries.code_search(self.view, name, node_type, module)
+
+    def goto_definition(self, name: str, file_id: int, line: int,
+                        column: int) -> list[int]:
+        """Go-to-definition (Section 4.2 / Figure 4)."""
+        return queries.goto_definition(self.view, name, file_id, line,
+                                       column)
+
+    def find_references(self, node_id: int) -> list[queries.Reference]:
+        """Find-references (Section 4.2)."""
+        return queries.find_references(self.view, node_id)
+
+    def writers_of_field_between(self, from_function: str,
+                                 to_function: str, container: str,
+                                 field: str) -> list[queries.FieldWriter]:
+        """Debugging helper (Section 4.3 / Figure 5)."""
+        return queries.writers_of_field_between(
+            self.view, from_function, to_function, container, field)
+
+    def backward_slice(self, function_short_name: str) -> set[int]:
+        """All functions the seed depends on (Section 4.4 / Figure 6)."""
+        return queries.call_closure(self.view, function_short_name,
+                                    Direction.OUT)
+
+    def forward_slice(self, function_short_name: str) -> set[int]:
+        """All functions potentially affected by the seed."""
+        return queries.call_closure(self.view, function_short_name,
+                                    Direction.IN)
+
+    def macro_impact(self, macro_name: str,
+                     through_calls: bool = True) -> set[int]:
+        """'How much code could be affected if I change this macro?'"""
+        impacted: set[int] = set()
+        for node_id in self.view.indexes.lookup(model.P_SHORT_NAME,
+                                                macro_name):
+            if model.MACRO in self.view.node_labels(node_id):
+                impacted |= slicing.macro_impact(self.view, node_id,
+                                                 through_calls)
+        return impacted
+
+    def path_between(self, entry: str, target: str) -> list[int] | None:
+        """Shortest call path from an entry point to a target."""
+        return queries.entry_point_path(self.view, entry, target)
+
+    def dead_code(self, entry_points: Iterable[str] = ("main",
+                                                       "start_kernel"),
+                  ) -> list[int]:
+        """Functions nothing calls or takes the address of."""
+        return queries.unreferenced_functions(self.view, entry_points)
+
+    def cycles(self, edge_types: Iterable[str] = (model.CALLS,),
+               ) -> list[list[int]]:
+        """Dependency cycles (recursion groups, include cycles, ...)."""
+        return queries.dependency_cycles(self.view, edge_types)
+
+    # -- metrics (Tables 3–4, Figure 7) -------------------------------------------------------
+
+    def metrics(self) -> stats.GraphMetrics:
+        return stats.graph_metrics(self.view)
+
+    def degree_distribution(self) -> dict[int, int]:
+        return stats.degree_distribution(self.view)
+
+    def describe(self, node_id: int) -> dict[str, Any]:
+        """Node labels + properties, for display."""
+        description = dict(self.view.node_properties(node_id))
+        description["labels"] = sorted(self.view.node_labels(node_id))
+        description["id"] = node_id
+        return description

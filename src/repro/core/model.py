@@ -1,0 +1,178 @@
+"""The Frappé graph model vocabulary (paper Tables 1, 2 and 6).
+
+Property keys are stored lower-case; the paper's queries spell them in
+both cases (``SHORT_NAME`` in Figure 5, ``short_name`` in Figure 3)
+and our Cypher parser normalizes to lower case. One deliberate
+normalization: the paper's Figure 4 writes ``NAME_START_COLUMN`` while
+its own Table 2 lists ``NAME_START_COL``; we follow Table 2 and note
+the discrepancy in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Node types (Table 1)
+# --------------------------------------------------------------------------
+
+DIRECTORY = "directory"
+ENUM_DEF = "enum_def"
+ENUMERATOR = "enumerator"
+FIELD = "field"
+FILE = "file"
+FUNCTION = "function"
+FUNCTION_DECL = "function_decl"
+FUNCTION_TYPE = "function_type"
+GLOBAL = "global"
+GLOBAL_DECL = "global_decl"
+LOCAL = "local"
+MACRO = "macro"
+MODULE = "module"
+PARAMETER = "parameter"
+PRIMITIVE = "primitive"
+STATIC_LOCAL = "static_local"
+STRUCT = "struct"
+STRUCT_DECL = "struct_decl"
+TYPEDEF = "typedef"
+UNION = "union"
+UNION_DECL = "union_decl"
+
+NODE_TYPES = (
+    DIRECTORY, ENUM_DEF, ENUMERATOR, FIELD, FILE, FUNCTION, FUNCTION_DECL,
+    FUNCTION_TYPE, GLOBAL, GLOBAL_DECL, LOCAL, MACRO, MODULE, PARAMETER,
+    PRIMITIVE, STATIC_LOCAL, STRUCT, STRUCT_DECL, TYPEDEF, UNION,
+    UNION_DECL,
+)
+
+# --------------------------------------------------------------------------
+# Edge types (Table 1)
+# --------------------------------------------------------------------------
+
+CALLS = "calls"
+CASTS_TO = "casts_to"
+COMPILED_FROM = "compiled_from"
+CONTAINS = "contains"
+DECLARES = "declares"
+DEREFERENCES = "dereferences"
+DEREFERENCES_MEMBER = "dereferences_member"
+DIR_CONTAINS = "dir_contains"
+EXPANDS_MACRO = "expands_macro"
+FILE_CONTAINS = "file_contains"
+GETS_ALIGN_OF = "gets_align_of"
+GETS_SIZE_OF = "gets_size_of"
+HAS_LOCAL = "has_local"
+HAS_PARAM = "has_param"
+HAS_PARAM_TYPE = "has_param_type"
+HAS_RET_TYPE = "has_ret_type"
+INCLUDES = "includes"
+INTERROGATES_MACRO = "interrogates_macro"
+ISA_TYPE = "isa_type"
+LINK_DECLARES = "link_declares"
+LINK_MATCHES = "link_matches"
+LINKED_FROM = "linked_from"
+LINKED_FROM_LIB = "linked_from_lib"
+READS = "reads"
+READS_MEMBER = "reads_member"
+TAKES_ADDRESS_OF = "takes_address_of"
+TAKES_ADDRESS_OF_MEMBER = "takes_address_of_member"
+USES_ENUMERATOR = "uses_enumerator"
+WRITES = "writes"
+WRITES_MEMBER = "writes_member"
+
+EDGE_TYPES = (
+    CALLS, CASTS_TO, COMPILED_FROM, CONTAINS, DECLARES, DEREFERENCES,
+    DEREFERENCES_MEMBER, DIR_CONTAINS, EXPANDS_MACRO, FILE_CONTAINS,
+    GETS_ALIGN_OF, GETS_SIZE_OF, HAS_LOCAL, HAS_PARAM, HAS_PARAM_TYPE,
+    HAS_RET_TYPE, INCLUDES, INTERROGATES_MACRO, ISA_TYPE, LINK_DECLARES,
+    LINK_MATCHES, LINKED_FROM, LINKED_FROM_LIB, READS, READS_MEMBER,
+    TAKES_ADDRESS_OF, TAKES_ADDRESS_OF_MEMBER, USES_ENUMERATOR, WRITES,
+    WRITES_MEMBER,
+)
+
+#: reference edges whose USE_*/NAME_* properties locate a code mention.
+REFERENCE_EDGE_TYPES = (
+    CALLS, CASTS_TO, DEREFERENCES, DEREFERENCES_MEMBER, EXPANDS_MACRO,
+    GETS_ALIGN_OF, GETS_SIZE_OF, INTERROGATES_MACRO, READS, READS_MEMBER,
+    TAKES_ADDRESS_OF, TAKES_ADDRESS_OF_MEMBER, USES_ENUMERATOR, WRITES,
+    WRITES_MEMBER,
+)
+
+# --------------------------------------------------------------------------
+# Property keys (Table 2)
+# --------------------------------------------------------------------------
+
+P_TYPE = "type"
+P_SHORT_NAME = "short_name"
+P_NAME = "name"
+P_LONG_NAME = "long_name"
+P_VALUE = "value"
+P_VARIADIC = "variadic"
+P_VIRTUAL = "virtual"
+P_IN_MACRO = "in_macro"
+
+P_USE_FILE_ID = "use_file_id"
+P_USE_START_LINE = "use_start_line"
+P_USE_START_COL = "use_start_col"
+P_USE_END_LINE = "use_end_line"
+P_USE_END_COL = "use_end_col"
+P_NAME_FILE_ID = "name_file_id"
+P_NAME_START_LINE = "name_start_line"
+P_NAME_START_COL = "name_start_col"
+P_NAME_END_LINE = "name_end_line"
+P_NAME_END_COL = "name_end_col"
+P_ARRAY_LENGTHS = "array_lengths"
+P_BIT_WIDTH = "bit_width"
+P_QUALIFIERS = "qualifiers"
+P_INDEX = "index"
+P_LINK_ORDER = "link_order"
+
+#: the keys kept in the lucene-style node auto index.
+AUTO_INDEX_KEYS = (P_SHORT_NAME, P_NAME, P_LONG_NAME, P_TYPE)
+
+# --------------------------------------------------------------------------
+# Grouped labels (Table 6 / paper Section 6.2)
+# --------------------------------------------------------------------------
+
+#: named program entities — Table 6's :symbol group.
+SYMBOL_GROUP = frozenset({
+    FUNCTION, FUNCTION_DECL, GLOBAL, GLOBAL_DECL, LOCAL, STATIC_LOCAL,
+    PARAMETER, FIELD, ENUMERATOR, MACRO, TYPEDEF, STRUCT, STRUCT_DECL,
+    UNION, UNION_DECL, ENUM_DEF,
+})
+
+#: things usable as a type — the :type group.
+TYPE_GROUP = frozenset({
+    STRUCT, STRUCT_DECL, UNION, UNION_DECL, ENUM_DEF, TYPEDEF, PRIMITIVE,
+    FUNCTION_TYPE,
+})
+
+#: things that contain other entities — the :container group
+#: (the paper's example: "struct, union, enum").
+CONTAINER_GROUP = frozenset({
+    STRUCT, UNION, ENUM_DEF, FILE, DIRECTORY, MODULE,
+})
+
+GROUP_LABELS = {
+    "symbol": SYMBOL_GROUP,
+    "type": TYPE_GROUP,
+    "container": CONTAINER_GROUP,
+}
+
+
+def labels_for(node_type: str) -> tuple[str, ...]:
+    """All labels of a node: its type plus its Table 6 groups."""
+    labels = [node_type]
+    for group, members in GROUP_LABELS.items():
+        if node_type in members:
+            labels.append(group)
+    return tuple(labels)
+
+
+def range_properties(prefix: str, source_range) -> dict[str, int]:
+    """USE_*/NAME_* edge properties from a source range (Table 2)."""
+    return {
+        f"{prefix}_file_id": source_range.file_id,
+        f"{prefix}_start_line": source_range.start_line,
+        f"{prefix}_start_col": source_range.start_column,
+        f"{prefix}_end_line": source_range.end_line,
+        f"{prefix}_end_col": source_range.end_column,
+    }

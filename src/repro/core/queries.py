@@ -1,0 +1,295 @@
+"""The Section 4 use cases as a typed Python API.
+
+Each helper mirrors one of the paper's figures, implemented directly
+against the :class:`~repro.graphdb.view.GraphView` (the "embedded
+mode" the paper resorts to for performance); the benchmark harness
+runs the same workloads through Cypher text as well, so the two paths
+can be cross-checked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.core import model
+from repro.graphdb import algo
+from repro.graphdb.view import Direction, GraphView
+
+
+@dataclasses.dataclass(frozen=True)
+class Reference:
+    """One code mention of a symbol (a reference edge)."""
+
+    edge_id: int
+    from_node: int
+    to_node: int
+    edge_type: str
+    use_file_id: Optional[int]
+    use_start_line: Optional[int]
+    use_start_col: Optional[int]
+
+    @classmethod
+    def from_edge(cls, view: GraphView, edge_id: int) -> "Reference":
+        properties = view.edge_properties(edge_id)
+        return cls(edge_id, view.edge_source(edge_id),
+                   view.edge_target(edge_id), view.edge_type(edge_id),
+                   properties.get(model.P_USE_FILE_ID),
+                   properties.get(model.P_USE_START_LINE),
+                   properties.get(model.P_USE_START_COL))
+
+
+# --------------------------------------------------------------------------
+# 4.1 Code search (Figure 3)
+# --------------------------------------------------------------------------
+
+def code_search(view: GraphView, name: str,
+                node_type: Optional[str] = None,
+                module: Optional[str] = None) -> list[int]:
+    """Find symbols by name, optionally filtered by type and module.
+
+    ``name`` supports Lucene wildcards (``*``, ``?``) and fuzzy
+    (``term~``) syntax, as the paper's auto-index search does. The
+    module filter keeps only entities contained in files reachable
+    from the module via ``compiled_from``/``linked_from`` edges —
+    exactly the paper's Figure 3 shape.
+    """
+    query = f"short_name: {name}"
+    if node_type:
+        query = f"({query}) AND type: {node_type}"
+    candidates = list(view.indexes.query(query))
+    if module is None:
+        return candidates
+    module_files = files_of_module(view, module)
+    result = []
+    for node_id in candidates:
+        for edge_id in view.edges_of(node_id, Direction.IN,
+                                     (model.FILE_CONTAINS,)):
+            if view.edge_source(edge_id) in module_files:
+                result.append(node_id)
+                break
+    return result
+
+
+def files_of_module(view: GraphView, module_short_name: str) -> set[int]:
+    """All file nodes in the transitive build closure of a module."""
+    files: set[int] = set()
+    for module_node in view.indexes.lookup(model.P_SHORT_NAME,
+                                           module_short_name):
+        closure = algo.reachable_nodes(
+            view, module_node,
+            (model.COMPILED_FROM, model.LINKED_FROM), Direction.OUT,
+            include_start=True)
+        for node_id in closure:
+            if model.FILE in view.node_labels(node_id):
+                files.add(node_id)
+    return files
+
+
+# --------------------------------------------------------------------------
+# 4.2 Cross referencing (Figure 4)
+# --------------------------------------------------------------------------
+
+def goto_definition(view: GraphView, name: str, file_id: int, line: int,
+                    column: int) -> list[int]:
+    """Definitions of the symbol referenced at a cursor position.
+
+    Index-lookup the name, then keep candidates with an incoming
+    reference edge whose NAME_* range covers (file, line, column) —
+    the paper's Figure 4 formulation.
+    """
+    matches = []
+    for node_id in view.indexes.lookup(model.P_SHORT_NAME, name):
+        for edge_id in view.edges_of(node_id, Direction.IN):
+            properties = view.edge_properties(edge_id)
+            if _name_range_covers(properties, file_id, line, column):
+                matches.append(node_id)
+                break
+    return matches
+
+
+def _name_range_covers(properties: dict, file_id: int, line: int,
+                       column: int) -> bool:
+    if properties.get(model.P_NAME_FILE_ID) != file_id:
+        return False
+    start_line = properties.get(model.P_NAME_START_LINE)
+    end_line = properties.get(model.P_NAME_END_LINE)
+    if start_line is None or end_line is None:
+        return False
+    if not start_line <= line <= end_line:
+        return False
+    if line == start_line and \
+            column < properties.get(model.P_NAME_START_COL, 1):
+        return False
+    if line == end_line and \
+            column > properties.get(model.P_NAME_END_COL, 1 << 30):
+        return False
+    return True
+
+
+def find_references(view: GraphView, node_id: int,
+                    edge_types: Iterable[str] | None = None,
+                    ) -> list[Reference]:
+    """All code mentions of a symbol (the incoming reference edges)."""
+    types = tuple(edge_types) if edge_types is not None \
+        else model.REFERENCE_EDGE_TYPES
+    return [Reference.from_edge(view, edge_id)
+            for edge_id in view.edges_of(node_id, Direction.IN, types)]
+
+
+# --------------------------------------------------------------------------
+# 4.3 Debugging (Figure 5)
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class FieldWriter:
+    """A function that writes the field of interest, plus the write."""
+
+    writer_node: int
+    write_edge: int
+    use_start_line: Optional[int]
+
+
+def writers_of_field_between(view: GraphView, from_function: str,
+                             to_function: str, container: str,
+                             field_name: str) -> list[FieldWriter]:
+    """The paper's Figure 5: who writes ``container.field`` on a call
+    path bounded by two call sites of *from_function*?
+
+    For each call ``from -> direct`` whose USE_START_LINE is not after
+    the call ``from -> to``, any writer of the field reachable from
+    ``direct`` via calls is a candidate for the invalid value.
+    """
+    field_nodes = _fields_of_container(view, container, field_name)
+    writers: dict[tuple[int, int], FieldWriter] = {}
+    write_edges: dict[int, list[int]] = {}
+    for field_node in field_nodes:
+        for edge_id in view.edges_of(field_node, Direction.IN,
+                                     (model.WRITES_MEMBER,)):
+            write_edges.setdefault(view.edge_source(edge_id),
+                                   []).append(edge_id)
+    if not write_edges:
+        return []
+    for from_node in view.indexes.lookup(model.P_SHORT_NAME,
+                                         from_function):
+        to_lines = []
+        for edge_id in view.edges_of(from_node, Direction.OUT,
+                                     (model.CALLS,)):
+            target = view.edge_target(edge_id)
+            if view.node_property(target, model.P_SHORT_NAME) == \
+                    to_function:
+                line = view.edge_property(edge_id,
+                                          model.P_USE_START_LINE)
+                if line is not None:
+                    to_lines.append(line)
+        if not to_lines:
+            continue
+        bound = max(to_lines)
+        for edge_id in view.edges_of(from_node, Direction.OUT,
+                                     (model.CALLS,)):
+            line = view.edge_property(edge_id, model.P_USE_START_LINE)
+            if line is None or line > bound:
+                continue
+            direct = view.edge_target(edge_id)
+            reachable = algo.reachable_nodes(
+                view, direct, (model.CALLS,), Direction.OUT,
+                include_start=True)
+            for writer_node in reachable & set(write_edges):
+                for write_edge in write_edges[writer_node]:
+                    key = (writer_node, write_edge)
+                    if key not in writers:
+                        writers[key] = FieldWriter(
+                            writer_node, write_edge,
+                            view.edge_property(write_edge,
+                                               model.P_USE_START_LINE))
+    return sorted(writers.values(),
+                  key=lambda w: (w.writer_node, w.write_edge))
+
+
+def _fields_of_container(view: GraphView, container: str,
+                         field_name: str) -> list[int]:
+    fields = []
+    for container_node in view.indexes.lookup(model.P_SHORT_NAME,
+                                              container):
+        for edge_id in view.edges_of(container_node, Direction.OUT,
+                                     (model.CONTAINS,)):
+            field_node = view.edge_target(edge_id)
+            if view.node_property(field_node, model.P_SHORT_NAME) == \
+                    field_name:
+                fields.append(field_node)
+    return fields
+
+
+# --------------------------------------------------------------------------
+# 4.4 Code comprehension (Figure 6 + shortest paths)
+# --------------------------------------------------------------------------
+
+def call_closure(view: GraphView, function_short_name: str,
+                 direction: Direction = Direction.OUT) -> set[int]:
+    """Transitive closure of calls from/to a function (Figure 6).
+
+    ``Direction.OUT`` gives the backward slice (everything the seed
+    depends on); ``Direction.IN`` the forward slice (everything that
+    could be affected by changing the seed). Runs via the embedded
+    traversal — the sub-second path of Section 6.1.
+    """
+    result: set[int] = set()
+    for node_id in view.indexes.lookup(model.P_SHORT_NAME,
+                                       function_short_name):
+        result |= algo.reachable_nodes(view, node_id, (model.CALLS,),
+                                       direction)
+    return result
+
+
+def dependency_cycles(view: GraphView,
+                      edge_types: Iterable[str] = (model.CALLS,),
+                      ) -> list[list[int]]:
+    """Dependency cycles over the given edge types.
+
+    ``(model.CALLS,)`` finds mutual/self recursion in the call graph;
+    ``(model.INCLUDES,)`` finds header-inclusion cycles — the
+    structured-result queries the paper's introduction motivates the
+    map presentation with.
+    """
+    return algo.strongly_connected_components(view, tuple(edge_types))
+
+
+def unreferenced_functions(view: GraphView,
+                           entry_points: Iterable[str] = ("main",
+                                                          "start_kernel"),
+                           ) -> list[int]:
+    """Candidate dead code: defined functions nothing refers to.
+
+    A function is reported when it has no incoming ``calls`` or
+    ``takes_address_of`` edge (address-taken functions may be invoked
+    through pointers, so they do not count as dead) and is not a known
+    entry point. This is the "identifying architectural issues" class
+    of query from the paper's introduction.
+    """
+    entry_names = set(entry_points)
+    dead = []
+    for node_id in view.nodes_with_label(model.FUNCTION):
+        if view.node_property(node_id, model.P_SHORT_NAME) in \
+                entry_names:
+            continue
+        if view.degree(node_id, Direction.IN,
+                       (model.CALLS, model.TAKES_ADDRESS_OF)):
+            continue
+        dead.append(node_id)
+    return dead
+
+
+def entry_point_path(view: GraphView, entry: str,
+                     target: str) -> Optional[list[int]]:
+    """One shortest call path from an entry point to a target."""
+    entries = list(view.indexes.lookup(model.P_SHORT_NAME, entry))
+    targets = set(view.indexes.lookup(model.P_SHORT_NAME, target))
+    best: Optional[list[int]] = None
+    for source in entries:
+        for destination in targets:
+            path = algo.shortest_path(view, source, destination,
+                                      (model.CALLS,), Direction.OUT)
+            if path is not None and (best is None
+                                     or len(path) < len(best)):
+                best = path
+    return best

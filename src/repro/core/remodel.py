@@ -1,0 +1,88 @@
+"""The Section 6.2 modelling alternative: references as nodes.
+
+The paper: "One workaround for a lack of hyper edge support is to
+instead model references as nodes. For example, ``foo -[:calls]->
+bar``, where an edge property associates the containing file, would
+become ``foo -[:calls]-> callsite -[:calls]-> bar`` and ``file
+-[:contains]-> callsite``. With this option, specifying a match for
+the references associated with a particular file improves, but
+specifying matches in general becomes at best less succinct..."
+
+:func:`reify_references` performs exactly that transformation;
+benchmark E13 measures both sides of the trade-off: per-file reference
+lookup (node model wins) vs. simple expansion fan-out and storage
+(edge model wins).
+"""
+
+from __future__ import annotations
+
+from repro.core import model
+from repro.graphdb import PropertyGraph
+from repro.graphdb.graph import clone_graph
+from repro.graphdb.view import Direction, GraphView
+
+#: label given to reified reference nodes.
+CALLSITE = "callsite"
+
+
+def reify_references(view: GraphView,
+                     edge_types: tuple[str, ...] = model.REFERENCE_EDGE_TYPES,
+                     ) -> PropertyGraph:
+    """Return a copy of *view* with reference edges turned into nodes.
+
+    Every reference edge ``a -[t {props}]-> b`` becomes::
+
+        a -[t]-> site -[t]-> b      (site carries the USE_*/NAME_* props)
+        file -[contains]-> site     (via the USE_FILE_ID property)
+
+    File association uses the file *node* id stored by the extractor /
+    generator in ``use_file_id``; references without one simply get no
+    containment edge (like macro-generated code with no stable file).
+    """
+    graph = clone_graph(view)
+    reference_ids = [edge_id for edge_id in graph.edge_ids()
+                     if graph.edge_type(edge_id) in edge_types]
+    for edge_id in reference_ids:
+        source = graph.edge_source(edge_id)
+        target = graph.edge_target(edge_id)
+        edge_type = graph.edge_type(edge_id)
+        properties = graph.edge_properties(edge_id)
+        graph.remove_edge(edge_id)
+        site = graph.add_node(
+            CALLSITE,
+            properties={model.P_TYPE: CALLSITE,
+                        model.P_SHORT_NAME: edge_type,
+                        **properties})
+        graph.add_edge(source, site, edge_type)
+        graph.add_edge(site, target, edge_type)
+        file_node = properties.get(model.P_USE_FILE_ID)
+        if isinstance(file_node, int) and graph.has_node(file_node) \
+                and model.FILE in graph.node_labels(file_node):
+            graph.add_edge(file_node, site, model.CONTAINS)
+    return graph
+
+
+def references_in_file_edge_model(view: GraphView, file_node: int,
+                                  ) -> list[int]:
+    """Edge-model query: all reference edges located in one file.
+
+    Without hyper edges the only general way is to scan reference
+    edges and filter on the USE_FILE_ID property — "much clumsier than
+    it could be" per the paper.
+    """
+    matches = []
+    for edge_id in view.edge_ids():
+        if view.edge_type(edge_id) not in model.REFERENCE_EDGE_TYPES:
+            continue
+        if view.edge_property(edge_id, model.P_USE_FILE_ID) == file_node:
+            matches.append(edge_id)
+    return matches
+
+
+def references_in_file_node_model(view: GraphView, file_node: int,
+                                  ) -> list[int]:
+    """Node-model query: one containment expansion from the file."""
+    return [view.edge_target(edge_id)
+            for edge_id in view.edges_of(file_node, Direction.OUT,
+                                         (model.CONTAINS,))
+            if CALLSITE in view.node_labels(view.edge_target(edge_id))]

@@ -1,0 +1,89 @@
+"""Program-slice approximations over the dependency graph.
+
+Paper Section 4.4: "One of the simplest approximations of a program
+slice is the transitive closure of the call graph ... The same idea
+can be applied to other edge types too, such as file includes, or to
+macro expansions to see all code potentially affected by the seed
+macro."
+
+Direction convention (following the paper's text): the *backward*
+slice of a function is the closure of its **outgoing** calls — all
+functions that, if modified, could alter its behaviour; the *forward*
+slice is the closure of **incoming** calls — all code that may be
+affected if the seed changes.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.core import model
+from repro.graphdb import algo
+from repro.graphdb.view import Direction, GraphView
+
+
+def backward_slice(view: GraphView, seed: int,
+                   edge_types: Collection[str] = (model.CALLS,),
+                   max_depth: int | None = None) -> set[int]:
+    """Everything *seed* transitively depends on."""
+    return algo.reachable_nodes(view, seed, tuple(edge_types),
+                                Direction.OUT, max_depth)
+
+
+def forward_slice(view: GraphView, seed: int,
+                  edge_types: Collection[str] = (model.CALLS,),
+                  max_depth: int | None = None) -> set[int]:
+    """Everything that may be affected if *seed* changes."""
+    return algo.reachable_nodes(view, seed, tuple(edge_types),
+                                Direction.IN, max_depth)
+
+
+def include_slice(view: GraphView, file_node: int,
+                  forward: bool = True) -> set[int]:
+    """Files affected by (or affecting) a header, via includes edges.
+
+    ``forward=True`` answers "who would rebuild if this header
+    changed" (closure of incoming ``includes``).
+    """
+    direction = Direction.IN if forward else Direction.OUT
+    return algo.reachable_nodes(view, file_node, (model.INCLUDES,),
+                                direction)
+
+
+def macro_impact(view: GraphView, macro_node: int,
+                 through_calls: bool = False) -> set[int]:
+    """Code potentially affected by changing a macro.
+
+    The direct impact is every entity with an ``expands_macro`` or
+    ``interrogates_macro`` edge to the macro; with
+    ``through_calls=True`` the impact is widened by the forward call
+    slice of each affected function ("How much code could be affected
+    if I change this macro?" — the paper's introduction).
+    """
+    direct: set[int] = set()
+    for edge_id in view.edges_of(macro_node, Direction.IN,
+                                 (model.EXPANDS_MACRO,
+                                  model.INTERROGATES_MACRO)):
+        direct.add(view.edge_source(edge_id))
+    if not through_calls:
+        return direct
+    widened = set(direct)
+    for node_id in direct:
+        if model.FUNCTION in view.node_labels(node_id):
+            widened |= forward_slice(view, node_id)
+    return widened
+
+
+def slice_size_by_depth(view: GraphView, seed: int,
+                        edge_types: Collection[str] = (model.CALLS,),
+                        direction: Direction = Direction.OUT,
+                        max_depth: int = 10) -> list[int]:
+    """Cumulative slice size at each depth (for impact profiling)."""
+    sizes = []
+    for depth in range(1, max_depth + 1):
+        sizes.append(len(algo.reachable_nodes(view, seed,
+                                              tuple(edge_types),
+                                              direction, depth)))
+        if len(sizes) > 1 and sizes[-1] == sizes[-2]:
+            break  # converged early
+    return sizes

@@ -1,0 +1,39 @@
+"""A Cypher query language engine for the property-graph substrate.
+
+Implements the dialect the paper's queries use (Figures 3–6, Table 6):
+
+* legacy ``START var=node:node_auto_index('lucene query')`` clauses,
+* ``MATCH`` with node labels, inline property maps, typed and
+  multi-typed relationships, direction arrows and variable-length
+  (``*``/``*min..max``) relationships,
+* ``WHERE`` with boolean/comparison expressions, property access and
+  *pattern predicates* (``... AND direct -[:calls*]-> writer``),
+* ``WITH`` / ``RETURN`` (optionally ``DISTINCT``) with aliases and
+  implicit-grouping aggregates, ``ORDER BY``, ``SKIP``, ``LIMIT``.
+
+Variable-length relationships use Cypher's real semantics — per-match
+relationship uniqueness and *path enumeration* — which is what makes
+the paper's Figure 6 transitive closure intractable in Cypher while
+the embedded traversal (:mod:`repro.graphdb.traversal`) answers the
+same question in linear time. The executor therefore supports a
+time budget (:class:`~repro.errors.QueryTimeoutError`), matching the
+paper's "aborted after 15 minutes" protocol.
+
+Quick start::
+
+    from repro.cypher import CypherEngine
+
+    engine = CypherEngine(graph)
+    result = engine.run(
+        "START n=node:node_auto_index('short_name: pci_read_bases') "
+        "MATCH n -[:calls*]-> m RETURN distinct m")
+    for row in result:
+        print(row["m"])
+"""
+
+from repro.cypher.engine import CypherEngine
+from repro.cypher.parser import parse
+from repro.cypher.result import EdgeRef, NodeRef, PathValue, Result
+
+__all__ = ["CypherEngine", "EdgeRef", "NodeRef", "PathValue", "Result",
+           "parse"]

@@ -1,0 +1,261 @@
+"""Abstract syntax for the Cypher dialect.
+
+The query is a sequence of clauses. Patterns are chains of node
+elements joined by relationship elements (Cypher 1.x allows bare
+identifiers as node elements, which the paper's Figure 5 uses:
+``writer -[write:writes_member]-> ({SHORT_NAME:'cmd'}) <-[:contains]- b``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+class Expr:
+    """Marker base class for expressions."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class Parameter(Expr):
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Variable(Expr):
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PropertyAccess(Expr):
+    subject: Expr
+    key: str  # normalized to lower case by the parser
+
+
+@dataclasses.dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # 'not' | '-'
+    operand: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # and or = <> < <= > >= + - * / % ^ =~
+    left: Expr
+    right: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str  # normalized to lower case
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    AGGREGATES = frozenset({"count", "collect", "sum", "min", "max", "avg"})
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in self.AGGREGATES
+
+
+@dataclasses.dataclass(frozen=True)
+class CountStar(Expr):
+    """``count(*)``."""
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternPredicate(Expr):
+    """A pattern used as a boolean (exists) inside WHERE."""
+
+    pattern: "Pattern"
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any sub-expression is an aggregate call."""
+    if isinstance(expr, CountStar):
+        return True
+    if isinstance(expr, FunctionCall):
+        return expr.is_aggregate or any(contains_aggregate(arg)
+                                        for arg in expr.args)
+    if isinstance(expr, Unary):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, Binary):
+        return (contains_aggregate(expr.left)
+                or contains_aggregate(expr.right))
+    if isinstance(expr, PropertyAccess):
+        return contains_aggregate(expr.subject)
+    return False
+
+
+# --------------------------------------------------------------------------
+# Patterns
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class NodePattern:
+    variable: Optional[str]
+    labels: tuple[str, ...] = ()
+    properties: tuple[tuple[str, Expr], ...] = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class RelPattern:
+    variable: Optional[str]
+    types: tuple[str, ...] = ()      # empty = any type
+    direction: str = "out"           # 'out' | 'in' | 'both'
+    properties: tuple[tuple[str, Expr], ...] = ()
+    var_length: bool = False
+    min_hops: int = 1
+    max_hops: Optional[int] = None   # None = unbounded
+
+
+@dataclasses.dataclass(frozen=True)
+class Pattern:
+    """nodes[0] -rels[0]- nodes[1] -rels[1]- ... -rels[n-1]- nodes[n].
+
+    ``path_variable`` binds the whole match as a path value
+    (``MATCH p = ...``); ``shortest`` is 'single' or 'all' for
+    ``shortestPath(...)`` / ``allShortestPaths(...)`` patterns.
+    """
+
+    nodes: tuple[NodePattern, ...]
+    rels: tuple[RelPattern, ...]
+    path_variable: Optional[str] = None
+    shortest: Optional[str] = None  # None | 'single' | 'all'
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != len(self.rels) + 1:
+            raise ValueError("pattern must alternate nodes and rels")
+
+    def variables(self) -> list[str]:
+        names = []
+        if self.path_variable:
+            names.append(self.path_variable)
+        for node in self.nodes:
+            if node.variable:
+                names.append(node.variable)
+        for rel in self.rels:
+            if rel.variable:
+                names.append(rel.variable)
+        return names
+
+
+# --------------------------------------------------------------------------
+# Clauses
+# --------------------------------------------------------------------------
+
+class Clause:
+    """Marker base class for clauses."""
+
+
+@dataclasses.dataclass(frozen=True)
+class IndexStartPoint:
+    variable: str
+    index_name: str
+    query: str
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeIdStartPoint:
+    variable: str
+    ids: tuple[int, ...]
+    all_nodes: bool = False
+
+
+StartPoint = IndexStartPoint | NodeIdStartPoint
+
+
+@dataclasses.dataclass(frozen=True)
+class Start(Clause):
+    points: tuple[StartPoint, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class Match(Clause):
+    patterns: tuple[Pattern, ...]
+    optional: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Where(Clause):
+    predicate: Expr
+
+
+@dataclasses.dataclass(frozen=True)
+class ReturnItem:
+    expression: Expr
+    alias: Optional[str] = None
+
+    def output_name(self, rendered: str) -> str:
+        return self.alias if self.alias else rendered
+
+
+@dataclasses.dataclass(frozen=True)
+class SortItem:
+    expression: Expr
+    ascending: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class With(Clause):
+    items: tuple[ReturnItem, ...]
+    distinct: bool = False
+    order_by: tuple[SortItem, ...] = ()
+    skip: Optional[Expr] = None
+    limit: Optional[Expr] = None
+    where: Optional[Expr] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Return(Clause):
+    items: tuple[ReturnItem, ...]
+    distinct: bool = False
+    order_by: tuple[SortItem, ...] = ()
+    skip: Optional[Expr] = None
+    limit: Optional[Expr] = None
+    star: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    clauses: tuple[Clause, ...]
+    text: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.clauses:
+            raise ValueError("query must have at least one clause")
+
+
+def render_expr(expr: Expr) -> str:
+    """Human-readable rendering, used for default column names."""
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, Parameter):
+        return f"${expr.name}"
+    if isinstance(expr, Variable):
+        return expr.name
+    if isinstance(expr, PropertyAccess):
+        return f"{render_expr(expr.subject)}.{expr.key}"
+    if isinstance(expr, Unary):
+        return f"{expr.op} {render_expr(expr.operand)}"
+    if isinstance(expr, Binary):
+        return (f"{render_expr(expr.left)} {expr.op} "
+                f"{render_expr(expr.right)}")
+    if isinstance(expr, CountStar):
+        return "count(*)"
+    if isinstance(expr, FunctionCall):
+        inner = ", ".join(render_expr(arg) for arg in expr.args)
+        distinct = "distinct " if expr.distinct else ""
+        return f"{expr.name}({distinct}{inner})"
+    if isinstance(expr, PatternPredicate):
+        return "<pattern>"
+    return "<expr>"

@@ -1,0 +1,71 @@
+"""The public query-engine facade.
+
+:class:`CypherEngine` binds a graph view, caches parsed queries, and
+runs them with an optional time budget — the budget is how the
+benchmark harness reproduces the paper's "aborted after 15 minutes"
+protocol for the Figure 6 comprehension query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.cypher import ast
+from repro.cypher.evaluator import ExecutionContext
+from repro.cypher.executor import execute
+from repro.cypher.parser import parse
+from repro.cypher.result import Result
+from repro.graphdb.view import GraphView
+
+
+class CypherEngine:
+    """Runs Cypher text against one graph view.
+
+    Parameters
+    ----------
+    view:
+        Any :class:`~repro.graphdb.view.GraphView` — the in-memory
+        graph or a page-cached disk store.
+    default_timeout:
+        Seconds allowed per query unless overridden in :meth:`run`;
+        ``None`` means unbounded.
+    """
+
+    def __init__(self, view: GraphView,
+                 default_timeout: float | None = None,
+                 use_index_seek: bool = True) -> None:
+        self.view = view
+        self.default_timeout = default_timeout
+        self.use_index_seek = use_index_seek
+        self._plan_cache: dict[str, ast.Query] = {}
+
+    def prepare(self, text: str) -> ast.Query:
+        """Parse (with caching) without executing."""
+        query = self._plan_cache.get(text)
+        if query is None:
+            query = parse(text)
+            self._plan_cache[text] = query
+        return query
+
+    def run(self, text: str,
+            parameters: Mapping[str, Any] | None = None,
+            timeout: float | None = None) -> Result:
+        """Execute Cypher text and materialize the result.
+
+        Raises :class:`~repro.errors.QueryTimeoutError` when the time
+        budget (``timeout`` or the engine default) is exceeded.
+        """
+        query = self.prepare(text)
+        budget = timeout if timeout is not None else self.default_timeout
+        ctx = ExecutionContext(self.view, parameters, budget,
+                               use_index_seek=self.use_index_seek)
+        return execute(query, ctx)
+
+    def explain(self, text: str) -> str:
+        """Describe the execution plan without running the query."""
+        from repro.cypher.explain import explain
+        return explain(self.prepare(text), self.view,
+                       self.use_index_seek)
+
+    def clear_cache(self) -> None:
+        self._plan_cache.clear()

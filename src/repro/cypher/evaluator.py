@@ -1,0 +1,309 @@
+"""Expression evaluation with Cypher's three-valued null semantics.
+
+``None`` plays SQL NULL's role: comparisons against it yield ``None``,
+``AND``/``OR`` follow Kleene logic, and ``WHERE`` keeps a row only when
+the predicate evaluates to exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+from repro.cypher import ast
+from repro.cypher.result import EdgeRef, NodeRef, PathValue
+from repro.errors import CypherSemanticError, QueryTimeoutError
+from repro.graphdb.view import GraphView
+
+
+class ExecutionContext:
+    """Shared per-query state: graph view, parameters, time budget."""
+
+    _CHECK_EVERY = 4096
+
+    def __init__(self, view: GraphView,
+                 parameters: Mapping[str, Any] | None = None,
+                 timeout: float | None = None,
+                 use_index_seek: bool = True) -> None:
+        self.view = view
+        self.parameters = dict(parameters or {})
+        self.timeout = timeout
+        #: planner switch: anchor MATCH patterns on auto-index seeks
+        #: when a node pattern carries an indexed property literal.
+        #: Disabled only by the E5 planner-ablation benchmark.
+        self.use_index_seek = use_index_seek
+        self.started = time.monotonic()
+        self.expansions = 0
+        # start one short of the check interval so the very first tick
+        # verifies the deadline — tiny budgets must fail promptly even
+        # on queries that never reach _CHECK_EVERY expansions
+        self._tick_counter = self._CHECK_EVERY - 1
+
+    def tick(self, count: int = 1) -> None:
+        """Account work; raise if the time budget is exhausted."""
+        self.expansions += count
+        self._tick_counter += count
+        if self.timeout is not None and \
+                self._tick_counter >= self._CHECK_EVERY:
+            self._tick_counter = 0
+            if time.monotonic() - self.started > self.timeout:
+                raise QueryTimeoutError(self.timeout)
+
+    def check_deadline(self) -> None:
+        if self.timeout is not None and \
+                time.monotonic() - self.started > self.timeout:
+            raise QueryTimeoutError(self.timeout)
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started
+
+
+def evaluate(expr: ast.Expr, row: Mapping[str, Any],
+             ctx: ExecutionContext) -> Any:
+    """Evaluate an expression against one row binding."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Parameter):
+        if expr.name not in ctx.parameters:
+            raise CypherSemanticError(f"missing parameter ${expr.name}")
+        return ctx.parameters[expr.name]
+    if isinstance(expr, ast.Variable):
+        if expr.name not in row:
+            raise CypherSemanticError(f"unknown variable {expr.name!r}")
+        return row[expr.name]
+    if isinstance(expr, ast.PropertyAccess):
+        return _property(evaluate(expr.subject, row, ctx), expr.key, ctx)
+    if isinstance(expr, ast.Unary):
+        return _unary(expr, row, ctx)
+    if isinstance(expr, ast.Binary):
+        return _binary(expr, row, ctx)
+    if isinstance(expr, ast.CountStar):
+        raise CypherSemanticError("count(*) outside RETURN/WITH")
+    if isinstance(expr, ast.FunctionCall):
+        if expr.is_aggregate:
+            raise CypherSemanticError(
+                f"aggregate {expr.name}() outside RETURN/WITH")
+        return _function(expr, row, ctx)
+    if isinstance(expr, ast.PatternPredicate):
+        # resolved lazily to avoid a circular import with the matcher
+        from repro.cypher.matcher import pattern_exists
+        return pattern_exists(expr.pattern, row, ctx)
+    raise CypherSemanticError(f"cannot evaluate {expr!r}")
+
+
+def _property(subject: Any, key: str, ctx: ExecutionContext) -> Any:
+    if subject is None:
+        return None
+    if isinstance(subject, NodeRef):
+        return ctx.view.node_property(subject.id, key)
+    if isinstance(subject, EdgeRef):
+        return ctx.view.edge_property(subject.id, key)
+    if isinstance(subject, Mapping):
+        return subject.get(key)
+    raise CypherSemanticError(
+        f"cannot read property {key!r} of {type(subject).__name__}")
+
+
+def _unary(expr: ast.Unary, row: Mapping[str, Any],
+           ctx: ExecutionContext) -> Any:
+    value = evaluate(expr.operand, row, ctx)
+    if expr.op == "not":
+        if value is None:
+            return None
+        return not _truthy(value)
+    if expr.op == "-":
+        if value is None:
+            return None
+        return -value
+    raise CypherSemanticError(f"unknown unary operator {expr.op!r}")
+
+
+def _binary(expr: ast.Binary, row: Mapping[str, Any],
+            ctx: ExecutionContext) -> Any:
+    op = expr.op
+    if op in ("and", "or", "xor"):
+        return _logical(op, expr, row, ctx)
+    left = evaluate(expr.left, row, ctx)
+    right = evaluate(expr.right, row, ctx)
+    if op == "=":
+        if left is None or right is None:
+            return None
+        return left == right
+    if op == "<>":
+        if left is None or right is None:
+            return None
+        return left != right
+    if op in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return None
+        if not _comparable(left, right):
+            return None  # Cypher: incomparable orderings yield null
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        return left >= right
+    if op == "=~":
+        import re
+        if left is None or right is None:
+            return None
+        return re.fullmatch(str(right), str(left)) is not None
+    if op == "in":
+        if right is None:
+            return None
+        if not isinstance(right, (list, tuple)):
+            raise CypherSemanticError("IN needs a list on the right")
+        if left is None:
+            return None
+        if left in right:
+            return True
+        # Cypher: unknown membership when the list contains nulls
+        return None if any(item is None for item in right) else False
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            if right == 0:
+                raise CypherSemanticError("integer division by zero")
+            return left // right if left * right >= 0 else -(-left // right)
+        return left / right
+    if op == "%":
+        return left % right
+    if op == "^":
+        return left ** right
+    raise CypherSemanticError(f"unknown operator {op!r}")
+
+
+def _logical(op: str, expr: ast.Binary, row: Mapping[str, Any],
+             ctx: ExecutionContext) -> Any:
+    left = evaluate(expr.left, row, ctx)
+    left = None if left is None else _truthy(left)
+    if op == "and":
+        if left is False:
+            return False
+        right = evaluate(expr.right, row, ctx)
+        right = None if right is None else _truthy(right)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "or":
+        if left is True:
+            return True
+        right = evaluate(expr.right, row, ctx)
+        right = None if right is None else _truthy(right)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    # xor
+    right = evaluate(expr.right, row, ctx)
+    right = None if right is None else _truthy(right)
+    if left is None or right is None:
+        return None
+    return left != right
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise CypherSemanticError(
+        f"expected a boolean, got {type(value).__name__}")
+
+
+def _comparable(left: Any, right: Any) -> bool:
+    numeric = (int, float)
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, numeric) and isinstance(right, numeric):
+        return True
+    return isinstance(left, str) and isinstance(right, str)
+
+
+def _function(expr: ast.FunctionCall, row: Mapping[str, Any],
+              ctx: ExecutionContext) -> Any:
+    args = [evaluate(arg, row, ctx) for arg in expr.args]
+    name = expr.name
+    if name == "id":
+        subject = args[0]
+        if subject is None:
+            return None
+        if isinstance(subject, (NodeRef, EdgeRef)):
+            return subject.id
+        raise CypherSemanticError("id() needs a node or relationship")
+    if name == "type":
+        subject = args[0]
+        if subject is None:
+            return None
+        if isinstance(subject, EdgeRef):
+            return ctx.view.edge_type(subject.id)
+        raise CypherSemanticError("type() needs a relationship")
+    if name == "labels":
+        subject = args[0]
+        if subject is None:
+            return None
+        if isinstance(subject, NodeRef):
+            return sorted(ctx.view.node_labels(subject.id))
+        raise CypherSemanticError("labels() needs a node")
+    if name == "isnull":
+        return args[0] is None
+    if name == "has":
+        return args[0] is not None
+    if name == "coalesce":
+        for value in args:
+            if value is not None:
+                return value
+        return None
+    if name in ("size", "length"):
+        subject = args[0]
+        if subject is None:
+            return None
+        return len(subject)  # PathValue.__len__ is the hop count
+    if name == "nodes":
+        subject = args[0]
+        if subject is None:
+            return None
+        if isinstance(subject, PathValue):
+            return list(subject.nodes)
+        raise CypherSemanticError("nodes() needs a path")
+    if name in ("relationships", "rels"):
+        subject = args[0]
+        if subject is None:
+            return None
+        if isinstance(subject, PathValue):
+            return list(subject.edges)
+        raise CypherSemanticError("relationships() needs a path")
+    if name == "startnode":
+        subject = args[0]
+        if isinstance(subject, PathValue):
+            return subject.start
+        raise CypherSemanticError("startNode() needs a path")
+    if name == "endnode":
+        subject = args[0]
+        if isinstance(subject, PathValue):
+            return subject.end
+        raise CypherSemanticError("endNode() needs a path")
+    if name == "abs":
+        return None if args[0] is None else abs(args[0])
+    if name == "tostring":
+        return None if args[0] is None else str(args[0])
+    if name == "toint":
+        return None if args[0] is None else int(args[0])
+    if name == "tolower":
+        return None if args[0] is None else str(args[0]).lower()
+    if name == "toupper":
+        return None if args[0] is None else str(args[0]).upper()
+    if name == "__list__":
+        return list(args)
+    raise CypherSemanticError(f"unknown function {name}()")

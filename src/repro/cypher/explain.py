@@ -1,0 +1,133 @@
+"""EXPLAIN: describe how a query would execute, without running it.
+
+The paper's Section 6.1 diagnosis ("suboptimal graph explorations
+being chosen by the Cypher query language") is exactly the kind of
+problem a plan description surfaces. :func:`explain` walks the parsed
+clauses and reports, per MATCH pattern, which node anchors the search
+and how its candidates are sourced (bound variable, auto-index seek,
+label scan, or an all-nodes scan), plus where variable-length
+expansions — the path-enumeration hazards — sit.
+"""
+
+from __future__ import annotations
+
+from repro.cypher import ast
+from repro.cypher.matcher import _pick_anchor, anchor_strategy
+from repro.cypher.parser import parse
+from repro.graphdb.view import GraphView
+
+
+def explain(text_or_query: str | ast.Query, view: GraphView,
+            use_index_seek: bool = True) -> str:
+    """A human-readable execution plan for a query."""
+    query = parse(text_or_query) if isinstance(text_or_query, str) \
+        else text_or_query
+    indexed_keys = tuple(getattr(view.indexes, "auto_index_keys", ()))
+    known: set[str] = set()
+    lines: list[str] = []
+    for clause in query.clauses:
+        if isinstance(clause, ast.Start):
+            for point in clause.points:
+                if isinstance(point, ast.IndexStartPoint):
+                    lines.append(f"START {point.variable}: index query "
+                                 f"{point.query!r}")
+                else:
+                    what = "all nodes" if point.all_nodes \
+                        else f"ids {list(point.ids)}"
+                    lines.append(f"START {point.variable}: {what}")
+                known.add(point.variable)
+        elif isinstance(clause, ast.Match):
+            keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
+            for pattern in clause.patterns:
+                lines.append(f"{keyword} {_describe_pattern(pattern)}")
+                if pattern.shortest:
+                    lines.append("  strategy: BFS shortest path "
+                                 f"({pattern.shortest})")
+                else:
+                    anchor = _pick_anchor_known(pattern, known)
+                    strategy, detail = anchor_strategy(
+                        pattern.nodes[anchor], known, indexed_keys,
+                        use_index_seek)
+                    suffix = f" on {detail}" if detail else ""
+                    lines.append(f"  anchor: node {anchor} via "
+                                 f"{strategy}{suffix}")
+                    for index, rel in enumerate(pattern.rels):
+                        if rel.var_length:
+                            bound = ("unbounded" if rel.max_hops is None
+                                     else f"max {rel.max_hops}")
+                            lines.append(
+                                f"  warning: rel {index} is "
+                                f"variable-length ({bound}) — path "
+                                f"enumeration may explode")
+                known.update(pattern.variables())
+        elif isinstance(clause, ast.Where):
+            predicates = _count_pattern_predicates(clause.predicate)
+            note = (f" ({predicates} pattern predicate"
+                    f"{'s' if predicates != 1 else ''})"
+                    if predicates else "")
+            lines.append(f"WHERE filter{note}")
+        elif isinstance(clause, ast.With):
+            lines.append(_describe_projection("WITH", clause.items,
+                                              clause.distinct))
+            known = {item.output_name(ast.render_expr(item.expression))
+                     for item in clause.items}
+        elif isinstance(clause, ast.Return):
+            lines.append(_describe_projection(
+                "RETURN", clause.items, clause.distinct, clause.star))
+    return "\n".join(lines)
+
+
+def _pick_anchor_known(pattern: ast.Pattern, known: set[str]) -> int:
+    """The matcher's anchor choice, evaluated against known variables."""
+    fake_row = {name: object() for name in known}
+    return _pick_anchor(pattern, fake_row)
+
+
+def _describe_pattern(pattern: ast.Pattern) -> str:
+    parts = []
+    if pattern.path_variable:
+        parts.append(f"{pattern.path_variable} = ")
+    for index, node in enumerate(pattern.nodes):
+        label = ":".join(node.labels)
+        name = node.variable or ""
+        inner = f"{name}{':' + label if label else ''}"
+        parts.append(f"({inner})")
+        if index < len(pattern.rels):
+            rel = pattern.rels[index]
+            types = "|".join(rel.types)
+            star = "*" if rel.var_length else ""
+            arrow_left = "<-" if rel.direction == "in" else "-"
+            arrow_right = "->" if rel.direction == "out" else "-"
+            rel_name = rel.variable or ""
+            body = f"[{rel_name}{':' + types if types else ''}{star}]"
+            parts.append(f"{arrow_left}{body}{arrow_right}")
+    return "".join(parts)
+
+
+def _describe_projection(keyword: str, items, distinct: bool,
+                         star: bool = False) -> str:
+    if star:
+        body = "*"
+    else:
+        body = ", ".join(ast.render_expr(item.expression)
+                         for item in items)
+    aggregated = any(ast.contains_aggregate(item.expression)
+                     for item in items)
+    notes = []
+    if distinct:
+        notes.append("distinct")
+    if aggregated:
+        notes.append("aggregate")
+    suffix = f" ({', '.join(notes)})" if notes else ""
+    return f"{keyword} {body}{suffix}"
+
+
+def _count_pattern_predicates(expr: ast.Expr) -> int:
+    if isinstance(expr, ast.PatternPredicate):
+        return 1
+    if isinstance(expr, ast.Unary):
+        return _count_pattern_predicates(expr.operand)
+    if isinstance(expr, ast.Binary):
+        return (_count_pattern_predicates(expr.left)
+                + _count_pattern_predicates(expr.right))
+    return 0

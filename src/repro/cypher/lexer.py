@@ -1,0 +1,109 @@
+"""Tokenizer for the Cypher dialect.
+
+Keywords are recognized case-insensitively at the parser level (they
+come out of the lexer as plain identifiers). Arrows are *not* fused
+here — ``-[``, ``]->`` and friends are assembled by the parser from
+punctuation tokens, which keeps the lexer free of the minus-sign
+ambiguity (``a - b`` vs ``a -[:t]-> b``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterator
+
+from repro.errors import CypherSyntaxError
+
+# token kinds
+IDENT = "ident"
+INT = "int"
+FLOAT = "float"
+STRING = "string"
+PUNCT = "punct"
+PARAM = "param"
+EOF = "eof"
+
+#: multi-char punctuation, longest first so the scanner is greedy.
+_PUNCTUATION = ("<=", ">=", "<>", "!=", "..", "=~",
+                "(", ")", "[", "]", "{", "}",
+                ",", ":", ".", "|", "*", "=", "<", ">", "+", "-", "/",
+                "%", "^", ";")
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*)
+  | (?P<float>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*|`[^`]+`)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCTUATION) + r""")
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "\\": "\\", "'": "'",
+            '"': '"', "0": "\0"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == IDENT and self.text.upper() == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def _unescape(text: str) -> str:
+    body = text[1:-1]
+
+    def replace(match: re.Match[str]) -> str:
+        char = match.group(1)
+        return _ESCAPES.get(char, char)
+
+    return re.sub(r"\\(.)", replace, body)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; a final EOF token carries the end position."""
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise CypherSyntaxError(
+                f"unexpected character {text[position]!r}",
+                line, position - line_start + 1)
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        column = position - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = lexeme.count("\n")
+            if newlines:
+                line += newlines
+                line_start = position + lexeme.rfind("\n") + 1
+        elif kind == FLOAT:
+            yield Token(FLOAT, lexeme, float(lexeme), line, column)
+        elif kind == INT:
+            yield Token(INT, lexeme, int(lexeme), line, column)
+        elif kind == STRING:
+            yield Token(STRING, lexeme, _unescape(lexeme), line, column)
+        elif kind == PARAM:
+            yield Token(PARAM, lexeme, lexeme[1:], line, column)
+        elif kind == IDENT:
+            name = lexeme[1:-1] if lexeme.startswith("`") else lexeme
+            yield Token(IDENT, name, name, line, column)
+        else:
+            yield Token(PUNCT, lexeme, lexeme, line, column)
+        position = match.end()
+    yield Token(EOF, "", None, line, position - line_start + 1)

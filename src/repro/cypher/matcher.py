@@ -1,0 +1,384 @@
+"""Pattern matching: the heart of MATCH and of pattern predicates.
+
+Semantics follow Cypher:
+
+* Within one ``MATCH`` clause, relationships are unique across the
+  whole clause (an edge is never bound twice in the same match row).
+* Variable-length relationships (``-[:t*]->``) *enumerate paths* with
+  per-path relationship uniqueness. This is deliberately not a
+  visited-set reachability search — path enumeration is what makes the
+  paper's Figure 6 transitive closure explode in Cypher while the
+  embedded traversal answers in linear time (paper Section 6.1), and
+  the reproduction keeps that behaviour honest.
+
+Matching works outward from an *anchor*: the first pattern node whose
+variable is already bound, else the most selective scannable node
+(label scan beats full scan). Each relationship step expands adjacency
+through the :class:`~repro.graphdb.view.GraphView`, so the same code
+path serves the in-memory graph and the page-cached disk store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Mapping
+
+from repro.cypher import ast
+from repro.cypher.evaluator import ExecutionContext, evaluate
+from repro.cypher.result import EdgeRef, NodeRef, PathValue
+from repro.errors import CypherSemanticError
+from repro.graphdb.view import Direction, other_end
+
+_DIRECTIONS = {"out": Direction.OUT, "in": Direction.IN,
+               "both": Direction.BOTH}
+
+
+@dataclasses.dataclass(frozen=True)
+class _Step:
+    """One relationship expansion, oriented away from the anchor."""
+
+    rel: ast.RelPattern
+    target: ast.NodePattern
+    source_index: int  # index into pattern.nodes of the bound side
+    rel_index: int     # index into pattern.rels
+    reversed: bool     # True when walking right-to-left
+
+    @property
+    def direction(self) -> Direction:
+        wanted = _DIRECTIONS[self.rel.direction]
+        return wanted.reverse() if self.reversed else wanted
+
+
+def match_clause(clause: ast.Match, rows: Iterator[Mapping[str, Any]],
+                 ctx: ExecutionContext) -> Iterator[dict[str, Any]]:
+    """Apply one MATCH clause to a stream of binding rows."""
+    new_variables = sorted({name for pattern in clause.patterns
+                            for name in pattern.variables()})
+    for row in rows:
+        produced = False
+        for result in _match_patterns(clause.patterns, 0, dict(row),
+                                      frozenset(), ctx):
+            produced = True
+            yield result
+        if clause.optional and not produced:
+            padded = dict(row)
+            for name in new_variables:
+                padded.setdefault(name, None)
+            yield padded
+
+
+def pattern_exists(pattern: ast.Pattern, row: Mapping[str, Any],
+                   ctx: ExecutionContext) -> bool:
+    """WHERE pattern predicate: does at least one match exist?"""
+    for _ in _match_patterns((pattern,), 0, dict(row), frozenset(), ctx):
+        return True
+    return False
+
+
+def _match_patterns(patterns: tuple[ast.Pattern, ...], index: int,
+                    row: dict[str, Any], used: frozenset[int],
+                    ctx: ExecutionContext) -> Iterator[dict[str, Any]]:
+    if index == len(patterns):
+        yield row
+        return
+    for new_row, new_used in _match_one(patterns[index], row, used, ctx):
+        yield from _match_patterns(patterns, index + 1, new_row, new_used,
+                                   ctx)
+
+
+def _match_one(pattern: ast.Pattern, row: dict[str, Any],
+               used: frozenset[int], ctx: ExecutionContext,
+               ) -> Iterator[tuple[dict[str, Any], frozenset[int]]]:
+    if pattern.shortest is not None:
+        yield from _match_shortest(pattern, row, used, ctx)
+        return
+    anchor = _pick_anchor(pattern, row)
+    steps = _build_steps(pattern, anchor)
+    track_path = pattern.path_variable is not None
+    for node_id in _anchor_candidates(pattern.nodes[anchor], row, ctx):
+        if not _node_ok(pattern.nodes[anchor], node_id, row, ctx):
+            continue
+        anchored = dict(row)
+        _bind_node(anchored, pattern.nodes[anchor], node_id)
+        bound = {anchor: node_id}
+        for match_row, match_used, final_bound, final_rels in _expand(
+                steps, 0, anchored, bound, used, ctx, {}):
+            if track_path:
+                match_row = dict(match_row)
+                match_row[pattern.path_variable] = _build_path(
+                    pattern, final_bound, final_rels, ctx)
+            yield match_row, match_used
+
+
+def _pick_anchor(pattern: ast.Pattern, row: Mapping[str, Any]) -> int:
+    for index, node in enumerate(pattern.nodes):
+        if node.variable and node.variable in row:
+            return index
+    for index, node in enumerate(pattern.nodes):
+        if node.labels:
+            return index
+    for index, node in enumerate(pattern.nodes):
+        if node.properties:
+            return index
+    return 0
+
+
+def _build_steps(pattern: ast.Pattern, anchor: int) -> list[_Step]:
+    steps = []
+    for index in range(anchor, len(pattern.rels)):
+        steps.append(_Step(pattern.rels[index], pattern.nodes[index + 1],
+                           source_index=index, rel_index=index,
+                           reversed=False))
+    for index in range(anchor - 1, -1, -1):
+        steps.append(_Step(pattern.rels[index], pattern.nodes[index],
+                           source_index=index + 1, rel_index=index,
+                           reversed=True))
+    return steps
+
+
+def anchor_strategy(node: ast.NodePattern, known_variables: set[str],
+                    indexed_keys: tuple[str, ...],
+                    use_index_seek: bool = True,
+                    ) -> tuple[str, str]:
+    """How the planner will source candidates for a pattern node.
+
+    Returns (strategy, detail); shared by the matcher and EXPLAIN so
+    the plan description can never drift from what actually runs.
+    Strategies: 'bound', 'index-seek', 'label-scan', 'all-nodes'.
+    """
+    if node.variable and node.variable in known_variables:
+        return "bound", node.variable
+    if use_index_seek and node.properties:
+        for key, expr in node.properties:
+            if key in indexed_keys and isinstance(expr, ast.Literal) \
+                    and expr.value is not None:
+                return "index-seek", f"{key} = {expr.value!r}"
+    if node.labels:
+        return "label-scan", node.labels[0]
+    return "all-nodes", ""
+
+
+def _anchor_candidates(node: ast.NodePattern, row: Mapping[str, Any],
+                       ctx: ExecutionContext) -> Iterator[int]:
+    indexed_keys = tuple(getattr(ctx.view.indexes, "auto_index_keys",
+                                 ()))
+    strategy, _detail = anchor_strategy(node, set(row), indexed_keys,
+                                        ctx.use_index_seek)
+    if strategy == "bound":
+        value = row[node.variable]  # type: ignore[index]
+        if value is None:
+            return
+        if not isinstance(value, NodeRef):
+            raise CypherSemanticError(
+                f"variable {node.variable!r} is not a node")
+        yield value.id
+        return
+    if strategy == "index-seek":
+        # a property literal on an auto-indexed key beats a label scan
+        for key, expr in node.properties:
+            if key in indexed_keys and isinstance(expr, ast.Literal) \
+                    and expr.value is not None:
+                yield from ctx.view.indexes.lookup(key, expr.value)
+                return
+    if strategy == "label-scan":
+        yield from ctx.view.nodes_with_label(node.labels[0])
+        return
+    yield from ctx.view.node_ids()
+
+
+def _expand(steps: list[_Step], step_index: int, row: dict[str, Any],
+            bound: dict[int, int], used: frozenset[int],
+            ctx: ExecutionContext, rel_values: dict[int, Any],
+            ) -> Iterator[tuple[dict[str, Any], frozenset[int],
+                                dict[int, int], dict[int, Any]]]:
+    if step_index == len(steps):
+        yield row, used, bound, rel_values
+        return
+    step = steps[step_index]
+    source = bound[step.source_index]
+    target_index = step.source_index + (-1 if step.reversed else 1)
+    if step.rel.var_length:
+        expansions = _expand_var_length(step, source, row, used, ctx)
+    else:
+        expansions = _expand_single(step, source, row, used, ctx)
+    for target_node, rel_value, edges in expansions:
+        if not _node_ok(step.target, target_node, row, ctx):
+            continue
+        # orient in pattern order: a reversed walk of a var-length
+        # relationship produced its edges back to front
+        if step.reversed and isinstance(rel_value, tuple):
+            oriented = tuple(reversed(rel_value))
+        else:
+            oriented = rel_value
+        new_row = dict(row)
+        _bind_node(new_row, step.target, target_node)
+        if step.rel.variable:
+            if step.rel.variable in row:
+                if row[step.rel.variable] != oriented:
+                    continue
+            else:
+                new_row[step.rel.variable] = oriented
+        new_bound = dict(bound)
+        new_bound[target_index] = target_node
+        new_rels = dict(rel_values)
+        new_rels[step.rel_index] = oriented
+        yield from _expand(steps, step_index + 1, new_row, new_bound,
+                           used | edges, ctx, new_rels)
+
+
+def _expand_single(step: _Step, source: int, row: Mapping[str, Any],
+                   used: frozenset[int], ctx: ExecutionContext,
+                   ) -> Iterator[tuple[int, Any, frozenset[int]]]:
+    types = step.rel.types or None
+    for edge_id in ctx.view.edges_of(source, step.direction, types):
+        ctx.tick()
+        if edge_id in used:
+            continue
+        if not _edge_props_ok(step.rel, edge_id, row, ctx):
+            continue
+        yield (other_end(ctx.view, edge_id, source), EdgeRef(edge_id),
+               frozenset((edge_id,)))
+
+
+def _expand_var_length(step: _Step, source: int, row: Mapping[str, Any],
+                       used: frozenset[int], ctx: ExecutionContext,
+                       ) -> Iterator[tuple[int, Any, frozenset[int]]]:
+    """Depth-first path enumeration with per-path edge uniqueness."""
+    rel = step.rel
+    types = rel.types or None
+    min_hops = rel.min_hops
+    max_hops = rel.max_hops
+    if min_hops == 0:
+        yield source, (), frozenset()
+    stack: list[tuple[int, tuple[int, ...]]] = [(source, ())]
+    while stack:
+        node_id, path_edges = stack.pop()
+        depth = len(path_edges)
+        if max_hops is not None and depth >= max_hops:
+            continue
+        for edge_id in ctx.view.edges_of(node_id, step.direction, types):
+            ctx.tick()
+            if edge_id in path_edges or edge_id in used:
+                continue
+            if not _edge_props_ok(rel, edge_id, row, ctx):
+                continue
+            neighbor = other_end(ctx.view, edge_id, node_id)
+            new_path = path_edges + (edge_id,)
+            if len(new_path) >= min_hops:
+                yield (neighbor,
+                       tuple(EdgeRef(edge) for edge in new_path),
+                       frozenset(new_path))
+            stack.append((neighbor, new_path))
+
+
+def _build_path(pattern: ast.Pattern, bound: dict[int, int],
+                rel_values: dict[int, Any],
+                ctx: ExecutionContext) -> PathValue:
+    """Assemble a PathValue in pattern order, expanding var-length
+    segments to include their intermediate nodes."""
+    nodes = [NodeRef(bound[0])]
+    edges: list[EdgeRef] = []
+    current = bound[0]
+    for rel_index in range(len(pattern.rels)):
+        value = rel_values.get(rel_index)
+        segment = value if isinstance(value, tuple) else \
+            (() if value is None else (value,))
+        for edge_ref in segment:
+            edges.append(edge_ref)
+            current = other_end(ctx.view, edge_ref.id, current)
+            nodes.append(NodeRef(current))
+        if not segment:
+            # zero-length var-length hop: endpoint equals start
+            current = bound[rel_index + 1]
+            if nodes[-1].id != current:
+                nodes.append(NodeRef(current))
+    return PathValue(tuple(nodes), tuple(edges))
+
+
+def _match_shortest(pattern: ast.Pattern, row: dict[str, Any],
+                    used: frozenset[int], ctx: ExecutionContext,
+                    ) -> Iterator[tuple[dict[str, Any], frozenset[int]]]:
+    """shortestPath()/allShortestPaths() over one var-length pattern.
+
+    Supported shape (the paper's Section 4.4 use case): two endpoint
+    nodes joined by a single variable-length relationship. BFS finds
+    the minimum-hop path(s) instead of enumerating all paths.
+    """
+    if len(pattern.rels) != 1 or not pattern.rels[0].var_length:
+        raise CypherSemanticError(
+            "shortestPath() supports (a)-[:t*]-(b) patterns")
+    rel = pattern.rels[0]
+    direction = _DIRECTIONS[rel.direction]
+    types = rel.types or None
+
+    def edge_ok(edge_id: int) -> bool:
+        if edge_id in used:
+            return False
+        return _edge_props_ok(rel, edge_id, row, ctx)
+
+    from repro.graphdb import algo
+    for source in _anchor_candidates(pattern.nodes[0], row, ctx):
+        if not _node_ok(pattern.nodes[0], source, row, ctx):
+            continue
+        for target in _anchor_candidates(pattern.nodes[1], row, ctx):
+            ctx.tick()
+            if not _node_ok(pattern.nodes[1], target, row, ctx):
+                continue
+            if pattern.shortest == "all":
+                found = algo.all_shortest_paths(
+                    ctx.view, source, target, types, direction,
+                    edge_filter=edge_ok)
+            else:
+                single = algo.shortest_path_with_edges(
+                    ctx.view, source, target, types, direction,
+                    edge_filter=edge_ok)
+                found = [single] if single is not None else []
+            for node_path, edge_path in found:
+                hops = len(edge_path)
+                if hops < rel.min_hops:
+                    continue
+                if rel.max_hops is not None and hops > rel.max_hops:
+                    continue
+                new_row = dict(row)
+                _bind_node(new_row, pattern.nodes[0], source)
+                _bind_node(new_row, pattern.nodes[1], target)
+                oriented = tuple(EdgeRef(edge) for edge in edge_path)
+                if rel.variable and rel.variable not in new_row:
+                    new_row[rel.variable] = oriented
+                if pattern.path_variable:
+                    new_row[pattern.path_variable] = PathValue(
+                        tuple(NodeRef(node) for node in node_path),
+                        oriented)
+                yield new_row, used | frozenset(edge_path)
+
+
+def _edge_props_ok(rel: ast.RelPattern, edge_id: int,
+                   row: Mapping[str, Any], ctx: ExecutionContext) -> bool:
+    for key, expr in rel.properties:
+        wanted = evaluate(expr, row, ctx)
+        if ctx.view.edge_property(edge_id, key) != wanted:
+            return False
+    return True
+
+
+def _node_ok(node: ast.NodePattern, node_id: int, row: Mapping[str, Any],
+             ctx: ExecutionContext) -> bool:
+    if node.variable and node.variable in row:
+        value = row[node.variable]
+        if not isinstance(value, NodeRef) or value.id != node_id:
+            return False
+    if node.labels:
+        labels = ctx.view.node_labels(node_id)
+        if not all(label in labels for label in node.labels):
+            return False
+    for key, expr in node.properties:
+        wanted = evaluate(expr, row, ctx)
+        if ctx.view.node_property(node_id, key) != wanted:
+            return False
+    return True
+
+
+def _bind_node(row: dict[str, Any], node: ast.NodePattern,
+               node_id: int) -> None:
+    if node.variable and node.variable not in row:
+        row[node.variable] = NodeRef(node_id)

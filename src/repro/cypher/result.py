@@ -1,0 +1,112 @@
+"""Query results and graph entity references.
+
+Rows hold :class:`NodeRef`/:class:`EdgeRef` wrappers rather than bare
+ints so that callers (and the executor's type checks) can tell a node
+apart from an integer property value.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator
+
+from repro.errors import QueryError
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeRef:
+    """Reference to a node in the queried graph."""
+
+    id: int
+
+    def __repr__(self) -> str:
+        return f"Node({self.id})"
+
+
+@dataclasses.dataclass(frozen=True)
+class EdgeRef:
+    """Reference to a relationship in the queried graph."""
+
+    id: int
+
+    def __repr__(self) -> str:
+        return f"Rel({self.id})"
+
+
+@dataclasses.dataclass(frozen=True)
+class PathValue:
+    """A bound path: alternating nodes and relationships.
+
+    ``len(path)`` is the hop count, matching Cypher's ``length()``.
+    """
+
+    nodes: tuple[NodeRef, ...]
+    edges: tuple[EdgeRef, ...]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    @property
+    def start(self) -> NodeRef:
+        return self.nodes[0]
+
+    @property
+    def end(self) -> NodeRef:
+        return self.nodes[-1]
+
+    def __repr__(self) -> str:
+        return f"Path({len(self.edges)} hops, {self.nodes[0]}" + \
+            (f"->{self.nodes[-1]})" if len(self.nodes) > 1 else ")")
+
+
+@dataclasses.dataclass
+class QueryStats:
+    """Execution counters, exposed for the benchmark harness."""
+
+    rows_produced: int = 0
+    expansions: int = 0
+    elapsed_seconds: float = 0.0
+
+
+class Result:
+    """Materialized query result: named columns and a list of rows."""
+
+    def __init__(self, columns: list[str], rows: list[tuple[Any, ...]],
+                 stats: QueryStats | None = None) -> None:
+        self.columns = columns
+        self.rows = rows
+        self.stats = stats or QueryStats(rows_produced=len(rows))
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for row in self.rows:
+            yield dict(zip(self.columns, row))
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def value(self, column: str | int = 0) -> Any:
+        """The single value of the first row (convenience accessor)."""
+        if not self.rows:
+            raise QueryError("result is empty")
+        index = column if isinstance(column, int) \
+            else self.columns.index(column)
+        return self.rows[0][index]
+
+    def values(self, column: str | int = 0) -> list[Any]:
+        """One column of all rows."""
+        index = column if isinstance(column, int) \
+            else self.columns.index(column)
+        return [row[index] for row in self.rows]
+
+    def single(self) -> dict[str, Any]:
+        """The only row, as a dict; raises unless exactly one row."""
+        if len(self.rows) != 1:
+            raise QueryError(
+                f"expected exactly one row, got {len(self.rows)}")
+        return dict(zip(self.columns, self.rows[0]))
+
+    def __repr__(self) -> str:
+        return f"Result(columns={self.columns}, rows={len(self.rows)})"

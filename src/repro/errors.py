@@ -1,0 +1,144 @@
+"""Exception hierarchy for the Frappé reproduction.
+
+Every error raised by the library derives from :class:`FrappeError` so
+callers can catch one base class at API boundaries. Subsystems define
+narrower classes here (rather than in their own modules) to avoid import
+cycles between the graph database, the query language and the front end.
+"""
+
+from __future__ import annotations
+
+
+class FrappeError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+# --------------------------------------------------------------------------
+# Graph database
+# --------------------------------------------------------------------------
+
+class GraphError(FrappeError):
+    """Base class for property-graph storage and access errors."""
+
+
+class NodeNotFoundError(GraphError):
+    """A node id did not resolve to a live node."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"no such node: {node_id}")
+        self.node_id = node_id
+
+
+class EdgeNotFoundError(GraphError):
+    """An edge id did not resolve to a live edge."""
+
+    def __init__(self, edge_id: int) -> None:
+        super().__init__(f"no such edge: {edge_id}")
+        self.edge_id = edge_id
+
+
+class PropertyTypeError(GraphError):
+    """A property value is not one of the supported storable types."""
+
+
+class IndexError_(GraphError):
+    """An index was queried or updated inconsistently."""
+
+
+class StoreError(GraphError):
+    """The on-disk store is missing, corrupt, or incompatible."""
+
+
+class StoreFormatError(StoreError):
+    """A store file failed validation (bad magic, version, or record)."""
+
+
+# --------------------------------------------------------------------------
+# Query languages
+# --------------------------------------------------------------------------
+
+class QueryError(FrappeError):
+    """Base class for query compilation and execution errors."""
+
+
+class CypherSyntaxError(QueryError):
+    """The Cypher text failed to lex or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class CypherSemanticError(QueryError):
+    """The Cypher query parsed but is not executable (unknown variable...)."""
+
+
+class QueryTimeoutError(QueryError):
+    """Query execution exceeded its configured time budget.
+
+    This mirrors the paper's Section 5.2 observation that the Figure 6
+    transitive-closure query "does not terminate within 15 minutes" — the
+    executor raises this instead of running forever.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"query aborted after {seconds:.3f}s time budget")
+        self.seconds = seconds
+
+
+class SqlError(QueryError):
+    """The mini-SQL text failed to parse or referred to unknown relations."""
+
+
+class LuceneQueryError(QueryError):
+    """A legacy `node_auto_index` query string failed to parse."""
+
+
+# --------------------------------------------------------------------------
+# C front end / build
+# --------------------------------------------------------------------------
+
+class FrontEndError(FrappeError):
+    """Base class for lexing/preprocessing/parsing/semantic errors."""
+
+    def __init__(self, message: str, filename: str = "", line: int = 0,
+                 column: int = 0) -> None:
+        location = f"{filename}:{line}:{column}: " if filename else ""
+        super().__init__(f"{location}{message}")
+        self.filename = filename
+        self.line = line
+        self.column = column
+
+
+class LexError(FrontEndError):
+    """Invalid character or malformed token in C source."""
+
+
+class PreprocessorError(FrontEndError):
+    """Invalid directive, missing include, or malformed macro."""
+
+
+class ParseError(FrontEndError):
+    """The C parser could not derive a valid construct."""
+
+
+class SemanticError(FrontEndError):
+    """Symbol resolution or type checking failed."""
+
+
+class LinkError(FrappeError):
+    """The linker simulator could not resolve or merge symbols."""
+
+
+class BuildError(FrappeError):
+    """A build description or compiler command line is invalid."""
+
+
+# --------------------------------------------------------------------------
+# Versioned store
+# --------------------------------------------------------------------------
+
+class VersionError(FrappeError):
+    """Unknown version id or inconsistent delta chain."""

@@ -1,0 +1,28 @@
+"""A from-scratch property-graph DBMS: the reproduction's Neo4j substrate.
+
+The package provides:
+
+* :class:`~repro.graphdb.graph.PropertyGraph` — the in-memory mutable
+  labeled property graph used while extracting a codebase.
+* :mod:`~repro.graphdb.indexes` — label, property and "lucene-style"
+  name auto-indexes (what the paper's ``node_auto_index`` resolves to).
+* :mod:`~repro.graphdb.storage` — a record-oriented on-disk store with a
+  page cache, mirroring Neo4j's node/relationship/property/string store
+  file decomposition (paper Table 4 measures these files directly).
+* :mod:`~repro.graphdb.traversal` — the embedded traversal framework the
+  paper uses to work around Cypher's transitive-closure performance
+  (Section 6.1).
+"""
+
+from repro.graphdb.graph import Direction, Edge, Node, PropertyGraph
+from repro.graphdb.indexes import IndexManager
+from repro.graphdb.view import GraphView
+
+__all__ = [
+    "Direction",
+    "Edge",
+    "GraphView",
+    "IndexManager",
+    "Node",
+    "PropertyGraph",
+]

@@ -1,0 +1,450 @@
+"""In-memory mutable labeled property graph.
+
+This is the build-side representation: the extractor and the workload
+generators populate a :class:`PropertyGraph`, which can then be queried
+directly or written to an on-disk store
+(:mod:`repro.graphdb.storage.store`) and re-opened as a page-cached
+read view.
+
+Adjacency is kept per node, grouped by edge type, in insertion order —
+the same access pattern Neo4j's relationship chains give you, and the
+one the type-filtered expansions in Cypher patterns (``-[:calls]->``)
+need to be cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Iterable, Iterator, Mapping
+
+from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
+from repro.graphdb import properties as props
+from repro.graphdb.indexes import IndexManager
+from repro.graphdb.view import Direction
+
+
+class Node:
+    """Lightweight handle to a node: a (graph, id) pair with accessors."""
+
+    __slots__ = ("graph", "id")
+
+    def __init__(self, graph: "PropertyGraph", node_id: int) -> None:
+        self.graph = graph
+        self.id = node_id
+
+    @property
+    def labels(self) -> frozenset[str]:
+        return self.graph.node_labels(self.id)
+
+    @property
+    def properties(self) -> dict[str, Any]:
+        return self.graph.node_properties(self.id)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.graph.node_property(self.id, key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        value = self.graph.node_property(self.id, key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Node) and other.graph is self.graph
+                and other.id == self.id)
+
+    def __hash__(self) -> int:
+        return hash((id(self.graph), self.id))
+
+    def __repr__(self) -> str:
+        labels = ":".join(sorted(self.labels))
+        return f"Node({self.id}:{labels})"
+
+
+class Edge:
+    """Lightweight handle to an edge."""
+
+    __slots__ = ("graph", "id")
+
+    def __init__(self, graph: "PropertyGraph", edge_id: int) -> None:
+        self.graph = graph
+        self.id = edge_id
+
+    @property
+    def source(self) -> int:
+        return self.graph.edge_source(self.id)
+
+    @property
+    def target(self) -> int:
+        return self.graph.edge_target(self.id)
+
+    @property
+    def type(self) -> str:
+        return self.graph.edge_type(self.id)
+
+    @property
+    def properties(self) -> dict[str, Any]:
+        return self.graph.edge_properties(self.id)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.graph.edge_property(self.id, key, default)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Edge) and other.graph is self.graph
+                and other.id == self.id)
+
+    def __hash__(self) -> int:
+        return hash((id(self.graph), self.id))
+
+    def __repr__(self) -> str:
+        return (f"Edge({self.source})-[{self.id}:{self.type}]->"
+                f"({self.target})")
+
+
+_MISSING = object()
+
+
+class PropertyGraph:
+    """Mutable labeled property multigraph with auto-maintained indexes.
+
+    Parameters
+    ----------
+    auto_index_keys:
+        Node property keys kept in the "lucene-style" auto index (what
+        legacy Cypher's ``node:node_auto_index('short_name: x')``
+        queries). Defaults to the Frappé model's name keys.
+    """
+
+    DEFAULT_AUTO_INDEX_KEYS = ("short_name", "name", "long_name", "type")
+
+    def __init__(self, auto_index_keys: Iterable[str] | None = None) -> None:
+        keys = tuple(auto_index_keys) if auto_index_keys is not None \
+            else self.DEFAULT_AUTO_INDEX_KEYS
+        self._next_node_id = 0
+        self._next_edge_id = 0
+        self._node_labels: dict[int, frozenset[str]] = {}
+        self._node_props: dict[int, dict[str, Any]] = {}
+        self._edge_src: dict[int, int] = {}
+        self._edge_dst: dict[int, int] = {}
+        self._edge_type: dict[int, str] = {}
+        self._edge_props: dict[int, dict[str, Any]] = {}
+        # adjacency: node id -> edge type -> list of edge ids
+        self._out: dict[int, dict[str, list[int]]] = {}
+        self._in: dict[int, dict[str, list[int]]] = {}
+        self._indexes = IndexManager(auto_index_keys=keys)
+
+    # -- mutation: nodes ----------------------------------------------------
+
+    def add_node(self, *labels: str,
+                 properties: Mapping[str, Any] | None = None,
+                 **props_kw: Any) -> int:
+        """Create a node; returns its id.
+
+        Labels may be passed positionally; properties either as the
+        ``properties`` mapping or as keyword arguments (not both for the
+        same key).
+        """
+        merged = props.validate_properties(properties)
+        for key, value in props.validate_properties(props_kw).items():
+            if key in merged:
+                raise GraphError(
+                    f"property {key!r} given both in mapping and keyword")
+            merged[key] = value
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        label_set = frozenset(labels)
+        self._node_labels[node_id] = label_set
+        self._node_props[node_id] = merged
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._indexes.on_node_added(node_id, label_set, merged)
+        return node_id
+
+    def add_node_with_id(self, node_id: int, labels: Iterable[str] = (),
+                         properties: Mapping[str, Any] | None = None,
+                         ) -> int:
+        """Create a node with a caller-chosen id.
+
+        Used when replaying deltas or materializing a disk store, where
+        identity must be preserved. The id must not be live.
+        """
+        if node_id in self._node_labels:
+            raise GraphError(f"node id {node_id} already exists")
+        merged = props.validate_properties(properties)
+        label_set = frozenset(labels)
+        self._node_labels[node_id] = label_set
+        self._node_props[node_id] = merged
+        self._out[node_id] = {}
+        self._in[node_id] = {}
+        self._next_node_id = max(self._next_node_id, node_id + 1)
+        self._indexes.on_node_added(node_id, label_set, merged)
+        return node_id
+
+    def add_edge_with_id(self, edge_id: int, source: int, target: int,
+                         edge_type: str,
+                         properties: Mapping[str, Any] | None = None,
+                         ) -> int:
+        """Create an edge with a caller-chosen id (see add_node_with_id)."""
+        if edge_id in self._edge_type:
+            raise GraphError(f"edge id {edge_id} already exists")
+        self._require_node(source)
+        self._require_node(target)
+        if not edge_type:
+            raise GraphError("edge type must be a non-empty string")
+        merged = props.validate_properties(properties)
+        self._edge_src[edge_id] = source
+        self._edge_dst[edge_id] = target
+        self._edge_type[edge_id] = edge_type
+        self._edge_props[edge_id] = merged
+        self._out[source].setdefault(edge_type, []).append(edge_id)
+        self._in[target].setdefault(edge_type, []).append(edge_id)
+        self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        return edge_id
+
+    def remove_node(self, node_id: int) -> None:
+        """Remove a node and all incident edges."""
+        self._require_node(node_id)
+        incident = [eid for by_type in self._out[node_id].values()
+                    for eid in by_type]
+        incident += [eid for by_type in self._in[node_id].values()
+                     for eid in by_type]
+        for edge_id in set(incident):
+            self.remove_edge(edge_id)
+        self._indexes.on_node_removed(node_id, self._node_labels[node_id],
+                                      self._node_props[node_id])
+        del self._node_labels[node_id]
+        del self._node_props[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    def set_node_property(self, node_id: int, key: str, value: Any) -> None:
+        self._require_node(node_id)
+        value = props.validate_value(key, value)
+        old = self._node_props[node_id].get(key, _MISSING)
+        self._node_props[node_id][key] = value
+        self._indexes.on_node_property_changed(
+            node_id, key, None if old is _MISSING else old, value)
+
+    def remove_node_property(self, node_id: int, key: str) -> None:
+        self._require_node(node_id)
+        old = self._node_props[node_id].pop(key, _MISSING)
+        if old is not _MISSING:
+            self._indexes.on_node_property_changed(node_id, key, old, None)
+
+    def add_label(self, node_id: int, label: str) -> None:
+        self._require_node(node_id)
+        labels = self._node_labels[node_id]
+        if label not in labels:
+            self._node_labels[node_id] = labels | {label}
+            self._indexes.on_label_added(node_id, label)
+
+    def remove_label(self, node_id: int, label: str) -> None:
+        self._require_node(node_id)
+        labels = self._node_labels[node_id]
+        if label in labels:
+            self._node_labels[node_id] = labels - {label}
+            self._indexes.on_label_removed(node_id, label)
+
+    # -- mutation: edges ----------------------------------------------------
+
+    def add_edge(self, source: int, target: int, edge_type: str,
+                 properties: Mapping[str, Any] | None = None,
+                 **props_kw: Any) -> int:
+        """Create a directed typed edge; returns its id."""
+        self._require_node(source)
+        self._require_node(target)
+        if not edge_type:
+            raise GraphError("edge type must be a non-empty string")
+        merged = props.validate_properties(properties)
+        for key, value in props.validate_properties(props_kw).items():
+            if key in merged:
+                raise GraphError(
+                    f"property {key!r} given both in mapping and keyword")
+            merged[key] = value
+        edge_id = self._next_edge_id
+        self._next_edge_id += 1
+        self._edge_src[edge_id] = source
+        self._edge_dst[edge_id] = target
+        self._edge_type[edge_id] = edge_type
+        self._edge_props[edge_id] = merged
+        self._out[source].setdefault(edge_type, []).append(edge_id)
+        self._in[target].setdefault(edge_type, []).append(edge_id)
+        return edge_id
+
+    def remove_edge(self, edge_id: int) -> None:
+        self._require_edge(edge_id)
+        source = self._edge_src.pop(edge_id)
+        target = self._edge_dst.pop(edge_id)
+        edge_type = self._edge_type.pop(edge_id)
+        del self._edge_props[edge_id]
+        self._out[source][edge_type].remove(edge_id)
+        if not self._out[source][edge_type]:
+            del self._out[source][edge_type]
+        self._in[target][edge_type].remove(edge_id)
+        if not self._in[target][edge_type]:
+            del self._in[target][edge_type]
+
+    def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
+        self._require_edge(edge_id)
+        self._edge_props[edge_id][key] = props.validate_value(key, value)
+
+    def remove_edge_property(self, edge_id: int, key: str) -> None:
+        self._require_edge(edge_id)
+        self._edge_props[edge_id].pop(key, None)
+
+    # -- GraphView: population ----------------------------------------------
+
+    def node_ids(self) -> Iterable[int]:
+        return self._node_labels.keys()
+
+    def edge_ids(self) -> Iterable[int]:
+        return self._edge_type.keys()
+
+    def node_count(self) -> int:
+        return len(self._node_labels)
+
+    def edge_count(self) -> int:
+        return len(self._edge_type)
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._node_labels
+
+    def has_edge(self, edge_id: int) -> bool:
+        return edge_id in self._edge_type
+
+    # -- GraphView: nodes -----------------------------------------------------
+
+    def node_labels(self, node_id: int) -> frozenset[str]:
+        self._require_node(node_id)
+        return self._node_labels[node_id]
+
+    def node_properties(self, node_id: int) -> dict[str, Any]:
+        self._require_node(node_id)
+        return dict(self._node_props[node_id])
+
+    def node_property(self, node_id: int, key: str, default: Any = None) -> Any:
+        self._require_node(node_id)
+        return self._node_props[node_id].get(key, default)
+
+    def nodes_with_label(self, label: str) -> Iterator[int]:
+        return self._indexes.label(label)
+
+    # -- GraphView: edges -----------------------------------------------------
+
+    def edge_source(self, edge_id: int) -> int:
+        self._require_edge(edge_id)
+        return self._edge_src[edge_id]
+
+    def edge_target(self, edge_id: int) -> int:
+        self._require_edge(edge_id)
+        return self._edge_dst[edge_id]
+
+    def edge_type(self, edge_id: int) -> str:
+        self._require_edge(edge_id)
+        return self._edge_type[edge_id]
+
+    def edge_properties(self, edge_id: int) -> dict[str, Any]:
+        self._require_edge(edge_id)
+        return dict(self._edge_props[edge_id])
+
+    def edge_property(self, edge_id: int, key: str, default: Any = None) -> Any:
+        self._require_edge(edge_id)
+        return self._edge_props[edge_id].get(key, default)
+
+    # -- GraphView: adjacency --------------------------------------------------
+
+    def edges_of(self, node_id: int,
+                 direction: Direction = Direction.BOTH,
+                 types: Collection[str] | None = None) -> Iterator[int]:
+        self._require_node(node_id)
+        if direction in (Direction.OUT, Direction.BOTH):
+            yield from self._iter_adjacency(self._out[node_id], types)
+        if direction in (Direction.IN, Direction.BOTH):
+            yield from self._iter_adjacency(self._in[node_id], types)
+
+    def degree(self, node_id: int,
+               direction: Direction = Direction.BOTH,
+               types: Collection[str] | None = None) -> int:
+        self._require_node(node_id)
+        total = 0
+        if direction in (Direction.OUT, Direction.BOTH):
+            total += self._count_adjacency(self._out[node_id], types)
+        if direction in (Direction.IN, Direction.BOTH):
+            total += self._count_adjacency(self._in[node_id], types)
+        return total
+
+    @property
+    def indexes(self) -> IndexManager:
+        return self._indexes
+
+    # -- handles & convenience ---------------------------------------------------
+
+    def node(self, node_id: int) -> Node:
+        self._require_node(node_id)
+        return Node(self, node_id)
+
+    def edge(self, edge_id: int) -> Edge:
+        self._require_edge(edge_id)
+        return Edge(self, edge_id)
+
+    def find_nodes(self, **property_filters: Any) -> Iterator[int]:
+        """Scan for nodes whose properties match all keyword filters."""
+        for node_id, node_props in self._node_props.items():
+            if all(node_props.get(key) == value
+                   for key, value in property_filters.items()):
+                yield node_id
+
+    def __len__(self) -> int:
+        return self.node_count()
+
+    def __repr__(self) -> str:
+        return (f"PropertyGraph(nodes={self.node_count()}, "
+                f"edges={self.edge_count()})")
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _iter_adjacency(by_type: dict[str, list[int]],
+                        types: Collection[str] | None) -> Iterator[int]:
+        if types is None:
+            for edge_list in by_type.values():
+                yield from edge_list
+        else:
+            for edge_type in types:
+                yield from by_type.get(edge_type, ())
+
+    @staticmethod
+    def _count_adjacency(by_type: dict[str, list[int]],
+                         types: Collection[str] | None) -> int:
+        if types is None:
+            return sum(len(edge_list) for edge_list in by_type.values())
+        return sum(len(by_type.get(edge_type, ())) for edge_type in types)
+
+    def _require_node(self, node_id: int) -> None:
+        if node_id not in self._node_labels:
+            raise NodeNotFoundError(node_id)
+
+    def _require_edge(self, edge_id: int) -> None:
+        if edge_id not in self._edge_type:
+            raise EdgeNotFoundError(edge_id)
+
+
+def clone_graph(view, auto_index_keys: Iterable[str] | None = None,
+                ) -> "PropertyGraph":
+    """Materialize any GraphView into a fresh PropertyGraph.
+
+    Node and edge ids are preserved, so cloning a disk store (or a
+    versioned checkout) yields an identical, mutable graph.
+    """
+    if auto_index_keys is None:
+        auto_index_keys = getattr(view.indexes, "auto_index_keys",
+                                  PropertyGraph.DEFAULT_AUTO_INDEX_KEYS)
+    clone = PropertyGraph(auto_index_keys=auto_index_keys)
+    for node_id in view.node_ids():
+        clone.add_node_with_id(node_id, view.node_labels(node_id),
+                               view.node_properties(node_id))
+    for edge_id in view.edge_ids():
+        clone.add_edge_with_id(edge_id, view.edge_source(edge_id),
+                               view.edge_target(edge_id),
+                               view.edge_type(edge_id),
+                               view.edge_properties(edge_id))
+    return clone

@@ -1,0 +1,165 @@
+"""Label, property and lucene-style auto indexes.
+
+Three index families back the query paths the paper exercises:
+
+* **Label index** — node ids per label; serves Cypher 2.x label scans
+  like ``MATCH (n:container:symbol ...)`` (paper Table 6).
+* **Auto index** — a term dictionary per configured node property key
+  (``short_name``, ``name``, ...), matching Neo4j 1.x's Lucene-backed
+  ``node_auto_index``. Legacy ``START n=node:node_auto_index('...')``
+  clauses evaluate here, including wildcard and fuzzy terms.
+* **Exact property index** — the same term dictionaries answer exact
+  ``lookup(key, value)`` probes used by planner seeks.
+
+The :class:`IndexManager` is maintained incrementally by
+:class:`~repro.graphdb.graph.PropertyGraph` mutation hooks and can also
+be rebuilt wholesale (used when a disk store is opened).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.graphdb import luceneql
+
+
+def _term(value: Any) -> str:
+    """Normalize a property value to an index term (lowercased string)."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value).lower()
+
+
+class IndexManager:
+    """Mutable index set over one graph's nodes.
+
+    The manager is deliberately value-based (it stores node ids, not
+    node handles) so the same class serves the in-memory graph and the
+    store-backed graph after a rebuild.
+    """
+
+    def __init__(self, auto_index_keys: Iterable[str] = ()) -> None:
+        self._auto_keys = tuple(key.lower() for key in auto_index_keys)
+        # label -> set of node ids
+        self._by_label: dict[str, set[int]] = {}
+        # key -> term -> set of node ids
+        self._by_term: dict[str, dict[str, set[int]]] = {
+            key: {} for key in self._auto_keys}
+        self._all_nodes: set[int] = set()
+
+    @property
+    def auto_index_keys(self) -> tuple[str, ...]:
+        return self._auto_keys
+
+    # -- maintenance hooks ---------------------------------------------------
+
+    def on_node_added(self, node_id: int, labels: frozenset[str],
+                      properties: dict[str, Any]) -> None:
+        self._all_nodes.add(node_id)
+        for label in labels:
+            self._by_label.setdefault(label, set()).add(node_id)
+        for key, value in properties.items():
+            self._index_term(node_id, key, value)
+
+    def on_node_removed(self, node_id: int, labels: frozenset[str],
+                        properties: dict[str, Any]) -> None:
+        self._all_nodes.discard(node_id)
+        for label in labels:
+            bucket = self._by_label.get(label)
+            if bucket is not None:
+                bucket.discard(node_id)
+                if not bucket:
+                    del self._by_label[label]
+        for key, value in properties.items():
+            self._unindex_term(node_id, key, value)
+
+    def on_node_property_changed(self, node_id: int, key: str,
+                                 old: Any, new: Any) -> None:
+        if old is not None:
+            self._unindex_term(node_id, key, old)
+        if new is not None:
+            self._index_term(node_id, key, new)
+
+    def on_label_added(self, node_id: int, label: str) -> None:
+        self._by_label.setdefault(label, set()).add(node_id)
+
+    def on_label_removed(self, node_id: int, label: str) -> None:
+        bucket = self._by_label.get(label)
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del self._by_label[label]
+
+    def rebuild(self, node_ids: Iterable[int],
+                labels_of, properties_of) -> None:
+        """Repopulate from scratch (used when opening a disk store)."""
+        self._by_label.clear()
+        for term_dict in self._by_term.values():
+            term_dict.clear()
+        self._all_nodes.clear()
+        for node_id in node_ids:
+            self.on_node_added(node_id, labels_of(node_id),
+                               properties_of(node_id))
+
+    # -- read side -------------------------------------------------------------
+
+    def label(self, label: str) -> Iterator[int]:
+        """Node ids carrying *label*, in ascending id order."""
+        return iter(sorted(self._by_label.get(label, ())))
+
+    def labels(self) -> Iterator[str]:
+        return iter(sorted(self._by_label))
+
+    def label_count(self, label: str) -> int:
+        return len(self._by_label.get(label, ()))
+
+    def lookup(self, key: str, value: Any) -> Iterator[int]:
+        """Exact-term probe on an auto-indexed key."""
+        term_dict = self._by_term.get(key.lower())
+        if term_dict is None:
+            return iter(())
+        return iter(sorted(term_dict.get(_term(value), ())))
+
+    def query(self, query_string: str) -> Iterator[int]:
+        """Evaluate a legacy lucene query string; yields node ids sorted."""
+        ast = luceneql.parse_query(query_string)
+        return iter(sorted(luceneql.evaluate(ast, self)))
+
+    # -- luceneql.TermSource ---------------------------------------------------
+
+    def all_ids(self) -> set[int]:
+        return set(self._all_nodes)
+
+    def terms(self, field: str) -> Iterable[str]:
+        return self._by_term.get(field.lower(), {}).keys()
+
+    def postings(self, field: str, term: str) -> set[int]:
+        return set(self._by_term.get(field.lower(), {}).get(term, ()))
+
+    def term_count(self, key: str) -> int:
+        """Number of distinct terms indexed under *key* (for stats)."""
+        return len(self._by_term.get(key.lower(), ()))
+
+    def estimated_entry_count(self) -> int:
+        """Total (term, node) postings across all keys (for Table 4)."""
+        return sum(len(ids) for term_dict in self._by_term.values()
+                   for ids in term_dict.values())
+
+    # -- internals ---------------------------------------------------------------
+
+    def _index_term(self, node_id: int, key: str, value: Any) -> None:
+        key = key.lower()
+        if key not in self._by_term:
+            return
+        self._by_term[key].setdefault(_term(value), set()).add(node_id)
+
+    def _unindex_term(self, node_id: int, key: str, value: Any) -> None:
+        key = key.lower()
+        term_dict = self._by_term.get(key)
+        if term_dict is None:
+            return
+        bucket = term_dict.get(_term(value))
+        if bucket is not None:
+            bucket.discard(node_id)
+            if not bucket:
+                del term_dict[_term(value)]

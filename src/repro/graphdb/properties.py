@@ -1,0 +1,111 @@
+"""Property value model for nodes and edges.
+
+The store supports the property types the paper's graph model needs
+(Table 2): strings, integers, floats, booleans, and homogeneous lists of
+those (``ARRAY_LENGTHS`` is an integer list). ``None`` is not a storable
+value — absence of a key *is* the null, exactly as in Neo4j.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import PropertyTypeError
+
+#: Python types storable as scalar property values.
+SCALAR_TYPES = (str, int, float, bool)
+
+PropertyValue = Any  # str | int | float | bool | list of those
+PropertyMap = Mapping[str, PropertyValue]
+
+
+def validate_value(key: str, value: PropertyValue) -> PropertyValue:
+    """Validate *value* as storable; return it unchanged.
+
+    Raises :class:`PropertyTypeError` for ``None``, unsupported types,
+    and heterogeneous or nested lists.
+    """
+    if isinstance(value, bool) or isinstance(value, SCALAR_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        items = list(value)
+        for item in items:
+            if not isinstance(item, SCALAR_TYPES):
+                raise PropertyTypeError(
+                    f"property {key!r}: list elements must be scalars, "
+                    f"got {type(item).__name__}")
+        if items:
+            first = _scalar_kind(items[0])
+            for item in items[1:]:
+                if _scalar_kind(item) is not first:
+                    raise PropertyTypeError(
+                        f"property {key!r}: list elements must share one "
+                        f"type, got {first.__name__} and "
+                        f"{type(item).__name__}")
+        return items
+    if value is None:
+        raise PropertyTypeError(
+            f"property {key!r}: None is not storable; delete the key "
+            f"instead")
+    raise PropertyTypeError(
+        f"property {key!r}: unsupported type {type(value).__name__}")
+
+
+def _scalar_kind(value: PropertyValue) -> type:
+    """Collapse a scalar to its storage kind (bool is not an int here)."""
+    if isinstance(value, bool):
+        return bool
+    for kind in (int, float, str):
+        if isinstance(value, kind):
+            return kind
+    raise PropertyTypeError(f"unsupported scalar {type(value).__name__}")
+
+
+def validate_properties(properties: PropertyMap | None) -> dict[str, Any]:
+    """Validate a whole property map, returning a fresh plain dict."""
+    if not properties:
+        return {}
+    validated = {}
+    for key, value in properties.items():
+        if not isinstance(key, str) or not key:
+            raise PropertyTypeError(
+                f"property keys must be non-empty strings, got {key!r}")
+        validated[key] = validate_value(key, value)
+    return validated
+
+
+def properties_equal(left: PropertyMap, right: PropertyMap) -> bool:
+    """Structural equality of two property maps (list order significant)."""
+    if set(left) != set(right):
+        return False
+    for key, value in left.items():
+        other = right[key]
+        if isinstance(value, (list, tuple)) or isinstance(other, (list, tuple)):
+            if list(value) != list(other):
+                return False
+        elif value != other or (isinstance(value, bool) is not
+                                isinstance(other, bool)):
+            return False
+    return True
+
+
+def estimate_value_bytes(value: PropertyValue) -> int:
+    """Rough in-memory footprint of a property value, for statistics."""
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, (list, tuple)):
+        return sum(estimate_value_bytes(item) for item in value) + 8
+    return 8
+
+
+def merge_properties(base: PropertyMap,
+                     updates: PropertyMap | None) -> dict[str, Any]:
+    """Return ``base`` overlaid with validated ``updates``."""
+    merged = dict(base)
+    merged.update(validate_properties(updates))
+    return merged
+
+
+def sorted_items(properties: PropertyMap) -> Iterable[tuple[str, Any]]:
+    """Deterministically ordered items, for stable serialization."""
+    return sorted(properties.items())

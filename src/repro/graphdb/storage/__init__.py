@@ -1,0 +1,14 @@
+"""Record-oriented on-disk store behind a page cache.
+
+The layout mirrors Neo4j's store decomposition, which is what paper
+Table 4 measures: separate files for node records, relationship
+records, property records, the string dictionary, and the indexes. All
+reads go through an LRU page cache plus a decoded-object cache (Neo4j
+2.x's file-buffer + object cache pair); evicting both is what "cold
+cache" means in the Table 5 benchmark protocol.
+"""
+
+from repro.graphdb.storage.pagecache import PageCache, PagedFile
+from repro.graphdb.storage.store import GraphStore, StoreGraph
+
+__all__ = ["GraphStore", "PageCache", "PagedFile", "StoreGraph"]

@@ -1,0 +1,715 @@
+"""Writing and opening the on-disk graph store.
+
+:func:`GraphStore.write` serializes a populated
+:class:`~repro.graphdb.graph.PropertyGraph` into a store directory whose
+file decomposition mirrors Neo4j's (this is what paper Table 4's
+per-category size breakdown measures):
+
+====================  =======================================  ==========
+file                  contents                                 Table 4 row
+====================  =======================================  ==========
+nodestore.db          fixed node records                       Nodes
+relationshipstore.db  fixed relationship records               Relationships
+adjacencystore.db     per-node, per-type edge-id groups        Relationships
+propertystore.db      property blocks                          Properties
+stringstore.db        interned strings and list blobs          Properties
+stringstore.offsets   flat u64 offset table                    Properties
+index.postings.db     auto-index and label postings            Indexes
+index.dict.json       term dictionaries (term -> postings)     Indexes
+metadata.json         tokens, labelsets, counts                (overhead)
+====================  =======================================  ==========
+
+:func:`GraphStore.open` returns a :class:`StoreGraph`: a read-only
+:class:`~repro.graphdb.view.GraphView` whose every record access goes
+through the shared page cache plus a decoded-object cache, so
+``StoreGraph.evict_caches()`` produces a genuine cold start for the
+Table 5 benchmark protocol.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from typing import Any, Collection, Iterable, Iterator
+
+from repro.errors import (EdgeNotFoundError, NodeNotFoundError, StoreError,
+                          StoreFormatError)
+from repro.graphdb import luceneql
+from repro.graphdb.storage import records
+from repro.graphdb.storage.pagecache import PageCache, PagedFile
+from repro.graphdb.view import Direction, GraphView
+
+MAGIC = "frappe-graph-store"
+FORMAT_VERSION = 2
+
+METADATA_FILE = "metadata.json"
+NODE_FILE = "nodestore.db"
+REL_FILE = "relationshipstore.db"
+ADJ_FILE = "adjacencystore.db"
+PROP_FILE = "propertystore.db"
+STRING_FILE = "stringstore.db"
+STRING_OFFSETS_FILE = "stringstore.offsets.db"
+INDEX_POSTINGS_FILE = "index.postings.db"
+INDEX_DICT_FILE = "index.dict.json"
+
+ALL_FILES = (METADATA_FILE, NODE_FILE, REL_FILE, ADJ_FILE, PROP_FILE,
+             STRING_FILE, STRING_OFFSETS_FILE, INDEX_POSTINGS_FILE,
+             INDEX_DICT_FILE)
+
+#: Table 4 category -> store files whose sizes sum into it.
+SIZE_CATEGORIES = {
+    "nodes": (NODE_FILE,),
+    "relationships": (REL_FILE, ADJ_FILE),
+    "properties": (PROP_FILE, STRING_FILE, STRING_OFFSETS_FILE),
+    "indexes": (INDEX_POSTINGS_FILE, INDEX_DICT_FILE),
+}
+
+
+class _TokenTable:
+    """String -> dense int token mapping, write side."""
+
+    def __init__(self) -> None:
+        self._tokens: dict[str, int] = {}
+
+    def token(self, text: str) -> int:
+        existing = self._tokens.get(text)
+        if existing is not None:
+            return existing
+        token = len(self._tokens)
+        self._tokens[text] = token
+        return token
+
+    def to_list(self) -> list[str]:
+        ordered = [""] * len(self._tokens)
+        for text, token in self._tokens.items():
+            ordered[token] = text
+        return ordered
+
+
+class _StringStoreWriter:
+    """Appends interned strings/blobs; produces the offsets table."""
+
+    def __init__(self, path: str) -> None:
+        self._handle = open(path, "wb")
+        self._offsets: list[int] = []
+        self._position = 0
+        self._interned: dict[bytes, int] = {}
+
+    def put_bytes(self, data: bytes) -> int:
+        existing = self._interned.get(data)
+        if existing is not None:
+            return existing
+        string_id = len(self._offsets)
+        run = records.encode_string_run(data)
+        self._handle.write(run)
+        self._offsets.append(self._position)
+        self._position += len(run)
+        self._interned[data] = string_id
+        return string_id
+
+    def put_string(self, text: str) -> int:
+        return self.put_bytes(text.encode("utf-8"))
+
+    def finish(self, offsets_path: str) -> None:
+        self._handle.close()
+        with open(offsets_path, "wb") as handle:
+            handle.write(struct.pack(f"<{len(self._offsets)}Q",
+                                     *self._offsets))
+
+
+class GraphStore:
+    """Namespace for store write/open/size operations."""
+
+    @staticmethod
+    def write(graph: GraphView, directory: str) -> dict[str, int]:
+        """Serialize *graph* into *directory*; returns the size breakdown.
+
+        The graph's node/edge ids become the store's record ids, so ids
+        are stable across a write/open round trip.
+        """
+        os.makedirs(directory, exist_ok=True)
+        key_tokens = _TokenTable()
+        type_tokens = _TokenTable()
+        label_tokens = _TokenTable()
+        labelsets: dict[frozenset[str], int] = {}
+        labelset_rows: list[list[int]] = []
+
+        strings = _StringStoreWriter(os.path.join(directory, STRING_FILE))
+
+        # property store ---------------------------------------------------
+        prop_path = os.path.join(directory, PROP_FILE)
+        prop_offsets_nodes: dict[int, int] = {}
+        prop_offsets_edges: dict[int, int] = {}
+        with open(prop_path, "wb") as prop_handle:
+            position = 0
+
+            def write_props(properties: dict[str, Any]) -> int:
+                nonlocal position
+                if not properties:
+                    return records.NO_OFFSET
+                entries = []
+                for key in sorted(properties):
+                    value = properties[key]
+                    key_token = key_tokens.token(key)
+                    tag, payload = _encode_value(value, strings)
+                    entries.append((key_token, tag, payload))
+                block = records.encode_property_block(entries)
+                offset = position
+                prop_handle.write(block)
+                position += len(block)
+                return offset
+
+            for node_id in graph.node_ids():
+                prop_offsets_nodes[node_id] = write_props(
+                    graph.node_properties(node_id))
+            for edge_id in graph.edge_ids():
+                prop_offsets_edges[edge_id] = write_props(
+                    graph.edge_properties(edge_id))
+
+        # adjacency store ----------------------------------------------------
+        adj_path = os.path.join(directory, ADJ_FILE)
+        adjacency: dict[int, tuple[int, int]] = {}
+        with open(adj_path, "wb") as adj_handle:
+            position = 0
+            for node_id in graph.node_ids():
+                out_groups = _group_edges(graph, node_id, Direction.OUT,
+                                          type_tokens)
+                in_groups = _group_edges(graph, node_id, Direction.IN,
+                                         type_tokens)
+                block = records.encode_adjacency(out_groups, in_groups)
+                adj_handle.write(block)
+                adjacency[node_id] = (position, len(block))
+                position += len(block)
+
+        # node store -----------------------------------------------------------
+        high_node = max(graph.node_ids(), default=-1) + 1
+        node_path = os.path.join(directory, NODE_FILE)
+        with open(node_path, "wb") as node_handle:
+            hole = records.encode_node(False, 0, records.NO_OFFSET, 0, 0)
+            for node_id in range(high_node):
+                if not graph.has_node(node_id):
+                    node_handle.write(hole)
+                    continue
+                labels = graph.node_labels(node_id)
+                labelset_id = labelsets.get(labels)
+                if labelset_id is None:
+                    labelset_id = len(labelset_rows)
+                    labelsets[labels] = labelset_id
+                    labelset_rows.append(
+                        sorted(label_tokens.token(lbl) for lbl in labels))
+                adj_offset, adj_length = adjacency[node_id]
+                node_handle.write(records.encode_node(
+                    True, labelset_id, prop_offsets_nodes[node_id],
+                    adj_offset, adj_length))
+
+        # relationship store -------------------------------------------------------
+        high_edge = max(graph.edge_ids(), default=-1) + 1
+        rel_path = os.path.join(directory, REL_FILE)
+        with open(rel_path, "wb") as rel_handle:
+            hole = records.encode_rel(False, 0, 0, 0, records.NO_OFFSET)
+            for edge_id in range(high_edge):
+                if not graph.has_edge(edge_id):
+                    rel_handle.write(hole)
+                    continue
+                rel_handle.write(records.encode_rel(
+                    True,
+                    type_tokens.token(graph.edge_type(edge_id)),
+                    graph.edge_source(edge_id),
+                    graph.edge_target(edge_id),
+                    prop_offsets_edges[edge_id]))
+
+        strings.finish(os.path.join(directory, STRING_OFFSETS_FILE))
+
+        # index files ------------------------------------------------------------
+        auto_keys = tuple(getattr(graph.indexes, "auto_index_keys", ()))
+        _write_index_files(graph, directory, auto_keys)
+
+        # metadata ------------------------------------------------------------------
+        metadata = {
+            "magic": MAGIC,
+            "version": FORMAT_VERSION,
+            "node_count": graph.node_count(),
+            "edge_count": graph.edge_count(),
+            "high_node_id": high_node,
+            "high_edge_id": high_edge,
+            "key_tokens": key_tokens.to_list(),
+            "type_tokens": type_tokens.to_list(),
+            "label_tokens": label_tokens.to_list(),
+            "labelsets": labelset_rows,
+            "auto_index_keys": list(auto_keys),
+        }
+        with open(os.path.join(directory, METADATA_FILE), "w",
+                  encoding="utf-8") as handle:
+            json.dump(metadata, handle)
+        return GraphStore.size_breakdown(directory)
+
+    @staticmethod
+    def open(directory: str,
+             page_cache: PageCache | None = None) -> "StoreGraph":
+        """Open a store directory as a read-only graph view."""
+        metadata_path = os.path.join(directory, METADATA_FILE)
+        if not os.path.exists(metadata_path):
+            raise StoreError(f"not a graph store: {directory!r}")
+        with open(metadata_path, encoding="utf-8") as handle:
+            metadata = json.load(handle)
+        if metadata.get("magic") != MAGIC:
+            raise StoreFormatError(f"bad magic in {metadata_path!r}")
+        if metadata.get("version") != FORMAT_VERSION:
+            raise StoreFormatError(
+                f"store version {metadata.get('version')} unsupported "
+                f"(expected {FORMAT_VERSION})")
+        return StoreGraph(directory, metadata,
+                          page_cache or PageCache())
+
+    @staticmethod
+    def size_breakdown(directory: str) -> dict[str, int]:
+        """Per-category byte sizes (the Table 4 rows) plus ``total``."""
+        breakdown = {}
+        for category, files in SIZE_CATEGORIES.items():
+            breakdown[category] = sum(
+                os.path.getsize(os.path.join(directory, name))
+                for name in files if os.path.exists(
+                    os.path.join(directory, name)))
+        breakdown["total"] = sum(
+            os.path.getsize(os.path.join(directory, name))
+            for name in ALL_FILES
+            if os.path.exists(os.path.join(directory, name)))
+        return breakdown
+
+
+def _group_edges(graph: GraphView, node_id: int, direction: Direction,
+                 type_tokens: _TokenTable) -> list[tuple[int, list[int]]]:
+    groups: dict[int, list[int]] = {}
+    for edge_id in graph.edges_of(node_id, direction):
+        token = type_tokens.token(graph.edge_type(edge_id))
+        groups.setdefault(token, []).append(edge_id)
+    return sorted(groups.items())
+
+
+def _encode_value(value: Any,
+                  strings: _StringStoreWriter) -> tuple[int, int]:
+    if isinstance(value, bool):
+        return records.TAG_BOOL, 1 if value else 0
+    if isinstance(value, int):
+        if records.fits_inline_int(value):
+            return records.TAG_INT, records.pack_int(value)
+        return records.TAG_BIGINT, strings.put_string(str(value))
+    if isinstance(value, float):
+        return records.TAG_FLOAT, records.pack_float(value)
+    if isinstance(value, str):
+        return records.TAG_STRING, strings.put_string(value)
+    if isinstance(value, (list, tuple)):
+        return records.TAG_LIST, strings.put_bytes(
+            records.encode_list_blob(list(value)))
+    raise StoreFormatError(f"unstorable property value {value!r}")
+
+
+def _write_index_files(graph: GraphView, directory: str,
+                       auto_keys: tuple[str, ...]) -> None:
+    """Serialize auto-index and label postings.
+
+    Dictionary (term -> postings offset/count) goes to JSON and is
+    loaded eagerly at open; the postings themselves are read through
+    the page cache, so cold index lookups fault pages like Lucene
+    segment reads would.
+    """
+    postings_path = os.path.join(directory, INDEX_POSTINGS_FILE)
+    dictionary: dict[str, Any] = {"auto": {}, "labels": {}}
+    with open(postings_path, "wb") as handle:
+        position = 0
+
+        def write_postings(ids: list[int]) -> tuple[int, int]:
+            nonlocal position
+            ids = sorted(ids)
+            handle.write(struct.pack(f"<{len(ids)}Q", *ids))
+            entry = (position, len(ids))
+            position += 8 * len(ids)
+            return entry
+
+        auto_terms: dict[str, dict[str, list[int]]] = {
+            key: {} for key in auto_keys}
+        labels: dict[str, list[int]] = {}
+        for node_id in graph.node_ids():
+            for label in graph.node_labels(node_id):
+                labels.setdefault(label, []).append(node_id)
+            properties = graph.node_properties(node_id)
+            for key in auto_keys:
+                value = properties.get(key)
+                if value is None:
+                    continue
+                term = _index_term(value)
+                auto_terms[key].setdefault(term, []).append(node_id)
+        for key, term_dict in auto_terms.items():
+            dictionary["auto"][key] = {
+                term: write_postings(ids)
+                for term, ids in sorted(term_dict.items())}
+        dictionary["labels"] = {
+            label: write_postings(ids)
+            for label, ids in sorted(labels.items())}
+    with open(os.path.join(directory, INDEX_DICT_FILE), "w",
+              encoding="utf-8") as handle:
+        json.dump(dictionary, handle)
+
+
+def _index_term(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value).lower()
+
+
+class StoreIndexes:
+    """Disk-backed index reader (implements the IndexReader protocol)."""
+
+    def __init__(self, dictionary: dict[str, Any],
+                 postings: PagedFile, node_universe_size: int) -> None:
+        self._auto: dict[str, dict[str, tuple[int, int]]] = {
+            key: {term: tuple(entry) for term, entry in terms.items()}
+            for key, terms in dictionary.get("auto", {}).items()}
+        self._labels: dict[str, tuple[int, int]] = {
+            label: tuple(entry)
+            for label, entry in dictionary.get("labels", {}).items()}
+        self._postings = postings
+        self._universe_size = node_universe_size
+        self._all_ids_cache: set[int] | None = None
+
+    @property
+    def auto_index_keys(self) -> tuple[str, ...]:
+        return tuple(self._auto)
+
+    def lookup(self, key: str, value: Any) -> Iterator[int]:
+        entry = self._auto.get(key.lower(), {}).get(_index_term(value))
+        if entry is None:
+            return iter(())
+        return iter(self._read_postings(entry))
+
+    def query(self, query_string: str) -> Iterator[int]:
+        ast = luceneql.parse_query(query_string)
+        return iter(sorted(luceneql.evaluate(ast, self)))
+
+    def label(self, label: str) -> Iterator[int]:
+        entry = self._labels.get(label)
+        if entry is None:
+            return iter(())
+        return iter(self._read_postings(entry))
+
+    def label_count(self, label: str) -> int:
+        entry = self._labels.get(label)
+        return entry[1] if entry else 0
+
+    def labels(self) -> Iterator[str]:
+        return iter(sorted(self._labels))
+
+    # -- luceneql.TermSource -------------------------------------------------
+
+    def all_ids(self) -> set[int]:
+        if self._all_ids_cache is None:
+            ids: set[int] = set()
+            for entry in self._labels.values():
+                ids.update(self._read_postings(entry))
+            self._all_ids_cache = ids
+        return set(self._all_ids_cache)
+
+    def terms(self, field: str) -> Iterable[str]:
+        return self._auto.get(field.lower(), {}).keys()
+
+    def postings(self, field: str, term: str) -> set[int]:
+        entry = self._auto.get(field.lower(), {}).get(term)
+        if entry is None:
+            return set()
+        return set(self._read_postings(entry))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _read_postings(self, entry: tuple[int, int]) -> tuple[int, ...]:
+        offset, count = entry
+        if not count:
+            return ()
+        raw = self._postings.read(offset, 8 * count)
+        return struct.unpack(f"<{count}Q", raw)
+
+
+class StoreGraph:
+    """Read-only :class:`GraphView` over a store directory.
+
+    Two cache layers sit between queries and the files:
+
+    * the shared :class:`PageCache` (raw 8 KiB pages), and
+    * per-record decoded-object caches (Neo4j 2.x's "object cache").
+
+    :meth:`evict_caches` clears both, which is the cold-cache lever the
+    Table 5 protocol pulls between runs.
+    """
+
+    def __init__(self, directory: str, metadata: dict[str, Any],
+                 page_cache: PageCache) -> None:
+        self.directory = directory
+        self.page_cache = page_cache
+        self._node_count = metadata["node_count"]
+        self._edge_count = metadata["edge_count"]
+        self._high_node = metadata["high_node_id"]
+        self._high_edge = metadata["high_edge_id"]
+        self._key_tokens: list[str] = metadata["key_tokens"]
+        self._type_tokens: list[str] = metadata["type_tokens"]
+        self._label_tokens: list[str] = metadata["label_tokens"]
+        self._labelsets = [
+            frozenset(self._label_tokens[token] for token in row)
+            for row in metadata["labelsets"]]
+        self._type_token_by_name = {
+            name: token for token, name in enumerate(self._type_tokens)}
+
+        def paged(name: str) -> PagedFile:
+            return PagedFile(os.path.join(directory, name), page_cache)
+
+        self._nodes = paged(NODE_FILE)
+        self._rels = paged(REL_FILE)
+        self._adj = paged(ADJ_FILE)
+        self._props = paged(PROP_FILE)
+        self._strings = paged(STRING_FILE)
+        with open(os.path.join(directory, STRING_OFFSETS_FILE),
+                  "rb") as handle:
+            raw = handle.read()
+        self._string_offsets = struct.unpack(f"<{len(raw) // 8}Q", raw)
+        with open(os.path.join(directory, INDEX_DICT_FILE),
+                  encoding="utf-8") as handle:
+            dictionary = json.load(handle)
+        self._indexes = StoreIndexes(dictionary, paged(INDEX_POSTINGS_FILE),
+                                     self._node_count)
+        # decoded-object caches
+        self._node_cache: dict[int, tuple[bool, int, int, int, int]] = {}
+        self._rel_cache: dict[int, tuple[bool, int, int, int, int]] = {}
+        self._adj_cache: dict[int, tuple[Any, Any]] = {}
+        self._node_prop_cache: dict[int, dict[str, Any]] = {}
+        self._edge_prop_cache: dict[int, dict[str, Any]] = {}
+
+    # -- cache control ----------------------------------------------------------
+
+    def evict_caches(self) -> None:
+        """Drop pages and decoded objects: the next access is cold."""
+        self.page_cache.clear()
+        self._node_cache.clear()
+        self._rel_cache.clear()
+        self._adj_cache.clear()
+        self._node_prop_cache.clear()
+        self._edge_prop_cache.clear()
+
+    def close(self) -> None:
+        for paged_file in (self._nodes, self._rels, self._adj, self._props,
+                           self._strings, self._indexes._postings):
+            paged_file.close()
+
+    def __enter__(self) -> "StoreGraph":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- GraphView: population ----------------------------------------------------
+
+    def node_ids(self) -> Iterable[int]:
+        for node_id in range(self._high_node):
+            if self._node_record(node_id)[0]:
+                yield node_id
+
+    def edge_ids(self) -> Iterable[int]:
+        for edge_id in range(self._high_edge):
+            if self._rel_record(edge_id)[0]:
+                yield edge_id
+
+    def node_count(self) -> int:
+        return self._node_count
+
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def has_node(self, node_id: int) -> bool:
+        if not 0 <= node_id < self._high_node:
+            return False
+        return self._node_record(node_id)[0]
+
+    def has_edge(self, edge_id: int) -> bool:
+        if not 0 <= edge_id < self._high_edge:
+            return False
+        return self._rel_record(edge_id)[0]
+
+    # -- GraphView: nodes -----------------------------------------------------------
+
+    def node_labels(self, node_id: int) -> frozenset[str]:
+        record = self._live_node(node_id)
+        return self._labelsets[record[1]]
+
+    def node_properties(self, node_id: int) -> dict[str, Any]:
+        cached = self._node_prop_cache.get(node_id)
+        if cached is None:
+            record = self._live_node(node_id)
+            cached = self._read_props(self._props, record[2])
+            self._node_prop_cache[node_id] = cached
+        return dict(cached)
+
+    def node_property(self, node_id: int, key: str,
+                      default: Any = None) -> Any:
+        cached = self._node_prop_cache.get(node_id)
+        if cached is None:
+            record = self._live_node(node_id)
+            cached = self._read_props(self._props, record[2])
+            self._node_prop_cache[node_id] = cached
+        return cached.get(key, default)
+
+    def nodes_with_label(self, label: str) -> Iterator[int]:
+        return self._indexes.label(label)
+
+    # -- GraphView: edges -------------------------------------------------------------
+
+    def edge_source(self, edge_id: int) -> int:
+        return self._live_rel(edge_id)[2]
+
+    def edge_target(self, edge_id: int) -> int:
+        return self._live_rel(edge_id)[3]
+
+    def edge_type(self, edge_id: int) -> str:
+        return self._type_tokens[self._live_rel(edge_id)[1]]
+
+    def edge_properties(self, edge_id: int) -> dict[str, Any]:
+        cached = self._edge_prop_cache.get(edge_id)
+        if cached is None:
+            record = self._live_rel(edge_id)
+            cached = self._read_props(self._props, record[4])
+            self._edge_prop_cache[edge_id] = cached
+        return dict(cached)
+
+    def edge_property(self, edge_id: int, key: str,
+                      default: Any = None) -> Any:
+        cached = self._edge_prop_cache.get(edge_id)
+        if cached is None:
+            record = self._live_rel(edge_id)
+            cached = self._read_props(self._props, record[4])
+            self._edge_prop_cache[edge_id] = cached
+        return cached.get(key, default)
+
+    # -- GraphView: adjacency ------------------------------------------------------------
+
+    def edges_of(self, node_id: int,
+                 direction: Direction = Direction.BOTH,
+                 types: Collection[str] | None = None) -> Iterator[int]:
+        out_groups, in_groups = self._adjacency(node_id)
+        wanted = None
+        if types is not None:
+            wanted = {self._type_token_by_name[name] for name in types
+                      if name in self._type_token_by_name}
+        if direction in (Direction.OUT, Direction.BOTH):
+            for token, edge_ids in out_groups:
+                if wanted is None or token in wanted:
+                    yield from edge_ids
+        if direction in (Direction.IN, Direction.BOTH):
+            for token, edge_ids in in_groups:
+                if wanted is None or token in wanted:
+                    yield from edge_ids
+
+    def degree(self, node_id: int,
+               direction: Direction = Direction.BOTH,
+               types: Collection[str] | None = None) -> int:
+        out_groups, in_groups = self._adjacency(node_id)
+        wanted = None
+        if types is not None:
+            wanted = {self._type_token_by_name[name] for name in types
+                      if name in self._type_token_by_name}
+        total = 0
+        if direction in (Direction.OUT, Direction.BOTH):
+            total += sum(len(edge_ids) for token, edge_ids in out_groups
+                         if wanted is None or token in wanted)
+        if direction in (Direction.IN, Direction.BOTH):
+            total += sum(len(edge_ids) for token, edge_ids in in_groups
+                         if wanted is None or token in wanted)
+        return total
+
+    @property
+    def indexes(self) -> StoreIndexes:
+        return self._indexes
+
+    def __repr__(self) -> str:
+        return (f"StoreGraph({self.directory!r}, nodes={self._node_count}, "
+                f"edges={self._edge_count})")
+
+    # -- internals -------------------------------------------------------------------
+
+    def _node_record(self, node_id: int) -> tuple[bool, int, int, int, int]:
+        cached = self._node_cache.get(node_id)
+        if cached is None:
+            raw = self._nodes.read(node_id * records.NODE_RECORD_SIZE,
+                                   records.NODE_RECORD_SIZE)
+            cached = records.decode_node(raw)
+            self._node_cache[node_id] = cached
+        return cached
+
+    def _rel_record(self, edge_id: int) -> tuple[bool, int, int, int, int]:
+        cached = self._rel_cache.get(edge_id)
+        if cached is None:
+            raw = self._rels.read(edge_id * records.REL_RECORD_SIZE,
+                                  records.REL_RECORD_SIZE)
+            cached = records.decode_rel(raw)
+            self._rel_cache[edge_id] = cached
+        return cached
+
+    def _live_node(self, node_id: int) -> tuple[bool, int, int, int, int]:
+        if not 0 <= node_id < self._high_node:
+            raise NodeNotFoundError(node_id)
+        record = self._node_record(node_id)
+        if not record[0]:
+            raise NodeNotFoundError(node_id)
+        return record
+
+    def _live_rel(self, edge_id: int) -> tuple[bool, int, int, int, int]:
+        if not 0 <= edge_id < self._high_edge:
+            raise EdgeNotFoundError(edge_id)
+        record = self._rel_record(edge_id)
+        if not record[0]:
+            raise EdgeNotFoundError(edge_id)
+        return record
+
+    def _adjacency(self, node_id: int) -> tuple[Any, Any]:
+        cached = self._adj_cache.get(node_id)
+        if cached is None:
+            record = self._live_node(node_id)
+            block = self._adj.read(record[3], record[4])
+            cached = records.decode_adjacency(block)
+            self._adj_cache[node_id] = cached
+        return cached
+
+    def _read_props(self, paged: PagedFile, offset: int) -> dict[str, Any]:
+        if offset == records.NO_OFFSET:
+            return {}
+        header = paged.read(offset, min(2, paged.size - offset))
+        count = records.decode_property_block_header(
+            header.ljust(2, b"\x00"))
+        block = paged.read(offset, records.property_block_size(count))
+        properties = {}
+        for key_token, tag, payload in records.decode_property_entries(
+                block, count):
+            properties[self._key_tokens[key_token]] = \
+                self._decode_value(tag, payload)
+        return properties
+
+    def _decode_value(self, tag: int, payload: int) -> Any:
+        if tag == records.TAG_INT:
+            return records.unpack_int(payload)
+        if tag == records.TAG_FLOAT:
+            return records.unpack_float(payload)
+        if tag == records.TAG_BOOL:
+            return bool(payload)
+        if tag == records.TAG_STRING:
+            return self._read_string(payload).decode("utf-8")
+        if tag == records.TAG_LIST:
+            return records.decode_list_blob(self._read_string(payload))
+        if tag == records.TAG_BIGINT:
+            return int(self._read_string(payload).decode("ascii"))
+        raise StoreFormatError(f"unknown property tag {tag}")
+
+    def _read_string(self, string_id: int) -> bytes:
+        if not 0 <= string_id < len(self._string_offsets):
+            raise StoreFormatError(f"bad string id {string_id}")
+        offset = self._string_offsets[string_id]
+        header = self._strings.read(offset, 4)
+        length = records.decode_string_run_length(header)
+        if not length:
+            return b""
+        return self._strings.read(offset + 4, length)

@@ -1,0 +1,145 @@
+"""The read-only graph protocol shared by memory- and disk-backed graphs.
+
+Both :class:`repro.graphdb.graph.PropertyGraph` (in-memory, mutable) and
+:class:`repro.graphdb.storage.store.StoreGraph` (record files behind a
+page cache) implement this interface, so the Cypher executor, the
+traversal framework, and the Frappé use-case queries run unchanged
+against either — which is what lets the benchmark harness measure the
+same query cold (from disk) and warm (cache-resident).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Collection, Iterable, Iterator, Protocol, runtime_checkable
+
+
+class Direction(enum.Enum):
+    """Edge direction relative to a node."""
+
+    OUT = "out"
+    IN = "in"
+    BOTH = "both"
+
+    def reverse(self) -> "Direction":
+        if self is Direction.OUT:
+            return Direction.IN
+        if self is Direction.IN:
+            return Direction.OUT
+        return Direction.BOTH
+
+
+@runtime_checkable
+class GraphView(Protocol):
+    """Read-only view of a labeled property graph.
+
+    Node and edge identity is an ``int``. Properties follow the model in
+    :mod:`repro.graphdb.properties`. Implementations must provide stable
+    iteration order within one view instance (the query planner relies
+    on this for deterministic results in tests).
+    """
+
+    # -- population --------------------------------------------------------
+
+    def node_ids(self) -> Iterable[int]:
+        """All live node ids."""
+        ...
+
+    def edge_ids(self) -> Iterable[int]:
+        """All live edge ids."""
+        ...
+
+    def node_count(self) -> int:
+        ...
+
+    def edge_count(self) -> int:
+        ...
+
+    def has_node(self, node_id: int) -> bool:
+        ...
+
+    def has_edge(self, edge_id: int) -> bool:
+        ...
+
+    # -- nodes --------------------------------------------------------------
+
+    def node_labels(self, node_id: int) -> frozenset[str]:
+        ...
+
+    def node_properties(self, node_id: int) -> dict[str, Any]:
+        """A copy of the node's property map."""
+        ...
+
+    def node_property(self, node_id: int, key: str,
+                      default: Any = None) -> Any:
+        ...
+
+    def nodes_with_label(self, label: str) -> Iterator[int]:
+        ...
+
+    # -- edges --------------------------------------------------------------
+
+    def edge_source(self, edge_id: int) -> int:
+        ...
+
+    def edge_target(self, edge_id: int) -> int:
+        ...
+
+    def edge_type(self, edge_id: int) -> str:
+        ...
+
+    def edge_properties(self, edge_id: int) -> dict[str, Any]:
+        ...
+
+    def edge_property(self, edge_id: int, key: str,
+                      default: Any = None) -> Any:
+        ...
+
+    # -- adjacency ----------------------------------------------------------
+
+    def edges_of(self, node_id: int,
+                 direction: Direction = Direction.BOTH,
+                 types: Collection[str] | None = None) -> Iterator[int]:
+        """Edge ids incident to *node_id*, filtered by direction/type."""
+        ...
+
+    def degree(self, node_id: int,
+               direction: Direction = Direction.BOTH,
+               types: Collection[str] | None = None) -> int:
+        ...
+
+    # -- indexes -------------------------------------------------------------
+
+    @property
+    def indexes(self) -> "IndexReader":
+        ...
+
+
+@runtime_checkable
+class IndexReader(Protocol):
+    """Read side of the index manager; see :mod:`repro.graphdb.indexes`."""
+
+    def lookup(self, key: str, value: Any) -> Iterator[int]:
+        ...
+
+    def query(self, query_string: str) -> Iterator[int]:
+        ...
+
+    def label(self, label: str) -> Iterator[int]:
+        ...
+
+
+def other_end(view: GraphView, edge_id: int, node_id: int) -> int:
+    """The endpoint of *edge_id* that is not *node_id* (self-loop safe)."""
+    source = view.edge_source(edge_id)
+    if source != node_id:
+        return source
+    return view.edge_target(edge_id)
+
+
+def neighbors(view: GraphView, node_id: int,
+              direction: Direction = Direction.BOTH,
+              types: Collection[str] | None = None) -> Iterator[int]:
+    """Neighbor node ids of *node_id* (with multiplicity, as Neo4j does)."""
+    for edge_id in view.edges_of(node_id, direction, types):
+        yield other_end(view, edge_id, node_id)

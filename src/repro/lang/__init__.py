@@ -1,0 +1,30 @@
+"""A C-subset front end: the reproduction's extractor substrate.
+
+The paper's extractor is "a modified version of the complete Clang
+compiler" run behind gcc-wrapper scripts. Offline, we build the same
+pipeline from scratch for the C subset the graph model records
+(paper Tables 1–2):
+
+* :mod:`~repro.lang.source` — files, locations, ranges,
+* :mod:`~repro.lang.lexer` — the C token stream,
+* :mod:`~repro.lang.preprocessor` — ``#include``/``#define``/
+  conditionals with full macro expansion *and provenance* (which
+  tokens came from which expansion — the ``IN_MACRO`` property and the
+  ``expands_macro``/``interrogates_macro`` edges depend on it),
+* :mod:`~repro.lang.ctypes_` — the C type model with Table 2's
+  QUALIFIERS coding,
+* :mod:`~repro.lang.cast` / :mod:`~repro.lang.parser` — AST and
+  recursive-descent parser,
+* :mod:`~repro.lang.sema` — scopes, symbol resolution, decl/def
+  linking within a translation unit.
+
+The build layer (:mod:`repro.build`) drives this per compilation unit
+and links units together, after which :mod:`repro.core.extractor`
+emits the dependency graph.
+"""
+
+from repro.lang.source import (FileRegistry, SourceFile, SourceLocation,
+                               SourceRange, VirtualFileSystem)
+
+__all__ = ["FileRegistry", "SourceFile", "SourceLocation", "SourceRange",
+           "VirtualFileSystem"]

@@ -1,0 +1,380 @@
+"""C abstract syntax tree.
+
+Every node carries enough location information for the extractor to
+fill Table 2's USE_*/NAME_* edge properties: declarations carry the
+range of their name token, expressions carry the range of the whole
+expression plus (where relevant) the representative name token.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.lang.ctypes_ import CType
+from repro.lang.source import SourceRange
+
+
+class Node:
+    """Marker base class for AST nodes."""
+
+
+class Stmt(Node):
+    """Marker base class for statements."""
+
+
+class Expr(Node):
+    """Marker base class for expressions; all carry a source range."""
+
+    range: SourceRange
+
+
+class Decl(Node):
+    """Marker base class for declarations."""
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class Identifier(Expr):
+    name: str
+    range: SourceRange
+    in_macro: bool = False
+    symbol: Any = None  # filled by sema
+
+
+@dataclasses.dataclass
+class IntLiteral(Expr):
+    value: int
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class FloatLiteral(Expr):
+    value: float
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class CharLiteral(Expr):
+    value: int
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class StringLiteral(Expr):
+    value: str
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    callee: Expr
+    arguments: list[Expr]
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Member(Expr):
+    """``base.name`` or ``base->name`` (arrow=True)."""
+
+    base: Expr
+    name: str
+    arrow: bool
+    range: SourceRange           # whole expression
+    name_range: SourceRange      # the member name token
+    resolved_field: Any = None   # filled by sema when the record is known
+
+
+@dataclasses.dataclass
+class Index(Expr):
+    base: Expr
+    index: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Unary(Expr):
+    """op in ``& * + - ! ~ ++ -- post++ post-- sizeof _Alignof``."""
+
+    op: str
+    operand: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class SizeofType(Expr):
+    """``sizeof(T)`` / ``_Alignof(T)`` with a type operand."""
+
+    op: str  # 'sizeof' | '_Alignof'
+    type: CType
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Assignment(Expr):
+    """op in ``= += -= *= /= %= &= |= ^= <<= >>=``."""
+
+    op: str
+    target: Expr
+    value: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Conditional(Expr):
+    condition: Expr
+    then_value: Expr
+    else_value: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Cast(Expr):
+    type: CType
+    operand: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class Comma(Expr):
+    left: Expr
+    right: Expr
+    range: SourceRange
+
+
+@dataclasses.dataclass
+class InitList(Expr):
+    items: list[Expr]
+    range: SourceRange
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class CompoundStmt(Stmt):
+    body: list[Node]  # statements and DeclStmts
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    expression: Expr
+
+
+@dataclasses.dataclass
+class EmptyStmt(Stmt):
+    pass
+
+
+@dataclasses.dataclass
+class IfStmt(Stmt):
+    condition: Expr
+    then_branch: Stmt
+    else_branch: Optional[Stmt]
+
+
+@dataclasses.dataclass
+class WhileStmt(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclasses.dataclass
+class DoStmt(Stmt):
+    body: Stmt
+    condition: Expr
+
+
+@dataclasses.dataclass
+class ForStmt(Stmt):
+    init: Optional[Node]  # DeclStmt or ExprStmt or None
+    condition: Optional[Expr]
+    step: Optional[Expr]
+    body: Stmt
+
+
+@dataclasses.dataclass
+class ReturnStmt(Stmt):
+    value: Optional[Expr]
+
+
+@dataclasses.dataclass
+class BreakStmt(Stmt):
+    pass
+
+
+@dataclasses.dataclass
+class ContinueStmt(Stmt):
+    pass
+
+
+@dataclasses.dataclass
+class GotoStmt(Stmt):
+    label: str
+
+
+@dataclasses.dataclass
+class LabelStmt(Stmt):
+    label: str
+    body: Stmt
+
+
+@dataclasses.dataclass
+class CaseStmt(Stmt):
+    value: Optional[Expr]  # None = default
+    body: Optional[Stmt]
+
+
+@dataclasses.dataclass
+class SwitchStmt(Stmt):
+    condition: Expr
+    body: Stmt
+
+
+@dataclasses.dataclass
+class DeclStmt(Stmt):
+    declarations: list["VarDecl"]
+
+
+# --------------------------------------------------------------------------
+# Declarations
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ParamDecl(Decl):
+    name: Optional[str]
+    type: CType
+    name_range: Optional[SourceRange]
+    position: int
+
+
+@dataclasses.dataclass
+class FunctionDecl(Decl):
+    """A function prototype (no body)."""
+
+    name: str
+    type: CType  # FunctionType
+    parameters: list[ParamDecl]
+    storage: Optional[str]  # 'static' | 'extern' | None
+    inline: bool
+    variadic: bool
+    name_range: SourceRange
+    in_macro: bool = False
+
+
+@dataclasses.dataclass
+class FunctionDef(Decl):
+    """A function definition with a body."""
+
+    name: str
+    type: CType
+    parameters: list[ParamDecl]
+    storage: Optional[str]
+    inline: bool
+    variadic: bool
+    name_range: SourceRange
+    body: CompoundStmt
+    in_macro: bool = False
+    body_end_line: int = 0  # last line of the body, for extent queries
+
+
+@dataclasses.dataclass
+class VarDecl(Decl):
+    """A variable: global, local, parameter shadow, or static local."""
+
+    name: str
+    type: CType
+    storage: Optional[str]
+    initializer: Optional[Expr]
+    name_range: SourceRange
+    is_file_scope: bool
+    in_macro: bool = False
+
+
+@dataclasses.dataclass
+class FieldDecl(Decl):
+    name: Optional[str]  # None for anonymous members
+    type: CType
+    bit_width: Optional[int]
+    name_range: Optional[SourceRange]
+
+
+@dataclasses.dataclass
+class RecordDecl(Decl):
+    """struct/union declaration or definition."""
+
+    kind: str  # 'struct' | 'union'
+    tag: Optional[str]
+    fields: Optional[list[FieldDecl]]  # None = forward declaration
+    name_range: Optional[SourceRange]
+    in_macro: bool = False
+
+    @property
+    def is_definition(self) -> bool:
+        return self.fields is not None
+
+
+@dataclasses.dataclass
+class EnumeratorDecl(Decl):
+    name: str
+    value_expr: Optional[Expr]
+    value: Optional[int]  # computed when constant
+    name_range: SourceRange
+
+
+@dataclasses.dataclass
+class EnumDecl(Decl):
+    tag: Optional[str]
+    enumerators: Optional[list[EnumeratorDecl]]  # None = forward decl
+    name_range: Optional[SourceRange]
+    in_macro: bool = False
+
+    @property
+    def is_definition(self) -> bool:
+        return self.enumerators is not None
+
+
+@dataclasses.dataclass
+class TypedefDecl(Decl):
+    name: str
+    type: CType
+    name_range: SourceRange
+    in_macro: bool = False
+
+
+@dataclasses.dataclass
+class TranslationUnit(Node):
+    """All top-level declarations of one preprocessed compilation unit."""
+
+    path: str
+    declarations: list[Decl]
+
+
+def walk_expressions(node: Node):
+    """Yield every expression nested under *node*, depth first."""
+    stack: list[Any] = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Expr):
+            yield current
+        if dataclasses.is_dataclass(current) and not isinstance(current,
+                                                                type):
+            for field in dataclasses.fields(current):
+                value = getattr(current, field.name)
+                if isinstance(value, Node):
+                    stack.append(value)
+                elif isinstance(value, list):
+                    stack.extend(item for item in value
+                                 if isinstance(item, Node))

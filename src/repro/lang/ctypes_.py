@@ -1,0 +1,265 @@
+"""The C type model and Table 2's QUALIFIERS coding.
+
+The paper encodes how a symbol *uses* a type as a coded string "in
+spoken order": ``]`` for array, ``*`` for pointer, ``c`` for const,
+``v`` for volatile, ``r`` for restrict. ``char **argv`` is spoken
+"pointer to pointer to char", coded ``**`` (the paper's Figure 2 shows
+exactly this edge: ``argv -isa_type{QUALIFIER: **}-> char``).
+``const int x[4]`` is "array of const int": ``]c``, with the dimension
+carried separately in ``ARRAY_LENGTHS``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class Qualifiers:
+    const: bool = False
+    volatile: bool = False
+    restrict: bool = False
+
+    def code(self) -> str:
+        out = ""
+        if self.const:
+            out += "c"
+        if self.volatile:
+            out += "v"
+        if self.restrict:
+            out += "r"
+        return out
+
+    def __or__(self, other: "Qualifiers") -> "Qualifiers":
+        return Qualifiers(self.const or other.const,
+                          self.volatile or other.volatile,
+                          self.restrict or other.restrict)
+
+    @property
+    def any(self) -> bool:
+        return self.const or self.volatile or self.restrict
+
+
+NO_QUALIFIERS = Qualifiers()
+
+
+class CType:
+    """Base class; every type carries its own qualifiers."""
+
+    qualifiers: Qualifiers
+
+    def spelled(self) -> str:
+        """Human-readable spelling (for LONG_NAME signatures)."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class Primitive(CType):
+    """int, char, unsigned long, void, float, ..."""
+
+    name: str
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        prefix = _qual_prefix(self.qualifiers)
+        return f"{prefix}{self.name}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Pointer(CType):
+    pointee: CType
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        return f"{self.pointee.spelled()} *{self.qualifiers.code()}"
+
+
+@dataclasses.dataclass(frozen=True)
+class Array(CType):
+    element: CType
+    length: Optional[int]  # None for incomplete []
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        dimension = "" if self.length is None else str(self.length)
+        return f"{self.element.spelled()}[{dimension}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class FunctionType(CType):
+    return_type: CType
+    parameters: tuple[CType, ...]
+    variadic: bool = False
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        params = ", ".join(param.spelled() for param in self.parameters)
+        if self.variadic:
+            params = f"{params}, ..." if params else "..."
+        if not self.parameters and not self.variadic:
+            params = "void"
+        return f"{self.return_type.spelled()} ({params})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RecordType(CType):
+    """struct or union, by tag (may be anonymous)."""
+
+    kind: str            # 'struct' | 'union'
+    tag: Optional[str]
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        prefix = _qual_prefix(self.qualifiers)
+        tag = self.tag or "<anonymous>"
+        return f"{prefix}{self.kind} {tag}"
+
+
+@dataclasses.dataclass(frozen=True)
+class EnumType(CType):
+    tag: Optional[str]
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        prefix = _qual_prefix(self.qualifiers)
+        return f"{prefix}enum {self.tag or '<anonymous>'}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TypedefType(CType):
+    name: str
+    underlying: CType
+    qualifiers: Qualifiers = NO_QUALIFIERS
+
+    def spelled(self) -> str:
+        prefix = _qual_prefix(self.qualifiers)
+        return f"{prefix}{self.name}"
+
+
+def _qual_prefix(qualifiers: Qualifiers) -> str:
+    parts = []
+    if qualifiers.const:
+        parts.append("const ")
+    if qualifiers.volatile:
+        parts.append("volatile ")
+    if qualifiers.restrict:
+        parts.append("restrict ")
+    return "".join(parts)
+
+
+def strip_typedefs(ctype: CType) -> CType:
+    """The type with typedef sugar removed (qualifiers merged)."""
+    while isinstance(ctype, TypedefType):
+        merged = ctype.underlying.qualifiers | ctype.qualifiers
+        ctype = dataclasses.replace(ctype.underlying, qualifiers=merged)
+    return ctype
+
+
+def base_type(ctype: CType) -> CType:
+    """The innermost named type after peeling pointers/arrays/functions.
+
+    This is the node a Table 1 ``isa_type`` edge points at: ``char **``
+    peels to ``char``; ``struct foo *[4]`` peels to ``struct foo``.
+    """
+    ctype = strip_typedefs(ctype)
+    while True:
+        if isinstance(ctype, Pointer):
+            ctype = strip_typedefs(ctype.pointee)
+        elif isinstance(ctype, Array):
+            ctype = strip_typedefs(ctype.element)
+        elif isinstance(ctype, FunctionType):
+            ctype = strip_typedefs(ctype.return_type)
+        else:
+            return ctype
+
+
+def qualifier_code(ctype: CType) -> str:
+    """Table 2's QUALIFIERS string, in spoken order.
+
+    Walk outside-in: each pointer adds ``*``, each array adds ``]``,
+    qualifiers of each level are appended where they are spoken.
+    """
+    out: list[str] = []
+    current: CType = ctype
+    while True:
+        current_quals = current.qualifiers.code()
+        if isinstance(current, TypedefType):
+            current = dataclasses.replace(
+                current.underlying,
+                qualifiers=current.underlying.qualifiers
+                | current.qualifiers)
+            continue
+        if isinstance(current, Array):
+            out.append("]")
+            out.append(current_quals)
+            current = current.element
+        elif isinstance(current, Pointer):
+            out.append("*")
+            out.append(current_quals)
+            current = current.pointee
+        else:
+            out.append(current_quals)
+            return "".join(out)
+
+
+def array_lengths(ctype: CType) -> list[int]:
+    """Constant dimensions of nested array types (Table 2)."""
+    lengths: list[int] = []
+    current = strip_typedefs(ctype)
+    while True:
+        if isinstance(current, Array):
+            lengths.append(current.length if current.length is not None
+                           else 0)
+            current = strip_typedefs(current.element)
+        elif isinstance(current, Pointer):
+            current = strip_typedefs(current.pointee)
+        else:
+            return lengths
+
+
+#: names treated as one primitive each (multi-word spellings merged).
+PRIMITIVE_NAMES = ("void", "char", "signed char", "unsigned char",
+                   "short", "unsigned short", "int", "unsigned int",
+                   "long", "unsigned long", "long long",
+                   "unsigned long long", "float", "double", "long double",
+                   "_Bool")
+
+
+def merge_primitive_words(words: Sequence[str]) -> str:
+    """Canonical primitive name from declaration-specifier words.
+
+    ``unsigned``, ``long long int``, ``signed int`` and friends all
+    collapse to a canonical spelling so the graph has one ``int`` node,
+    matching the paper's observation that ``int`` is a single huge-
+    degree hub.
+    """
+    bag = list(words)
+    if not bag:
+        return "int"
+    unsigned = "unsigned" in bag
+    signed = "signed" in bag
+    bag = [word for word in bag if word not in ("unsigned", "signed")]
+    longs = bag.count("long")
+    bag = [word for word in bag if word != "long"]
+    short = "short" in bag
+    bag = [word for word in bag if word != "short"]
+    core = bag[0] if bag else "int"
+    if core == "char":
+        if unsigned:
+            return "unsigned char"
+        if signed:
+            return "signed char"
+        return "char"
+    if core == "double":
+        return "long double" if longs else "double"
+    if core in ("void", "float", "_Bool"):
+        return core
+    # integer family
+    if short:
+        return "unsigned short" if unsigned else "short"
+    if longs >= 2:
+        return "unsigned long long" if unsigned else "long long"
+    if longs == 1:
+        return "unsigned long" if unsigned else "long"
+    return "unsigned int" if unsigned else "int"

@@ -1,0 +1,202 @@
+"""The C tokenizer.
+
+Produces a flat token list with 1-based line/column positions.
+Backslash-newline continuations are spliced (positions stay physical),
+comments are dropped, and ``#`` at the start of a logical line marks a
+preprocessor directive — the preprocessor consumes those tokens before
+the parser ever sees them.
+
+Tokens carry an optional ``from_macro`` field filled in by the
+preprocessor when a token is the product of a macro expansion; the
+extractor turns that into the ``IN_MACRO`` node property and
+``expands_macro`` edges (paper Tables 1–2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional
+
+from repro.errors import LexError
+from repro.lang.source import SourceLocation
+
+# token kinds
+IDENT = "ident"
+NUMBER = "number"
+CHAR = "char"
+STRING = "string"
+PUNCT = "punct"
+DIRECTIVE_HASH = "hash"  # '#' introducing a directive
+EOF = "eof"
+
+KEYWORDS = frozenset("""
+auto break case char const continue default do double else enum extern
+float for goto if inline int long register restrict return short signed
+sizeof static struct switch typedef union unsigned void volatile while
+_Bool _Alignof _Alignas _Static_assert _Noreturn
+""".split())
+
+#: longest-first punctuation, per C11 (minus digraphs).
+PUNCTUATION = (
+    "...", "<<=", ">>=",
+    "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "*=", "/=", "%=", "+=", "-=", "&=", "^=", "|=", "##",
+    "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+    "/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",", "#",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<blockcomment>/\*.*?\*/)
+  | (?P<linecomment>//[^\n]*)
+  | (?P<newline>\n)
+  | (?P<ws>[ \t\r\f\v]+)
+  | (?P<number>
+        (?:0[xX][0-9a-fA-F]+|0[bB][01]+|\d+\.\d*(?:[eE][+-]?\d+)?
+         |\.\d+(?:[eE][+-]?\d+)?|\d+(?:[eE][+-]?\d+)?)
+        [uUlLfF]*)
+  | (?P<char>L?'(?:[^'\\\n]|\\.)*')
+  | (?P<string>L?"(?:[^"\\\n]|\\.)*")
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in PUNCTUATION) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    file_id: int
+    line: int
+    column: int
+    at_line_start: bool = False
+    from_macro: Optional[str] = None
+
+    @property
+    def location(self) -> SourceLocation:
+        return SourceLocation(self.file_id, self.line, self.column)
+
+    @property
+    def end_column(self) -> int:
+        return self.column + len(self.text) - 1
+
+    @property
+    def is_keyword(self) -> bool:
+        return self.kind == IDENT and self.text in KEYWORDS
+
+    def with_macro(self, macro: str) -> "Token":
+        return dataclasses.replace(self, from_macro=macro)
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind},{self.text!r}@{self.line}:{self.column})"
+
+
+def tokenize(text: str, file_id: int) -> list[Token]:
+    """Tokenize a whole file; backslash-newlines are spliced first."""
+    # Splice line continuations but keep physical line numbers by
+    # replacing '\\\n' with a marker that advances the line counter.
+    tokens: list[Token] = []
+    line = 1
+    line_start_offset = 0
+    at_line_start = True
+    position = 0
+    text = text.replace("\\\r\n", "\\\n")
+    while position < len(text):
+        if text.startswith("\\\n", position):
+            position += 2
+            line += 1
+            line_start_offset = position
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise LexError(f"invalid character {text[position]!r}",
+                           line=line,
+                           column=position - line_start_offset + 1)
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        column = position - line_start_offset + 1
+        if kind == "newline":
+            line += 1
+            line_start_offset = match.end()
+            at_line_start = True
+        elif kind in ("ws", "linecomment"):
+            pass
+        elif kind == "blockcomment":
+            newlines = lexeme.count("\n")
+            if newlines:
+                line += newlines
+                line_start_offset = position + lexeme.rfind("\n") + 1
+        else:
+            token_kind = kind
+            if kind == "punct" and lexeme == "#" and at_line_start:
+                token_kind = DIRECTIVE_HASH
+            tokens.append(Token(token_kind, lexeme, file_id, line, column,
+                                at_line_start))
+            at_line_start = False
+        position = match.end()
+    tokens.append(Token(EOF, "", file_id, line,
+                        len(text) - line_start_offset + 1, at_line_start))
+    return tokens
+
+
+def parse_int_literal(text: str) -> int:
+    """Numeric value of a C integer literal (suffixes stripped)."""
+    body = text.rstrip("uUlL")
+    try:
+        if body.lower().startswith("0x"):
+            return int(body, 16)
+        if body.lower().startswith("0b"):
+            return int(body, 2)
+        if body.startswith("0") and len(body) > 1 and body.isdigit():
+            return int(body, 8)
+        return int(body)
+    except ValueError:
+        raise LexError(f"bad integer literal {text!r}") from None
+
+
+def parse_char_literal(text: str) -> int:
+    """Numeric value of a C character literal."""
+    body = text[2:-1] if text.startswith("L") else text[1:-1]
+    if body.startswith("\\"):
+        escapes = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39,
+                   '"': 34, "a": 7, "b": 8, "f": 12, "v": 11}
+        if body[1] in escapes:
+            return escapes[body[1]]
+        if body[1] == "x":
+            return int(body[2:], 16)
+        if body[1].isdigit():
+            return int(body[1:], 8)
+        raise LexError(f"bad escape in char literal {text!r}")
+    if len(body) != 1:
+        raise LexError(f"bad char literal {text!r}")
+    return ord(body)
+
+
+def is_float_literal(text: str) -> bool:
+    body = text.rstrip("uUlLfF")
+    return "." in body or (("e" in body.lower())
+                           and not body.lower().startswith("0x"))
+
+
+def string_literal_value(text: str) -> str:
+    """Decoded value of a C string literal."""
+    body = text[2:-1] if text.startswith("L") else text[1:-1]
+    escapes = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\",
+               "'": "'", '"': '"', "a": "\a", "b": "\b", "f": "\f",
+               "v": "\v"}
+
+    def replace(match: re.Match[str]) -> str:
+        char = match.group(1)
+        if char in escapes:
+            return escapes[char]
+        if char == "x":
+            return chr(int(match.group(2), 16))
+        return char
+
+    return re.sub(r"\\(x)([0-9a-fA-F]+)|\\(.)",
+                  lambda m: (chr(int(m.group(2), 16)) if m.group(1)
+                             else escapes.get(m.group(3), m.group(3))),
+                  body)

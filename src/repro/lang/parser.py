@@ -1,0 +1,988 @@
+"""Recursive-descent parser for the C subset.
+
+Input is the preprocessor's expanded token stream; output is a
+:class:`~repro.lang.cast.TranslationUnit`. The subset covers what the
+paper's graph model records (Tables 1–2): functions (defs and
+prototypes), globals, locals, static locals, parameters, structs,
+unions, enums and enumerators, typedefs, bitfields, array dimensions,
+qualifiers, casts, ``sizeof``/``_Alignof``, member access, address-of,
+and function pointers. GNU attribute/asm/extension markers are
+tolerated and skipped.
+
+Declarators are parsed inside-out: a declarator yields the declared
+name plus a type-builder closure applied to the base type, which is
+the standard way to get ``char *(*f[4])(int)`` right.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from repro.errors import ParseError
+from repro.lang import cast as c
+from repro.lang import ctypes_ as ct
+from repro.lang import lexer
+from repro.lang.lexer import EOF, IDENT, NUMBER, PUNCT, Token
+from repro.lang.source import SourceRange
+
+_STORAGE = ("typedef", "static", "extern", "register", "auto")
+_QUALIFIER_WORDS = ("const", "volatile", "restrict")
+_PRIMITIVE_WORDS = ("void", "char", "short", "int", "long", "float",
+                    "double", "signed", "unsigned", "_Bool")
+_SKIPPABLE = ("__attribute__", "__asm__", "asm", "__extension__",
+              "__restrict", "__restrict__", "__inline", "__inline__",
+              "__volatile__")
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+
+@dataclasses.dataclass
+class _DeclSpecs:
+    storage: Optional[str] = None
+    inline: bool = False
+    qualifiers: ct.Qualifiers = ct.NO_QUALIFIERS
+    base_type: Optional[ct.CType] = None
+    # record/enum declarations that appeared inside the specifiers
+    owned_decls: list[c.Decl] = dataclasses.field(default_factory=list)
+
+
+class CParser:
+    def __init__(self, tokens: list[Token], path: str = "<unit>",
+                 typedef_names: set[str] | None = None) -> None:
+        self._tokens = tokens
+        self._path = path
+        self._index = 0
+        self._typedefs: set[str] = set(typedef_names or ())
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != EOF:
+            self._index += 1
+        return token
+
+    def _at(self, text: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.text == text and token.kind in (PUNCT, IDENT)
+
+    def _accept(self, text: str) -> bool:
+        if self._at(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if token.text != text:
+            raise self._error(f"expected {text!r}")
+        return self._advance()
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        found = token.text or "end of file"
+        return ParseError(f"{message} (found {found!r})",
+                          filename=self._path, line=token.line,
+                          column=token.column)
+
+    def _range_between(self, start_token: Token,
+                       end_token: Token) -> SourceRange:
+        if start_token.file_id != end_token.file_id:
+            end_token = start_token
+        return SourceRange(start_token.file_id, start_token.line,
+                           start_token.column, end_token.line,
+                           end_token.end_column)
+
+    def _prev(self) -> Token:
+        return self._tokens[max(self._index - 1, 0)]
+
+    def _token_range(self, token: Token) -> SourceRange:
+        return SourceRange(token.file_id, token.line, token.column,
+                           token.line, token.end_column)
+
+    def _skip_gnu_extensions(self) -> None:
+        while self._peek().kind == IDENT and \
+                self._peek().text in _SKIPPABLE:
+            word = self._advance().text
+            if word in ("__attribute__", "__asm__", "asm") and \
+                    self._at("("):
+                depth = 0
+                while True:
+                    token = self._advance()
+                    if token.kind == EOF:
+                        raise self._error("unterminated attribute")
+                    if token.text == "(":
+                        depth += 1
+                    elif token.text == ")":
+                        depth -= 1
+                        if depth == 0:
+                            break
+
+    # -- entry point --------------------------------------------------------------
+
+    def parse(self) -> c.TranslationUnit:
+        """Parse the whole token stream as a translation unit."""
+        declarations: list[c.Decl] = []
+        while self._peek().kind != EOF:
+            if self._accept(";"):
+                continue
+            declarations.extend(self._external_declaration())
+        return c.TranslationUnit(self._path, declarations)
+
+    # -- declarations -----------------------------------------------------------------
+
+    def _external_declaration(self) -> list[c.Decl]:
+        specs = self._declaration_specifiers()
+        decls = list(specs.owned_decls)
+        if self._accept(";"):
+            # bare 'struct foo { ... };' or 'enum e {...};'
+            return decls
+        first = True
+        while True:
+            name, name_token, build = self._declarator()
+            self._skip_gnu_extensions()
+            declared_type = build(self._specs_type(specs))
+            if first and isinstance(declared_type, ct.FunctionType) \
+                    and self._at("{"):
+                decls.append(self._function_definition(
+                    specs, name, name_token, declared_type))
+                return decls
+            decls.append(self._finish_declarator(specs, name, name_token,
+                                                 declared_type,
+                                                 file_scope=True))
+            first = False
+            if self._accept(","):
+                continue
+            self._expect(";")
+            return decls
+
+    def _function_definition(self, specs: _DeclSpecs, name: Optional[str],
+                             name_token: Optional[Token],
+                             declared_type: ct.FunctionType,
+                             ) -> c.FunctionDef:
+        if name is None or name_token is None:
+            raise self._error("function definition needs a name")
+        parameters = self._last_parameters or []
+        body = self._compound_statement()
+        return c.FunctionDef(
+            name=name, type=declared_type,
+            parameters=parameters,
+            storage=specs.storage, inline=specs.inline,
+            variadic=declared_type.variadic,
+            name_range=self._token_range(name_token), body=body,
+            in_macro=name_token.from_macro is not None,
+            body_end_line=self._prev().line)
+
+    def _finish_declarator(self, specs: _DeclSpecs, name: Optional[str],
+                           name_token: Optional[Token],
+                           declared_type: ct.CType,
+                           file_scope: bool) -> c.Decl:
+        if name is None or name_token is None:
+            raise self._error("declaration needs a name")
+        name_range = self._token_range(name_token)
+        in_macro = name_token.from_macro is not None
+        if specs.storage == "typedef":
+            self._typedefs.add(name)
+            return c.TypedefDecl(name, declared_type, name_range, in_macro)
+        if isinstance(declared_type, ct.FunctionType):
+            return c.FunctionDecl(
+                name=name, type=declared_type,
+                parameters=self._last_parameters or [],
+                storage=specs.storage, inline=specs.inline,
+                variadic=declared_type.variadic, name_range=name_range,
+                in_macro=in_macro)
+        initializer = None
+        if self._accept("="):
+            initializer = self._initializer()
+        return c.VarDecl(name, declared_type, specs.storage, initializer,
+                         name_range, is_file_scope=file_scope,
+                         in_macro=in_macro)
+
+    def _declaration_specifiers(self) -> _DeclSpecs:
+        specs = _DeclSpecs()
+        primitive_words: list[str] = []
+        while True:
+            self._skip_gnu_extensions()
+            token = self._peek()
+            if token.kind != IDENT:
+                break
+            word = token.text
+            if word in _STORAGE:
+                self._advance()
+                specs.storage = word
+            elif word == "inline" or word == "_Noreturn":
+                self._advance()
+                specs.inline = specs.inline or word == "inline"
+            elif word in _QUALIFIER_WORDS:
+                self._advance()
+                specs.qualifiers = specs.qualifiers | _qual_from_word(word)
+            elif word in _PRIMITIVE_WORDS:
+                self._advance()
+                primitive_words.append(word)
+            elif word in ("struct", "union"):
+                if specs.base_type is not None or primitive_words:
+                    break
+                specs.base_type = self._record_specifier(specs)
+            elif word == "enum":
+                if specs.base_type is not None or primitive_words:
+                    break
+                specs.base_type = self._enum_specifier(specs)
+            elif word in self._typedefs and specs.base_type is None \
+                    and not primitive_words:
+                # typedef name acts as the type specifier — but only if
+                # this is not the declarator name itself
+                if self._declarator_follows(offset=1):
+                    self._advance()
+                    specs.base_type = ct.TypedefType(
+                        word, ct.Primitive("int"))  # sema refines
+                else:
+                    break
+            else:
+                break
+        if primitive_words:
+            specs.base_type = ct.Primitive(
+                ct.merge_primitive_words(primitive_words))
+        if specs.base_type is None:
+            if specs.storage is None and not specs.qualifiers.any \
+                    and not specs.inline:
+                raise self._error("expected declaration specifiers")
+            specs.base_type = ct.Primitive("int")  # implicit int
+        return specs
+
+    def _declarator_follows(self, offset: int) -> bool:
+        """After a candidate typedef name: does a declarator follow?"""
+        token = self._peek(offset)
+        if token.kind == PUNCT and token.text in ("*", "(", ";", ",",
+                                                  ")", "["):
+            return True
+        if token.kind == IDENT and token.text not in lexer.KEYWORDS:
+            return True
+        if token.kind == IDENT and token.text in _QUALIFIER_WORDS:
+            return True
+        return False
+
+    def _specs_type(self, specs: _DeclSpecs) -> ct.CType:
+        base = specs.base_type
+        assert base is not None
+        if specs.qualifiers.any:
+            base = dataclasses.replace(
+                base, qualifiers=base.qualifiers | specs.qualifiers)
+        return base
+
+    # struct/union/enum -----------------------------------------------------------
+
+    def _record_specifier(self, specs: _DeclSpecs) -> ct.RecordType:
+        kind_token = self._advance()  # struct | union
+        kind = kind_token.text
+        self._skip_gnu_extensions()
+        tag = None
+        name_range = None
+        if self._peek().kind == IDENT and not self._peek().is_keyword:
+            tag_token = self._advance()
+            tag = tag_token.text
+            name_range = self._token_range(tag_token)
+        fields = None
+        if self._accept("{"):
+            fields = []
+            while not self._accept("}"):
+                fields.extend(self._struct_field_declaration(specs))
+        if tag is None and fields is None:
+            raise self._error(f"{kind} needs a tag or a body")
+        specs.owned_decls.append(c.RecordDecl(
+            kind, tag, fields, name_range,
+            in_macro=kind_token.from_macro is not None))
+        return ct.RecordType(kind, tag)
+
+    def _struct_field_declaration(self,
+                                  outer: _DeclSpecs) -> list[c.FieldDecl]:
+        specs = self._declaration_specifiers()
+        outer.owned_decls.extend(specs.owned_decls)
+        fields: list[c.FieldDecl] = []
+        if self._accept(";"):
+            # anonymous struct/union member
+            fields.append(c.FieldDecl(None, self._specs_type(specs),
+                                      None, None))
+            return fields
+        while True:
+            if self._at(":"):
+                # unnamed bitfield
+                self._advance()
+                width = self._constant_int("bitfield width")
+                fields.append(c.FieldDecl(None, self._specs_type(specs),
+                                          width, None))
+            else:
+                name, name_token, build = self._declarator()
+                field_type = build(self._specs_type(specs))
+                width = None
+                if self._accept(":"):
+                    width = self._constant_int("bitfield width")
+                self._skip_gnu_extensions()
+                fields.append(c.FieldDecl(
+                    name, field_type, width,
+                    self._token_range(name_token) if name_token else None))
+            if self._accept(","):
+                continue
+            self._expect(";")
+            return fields
+
+    def _enum_specifier(self, specs: _DeclSpecs) -> ct.EnumType:
+        enum_token = self._advance()
+        self._skip_gnu_extensions()
+        tag = None
+        name_range = None
+        if self._peek().kind == IDENT and not self._peek().is_keyword:
+            tag_token = self._advance()
+            tag = tag_token.text
+            name_range = self._token_range(tag_token)
+        enumerators = None
+        if self._accept("{"):
+            enumerators = []
+            next_value = 0
+            values: dict[str, int] = {}
+            while not self._accept("}"):
+                name_token = self._advance()
+                if name_token.kind != IDENT:
+                    raise self._error("expected enumerator name")
+                value_expr = None
+                value: Optional[int] = next_value
+                if self._accept("="):
+                    value_expr = self._conditional_expression()
+                    value = _const_eval(value_expr, values)
+                if value is not None:
+                    next_value = value + 1
+                    values[name_token.text] = value
+                else:
+                    next_value += 1
+                enumerators.append(c.EnumeratorDecl(
+                    name_token.text, value_expr, value,
+                    self._token_range(name_token)))
+                if not self._accept(","):
+                    self._expect("}")
+                    break
+        if tag is None and enumerators is None:
+            raise self._error("enum needs a tag or a body")
+        specs.owned_decls.append(c.EnumDecl(
+            tag, enumerators, name_range,
+            in_macro=enum_token.from_macro is not None))
+        return ct.EnumType(tag)
+
+    # declarators --------------------------------------------------------------------
+
+    _last_parameters: Optional[list[c.ParamDecl]] = None
+
+    def _declarator(self, abstract: bool = False,
+                    ) -> tuple[Optional[str], Optional[Token],
+                               Callable[[ct.CType], ct.CType]]:
+        """Parse a (possibly abstract) declarator.
+
+        Returns (name, name token, builder); the builder turns the base
+        type into the declared type.
+        """
+        self._skip_gnu_extensions()
+        # pointer part
+        pointers: list[ct.Qualifiers] = []
+        while self._accept("*"):
+            quals = ct.NO_QUALIFIERS
+            while self._peek().kind == IDENT and \
+                    self._peek().text in _QUALIFIER_WORDS + _SKIPPABLE:
+                word = self._advance().text
+                if word in _QUALIFIER_WORDS:
+                    quals = quals | _qual_from_word(word)
+            pointers.append(quals)
+        name, name_token, inner_build = self._direct_declarator(abstract)
+
+        def build(base: ct.CType) -> ct.CType:
+            for quals in pointers:
+                base = ct.Pointer(base, quals)
+            return inner_build(base)
+
+        return name, name_token, build
+
+    def _direct_declarator(self, abstract: bool,
+                           ) -> tuple[Optional[str], Optional[Token],
+                                      Callable[[ct.CType], ct.CType]]:
+        self._skip_gnu_extensions()
+        name: Optional[str] = None
+        name_token: Optional[Token] = None
+        nested: Optional[Callable[[ct.CType], ct.CType]] = None
+        token = self._peek()
+        if token.kind == IDENT and not token.is_keyword and \
+                not (abstract and token.text in self._typedefs):
+            self._advance()
+            name = token.text
+            name_token = token
+        elif self._at("(") and self._paren_is_declarator(abstract):
+            self._advance()
+            name, name_token, nested = self._declarator(abstract)
+            self._expect(")")
+        elif not abstract and not self._at("[") and not self._at("("):
+            raise self._error("expected declarator")
+
+        suffixes: list[Callable[[ct.CType], ct.CType]] = []
+        while True:
+            if self._accept("["):
+                length: Optional[int] = None
+                if not self._at("]"):
+                    length = self._constant_int("array dimension",
+                                                allow_unknown=True)
+                self._expect("]")
+                suffixes.append(lambda base, n=length: ct.Array(base, n))
+            elif self._at("(") and (name is not None or nested is not None
+                                    or abstract or suffixes):
+                params, variadic, param_decls = self._parameter_list()
+                if name is not None:
+                    self._last_parameters = param_decls
+                suffixes.append(
+                    lambda base, p=tuple(params), v=variadic:
+                    ct.FunctionType(base, p, v))
+            else:
+                break
+
+        def build(base: ct.CType) -> ct.CType:
+            # suffixes bind tighter than what's outside; apply inner-most
+            # (leftmost) last: int x[2][3] is array 2 of array 3 of int
+            for suffix in reversed(suffixes):
+                base = suffix(base)
+            if nested is not None:
+                base = nested(base)
+            return base
+
+        return name, name_token, build
+
+    def _paren_is_declarator(self, abstract: bool) -> bool:
+        """Disambiguate '(' in a declarator from a parameter list."""
+        token = self._peek(1)
+        if token.kind == PUNCT and token.text == "*":
+            return True
+        if token.kind == IDENT and not token.is_keyword and \
+                token.text not in self._typedefs:
+            return not abstract
+        if token.kind == PUNCT and token.text in ("(", "["):
+            return True
+        return False
+
+    def _parameter_list(self) -> tuple[list[ct.CType], bool,
+                                       list[c.ParamDecl]]:
+        self._expect("(")
+        types: list[ct.CType] = []
+        decls: list[c.ParamDecl] = []
+        variadic = False
+        if self._accept(")"):
+            return types, False, decls
+        # special case: (void)
+        if self._peek().text == "void" and self._peek(1).text == ")":
+            self._advance()
+            self._advance()
+            return types, False, decls
+        position = 0
+        while True:
+            if self._accept("..."):
+                variadic = True
+                self._expect(")")
+                return types, variadic, decls
+            specs = self._declaration_specifiers()
+            name, name_token, build = self._declarator(abstract=True)
+            param_type = build(self._specs_type(specs))
+            types.append(param_type)
+            decls.append(c.ParamDecl(
+                name, param_type,
+                self._token_range(name_token) if name_token else None,
+                position))
+            position += 1
+            if self._accept(","):
+                continue
+            self._expect(")")
+            return types, variadic, decls
+
+    def _type_name(self) -> ct.CType:
+        specs = self._declaration_specifiers()
+        _name, _token, build = self._declarator(abstract=True)
+        return build(self._specs_type(specs))
+
+    def _starts_type_name(self, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        if token.kind != IDENT:
+            return False
+        return (token.text in _PRIMITIVE_WORDS
+                or token.text in _QUALIFIER_WORDS
+                or token.text in ("struct", "union", "enum")
+                or token.text in self._typedefs)
+
+    def _constant_int(self, what: str, allow_unknown: bool = False,
+                      ) -> Optional[int]:
+        expression = self._conditional_expression()
+        value = _const_eval(expression, {})
+        if value is None and not allow_unknown:
+            raise self._error(f"{what} must be a constant")
+        return value
+
+    # -- statements ---------------------------------------------------------------------
+
+    def _compound_statement(self) -> c.CompoundStmt:
+        self._expect("{")
+        body: list[c.Node] = []
+        while not self._accept("}"):
+            if self._peek().kind == EOF:
+                raise self._error("unterminated block")
+            body.append(self._block_item())
+        return c.CompoundStmt(body)
+
+    def _block_item(self) -> c.Node:
+        if self._starts_declaration():
+            return self._local_declaration()
+        return self._statement()
+
+    def _starts_declaration(self) -> bool:
+        token = self._peek()
+        if token.kind != IDENT:
+            return False
+        if token.text in _STORAGE or token.text in _QUALIFIER_WORDS \
+                or token.text in _PRIMITIVE_WORDS \
+                or token.text in ("struct", "union", "enum", "inline"):
+            return True
+        if token.text in self._typedefs:
+            # typedef name followed by a declarator => declaration
+            return self._declarator_follows(offset=1) and \
+                not self._at("(", 1)
+        return False
+
+    def _local_declaration(self) -> c.DeclStmt:
+        specs = self._declaration_specifiers()
+        declarations: list[c.VarDecl] = []
+        if self._accept(";"):
+            return c.DeclStmt(declarations)
+        while True:
+            name, name_token, build = self._declarator()
+            declared_type = build(self._specs_type(specs))
+            decl = self._finish_declarator(specs, name, name_token,
+                                           declared_type,
+                                           file_scope=False)
+            if isinstance(decl, c.VarDecl):
+                declarations.append(decl)
+            # local typedefs and prototypes are parsed but dropped from
+            # DeclStmt (rare in practice; sema works at file scope)
+            if self._accept(","):
+                continue
+            self._expect(";")
+            return c.DeclStmt(declarations)
+
+    def _statement(self) -> c.Stmt:
+        token = self._peek()
+        if token.kind == PUNCT and token.text == "{":
+            return self._compound_statement()
+        if token.kind == PUNCT and token.text == ";":
+            self._advance()
+            return c.EmptyStmt()
+        if token.kind == IDENT:
+            word = token.text
+            if word == "if":
+                return self._if_statement()
+            if word == "while":
+                return self._while_statement()
+            if word == "do":
+                return self._do_statement()
+            if word == "for":
+                return self._for_statement()
+            if word == "return":
+                self._advance()
+                value = None
+                if not self._at(";"):
+                    value = self._expression()
+                self._expect(";")
+                return c.ReturnStmt(value)
+            if word == "break":
+                self._advance()
+                self._expect(";")
+                return c.BreakStmt()
+            if word == "continue":
+                self._advance()
+                self._expect(";")
+                return c.ContinueStmt()
+            if word == "goto":
+                self._advance()
+                label = self._advance().text
+                self._expect(";")
+                return c.GotoStmt(label)
+            if word == "switch":
+                return self._switch_statement()
+            if word == "case":
+                self._advance()
+                value = self._conditional_expression()
+                self._expect(":")
+                body = None if self._at("}") else self._statement()
+                return c.CaseStmt(value, body)
+            if word == "default":
+                self._advance()
+                self._expect(":")
+                body = None if self._at("}") else self._statement()
+                return c.CaseStmt(None, body)
+            if not token.is_keyword and self._at(":", 1):
+                self._advance()
+                self._advance()
+                body = c.EmptyStmt() if self._at("}") else self._statement()
+                return c.LabelStmt(word, body)
+        expression = self._expression()
+        self._expect(";")
+        return c.ExprStmt(expression)
+
+    def _if_statement(self) -> c.IfStmt:
+        self._expect("if")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        then_branch = self._statement()
+        else_branch = None
+        if self._accept("else"):
+            else_branch = self._statement()
+        return c.IfStmt(condition, then_branch, else_branch)
+
+    def _while_statement(self) -> c.WhileStmt:
+        self._expect("while")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        return c.WhileStmt(condition, self._statement())
+
+    def _do_statement(self) -> c.DoStmt:
+        self._expect("do")
+        body = self._statement()
+        self._expect("while")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        self._expect(";")
+        return c.DoStmt(body, condition)
+
+    def _for_statement(self) -> c.ForStmt:
+        self._expect("for")
+        self._expect("(")
+        init: Optional[c.Node] = None
+        if not self._accept(";"):
+            if self._starts_declaration():
+                init = self._local_declaration()
+            else:
+                init = c.ExprStmt(self._expression())
+                self._expect(";")
+        condition = None
+        if not self._at(";"):
+            condition = self._expression()
+        self._expect(";")
+        step = None
+        if not self._at(")"):
+            step = self._expression()
+        self._expect(")")
+        return c.ForStmt(init, condition, step, self._statement())
+
+    def _switch_statement(self) -> c.SwitchStmt:
+        self._expect("switch")
+        self._expect("(")
+        condition = self._expression()
+        self._expect(")")
+        return c.SwitchStmt(condition, self._statement())
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def _expression(self) -> c.Expr:
+        start = self._peek()
+        expression = self._assignment_expression()
+        while self._at(","):
+            self._advance()
+            right = self._assignment_expression()
+            expression = c.Comma(expression, right,
+                                 self._range_between(start, self._prev()))
+        return expression
+
+    def _assignment_expression(self) -> c.Expr:
+        start = self._peek()
+        left = self._conditional_expression()
+        token = self._peek()
+        if token.kind == PUNCT and token.text in _ASSIGN_OPS:
+            self._advance()
+            value = self._assignment_expression()
+            return c.Assignment(token.text, left, value,
+                                self._range_between(start, self._prev()))
+        return left
+
+    def _conditional_expression(self) -> c.Expr:
+        start = self._peek()
+        condition = self._binary_expression(0)
+        if self._accept("?"):
+            then_value = self._expression()
+            self._expect(":")
+            else_value = self._conditional_expression()
+            return c.Conditional(condition, then_value, else_value,
+                                 self._range_between(start, self._prev()))
+        return condition
+
+    _BINARY_LEVELS = (("||",), ("&&",), ("|",), ("^",), ("&",),
+                      ("==", "!="), ("<", "<=", ">", ">="), ("<<", ">>"),
+                      ("+", "-"), ("*", "/", "%"))
+
+    def _binary_expression(self, level: int) -> c.Expr:
+        if level >= len(self._BINARY_LEVELS):
+            return self._cast_expression()
+        start = self._peek()
+        left = self._binary_expression(level + 1)
+        while True:
+            token = self._peek()
+            if token.kind != PUNCT or \
+                    token.text not in self._BINARY_LEVELS[level]:
+                return left
+            self._advance()
+            right = self._binary_expression(level + 1)
+            left = c.Binary(token.text, left, right,
+                            self._range_between(start, self._prev()))
+
+    def _cast_expression(self) -> c.Expr:
+        if self._at("(") and self._starts_type_name(1):
+            start = self._peek()
+            self._advance()
+            target_type = self._type_name()
+            self._expect(")")
+            if self._at("{"):
+                # compound literal: (T){...} — parse as cast of init list
+                operand: c.Expr = self._initializer()
+            else:
+                operand = self._cast_expression()
+            return c.Cast(target_type, operand,
+                          self._range_between(start, self._prev()))
+        return self._unary_expression()
+
+    def _unary_expression(self) -> c.Expr:
+        token = self._peek()
+        start = token
+        if token.kind == PUNCT and token.text in ("&", "*", "+", "-", "!",
+                                                  "~", "++", "--"):
+            self._advance()
+            operand = self._cast_expression() \
+                if token.text in ("&", "*", "+", "-", "!", "~") \
+                else self._unary_expression()
+            return c.Unary(token.text, operand,
+                           self._range_between(start, self._prev()))
+        if token.kind == IDENT and token.text in ("sizeof", "_Alignof",
+                                                  "__alignof__"):
+            self._advance()
+            op = "sizeof" if token.text == "sizeof" else "_Alignof"
+            if self._at("(") and self._starts_type_name(1):
+                self._advance()
+                target_type = self._type_name()
+                self._expect(")")
+                return c.SizeofType(op, target_type,
+                                    self._range_between(start,
+                                                        self._prev()))
+            operand = self._unary_expression()
+            return c.Unary(op, operand,
+                           self._range_between(start, self._prev()))
+        return self._postfix_expression()
+
+    def _postfix_expression(self) -> c.Expr:
+        start = self._peek()
+        expression = self._primary_expression()
+        while True:
+            token = self._peek()
+            if token.kind != PUNCT:
+                return expression
+            if token.text == "(":
+                self._advance()
+                arguments: list[c.Expr] = []
+                if not self._at(")"):
+                    arguments.append(self._assignment_expression())
+                    while self._accept(","):
+                        arguments.append(self._assignment_expression())
+                self._expect(")")
+                expression = c.Call(expression, arguments,
+                                    self._range_between(start,
+                                                        self._prev()))
+            elif token.text == "[":
+                self._advance()
+                index = self._expression()
+                self._expect("]")
+                expression = c.Index(expression, index,
+                                     self._range_between(start,
+                                                         self._prev()))
+            elif token.text in (".", "->"):
+                self._advance()
+                name_token = self._advance()
+                if name_token.kind != IDENT:
+                    raise self._error("expected member name")
+                expression = c.Member(
+                    expression, name_token.text, token.text == "->",
+                    self._range_between(start, self._prev()),
+                    self._token_range(name_token))
+            elif token.text in ("++", "--"):
+                self._advance()
+                expression = c.Unary("post" + token.text, expression,
+                                     self._range_between(start,
+                                                         self._prev()))
+            else:
+                return expression
+
+    def _primary_expression(self) -> c.Expr:
+        token = self._peek()
+        if token.kind == IDENT and not token.is_keyword:
+            self._advance()
+            return c.Identifier(token.text, self._token_range(token),
+                                in_macro=token.from_macro is not None)
+        if token.kind == NUMBER:
+            self._advance()
+            if lexer.is_float_literal(token.text):
+                return c.FloatLiteral(float(token.text.rstrip("fFlL")),
+                                      self._token_range(token))
+            return c.IntLiteral(lexer.parse_int_literal(token.text),
+                                self._token_range(token))
+        if token.kind == lexer.CHAR:
+            self._advance()
+            return c.CharLiteral(lexer.parse_char_literal(token.text),
+                                 self._token_range(token))
+        if token.kind == lexer.STRING:
+            self._advance()
+            value = lexer.string_literal_value(token.text)
+            # adjacent string literal concatenation
+            while self._peek().kind == lexer.STRING:
+                value += lexer.string_literal_value(self._advance().text)
+            return c.StringLiteral(value, self._token_range(token))
+        if self._at("("):
+            self._advance()
+            expression = self._expression()
+            self._expect(")")
+            return expression
+        raise self._error("expected expression")
+
+    def _initializer(self) -> c.Expr:
+        if self._at("{"):
+            start = self._peek()
+            self._advance()
+            items: list[c.Expr] = []
+            while not self._accept("}"):
+                self._skip_designator()
+                items.append(self._initializer())
+                if not self._accept(","):
+                    self._expect("}")
+                    break
+            return c.InitList(items, self._range_between(start,
+                                                         self._prev()))
+        return self._assignment_expression()
+
+    def _skip_designator(self) -> None:
+        """Tolerate '.field =' and '[index] =' designators."""
+        progressed = False
+        while True:
+            if self._at(".") and self._peek(1).kind == IDENT:
+                self._advance()
+                self._advance()
+                progressed = True
+            elif self._at("["):
+                depth = 0
+                while True:
+                    token = self._advance()
+                    if token.kind == EOF:
+                        raise self._error("unterminated designator")
+                    if token.text == "[":
+                        depth += 1
+                    elif token.text == "]":
+                        depth -= 1
+                        if depth == 0:
+                            break
+                progressed = True
+            else:
+                break
+        if progressed:
+            self._expect("=")
+
+
+def _qual_from_word(word: str) -> ct.Qualifiers:
+    return ct.Qualifiers(const=word == "const",
+                         volatile=word == "volatile",
+                         restrict=word == "restrict")
+
+
+def _const_eval(expression: c.Expr,
+                known: dict[str, int]) -> Optional[int]:
+    """Best-effort constant folding for enum values and dimensions."""
+    if isinstance(expression, c.IntLiteral):
+        return expression.value
+    if isinstance(expression, c.CharLiteral):
+        return expression.value
+    if isinstance(expression, c.Identifier):
+        return known.get(expression.name)
+    if isinstance(expression, c.Unary):
+        inner = _const_eval(expression.operand, known)
+        if inner is None:
+            return None
+        if expression.op == "-":
+            return -inner
+        if expression.op == "+":
+            return inner
+        if expression.op == "~":
+            return ~inner
+        if expression.op == "!":
+            return 0 if inner else 1
+        return None
+    if isinstance(expression, c.Binary):
+        left = _const_eval(expression.left, known)
+        right = _const_eval(expression.right, known)
+        if left is None or right is None:
+            return None
+        op = expression.op
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                return left // right if right else None
+            if op == "%":
+                return left % right if right else None
+            if op == "<<":
+                return left << right
+            if op == ">>":
+                return left >> right
+            if op == "|":
+                return left | right
+            if op == "&":
+                return left & right
+            if op == "^":
+                return left ^ right
+            if op == "==":
+                return int(left == right)
+            if op == "!=":
+                return int(left != right)
+            if op == "<":
+                return int(left < right)
+            if op == "<=":
+                return int(left <= right)
+            if op == ">":
+                return int(left > right)
+            if op == ">=":
+                return int(left >= right)
+            if op == "&&":
+                return int(bool(left and right))
+            if op == "||":
+                return int(bool(left or right))
+        except (OverflowError, ValueError):
+            return None
+    if isinstance(expression, c.Conditional):
+        condition = _const_eval(expression.condition, known)
+        if condition is None:
+            return None
+        branch = expression.then_value if condition \
+            else expression.else_value
+        return _const_eval(branch, known)
+    if isinstance(expression, c.Cast):
+        return _const_eval(expression.operand, known)
+    return None
+
+
+def parse_tokens(tokens: list[Token], path: str = "<unit>",
+                 typedef_names: set[str] | None = None,
+                 ) -> c.TranslationUnit:
+    """Convenience wrapper: parse an expanded token stream."""
+    return CParser(tokens, path, typedef_names).parse()

@@ -1,0 +1,746 @@
+"""The C preprocessor, with provenance events.
+
+Beyond producing the expanded token stream for the parser, the
+preprocessor records everything the dependency graph model needs
+(paper Tables 1–2):
+
+* ``IncludeEvent`` — one per processed ``#include`` (the ``includes``
+  edges),
+* ``MacroDefinition`` — one per ``#define`` (the ``macro`` nodes),
+* ``ExpansionEvent`` — one per macro expansion, with the source range
+  of the invocation (the ``expands_macro`` edges; tokens produced by
+  an expansion are tagged ``from_macro`` so entities created from them
+  get the ``IN_MACRO`` property),
+* ``InterrogationEvent`` — one per ``#ifdef``/``#ifndef``/``defined``
+  check (the ``interrogates_macro`` edges).
+
+Supported directives: ``include`` (quoted and angled), ``define``
+(object- and function-like, ``...``/``__VA_ARGS__``, ``#`` stringify,
+``##`` paste), ``undef``, ``if``/``elif``/``else``/``endif``,
+``ifdef``/``ifndef``, ``error``, ``warning``, ``pragma``, ``line``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Optional
+
+from repro.errors import PreprocessorError
+from repro.lang import lexer
+from repro.lang.lexer import DIRECTIVE_HASH, EOF, IDENT, NUMBER, PUNCT, Token
+from repro.lang.source import FileRegistry, SourceFile, SourceLocation, SourceRange
+
+_MAX_INCLUDE_DEPTH = 200
+
+
+# --------------------------------------------------------------------------
+# Events
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class IncludeEvent:
+    including_file_id: int
+    included_file_id: int
+    location: SourceLocation
+    angled: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class MissingIncludeEvent:
+    including_file_id: int
+    name: str
+    location: SourceLocation
+    angled: bool
+
+
+@dataclasses.dataclass
+class MacroDefinition:
+    name: str
+    parameters: Optional[tuple[str, ...]]  # None = object-like
+    variadic: bool
+    body: tuple[Token, ...]
+    location: SourceLocation
+    name_range: SourceRange
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.parameters is not None
+
+
+@dataclasses.dataclass(frozen=True)
+class ExpansionEvent:
+    macro_name: str
+    use_range: SourceRange
+    parent_macro: Optional[str]  # set when expanded from another macro
+
+
+@dataclasses.dataclass(frozen=True)
+class InterrogationEvent:
+    macro_name: str
+    use_range: SourceRange
+
+
+@dataclasses.dataclass
+class PreprocessedUnit:
+    """Everything the preprocessor learned about one compilation unit."""
+
+    main_file: SourceFile
+    tokens: list[Token]
+    includes: list[IncludeEvent]
+    missing_includes: list[MissingIncludeEvent]
+    macro_definitions: list[MacroDefinition]
+    expansions: list[ExpansionEvent]
+    interrogations: list[InterrogationEvent]
+    included_file_ids: list[int]
+
+
+# --------------------------------------------------------------------------
+# Conditional-inclusion stack
+# --------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class _Conditional:
+    parent_active: bool
+    taken: bool      # some branch already taken
+    active: bool     # current branch live
+    saw_else: bool = False
+
+
+class Preprocessor:
+    """Runs one compilation unit through the preprocessor."""
+
+    def __init__(self, registry: FileRegistry,
+                 include_paths: Iterable[str] = (),
+                 predefined: dict[str, str] | None = None,
+                 ignore_missing_includes: bool = False) -> None:
+        self.registry = registry
+        self.include_paths = list(include_paths)
+        self.ignore_missing_includes = ignore_missing_includes
+        self._macros: dict[str, MacroDefinition] = {}
+        self._predefined = dict(predefined or {})
+
+    def preprocess(self, path: str) -> PreprocessedUnit:
+        """Run one compilation unit; returns tokens plus events."""
+        main = self.registry.open(path)
+        self._macros = {}
+        for name, replacement in self._predefined.items():
+            body = tuple(token for token in
+                         lexer.tokenize(replacement, main.file_id)
+                         if token.kind != EOF)
+            self._macros[name] = MacroDefinition(
+                name, None, False, body,
+                SourceLocation(main.file_id, 0, 0),
+                SourceRange(main.file_id, 0, 0, 0, 0))
+        self._unit = PreprocessedUnit(main, [], [], [], [], [], [], [])
+        self._cond_stack: list[_Conditional] = []
+        self._process_file(main, depth=0)
+        if self._cond_stack:
+            raise PreprocessorError("unterminated #if",
+                                    filename=main.path)
+        last_line = main.line_count()
+        self._unit.tokens.append(Token(EOF, "", main.file_id, last_line, 1))
+        return self._unit
+
+    # -- file / directive processing ----------------------------------------
+
+    def _process_file(self, source: SourceFile, depth: int) -> None:
+        if depth > _MAX_INCLUDE_DEPTH:
+            raise PreprocessorError(
+                f"include depth exceeds {_MAX_INCLUDE_DEPTH} "
+                f"(missing include guard?)", filename=source.path)
+        tokens = lexer.tokenize(source.content, source.file_id)
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token.kind == EOF:
+                break
+            if token.kind == DIRECTIVE_HASH:
+                directive, index = self._gather_directive(tokens, index + 1)
+                self._handle_directive(directive, source, depth)
+                continue
+            if self._active():
+                expanded, index = self._expand_from(tokens, index,
+                                                    frozenset())
+                self._unit.tokens.extend(expanded)
+            else:
+                index += 1
+        # conditional blocks must close in the same file in practice;
+        # we tolerate cross-file #endif as real preprocessors do.
+
+    @staticmethod
+    def _gather_directive(tokens: list[Token],
+                          index: int) -> tuple[list[Token], int]:
+        """Tokens of one directive line (after the '#')."""
+        gathered: list[Token] = []
+        while index < len(tokens):
+            token = tokens[index]
+            if token.kind == EOF or token.at_line_start:
+                break
+            gathered.append(token)
+            index += 1
+        return gathered, index
+
+    def _handle_directive(self, directive: list[Token],
+                          source: SourceFile, depth: int) -> None:
+        if not directive:
+            return  # null directive ('#' alone)
+        head = directive[0]
+        name = head.text if head.kind == IDENT else ""
+        rest = directive[1:]
+        if name in ("ifdef", "ifndef"):
+            self._directive_ifdef(name, rest, source)
+        elif name == "if":
+            self._directive_if(rest, source)
+        elif name == "elif":
+            self._directive_elif(rest, source)
+        elif name == "else":
+            self._directive_else(source)
+        elif name == "endif":
+            self._directive_endif(source)
+        elif not self._active():
+            return  # remaining directives only matter in live branches
+        elif name == "include":
+            self._directive_include(rest, source, depth)
+        elif name == "define":
+            self._directive_define(rest, source)
+        elif name == "undef":
+            if rest and rest[0].kind == IDENT:
+                self._macros.pop(rest[0].text, None)
+        elif name == "error":
+            message = " ".join(token.text for token in rest)
+            raise PreprocessorError(f"#error {message}",
+                                    filename=source.path, line=head.line)
+        elif name in ("pragma", "warning", "line", "ident"):
+            pass  # accepted and ignored
+        else:
+            raise PreprocessorError(f"unknown directive #{name}",
+                                    filename=source.path, line=head.line)
+
+    # -- conditionals ----------------------------------------------------------
+
+    def _active(self) -> bool:
+        return all(cond.active for cond in self._cond_stack)
+
+    def _directive_ifdef(self, name: str, rest: list[Token],
+                         source: SourceFile) -> None:
+        parent_active = self._active()
+        defined = False
+        if rest and rest[0].kind == IDENT:
+            macro = rest[0]
+            defined = macro.text in self._macros
+            if parent_active:
+                self._unit.interrogations.append(InterrogationEvent(
+                    macro.text, _token_range(macro)))
+        value = defined if name == "ifdef" else not defined
+        self._cond_stack.append(_Conditional(
+            parent_active, taken=value and parent_active,
+            active=value and parent_active))
+
+    def _directive_if(self, rest: list[Token], source: SourceFile) -> None:
+        parent_active = self._active()
+        value = False
+        if parent_active:
+            value = self._evaluate_condition(rest, source) != 0
+        self._cond_stack.append(_Conditional(
+            parent_active, taken=value and parent_active,
+            active=value and parent_active))
+
+    def _directive_elif(self, rest: list[Token],
+                        source: SourceFile) -> None:
+        if not self._cond_stack:
+            raise PreprocessorError("#elif without #if",
+                                    filename=source.path)
+        cond = self._cond_stack[-1]
+        if cond.saw_else:
+            raise PreprocessorError("#elif after #else",
+                                    filename=source.path)
+        if cond.taken or not cond.parent_active:
+            cond.active = False
+            return
+        value = self._evaluate_condition(rest, source) != 0
+        cond.active = value
+        cond.taken = value
+
+    def _directive_else(self, source: SourceFile) -> None:
+        if not self._cond_stack:
+            raise PreprocessorError("#else without #if",
+                                    filename=source.path)
+        cond = self._cond_stack[-1]
+        if cond.saw_else:
+            raise PreprocessorError("duplicate #else",
+                                    filename=source.path)
+        cond.saw_else = True
+        cond.active = cond.parent_active and not cond.taken
+        cond.taken = cond.taken or cond.active
+
+    def _directive_endif(self, source: SourceFile) -> None:
+        if not self._cond_stack:
+            raise PreprocessorError("#endif without #if",
+                                    filename=source.path)
+        self._cond_stack.pop()
+
+    # -- include ------------------------------------------------------------------
+
+    def _directive_include(self, rest: list[Token], source: SourceFile,
+                           depth: int) -> None:
+        if not rest:
+            raise PreprocessorError("#include without target",
+                                    filename=source.path)
+        head = rest[0]
+        if head.kind == lexer.STRING:
+            name = head.text[1:-1]
+            angled = False
+        elif head.kind == PUNCT and head.text == "<":
+            parts = []
+            for token in rest[1:]:
+                if token.kind == PUNCT and token.text == ">":
+                    break
+                parts.append(token.text)
+            else:
+                raise PreprocessorError("unterminated <...> include",
+                                        filename=source.path,
+                                        line=head.line)
+            name = "".join(parts)
+            angled = True
+        else:
+            raise PreprocessorError("malformed #include",
+                                    filename=source.path, line=head.line)
+        resolved = self.registry.resolve_include(
+            name, source.directory, self.include_paths, angled)
+        if resolved is None:
+            event = MissingIncludeEvent(source.file_id, name,
+                                        head.location, angled)
+            if self.ignore_missing_includes:
+                self._unit.missing_includes.append(event)
+                return
+            raise PreprocessorError(f"include not found: {name!r}",
+                                    filename=source.path, line=head.line)
+        included = self.registry.open(resolved)
+        self._unit.includes.append(IncludeEvent(
+            source.file_id, included.file_id, head.location, angled))
+        if included.file_id not in self._unit.included_file_ids:
+            self._unit.included_file_ids.append(included.file_id)
+        self._process_file(included, depth + 1)
+
+    # -- define --------------------------------------------------------------------
+
+    def _directive_define(self, rest: list[Token],
+                          source: SourceFile) -> None:
+        if not rest or rest[0].kind != IDENT:
+            raise PreprocessorError("malformed #define",
+                                    filename=source.path)
+        name_token = rest[0]
+        parameters: Optional[tuple[str, ...]] = None
+        variadic = False
+        body_start = 1
+        # function-like only when '(' abuts the name (no whitespace):
+        if (len(rest) > 1 and rest[1].kind == PUNCT and rest[1].text == "("
+                and rest[1].line == name_token.line
+                and rest[1].column == name_token.end_column + 1):
+            names: list[str] = []
+            index = 2
+            if rest[index].kind == PUNCT and rest[index].text == ")":
+                index += 1
+            else:
+                while True:
+                    token = rest[index]
+                    if token.kind == IDENT:
+                        names.append(token.text)
+                        index += 1
+                    elif token.kind == PUNCT and token.text == "...":
+                        variadic = True
+                        index += 1
+                    else:
+                        raise PreprocessorError(
+                            f"bad macro parameter {token.text!r}",
+                            filename=source.path, line=token.line)
+                    token = rest[index]
+                    if token.kind == PUNCT and token.text == ",":
+                        index += 1
+                        continue
+                    if token.kind == PUNCT and token.text == ")":
+                        index += 1
+                        break
+                    raise PreprocessorError(
+                        "expected ',' or ')' in macro parameters",
+                        filename=source.path, line=token.line)
+            parameters = tuple(names)
+            body_start = index
+        definition = MacroDefinition(
+            name_token.text, parameters, variadic,
+            tuple(rest[body_start:]), name_token.location,
+            _token_range(name_token))
+        self._macros[name_token.text] = definition
+        self._unit.macro_definitions.append(definition)
+
+    # -- macro expansion --------------------------------------------------------------
+
+    def _expand_from(self, tokens: list[Token], index: int,
+                     hide: frozenset[str]) -> tuple[list[Token], int]:
+        """Expand (maybe) the token at *index*; returns output + new index."""
+        token = tokens[index]
+        if token.kind != IDENT:
+            return [token], index + 1
+        macro = self._macros.get(token.text)
+        if macro is None or token.text in hide:
+            return [token], index + 1
+        if macro.is_function_like:
+            args, variadic_arg, next_index = self._collect_arguments(
+                tokens, index + 1, macro)
+            if args is None:
+                return [token], index + 1  # name not followed by '('
+            self._record_expansion(token)
+            replaced = self._substitute(macro, args, variadic_arg, token)
+            rescanned = self._rescan(replaced, hide | {macro.name})
+            return rescanned, next_index
+        self._record_expansion(token)
+        body = [_relocate(body_token, token, macro.name)
+                for body_token in macro.body]
+        rescanned = self._rescan(body, hide | {macro.name})
+        return rescanned, index + 1
+
+    def _rescan(self, tokens: list[Token],
+                hide: frozenset[str]) -> list[Token]:
+        output: list[Token] = []
+        index = 0
+        while index < len(tokens):
+            expanded, index = self._expand_from(tokens, index, hide)
+            output.extend(expanded)
+        return output
+
+    def _record_expansion(self, name_token: Token) -> None:
+        self._unit.expansions.append(ExpansionEvent(
+            name_token.text, _token_range(name_token),
+            parent_macro=name_token.from_macro))
+
+    def _collect_arguments(self, tokens: list[Token], index: int,
+                           macro: MacroDefinition,
+                           ) -> tuple[Optional[list[list[Token]]],
+                                      list[list[Token]], int]:
+        """Balanced argument lists after a function-like macro name."""
+        if index >= len(tokens) or tokens[index].kind != PUNCT \
+                or tokens[index].text != "(":
+            return None, [], index
+        index += 1
+        args: list[list[Token]] = [[]]
+        depth = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token.kind == EOF:
+                break
+            if token.kind == PUNCT and token.text == "(":
+                depth += 1
+            elif token.kind == PUNCT and token.text == ")":
+                if depth == 0:
+                    index += 1
+                    break
+                depth -= 1
+            elif token.kind == PUNCT and token.text == "," and depth == 0:
+                args.append([])
+                index += 1
+                continue
+            args[-1].append(token)
+            index += 1
+        else:
+            raise PreprocessorError(
+                f"unterminated arguments of macro {macro.name!r}")
+        parameters = macro.parameters or ()
+        if len(args) == 1 and not args[0] and not parameters:
+            args = []
+        named = args[:len(parameters)]
+        while len(named) < len(parameters):
+            named.append([])
+        variadic_arg = args[len(parameters):] if macro.variadic else []
+        if not macro.variadic and len(args) > len(parameters) \
+                and parameters:
+            raise PreprocessorError(
+                f"macro {macro.name!r} expects {len(parameters)} "
+                f"arguments, got {len(args)}")
+        return named, variadic_arg, index
+
+    def _substitute(self, macro: MacroDefinition,
+                    args: list[list[Token]],
+                    variadic_arg: list[list[Token]],
+                    invocation: Token) -> list[Token]:
+        parameters = macro.parameters or ()
+        positions = {name: position
+                     for position, name in enumerate(parameters)}
+        expanded_args = [self._rescan(list(arg), frozenset())
+                         for arg in args]
+        va_tokens: list[Token] = []
+        for position, arg in enumerate(variadic_arg):
+            if position:
+                va_tokens.append(Token(PUNCT, ",", invocation.file_id,
+                                       invocation.line, invocation.column))
+            va_tokens.extend(arg)
+        expanded_va = self._rescan(list(va_tokens), frozenset())
+
+        output: list[Token] = []
+        body = list(macro.body)
+        index = 0
+        while index < len(body):
+            token = body[index]
+            nxt = body[index + 1] if index + 1 < len(body) else None
+            # stringify
+            if token.kind == PUNCT and token.text == "#" and nxt is not None \
+                    and nxt.kind == IDENT and nxt.text in positions:
+                raw = args[positions[nxt.text]]
+                text = " ".join(item.text for item in raw)
+                output.append(_relocate(
+                    Token(lexer.STRING, '"' + text.replace("\\", "\\\\")
+                          .replace('"', '\\"') + '"',
+                          invocation.file_id, invocation.line,
+                          invocation.column), invocation, macro.name))
+                index += 2
+                continue
+            # token paste
+            if nxt is not None and nxt.kind == PUNCT and nxt.text == "##":
+                left_tokens = self._param_or_self(token, positions, args,
+                                                  variadic_arg)
+                right_token = body[index + 2] if index + 2 < len(body) \
+                    else None
+                if right_token is None:
+                    raise PreprocessorError(
+                        f"'##' at end of macro {macro.name!r}")
+                right_tokens = self._param_or_self(right_token, positions,
+                                                   args, variadic_arg)
+                pasted = self._paste(left_tokens, right_tokens, invocation,
+                                     macro.name)
+                output.extend(pasted)
+                index += 3
+                continue
+            if token.kind == IDENT and token.text in positions:
+                for arg_token in expanded_args[positions[token.text]]:
+                    output.append(_relocate(arg_token, invocation,
+                                            macro.name))
+                index += 1
+                continue
+            if token.kind == IDENT and token.text == "__VA_ARGS__":
+                for arg_token in expanded_va:
+                    output.append(_relocate(arg_token, invocation,
+                                            macro.name))
+                index += 1
+                continue
+            output.append(_relocate(token, invocation, macro.name))
+            index += 1
+        return output
+
+    @staticmethod
+    def _param_or_self(token: Token, positions: dict[str, int],
+                       args: list[list[Token]],
+                       variadic_arg: list[list[Token]]) -> list[Token]:
+        if token.kind == IDENT and token.text in positions:
+            return list(args[positions[token.text]])
+        if token.kind == IDENT and token.text == "__VA_ARGS__":
+            flattened: list[Token] = []
+            for arg in variadic_arg:
+                flattened.extend(arg)
+            return flattened
+        return [token]
+
+    @staticmethod
+    def _paste(left: list[Token], right: list[Token], invocation: Token,
+               macro_name: str) -> list[Token]:
+        if not left:
+            return [_relocate(token, invocation, macro_name)
+                    for token in right]
+        if not right:
+            return [_relocate(token, invocation, macro_name)
+                    for token in left]
+        glued_text = left[-1].text + right[0].text
+        relexed = [token for token in
+                   lexer.tokenize(glued_text, invocation.file_id)
+                   if token.kind != EOF]
+        result = [_relocate(token, invocation, macro_name)
+                  for token in left[:-1]]
+        result.extend(_relocate(token, invocation, macro_name)
+                      for token in relexed)
+        result.extend(_relocate(token, invocation, macro_name)
+                      for token in right[1:])
+        return result
+
+    # -- #if condition evaluation ---------------------------------------------------
+
+    def _evaluate_condition(self, tokens: list[Token],
+                            source: SourceFile) -> int:
+        prepared = self._prepare_condition(tokens)
+        try:
+            value, index = _CondParser(prepared).parse()
+        except PreprocessorError as error:
+            raise PreprocessorError(f"bad #if condition: {error}",
+                                    filename=source.path) from None
+        return value
+
+    def _prepare_condition(self, tokens: list[Token]) -> list[Token]:
+        """Resolve defined(...) and expand macros in a condition."""
+        resolved: list[Token] = []
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            if token.kind == IDENT and token.text == "defined":
+                name_token = None
+                if index + 1 < len(tokens) and \
+                        tokens[index + 1].kind == IDENT:
+                    name_token = tokens[index + 1]
+                    index += 2
+                elif (index + 3 <= len(tokens) - 1
+                        and tokens[index + 1].text == "("
+                        and tokens[index + 2].kind == IDENT
+                        and tokens[index + 3].text == ")"):
+                    name_token = tokens[index + 2]
+                    index += 4
+                else:
+                    raise PreprocessorError("malformed defined()")
+                self._unit.interrogations.append(InterrogationEvent(
+                    name_token.text, _token_range(name_token)))
+                value = "1" if name_token.text in self._macros else "0"
+                resolved.append(Token(NUMBER, value, token.file_id,
+                                      token.line, token.column))
+                continue
+            resolved.append(token)
+            index += 1
+        return self._rescan(resolved, frozenset())
+
+
+def _relocate(token: Token, invocation: Token, macro_name: str) -> Token:
+    """Move a macro-body token to the invocation site and tag it."""
+    return dataclasses.replace(
+        token, file_id=invocation.file_id, line=invocation.line,
+        column=invocation.column, at_line_start=False,
+        from_macro=macro_name)
+
+
+def _token_range(token: Token) -> SourceRange:
+    return SourceRange(token.file_id, token.line, token.column,
+                       token.line, token.end_column)
+
+
+class _CondParser:
+    """Constant-expression evaluator for #if conditions.
+
+    Unknown identifiers evaluate to 0, as the standard requires.
+    """
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def parse(self) -> tuple[int, int]:
+        value = self._ternary()
+        return value, self._index
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == PUNCT and token.text == text:
+            self._index += 1
+            return True
+        return False
+
+    def _ternary(self) -> int:
+        condition = self._binary(0)
+        if self._accept("?"):
+            then_value = self._ternary()
+            if not self._accept(":"):
+                raise PreprocessorError("expected ':' in ?:")
+            else_value = self._ternary()
+            return then_value if condition else else_value
+        return condition
+
+    _LEVELS = (("||",), ("&&",), ("|",), ("^",), ("&",), ("==", "!="),
+               ("<", "<=", ">", ">="), ("<<", ">>"), ("+", "-"),
+               ("*", "/", "%"))
+
+    def _binary(self, level: int) -> int:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        value = self._binary(level + 1)
+        while True:
+            token = self._peek()
+            if token is None or token.kind != PUNCT \
+                    or token.text not in self._LEVELS[level]:
+                return value
+            self._index += 1
+            right = self._binary(level + 1)
+            value = self._apply(token.text, value, right)
+
+    @staticmethod
+    def _apply(op: str, left: int, right: int) -> int:
+        if op == "||":
+            return 1 if (left or right) else 0
+        if op == "&&":
+            return 1 if (left and right) else 0
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "&":
+            return left & right
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise PreprocessorError("division by zero in #if")
+            return left // right
+        if op == "%":
+            if right == 0:
+                raise PreprocessorError("modulo by zero in #if")
+            return left % right
+        raise PreprocessorError(f"unknown operator {op!r}")
+
+    def _unary(self) -> int:
+        token = self._peek()
+        if token is None:
+            raise PreprocessorError("unexpected end of condition")
+        if token.kind == PUNCT and token.text in ("!", "~", "-", "+"):
+            self._index += 1
+            value = self._unary()
+            if token.text == "!":
+                return 0 if value else 1
+            if token.text == "~":
+                return ~value
+            if token.text == "-":
+                return -value
+            return value
+        if token.kind == PUNCT and token.text == "(":
+            self._index += 1
+            value = self._ternary()
+            if not self._accept(")"):
+                raise PreprocessorError("missing ')' in condition")
+            return value
+        if token.kind == NUMBER:
+            self._index += 1
+            if lexer.is_float_literal(token.text):
+                raise PreprocessorError("float in #if condition")
+            return lexer.parse_int_literal(token.text)
+        if token.kind == lexer.CHAR:
+            self._index += 1
+            return lexer.parse_char_literal(token.text)
+        if token.kind == IDENT:
+            self._index += 1
+            return 0  # unknown identifiers are 0 in #if
+        raise PreprocessorError(f"unexpected {token.text!r} in condition")

@@ -1,0 +1,582 @@
+"""Semantic analysis: scopes, symbol resolution, member lookup.
+
+Sema turns one parsed translation unit into a :class:`UnitInfo`:
+
+* a symbol table of everything declared at file scope (functions,
+  globals, typedefs, struct/union/enum tags, enumerators) and inside
+  functions (parameters, locals, static locals),
+* every :class:`~repro.lang.cast.Identifier` resolved to its symbol
+  (lexical scoping, innermost first),
+* every :class:`~repro.lang.cast.Member` access resolved to the field
+  symbol of the record the base expression's type names — which needs
+  the lightweight type inference implemented here,
+* declaration/definition pairing within the unit (prototypes matched
+  to their later definition — the ``declares`` edges),
+* a USR (unified symbol reference) per symbol, used by the linker to
+  match symbols across translation units.
+
+Unresolved calls create *implicit* function symbols (C89-style
+implicit declarations) so the call graph stays connected even when a
+header is missing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional
+
+from repro.lang import cast as c
+from repro.lang import ctypes_ as ct
+from repro.lang.source import SourceRange
+
+# symbol kinds — these are exactly the Table 1 node types the extractor
+# emits for symbols (plus 'typedef' which Table 1 also lists).
+KIND_FUNCTION = "function"
+KIND_FUNCTION_DECL = "function_decl"
+KIND_GLOBAL = "global"
+KIND_GLOBAL_DECL = "global_decl"
+KIND_LOCAL = "local"
+KIND_STATIC_LOCAL = "static_local"
+KIND_PARAMETER = "parameter"
+KIND_FIELD = "field"
+KIND_ENUMERATOR = "enumerator"
+KIND_TYPEDEF = "typedef"
+KIND_STRUCT = "struct"
+KIND_STRUCT_DECL = "struct_decl"
+KIND_UNION = "union"
+KIND_UNION_DECL = "union_decl"
+KIND_ENUM = "enum_def"
+KIND_ENUM_DECL = "enum_decl"
+
+
+@dataclasses.dataclass
+class Symbol:
+    """One named entity in a translation unit."""
+
+    kind: str
+    name: str
+    usr: str
+    type: Optional[ct.CType]
+    name_range: Optional[SourceRange]
+    unit_path: str
+    storage: Optional[str] = None
+    parent: Optional["Symbol"] = None
+    decl: Any = None
+    is_definition: bool = True
+    external_linkage: bool = False
+    variadic: bool = False
+    inline: bool = False
+    implicit: bool = False
+    value: Optional[int] = None          # enumerators
+    bit_width: Optional[int] = None      # fields
+    position: Optional[int] = None       # parameters
+    matched_definition: Optional["Symbol"] = None  # decl -> def in unit
+
+    @property
+    def qualified_name(self) -> str:
+        """Table 2's NAME: the symbol name including its parent."""
+        if self.parent is not None:
+            return f"{self.parent.name}::{self.name}"
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Symbol({self.kind} {self.qualified_name})"
+
+
+@dataclasses.dataclass
+class UnitInfo:
+    """Everything sema learned about one translation unit."""
+
+    tu: c.TranslationUnit
+    symbols: list[Symbol]
+    functions: list[Symbol]              # definitions
+    function_decls: list[Symbol]
+    globals: list[Symbol]
+    global_decls: list[Symbol]
+    typedefs: list[Symbol]
+    records: list[Symbol]                # struct/union definitions
+    record_decls: list[Symbol]
+    enums: list[Symbol]
+    enum_decls: list[Symbol]
+    enumerators: list[Symbol]
+    fields: list[Symbol]
+    record_fields: dict[str, list[Symbol]]   # record usr -> field symbols
+    exported: dict[str, Symbol]          # external definitions by name
+    imported: dict[str, Symbol]          # external references by name
+
+
+class Sema:
+    """Analyzes one translation unit."""
+
+    def __init__(self, tu: c.TranslationUnit) -> None:
+        self.tu = tu
+        self._path = tu.path
+        self._symbols: list[Symbol] = []
+        self._file_scope: dict[str, Symbol] = {}
+        self._tags: dict[str, Symbol] = {}       # 'struct foo' -> symbol
+        self._typedef_types: dict[str, ct.CType] = {}
+        self._record_fields: dict[str, list[Symbol]] = {}
+        self._fields_by_name: dict[str, list[Symbol]] = {}
+        self._enumerators: dict[str, Symbol] = {}
+        self._anon_counter = 0
+
+    # -- public API -----------------------------------------------------------
+
+    def analyze(self) -> UnitInfo:
+        """Run all passes; returns the unit's symbol information."""
+        for decl in self.tu.declarations:
+            self._declare_top_level(decl)
+        self._pair_declarations()
+        for decl in self.tu.declarations:
+            if isinstance(decl, c.FunctionDef):
+                self._analyze_function(decl)
+            elif isinstance(decl, c.VarDecl) and decl.initializer:
+                self._resolve_expression(decl.initializer, [])
+        return self._build_info()
+
+    # -- top-level declaration collection ----------------------------------------
+
+    def _declare_top_level(self, decl: c.Decl) -> None:
+        if isinstance(decl, c.RecordDecl):
+            self._declare_record(decl)
+        elif isinstance(decl, c.EnumDecl):
+            self._declare_enum(decl)
+        elif isinstance(decl, c.TypedefDecl):
+            resolved = self._resolve_type(decl.type)
+            # location-based USR: a typedef in a shared header must map
+            # to ONE graph node across all units that include it
+            usr = (f"c:t@{decl.name_range.file_id}:"
+                   f"{decl.name_range.start_line}@{decl.name}")
+            symbol = Symbol(KIND_TYPEDEF, decl.name, usr,
+                            resolved, decl.name_range, self._path,
+                            decl=decl)
+            self._typedef_types[decl.name] = resolved
+            self._add(symbol)
+        elif isinstance(decl, c.FunctionDef):
+            self._declare_function(decl, is_definition=True)
+        elif isinstance(decl, c.FunctionDecl):
+            self._declare_function(decl, is_definition=False)
+        elif isinstance(decl, c.VarDecl):
+            self._declare_global(decl)
+
+    def _declare_record(self, decl: c.RecordDecl) -> None:
+        tag = decl.tag or self._anonymous_tag(decl.kind)
+        key = f"{decl.kind} {tag}"
+        existing = self._tags.get(key)
+        if decl.is_definition:
+            kind = KIND_STRUCT if decl.kind == "struct" else KIND_UNION
+            symbol = Symbol(kind, tag, self._tag_usr(decl.kind, tag),
+                            ct.RecordType(decl.kind, tag),
+                            decl.name_range, self._path, decl=decl)
+            self._tags[key] = symbol
+            self._add(symbol)
+            fields = []
+            for field_decl in decl.fields or []:
+                field_type = self._resolve_type(field_decl.type)
+                field = Symbol(KIND_FIELD, field_decl.name or "<anon>",
+                               f"{symbol.usr}::{field_decl.name}",
+                               field_type, field_decl.name_range,
+                               self._path, parent=symbol, decl=field_decl,
+                               bit_width=field_decl.bit_width)
+                fields.append(field)
+                self._add(field)
+                if field_decl.name:
+                    self._fields_by_name.setdefault(field_decl.name,
+                                                    []).append(field)
+            self._record_fields[symbol.usr] = fields
+            if existing is not None and not existing.is_definition:
+                existing.matched_definition = symbol
+        elif existing is None:
+            kind = KIND_STRUCT_DECL if decl.kind == "struct" \
+                else KIND_UNION_DECL
+            symbol = Symbol(kind, tag, self._tag_usr(decl.kind, tag),
+                            ct.RecordType(decl.kind, tag),
+                            decl.name_range, self._path, decl=decl,
+                            is_definition=False)
+            self._tags[key] = symbol
+            self._add(symbol)
+
+    def _declare_enum(self, decl: c.EnumDecl) -> None:
+        tag = decl.tag or self._anonymous_tag("enum")
+        key = f"enum {tag}"
+        if decl.is_definition:
+            symbol = Symbol(KIND_ENUM, tag, self._tag_usr("enum", tag),
+                            ct.EnumType(tag), decl.name_range, self._path,
+                            decl=decl)
+            self._tags[key] = symbol
+            self._add(symbol)
+            for enumerator in decl.enumerators or []:
+                esym = Symbol(KIND_ENUMERATOR, enumerator.name,
+                              f"{symbol.usr}::{enumerator.name}",
+                              ct.EnumType(tag), enumerator.name_range,
+                              self._path, parent=symbol, decl=enumerator,
+                              value=enumerator.value)
+                self._enumerators[enumerator.name] = esym
+                self._file_scope.setdefault(enumerator.name, esym)
+                self._add(esym)
+        elif key not in self._tags:
+            symbol = Symbol(KIND_ENUM_DECL, tag, self._tag_usr("enum", tag),
+                            ct.EnumType(tag), decl.name_range, self._path,
+                            decl=decl, is_definition=False)
+            self._tags[key] = symbol
+            self._add(symbol)
+
+    def _declare_function(self, decl: c.FunctionDecl | c.FunctionDef,
+                          is_definition: bool) -> None:
+        external = decl.storage != "static"
+        usr = (f"c:@F@{decl.name}" if external
+               else self._internal_usr("F", decl.name))
+        kind = KIND_FUNCTION if is_definition else KIND_FUNCTION_DECL
+        symbol = Symbol(kind, decl.name, usr,
+                        self._resolve_type(decl.type), decl.name_range,
+                        self._path, storage=decl.storage, decl=decl,
+                        is_definition=is_definition,
+                        external_linkage=external,
+                        variadic=decl.variadic, inline=decl.inline)
+        if is_definition:
+            self._file_scope[decl.name] = symbol
+        else:
+            self._file_scope.setdefault(decl.name, symbol)
+        self._add(symbol)
+
+    def _declare_global(self, decl: c.VarDecl) -> None:
+        is_definition = decl.storage != "extern"
+        external = decl.storage not in ("static",)
+        usr = (f"c:@G@{decl.name}" if external
+               else self._internal_usr("G", decl.name))
+        kind = KIND_GLOBAL if is_definition else KIND_GLOBAL_DECL
+        symbol = Symbol(kind, decl.name, usr,
+                        self._resolve_type(decl.type), decl.name_range,
+                        self._path, storage=decl.storage, decl=decl,
+                        is_definition=is_definition,
+                        external_linkage=external)
+        if is_definition:
+            self._file_scope[decl.name] = symbol
+        else:
+            self._file_scope.setdefault(decl.name, symbol)
+        self._add(symbol)
+
+    def _pair_declarations(self) -> None:
+        """Match prototypes/extern decls to in-unit definitions."""
+        definitions: dict[str, Symbol] = {}
+        for symbol in self._symbols:
+            if symbol.kind in (KIND_FUNCTION, KIND_GLOBAL):
+                definitions[symbol.name] = symbol
+        for symbol in self._symbols:
+            if symbol.kind in (KIND_FUNCTION_DECL, KIND_GLOBAL_DECL):
+                match = definitions.get(symbol.name)
+                if match is not None:
+                    symbol.matched_definition = match
+
+    # -- function bodies ------------------------------------------------------------
+
+    def _analyze_function(self, decl: c.FunctionDef) -> None:
+        function_symbol = self._file_scope.get(decl.name)
+        scope: dict[str, Symbol] = {}
+        for param in decl.parameters:
+            if param.name is None:
+                continue
+            symbol = Symbol(KIND_PARAMETER, param.name,
+                            f"{decl.name}::{param.name}"
+                            f"@{self._path}#p{param.position}",
+                            self._resolve_type(param.type),
+                            param.name_range, self._path,
+                            parent=function_symbol, decl=param,
+                            position=param.position)
+            scope[param.name] = symbol
+            self._add(symbol)
+        self._resolve_block(decl.body, [scope], function_symbol)
+
+    def _resolve_block(self, block: c.CompoundStmt,
+                       scopes: list[dict[str, Symbol]],
+                       function: Optional[Symbol]) -> None:
+        scopes = scopes + [{}]
+        for item in block.body:
+            self._resolve_stmt(item, scopes, function)
+
+    def _resolve_stmt(self, node: c.Node,
+                      scopes: list[dict[str, Symbol]],
+                      function: Optional[Symbol]) -> None:
+        if isinstance(node, c.DeclStmt):
+            for var in node.declarations:
+                if var.initializer is not None:
+                    self._resolve_expression(var.initializer, scopes)
+                kind = KIND_STATIC_LOCAL if var.storage == "static" \
+                    else KIND_LOCAL
+                symbol = Symbol(kind, var.name,
+                                self._internal_usr(
+                                    "L", f"{function.name if function else '?'}"
+                                    f"::{var.name}"
+                                    f"@{var.name_range.start_line}"),
+                                self._resolve_type(var.type),
+                                var.name_range, self._path,
+                                parent=function, decl=var,
+                                storage=var.storage)
+                scopes[-1][var.name] = symbol
+                self._add(symbol)
+        elif isinstance(node, c.CompoundStmt):
+            self._resolve_block(node, scopes, function)
+        elif isinstance(node, c.ExprStmt):
+            self._resolve_expression(node.expression, scopes)
+        elif isinstance(node, c.IfStmt):
+            self._resolve_expression(node.condition, scopes)
+            self._resolve_stmt(node.then_branch, scopes, function)
+            if node.else_branch is not None:
+                self._resolve_stmt(node.else_branch, scopes, function)
+        elif isinstance(node, c.WhileStmt):
+            self._resolve_expression(node.condition, scopes)
+            self._resolve_stmt(node.body, scopes, function)
+        elif isinstance(node, c.DoStmt):
+            self._resolve_stmt(node.body, scopes, function)
+            self._resolve_expression(node.condition, scopes)
+        elif isinstance(node, c.ForStmt):
+            inner = scopes + [{}]
+            if node.init is not None:
+                self._resolve_stmt(node.init, inner, function)
+            if node.condition is not None:
+                self._resolve_expression(node.condition, inner)
+            if node.step is not None:
+                self._resolve_expression(node.step, inner)
+            self._resolve_stmt(node.body, inner, function)
+        elif isinstance(node, c.ReturnStmt):
+            if node.value is not None:
+                self._resolve_expression(node.value, scopes)
+        elif isinstance(node, c.SwitchStmt):
+            self._resolve_expression(node.condition, scopes)
+            self._resolve_stmt(node.body, scopes, function)
+        elif isinstance(node, c.CaseStmt):
+            if node.value is not None:
+                self._resolve_expression(node.value, scopes)
+            if node.body is not None:
+                self._resolve_stmt(node.body, scopes, function)
+        elif isinstance(node, c.LabelStmt):
+            self._resolve_stmt(node.body, scopes, function)
+        # Break/Continue/Goto/Empty need no resolution
+
+    # -- expression resolution + light type inference ----------------------------------
+
+    def _resolve_expression(self, expr: c.Expr,
+                            scopes: list[dict[str, Symbol]],
+                            in_call_position: bool = False,
+                            ) -> Optional[ct.CType]:
+        if isinstance(expr, c.Identifier):
+            symbol = self._lookup(expr.name, scopes)
+            if symbol is None and in_call_position:
+                symbol = self._implicit_function(expr)
+            expr.symbol = symbol
+            return symbol.type if symbol else None
+        if isinstance(expr, c.Call):
+            callee_type = self._resolve_expression(expr.callee, scopes,
+                                                   in_call_position=True)
+            for argument in expr.arguments:
+                self._resolve_expression(argument, scopes)
+            resolved = _strip(callee_type)
+            if isinstance(resolved, ct.Pointer):
+                resolved = _strip(resolved.pointee)
+            if isinstance(resolved, ct.FunctionType):
+                return resolved.return_type
+            return None
+        if isinstance(expr, c.Member):
+            base_type = self._resolve_expression(expr.base, scopes)
+            field = self._lookup_field(base_type, expr.name, expr.arrow)
+            expr.resolved_field = field
+            return field.type if field else None
+        if isinstance(expr, c.Index):
+            base_type = self._resolve_expression(expr.base, scopes)
+            self._resolve_expression(expr.index, scopes)
+            stripped = _strip(base_type)
+            if isinstance(stripped, ct.Array):
+                return stripped.element
+            if isinstance(stripped, ct.Pointer):
+                return stripped.pointee
+            return None
+        if isinstance(expr, c.Unary):
+            operand_type = self._resolve_expression(expr.operand, scopes)
+            if expr.op == "&":
+                return ct.Pointer(operand_type
+                                  or ct.Primitive("int"))
+            if expr.op == "*":
+                stripped = _strip(operand_type)
+                if isinstance(stripped, ct.Pointer):
+                    return stripped.pointee
+                if isinstance(stripped, ct.Array):
+                    return stripped.element
+                return None
+            if expr.op in ("sizeof", "_Alignof"):
+                return ct.Primitive("unsigned long")
+            return operand_type
+        if isinstance(expr, c.SizeofType):
+            expr.type = self._resolve_type(expr.type)
+            return ct.Primitive("unsigned long")
+        if isinstance(expr, c.Binary):
+            left = self._resolve_expression(expr.left, scopes)
+            right = self._resolve_expression(expr.right, scopes)
+            stripped = _strip(left)
+            if isinstance(stripped, (ct.Pointer, ct.Array)):
+                return left
+            return left or right
+        if isinstance(expr, c.Assignment):
+            target = self._resolve_expression(expr.target, scopes)
+            self._resolve_expression(expr.value, scopes)
+            return target
+        if isinstance(expr, c.Conditional):
+            self._resolve_expression(expr.condition, scopes)
+            then_type = self._resolve_expression(expr.then_value, scopes)
+            else_type = self._resolve_expression(expr.else_value, scopes)
+            return then_type or else_type
+        if isinstance(expr, c.Cast):
+            expr.type = self._resolve_type(expr.type)
+            self._resolve_expression(expr.operand, scopes)
+            return expr.type
+        if isinstance(expr, c.Comma):
+            self._resolve_expression(expr.left, scopes)
+            return self._resolve_expression(expr.right, scopes)
+        if isinstance(expr, c.InitList):
+            for item in expr.items:
+                self._resolve_expression(item, scopes)
+            return None
+        if isinstance(expr, c.IntLiteral):
+            return ct.Primitive("int")
+        if isinstance(expr, c.FloatLiteral):
+            return ct.Primitive("double")
+        if isinstance(expr, c.CharLiteral):
+            return ct.Primitive("char")
+        if isinstance(expr, c.StringLiteral):
+            return ct.Pointer(ct.Primitive("char"))
+        return None
+
+    def _lookup(self, name: str,
+                scopes: list[dict[str, Symbol]]) -> Optional[Symbol]:
+        for scope in reversed(scopes):
+            if name in scope:
+                return scope[name]
+        return self._file_scope.get(name)
+
+    def _implicit_function(self, expr: c.Identifier) -> Symbol:
+        symbol = Symbol(KIND_FUNCTION_DECL, expr.name,
+                        f"c:@F@{expr.name}",
+                        ct.FunctionType(ct.Primitive("int"), (), False),
+                        expr.range, self._path, is_definition=False,
+                        external_linkage=True, implicit=True)
+        self._file_scope[expr.name] = symbol
+        self._add(symbol)
+        return symbol
+
+    def _lookup_field(self, base_type: Optional[ct.CType], name: str,
+                      arrow: bool) -> Optional[Symbol]:
+        stripped = _strip(base_type)
+        if arrow and isinstance(stripped, (ct.Pointer, ct.Array)):
+            stripped = _strip(stripped.pointee
+                              if isinstance(stripped, ct.Pointer)
+                              else stripped.element)
+        if isinstance(stripped, ct.RecordType) and stripped.tag:
+            record = self._tags.get(f"{stripped.kind} {stripped.tag}")
+            if record is not None:
+                field = self._find_field(record, name)
+                if field is not None:
+                    return field
+        # fall back to a unique field-name match (header not parsed etc.)
+        candidates = self._fields_by_name.get(name)
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _find_field(self, record: Symbol, name: str) -> Optional[Symbol]:
+        for field in self._record_fields.get(record.usr, ()):
+            if field.name == name:
+                return field
+            if field.decl is not None and field.decl.name is None:
+                # anonymous struct/union member: search inside
+                inner = _strip(field.type)
+                if isinstance(inner, ct.RecordType) and inner.tag:
+                    inner_record = self._tags.get(
+                        f"{inner.kind} {inner.tag}")
+                    if inner_record is not None:
+                        found = self._find_field(inner_record, name)
+                        if found is not None:
+                            return found
+        return None
+
+    # -- types ------------------------------------------------------------------------
+
+    def _resolve_type(self, ctype: ct.CType) -> ct.CType:
+        """Replace typedef placeholders with their real underlying type."""
+        if isinstance(ctype, ct.TypedefType):
+            underlying = self._typedef_types.get(ctype.name)
+            if underlying is not None:
+                return ct.TypedefType(ctype.name, underlying,
+                                      ctype.qualifiers)
+            return ctype
+        if isinstance(ctype, ct.Pointer):
+            return ct.Pointer(self._resolve_type(ctype.pointee),
+                              ctype.qualifiers)
+        if isinstance(ctype, ct.Array):
+            return ct.Array(self._resolve_type(ctype.element),
+                            ctype.length, ctype.qualifiers)
+        if isinstance(ctype, ct.FunctionType):
+            return ct.FunctionType(
+                self._resolve_type(ctype.return_type),
+                tuple(self._resolve_type(param)
+                      for param in ctype.parameters),
+                ctype.variadic, ctype.qualifiers)
+        return ctype
+
+    # -- bookkeeping -------------------------------------------------------------------
+
+    def _add(self, symbol: Symbol) -> None:
+        self._symbols.append(symbol)
+
+    def _internal_usr(self, prefix: str, name: str) -> str:
+        return f"c:{self._path}@{prefix}@{name}"
+
+    def _tag_usr(self, kind: str, tag: str) -> str:
+        if tag.startswith("<anon"):
+            return f"c:{self._path}@{kind}@{tag}"
+        return f"c:@{kind[0].upper()}@{tag}"
+
+    def _anonymous_tag(self, kind: str) -> str:
+        self._anon_counter += 1
+        return f"<anon-{kind}-{self._anon_counter}>"
+
+    def _build_info(self) -> UnitInfo:
+        def pick(*kinds: str) -> list[Symbol]:
+            return [symbol for symbol in self._symbols
+                    if symbol.kind in kinds]
+
+        exported = {}
+        imported = {}
+        for symbol in self._symbols:
+            if symbol.external_linkage and symbol.is_definition:
+                exported[symbol.name] = symbol
+            elif symbol.external_linkage and not symbol.is_definition:
+                imported.setdefault(symbol.name, symbol)
+        for name in exported:
+            imported.pop(name, None)
+        return UnitInfo(
+            tu=self.tu,
+            symbols=list(self._symbols),
+            functions=pick(KIND_FUNCTION),
+            function_decls=pick(KIND_FUNCTION_DECL),
+            globals=pick(KIND_GLOBAL),
+            global_decls=pick(KIND_GLOBAL_DECL),
+            typedefs=pick(KIND_TYPEDEF),
+            records=pick(KIND_STRUCT, KIND_UNION),
+            record_decls=pick(KIND_STRUCT_DECL, KIND_UNION_DECL),
+            enums=pick(KIND_ENUM),
+            enum_decls=pick(KIND_ENUM_DECL),
+            enumerators=pick(KIND_ENUMERATOR),
+            fields=pick(KIND_FIELD),
+            record_fields=dict(self._record_fields),
+            exported=exported,
+            imported=imported)
+
+
+def _strip(ctype: Optional[ct.CType]) -> Optional[ct.CType]:
+    if ctype is None:
+        return None
+    return ct.strip_typedefs(ctype)
+
+
+def analyze(tu: c.TranslationUnit) -> UnitInfo:
+    """Convenience wrapper."""
+    return Sema(tu).analyze()

@@ -1,0 +1,178 @@
+"""Source files, locations and ranges.
+
+File identity is an integer ``file_id`` handed out by the
+:class:`FileRegistry`; the graph model's ``USE_FILE_ID``/
+``NAME_FILE_ID`` edge properties (paper Table 2) are these ids.
+Columns and lines are 1-based, as in the paper's Figure 4 example.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import posixpath
+from typing import Iterable
+
+from repro.errors import PreprocessorError
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceLocation:
+    """A point in a file (1-based line and column)."""
+
+    file_id: int
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.file_id}:{self.line}:{self.column}"
+
+
+@dataclasses.dataclass(frozen=True)
+class SourceRange:
+    """A [start, end] character range, inclusive of the end token."""
+
+    file_id: int
+    start_line: int
+    start_column: int
+    end_line: int
+    end_column: int
+
+    @classmethod
+    def from_locations(cls, start: SourceLocation,
+                       end: SourceLocation) -> "SourceRange":
+        if start.file_id != end.file_id:
+            # macro expansions can straddle files; keep the start file
+            return cls(start.file_id, start.line, start.column,
+                       start.line, start.column)
+        return cls(start.file_id, start.line, start.column,
+                   end.line, end.column)
+
+    def __str__(self) -> str:
+        return (f"{self.file_id}:{self.start_line}:{self.start_column}-"
+                f"{self.end_line}:{self.end_column}")
+
+
+@dataclasses.dataclass
+class SourceFile:
+    """One registered source file."""
+
+    file_id: int
+    path: str        # normalized path as given to the registry
+    content: str
+
+    @property
+    def name(self) -> str:
+        return posixpath.basename(self.path)
+
+    @property
+    def directory(self) -> str:
+        return posixpath.dirname(self.path)
+
+    def line_count(self) -> int:
+        return self.content.count("\n") + 1
+
+
+class VirtualFileSystem:
+    """An in-memory file system for the front end.
+
+    Both tests and the synthetic-kernel workload generator feed the
+    compiler from memory; a real directory tree can be imported with
+    :meth:`add_tree`.
+    """
+
+    def __init__(self, files: dict[str, str] | None = None) -> None:
+        self._files: dict[str, str] = {}
+        if files:
+            for path, content in files.items():
+                self.add(path, content)
+
+    @staticmethod
+    def normalize(path: str) -> str:
+        normalized = posixpath.normpath(path.replace(os.sep, "/"))
+        return normalized.lstrip("./") if normalized != "." else normalized
+
+    def add(self, path: str, content: str) -> str:
+        normalized = self.normalize(path)
+        self._files[normalized] = content
+        return normalized
+
+    def add_tree(self, root: str) -> int:
+        """Import all files under a real directory; returns the count."""
+        count = 0
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for filename in filenames:
+                full = os.path.join(dirpath, filename)
+                relative = os.path.relpath(full, root)
+                with open(full, encoding="utf-8", errors="replace") as fh:
+                    self.add(relative, fh.read())
+                count += 1
+        return count
+
+    def exists(self, path: str) -> bool:
+        return self.normalize(path) in self._files
+
+    def read(self, path: str) -> str:
+        normalized = self.normalize(path)
+        if normalized not in self._files:
+            raise PreprocessorError(f"no such file: {path!r}")
+        return self._files[normalized]
+
+    def paths(self) -> Iterable[str]:
+        return sorted(self._files)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+
+class FileRegistry:
+    """Stable path -> file_id mapping shared across compilation units.
+
+    The linker and the extractor both need to agree on file ids, so
+    one registry is threaded through a whole build.
+    """
+
+    def __init__(self, filesystem: VirtualFileSystem) -> None:
+        self.filesystem = filesystem
+        self._by_path: dict[str, SourceFile] = {}
+        self._by_id: list[SourceFile] = []
+
+    def open(self, path: str) -> SourceFile:
+        normalized = self.filesystem.normalize(path)
+        existing = self._by_path.get(normalized)
+        if existing is not None:
+            return existing
+        content = self.filesystem.read(normalized)
+        source = SourceFile(len(self._by_id), normalized, content)
+        self._by_path[normalized] = source
+        self._by_id.append(source)
+        return source
+
+    def by_id(self, file_id: int) -> SourceFile:
+        if not 0 <= file_id < len(self._by_id):
+            raise PreprocessorError(f"unknown file id {file_id}")
+        return self._by_id[file_id]
+
+    def known_files(self) -> list[SourceFile]:
+        return list(self._by_id)
+
+    def resolve_include(self, name: str, current_directory: str,
+                        include_paths: Iterable[str],
+                        angled: bool) -> str | None:
+        """Find an include target; returns its normalized path or None.
+
+        Quoted includes search the including file's directory first,
+        then the -I paths; angled includes search only the -I paths —
+        the standard lookup order the paper's wrapper scripts inherit
+        from the native compiler.
+        """
+        candidates = []
+        if not angled:
+            candidates.append(posixpath.join(current_directory, name)
+                              if current_directory else name)
+        for include_path in include_paths:
+            candidates.append(posixpath.join(include_path, name))
+        for candidate in candidates:
+            if self.filesystem.exists(candidate):
+                return self.filesystem.normalize(candidate)
+        return None

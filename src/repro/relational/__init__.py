@@ -1,0 +1,23 @@
+"""Mini relational engine: the paper's Section 2 baseline.
+
+The paper argues that relational DBMSs "would work well for some of
+the simpler use cases" but that transitive closure "results in verbose
+recursive queries that ... often suffer performance issues due to
+repeated join operations". This package makes that claim testable:
+
+* :mod:`~repro.relational.table` — typed tables and a database catalog,
+* :mod:`~repro.relational.engine` — select / project / hash-join /
+  union / aggregate operators plus semi-naive fixpoint evaluation,
+* :mod:`~repro.relational.sql` — a small SQL parser supporting
+  ``SELECT``/``JOIN``/``WHERE``/``GROUP BY``/``ORDER BY``/``UNION`` and
+  ``WITH RECURSIVE``, enough to express the dependency-graph workloads
+  relationally.
+
+Benchmark E10 loads the dependency graph into ``nodes``/``edges``
+tables and runs the same reachability workloads both ways.
+"""
+
+from repro.relational.engine import SqlEngine
+from repro.relational.table import Database, Table
+
+__all__ = ["Database", "SqlEngine", "Table"]

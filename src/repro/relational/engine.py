@@ -1,0 +1,497 @@
+"""Executor for the mini-SQL dialect.
+
+Joins are hash joins when the ON condition contains at least one
+equality between the two sides (the rest of the condition filters the
+candidates); otherwise nested loops. ``WITH RECURSIVE`` is evaluated
+semi-naively: each iteration joins only the previous delta, which is
+the textbook strategy — and still loses badly to a graph traversal on
+closure workloads, which is exactly the paper's Section 2 argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SqlError
+from repro.relational import sql as ast
+from repro.relational.table import Database, Table
+
+_MAX_RECURSION_ROUNDS = 1_000_000
+
+
+class SqlResult:
+    """Materialized result of a SELECT."""
+
+    def __init__(self, columns: list[str],
+                 rows: list[tuple[Any, ...]]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        for row in self.rows:
+            yield dict(zip(self.columns, row))
+
+    def value(self) -> Any:
+        if not self.rows:
+            raise SqlError("result is empty")
+        return self.rows[0][0]
+
+    def values(self, column: int | str = 0) -> list[Any]:
+        index = column if isinstance(column, int) \
+            else self.columns.index(column)
+        return [row[index] for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"SqlResult(columns={self.columns}, rows={len(self.rows)})"
+
+
+class SqlEngine:
+    """Runs SQL text against a :class:`~repro.relational.table.Database`."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self.join_rows_examined = 0  # counter for benchmark reporting
+
+    def run(self, text: str) -> SqlResult:
+        """Parse and execute one SQL statement."""
+        statement = ast.parse_sql(text)
+        ctes: dict[str, Table] = {}
+        for cte in statement.ctes:
+            ctes[cte.name] = self._evaluate_cte(cte, ctes)
+        columns, rows = self._select(statement.select, ctes)
+        return SqlResult(columns, rows)
+
+    # -- CTEs / recursion ---------------------------------------------------------
+
+    def _evaluate_cte(self, cte: ast.Cte, ctes: dict[str, Table]) -> Table:
+        if not cte.recursive or not self._references(cte.select, cte.name):
+            columns, rows = self._select(cte.select, ctes)
+            names = list(cte.columns) or columns
+            return Table(cte.name, names, rows)
+        if len(cte.select.cores) < 2:
+            raise SqlError(
+                f"recursive CTE {cte.name!r} needs base UNION recursive "
+                f"part")
+        base_cores = [core for core in cte.select.cores
+                      if not self._core_references(core, cte.name)]
+        recursive_cores = [core for core in cte.select.cores
+                           if self._core_references(core, cte.name)]
+        if not base_cores or not recursive_cores:
+            raise SqlError(
+                f"recursive CTE {cte.name!r} needs a non-recursive base "
+                f"and a recursive part")
+        base_select = ast.Select(tuple(base_cores), cte.select.union_all,
+                                 (), None)
+        columns, base_rows = self._select(base_select, ctes)
+        names = list(cte.columns) or columns
+        total: set[tuple[Any, ...]] = set(base_rows)
+        ordered = list(dict.fromkeys(base_rows))
+        delta = Table(cte.name, names, ordered)
+        for _ in range(_MAX_RECURSION_ROUNDS):
+            if not delta.rows:
+                break
+            scope = dict(ctes)
+            scope[cte.name] = delta  # semi-naive: join the delta only
+            new_rows: list[tuple[Any, ...]] = []
+            for core in recursive_cores:
+                _, produced = self._select(
+                    ast.Select((core,), False, (), None), scope)
+                new_rows.extend(produced)
+            fresh = [row for row in dict.fromkeys(new_rows)
+                     if row not in total]
+            total.update(fresh)
+            ordered.extend(fresh)
+            delta = Table(cte.name, names, fresh)
+        else:
+            raise SqlError(
+                f"recursive CTE {cte.name!r} did not converge")
+        return Table(cte.name, names, ordered)
+
+    def _references(self, select: ast.Select, name: str) -> bool:
+        return any(self._core_references(core, name)
+                   for core in select.cores)
+
+    @staticmethod
+    def _core_references(core: ast.SelectCore, name: str) -> bool:
+        if core.source.name == name:
+            return True
+        return any(join.source.name == name for join in core.joins)
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def _select(self, select: ast.Select, ctes: Mapping[str, Table],
+                ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        columns: list[str] | None = None
+        rows: list[tuple[Any, ...]] = []
+        for core in select.cores:
+            core_columns, core_rows = self._select_core(core, ctes)
+            if columns is None:
+                columns = core_columns
+            elif len(columns) != len(core_columns):
+                raise SqlError("UNION arms have different arity")
+            rows.extend(core_rows)
+        assert columns is not None
+        if len(select.cores) > 1 and not select.union_all:
+            rows = list(dict.fromkeys(rows))
+        if select.order_by:
+            rows = self._order(rows, columns, select.order_by)
+        if select.limit is not None:
+            rows = rows[:select.limit]
+        return columns, rows
+
+    def _select_core(self, core: ast.SelectCore,
+                     ctes: Mapping[str, Table],
+                     ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        envs = self._from_and_joins(core, ctes)
+        if core.where is not None:
+            envs = [env for env in envs
+                    if self._eval(core.where, env) is True]
+        if core.group_by or any(ast.sql_contains_aggregate(item.expression)
+                                for item in core.items):
+            return self._aggregate_core(core, envs)
+        if core.star:
+            columns = self._star_columns(core, ctes)
+            rows = [tuple(env[column] for column in columns)
+                    for env in envs]
+        else:
+            columns = [self._item_name(item, index)
+                       for index, item in enumerate(core.items)]
+            rows = [tuple(self._eval(item.expression, env)
+                          for item in core.items) for env in envs]
+        if core.distinct:
+            rows = list(dict.fromkeys(rows))
+        return columns, rows
+
+    def _from_and_joins(self, core: ast.SelectCore,
+                        ctes: Mapping[str, Table],
+                        ) -> list[dict[str, Any]]:
+        base = self._resolve(core.source.name, ctes)
+        envs = [self._env_for(core.source.alias, base, row)
+                for row in base.rows]
+        for join in core.joins:
+            right = self._resolve(join.source.name, ctes)
+            envs = self._join(envs, right, join.source.alias,
+                              join.condition)
+        return envs
+
+    def _resolve(self, name: str, ctes: Mapping[str, Table]) -> Table:
+        if name in ctes:
+            return ctes[name]
+        return self.database.table(name)
+
+    @staticmethod
+    def _env_for(alias: str, table: Table,
+                 row: tuple[Any, ...]) -> dict[str, Any]:
+        env: dict[str, Any] = {}
+        for column, value in zip(table.columns, row):
+            env[f"{alias}.{column}"] = value
+            # bare name: first binding wins; qualified always available
+            env.setdefault(column, value)
+        return env
+
+    def _join(self, envs: list[dict[str, Any]], right: Table, alias: str,
+              condition: ast.SqlExpr) -> list[dict[str, Any]]:
+        equalities = self._equi_keys(condition, envs, right, alias)
+        result: list[dict[str, Any]] = []
+        if equalities is not None:
+            left_keys, right_columns = equalities
+            index: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+            positions = [right.column_index(column)
+                         for column in right_columns]
+            for row in right.rows:
+                key = tuple(row[position] for position in positions)
+                index.setdefault(key, []).append(row)
+            for env in envs:
+                key = tuple(self._eval(expr, env) for expr in left_keys)
+                for row in index.get(key, ()):
+                    self.join_rows_examined += 1
+                    merged = dict(env)
+                    merged.update(self._env_for(alias, right, row))
+                    if self._eval(condition, merged) is True:
+                        result.append(merged)
+            return result
+        for env in envs:  # nested loop fallback
+            for row in right.rows:
+                self.join_rows_examined += 1
+                merged = dict(env)
+                merged.update(self._env_for(alias, right, row))
+                if self._eval(condition, merged) is True:
+                    result.append(merged)
+        return result
+
+    def _equi_keys(self, condition: ast.SqlExpr,
+                   envs: list[dict[str, Any]], right: Table, alias: str,
+                   ) -> tuple[list[ast.SqlExpr], list[str]] | None:
+        """Extract hashable equi-join keys from a conjunction, if any."""
+        left_keys: list[ast.SqlExpr] = []
+        right_columns: list[str] = []
+
+        def right_side_column(expr: ast.SqlExpr) -> str | None:
+            if isinstance(expr, ast.ColumnRef):
+                if expr.table == alias:
+                    return expr.column
+                if expr.table is None and expr.column in right.columns:
+                    # bare column that exists on the right and not on the
+                    # left side environments
+                    sample = envs[0] if envs else {}
+                    if expr.column not in sample:
+                        return expr.column
+            return None
+
+        def refers_only_left(expr: ast.SqlExpr) -> bool:
+            if isinstance(expr, ast.ColumnRef):
+                if expr.table == alias:
+                    return False
+                if expr.table is None:
+                    sample = envs[0] if envs else {}
+                    return expr.column in sample
+                return True
+            if isinstance(expr, ast.SqlLiteral):
+                return True
+            if isinstance(expr, ast.SqlUnary):
+                return refers_only_left(expr.operand)
+            if isinstance(expr, ast.SqlBinary):
+                return (refers_only_left(expr.left)
+                        and refers_only_left(expr.right))
+            return False
+
+        def walk(expr: ast.SqlExpr) -> None:
+            if isinstance(expr, ast.SqlBinary) and expr.op == "and":
+                walk(expr.left)
+                walk(expr.right)
+                return
+            if isinstance(expr, ast.SqlBinary) and expr.op == "=":
+                for left, right_expr in ((expr.left, expr.right),
+                                         (expr.right, expr.left)):
+                    column = right_side_column(right_expr)
+                    if column is not None and refers_only_left(left):
+                        left_keys.append(left)
+                        right_columns.append(column)
+                        return
+
+        walk(condition)
+        if not left_keys:
+            return None
+        return left_keys, right_columns
+
+    def _star_columns(self, core: ast.SelectCore,
+                      ctes: Mapping[str, Table]) -> list[str]:
+        columns = []
+        sources = [core.source] + [join.source for join in core.joins]
+        for source in sources:
+            table = self._resolve(source.name, ctes)
+            columns.extend(f"{source.alias}.{column}"
+                           for column in table.columns)
+        return columns
+
+    @staticmethod
+    def _item_name(item: ast.SelectItem, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expression, ast.ColumnRef):
+            return item.expression.column
+        return f"column_{index}"
+
+    # -- aggregation --------------------------------------------------------------
+
+    def _aggregate_core(self, core: ast.SelectCore,
+                        envs: list[dict[str, Any]],
+                        ) -> tuple[list[str], list[tuple[Any, ...]]]:
+        if core.star:
+            raise SqlError("SELECT * cannot be combined with aggregates")
+        columns = [self._item_name(item, index)
+                   for index, item in enumerate(core.items)]
+        groups: dict[Any, list[dict[str, Any]]] = {}
+        keys_in_order: list[Any] = []
+        for env in envs:
+            key = tuple(self._eval(expr, env) for expr in core.group_by)
+            if key not in groups:
+                groups[key] = []
+                keys_in_order.append(key)
+            groups[key].append(env)
+        if not groups and not core.group_by:
+            groups[()] = []
+            keys_in_order.append(())
+        rows = []
+        for key in keys_in_order:
+            group = groups[key]
+            rows.append(tuple(self._eval_aggregate(item.expression, group)
+                              for item in core.items))
+        if core.distinct:
+            rows = list(dict.fromkeys(rows))
+        return columns, rows
+
+    def _eval_aggregate(self, expr: ast.SqlExpr,
+                        group: list[dict[str, Any]]) -> Any:
+        if isinstance(expr, ast.SqlCall) and expr.is_aggregate:
+            return self._apply_aggregate(expr, group)
+        if isinstance(expr, ast.SqlBinary):
+            left = self._eval_aggregate(expr.left, group)
+            right = self._eval_aggregate(expr.right, group)
+            return self._binary(expr.op, left, right)
+        if isinstance(expr, ast.SqlUnary):
+            inner = self._eval_aggregate(expr.operand, group)
+            return self._unary(expr.op, inner)
+        return self._eval(expr, group[0]) if group else None
+
+    def _apply_aggregate(self, call: ast.SqlCall,
+                         group: list[dict[str, Any]]) -> Any:
+        if call.star:
+            return len(group)
+        if len(call.args) != 1:
+            raise SqlError(f"{call.name}() takes one argument")
+        values = [self._eval(call.args[0], env) for env in group]
+        values = [value for value in values if value is not None]
+        if call.distinct:
+            values = list(dict.fromkeys(values))
+        if call.name == "count":
+            return len(values)
+        if call.name == "sum":
+            return sum(values) if values else None
+        if call.name == "min":
+            return min(values) if values else None
+        if call.name == "max":
+            return max(values) if values else None
+        if call.name == "avg":
+            return sum(values) / len(values) if values else None
+        raise SqlError(f"unknown aggregate {call.name}()")
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def _eval(self, expr: ast.SqlExpr, env: Mapping[str, Any]) -> Any:
+        if isinstance(expr, ast.SqlLiteral):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            key = f"{expr.table}.{expr.column}" if expr.table \
+                else expr.column
+            if key not in env:
+                raise SqlError(f"unknown column {key!r}")
+            return env[key]
+        if isinstance(expr, ast.SqlUnary):
+            return self._unary(expr.op, self._eval(expr.operand, env))
+        if isinstance(expr, ast.SqlBinary):
+            if expr.op in ("and", "or"):
+                return self._logical(expr, env)
+            return self._binary(expr.op, self._eval(expr.left, env),
+                                self._eval(expr.right, env))
+        if isinstance(expr, ast.SqlCall):
+            raise SqlError(
+                f"aggregate {expr.name}() outside SELECT items")
+        raise SqlError(f"cannot evaluate {expr!r}")
+
+    def _logical(self, expr: ast.SqlBinary, env: Mapping[str, Any]) -> Any:
+        left = self._eval(expr.left, env)
+        if expr.op == "and":
+            if left is False:
+                return False
+            right = self._eval(expr.right, env)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if left is True:
+            return True
+        right = self._eval(expr.right, env)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    @staticmethod
+    def _unary(op: str, value: Any) -> Any:
+        if value is None:
+            return None
+        if op == "not":
+            return not value
+        if op == "-":
+            return -value
+        raise SqlError(f"unknown unary operator {op!r}")
+
+    @staticmethod
+    def _binary(op: str, left: Any, right: Any) -> Any:
+        if left is None or right is None:
+            return None
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if isinstance(left, int) and isinstance(right, int):
+                if right == 0:
+                    raise SqlError("division by zero")
+                return left // right
+            return left / right
+        if op == "%":
+            return left % right
+        raise SqlError(f"unknown operator {op!r}")
+
+    @staticmethod
+    def _order(rows: list[tuple[Any, ...]], columns: list[str],
+               order_by: tuple[ast.OrderItem, ...],
+               ) -> list[tuple[Any, ...]]:
+        ordered = list(rows)
+        for item in reversed(order_by):
+            if not isinstance(item.expression, ast.ColumnRef):
+                raise SqlError("ORDER BY supports column references only")
+            name = item.expression.column
+            qualified = (f"{item.expression.table}.{name}"
+                         if item.expression.table else name)
+            try:
+                index = columns.index(qualified)
+            except ValueError:
+                try:
+                    index = columns.index(name)
+                except ValueError:
+                    raise SqlError(
+                        f"ORDER BY column {qualified!r} not in result"
+                    ) from None
+            ordered.sort(key=lambda row: (row[index] is None, row[index]),
+                         reverse=not item.ascending)
+        return ordered
+
+
+def load_graph_tables(database: Database, view: Any,
+                      node_properties: Iterable[str] = ("type",
+                                                        "short_name"),
+                      edge_properties: Iterable[str] = (),
+                      ) -> None:
+    """Load a :class:`~repro.graphdb.view.GraphView` into SQL tables.
+
+    Creates ``nodes(id, <props>...)`` and
+    ``edges(src, dst, type, <props>...)`` — the straightforward
+    relational encoding of the dependency graph that benchmark E10
+    queries with recursive SQL.
+    """
+    node_props = list(node_properties)
+    edge_props = list(edge_properties)
+    nodes = database.create_table("nodes", ["id"] + node_props)
+    for node_id in view.node_ids():
+        properties = view.node_properties(node_id)
+        nodes.insert([node_id] + [properties.get(key)
+                                  for key in node_props])
+    edges = database.create_table("edges",
+                                  ["src", "dst", "type"] + edge_props)
+    for edge_id in view.edge_ids():
+        properties = view.edge_properties(edge_id)
+        edges.insert([view.edge_source(edge_id), view.edge_target(edge_id),
+                      view.edge_type(edge_id)]
+                     + [properties.get(key) for key in edge_props])

@@ -1,0 +1,486 @@
+"""A small SQL parser for the relational baseline.
+
+Supported grammar (enough to express the paper's workloads
+relationally, including recursive reachability)::
+
+    statement   := [WITH [RECURSIVE] cte (',' cte)*] select
+    cte         := name ['(' columns ')'] AS '(' select ')'
+    select      := core (UNION [ALL] core)* [ORDER BY ...] [LIMIT n]
+    core        := SELECT [DISTINCT] items FROM source
+                   (JOIN source ON expr)* [WHERE expr]
+                   [GROUP BY expr (',' expr)*]
+    items       := '*' | expr [AS alias] (',' expr [AS alias])*
+    source      := table_name [alias]
+
+Expressions support comparisons, AND/OR/NOT, arithmetic, column
+references (bare or alias-qualified), literals, and the aggregates
+COUNT(*)/COUNT/SUM/MIN/MAX/AVG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Optional
+
+from repro.errors import SqlError
+
+# --------------------------------------------------------------------------
+# Lexer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|--[^\n]*)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct><=|>=|<>|!=|=|<|>|\(|\)|,|\.|\*|\+|-|/|%|;)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    value: Any
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise SqlError(f"bad character {text[position]!r} at offset "
+                           f"{position}")
+        kind = match.lastgroup or ""
+        lexeme = match.group()
+        if kind == "ws":
+            pass
+        elif kind == "int":
+            tokens.append(_Token("int", lexeme, int(lexeme)))
+        elif kind == "float":
+            tokens.append(_Token("float", lexeme, float(lexeme)))
+        elif kind == "string":
+            tokens.append(_Token("string", lexeme,
+                                 lexeme[1:-1].replace("''", "'")))
+        elif kind == "ident":
+            tokens.append(_Token("ident", lexeme, lexeme))
+        else:
+            tokens.append(_Token("punct", lexeme, lexeme))
+        position = match.end()
+    tokens.append(_Token("eof", "", None))
+    return tokens
+
+
+# --------------------------------------------------------------------------
+# AST
+# --------------------------------------------------------------------------
+
+class SqlExpr:
+    """Marker base for SQL expressions."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SqlLiteral(SqlExpr):
+    value: Any
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    table: Optional[str]  # alias, lowercased
+    column: str           # lowercased
+
+
+@dataclasses.dataclass(frozen=True)
+class SqlUnary(SqlExpr):
+    op: str
+    operand: SqlExpr
+
+
+@dataclasses.dataclass(frozen=True)
+class SqlBinary(SqlExpr):
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclasses.dataclass(frozen=True)
+class SqlCall(SqlExpr):
+    name: str
+    args: tuple[SqlExpr, ...]
+    star: bool = False
+    distinct: bool = False
+
+    AGGREGATES = frozenset({"count", "sum", "min", "max", "avg"})
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.name in self.AGGREGATES
+
+
+def sql_contains_aggregate(expr: SqlExpr) -> bool:
+    if isinstance(expr, SqlCall):
+        return expr.is_aggregate or any(sql_contains_aggregate(arg)
+                                        for arg in expr.args)
+    if isinstance(expr, SqlUnary):
+        return sql_contains_aggregate(expr.operand)
+    if isinstance(expr, SqlBinary):
+        return (sql_contains_aggregate(expr.left)
+                or sql_contains_aggregate(expr.right))
+    return False
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectItem:
+    expression: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class TableSource:
+    name: str
+    alias: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Join:
+    source: TableSource
+    condition: SqlExpr
+
+
+@dataclasses.dataclass(frozen=True)
+class SelectCore:
+    items: tuple[SelectItem, ...]
+    star: bool
+    source: TableSource
+    joins: tuple[Join, ...]
+    where: Optional[SqlExpr]
+    group_by: tuple[SqlExpr, ...]
+    distinct: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderItem:
+    expression: SqlExpr
+    ascending: bool = True
+
+
+@dataclasses.dataclass(frozen=True)
+class Select:
+    cores: tuple[SelectCore, ...]      # UNIONed
+    union_all: bool
+    order_by: tuple[OrderItem, ...]
+    limit: Optional[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class Cte:
+    name: str
+    columns: tuple[str, ...]
+    select: Select
+    recursive: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class Statement:
+    ctes: tuple[Cte, ...]
+    select: Select
+
+
+# --------------------------------------------------------------------------
+# Parser
+# --------------------------------------------------------------------------
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "JOIN", "ON", "AS", "AND", "OR",
+             "NOT", "UNION", "ALL", "WITH", "RECURSIVE", "DISTINCT",
+             "GROUP", "ORDER", "BY", "LIMIT", "ASC", "DESC", "NULL",
+             "TRUE", "FALSE", "IN", "INNER"}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self, offset: int = 0) -> _Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "ident" and token.text.upper() == word
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._at_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise SqlError(f"expected {word}, found "
+                           f"{self._peek().text or 'end of input'!r}")
+
+    def _at_punct(self, text: str) -> bool:
+        token = self._peek()
+        return token.kind == "punct" and token.text == text
+
+    def _expect_punct(self, text: str) -> None:
+        if not self._at_punct(text):
+            raise SqlError(f"expected {text!r}, found "
+                           f"{self._peek().text or 'end of input'!r}")
+        self._advance()
+
+    def _expect_ident(self, what: str = "identifier") -> str:
+        token = self._peek()
+        if token.kind != "ident" or token.text.upper() in _KEYWORDS:
+            raise SqlError(f"expected {what}, found "
+                           f"{token.text or 'end of input'!r}")
+        self._advance()
+        return token.text.lower()
+
+    # statement -----------------------------------------------------------------
+
+    def parse(self) -> Statement:
+        ctes: list[Cte] = []
+        if self._accept_keyword("WITH"):
+            recursive = self._accept_keyword("RECURSIVE")
+            ctes.append(self._cte(recursive))
+            while self._at_punct(","):
+                self._advance()
+                ctes.append(self._cte(recursive))
+        select = self._select()
+        if self._at_punct(";"):
+            self._advance()
+        if self._peek().kind != "eof":
+            raise SqlError(f"trailing input at {self._peek().text!r}")
+        return Statement(tuple(ctes), select)
+
+    def _cte(self, recursive: bool) -> Cte:
+        name = self._expect_ident("CTE name")
+        columns: list[str] = []
+        if self._at_punct("("):
+            self._advance()
+            columns.append(self._expect_ident("column name"))
+            while self._at_punct(","):
+                self._advance()
+                columns.append(self._expect_ident("column name"))
+            self._expect_punct(")")
+        self._expect_keyword("AS")
+        self._expect_punct("(")
+        select = self._select()
+        self._expect_punct(")")
+        return Cte(name, tuple(columns), select, recursive)
+
+    def _select(self) -> Select:
+        cores = [self._select_core()]
+        union_all = False
+        while self._at_keyword("UNION"):
+            self._advance()
+            union_all = self._accept_keyword("ALL")
+            cores.append(self._select_core())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._at_punct(","):
+                self._advance()
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            token = self._peek()
+            if token.kind != "int":
+                raise SqlError("LIMIT needs an integer")
+            self._advance()
+            limit = int(token.value)
+        return Select(tuple(cores), union_all, tuple(order_by), limit)
+
+    def _order_item(self) -> OrderItem:
+        expression = self._expression()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expression, ascending)
+
+    def _select_core(self) -> SelectCore:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        star = False
+        items: list[SelectItem] = []
+        if self._at_punct("*"):
+            self._advance()
+            star = True
+        else:
+            items.append(self._select_item())
+            while self._at_punct(","):
+                self._advance()
+                items.append(self._select_item())
+        self._expect_keyword("FROM")
+        source = self._table_source()
+        joins: list[Join] = []
+        while self._at_keyword("JOIN") or self._at_keyword("INNER"):
+            self._accept_keyword("INNER")
+            self._expect_keyword("JOIN")
+            join_source = self._table_source()
+            self._expect_keyword("ON")
+            joins.append(Join(join_source, self._expression()))
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._expression()
+        group_by: list[SqlExpr] = []
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_by.append(self._expression())
+            while self._at_punct(","):
+                self._advance()
+                group_by.append(self._expression())
+        return SelectCore(tuple(items), star, source, tuple(joins), where,
+                          tuple(group_by), distinct)
+
+    def _select_item(self) -> SelectItem:
+        expression = self._expression()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif (self._peek().kind == "ident"
+              and self._peek().text.upper() not in _KEYWORDS):
+            alias = self._advance().text.lower()
+        return SelectItem(expression, alias)
+
+    def _table_source(self) -> TableSource:
+        name = self._expect_ident("table name")
+        alias = name
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident("alias")
+        elif (self._peek().kind == "ident"
+              and self._peek().text.upper() not in _KEYWORDS):
+            alias = self._advance().text.lower()
+        return TableSource(name, alias)
+
+    # expressions ----------------------------------------------------------------
+
+    def _expression(self) -> SqlExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> SqlExpr:
+        left = self._and_expr()
+        while self._at_keyword("OR"):
+            self._advance()
+            left = SqlBinary("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> SqlExpr:
+        left = self._not_expr()
+        while self._at_keyword("AND"):
+            self._advance()
+            left = SqlBinary("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> SqlExpr:
+        if self._accept_keyword("NOT"):
+            return SqlUnary("not", self._not_expr())
+        return self._comparison()
+
+    _COMPARISONS = ("=", "<>", "!=", "<=", ">=", "<", ">")
+
+    def _comparison(self) -> SqlExpr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "punct" and token.text in self._COMPARISONS:
+            self._advance()
+            op = "<>" if token.text == "!=" else token.text
+            return SqlBinary(op, left, self._additive())
+        return left
+
+    def _additive(self) -> SqlExpr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.text in ("+", "-"):
+                self._advance()
+                left = SqlBinary(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> SqlExpr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.text in ("*", "/", "%"):
+                self._advance()
+                left = SqlBinary(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> SqlExpr:
+        if self._at_punct("-"):
+            self._advance()
+            return SqlUnary("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> SqlExpr:
+        token = self._peek()
+        if token.kind in ("int", "float", "string"):
+            self._advance()
+            return SqlLiteral(token.value)
+        if self._at_keyword("NULL"):
+            self._advance()
+            return SqlLiteral(None)
+        if self._at_keyword("TRUE"):
+            self._advance()
+            return SqlLiteral(True)
+        if self._at_keyword("FALSE"):
+            self._advance()
+            return SqlLiteral(False)
+        if self._at_punct("("):
+            self._advance()
+            inner = self._expression()
+            self._expect_punct(")")
+            return inner
+        if token.kind == "ident":
+            name = token.text
+            if self._peek(1).kind == "punct" and self._peek(1).text == "(":
+                self._advance()
+                self._advance()  # '('
+                if self._at_punct("*"):
+                    self._advance()
+                    self._expect_punct(")")
+                    return SqlCall(name.lower(), (), star=True)
+                distinct = self._accept_keyword("DISTINCT")
+                args = [self._expression()]
+                while self._at_punct(","):
+                    self._advance()
+                    args.append(self._expression())
+                self._expect_punct(")")
+                return SqlCall(name.lower(), tuple(args), distinct=distinct)
+            if name.upper() in _KEYWORDS:
+                raise SqlError(f"unexpected keyword {name!r}")
+            self._advance()
+            if self._at_punct("."):
+                self._advance()
+                column = self._expect_ident("column name")
+                return ColumnRef(name.lower(), column)
+            return ColumnRef(None, name.lower())
+        raise SqlError(f"expected expression, found "
+                       f"{token.text or 'end of input'!r}")
+
+
+def parse_sql(text: str) -> Statement:
+    """Parse one SQL statement."""
+    if not text or not text.strip():
+        raise SqlError("empty SQL statement")
+    return _Parser(text).parse()

@@ -1,0 +1,93 @@
+"""Tables and the database catalog for the relational baseline."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.errors import SqlError
+
+
+class Table:
+    """A named relation: a column list and a list of row tuples."""
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 rows: Iterable[Sequence[Any]] | None = None) -> None:
+        if not columns:
+            raise SqlError(f"table {name!r} needs at least one column")
+        lowered = [column.lower() for column in columns]
+        if len(set(lowered)) != len(lowered):
+            raise SqlError(f"table {name!r} has duplicate column names")
+        self.name = name.lower()
+        self.columns = lowered
+        self.rows: list[tuple[Any, ...]] = []
+        if rows is not None:
+            for row in rows:
+                self.insert(row)
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def insert(self, row: Sequence[Any]) -> None:
+        if len(row) != self.arity:
+            raise SqlError(
+                f"table {self.name!r} expects {self.arity} values, "
+                f"got {len(row)}")
+        self.rows.append(tuple(row))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        for row in rows:
+            self.insert(row)
+
+    def column_index(self, column: str) -> int:
+        try:
+            return self.columns.index(column.lower())
+        except ValueError:
+            raise SqlError(
+                f"no column {column!r} in table {self.name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return (f"Table({self.name!r}, columns={self.columns}, "
+                f"rows={len(self.rows)})")
+
+
+class Database:
+    """A catalog of tables."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, columns: Sequence[str],
+                     rows: Iterable[Sequence[Any]] | None = None) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            raise SqlError(f"table {name!r} already exists")
+        table = Table(key, columns, rows)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name.lower() not in self._tables:
+            raise SqlError(f"no such table {name!r}")
+        del self._tables[name.lower()]
+
+    def table(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise SqlError(f"no such table {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return self.has_table(str(name))

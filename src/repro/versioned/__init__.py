@@ -1,0 +1,26 @@
+"""Evolving codebases as temporal graphs (paper Section 6.3).
+
+The paper identifies versioned dependency graphs as an open challenge
+and sketches the design space: shipping the store with the VCS (too
+big), storing each version in isolation (duplicates everything), or
+storing deltas (LLAMA-style). This package implements the latter two
+so benchmark E12 can measure the trade-off:
+
+* :mod:`~repro.versioned.delta` — structural graph deltas
+  (diff / apply / invert / binary serialization),
+* :mod:`~repro.versioned.store` — a multi-version store supporting
+  both ``isolated`` (snapshot per version) and ``delta`` (base +
+  chain) modes,
+* :mod:`~repro.versioned.impact` — cross-version change-impact
+  analysis ("software change impact analysis", the use case the paper
+  says isolation forgoes).
+"""
+
+from repro.versioned.align import align_graph, default_node_key
+from repro.versioned.delta import GraphDelta, apply_delta, diff_graphs
+from repro.versioned.impact import ImpactReport, change_impact
+from repro.versioned.store import VersionedGraphStore
+
+__all__ = ["GraphDelta", "ImpactReport", "VersionedGraphStore",
+           "align_graph", "apply_delta", "change_impact",
+           "default_node_key", "diff_graphs"]

@@ -1,0 +1,155 @@
+"""Aligning re-extracted graphs onto a previous version's identity.
+
+Deltas (:mod:`repro.versioned.delta`) compare graphs *by id*. The
+extractor, however, numbers nodes in discovery order, so re-indexing a
+codebase after a small change shifts the ids of everything extracted
+later — a one-function patch would masquerade as a near-total rewrite
+and delta storage would save nothing.
+
+:func:`align_graph` fixes that the way incremental indexers do: each
+entity gets a *stable identity key* (its type + qualified names, plus
+source coordinates for reference edges); entities of the new graph
+that match a key in the old graph keep the old id, genuinely new
+entities get fresh ids above the old graph's high-water mark. The
+result is id-comparable with the old version, and
+``diff_graphs(old, aligned)`` is proportional to the true change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable
+
+from repro.graphdb.graph import PropertyGraph
+from repro.graphdb.view import GraphView
+
+NodeKeyFn = Callable[[GraphView, int], Hashable]
+
+
+def default_node_key(view: GraphView, node_id: int) -> Hashable:
+    """Identity of a node: its type and qualified names.
+
+    Sufficient for extracted dependency graphs: USR-style uniqueness is
+    already folded into NAME/LONG_NAME by the extractor (statics carry
+    their unit, locals their function and position).
+    """
+    properties = view.node_properties(node_id)
+    return tuple(_freeze(properties.get(key))
+                 for key in ("type", "name", "long_name", "short_name"))
+
+
+def _freeze(value: Any) -> Hashable:
+    if isinstance(value, list):
+        return tuple(value)
+    return value
+
+
+def _edge_key(view: GraphView, edge_id: int,
+              node_keys: dict[int, Hashable]) -> Hashable:
+    properties = view.edge_properties(edge_id)
+    return (node_keys[view.edge_source(edge_id)],
+            node_keys[view.edge_target(edge_id)],
+            view.edge_type(edge_id),
+            _freeze(properties.get("use_file_id")),
+            _freeze(properties.get("use_start_line")),
+            _freeze(properties.get("use_start_col")),
+            _freeze(properties.get("index")),
+            _freeze(properties.get("link_order")))
+
+
+def _disambiguated(keys: list[tuple[int, Hashable]],
+                   ) -> dict[int, Hashable]:
+    """Suffix duplicate keys with an occurrence counter (stable in id
+    order, so the n-th duplicate matches the n-th duplicate)."""
+    seen: dict[Hashable, int] = {}
+    result: dict[int, Hashable] = {}
+    for element_id, key in sorted(keys):
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        result[element_id] = (key, occurrence)
+    return result
+
+
+def align_graph(old: GraphView, new: GraphView,
+                node_key: NodeKeyFn = default_node_key) -> PropertyGraph:
+    """Renumber *new* so matching entities reuse *old*'s ids.
+
+    Returns a fresh :class:`PropertyGraph` with the same content as
+    *new* (labels, properties, structure) whose node and edge ids agree
+    with *old* wherever the identity keys match.
+    """
+    old_node_keys = _disambiguated(
+        [(node_id, node_key(old, node_id)) for node_id in old.node_ids()])
+    new_node_keys = _disambiguated(
+        [(node_id, node_key(new, node_id)) for node_id in new.node_ids()])
+    old_by_key = {key: node_id
+                  for node_id, key in old_node_keys.items()}
+    next_node_id = max(old.node_ids(), default=-1) + 1
+    node_map: dict[int, int] = {}
+    for new_id in sorted(new.node_ids()):
+        matched = old_by_key.get(new_node_keys[new_id])
+        if matched is not None:
+            node_map[new_id] = matched
+        else:
+            node_map[new_id] = next_node_id
+            next_node_id += 1
+
+    aligned = PropertyGraph(
+        auto_index_keys=getattr(
+            new.indexes, "auto_index_keys",
+            PropertyGraph.DEFAULT_AUTO_INDEX_KEYS))
+    for new_id in sorted(new.node_ids()):
+        aligned.add_node_with_id(node_map[new_id],
+                                 new.node_labels(new_id),
+                                 new.node_properties(new_id))
+
+    plain_old_node_keys = {node_id: key
+                           for node_id, key in old_node_keys.items()}
+    old_edge_keys = _disambiguated(
+        [(edge_id, _edge_key(old, edge_id, plain_old_node_keys))
+         for edge_id in old.edge_ids()])
+    # express new edge keys in the same vocabulary: map new endpoints to
+    # their aligned key (the old key when matched)
+    aligned_node_keys = {node_map[new_id]: new_node_keys[new_id]
+                         for new_id in new.node_ids()}
+    # for matched nodes the key tuples differ only by occurrence
+    # counters computed per graph; normalize via the old key when the
+    # node id is shared
+    merged_keys: dict[int, Hashable] = {}
+    for aligned_id, key in aligned_node_keys.items():
+        if aligned_id in plain_old_node_keys:
+            merged_keys[aligned_id] = plain_old_node_keys[aligned_id]
+        else:
+            merged_keys[aligned_id] = key
+    old_edge_by_key = {key: edge_id
+                       for edge_id, key in old_edge_keys.items()}
+    new_edge_keys = _disambiguated(
+        [(edge_id, _edge_key_mapped(new, edge_id, node_map, merged_keys))
+         for edge_id in new.edge_ids()])
+    next_edge_id = max(old.edge_ids(), default=-1) + 1
+    for new_edge in sorted(new.edge_ids()):
+        matched = old_edge_by_key.get(new_edge_keys[new_edge])
+        if matched is not None:
+            edge_id = matched
+        else:
+            edge_id = next_edge_id
+            next_edge_id += 1
+        aligned.add_edge_with_id(edge_id,
+                                 node_map[new.edge_source(new_edge)],
+                                 node_map[new.edge_target(new_edge)],
+                                 new.edge_type(new_edge),
+                                 new.edge_properties(new_edge))
+    return aligned
+
+
+def _edge_key_mapped(view: GraphView, edge_id: int,
+                     node_map: dict[int, int],
+                     merged_keys: dict[int, Hashable]) -> Hashable:
+    properties = view.edge_properties(edge_id)
+    return (merged_keys[node_map[view.edge_source(edge_id)]],
+            merged_keys[node_map[view.edge_target(edge_id)]],
+            view.edge_type(edge_id),
+            _freeze(properties.get("use_file_id")),
+            _freeze(properties.get("use_start_line")),
+            _freeze(properties.get("use_start_col")),
+            _freeze(properties.get("index")),
+            _freeze(properties.get("link_order")))

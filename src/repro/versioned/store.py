@@ -1,0 +1,167 @@
+"""The multi-version graph store.
+
+Two storage modes, matching the paper's Section 6.3 design space:
+
+* ``isolated`` — every version is a complete snapshot ("store and
+  query each version in isolation"); checkout is O(1)-ish but storage
+  duplicates everything unchanged.
+* ``delta`` — the first version is a full snapshot, later versions are
+  delta files against their parent (the LLAMA-flavoured option);
+  storage is proportional to what actually changed, checkout replays
+  the chain.
+
+Versions form a chain or tree (a version's parent defaults to the
+previous commit). Benchmark E12 commits k versions of an evolving
+synthetic codebase in both modes and compares bytes and checkout
+latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Optional
+
+from repro.errors import VersionError
+from repro.graphdb.graph import PropertyGraph, clone_graph
+from repro.graphdb.storage import GraphStore
+from repro.graphdb.view import GraphView
+from repro.versioned.delta import GraphDelta, apply_delta, diff_graphs
+
+MODE_ISOLATED = "isolated"
+MODE_DELTA = "delta"
+
+
+@dataclasses.dataclass
+class VersionRecord:
+    version_id: str
+    parent: Optional[str]
+    node_count: int
+    edge_count: int
+    storage_bytes: int
+    is_snapshot: bool
+
+
+class VersionedGraphStore:
+    """Commits versions of a graph; checks any version back out."""
+
+    def __init__(self, directory: str, mode: str = MODE_DELTA) -> None:
+        if mode not in (MODE_ISOLATED, MODE_DELTA):
+            raise VersionError(f"unknown mode {mode!r}")
+        self.directory = directory
+        self.mode = mode
+        os.makedirs(directory, exist_ok=True)
+        self._records: dict[str, VersionRecord] = {}
+        self._order: list[str] = []
+
+    # -- commit -----------------------------------------------------------------
+
+    def commit(self, graph: GraphView, version_id: str | None = None,
+               parent: str | None = None) -> str:
+        """Store a version; returns its id.
+
+        ``parent`` defaults to the latest commit. In delta mode the
+        first commit (or any commit with no parent) is a snapshot.
+        """
+        if version_id is None:
+            version_id = f"v{len(self._order)}"
+        if version_id in self._records:
+            raise VersionError(f"version {version_id!r} already exists")
+        if parent is None and self._order:
+            parent = self._order[-1]
+        if parent is not None and parent not in self._records:
+            raise VersionError(f"unknown parent version {parent!r}")
+
+        if self.mode == MODE_ISOLATED or parent is None:
+            storage = self._write_snapshot(graph, version_id)
+            record = VersionRecord(version_id, parent,
+                                   graph.node_count(),
+                                   graph.edge_count(), storage,
+                                   is_snapshot=True)
+        else:
+            parent_graph = self.checkout(parent)
+            delta = diff_graphs(parent_graph, graph)
+            data = delta.to_bytes()
+            with open(self._delta_path(version_id), "wb") as handle:
+                handle.write(data)
+            record = VersionRecord(version_id, parent,
+                                   graph.node_count(),
+                                   graph.edge_count(), len(data),
+                                   is_snapshot=False)
+        self._records[version_id] = record
+        self._order.append(version_id)
+        return version_id
+
+    # -- checkout ------------------------------------------------------------------
+
+    def checkout(self, version_id: str) -> PropertyGraph:
+        """Materialize one version as a mutable in-memory graph."""
+        record = self._require(version_id)
+        if record.is_snapshot:
+            with GraphStore.open(self._snapshot_path(version_id)) as store:
+                return clone_graph(store)
+        # replay the delta chain from the nearest snapshot ancestor
+        chain: list[VersionRecord] = []
+        cursor: Optional[VersionRecord] = record
+        while cursor is not None and not cursor.is_snapshot:
+            chain.append(cursor)
+            cursor = self._records.get(cursor.parent or "")
+        if cursor is None:
+            raise VersionError(
+                f"version {version_id!r} has no snapshot ancestor")
+        with GraphStore.open(self._snapshot_path(cursor.version_id)) \
+                as store:
+            graph = clone_graph(store)
+        for link in reversed(chain):
+            apply_delta(graph, self._load_delta(link.version_id))
+        return graph
+
+    # -- introspection ---------------------------------------------------------------
+
+    def versions(self) -> list[VersionRecord]:
+        return [self._records[version_id] for version_id in self._order]
+
+    def has_version(self, version_id: str) -> bool:
+        return version_id in self._records
+
+    def total_storage_bytes(self) -> int:
+        return sum(record.storage_bytes
+                   for record in self._records.values())
+
+    def diff(self, old_version: str, new_version: str) -> GraphDelta:
+        """Structural diff between any two stored versions."""
+        return diff_graphs(self.checkout(old_version),
+                           self.checkout(new_version))
+
+    def chain_length(self, version_id: str) -> int:
+        """Deltas to replay for a checkout (0 for snapshots)."""
+        record = self._require(version_id)
+        length = 0
+        while not record.is_snapshot:
+            length += 1
+            record = self._require(record.parent or "")
+        return length
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _require(self, version_id: str) -> VersionRecord:
+        record = self._records.get(version_id)
+        if record is None:
+            raise VersionError(f"unknown version {version_id!r}")
+        return record
+
+    def _snapshot_path(self, version_id: str) -> str:
+        return os.path.join(self.directory, f"{version_id}.store")
+
+    def _delta_path(self, version_id: str) -> str:
+        return os.path.join(self.directory, f"{version_id}.delta")
+
+    def _write_snapshot(self, graph: GraphView, version_id: str) -> int:
+        if not isinstance(graph, PropertyGraph):
+            graph = clone_graph(graph)
+        sizes = GraphStore.write(graph, self._snapshot_path(version_id))
+        return sizes["total"]
+
+    def _load_delta(self, version_id: str) -> GraphDelta:
+        with open(self._delta_path(version_id), "rb") as handle:
+            return GraphDelta.from_bytes(handle.read())

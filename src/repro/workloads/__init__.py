@@ -1,0 +1,23 @@
+"""Workload generation: synthetic kernels at any scale.
+
+The paper evaluates on Oracle's Unbreakable Enterprise Kernel
+(11.4 MLoC, proprietary). Two substitutes:
+
+* :mod:`~repro.workloads.synthc` generates an actual C source tree
+  (subsystems, headers, drivers) compiled through the full front end —
+  exercising the complete extractor path end to end, including an
+  evolution simulator for the versioned-store experiments.
+* :mod:`~repro.workloads.graphgen` synthesizes the dependency graph
+  directly from a statistical profile
+  (:mod:`~repro.workloads.profiles`) calibrated to the paper's
+  Table 3 / Figure 7 shape: ~1:8 node:edge ratio, power-law degrees,
+  primitive/constant hubs, and the named entities the Table 5 queries
+  look up (``wakeup.elf``, ``pci_read_bases``, ``sr_media_change``...).
+"""
+
+from repro.workloads.graphgen import generate_kernel_graph
+from repro.workloads.profiles import UEK_PROFILE, KernelProfile
+from repro.workloads.synthc import SyntheticCodebase, generate_codebase
+
+__all__ = ["KernelProfile", "SyntheticCodebase", "UEK_PROFILE",
+           "generate_codebase", "generate_kernel_graph"]

@@ -1,0 +1,536 @@
+"""Direct statistical synthesis of kernel-shaped dependency graphs.
+
+The generator builds a graph with the Table 1/2 vocabulary whose
+aggregates track a :class:`~repro.workloads.profiles.KernelProfile`:
+
+* structural edges follow from structure (every parameter gets its
+  ``has_param`` + ``isa_type``, every field its ``contains`` +
+  ``isa_type``, ...),
+* reference edges are filled to the profile's edge budget using
+  preferential attachment, which yields the heavy-tailed degree
+  distribution of Figure 7,
+* variable types are drawn with ``int`` heavily weighted and a large
+  share of macro expansions target ``NULL``, reproducing the paper's
+  named hubs (int ~79K, NULL ~19K at full scale),
+* the entities the paper's Table 5 queries mention are planted
+  verbatim (``wakeup.elf``, ``pci_read_bases``, ``sr_media_change``/
+  ``get_sectorsize``/``packet_command.cmd``, and a reference to a
+  field ``id`` at the Figure 4 coordinates 104:16), so Figures 3–6
+  run unmodified against synthetic graphs.
+
+Generation is deterministic for a given profile + seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core import model
+from repro.graphdb import PropertyGraph
+from repro.workloads.profiles import PLANTED, KernelProfile
+
+_PREFIXES = ("sr", "pci", "net", "sched", "mm", "fs", "usb", "scsi",
+             "irq", "acpi", "tty", "blk", "vfs", "ipc", "snd", "drm",
+             "nvme", "xfs", "ext4", "kvm")
+_VERBS = ("read", "write", "init", "probe", "register", "alloc", "free",
+          "get", "set", "update", "handle", "flush", "enable", "disable",
+          "poll", "start", "stop", "attach", "detach", "reset")
+_NOUNS = ("device", "buffer", "queue", "page", "sector", "config",
+          "state", "irq", "dma", "cache", "table", "entry", "region",
+          "channel", "clock", "ring", "slot", "bus", "port", "node")
+_PRIMITIVES = ("int", "char", "unsigned int", "unsigned long", "long",
+               "unsigned char", "short", "unsigned short", "void",
+               "float", "double", "long long", "unsigned long long",
+               "_Bool")
+#: relative popularity of primitives as variable types — int dominates,
+#: which is what makes it the Figure 7 hub.
+_PRIMITIVE_WEIGHTS = (46, 14, 8, 8, 4, 6, 2, 2, 4, 1, 2, 2, 1, 1)
+
+_DIR_NAMES = ("drivers", "kernel", "fs", "mm", "net", "include", "arch",
+              "block", "sound", "crypto", "lib", "security", "virt")
+
+
+class _Synthesizer:
+    def __init__(self, profile: KernelProfile, seed: int | None) -> None:
+        self.profile = profile
+        self.rng = random.Random(profile.random_seed if seed is None
+                                 else seed)
+        self.graph = PropertyGraph(
+            auto_index_keys=model.AUTO_INDEX_KEYS)
+        self.directories: list[int] = []
+        self.files: list[int] = []           # .c and .h file nodes
+        self.source_files: list[int] = []    # .c only
+        self.functions: list[int] = []
+        self.globals: list[int] = []
+        self.fields: list[int] = []
+        self.structs: list[int] = []
+        self.enumerators: list[int] = []
+        self.macros: list[int] = []
+        self.typedefs: list[int] = []
+        self.primitives: dict[str, int] = {}
+        self.null_macro: int | None = None
+        #: function node -> (file node, first line) for edge positions
+        self.function_home: dict[int, tuple[int, int]] = {}
+        self._name_counter = 0
+        #: preferential-attachment pools per category
+        self._pools: dict[str, list[int]] = {}
+
+    # -- naming -----------------------------------------------------------------
+
+    def _fresh_name(self, pattern: str) -> str:
+        self._name_counter += 1
+        prefix = self.rng.choice(_PREFIXES)
+        verb = self.rng.choice(_VERBS)
+        noun = self.rng.choice(_NOUNS)
+        return pattern.format(prefix=prefix, verb=verb, noun=noun,
+                              n=self._name_counter)
+
+    # -- node factory --------------------------------------------------------------
+
+    def _node(self, node_type: str, short_name: str,
+              name: str | None = None, **extra) -> int:
+        properties = {
+            model.P_TYPE: node_type,
+            model.P_SHORT_NAME: short_name,
+            model.P_NAME: name or short_name,
+            model.P_LONG_NAME: name or short_name,
+        }
+        properties.update(extra)
+        return self.graph.add_node(*model.labels_for(node_type),
+                                   properties=properties)
+
+    # -- structure ----------------------------------------------------------------
+
+    def build(self) -> PropertyGraph:
+        self._make_primitives()
+        self._make_directories()
+        self._make_files()
+        self._make_macros()
+        self._make_records()
+        self._make_enums()
+        self._make_typedefs()
+        self._make_globals()
+        self._make_functions()
+        self._make_modules()
+        self._plant_paper_entities()
+        self._fill_reference_edges()
+        return self.graph
+
+    def _make_primitives(self) -> None:
+        for name in _PRIMITIVES:
+            self.primitives[name] = self._node(model.PRIMITIVE, name)
+
+    def _make_directories(self) -> None:
+        count = self.profile.node_count(model.DIRECTORY)
+        root = self._node(model.DIRECTORY, ".", ".")
+        self.directories.append(root)
+        for index in range(max(count - 1, 1)):
+            parent = self.rng.choice(self.directories)
+            base = _DIR_NAMES[index % len(_DIR_NAMES)]
+            name = base if index < len(_DIR_NAMES) \
+                else f"{base}_{index}"
+            directory = self._node(model.DIRECTORY, name, name)
+            self.graph.add_edge(parent, directory, model.DIR_CONTAINS)
+            self.directories.append(directory)
+
+    def _make_files(self) -> None:
+        count = self.profile.node_count(model.FILE)
+        for index in range(count):
+            is_header = self.rng.random() < 0.3
+            suffix = "h" if is_header else "c"
+            name = (f"{self.rng.choice(_PREFIXES)}_"
+                    f"{self.rng.choice(_NOUNS)}{index}.{suffix}")
+            file_node = self._node(model.FILE, name, name)
+            directory = self.rng.choice(self.directories)
+            self.graph.add_edge(directory, file_node, model.DIR_CONTAINS)
+            self.files.append(file_node)
+            if not is_header:
+                self.source_files.append(file_node)
+        # includes edges: each source includes a few headers
+        headers = [f for f in self.files if f not in self.source_files]
+        if headers:
+            for source in self.source_files:
+                for header in self.rng.sample(
+                        headers, k=min(len(headers),
+                                       self.rng.randint(1, 4))):
+                    self.graph.add_edge(
+                        source, header, model.INCLUDES,
+                        use_file_id=source,
+                        use_start_line=self.rng.randint(1, 20))
+
+    def _make_macros(self) -> None:
+        count = self.profile.node_count(model.MACRO)
+        self.null_macro = self._node(model.MACRO,
+                                     PLANTED["null_macro"])
+        self._contain(self.null_macro)
+        self.macros.append(self.null_macro)
+        for index in range(count - 1):
+            name = (f"CONFIG_{self.rng.choice(_PREFIXES).upper()}_"
+                    f"{self.rng.choice(_NOUNS).upper()}_{index}")
+            macro = self._node(model.MACRO, name)
+            self._contain(macro)
+            self.macros.append(macro)
+
+    def _make_records(self) -> None:
+        struct_count = self.profile.node_count(model.STRUCT)
+        union_count = self.profile.node_count(model.UNION)
+        field_count = self.profile.node_count(model.FIELD)
+        records = []
+        for index in range(struct_count):
+            name = (f"{self.rng.choice(_PREFIXES)}_"
+                    f"{self.rng.choice(_NOUNS)}_{index}")
+            struct = self._node(model.STRUCT, name)
+            self._contain(struct)
+            self.structs.append(struct)
+            records.append(struct)
+        for index in range(union_count):
+            union = self._node(
+                model.UNION,
+                f"{self.rng.choice(_NOUNS)}_u{index}")
+            self._contain(union)
+            records.append(union)
+        for index in range(field_count):
+            record = self.rng.choice(records)
+            field_name = (f"{self.rng.choice(_NOUNS)}_{index}"
+                          if self.rng.random() > 0.02 else "id")
+            record_name = self.graph.node_property(record,
+                                                   model.P_SHORT_NAME)
+            field = self._node(model.FIELD, field_name,
+                               f"{record_name}::{field_name}")
+            self.graph.add_edge(record, field, model.CONTAINS)
+            self._contain(field, same_as=record)
+            self.graph.add_edge(field, self._random_type(),
+                                model.ISA_TYPE)
+            self.fields.append(field)
+
+    def _make_enums(self) -> None:
+        enum_count = self.profile.node_count(model.ENUM_DEF)
+        enumerator_count = self.profile.node_count(model.ENUMERATOR)
+        enums = []
+        for index in range(enum_count):
+            enum = self._node(
+                model.ENUM_DEF,
+                f"{self.rng.choice(_PREFIXES)}_state_{index}")
+            self._contain(enum)
+            enums.append(enum)
+        for index in range(enumerator_count):
+            enum = self.rng.choice(enums)
+            enumerator = self._node(
+                model.ENUMERATOR,
+                f"{self.rng.choice(_NOUNS).upper()}_{index}",
+                value=index % 32)
+            self.graph.add_edge(enum, enumerator, model.CONTAINS)
+            self.enumerators.append(enumerator)
+
+    def _make_typedefs(self) -> None:
+        for index in range(self.profile.node_count(model.TYPEDEF)):
+            typedef = self._node(
+                model.TYPEDEF,
+                f"{self.rng.choice(_NOUNS)}{index}_t")
+            self._contain(typedef)
+            self.graph.add_edge(typedef, self._random_type(),
+                                model.ISA_TYPE)
+            self.typedefs.append(typedef)
+        for index in range(self.profile.node_count(model.FUNCTION_TYPE)):
+            self._node(model.FUNCTION_TYPE,
+                       f"int (cb{index})(void *)")
+
+    def _make_globals(self) -> None:
+        for index in range(self.profile.node_count(model.GLOBAL)):
+            name = (f"{self.rng.choice(_PREFIXES)}_"
+                    f"{self.rng.choice(_NOUNS)}_{index}")
+            global_node = self._node(model.GLOBAL, name)
+            self._contain(global_node)
+            self.graph.add_edge(global_node, self._random_type(),
+                                model.ISA_TYPE)
+            self.globals.append(global_node)
+        for index in range(self.profile.node_count(model.GLOBAL_DECL)):
+            decl = self._node(model.GLOBAL_DECL, f"extern_g{index}")
+            self._contain(decl)
+            if self.globals:
+                self.graph.add_edge(decl, self.rng.choice(self.globals),
+                                    model.DECLARES)
+
+    def _make_functions(self) -> None:
+        function_count = self.profile.node_count(model.FUNCTION)
+        param_budget = self.profile.node_count(model.PARAMETER)
+        local_budget = self.profile.node_count(model.LOCAL)
+        static_local_budget = self.profile.node_count(model.STATIC_LOCAL)
+        decl_count = self.profile.node_count(model.FUNCTION_DECL)
+        for index in range(function_count):
+            name = self._fresh_name("{prefix}_{verb}_{noun}_{n}")
+            function = self._node(model.FUNCTION, name,
+                                  long_name=f"{name}(...)")
+            home_file = self.rng.choice(self.source_files) \
+                if self.source_files else self._contain(function)
+            if self.source_files:
+                self.graph.add_edge(home_file, function,
+                                    model.FILE_CONTAINS)
+            self.function_home[function] = (
+                home_file, self.rng.randint(1, 2000))
+            self.functions.append(function)
+            self.graph.add_edge(function, self._random_type(),
+                                model.HAS_RET_TYPE)
+            params = min(param_budget,
+                         self._poisson(self.profile.params_per_function))
+            param_budget -= params
+            for position in range(params):
+                param = self._node(model.PARAMETER,
+                                   f"arg{position}",
+                                   f"{name}::arg{position}")
+                self.graph.add_edge(function, param, model.HAS_PARAM,
+                                    index=position)
+                self.graph.add_edge(param, self._random_type(),
+                                    model.ISA_TYPE)
+            locals_ = min(local_budget,
+                          self._poisson(self.profile.locals_per_function))
+            local_budget -= locals_
+            for position in range(locals_):
+                local = self._node(model.LOCAL,
+                                   self.rng.choice(_NOUNS),
+                                   f"{name}::{position}")
+                self.graph.add_edge(function, local, model.HAS_LOCAL)
+                self.graph.add_edge(local, self._random_type(),
+                                    model.ISA_TYPE)
+            if static_local_budget and self.rng.random() < 0.03:
+                static_local_budget -= 1
+                static = self._node(model.STATIC_LOCAL, "cache",
+                                    f"{name}::cache")
+                self.graph.add_edge(function, static, model.HAS_LOCAL)
+                self.graph.add_edge(static, self._random_type(),
+                                    model.ISA_TYPE)
+        headers = [f for f in self.files if f not in self.source_files]
+        for index in range(decl_count):
+            if not self.functions:
+                break
+            target = self.rng.choice(self.functions)
+            decl = self._node(
+                model.FUNCTION_DECL,
+                self.graph.node_property(target, model.P_SHORT_NAME))
+            if headers:
+                self.graph.add_edge(self.rng.choice(headers), decl,
+                                    model.FILE_CONTAINS)
+            self.graph.add_edge(decl, target, model.DECLARES)
+
+    def _make_modules(self) -> None:
+        module_count = max(2, self.profile.node_count(model.MODULE))
+        object_count = max(module_count - 2, 1)
+        objects = []
+        sources = list(self.source_files)
+        self.rng.shuffle(sources)
+        share = max(1, len(sources) // max(object_count, 1))
+        for index in range(object_count):
+            object_node = self._node(model.MODULE, f"built_in_{index}.o")
+            slice_ = sources[index * share:(index + 1) * share]
+            for source in slice_:
+                self.graph.add_edge(object_node, source,
+                                    model.COMPILED_FROM)
+            objects.append(object_node)
+        executable = self._node(model.MODULE, PLANTED["executable"])
+        for order, object_node in enumerate(objects):
+            self.graph.add_edge(executable, object_node,
+                                model.LINKED_FROM, link_order=order)
+        self.wakeup_module = self._node(model.MODULE, PLANTED["module"])
+        if objects:
+            self.graph.add_edge(self.wakeup_module, objects[0],
+                                model.LINKED_FROM, link_order=0)
+
+    # -- paper-specific plants ----------------------------------------------------
+
+    def _plant_paper_entities(self) -> None:
+        graph = self.graph
+        # Figure 3: a struct with a field 'id' inside wakeup.elf's files
+        wakeup_file = self._node(model.FILE, "wakeup_core.c")
+        self.files.append(wakeup_file)
+        self.source_files.append(wakeup_file)
+        graph.add_edge(self.directories[0], wakeup_file,
+                       model.DIR_CONTAINS)
+        graph.add_edge(self.wakeup_module, wakeup_file,
+                       model.COMPILED_FROM)
+        event = self._node(model.STRUCT, "wakeup_event")
+        graph.add_edge(wakeup_file, event, model.FILE_CONTAINS)
+        id_field = self._node(model.FIELD, PLANTED["search_field"],
+                              "wakeup_event::id")
+        graph.add_edge(event, id_field, model.CONTAINS)
+        graph.add_edge(wakeup_file, id_field, model.FILE_CONTAINS)
+        graph.add_edge(id_field, self.primitives["int"], model.ISA_TYPE)
+        self.fields.append(id_field)
+        self.structs.append(event)
+
+        # Figure 4: a reference to that field at exactly 104:16
+        poller = self._plant_function("wakeup_poll", wakeup_file)
+        graph.add_edge(
+            poller, id_field, model.READS_MEMBER,
+            use_file_id=wakeup_file, use_start_line=104,
+            use_start_col=9, use_end_line=104, use_end_col=18,
+            name_file_id=wakeup_file, name_start_line=104,
+            name_start_col=16, name_end_line=104, name_end_col=17)
+
+        # Figure 5: the sr_media_change debugging scenario
+        sr_file = self._node(model.FILE, "sr.c")
+        self.files.append(sr_file)
+        self.source_files.append(sr_file)
+        graph.add_edge(self.directories[0], sr_file, model.DIR_CONTAINS)
+        packet = self._node(model.STRUCT, PLANTED["debug_container"])
+        graph.add_edge(sr_file, packet, model.FILE_CONTAINS)
+        cmd = self._node(model.FIELD, PLANTED["debug_field"],
+                         "packet_command::cmd")
+        graph.add_edge(packet, cmd, model.CONTAINS)
+        graph.add_edge(sr_file, cmd, model.FILE_CONTAINS)
+        graph.add_edge(cmd, self.primitives["unsigned char"],
+                       model.ISA_TYPE)
+        media_change = self._plant_function(PLANTED["debug_from"],
+                                            sr_file)
+        sectorsize = self._plant_function(PLANTED["debug_to"], sr_file)
+        do_ioctl = self._plant_function("sr_do_ioctl", sr_file)
+        packet_fn = self._plant_function("sr_packet", sr_file)
+        self._call(media_change, packet_fn, sr_file, 230)
+        self._call(media_change, sectorsize, sr_file, 236)
+        self._call(sectorsize, do_ioctl, sr_file, 41)
+        self._call(packet_fn, do_ioctl, sr_file, 88)
+        graph.add_edge(do_ioctl, cmd, model.WRITES_MEMBER,
+                       use_file_id=sr_file, use_start_line=57,
+                       use_start_col=5, use_end_line=57,
+                       use_end_col=20, name_file_id=sr_file,
+                       name_start_line=57, name_start_col=9,
+                       name_end_line=57, name_end_col=11)
+
+        # Figure 6: the closure seed, wired into the existing call graph
+        seed = self._plant_function(PLANTED["closure_seed"], sr_file)
+        for target in self.rng.sample(
+                self.functions, k=min(4, len(self.functions))):
+            self._call(seed, target, sr_file,
+                       self.rng.randint(100, 400))
+
+    def _plant_function(self, name: str, file_node: int) -> int:
+        function = self._node(model.FUNCTION, name,
+                              long_name=f"{name}(...)")
+        self.graph.add_edge(file_node, function, model.FILE_CONTAINS)
+        self.graph.add_edge(function, self.primitives["int"],
+                            model.HAS_RET_TYPE)
+        self.function_home[function] = (file_node,
+                                        self.rng.randint(1, 500))
+        self.functions.append(function)
+        return function
+
+    def _call(self, caller: int, callee: int, file_node: int,
+              line: int) -> None:
+        self.graph.add_edge(
+            caller, callee, model.CALLS,
+            use_file_id=file_node, use_start_line=line,
+            use_start_col=5, use_end_line=line, use_end_col=40,
+            name_file_id=file_node, name_start_line=line,
+            name_start_col=5, name_end_line=line, name_end_col=25)
+
+    # -- reference-edge fill -----------------------------------------------------------
+
+    def _fill_reference_edges(self) -> None:
+        budget = int(self.profile.edges_per_node
+                     * self.graph.node_count()) - self.graph.edge_count()
+        if budget <= 0:
+            return
+        mix = self.profile.normalized_reference_mix()
+        edge_types = list(mix)
+        weights = [mix[edge_type] for edge_type in edge_types]
+        choices = self.rng.choices(edge_types, weights, k=budget)
+        for edge_type in choices:
+            owner = self.rng.choice(self.functions)
+            target = self._reference_target(edge_type)
+            if target is None or target == owner:
+                continue
+            home_file, base_line = self.function_home.get(
+                owner, (self.files[0], 1))
+            line = base_line + self.rng.randint(0, 80)
+            column = self.rng.randint(1, 60)
+            self.graph.add_edge(
+                owner, target, edge_type,
+                use_file_id=home_file, use_start_line=line,
+                use_start_col=column, use_end_line=line,
+                use_end_col=column + self.rng.randint(3, 30),
+                name_file_id=home_file, name_start_line=line,
+                name_start_col=column, name_end_line=line,
+                name_end_col=column + self.rng.randint(2, 12))
+
+    def _reference_target(self, edge_type: str) -> int | None:
+        if edge_type == model.CALLS:
+            return self._preferential("functions", self.functions)
+        if edge_type in (model.READS, model.WRITES,
+                         model.TAKES_ADDRESS_OF, model.DEREFERENCES):
+            return self._preferential("globals", self.globals)
+        if edge_type in (model.READS_MEMBER, model.WRITES_MEMBER,
+                         model.DEREFERENCES_MEMBER,
+                         model.TAKES_ADDRESS_OF_MEMBER):
+            return self._preferential("fields", self.fields)
+        if edge_type == model.USES_ENUMERATOR:
+            return self._preferential("enumerators", self.enumerators)
+        if edge_type in (model.CASTS_TO, model.GETS_SIZE_OF,
+                         model.GETS_ALIGN_OF):
+            return self._random_type()
+        if edge_type == model.EXPANDS_MACRO:
+            # a fat share of expansions hit NULL: the Figure 7 hub
+            if self.null_macro is not None and self.rng.random() < 0.25:
+                return self.null_macro
+            return self._preferential("macros", self.macros)
+        if edge_type == model.INTERROGATES_MACRO:
+            return self._preferential("macros", self.macros)
+        return None
+
+    def _preferential(self, pool_name: str,
+                      population: Sequence[int]) -> int | None:
+        """Barabási-style rich-get-richer target selection."""
+        if not population:
+            return None
+        pool = self._pools.setdefault(pool_name, [])
+        if pool and self.rng.random() < 0.6:
+            choice = self.rng.choice(pool)
+        else:
+            choice = self.rng.choice(population)
+        pool.append(choice)
+        return choice
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _random_type(self) -> int:
+        roll = self.rng.random()
+        if roll < 0.72 or not self.structs:
+            names = list(self.primitives)
+            return self.primitives[self.rng.choices(
+                names, _PRIMITIVE_WEIGHTS[:len(names)])[0]]
+        if roll < 0.92:
+            return self.rng.choice(self.structs)
+        if self.typedefs and roll < 0.97:
+            return self.rng.choice(self.typedefs)
+        return self.rng.choice(self.structs)
+
+    def _contain(self, node: int, same_as: int | None = None) -> int:
+        """Attach a node to a file via file_contains; returns the file."""
+        if same_as is not None:
+            for edge_id in self.graph.edges_of(same_as):
+                if self.graph.edge_type(edge_id) == model.FILE_CONTAINS \
+                        and self.graph.edge_target(edge_id) == same_as:
+                    file_node = self.graph.edge_source(edge_id)
+                    self.graph.add_edge(file_node, node,
+                                        model.FILE_CONTAINS)
+                    return file_node
+        file_node = self.rng.choice(self.files) if self.files \
+            else self._node(model.FILE, "misc.c")
+        self.graph.add_edge(file_node, node, model.FILE_CONTAINS)
+        return file_node
+
+    def _poisson(self, mean: float) -> int:
+        """Small-mean Poisson sample (Knuth's method)."""
+        import math
+        limit = math.exp(-mean)
+        product = self.rng.random()
+        count = 0
+        while product > limit:
+            product *= self.rng.random()
+            count += 1
+        return count
+
+
+def generate_kernel_graph(profile: KernelProfile,
+                          seed: int | None = None) -> PropertyGraph:
+    """Synthesize one kernel-shaped dependency graph."""
+    return _Synthesizer(profile, seed).build()

@@ -1,0 +1,202 @@
+"""Synthetic C source trees, compiled through the real front end.
+
+Where :mod:`~repro.workloads.graphgen` fakes the graph statistically,
+this generator writes actual C — subsystem headers with structs,
+macros and prototypes, driver files with functions that read/write
+fields, expand macros and call across subsystems — and a build script
+for the :class:`~repro.build.buildsys.Build` replayer. Everything in
+the output parses with :mod:`repro.lang`, so the full extractor path
+is exercised end to end.
+
+:func:`evolve` produces the next "release" of a codebase with a small,
+controlled change rate — the input for the versioned-store experiments
+(paper Section 6.3: "large codebases evolve slowly").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+_SUBSYSTEMS = ("scsi", "net", "sched", "mm", "usb", "pci", "tty", "blk",
+               "irq", "acpi")
+_FIELDS = ("count", "flags", "state", "capacity", "offset", "errors")
+_VERBS = ("init", "probe", "read", "write", "update", "flush", "reset",
+          "poll")
+
+
+@dataclasses.dataclass
+class SyntheticCodebase:
+    """One generated source tree plus how to build it."""
+
+    files: dict[str, str]
+    build_script: str
+    subsystems: tuple[str, ...]
+    version: int = 0
+
+    @property
+    def line_count(self) -> int:
+        return sum(content.count("\n") + 1
+                   for content in self.files.values())
+
+
+def generate_codebase(subsystems: int = 4, files_per_subsystem: int = 3,
+                      functions_per_file: int = 4,
+                      seed: int = 0) -> SyntheticCodebase:
+    """Generate a kernel-flavoured C tree of the requested size."""
+    rng = random.Random(seed)
+    chosen = tuple(_SUBSYSTEMS[index % len(_SUBSYSTEMS)]
+                   + ("" if index < len(_SUBSYSTEMS)
+                      else str(index // len(_SUBSYSTEMS)))
+                   for index in range(subsystems))
+    files: dict[str, str] = {
+        "include/types.h": _types_header(),
+    }
+    all_functions: dict[str, list[str]] = {}
+    for subsystem in chosen:
+        files[f"include/{subsystem}.h"] = _subsystem_header(
+            subsystem, files_per_subsystem, functions_per_file)
+        all_functions[subsystem] = [
+            f"{subsystem}_{_VERBS[fn % len(_VERBS)]}_{unit}"
+            for unit in range(files_per_subsystem)
+            for fn in range(functions_per_file)]
+    for subsystem in chosen:
+        for unit in range(files_per_subsystem):
+            path = f"{subsystem}/{subsystem}_{unit}.c"
+            files[path] = _unit_source(subsystem, unit,
+                                       functions_per_file, chosen,
+                                       all_functions, rng)
+    files["init/main.c"] = _main_source(chosen)
+    script_lines = []
+    objects = []
+    for subsystem in chosen:
+        for unit in range(files_per_subsystem):
+            source = f"{subsystem}/{subsystem}_{unit}.c"
+            obj = f"{subsystem}/{subsystem}_{unit}.o"
+            script_lines.append(f"gcc -Iinclude {source} -c -o {obj}")
+            objects.append(obj)
+    script_lines.append("gcc -Iinclude init/main.c -c -o init/main.o")
+    objects.append("init/main.o")
+    script_lines.append(f"gcc {' '.join(objects)} -o vmlinux")
+    return SyntheticCodebase(files, "\n".join(script_lines), chosen)
+
+
+def evolve(codebase: SyntheticCodebase, seed: int | None = None,
+           change_fraction: float = 0.05) -> SyntheticCodebase:
+    """The next release: a small fraction of units get modified.
+
+    Each selected unit gains one function (appended, so the existing
+    entities and their order — and therefore their extracted node
+    ids — are untouched); one global counter bumps in each, modelling
+    a point change.
+    """
+    rng = random.Random(codebase.version + 1 if seed is None else seed)
+    files = dict(codebase.files)
+    sources = [path for path in files
+               if path.endswith(".c") and not path.startswith("init/")]
+    change_count = max(1, int(len(sources) * change_fraction))
+    for path in rng.sample(sources, k=min(change_count, len(sources))):
+        subsystem = path.split("/")[0]
+        addition = (
+            f"\nint {subsystem}_hotfix_{codebase.version + 1}"
+            f"(struct {subsystem}_dev *dev) {{\n"
+            f"    dev->flags = dev->flags + 1;\n"
+            f"    return dev->flags;\n"
+            f"}}\n")
+        files[path] = files[path] + addition
+    return SyntheticCodebase(files, codebase.build_script,
+                             codebase.subsystems,
+                             version=codebase.version + 1)
+
+
+def _types_header() -> str:
+    return (
+        "#ifndef TYPES_H\n"
+        "#define TYPES_H\n"
+        "typedef unsigned long size_t;\n"
+        "typedef unsigned char u8;\n"
+        "typedef unsigned int u32;\n"
+        "#define NULL ((void *)0)\n"
+        "#endif\n")
+
+
+def _subsystem_header(subsystem: str, units: int,
+                      functions_per_file: int) -> str:
+    guard = f"{subsystem.upper()}_H"
+    lines = [
+        f"#ifndef {guard}",
+        f"#define {guard}",
+        '#include "types.h"',
+        f"#define {subsystem.upper()}_MAX 64",
+        f"#define {subsystem.upper()}_CHECK(x) ((x) < "
+        f"{subsystem.upper()}_MAX)",
+        f"enum {subsystem}_status {{ {subsystem.upper()}_OK, "
+        f"{subsystem.upper()}_BUSY = 2, {subsystem.upper()}_DEAD }};",
+        f"struct {subsystem}_dev {{",
+    ]
+    for field in _FIELDS:
+        lines.append(f"    u32 {field};")
+    lines.append(f"    u8 buffer[{subsystem.upper()}_MAX];")
+    lines.append("};")
+    for unit in range(units):
+        for fn in range(functions_per_file):
+            name = f"{subsystem}_{_VERBS[fn % len(_VERBS)]}_{unit}"
+            lines.append(
+                f"int {name}(struct {subsystem}_dev *dev, int value);")
+    lines.append("#endif")
+    return "\n".join(lines) + "\n"
+
+
+def _unit_source(subsystem: str, unit: int, functions_per_file: int,
+                 subsystems: tuple[str, ...],
+                 all_functions: dict[str, list[str]],
+                 rng: random.Random) -> str:
+    other = rng.choice([s for s in subsystems if s != subsystem]
+                       or [subsystem])
+    lines = [f'#include "{subsystem}.h"', f'#include "{other}.h"',
+             f"static u32 {subsystem}_{unit}_counter;"]
+    names = [f"{subsystem}_{_VERBS[fn % len(_VERBS)]}_{unit}"
+             for fn in range(functions_per_file)]
+    for position, name in enumerate(names):
+        field = _FIELDS[position % len(_FIELDS)]
+        callee = None
+        if position + 1 < len(names):
+            callee = names[position + 1]
+        elif rng.random() < 0.8:
+            callee = rng.choice(all_functions[other])
+        body = [
+            f"int {name}(struct {subsystem}_dev *dev, int value) {{",
+            f"    int scratch = value + {subsystem.upper()}_MAX;",
+            f"    if (!{subsystem.upper()}_CHECK(value)) {{",
+            f"        return {subsystem.upper()}_BUSY;",
+            "    }",
+            f"    dev->{field} = (u32)scratch;",
+            f"    {subsystem}_{unit}_counter += 1;",
+        ]
+        if callee is not None and callee.startswith(subsystem):
+            body.append(f"    return {callee}(dev, scratch);")
+        elif callee is not None:
+            body.append(f"    struct {other}_dev peer;")
+            body.append(f"    peer.state = dev->{field};")
+            body.append(f"    return {callee}(&peer, scratch);")
+        else:
+            body.append(f"    return dev->{field};")
+        body.append("}")
+        lines.extend(body)
+    return "\n".join(lines) + "\n"
+
+
+def _main_source(subsystems: tuple[str, ...]) -> str:
+    lines = ['#include "types.h"']
+    for subsystem in subsystems:
+        lines.append(f'#include "{subsystem}.h"')
+    lines.append("int start_kernel(void) {")
+    lines.append("    int total = 0;")
+    for subsystem in subsystems:
+        lines.append(f"    struct {subsystem}_dev {subsystem}_dev;")
+        lines.append(f"    {subsystem}_dev.state = 0;")
+        first = f"{subsystem}_{_VERBS[0]}_0"
+        lines.append(f"    total += {first}(&{subsystem}_dev, total);")
+    lines.append("    return total;")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

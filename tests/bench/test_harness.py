@@ -1,0 +1,100 @@
+"""The cold/warm measurement protocol."""
+
+import pytest
+
+from repro.bench import harness
+from repro.errors import QueryTimeoutError
+
+
+class TestTiming:
+    def test_stats(self):
+        timing = harness.Timing([1.0, 2.0, 3.0])
+        assert timing.min == 1.0
+        assert timing.avg == 2.0
+        assert timing.max == 3.0
+        assert "1.0" in timing.row()
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("FRAPPE_BENCH_SCALE", raising=False)
+        assert harness.bench_scale(0.5) == 0.5
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("FRAPPE_BENCH_SCALE", "0.25")
+        assert harness.bench_scale() == 0.25
+
+    def test_invalid_override(self, monkeypatch):
+        monkeypatch.setenv("FRAPPE_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            harness.bench_scale()
+
+
+class TestRunColdWarm:
+    def test_counts_and_runs(self):
+        calls = {"query": 0, "evict": 0}
+
+        def query():
+            calls["query"] += 1
+            return [1, 2, 3]
+
+        def evict():
+            calls["evict"] += 1
+
+        result = harness.run_cold_warm("t", query, evict, runs=4)
+        assert not result.aborted
+        assert result.result_count == 3
+        assert calls["evict"] == 4            # once per cold run
+        assert calls["query"] == 4 + 1 + 4    # cold + settle + warm
+        assert len(result.cold.samples_ms) == 4
+        assert len(result.warm.samples_ms) == 4
+
+    def test_timeout_becomes_aborted(self):
+        def query():
+            raise QueryTimeoutError(0.5)
+
+        result = harness.run_cold_warm("t", query, lambda: None, runs=2,
+                                       abort_after=0.5)
+        assert result.aborted
+        assert result.abort_after_seconds == 0.5
+        assert "aborted" in result.format_row()
+
+    def test_wall_clock_abort(self):
+        import time
+
+        def query():
+            time.sleep(0.02)
+            return []
+
+        result = harness.run_cold_warm("t", query, lambda: None, runs=1,
+                                       abort_after=0.001)
+        assert result.aborted
+
+    def test_custom_result_counter(self):
+        result = harness.run_cold_warm(
+            "t", lambda: 42, lambda: None, runs=1,
+            count_results=lambda value: value)
+        assert result.result_count == 42
+
+    def test_format_row(self):
+        result = harness.run_cold_warm("named", lambda: [1],
+                                       lambda: None, runs=1)
+        row = result.format_row()
+        assert "named" in row
+        assert "cold" in row and "warm" in row and "results 1" in row
+
+
+class TestTables:
+    def test_print_table(self, capsys):
+        rows = [harness.run_cold_warm("q1", lambda: [], lambda: None,
+                                      runs=1)]
+        table = harness.print_table("Table 5", rows)
+        captured = capsys.readouterr().out
+        assert "Table 5" in table
+        assert "q1" in captured
+
+    def test_print_kv_table(self, capsys):
+        table = harness.print_kv_table("Table 3", [("Node count", 10),
+                                                   ("Edge count", 80)])
+        assert "Node count" in table
+        assert "80" in capsys.readouterr().out

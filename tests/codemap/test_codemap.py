@@ -1,0 +1,162 @@
+"""Code map: hierarchy, squarified layout, rendering, overlays."""
+
+import pytest
+
+from repro.build import Build
+from repro.codemap import (build_hierarchy, layout_map, render_ascii,
+                           render_svg)
+from repro.codemap.hierarchy import CodeRegion, region_of_node
+from repro.codemap.layout import average_leaf_aspect_ratio
+from repro.codemap.render import overlay_nodes
+from repro.core import extract_build
+from repro.lang.source import VirtualFileSystem
+
+
+@pytest.fixture(scope="module")
+def graph():
+    files = {
+        "drivers/net/e1000.c": "int net_probe(void) { return 0; }\n"
+                               "int net_xmit(void) { return 1; }\n",
+        "drivers/scsi/sr.c": "int scsi_probe(void) { return 0; }\n",
+        "kernel/sched.c": "int schedule(void) { return 0; }\n"
+                          "int yield_cpu(void) { return 0; }\n"
+                          "int preempt(void) { return 0; }\n",
+    }
+    script = "\n".join(
+        f"gcc {path} -c -o {path[:-2]}.o" for path in files)
+    build = Build(VirtualFileSystem(files))
+    build.run_script(script)
+    return extract_build(build)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(graph):
+    return build_hierarchy(graph)
+
+
+@pytest.fixture(scope="module")
+def layout(hierarchy):
+    return layout_map(hierarchy, width=800, height=600)
+
+
+class TestHierarchy:
+    def test_root_is_directory(self, hierarchy):
+        assert hierarchy.kind == "directory"
+        assert hierarchy.level == "continent"
+
+    def test_structure(self, hierarchy):
+        names = {region.name for region in hierarchy.walk()}
+        assert {"drivers", "net", "scsi", "kernel", "e1000.c", "sr.c",
+                "sched.c"} <= names
+
+    def test_functions_are_cities(self, hierarchy):
+        functions = [region for region in hierarchy.walk()
+                     if region.kind == "function"]
+        assert {region.name for region in functions} >= \
+            {"net_probe", "schedule"}
+
+    def test_weights_aggregate_upward(self, hierarchy):
+        drivers = next(region for region in hierarchy.walk()
+                       if region.name == "drivers")
+        assert drivers.weight == sum(child.weight
+                                     for child in drivers.children)
+
+    def test_bigger_file_weighs_more(self, hierarchy):
+        sched = next(r for r in hierarchy.walk() if r.name == "sched.c")
+        sr = next(r for r in hierarchy.walk() if r.name == "sr.c")
+        assert sched.weight > sr.weight
+
+    def test_region_of_node_for_function(self, hierarchy, graph):
+        schedule = next(n for n in graph.indexes.lookup("short_name",
+                                                        "schedule"))
+        region = region_of_node(hierarchy, graph, schedule)
+        assert region is not None and region.name == "schedule"
+
+
+class TestLayout:
+    def test_children_fit_inside_parent(self, layout):
+        for box in layout.walk():
+            for child in box.children:
+                assert child.x >= box.x - 1e-6
+                assert child.y >= box.y - 1e-6
+                assert child.x + child.width <= box.x + box.width + 1e-6
+                assert child.y + child.height <= \
+                    box.y + box.height + 1e-6
+
+    def test_siblings_do_not_overlap(self, layout):
+        for box in layout.walk():
+            for index, left in enumerate(box.children):
+                for right in box.children[index + 1:]:
+                    overlap_w = min(left.x + left.width,
+                                    right.x + right.width) - \
+                        max(left.x, right.x)
+                    overlap_h = min(left.y + left.height,
+                                    right.y + right.height) - \
+                        max(left.y, right.y)
+                    assert overlap_w <= 1e-6 or overlap_h <= 1e-6
+
+    def test_areas_proportional_to_weights(self, layout):
+        for box in layout.walk():
+            if len(box.children) < 2:
+                continue
+            child_a, child_b = box.children[0], box.children[1]
+            if child_b.region.weight == 0 or child_b.area == 0:
+                continue
+            weight_ratio = child_a.region.weight / child_b.region.weight
+            area_ratio = child_a.area / child_b.area
+            assert area_ratio == pytest.approx(weight_ratio, rel=0.05)
+
+    def test_aspect_ratios_reasonable(self, layout):
+        # squarified treemaps should stay far from sliver layouts
+        assert average_leaf_aspect_ratio(layout) < 4.0
+
+    def test_invalid_dimensions_rejected(self, hierarchy):
+        with pytest.raises(ValueError):
+            layout_map(hierarchy, width=0, height=100)
+
+
+class TestRendering:
+    def test_svg_structure(self, layout):
+        svg = render_svg(layout, title="test map")
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<rect" in svg
+        assert "test map" in svg
+
+    def test_svg_highlights(self, layout, graph):
+        schedule = next(n for n in graph.indexes.lookup("short_name",
+                                                        "schedule"))
+        svg_plain = render_svg(layout)
+        svg_marked = render_svg(layout, highlights=[schedule])
+        assert svg_marked.count("#e4572e") > svg_plain.count("#e4572e")
+
+    def test_svg_path_overlay(self, layout, graph):
+        nodes = [n for n in graph.indexes.lookup("short_name",
+                                                 "schedule")]
+        nodes += [n for n in graph.indexes.lookup("short_name",
+                                                  "net_probe")]
+        svg = render_svg(layout, path=nodes)
+        assert "polyline" in svg
+
+    def test_svg_escaping(self, layout):
+        layout.region.name = "a<b&c"
+        try:
+            svg = render_svg(layout)
+            assert "a&lt;b&amp;c" in svg
+        finally:
+            layout.region.name = "."
+
+    def test_ascii_render(self, layout):
+        art = render_ascii(layout, columns=60, rows=20)
+        lines = art.splitlines()
+        assert len(lines) <= 20
+        assert any("|" in line for line in lines)
+        assert any("drivers" in line or "kernel" in line
+                   for line in lines)
+
+    def test_overlay_nodes_maps_fields_to_files(self, graph, hierarchy):
+        # a parameter is not drawn; it should overlay onto a region
+        params = [n for n in graph.node_ids()
+                  if graph.node_property(n, "type") == "function"]
+        regions = overlay_nodes(graph, hierarchy, params[:2])
+        assert regions

@@ -1,0 +1,130 @@
+"""A miniature kernel-flavoured codebase shared by core tests.
+
+Modelled on the paper's running examples: a SCSI-ish driver with a
+``packet_command`` struct whose ``cmd`` field gets written on a call
+path between ``sr_media_change`` and ``get_sectorsize`` (Figure 5), a
+``wakeup.elf`` module with fields named ``id`` (Figure 3), and a small
+call graph for closure queries (Figure 6).
+"""
+
+import pytest
+
+from repro.build import Build
+from repro.core import extract_build
+from repro.core.frappe import Frappe
+from repro.lang.source import VirtualFileSystem
+
+MINI_KERNEL = {
+    "include/types.h": """
+#ifndef TYPES_H
+#define TYPES_H
+typedef unsigned long size_t;
+typedef unsigned char u8;
+#define NULL ((void *)0)
+#endif
+""",
+    "include/scsi.h": """
+#ifndef SCSI_H
+#define SCSI_H
+#include "types.h"
+#define PACKET_LEN 12
+struct packet_command {
+    u8 cmd[PACKET_LEN];
+    int quiet;
+    int timeout;
+};
+struct scsi_device {
+    int id;
+    struct packet_command last;
+};
+int sr_do_ioctl(struct scsi_device *dev, struct packet_command *pc);
+int sr_packet(struct scsi_device *dev, struct packet_command *pc);
+int get_sectorsize(struct scsi_device *dev);
+int sr_media_change(struct scsi_device *dev);
+#endif
+""",
+    "drivers/sr_ioctl.c": """
+#include "scsi.h"
+static int retries;
+int sr_do_ioctl(struct scsi_device *dev, struct packet_command *pc) {
+    pc->cmd[0] = 0x25;
+    pc->quiet = 1;
+    retries = 3;
+    return dev->id;
+}
+int sr_packet(struct scsi_device *dev, struct packet_command *pc) {
+    return sr_do_ioctl(dev, pc);
+}
+""",
+    "drivers/sr.c": """
+#include "scsi.h"
+int get_sectorsize(struct scsi_device *dev) {
+    struct packet_command pc;
+    pc.timeout = 30;
+    return sr_do_ioctl(dev, &pc);
+}
+int sr_media_change(struct scsi_device *dev) {
+    struct packet_command pc;
+    sr_packet(dev, &pc);            /* line 7: before the 'to' call */
+    if (dev->id > 0) {
+        return get_sectorsize(dev); /* line 9: the bounding call */
+    }
+    return 0;
+}
+""",
+    "wakeup/wakeup.c": """
+#include "scsi.h"
+struct wakeup_event {
+    int id;
+    int source;
+};
+static struct wakeup_event pending;
+int wakeup_poll(void) {
+    pending.id = sizeof(struct wakeup_event);
+    return pending.id;
+}
+""",
+    "init/main.c": """
+#include "scsi.h"
+int wakeup_poll(void);
+enum boot_stage { EARLY, LATE = 9 };
+int start_kernel(void) {
+    struct scsi_device dev;
+    dev.id = EARLY;
+    if (sr_media_change(&dev)) {
+        return wakeup_poll();
+    }
+    return LATE;
+}
+""",
+}
+
+BUILD_SCRIPT = """
+gcc -Iinclude drivers/sr_ioctl.c -c -o drivers/sr_ioctl.o
+gcc -Iinclude drivers/sr.c -c -o drivers/sr.o
+gcc -Iinclude wakeup/wakeup.c -c -o wakeup/wakeup.o
+gcc -Iinclude init/main.c -c -o init/main.o
+gcc drivers/sr_ioctl.o drivers/sr.o wakeup/wakeup.o -o wakeup.elf
+gcc init/main.o drivers/sr_ioctl.o drivers/sr.o wakeup/wakeup.o -o vmlinux
+"""
+
+
+def build_mini_kernel():
+    build = Build(VirtualFileSystem(dict(MINI_KERNEL)))
+    build.run_script(BUILD_SCRIPT)
+    return build
+
+
+@pytest.fixture(scope="session")
+def mini_kernel_build():
+    return build_mini_kernel()
+
+
+@pytest.fixture(scope="session")
+def mini_kernel_graph(mini_kernel_build):
+    return extract_build(mini_kernel_build)
+
+
+@pytest.fixture()
+def frappe(mini_kernel_graph):
+    return Frappe(mini_kernel_graph)

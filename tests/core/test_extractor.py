@@ -1,0 +1,287 @@
+"""Extraction details beyond Figure 2: reference classification,
+macros, enums, types, deduplication across units."""
+
+import pytest
+
+from repro.build import Build
+from repro.core import extract_build, model
+from repro.graphdb.view import Direction
+from repro.lang.source import VirtualFileSystem
+
+
+def graph_for(files, script):
+    build = Build(VirtualFileSystem(files))
+    build.run_script(script)
+    return extract_build(build)
+
+
+def named(graph, short_name, node_type):
+    matches = [n for n in graph.indexes.lookup("short_name", short_name)
+               if graph.node_property(n, "type") == node_type]
+    assert len(matches) == 1, (short_name, node_type, matches)
+    return matches[0]
+
+
+def edge_types_between(graph, source, target):
+    return sorted(graph.edge_type(e)
+                  for e in graph.edges_of(source, Direction.OUT)
+                  if graph.edge_target(e) == target)
+
+
+@pytest.fixture(scope="module")
+def rw_graph():
+    return graph_for({
+        "m.c": """
+struct box { int value; int other; };
+int counter;
+int source;
+void touch(void) {
+    struct box b;
+    struct box *p = &b;
+    counter = source;          /* write counter, read source */
+    counter += 1;              /* read + write */
+    b.value = 2;               /* writes_member */
+    p->value = b.other;        /* writes_member via ptr, reads_member */
+    counter++;                 /* read + write */
+    int *q = &counter;         /* takes_address_of */
+    *q = 5;                    /* dereferences q */
+}
+""",
+    }, "gcc m.c -c -o m.o")
+
+
+class TestReadWriteClassification:
+    def test_plain_write(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        counter = named(rw_graph, "counter", "global")
+        assert "writes" in edge_types_between(rw_graph, touch, counter)
+
+    def test_plain_read(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        source = named(rw_graph, "source", "global")
+        assert edge_types_between(rw_graph, touch, source) == ["reads"]
+
+    def test_compound_assign_reads_and_writes(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        counter = named(rw_graph, "counter", "global")
+        types = edge_types_between(rw_graph, touch, counter)
+        assert "reads" in types and "writes" in types
+
+    def test_member_write(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        value = next(n for n in rw_graph.indexes.lookup("name",
+                                                        "box::value"))
+        assert "writes_member" in edge_types_between(rw_graph, touch,
+                                                     value)
+
+    def test_member_read(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        other = next(n for n in rw_graph.indexes.lookup("name",
+                                                        "box::other"))
+        assert "reads_member" in edge_types_between(rw_graph, touch,
+                                                    other)
+
+    def test_takes_address_of(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        counter = named(rw_graph, "counter", "global")
+        assert "takes_address_of" in edge_types_between(rw_graph, touch,
+                                                        counter)
+
+    def test_dereferences(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        q = named(rw_graph, "q", "local")
+        assert "dereferences" in edge_types_between(rw_graph, touch, q)
+
+    def test_has_local_edges(self, rw_graph):
+        touch = named(rw_graph, "touch", "function")
+        locals_ = [rw_graph.edge_target(e) for e in rw_graph.edges_of(
+            touch, Direction.OUT, (model.HAS_LOCAL,))]
+        names = sorted(rw_graph.node_property(n, "short_name")
+                       for n in locals_)
+        assert names == ["b", "p", "q"]
+
+
+class TestMacrosAndTypes:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return graph_for({
+            "m.c": """
+#define LIMIT 10
+#define DOUBLE(x) ((x) * 2)
+enum color { RED, GREEN = 5 };
+typedef unsigned long ulong_t;
+union blob { int i; float f; };
+int clamp(int v) {
+#ifdef LIMIT
+    if (v > DOUBLE(LIMIT)) return LIMIT;
+#endif
+    return (int)(ulong_t)v + sizeof(union blob) + _Alignof(int) + RED;
+}
+""",
+        }, "gcc m.c -c -o m.o")
+
+    def test_macro_nodes(self, graph):
+        named(graph, "LIMIT", "macro")
+        named(graph, "DOUBLE", "macro")
+
+    def test_expands_macro_from_function(self, graph):
+        clamp = named(graph, "clamp", "function")
+        limit = named(graph, "LIMIT", "macro")
+        assert "expands_macro" in edge_types_between(graph, clamp, limit)
+
+    def test_interrogates_macro(self, graph):
+        clamp = named(graph, "clamp", "function")
+        limit = named(graph, "LIMIT", "macro")
+        assert "interrogates_macro" in edge_types_between(graph, clamp,
+                                                          limit)
+
+    def test_enumerator_nodes_and_uses(self, graph):
+        red = named(graph, "RED", "enumerator")
+        assert graph.node_property(red, "value") == 0
+        green = named(graph, "GREEN", "enumerator")
+        assert graph.node_property(green, "value") == 5
+        clamp = named(graph, "clamp", "function")
+        assert "uses_enumerator" in edge_types_between(graph, clamp, red)
+
+    def test_enum_contains_enumerators(self, graph):
+        color = named(graph, "color", "enum_def")
+        red = named(graph, "RED", "enumerator")
+        assert "contains" in edge_types_between(graph, color, red)
+
+    def test_casts_to(self, graph):
+        clamp = named(graph, "clamp", "function")
+        integer = named(graph, "int", "primitive")
+        assert "casts_to" in edge_types_between(graph, clamp, integer)
+        ulong_t = named(graph, "ulong_t", "typedef")
+        assert "casts_to" in edge_types_between(graph, clamp, ulong_t)
+
+    def test_gets_size_of_union(self, graph):
+        clamp = named(graph, "clamp", "function")
+        blob = named(graph, "blob", "union")
+        assert "gets_size_of" in edge_types_between(graph, clamp, blob)
+
+    def test_gets_align_of(self, graph):
+        clamp = named(graph, "clamp", "function")
+        integer = named(graph, "int", "primitive")
+        assert "gets_align_of" in edge_types_between(graph, clamp,
+                                                     integer)
+
+    def test_typedef_isa_type(self, graph):
+        ulong_t = named(graph, "ulong_t", "typedef")
+        ulong = named(graph, "unsigned long", "primitive")
+        assert "isa_type" in edge_types_between(graph, ulong_t, ulong)
+
+
+class TestCrossUnitDeduplication:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        header = """
+#ifndef H_H
+#define H_H
+struct shared { int f; };
+typedef struct shared shared_t;
+extern int g;
+int api(shared_t *s);
+#endif
+"""
+        return graph_for({
+            "h.h": header,
+            "a.c": '#include "h.h"\n'
+                   "int g;\n"
+                   "int api(shared_t *s) { return s->f + g; }\n",
+            "b.c": '#include "h.h"\n'
+                   "static int hidden(void) { return 1; }\n"
+                   "int use(shared_t *s) { return api(s) + hidden(); }\n",
+            "c.c": '#include "h.h"\n'
+                   "static int hidden(void) { return 2; }\n"
+                   "int use2(void) { return hidden(); }\n",
+        }, "gcc a.c -c -o a.o\n"
+           "gcc b.c -c -o b.o\n"
+           "gcc c.c -c -o c.o\n"
+           "gcc a.o b.o c.o -o prog")
+
+    def test_shared_struct_single_node(self, graph):
+        named(graph, "shared", "struct")  # asserts exactly one
+
+    def test_shared_typedef_single_node(self, graph):
+        named(graph, "shared_t", "typedef")
+
+    def test_shared_field_single_node(self, graph):
+        fields = list(graph.indexes.lookup("name", "shared::f"))
+        assert len(fields) == 1
+
+    def test_static_functions_stay_distinct(self, graph):
+        hiddens = [n for n in graph.indexes.lookup("short_name", "hidden")
+                   if graph.node_property(n, "type") == "function"]
+        assert len(hiddens) == 2
+
+    def test_cross_unit_call_reaches_definition(self, graph):
+        use = named(graph, "use", "function")
+        api = named(graph, "api", "function")
+        assert "calls" in edge_types_between(graph, use, api)
+
+    def test_extern_global_resolves(self, graph):
+        api = named(graph, "api", "function")
+        g = named(graph, "g", "global")
+        assert "reads" in edge_types_between(graph, api, g)
+
+    def test_module_link_declares(self, graph):
+        prog = named(graph, "prog", "module")
+        api = named(graph, "api", "function")
+        assert "link_declares" in edge_types_between(graph, prog, api)
+
+
+class TestStructuralDetails:
+    def test_bit_width_on_isa_type(self):
+        graph = graph_for({"m.c": "struct s { int flag : 3; };\n"},
+                          "gcc m.c -c -o m.o")
+        flag = next(iter(graph.indexes.lookup("name", "s::flag")))
+        edge = next(iter(graph.edges_of(flag, Direction.OUT,
+                                        (model.ISA_TYPE,))))
+        assert graph.edge_property(edge, "bit_width") == 3
+
+    def test_array_lengths_on_isa_type(self):
+        graph = graph_for({"m.c": "int grid[4][5];\n"},
+                          "gcc m.c -c -o m.o")
+        grid = named(graph, "grid", "global")
+        edge = next(iter(graph.edges_of(grid, Direction.OUT,
+                                        (model.ISA_TYPE,))))
+        assert graph.edge_property(edge, "array_lengths") == [4, 5]
+        assert graph.edge_property(edge, "qualifiers") == "]]"
+
+    def test_variadic_property(self):
+        graph = graph_for(
+            {"m.c": "int printf(const char *f, ...);\n"
+                    "int use(void) { return printf(\"x\"); }\n"},
+            "gcc m.c -c -o m.o")
+        printf_node = named(graph, "printf", "function_decl")
+        assert graph.node_property(printf_node, "variadic") is True
+
+    def test_long_name_signature(self):
+        graph = graph_for(
+            {"m.c": "int add(int a, char *b) { return a; }\n"},
+            "gcc m.c -c -o m.o")
+        add = named(graph, "add", "function")
+        assert graph.node_property(add, "long_name") == \
+            "add(int,char *)"
+
+    def test_function_used_as_pointer_takes_address(self):
+        graph = graph_for(
+            {"m.c": "int cb(void) { return 0; }\n"
+                    "int (*slot)(void);\n"
+                    "void install(void) { slot = cb; }\n"},
+            "gcc m.c -c -o m.o")
+        install = named(graph, "install", "function")
+        cb = named(graph, "cb", "function")
+        assert "takes_address_of" in edge_types_between(graph, install,
+                                                        cb)
+
+    def test_dir_contains_hierarchy(self):
+        graph = graph_for(
+            {"drivers/net/e1000.c": "int probe(void) { return 0; }\n"},
+            "gcc drivers/net/e1000.c -c -o drivers/net/e1000.o")
+        drivers = named(graph, "drivers", "directory")
+        net = named(graph, "net", "directory")
+        source = named(graph, "e1000.c", "file")
+        assert "dir_contains" in edge_types_between(graph, drivers, net)
+        assert "dir_contains" in edge_types_between(graph, net, source)

@@ -1,0 +1,168 @@
+"""Experiment E1: the paper's Figure 2 dependency graph, exactly.
+
+The paper's example: ``foo.h`` declares ``bar``, ``foo.c`` defines it,
+``main.c`` calls it; built with::
+
+    gcc foo.c -c -o foo.o
+    gcc main.c foo.o -o prog
+
+The resulting graph must contain the nodes and edges the figure draws:
+prog, foo.o, the three source files, functions main and bar, the
+parameters argv/argc/input and the primitive types char and int, with
+``argv -isa_type{QUALIFIERS:'**'}-> char`` called out in the text.
+"""
+
+import pytest
+
+from repro.build import Build
+from repro.core import extract_build
+from repro.core import model
+from repro.graphdb.view import Direction
+from repro.lang.source import VirtualFileSystem
+
+
+@pytest.fixture(scope="module")
+def graph():
+    fs = VirtualFileSystem({
+        "foo.h": "int bar(int);\n",
+        "foo.c": '#include "foo.h"\n'
+                 "int bar(int input) { return input; }\n",
+        "main.c": '#include "foo.h"\n'
+                  "int main(int argc, char **argv) { return bar(argc); }\n",
+    })
+    build = Build(fs)
+    build.run("gcc foo.c -c -o foo.o")
+    build.run("gcc main.c foo.o -o prog")
+    return extract_build(build)
+
+
+def node_named(graph, short_name, node_type):
+    matches = [n for n in graph.indexes.lookup("short_name", short_name)
+               if graph.node_property(n, "type") == node_type]
+    assert len(matches) == 1, \
+        f"expected one {node_type} {short_name!r}, got {matches}"
+    return matches[0]
+
+
+def has_edge(graph, source, target, edge_type):
+    return any(graph.edge_target(e) == target
+               for e in graph.edges_of(source, Direction.OUT,
+                                       (edge_type,)))
+
+
+class TestFigure2Nodes:
+    @pytest.mark.parametrize("short_name,node_type", [
+        ("prog", "module"), ("foo.o", "module"),
+        ("main.c", "file"), ("foo.c", "file"), ("foo.h", "file"),
+        ("main", "function"), ("bar", "function"),
+        ("argc", "parameter"), ("argv", "parameter"),
+        ("input", "parameter"),
+        ("int", "primitive"), ("char", "primitive"),
+    ])
+    def test_node_present(self, graph, short_name, node_type):
+        node_named(graph, short_name, node_type)
+
+    def test_one_int_node_only(self, graph):
+        ints = [n for n in graph.indexes.lookup("short_name", "int")]
+        assert len(ints) == 1  # the hub property the paper relies on
+
+
+class TestFigure2Edges:
+    def test_prog_compiled_from_main_c(self, graph):
+        assert has_edge(graph, node_named(graph, "prog", "module"),
+                        node_named(graph, "main.c", "file"),
+                        model.COMPILED_FROM)
+
+    def test_prog_linked_from_foo_o(self, graph):
+        assert has_edge(graph, node_named(graph, "prog", "module"),
+                        node_named(graph, "foo.o", "module"),
+                        model.LINKED_FROM)
+
+    def test_foo_o_compiled_from_foo_c(self, graph):
+        assert has_edge(graph, node_named(graph, "foo.o", "module"),
+                        node_named(graph, "foo.c", "file"),
+                        model.COMPILED_FROM)
+
+    def test_includes_edges(self, graph):
+        foo_h = node_named(graph, "foo.h", "file")
+        assert has_edge(graph, node_named(graph, "main.c", "file"),
+                        foo_h, model.INCLUDES)
+        assert has_edge(graph, node_named(graph, "foo.c", "file"),
+                        foo_h, model.INCLUDES)
+
+    def test_file_contains_functions(self, graph):
+        assert has_edge(graph, node_named(graph, "main.c", "file"),
+                        node_named(graph, "main", "function"),
+                        model.FILE_CONTAINS)
+        assert has_edge(graph, node_named(graph, "foo.c", "file"),
+                        node_named(graph, "bar", "function"),
+                        model.FILE_CONTAINS)
+
+    def test_main_calls_bar(self, graph):
+        assert has_edge(graph, node_named(graph, "main", "function"),
+                        node_named(graph, "bar", "function"),
+                        model.CALLS)
+
+    def test_header_decl_declares_definition(self, graph):
+        decl = node_named(graph, "bar", "function_decl")
+        definition = node_named(graph, "bar", "function")
+        assert has_edge(graph, decl, definition, model.DECLARES)
+        assert has_edge(graph, node_named(graph, "foo.h", "file"), decl,
+                        model.FILE_CONTAINS)
+
+    def test_link_matches_across_units(self, graph):
+        decl = node_named(graph, "bar", "function_decl")
+        definition = node_named(graph, "bar", "function")
+        assert has_edge(graph, decl, definition, model.LINK_MATCHES)
+
+    def test_params(self, graph):
+        main = node_named(graph, "main", "function")
+        argc = node_named(graph, "argc", "parameter")
+        argv = node_named(graph, "argv", "parameter")
+        assert has_edge(graph, main, argc, model.HAS_PARAM)
+        assert has_edge(graph, main, argv, model.HAS_PARAM)
+
+    def test_argv_isa_type_char_with_qualifier(self, graph):
+        """The edge the paper's text singles out."""
+        argv = node_named(graph, "argv", "parameter")
+        char = node_named(graph, "char", "primitive")
+        edges = [e for e in graph.edges_of(argv, Direction.OUT,
+                                           (model.ISA_TYPE,))
+                 if graph.edge_target(e) == char]
+        assert len(edges) == 1
+        assert graph.edge_property(edges[0], "qualifiers") == "**"
+
+    def test_argc_isa_type_int(self, graph):
+        argc = node_named(graph, "argc", "parameter")
+        integer = node_named(graph, "int", "primitive")
+        assert has_edge(graph, argc, integer, model.ISA_TYPE)
+
+    def test_call_edge_has_use_and_name_ranges(self, graph):
+        main = node_named(graph, "main", "function")
+        call = next(iter(graph.edges_of(main, Direction.OUT,
+                                        (model.CALLS,))))
+        properties = graph.edge_properties(call)
+        # call site 'bar(argc)' spans more than the name token 'bar'
+        assert properties["use_end_col"] > properties["name_end_col"]
+        assert properties["use_start_line"] == \
+            properties["name_start_line"] == 2
+
+    def test_link_order_property(self, graph):
+        prog = node_named(graph, "prog", "module")
+        linked = list(graph.edges_of(prog, Direction.OUT,
+                                     (model.LINKED_FROM,)))
+        assert graph.edge_property(linked[0], "link_order") == 0
+
+
+class TestGroupLabels:
+    def test_function_is_symbol(self, graph):
+        main = node_named(graph, "main", "function")
+        assert "symbol" in graph.node_labels(main)
+
+    def test_primitive_is_type(self, graph):
+        integer = node_named(graph, "int", "primitive")
+        assert "type" in graph.node_labels(integer)
+
+    def test_file_is_container(self, graph):
+        assert "container" in graph.node_labels(
+            node_named(graph, "main.c", "file"))

@@ -1,0 +1,114 @@
+"""The Frappe facade: indexing, saving/opening, querying."""
+
+import pytest
+
+from repro.core.frappe import Frappe
+from repro.cypher import NodeRef
+from repro.errors import QueryTimeoutError
+
+
+SMALL_TREE = {
+    "util.h": "int add(int a, int b);\n#define TWICE(x) ((x) + (x))\n",
+    "util.c": '#include "util.h"\n'
+              "int add(int a, int b) { return a + b; }\n",
+    "app.c": '#include "util.h"\n'
+             "int run(void) { return TWICE(add(1, 2)); }\n",
+}
+
+SCRIPT = """
+gcc util.c -c -o util.o
+gcc app.c util.o -o app
+"""
+
+
+@pytest.fixture(scope="module")
+def small():
+    return Frappe.index_sources(SMALL_TREE, SCRIPT)
+
+
+class TestIndexing:
+    def test_index_sources(self, small):
+        metrics = small.metrics()
+        assert metrics.node_count > 10
+        assert metrics.edge_count > metrics.node_count
+
+    def test_cypher_over_indexed_graph(self, small):
+        result = small.query(
+            "MATCH (n:function) RETURN n.short_name ORDER BY "
+            "n.short_name")
+        assert result.values() == ["add", "run"]
+
+    def test_search(self, small):
+        assert small.search("add", node_type="function")
+        assert small.search("a*", node_type="function")
+
+    def test_describe(self, small):
+        node = small.search("add", node_type="function")[0]
+        description = small.describe(node)
+        assert description["type"] == "function"
+        assert "symbol" in description["labels"]
+
+    def test_macro_impact(self, small):
+        impacted = small.macro_impact("TWICE")
+        names = {small.view.node_property(n, "short_name")
+                 for n in impacted}
+        assert "run" in names
+
+    def test_slices(self, small):
+        forward = small.forward_slice("add")
+        names = {small.view.node_property(n, "short_name")
+                 for n in forward}
+        assert names == {"run"}
+        assert small.backward_slice("add") == set()
+
+    def test_path_between(self, small):
+        path = small.path_between("run", "add")
+        assert path is not None and len(path) == 2
+
+
+class TestPersistence:
+    def test_save_and_open_roundtrip(self, small, tmp_path):
+        directory = str(tmp_path / "store")
+        sizes = small.save(directory)
+        assert sizes["total"] > 0
+        with Frappe.open(directory) as reopened:
+            result = reopened.query(
+                "MATCH (n:function) RETURN n.short_name "
+                "ORDER BY n.short_name")
+            assert result.values() == ["add", "run"]
+
+    def test_use_cases_on_disk_store(self, small, tmp_path):
+        directory = str(tmp_path / "store2")
+        small.save(directory)
+        with Frappe.open(directory) as reopened:
+            assert reopened.forward_slice("add")
+            assert reopened.search("run")
+            reopened.evict_caches()  # cold start, answers unchanged
+            assert reopened.forward_slice("add")
+
+    def test_open_is_read_view(self, small, tmp_path):
+        directory = str(tmp_path / "store3")
+        small.save(directory)
+        with Frappe.open(directory) as reopened:
+            with pytest.raises(TypeError):
+                reopened.save(str(tmp_path / "elsewhere"))
+
+    def test_evict_on_memory_graph_is_noop(self, small):
+        small.evict_caches()  # must not raise
+
+
+class TestQueryBehaviour:
+    def test_parameters(self, small):
+        result = small.query(
+            "MATCH (n:function{short_name: $name}) RETURN id(n)",
+            parameters={"name": "add"})
+        assert len(result) == 1
+
+    def test_timeout_plumbed_through(self, small):
+        frappe = Frappe(small.view, default_timeout=0.0)
+        with pytest.raises(QueryTimeoutError):
+            frappe.query("MATCH a --> b --> c --> d RETURN count(*)")
+
+    def test_node_refs_in_results(self, small):
+        result = small.query("MATCH (n:macro) RETURN n")
+        assert isinstance(result.rows[0][0], NodeRef)

@@ -1,0 +1,189 @@
+"""The Section 4 use cases on the extracted mini-kernel."""
+
+import pytest
+
+from repro.core import model, queries, slicing
+from repro.graphdb.view import Direction
+
+
+def named(graph, short_name, node_type):
+    matches = [n for n in graph.indexes.lookup("short_name", short_name)
+               if graph.node_property(n, "type") == node_type]
+    assert matches, f"no {node_type} named {short_name!r}"
+    return matches[0]
+
+
+def short_names(graph, nodes):
+    return sorted(graph.node_property(n, "short_name") for n in nodes)
+
+
+class TestCodeSearch:
+    def test_by_name(self, mini_kernel_graph):
+        nodes = queries.code_search(mini_kernel_graph, "sr_do_ioctl")
+        types = {mini_kernel_graph.node_property(n, "type")
+                 for n in nodes}
+        assert "function" in types
+
+    def test_by_name_and_type(self, mini_kernel_graph):
+        nodes = queries.code_search(mini_kernel_graph, "id",
+                                    node_type="field")
+        assert len(nodes) == 2  # scsi_device::id and wakeup_event::id
+
+    def test_module_filter_figure3(self, mini_kernel_graph):
+        nodes = queries.code_search(mini_kernel_graph, "id",
+                                    node_type="field",
+                                    module="wakeup.elf")
+        assert short_names(mini_kernel_graph, nodes) == ["id"]
+        names = [mini_kernel_graph.node_property(n, "name")
+                 for n in nodes]
+        assert names == ["wakeup_event::id"]
+
+    def test_wildcard_search(self, mini_kernel_graph):
+        nodes = queries.code_search(mini_kernel_graph, "sr_*",
+                                    node_type="function")
+        assert short_names(mini_kernel_graph, nodes) == \
+            ["sr_do_ioctl", "sr_media_change", "sr_packet"]
+
+    def test_unknown_module_gives_nothing(self, mini_kernel_graph):
+        assert queries.code_search(mini_kernel_graph, "id",
+                                   module="ghost.elf") == []
+
+    def test_files_of_module(self, mini_kernel_graph):
+        files = queries.files_of_module(mini_kernel_graph, "wakeup.elf")
+        names = short_names(mini_kernel_graph, files)
+        assert "wakeup.c" in names
+        assert "sr.c" in names
+        assert "main.c" not in names  # only in vmlinux
+
+
+class TestGotoDefinition:
+    def test_resolves_from_reference_position(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        # find the call edge main -> wakeup_poll and use its NAME_* pos
+        definition = named(graph, "wakeup_poll", "function")
+        edge = next(e for e in graph.edges_of(definition, Direction.IN,
+                                              (model.CALLS,)))
+        properties = graph.edge_properties(edge)
+        found = queries.goto_definition(
+            graph, "wakeup_poll", properties["name_file_id"],
+            properties["name_start_line"], properties["name_start_col"])
+        assert definition in found
+
+    def test_wrong_position_finds_nothing(self, mini_kernel_graph):
+        assert queries.goto_definition(mini_kernel_graph, "wakeup_poll",
+                                       99, 1, 1) == []
+
+    def test_column_bounds_respected(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        definition = named(graph, "wakeup_poll", "function")
+        edge = next(e for e in graph.edges_of(definition, Direction.IN,
+                                              (model.CALLS,)))
+        properties = graph.edge_properties(edge)
+        found = queries.goto_definition(
+            graph, "wakeup_poll", properties["name_file_id"],
+            properties["name_start_line"],
+            properties["name_end_col"] + 5)
+        assert definition not in found
+
+
+class TestFindReferences:
+    def test_function_references(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        target = named(graph, "sr_do_ioctl", "function")
+        references = queries.find_references(graph, target)
+        assert all(r.edge_type == "calls" for r in references)
+        callers = {graph.node_property(r.from_node, "short_name")
+                   for r in references}
+        assert callers == {"sr_packet", "get_sectorsize"}
+
+    def test_references_carry_positions(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        target = named(graph, "sr_do_ioctl", "function")
+        for reference in queries.find_references(graph, target):
+            assert reference.use_start_line is not None
+
+    def test_field_references(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        field = next(n for n in graph.indexes.lookup("name",
+                                                     "packet_command::cmd"))
+        references = queries.find_references(graph, field)
+        assert any(r.edge_type == "writes_member" for r in references)
+
+
+class TestDebugging:
+    def test_figure5_writer_found(self, mini_kernel_graph):
+        writers = queries.writers_of_field_between(
+            mini_kernel_graph, "sr_media_change", "get_sectorsize",
+            "packet_command", "cmd")
+        names = {mini_kernel_graph.node_property(w.writer_node,
+                                                 "short_name")
+                 for w in writers}
+        assert names == {"sr_do_ioctl"}
+
+    def test_unknown_bounds_empty(self, mini_kernel_graph):
+        assert queries.writers_of_field_between(
+            mini_kernel_graph, "ghost_fn", "get_sectorsize",
+            "packet_command", "cmd") == []
+
+    def test_unwritten_field_empty(self, mini_kernel_graph):
+        # 'source' in wakeup_event is never written on that path
+        assert queries.writers_of_field_between(
+            mini_kernel_graph, "sr_media_change", "get_sectorsize",
+            "wakeup_event", "source") == []
+
+
+class TestComprehension:
+    def test_backward_closure(self, mini_kernel_graph):
+        closure = queries.call_closure(mini_kernel_graph,
+                                       "sr_media_change", Direction.OUT)
+        names = short_names(mini_kernel_graph, closure)
+        assert names == ["get_sectorsize", "sr_do_ioctl", "sr_packet"]
+
+    def test_forward_closure(self, mini_kernel_graph):
+        closure = queries.call_closure(mini_kernel_graph, "sr_do_ioctl",
+                                       Direction.IN)
+        names = short_names(mini_kernel_graph, closure)
+        assert names == ["get_sectorsize", "sr_media_change",
+                         "sr_packet", "start_kernel"]
+
+    def test_entry_point_path(self, mini_kernel_graph):
+        path = queries.entry_point_path(mini_kernel_graph,
+                                        "start_kernel", "sr_do_ioctl")
+        names = [mini_kernel_graph.node_property(n, "short_name")
+                 for n in path]
+        assert names[0] == "start_kernel"
+        assert names[-1] == "sr_do_ioctl"
+        assert len(names) <= 4
+
+    def test_no_path(self, mini_kernel_graph):
+        assert queries.entry_point_path(mini_kernel_graph,
+                                        "sr_do_ioctl",
+                                        "start_kernel") is None
+
+
+class TestSlicing:
+    def test_backward_equals_reachable(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        seed = named(graph, "sr_media_change", "function")
+        assert slicing.backward_slice(graph, seed) == \
+            queries.call_closure(graph, "sr_media_change", Direction.OUT)
+
+    def test_include_slice(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        header = named(graph, "scsi.h", "file")
+        affected = slicing.include_slice(graph, header, forward=True)
+        names = short_names(graph, affected)
+        assert "sr.c" in names and "main.c" in names
+
+    def test_macro_impact_direct(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        macro = named(graph, "PACKET_LEN", "macro")
+        impacted = slicing.macro_impact(graph, macro)
+        assert impacted  # the header's struct definition expands it
+
+    def test_depth_profile_converges(self, mini_kernel_graph):
+        graph = mini_kernel_graph
+        seed = named(graph, "start_kernel", "function")
+        sizes = slicing.slice_size_by_depth(graph, seed)
+        assert sizes == sorted(sizes)
+        assert sizes[-1] >= 4

@@ -1,0 +1,93 @@
+"""The Section 6.2 reference-as-node remodelling helper."""
+
+import pytest
+
+from repro.core import model
+from repro.core.remodel import (CALLSITE, references_in_file_edge_model,
+                                references_in_file_node_model,
+                                reify_references)
+from repro.graphdb import PropertyGraph
+from repro.graphdb.view import Direction
+
+
+@pytest.fixture
+def small():
+    g = PropertyGraph()
+    file_node = g.add_node("file", short_name="a.c", type="file")
+    caller = g.add_node("function", short_name="f", type="function")
+    callee = g.add_node("function", short_name="g", type="function")
+    counter = g.add_node("global", short_name="c", type="global")
+    g.add_edge(file_node, caller, model.FILE_CONTAINS)
+    g.add_edge(caller, callee, model.CALLS, use_file_id=file_node,
+               use_start_line=5)
+    g.add_edge(caller, counter, model.WRITES, use_file_id=file_node,
+               use_start_line=6)
+    g.add_edge(caller, counter, model.ISA_TYPE)  # structural: untouched
+    return g, file_node, caller, callee, counter
+
+
+class TestReify:
+    def test_callsite_nodes_created(self, small):
+        g, file_node, caller, callee, _counter = small
+        reified = reify_references(g)
+        sites = list(reified.nodes_with_label(CALLSITE))
+        assert len(sites) == 2  # calls + writes
+
+    def test_two_hop_structure(self, small):
+        g, _file, caller, callee, _counter = small
+        reified = reify_references(g)
+        hop1 = list(reified.edges_of(caller, Direction.OUT,
+                                     (model.CALLS,)))
+        assert len(hop1) == 1
+        site = reified.edge_target(hop1[0])
+        assert CALLSITE in reified.node_labels(site)
+        hop2 = list(reified.edges_of(site, Direction.OUT,
+                                     (model.CALLS,)))
+        assert [reified.edge_target(e) for e in hop2] == [callee]
+
+    def test_properties_moved_to_site(self, small):
+        g, file_node, caller, _callee, _counter = small
+        reified = reify_references(g)
+        site = reified.edge_target(next(iter(
+            reified.edges_of(caller, Direction.OUT, (model.CALLS,)))))
+        assert reified.node_property(site, "use_start_line") == 5
+
+    def test_file_contains_site(self, small):
+        g, file_node, *_rest = small
+        reified = reify_references(g)
+        contained = [reified.edge_target(e)
+                     for e in reified.edges_of(file_node, Direction.OUT,
+                                               (model.CONTAINS,))]
+        assert len(contained) == 2
+
+    def test_structural_edges_untouched(self, small):
+        g, _file, caller, _callee, counter = small
+        reified = reify_references(g)
+        isa = list(reified.edges_of(caller, Direction.OUT,
+                                    (model.ISA_TYPE,)))
+        assert [reified.edge_target(e) for e in isa] == [counter]
+
+    def test_original_graph_unmodified(self, small):
+        g, *_rest = small
+        before = g.edge_count()
+        reify_references(g)
+        assert g.edge_count() == before
+
+
+class TestFileQueries:
+    def test_both_models_agree(self, small):
+        g, file_node, *_rest = small
+        reified = reify_references(g)
+        edge_side = references_in_file_edge_model(g, file_node)
+        node_side = references_in_file_node_model(reified, file_node)
+        assert len(edge_side) == len(node_side) == 2
+
+    def test_edge_model_needs_property(self, small):
+        g, file_node, caller, callee, _counter = small
+        g.add_edge(callee, caller, model.CALLS)  # no use_file_id
+        assert len(references_in_file_edge_model(g, file_node)) == 2
+
+    def test_node_model_empty_for_plain_file(self, small):
+        g, file_node, *_rest = small
+        # un-reified graph has no callsites to find
+        assert references_in_file_node_model(g, file_node) == []

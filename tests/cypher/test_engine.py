@@ -1,0 +1,377 @@
+"""End-to-end Cypher execution: matching, projection, aggregation."""
+
+import pytest
+
+from repro.cypher import CypherEngine, NodeRef
+from repro.errors import (CypherSemanticError, QueryError,
+                          QueryTimeoutError)
+from repro.graphdb import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    r"""A small call graph with files.
+
+    f1 contains main, helper; f2 contains util, helper2.
+    main calls helper (line 5) and util (line 9); helper calls util;
+    util calls helper2. main writes global counter.
+    """
+    g = PropertyGraph()
+    f1 = g.add_node("file", short_name="main.c", type="file")
+    f2 = g.add_node("file", short_name="util.c", type="file")
+    main = g.add_node("function", "symbol", short_name="main",
+                      type="function")
+    helper = g.add_node("function", "symbol", short_name="helper",
+                        type="function")
+    util = g.add_node("function", "symbol", short_name="util",
+                      type="function")
+    helper2 = g.add_node("function", "symbol", short_name="helper2",
+                         type="function")
+    counter = g.add_node("global", "symbol", short_name="counter",
+                         type="global")
+    g.add_edge(f1, main, "file_contains")
+    g.add_edge(f1, helper, "file_contains")
+    g.add_edge(f2, util, "file_contains")
+    g.add_edge(f2, helper2, "file_contains")
+    g.add_edge(main, helper, "calls", use_start_line=5)
+    g.add_edge(main, util, "calls", use_start_line=9)
+    g.add_edge(helper, util, "calls", use_start_line=2)
+    g.add_edge(util, helper2, "calls", use_start_line=1)
+    g.add_edge(main, counter, "writes", use_start_line=7)
+    return g
+
+
+@pytest.fixture
+def engine(graph):
+    return CypherEngine(graph)
+
+
+def names(result, column=0):
+    return sorted(row[column] for row in result.rows)
+
+
+class TestStart:
+    def test_index_start(self, engine):
+        result = engine.run(
+            "START n=node:node_auto_index('short_name: main') "
+            "RETURN n.short_name")
+        assert result.rows == [("main",)]
+
+    def test_start_by_id(self, engine):
+        result = engine.run("START n=node(2) RETURN n.short_name")
+        assert result.rows == [("main",)]
+
+    def test_start_all(self, engine, graph):
+        result = engine.run("START n=node(*) RETURN count(*)")
+        assert result.value() == graph.node_count()
+
+    def test_start_missing_id(self, engine):
+        with pytest.raises(QueryError):
+            engine.run("START n=node(999) RETURN n")
+
+    def test_cartesian_start_points(self, engine):
+        result = engine.run(
+            "START a=node:node_auto_index('type: file'), "
+            "b=node:node_auto_index('type: global') RETURN a, b")
+        assert len(result) == 2  # 2 files x 1 global
+
+
+class TestMatch:
+    def test_label_scan(self, engine):
+        result = engine.run("MATCH (n:function) RETURN n.short_name")
+        assert names(result) == ["helper", "helper2", "main", "util"]
+
+    def test_property_map_filter(self, engine):
+        result = engine.run(
+            "MATCH (n:function{short_name: 'util'}) RETURN id(n)")
+        assert result.value() == 4
+
+    def test_expand_out(self, engine):
+        result = engine.run(
+            "MATCH (f:file{short_name: 'main.c'}) -[:file_contains]-> n "
+            "RETURN n.short_name")
+        assert names(result) == ["helper", "main"]
+
+    def test_expand_in(self, engine):
+        result = engine.run(
+            "MATCH (n:function{short_name: 'util'}) <-[:calls]- m "
+            "RETURN m.short_name")
+        assert names(result) == ["helper", "main"]
+
+    def test_undirected_expand(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name: 'util'}) -[:calls]- m "
+            "RETURN m.short_name")
+        assert names(result) == ["helper", "helper2", "main"]
+
+    def test_edge_property_filter(self, engine):
+        result = engine.run(
+            "MATCH m -[:calls{use_start_line: 9}]-> n "
+            "RETURN m.short_name, n.short_name")
+        assert result.rows == [("main", "util")]
+
+    def test_relationship_variable(self, engine):
+        result = engine.run(
+            "MATCH (m{short_name:'main'}) -[r:calls]-> n "
+            "RETURN n.short_name, r.use_start_line ORDER BY "
+            "r.use_start_line")
+        assert result.rows == [("helper", 5), ("util", 9)]
+
+    def test_chain_pattern(self, engine):
+        result = engine.run(
+            "MATCH (f:file) -[:file_contains]-> m -[:calls]-> "
+            "(n{short_name: 'util'}) RETURN f.short_name, m.short_name")
+        assert sorted(result.rows) == [("main.c", "helper"),
+                                       ("main.c", "main")]
+
+    def test_var_length_closure(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name: 'main'}) -[:calls*]-> m "
+            "RETURN distinct m.short_name")
+        assert names(result) == ["helper", "helper2", "util"]
+
+    def test_var_length_bounded(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name: 'main'}) -[:calls*1..1]-> m "
+            "RETURN distinct m.short_name")
+        assert names(result) == ["helper", "util"]
+
+    def test_var_length_zero_includes_start(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name: 'main'}) -[:calls*0..1]-> m "
+            "RETURN distinct m.short_name")
+        assert names(result) == ["helper", "main", "util"]
+
+    def test_var_length_enumerates_paths(self, engine):
+        # main->util directly and via helper: two rows before distinct
+        result = engine.run(
+            "MATCH (n{short_name: 'main'}) -[:calls*]-> "
+            "(m{short_name: 'util'}) RETURN m.short_name")
+        assert len(result) == 2
+
+    def test_multi_type_relationship(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name: 'main'}) -[:calls|writes]-> m "
+            "RETURN m.short_name")
+        assert names(result) == ["counter", "helper", "util"]
+
+    def test_comma_patterns_join_on_variable(self, engine):
+        result = engine.run(
+            "MATCH (f:file) -[:file_contains]-> m, m -[:writes]-> g "
+            "RETURN f.short_name, g.short_name")
+        assert result.rows == [("main.c", "counter")]
+
+    def test_anonymous_endpoints(self, engine):
+        result = engine.run(
+            "MATCH () -[:writes]-> (g) RETURN g.short_name")
+        assert result.rows == [("counter",)]
+
+    def test_optional_match_pads_with_null(self, engine):
+        result = engine.run(
+            "MATCH (n:function) OPTIONAL MATCH n -[:writes]-> g "
+            "RETURN n.short_name, g.short_name ORDER BY n.short_name")
+        assert result.rows == [("helper", None), ("helper2", None),
+                               ("main", "counter"), ("util", None)]
+
+    def test_edge_uniqueness_within_match(self, engine):
+        # a -[:calls]-> b <-[:calls]- c cannot bind the same edge twice,
+        # so b=util gives (main, helper) and (helper, main) only.
+        result = engine.run(
+            "MATCH a -[:calls]-> (b{short_name:'util'}) <-[:calls]- c "
+            "RETURN a.short_name, c.short_name")
+        assert sorted(result.rows) == [("helper", "main"),
+                                       ("main", "helper")]
+
+    def test_no_match_empty(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name: 'ghost'}) RETURN n")
+        assert len(result) == 0
+
+
+class TestWhere:
+    def test_property_comparison(self, engine):
+        result = engine.run(
+            "MATCH m -[r:calls]-> n WHERE r.use_start_line > 4 "
+            "RETURN n.short_name")
+        assert names(result) == ["helper", "util"]
+
+    def test_pattern_predicate(self, engine):
+        result = engine.run(
+            "MATCH (n:function) WHERE n -[:writes]-> () "
+            "RETURN n.short_name")
+        assert result.rows == [("main",)]
+
+    def test_negated_pattern_predicate(self, engine):
+        result = engine.run(
+            "MATCH (n:function) WHERE NOT n -[:calls]-> () "
+            "RETURN n.short_name")
+        assert result.rows == [("helper2",)]
+
+    def test_var_length_pattern_predicate(self, engine):
+        result = engine.run(
+            "MATCH (n:function) "
+            "WHERE n -[:calls*]-> ({short_name: 'helper2'}) "
+            "RETURN n.short_name")
+        assert names(result) == ["helper", "main", "util"]
+
+    def test_null_predicate_drops_row(self, engine):
+        result = engine.run(
+            "MATCH (n:function) WHERE n.missing > 1 RETURN n")
+        assert len(result) == 0
+
+
+class TestProjection:
+    def test_distinct(self, engine):
+        result = engine.run("MATCH (f:file) -[:file_contains]-> () "
+                            "RETURN distinct f.short_name")
+        assert names(result) == ["main.c", "util.c"]
+
+    def test_aliases_and_columns(self, engine):
+        result = engine.run("MATCH (n:global) RETURN n.short_name AS name")
+        assert result.columns == ["name"]
+        assert result.value("name") == "counter"
+
+    def test_default_column_names(self, engine):
+        result = engine.run("MATCH (n:global) RETURN n, n.short_name")
+        assert result.columns == ["n", "n.short_name"]
+
+    def test_return_star(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name:'counter'}) <-[:writes]- m RETURN *")
+        assert result.columns == ["m", "n"]
+
+    def test_order_by_desc(self, engine):
+        result = engine.run("MATCH (n:function) RETURN n.short_name "
+                            "ORDER BY n.short_name DESC")
+        assert result.values() == ["util", "main", "helper2", "helper"]
+
+    def test_order_nulls_last(self, engine):
+        result = engine.run(
+            "MATCH (n:symbol) RETURN n.short_name, n.missing "
+            "ORDER BY n.missing, n.short_name")
+        assert result.values(0)[0] == "counter"
+
+    def test_skip_limit(self, engine):
+        result = engine.run("MATCH (n:function) RETURN n.short_name "
+                            "ORDER BY n.short_name SKIP 1 LIMIT 2")
+        assert result.values() == ["helper2", "main"]
+
+    def test_with_pipeline(self, engine):
+        result = engine.run(
+            "MATCH (f:file) -[:file_contains]-> m "
+            "WITH distinct f "
+            "MATCH f -[:file_contains]-> (n{short_name: 'util'}) "
+            "RETURN f.short_name")
+        assert result.rows == [("util.c",)]
+
+    def test_with_where(self, engine):
+        result = engine.run(
+            "MATCH m -[r:calls]-> n WITH n, r.use_start_line AS line "
+            "WHERE line < 3 RETURN n.short_name ORDER BY n.short_name")
+        assert result.values() == ["helper2", "util"]
+
+    def test_query_ending_in_with(self, engine):
+        result = engine.run("MATCH (n:global) WITH n.short_name AS name")
+        assert result.columns == ["name"]
+        assert result.rows == [("counter",)]
+
+
+class TestAggregation:
+    def test_count_star(self, engine):
+        assert engine.run("MATCH (n:function) RETURN count(*)").value() == 4
+
+    def test_count_expression_skips_null(self, engine):
+        result = engine.run("MATCH (n:symbol) RETURN count(n.type)")
+        assert result.value() == 5
+
+    def test_grouping(self, engine):
+        result = engine.run(
+            "MATCH (f:file) -[:file_contains]-> n "
+            "RETURN f.short_name, count(*) ORDER BY f.short_name")
+        assert result.rows == [("main.c", 2), ("util.c", 2)]
+
+    def test_collect(self, engine):
+        result = engine.run(
+            "MATCH (f:file{short_name:'main.c'}) -[:file_contains]-> n "
+            "RETURN collect(n.short_name)")
+        assert sorted(result.value()) == ["helper", "main"]
+
+    def test_min_max_sum_avg(self, engine):
+        result = engine.run(
+            "MATCH () -[r:calls]-> () "
+            "RETURN min(r.use_start_line), max(r.use_start_line), "
+            "sum(r.use_start_line), avg(r.use_start_line)")
+        assert result.rows == [(1, 9, 17, 17 / 4)]
+
+    def test_count_distinct(self, engine):
+        result = engine.run(
+            "MATCH (f:file) -[:file_contains]-> () "
+            "RETURN count(distinct f)")
+        assert result.value() == 2
+
+    def test_aggregate_on_empty_input(self, engine):
+        result = engine.run("MATCH (n:nonexistent) RETURN count(*)")
+        assert result.value() == 0
+
+    def test_aggregate_in_arithmetic(self, engine):
+        result = engine.run("MATCH (n:function) RETURN count(*) + 1")
+        assert result.value() == 5
+
+
+class TestTimeout:
+    def test_timeout_enforced(self, graph):
+        # build a dense graph where path enumeration explodes
+        g = PropertyGraph()
+        nodes = [g.add_node(short_name=f"n{index}") for index in range(14)]
+        for a in nodes:
+            for b in nodes:
+                if a != b:
+                    g.add_edge(a, b, "calls")
+        engine = CypherEngine(g)
+        with pytest.raises(QueryTimeoutError):
+            engine.run("MATCH (n{short_name: 'n0'}) -[:calls*]-> m "
+                       "RETURN count(*)", timeout=0.05)
+
+    def test_default_timeout(self, graph):
+        engine = CypherEngine(graph, default_timeout=30.0)
+        result = engine.run("MATCH n RETURN count(*)")
+        assert result.value() == graph.node_count()
+
+
+class TestResultApi:
+    def test_iteration_as_dicts(self, engine):
+        result = engine.run("MATCH (n:global) RETURN n.short_name AS name")
+        assert list(result) == [{"name": "counter"}]
+
+    def test_single(self, engine):
+        row = engine.run("MATCH (n:global) RETURN n").single()
+        assert isinstance(row["n"], NodeRef)
+
+    def test_single_raises_on_many(self, engine):
+        with pytest.raises(QueryError):
+            engine.run("MATCH (n:function) RETURN n").single()
+
+    def test_value_on_empty(self, engine):
+        with pytest.raises(QueryError):
+            engine.run("MATCH (n:none) RETURN n").value()
+
+    def test_stats_populated(self, engine):
+        result = engine.run("MATCH (n:function) RETURN n")
+        assert result.stats.rows_produced == 4
+        assert result.stats.elapsed_seconds >= 0
+
+    def test_plan_cache(self, engine):
+        engine.run("MATCH n RETURN count(*)")
+        assert "MATCH n RETURN count(*)" in engine._plan_cache
+        engine.clear_cache()
+        assert not engine._plan_cache
+
+
+class TestSemanticErrors:
+    def test_unknown_index(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.run("START n=node:other_index('a: b') RETURN n")
+
+    def test_limit_must_be_integer(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.run("MATCH n RETURN n LIMIT 'five'")

@@ -1,0 +1,88 @@
+"""EXPLAIN: plan descriptions mirror the matcher's actual choices."""
+
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.graphdb import PropertyGraph
+
+
+@pytest.fixture
+def engine():
+    g = PropertyGraph()
+    g.add_node("field", short_name="id", type="field")
+    g.add_node("function", short_name="f", type="function")
+    return CypherEngine(g)
+
+
+class TestExplain:
+    def test_start_clause(self, engine):
+        plan = engine.explain(
+            "START n=node:node_auto_index('short_name: x') RETURN n")
+        assert "index query" in plan
+        assert "'short_name: x'" in plan
+
+    def test_bound_anchor(self, engine):
+        plan = engine.explain(
+            "START n=node(0) MATCH n -[:calls]-> m RETURN m")
+        assert "via bound on n" in plan
+
+    def test_index_seek_anchor(self, engine):
+        plan = engine.explain(
+            "MATCH (n:field{short_name: 'id'}) RETURN n")
+        assert "index-seek on short_name = 'id'" in plan
+
+    def test_label_scan_anchor(self, engine):
+        plan = engine.explain("MATCH (n:field) RETURN n")
+        assert "label-scan on field" in plan
+
+    def test_all_nodes_anchor(self, engine):
+        plan = engine.explain("MATCH n -[:calls]-> m RETURN n")
+        assert "all-nodes" in plan
+
+    def test_index_seek_off_falls_back(self, engine):
+        scan_engine = CypherEngine(engine.view, use_index_seek=False)
+        plan = scan_engine.explain(
+            "MATCH (n:field{short_name: 'id'}) RETURN n")
+        assert "label-scan" in plan
+        assert "index-seek" not in plan
+
+    def test_var_length_warning(self, engine):
+        plan = engine.explain("MATCH n -[:calls*]-> m RETURN m")
+        assert "path enumeration may explode" in plan
+        assert "unbounded" in plan
+
+    def test_bounded_var_length(self, engine):
+        plan = engine.explain("MATCH n -[:calls*..3]-> m RETURN m")
+        assert "max 3" in plan
+
+    def test_shortest_path_strategy(self, engine):
+        plan = engine.explain(
+            "MATCH p = shortestPath((a{short_name:'id'}) -[:calls*]-> "
+            "(b)) RETURN p")
+        assert "BFS shortest path (single)" in plan
+        assert "p = " in plan
+
+    def test_pattern_predicate_count(self, engine):
+        plan = engine.explain(
+            "MATCH n WHERE n -[:calls]-> () AND NOT n -[:reads]-> () "
+            "RETURN n")
+        assert "2 pattern predicates" in plan
+
+    def test_projection_notes(self, engine):
+        plan = engine.explain(
+            "MATCH n WITH distinct n.x AS x RETURN count(*)")
+        assert "WITH n.x (distinct)" in plan
+        assert "RETURN count(*) (aggregate)" in plan
+
+    def test_optional_match_labeled(self, engine):
+        plan = engine.explain(
+            "MATCH n OPTIONAL MATCH n -[:calls]-> m RETURN m")
+        assert "OPTIONAL MATCH" in plan
+
+    def test_later_pattern_sees_with_bindings(self, engine):
+        plan = engine.explain(
+            "MATCH (a:field) WITH a MATCH a -[:calls]-> b RETURN b")
+        lines = plan.splitlines()
+        second_anchor = [line for line in lines
+                         if "anchor" in line][-1]
+        assert "bound on a" in second_anchor

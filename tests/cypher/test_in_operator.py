@@ -1,0 +1,73 @@
+"""The IN membership operator."""
+
+import pytest
+
+from repro.cypher import CypherEngine
+from repro.errors import CypherSemanticError
+from repro.graphdb import PropertyGraph
+
+
+@pytest.fixture
+def engine():
+    g = PropertyGraph()
+    g.add_node("struct", short_name="a", type="struct")
+    g.add_node("union", short_name="b", type="union")
+    g.add_node("enum_def", short_name="c", type="enum_def")
+    g.add_node("function", short_name="d", type="function")
+    return CypherEngine(g)
+
+
+class TestIn:
+    def test_membership_filter(self, engine):
+        result = engine.run(
+            "MATCH n WHERE n.type IN ['struct', 'union'] "
+            "RETURN n.short_name ORDER BY n.short_name")
+        assert result.values() == ["a", "b"]
+
+    def test_not_in(self, engine):
+        result = engine.run(
+            "MATCH n WHERE NOT n.type IN ['function'] "
+            "RETURN count(*)")
+        assert result.value() == 3
+
+    def test_in_with_numbers(self, engine):
+        result = engine.run("MATCH n WHERE id(n) IN [0, 2] "
+                            "RETURN count(*)")
+        assert result.value() == 2
+
+    def test_null_left_is_null(self, engine):
+        result = engine.run(
+            "MATCH n WHERE n.missing IN ['x'] RETURN n")
+        assert len(result) == 0  # null predicate drops rows
+
+    def test_null_in_list_is_unknown(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name:'a'}) "
+            "RETURN (n.type IN ['nope', null]) IS NULL")
+        assert result.value() is True
+
+    def test_found_despite_null_in_list(self, engine):
+        result = engine.run(
+            "MATCH (n{short_name:'a'}) "
+            "RETURN n.type IN ['struct', null]")
+        assert result.value() is True
+
+    def test_non_list_right_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.run("MATCH n WHERE n.type IN 'struct' RETURN n")
+
+
+class TestDeadCodeQuery:
+    def test_unreferenced_functions(self):
+        from repro.core.frappe import Frappe
+        frappe = Frappe.index_sources(
+            {"m.c": "static int used(void) { return 1; }\n"
+                    "static int orphan(void) { return 2; }\n"
+                    "int (*slot)(void);\n"
+                    "static int pointed(void) { return 3; }\n"
+                    "int main(void) { slot = pointed; return used(); }\n"},
+            "gcc m.c -c -o m.o")
+        dead = frappe.dead_code()
+        names = {frappe.view.node_property(n, "short_name")
+                 for n in dead}
+        assert names == {"orphan"}  # pointed is address-taken, main is entry

@@ -1,0 +1,85 @@
+"""Cypher tokenizer."""
+
+import pytest
+
+from repro.cypher import lexer
+from repro.errors import CypherSyntaxError
+
+
+def kinds(text):
+    return [token.kind for token in lexer.tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text):
+    return [token.text for token in lexer.tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords_are_idents(self):
+        assert kinds("MATCH n RETURN n") == ["ident"] * 4
+
+    def test_numbers(self):
+        tokens = list(lexer.tokenize("42 3.5 1e3 2.5e-2"))
+        assert [t.kind for t in tokens[:-1]] == \
+            ["int", "float", "float", "float"]
+        assert tokens[0].value == 42
+        assert tokens[1].value == 3.5
+        assert tokens[2].value == 1000.0
+
+    def test_strings_both_quotes(self):
+        tokens = list(lexer.tokenize("'abc' \"def\""))
+        assert [t.value for t in tokens[:-1]] == ["abc", "def"]
+
+    def test_string_escapes(self):
+        tokens = list(lexer.tokenize(r"'a\'b\n'"))
+        assert tokens[0].value == "a'b\n"
+
+    def test_backtick_identifier(self):
+        tokens = list(lexer.tokenize("`weird name`"))
+        assert tokens[0].kind == "ident"
+        assert tokens[0].value == "weird name"
+
+    def test_parameter(self):
+        tokens = list(lexer.tokenize("$param"))
+        assert tokens[0].kind == "param"
+        assert tokens[0].value == "param"
+
+    def test_punctuation_longest_match(self):
+        assert texts("<= >= <> != .. =~") == \
+            ["<=", ">=", "<>", "!=", "..", "=~"]
+
+    def test_arrow_components(self):
+        # arrows are not fused; the parser assembles them
+        assert texts("-[:calls]->") == ["-", "[", ":", "calls", "]",
+                                        "-", ">"]
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert kinds("MATCH // comment\n n") == ["ident", "ident"]
+
+    def test_line_numbers(self):
+        tokens = list(lexer.tokenize("a\nb\n  c"))
+        assert [(t.line, t.column) for t in tokens[:-1]] == \
+            [(1, 1), (2, 1), (3, 3)]
+
+    def test_eof_token(self):
+        tokens = list(lexer.tokenize("a"))
+        assert tokens[-1].kind == "eof"
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(CypherSyntaxError):
+            list(lexer.tokenize("MATCH @"))
+
+    def test_error_carries_position(self):
+        with pytest.raises(CypherSyntaxError) as info:
+            list(lexer.tokenize("ab\ncd @"))
+        assert info.value.line == 2
+
+
+def test_is_keyword_case_insensitive():
+    token = next(lexer.tokenize("match"))
+    assert token.is_keyword("MATCH")
+    assert not token.is_keyword("RETURN")

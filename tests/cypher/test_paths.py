@@ -1,0 +1,170 @@
+"""Path variables and shortestPath()/allShortestPaths().
+
+The paper's Section 4.4: "Beyond transitive closures, shortest path
+queries are also useful in understanding how the parts of a codebase
+fit together."
+"""
+
+import pytest
+
+from repro.cypher import CypherEngine, PathValue
+from repro.errors import CypherSemanticError, CypherSyntaxError
+from repro.graphdb import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    r"""0->1->2->3 (long), 0->4->3 (short), 3->5, isolated 6."""
+    g = PropertyGraph()
+    for index in range(7):
+        g.add_node("function", short_name=f"f{index}", type="function")
+    for source, target in ((0, 1), (1, 2), (2, 3), (0, 4), (4, 3),
+                           (3, 5)):
+        g.add_edge(source, target, "calls", use_start_line=source + 1)
+    return g
+
+
+@pytest.fixture
+def engine(graph):
+    return CypherEngine(graph)
+
+
+class TestPathVariables:
+    def test_fixed_length_path(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f0'}) -[:calls]-> b "
+            "RETURN p ORDER BY p")
+        paths = result.values()
+        assert all(isinstance(path, PathValue) for path in paths)
+        assert [[n.id for n in path.nodes] for path in paths] == \
+            [[0, 1], [0, 4]]
+
+    def test_var_length_path_includes_intermediates(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f1'}) -[:calls*]-> "
+            "(b{short_name:'f5'}) RETURN nodes(p)")
+        assert [[n.id for n in row[0]] for row in result.rows] == \
+            [[1, 2, 3, 5]]
+
+    def test_length_function(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f0'}) -[:calls*]-> "
+            "(b{short_name:'f3'}) RETURN length(p) ORDER BY length(p)")
+        assert result.values() == [2, 3]
+
+    def test_relationships_function(self, engine, graph):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f0'}) -[:calls]-> "
+            "(b{short_name:'f1'}) RETURN relationships(p)")
+        edges = result.value()
+        assert len(edges) == 1
+        assert graph.edge_target(edges[0].id) == 1
+
+    def test_start_end_node_functions(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f1'}) -[:calls]-> b "
+            "RETURN startNode(p), endNode(p)")
+        row = result.single()
+        assert row["startnode(p)"].id == 1
+        assert row["endnode(p)"].id == 2
+
+    def test_reversed_anchor_keeps_pattern_order(self, engine):
+        # anchor resolves at the right end; the path must still read
+        # left to right
+        result = engine.run(
+            "MATCH p = a -[:calls*]-> (b{short_name:'f5'}) "
+            "WHERE a.short_name = 'f2' RETURN nodes(p)")
+        assert [[n.id for n in row[0]] for row in result.rows] == \
+            [[2, 3, 5]]
+
+
+class TestShortestPath:
+    def test_single_shortest(self, engine):
+        result = engine.run(
+            "MATCH p = shortestPath((a{short_name:'f0'}) -[:calls*]-> "
+            "(b{short_name:'f3'})) RETURN length(p), nodes(p)")
+        row = result.single()
+        assert row["length(p)"] == 2
+        assert [n.id for n in row["nodes(p)"]] == [0, 4, 3]
+
+    def test_all_shortest(self, engine, graph):
+        graph.add_edge(0, 6, "calls")
+        graph.add_edge(6, 3, "calls")  # second 2-hop route
+        result = engine.run(
+            "MATCH p = allShortestPaths((a{short_name:'f0'}) "
+            "-[:calls*]-> (b{short_name:'f3'})) RETURN p ORDER BY p")
+        assert len(result) == 2
+        assert all(len(row[0]) == 2 for row in result.rows)
+
+    def test_no_path_no_rows(self, engine):
+        result = engine.run(
+            "MATCH p = shortestPath((a{short_name:'f5'}) -[:calls*]-> "
+            "(b{short_name:'f0'})) RETURN p")
+        assert len(result) == 0
+
+    def test_direction_respected(self, engine):
+        result = engine.run(
+            "MATCH p = shortestPath((a{short_name:'f3'}) <-[:calls*]- "
+            "(b{short_name:'f0'})) RETURN length(p)")
+        assert result.value() == 2
+
+    def test_rel_variable_bound(self, engine):
+        result = engine.run(
+            "MATCH p = shortestPath((a{short_name:'f0'}) "
+            "-[r:calls*]-> (b{short_name:'f3'})) RETURN size(r)")
+        assert result.value() == 2
+
+    def test_max_hops_excludes(self, engine):
+        result = engine.run(
+            "MATCH p = shortestPath((a{short_name:'f0'}) "
+            "-[:calls*..1]-> (b{short_name:'f3'})) RETURN p")
+        assert len(result) == 0
+
+    def test_edge_property_filter(self, engine):
+        # only edges with use_start_line = 1 usable: kills both routes
+        result = engine.run(
+            "MATCH p = shortestPath((a{short_name:'f0'}) "
+            "-[:calls*{use_start_line: 99}]-> (b{short_name:'f3'})) "
+            "RETURN p")
+        assert len(result) == 0
+
+    def test_requires_var_length(self, engine):
+        with pytest.raises(CypherSyntaxError):
+            engine.run(
+                "MATCH p = shortestPath((a) -[:calls]-> (b)) RETURN p")
+
+    def test_multi_hop_pattern_rejected(self, engine):
+        with pytest.raises(CypherSemanticError):
+            engine.run(
+                "MATCH p = shortestPath((a) -[:calls*]-> (b) "
+                "-[:calls*]-> (c)) RETURN p")
+
+    def test_works_on_kernel_use_case(self, engine):
+        """The Section 4.4 story: entry point to function of interest."""
+        result = engine.run(
+            "MATCH p = shortestPath((entry{short_name:'f0'}) "
+            "-[:calls*]-> (target{short_name:'f5'})) "
+            "RETURN length(p), nodes(p)")
+        row = result.single()
+        assert row["length(p)"] == 3  # 0 -> 4 -> 3 -> 5
+
+
+class TestPathsInProjection:
+    def test_distinct_on_paths(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f0'}) -[:calls]-> b "
+            "RETURN distinct p")
+        assert len(result) == 2
+
+    def test_order_by_path_length_proxy(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f0'}) -[:calls*]-> "
+            "(b{short_name:'f3'}) RETURN p ORDER BY p")
+        lengths = [len(row[0]) for row in result.rows]
+        assert lengths == sorted(lengths)
+
+    def test_collect_paths(self, engine):
+        result = engine.run(
+            "MATCH p = (a{short_name:'f0'}) -[:calls]-> b "
+            "RETURN count(p)")
+        assert result.value() == 2

@@ -1,0 +1,149 @@
+"""Reachability, shortest paths, components."""
+
+import pytest
+
+from repro.graphdb import Direction, PropertyGraph
+from repro.graphdb import algo
+
+
+@pytest.fixture
+def chain_with_branch():
+    r"""0 -> 1 -> 2 -> 3, plus 1 -> 4, and isolated 5."""
+    g = PropertyGraph()
+    nodes = [g.add_node() for _ in range(6)]
+    g.add_edge(nodes[0], nodes[1], "calls")
+    g.add_edge(nodes[1], nodes[2], "calls")
+    g.add_edge(nodes[2], nodes[3], "calls")
+    g.add_edge(nodes[1], nodes[4], "calls")
+    return g, nodes
+
+
+class TestReachableNodes:
+    def test_forward_closure(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.reachable_nodes(g, n[0], ("calls",)) == \
+            {n[1], n[2], n[3], n[4]}
+
+    def test_backward_closure(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.reachable_nodes(g, n[3], ("calls",), Direction.IN) == \
+            {n[0], n[1], n[2]}
+
+    def test_include_start(self, chain_with_branch):
+        g, n = chain_with_branch
+        closure = algo.reachable_nodes(g, n[0], ("calls",),
+                                       include_start=True)
+        assert n[0] in closure
+
+    def test_max_depth(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.reachable_nodes(g, n[0], ("calls",), max_depth=2) == \
+            {n[1], n[2], n[4]}
+
+    def test_isolated_node(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.reachable_nodes(g, n[5], ("calls",)) == set()
+
+    def test_type_filter_respected(self, chain_with_branch):
+        g, n = chain_with_branch
+        g.add_edge(n[0], n[5], "includes")
+        assert n[5] not in algo.reachable_nodes(g, n[0], ("calls",))
+        assert n[5] in algo.reachable_nodes(g, n[0], None)
+
+    def test_cycle_terminates(self):
+        g = PropertyGraph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, "calls")
+        g.add_edge(b, a, "calls")
+        assert algo.reachable_nodes(g, a, ("calls",)) == {b}
+        assert algo.reachable_nodes(g, a, ("calls",),
+                                    include_start=True) == {a, b}
+
+
+class TestIsReachable:
+    def test_positive(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.is_reachable(g, n[0], n[3], ("calls",))
+
+    def test_negative(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert not algo.is_reachable(g, n[3], n[0], ("calls",))
+
+    def test_self(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.is_reachable(g, n[0], n[0])
+
+    def test_depth_limited(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert not algo.is_reachable(g, n[0], n[3], ("calls",), max_depth=2)
+        assert algo.is_reachable(g, n[0], n[3], ("calls",), max_depth=3)
+
+
+class TestShortestPath:
+    def test_direct_chain(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.shortest_path(g, n[0], n[3], ("calls",)) == \
+            [n[0], n[1], n[2], n[3]]
+
+    def test_prefers_shorter_route(self):
+        g = PropertyGraph()
+        nodes = [g.add_node() for _ in range(5)]
+        # long route 0-1-2-3 and short route 0-4-3
+        g.add_edge(nodes[0], nodes[1], "calls")
+        g.add_edge(nodes[1], nodes[2], "calls")
+        g.add_edge(nodes[2], nodes[3], "calls")
+        g.add_edge(nodes[0], nodes[4], "calls")
+        g.add_edge(nodes[4], nodes[3], "calls")
+        assert algo.shortest_path(g, nodes[0], nodes[3], ("calls",)) == \
+            [nodes[0], nodes[4], nodes[3]]
+
+    def test_unreachable_returns_none(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.shortest_path(g, n[0], n[5], ("calls",)) is None
+
+    def test_same_node(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.shortest_path(g, n[2], n[2]) == [n[2]]
+
+    def test_respects_direction(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert algo.shortest_path(g, n[3], n[0], ("calls",)) is None
+        assert algo.shortest_path(g, n[3], n[0], ("calls",),
+                                  Direction.IN) == [n[3], n[2], n[1], n[0]]
+
+
+class TestAllPaths:
+    def test_enumerates_both_routes(self):
+        g = PropertyGraph()
+        a, b, c, d = (g.add_node() for _ in range(4))
+        g.add_edge(a, b, "calls")
+        g.add_edge(b, d, "calls")
+        g.add_edge(a, c, "calls")
+        g.add_edge(c, d, "calls")
+        paths = sorted(algo.all_paths(g, a, d, ("calls",)))
+        assert paths == [[a, b, d], [a, c, d]]
+
+    def test_limit(self):
+        g = PropertyGraph()
+        a, d = g.add_node(), g.add_node()
+        middles = [g.add_node() for _ in range(5)]
+        for middle in middles:
+            g.add_edge(a, middle, "calls")
+            g.add_edge(middle, d, "calls")
+        assert len(list(algo.all_paths(g, a, d, limit=2))) == 2
+
+    def test_max_depth(self, chain_with_branch):
+        g, n = chain_with_branch
+        assert list(algo.all_paths(g, n[0], n[3], ("calls",),
+                                   max_depth=2)) == []
+
+
+class TestComponents:
+    def test_two_components(self, chain_with_branch):
+        g, n = chain_with_branch
+        components = algo.weakly_connected_components(g)
+        sizes = sorted(len(component) for component in components)
+        assert sizes == [1, 5]
+
+    def test_empty_graph(self):
+        assert algo.weakly_connected_components(PropertyGraph()) == []

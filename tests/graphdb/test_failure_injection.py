@@ -1,0 +1,125 @@
+"""Failure injection: corrupted and truncated stores fail loudly.
+
+A production store must never answer queries from garbage — every
+class of file damage must surface as a StoreError/StoreFormatError,
+not as silently wrong results.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StoreError, StoreFormatError
+from repro.graphdb import PropertyGraph
+from repro.graphdb.storage import GraphStore
+from repro.graphdb.storage import store as store_mod
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    graph = PropertyGraph()
+    nodes = [graph.add_node("function", short_name=f"f{index}",
+                            type="function", note="x" * 50)
+             for index in range(20)]
+    for index in range(19):
+        graph.add_edge(nodes[index], nodes[index + 1], "calls",
+                       use_start_line=index)
+    directory = str(tmp_path / "store")
+    GraphStore.write(graph, directory)
+    return directory
+
+
+def _damage(directory, filename, mode):
+    path = os.path.join(directory, filename)
+    if mode == "truncate":
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(size // 3, 1))
+    elif mode == "zero":
+        size = os.path.getsize(path)
+        with open(path, "wb") as handle:
+            handle.write(b"\x00" * size)
+    elif mode == "delete":
+        os.remove(path)
+
+
+class TestMissingFiles:
+    @pytest.mark.parametrize("filename", [
+        store_mod.NODE_FILE, store_mod.REL_FILE, store_mod.PROP_FILE,
+        store_mod.STRING_FILE, store_mod.ADJ_FILE,
+        store_mod.STRING_OFFSETS_FILE, store_mod.INDEX_DICT_FILE,
+    ])
+    def test_missing_file_fails_open_or_access(self, store_dir,
+                                               filename):
+        _damage(store_dir, filename, "delete")
+        with pytest.raises((StoreError, OSError)):
+            with GraphStore.open(store_dir) as graph:
+                # touch everything a query would
+                for node_id in graph.node_ids():
+                    graph.node_properties(node_id)
+                    list(graph.edges_of(node_id))
+                list(graph.indexes.query("short_name: f1"))
+
+    def test_missing_metadata_is_not_a_store(self, store_dir):
+        _damage(store_dir, store_mod.METADATA_FILE, "delete")
+        with pytest.raises(StoreError):
+            GraphStore.open(store_dir)
+
+
+class TestTruncation:
+    def test_truncated_node_store(self, store_dir):
+        _damage(store_dir, store_mod.NODE_FILE, "truncate")
+        with pytest.raises((StoreFormatError, ValueError)):
+            with GraphStore.open(store_dir) as graph:
+                for node_id in range(20):
+                    graph.node_properties(node_id)
+
+    def test_truncated_property_store(self, store_dir):
+        _damage(store_dir, store_mod.PROP_FILE, "truncate")
+        with pytest.raises((StoreFormatError, ValueError)):
+            with GraphStore.open(store_dir) as graph:
+                for node_id in graph.node_ids():
+                    graph.node_properties(node_id)
+
+    def test_truncated_string_store(self, store_dir):
+        _damage(store_dir, store_mod.STRING_FILE, "truncate")
+        with pytest.raises((StoreFormatError, ValueError)):
+            with GraphStore.open(store_dir) as graph:
+                for node_id in graph.node_ids():
+                    graph.node_properties(node_id)
+
+
+class TestGarbage:
+    def test_corrupt_metadata_json(self, store_dir):
+        path = os.path.join(store_dir, store_mod.METADATA_FILE)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ not json")
+        with pytest.raises((StoreError, ValueError)):
+            GraphStore.open(store_dir)
+
+    def test_zeroed_node_store_reads_as_holes(self, store_dir):
+        # all-zero records decode as in_use=0: nodes 'gone', not garbage
+        _damage(store_dir, store_mod.NODE_FILE, "zero")
+        with GraphStore.open(store_dir) as graph:
+            assert list(graph.node_ids()) == []
+
+    def test_bad_index_dictionary(self, store_dir):
+        path = os.path.join(store_dir, store_mod.INDEX_DICT_FILE)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("[1, 2, 3]")
+        with pytest.raises((StoreError, ValueError, AttributeError,
+                            TypeError)):
+            with GraphStore.open(store_dir) as graph:
+                list(graph.indexes.query("short_name: f1"))
+
+    def test_metadata_counts_mismatch_is_detectable(self, store_dir):
+        path = os.path.join(store_dir, store_mod.METADATA_FILE)
+        with open(path, encoding="utf-8") as handle:
+            metadata = json.load(handle)
+        metadata["node_count"] = 999999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(metadata, handle)
+        with GraphStore.open(store_dir) as graph:
+            # reported count disagrees with live records
+            assert graph.node_count() != len(list(graph.node_ids()))

@@ -1,0 +1,94 @@
+"""Property value model validation."""
+
+import pytest
+
+from repro.errors import PropertyTypeError
+from repro.graphdb import properties as props
+
+
+class TestValidateValue:
+    def test_accepts_scalars(self):
+        assert props.validate_value("k", 3) == 3
+        assert props.validate_value("k", 3.5) == 3.5
+        assert props.validate_value("k", "x") == "x"
+        assert props.validate_value("k", True) is True
+
+    def test_accepts_homogeneous_lists(self):
+        assert props.validate_value("k", [1, 2, 3]) == [1, 2, 3]
+        assert props.validate_value("k", ("a", "b")) == ["a", "b"]
+        assert props.validate_value("k", []) == []
+
+    def test_rejects_none(self):
+        with pytest.raises(PropertyTypeError):
+            props.validate_value("k", None)
+
+    def test_rejects_heterogeneous_list(self):
+        with pytest.raises(PropertyTypeError):
+            props.validate_value("k", [1, "two"])
+
+    def test_rejects_bool_int_mix(self):
+        # bool is an int subclass in Python but a distinct storage kind
+        with pytest.raises(PropertyTypeError):
+            props.validate_value("k", [True, 2])
+
+    def test_rejects_nested_list(self):
+        with pytest.raises(PropertyTypeError):
+            props.validate_value("k", [[1], [2]])
+
+    def test_rejects_dict(self):
+        with pytest.raises(PropertyTypeError):
+            props.validate_value("k", {"a": 1})
+
+
+class TestValidateProperties:
+    def test_empty_and_none(self):
+        assert props.validate_properties(None) == {}
+        assert props.validate_properties({}) == {}
+
+    def test_returns_fresh_dict(self):
+        source = {"a": 1}
+        result = props.validate_properties(source)
+        result["b"] = 2
+        assert "b" not in source
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(PropertyTypeError):
+            props.validate_properties({"": 1})
+
+    def test_rejects_non_string_key(self):
+        with pytest.raises(PropertyTypeError):
+            props.validate_properties({3: 1})
+
+
+class TestPropertiesEqual:
+    def test_equal_maps(self):
+        assert props.properties_equal({"a": 1, "b": [1, 2]},
+                                      {"b": [1, 2], "a": 1})
+
+    def test_different_keys(self):
+        assert not props.properties_equal({"a": 1}, {"b": 1})
+
+    def test_list_order_significant(self):
+        assert not props.properties_equal({"a": [1, 2]}, {"a": [2, 1]})
+
+    def test_bool_not_equal_int(self):
+        assert not props.properties_equal({"a": True}, {"a": 1})
+
+
+class TestMergeProperties:
+    def test_overlay(self):
+        merged = props.merge_properties({"a": 1, "b": 2}, {"b": 3, "c": 4})
+        assert merged == {"a": 1, "b": 3, "c": 4}
+
+    def test_validates_updates(self):
+        with pytest.raises(PropertyTypeError):
+            props.merge_properties({}, {"x": None})
+
+
+def test_estimate_value_bytes_monotone_in_string_length():
+    assert (props.estimate_value_bytes("a long string here")
+            > props.estimate_value_bytes("ab"))
+
+
+def test_sorted_items_deterministic():
+    assert list(props.sorted_items({"b": 1, "a": 2})) == [("a", 2), ("b", 1)]

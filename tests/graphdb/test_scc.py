@@ -1,0 +1,104 @@
+"""Strongly connected components (dependency cycles)."""
+
+import pytest
+
+from repro.graphdb import PropertyGraph
+from repro.graphdb.algo import strongly_connected_components
+
+
+def graph_with(edges, n):
+    g = PropertyGraph()
+    for _ in range(n):
+        g.add_node()
+    for source, target in edges:
+        g.add_edge(source, target, "calls")
+    return g
+
+
+class TestScc:
+    def test_simple_cycle(self):
+        g = graph_with([(0, 1), (1, 2), (2, 0)], 3)
+        assert strongly_connected_components(g) == [[0, 1, 2]]
+
+    def test_dag_has_no_cycles(self):
+        g = graph_with([(0, 1), (1, 2), (0, 2)], 3)
+        assert strongly_connected_components(g) == []
+
+    def test_two_separate_cycles(self):
+        g = graph_with([(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)], 4)
+        components = sorted(strongly_connected_components(g))
+        assert components == [[0, 1], [2, 3]]
+
+    def test_self_loop_counts(self):
+        g = graph_with([(0, 0), (1, 2)], 3)
+        assert strongly_connected_components(g) == [[0]]
+
+    def test_self_loop_excluded_when_asked(self):
+        g = graph_with([(0, 0)], 1)
+        assert strongly_connected_components(
+            g, include_self_loops=False) == []
+
+    def test_type_filter(self):
+        g = PropertyGraph()
+        a, b = g.add_node(), g.add_node()
+        g.add_edge(a, b, "calls")
+        g.add_edge(b, a, "includes")  # mixed-type cycle doesn't count
+        assert strongly_connected_components(g, ("calls",)) == []
+        assert strongly_connected_components(g, None) == [[a, b]]
+
+    def test_nested_cycle_inside_larger_graph(self):
+        # entry -> cycle(1,2,3) -> exit
+        g = graph_with([(0, 1), (1, 2), (2, 3), (3, 1), (3, 4)], 5)
+        assert strongly_connected_components(g) == [[1, 2, 3]]
+
+    def test_deep_chain_no_recursion_error(self):
+        edges = [(i, i + 1) for i in range(5000)]
+        edges.append((5000, 0))  # one giant cycle
+        g = graph_with(edges, 5001)
+        components = strongly_connected_components(g)
+        assert len(components) == 1
+        assert len(components[0]) == 5001
+
+    def test_empty_graph(self):
+        assert strongly_connected_components(PropertyGraph()) == []
+
+
+class TestFrappeCycles:
+    def test_mutual_recursion_found(self):
+        from repro.core.frappe import Frappe
+        frappe = Frappe.index_sources(
+            {"m.c": "int odd(int n);\n"
+                    "int even(int n) { return n == 0 ? 1 : odd(n - 1); }\n"
+                    "int odd(int n) { return n == 0 ? 0 : even(n - 1); }\n"
+                    "int alone(int n) { return n; }\n"},
+            "gcc m.c -c -o m.o")
+        cycles = frappe.cycles()
+        assert len(cycles) == 1
+        names = {frappe.view.node_property(n, "short_name")
+                 for n in cycles[0]}
+        assert names == {"odd", "even"}
+
+    def test_self_recursion_found(self):
+        from repro.core.frappe import Frappe
+        frappe = Frappe.index_sources(
+            {"m.c": "int fact(int n) "
+                    "{ return n < 2 ? 1 : n * fact(n - 1); }\n"},
+            "gcc m.c -c -o m.o")
+        cycles = frappe.cycles()
+        assert len(cycles) == 1
+
+    def test_include_cycles(self):
+        from repro.core.frappe import Frappe
+        from repro.core import model
+        frappe = Frappe.index_sources(
+            {"a.h": "#ifndef A_H\n#define A_H\n#include \"b.h\"\n"
+                    "#endif\n",
+             "b.h": "#ifndef B_H\n#define B_H\n#include \"a.h\"\n"
+                    "#endif\n",
+             "m.c": "#include \"a.h\"\nint x;\n"},
+            "gcc m.c -c -o m.o")
+        cycles = frappe.cycles((model.INCLUDES,))
+        assert len(cycles) == 1
+        names = {frappe.view.node_property(n, "short_name")
+                 for n in cycles[0]}
+        assert names == {"a.h", "b.h"}

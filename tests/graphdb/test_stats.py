@@ -1,0 +1,100 @@
+"""Graph metrics (Table 3 / Figure 7 machinery)."""
+
+import math
+
+import pytest
+
+from repro.graphdb import Direction, PropertyGraph
+from repro.graphdb import stats
+
+
+@pytest.fixture
+def star_graph():
+    """Hub node 0 with 10 spokes."""
+    g = PropertyGraph()
+    hub = g.add_node(short_name="int")
+    for index in range(10):
+        spoke = g.add_node(short_name=f"f{index}")
+        g.add_edge(spoke, hub, "isa_type")
+    return g, hub
+
+
+class TestGraphMetrics:
+    def test_counts(self, star_graph):
+        g, _ = star_graph
+        metrics = stats.graph_metrics(g)
+        assert metrics.node_count == 11
+        assert metrics.edge_count == 10
+
+    def test_density(self, star_graph):
+        g, _ = star_graph
+        metrics = stats.graph_metrics(g)
+        assert metrics.density == pytest.approx(10 / (11 * 10))
+
+    def test_edge_node_ratio(self, star_graph):
+        g, _ = star_graph
+        assert stats.graph_metrics(g).edge_node_ratio == \
+            pytest.approx(10 / 11)
+
+    def test_empty_graph(self):
+        metrics = stats.graph_metrics(PropertyGraph())
+        assert metrics.node_count == 0
+        assert metrics.density == 0.0
+        assert metrics.edge_node_ratio == 0.0
+
+
+class TestDegreeDistribution:
+    def test_star_distribution(self, star_graph):
+        g, _ = star_graph
+        distribution = stats.degree_distribution(g)
+        assert distribution == {10: 1, 1: 10}
+
+    def test_directional(self, star_graph):
+        g, _ = star_graph
+        assert stats.degree_distribution(g, Direction.OUT) == {0: 1, 1: 10}
+        assert stats.degree_distribution(g, Direction.IN) == {10: 1, 0: 10}
+
+    def test_top_degree_nodes(self, star_graph):
+        g, hub = star_graph
+        top = stats.top_degree_nodes(g, limit=1)
+        assert top == [(hub, 10)]
+
+    def test_top_degree_limit(self, star_graph):
+        g, _ = star_graph
+        assert len(stats.top_degree_nodes(g, limit=3)) == 3
+
+
+class TestPowerlawAlpha:
+    def test_known_powerlaw_recovered(self):
+        # p(d) ~ d^-2.5 over degrees 1..1000
+        alpha_true = 2.5
+        distribution = {}
+        for degree in range(1, 1000):
+            count = round(1e7 * degree ** -alpha_true)
+            if count:
+                distribution[degree] = count
+        estimate = stats.powerlaw_alpha(distribution, degree_min=5)
+        assert abs(estimate - alpha_true) < 0.1
+
+    def test_empty_distribution_nan(self):
+        assert math.isnan(stats.powerlaw_alpha({}))
+
+    def test_ignores_below_min(self):
+        distribution = {0: 100, 5: 10, 50: 1}
+        estimate = stats.powerlaw_alpha(distribution, degree_min=5)
+        assert estimate > 1.0
+
+
+class TestLogBinnedHistogram:
+    def test_bins_cover_all_nodes(self):
+        distribution = {1: 5, 2: 3, 10: 2, 100: 1, 0: 4}
+        rows = stats.log_binned_histogram(distribution)
+        assert sum(count for _, _, count in rows) == 15
+
+    def test_bins_are_increasing(self):
+        rows = stats.log_binned_histogram({1: 1, 1000: 1})
+        edges = [low for low, _, _ in rows]
+        assert edges == sorted(edges)
+
+    def test_empty(self):
+        assert stats.log_binned_histogram({}) == []

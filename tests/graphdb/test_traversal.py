@@ -1,0 +1,207 @@
+"""Traversal framework semantics (the Section 6.1 workaround)."""
+
+import pytest
+
+from repro.graphdb import Direction, PropertyGraph
+from repro.graphdb.traversal import (Evaluation, Path, TraversalDescription,
+                                     Uniqueness)
+
+
+@pytest.fixture
+def diamond():
+    r"""a -> b, a -> c, b -> d, c -> d, d -> e (two paths a..d)."""
+    g = PropertyGraph()
+    a, b, c, d, e = (g.add_node(short_name=name) for name in "abcde")
+    g.add_edge(a, b, "calls")
+    g.add_edge(a, c, "calls")
+    g.add_edge(b, d, "calls")
+    g.add_edge(c, d, "calls")
+    g.add_edge(d, e, "calls")
+    return g, (a, b, c, d, e)
+
+
+@pytest.fixture
+def cycle():
+    g = PropertyGraph()
+    a, b, c = (g.add_node(short_name=name) for name in "abc")
+    g.add_edge(a, b, "calls")
+    g.add_edge(b, c, "calls")
+    g.add_edge(c, a, "calls")
+    return g, (a, b, c)
+
+
+class TestPath:
+    def test_basic_accessors(self):
+        path = Path((1, 2, 3), (10, 11))
+        assert path.start_node == 1
+        assert path.end_node == 3
+        assert path.length == 2
+        assert path.last_edge == 11
+
+    def test_single_node_path(self):
+        path = Path((5,), ())
+        assert path.length == 0
+        assert path.last_edge is None
+
+    def test_extend_is_persistent(self):
+        path = Path((1,), ())
+        longer = path.extend(9, 2)
+        assert path.nodes == (1,)
+        assert longer.nodes == (1, 2)
+        assert longer.edges == (9,)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Path((1, 2), ())
+
+    def test_equality_and_hash(self):
+        assert Path((1, 2), (5,)) == Path((1, 2), (5,))
+        assert hash(Path((1,), ())) == hash(Path((1,), ()))
+
+
+class TestNodeGlobalTraversal:
+    def test_closure_visits_each_node_once(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        paths = list(TraversalDescription()
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, a))
+        ends = [path.end_node for path in paths]
+        assert sorted(ends) == [a, b, c, d, e]  # d reached once, not twice
+
+    def test_cycle_terminates(self, cycle):
+        g, (a, b, c) = cycle
+        paths = list(TraversalDescription()
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, a))
+        assert sorted(path.end_node for path in paths) == [a, b, c]
+
+    def test_incoming_direction(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        ends = {path.end_node for path in TraversalDescription()
+                .relationships("calls", Direction.IN)
+                .traverse(g, d)}
+        assert ends == {a, b, c, d}
+
+
+class TestPathUniqueness:
+    def test_relationship_path_enumerates_both_routes(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        paths = [path for path in TraversalDescription()
+                 .uniqueness(Uniqueness.RELATIONSHIP_PATH)
+                 .relationships("calls", Direction.OUT)
+                 .traverse(g, a)
+                 if path.end_node == d]
+        assert len(paths) == 2  # via b and via c — Cypher's * semantics
+
+    def test_node_path_blocks_cycles(self, cycle):
+        g, (a, b, c) = cycle
+        paths = list(TraversalDescription()
+                     .uniqueness(Uniqueness.NODE_PATH)
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, a))
+        assert max(path.length for path in paths) == 2
+
+    def test_relationship_global(self, diamond):
+        g, (a, _, _, d, _) = diamond
+        paths = list(TraversalDescription()
+                     .uniqueness(Uniqueness.RELATIONSHIP_GLOBAL)
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, a))
+        # every edge crossed at most once overall: 5 edges -> <= 6 paths
+        assert len(paths) <= 6
+
+
+class TestDepthBounds:
+    def test_max_depth(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        ends = {path.end_node for path in TraversalDescription()
+                .relationships("calls", Direction.OUT)
+                .max_depth(1).traverse(g, a)}
+        assert ends == {a, b, c}
+
+    def test_min_depth_excludes_start(self, diamond):
+        g, (a, b, c, _, _) = diamond
+        ends = {path.end_node for path in TraversalDescription()
+                .relationships("calls", Direction.OUT)
+                .min_depth(1).max_depth(1).traverse(g, a)}
+        assert ends == {b, c}
+
+
+class TestEvaluators:
+    def test_prune_on_property(self, diamond):
+        g, (a, b, c, d, e) = diamond
+
+        def stop_at_b(view, path):
+            if view.node_property(path.end_node, "short_name") == "b":
+                return Evaluation.INCLUDE_AND_PRUNE
+            return Evaluation.INCLUDE_AND_CONTINUE
+
+        ends = {path.end_node for path in TraversalDescription()
+                .relationships("calls", Direction.OUT)
+                .evaluator(stop_at_b).traverse(g, a)}
+        # d is still reachable through c, but not through b
+        assert ends == {a, b, c, d, e}
+
+    def test_exclude_filters_output_only(self, diamond):
+        g, (a, b, c, d, e) = diamond
+
+        def exclude_start(view, path):
+            if path.length == 0:
+                return Evaluation.EXCLUDE_AND_CONTINUE
+            return Evaluation.INCLUDE_AND_CONTINUE
+
+        ends = [path.end_node for path in TraversalDescription()
+                .relationships("calls", Direction.OUT)
+                .evaluator(exclude_start).traverse(g, a)]
+        assert a not in ends
+        assert sorted(ends) == [b, c, d, e]
+
+
+class TestOrdering:
+    def test_breadth_first_order(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        paths = list(TraversalDescription()
+                     .breadth_first()
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, a))
+        depths = [path.length for path in paths]
+        assert depths == sorted(depths)
+
+    def test_depth_first_reaches_deep_early(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        paths = list(TraversalDescription()
+                     .depth_first()
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, a))
+        depths = [path.length for path in paths]
+        assert depths != sorted(depths) or len(set(depths)) <= 2
+
+    def test_description_is_reusable_and_immutable(self, diamond):
+        g, (a, *_rest) = diamond
+        base = TraversalDescription().relationships("calls", Direction.OUT)
+        bounded = base.max_depth(1)
+        full = list(base.traverse(g, a))
+        limited = list(bounded.traverse(g, a))
+        assert len(full) > len(limited)
+        assert len(list(base.traverse(g, a))) == len(full)
+
+
+class TestMultipleFiltersAndStarts:
+    def test_union_of_relationship_rules(self):
+        g = PropertyGraph()
+        a, b, c = (g.add_node() for _ in range(3))
+        g.add_edge(a, b, "calls")
+        g.add_edge(a, c, "includes")
+        description = (TraversalDescription()
+                       .relationships("calls", Direction.OUT)
+                       .relationships("includes", Direction.OUT))
+        ends = {path.end_node for path in description.traverse(g, a)}
+        assert ends == {a, b, c}
+
+    def test_multiple_start_nodes(self, diamond):
+        g, (a, b, c, d, e) = diamond
+        paths = list(TraversalDescription()
+                     .relationships("calls", Direction.OUT)
+                     .traverse(g, b, c))
+        ends = sorted(path.end_node for path in paths)
+        assert ends == [b, c, d, e]

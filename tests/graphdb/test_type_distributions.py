@@ -1,0 +1,30 @@
+"""Node/edge type inventories."""
+
+from repro.graphdb import PropertyGraph
+from repro.graphdb.stats import (edge_type_distribution,
+                                 node_type_distribution)
+
+
+def test_node_type_distribution():
+    g = PropertyGraph()
+    g.add_node("function", type="function")
+    g.add_node("function", type="function")
+    g.add_node("file", type="file")
+    g.add_node()  # untyped
+    assert node_type_distribution(g) == {"function": 2, "file": 1,
+                                         "?": 1}
+
+
+def test_edge_type_distribution():
+    g = PropertyGraph()
+    a, b = g.add_node(), g.add_node()
+    g.add_edge(a, b, "calls")
+    g.add_edge(a, b, "calls")
+    g.add_edge(b, a, "reads")
+    assert edge_type_distribution(g) == {"calls": 2, "reads": 1}
+
+
+def test_empty_graph():
+    g = PropertyGraph()
+    assert node_type_distribution(g) == {}
+    assert edge_type_distribution(g) == {}

@@ -1,0 +1,132 @@
+"""C type model and the Table 2 QUALIFIERS coding."""
+
+import pytest
+
+from repro.lang import ctypes_ as ct
+
+
+class TestQualifierCode:
+    def test_plain(self):
+        assert ct.qualifier_code(ct.Primitive("int")) == ""
+
+    def test_pointer_to_pointer(self):
+        # the paper's Figure 2: char **argv codes as '**'
+        argv = ct.Pointer(ct.Pointer(ct.Primitive("char")))
+        assert ct.qualifier_code(argv) == "**"
+
+    def test_const_int(self):
+        assert ct.qualifier_code(
+            ct.Primitive("int", ct.Qualifiers(const=True))) == "c"
+
+    def test_array_of_const(self):
+        array = ct.Array(ct.Primitive("int", ct.Qualifiers(const=True)), 4)
+        assert ct.qualifier_code(array) == "]c"
+
+    def test_const_pointer_to_volatile(self):
+        pointer = ct.Pointer(
+            ct.Primitive("int", ct.Qualifiers(volatile=True)),
+            ct.Qualifiers(const=True))
+        assert ct.qualifier_code(pointer) == "*cv"
+
+    def test_restrict(self):
+        pointer = ct.Pointer(ct.Primitive("char"),
+                             ct.Qualifiers(restrict=True))
+        assert ct.qualifier_code(pointer) == "*r"
+
+    def test_array_of_pointers(self):
+        t = ct.Array(ct.Pointer(ct.Primitive("int")), 4)
+        assert ct.qualifier_code(t) == "]*"
+
+    def test_through_typedef(self):
+        t = ct.TypedefType("ptr_t", ct.Pointer(ct.Primitive("int")))
+        assert ct.qualifier_code(t) == "*"
+
+
+class TestArrayLengths:
+    def test_multidimensional(self):
+        t = ct.Array(ct.Array(ct.Primitive("int"), 3), 2)
+        assert ct.array_lengths(t) == [2, 3]
+
+    def test_incomplete_dimension_is_zero(self):
+        assert ct.array_lengths(ct.Array(ct.Primitive("int"), None)) == [0]
+
+    def test_non_array(self):
+        assert ct.array_lengths(ct.Primitive("int")) == []
+
+    def test_array_behind_pointer(self):
+        t = ct.Pointer(ct.Array(ct.Primitive("int"), 5))
+        assert ct.array_lengths(t) == [5]
+
+
+class TestBaseType:
+    def test_peels_pointers_and_arrays(self):
+        t = ct.Array(ct.Pointer(ct.Pointer(ct.Primitive("char"))), 4)
+        assert ct.base_type(t) == ct.Primitive("char")
+
+    def test_peels_function_to_return_type(self):
+        t = ct.FunctionType(ct.Pointer(ct.RecordType("struct", "s")), ())
+        assert ct.base_type(t) == ct.RecordType("struct", "s")
+
+    def test_strips_typedefs(self):
+        t = ct.TypedefType("myint", ct.Primitive("int"))
+        assert ct.base_type(t) == ct.Primitive("int")
+
+
+class TestStripTypedefs:
+    def test_merges_qualifiers(self):
+        t = ct.TypedefType("cint", ct.Primitive("int"),
+                           ct.Qualifiers(const=True))
+        stripped = ct.strip_typedefs(t)
+        assert stripped.qualifiers.const
+
+    def test_nested_typedefs(self):
+        inner = ct.TypedefType("a_t", ct.Primitive("int"))
+        outer = ct.TypedefType("b_t", inner)
+        assert ct.strip_typedefs(outer) == ct.Primitive("int")
+
+
+class TestSpellings:
+    def test_function_type(self):
+        t = ct.FunctionType(ct.Primitive("int"),
+                            (ct.Primitive("char"),), True)
+        assert t.spelled() == "int (char, ...)"
+
+    def test_void_function(self):
+        t = ct.FunctionType(ct.Primitive("int"), ())
+        assert t.spelled() == "int (void)"
+
+    def test_record(self):
+        assert ct.RecordType("struct", "task").spelled() == "struct task"
+
+    def test_qualified_primitive(self):
+        t = ct.Primitive("int", ct.Qualifiers(const=True, volatile=True))
+        assert t.spelled() == "const volatile int"
+
+
+class TestMergePrimitiveWords:
+    @pytest.mark.parametrize("words,expected", [
+        (["int"], "int"),
+        (["unsigned"], "unsigned int"),
+        (["unsigned", "int"], "unsigned int"),
+        (["signed", "int"], "int"),
+        (["long"], "long"),
+        (["long", "long"], "long long"),
+        (["unsigned", "long", "long", "int"], "unsigned long long"),
+        (["short"], "short"),
+        (["unsigned", "short"], "unsigned short"),
+        (["char"], "char"),
+        (["signed", "char"], "signed char"),
+        (["unsigned", "char"], "unsigned char"),
+        (["long", "double"], "long double"),
+        (["double"], "double"),
+        (["void"], "void"),
+        (["_Bool"], "_Bool"),
+    ])
+    def test_cases(self, words, expected):
+        assert ct.merge_primitive_words(words) == expected
+
+    def test_canonicalization_gives_one_int_hub(self):
+        # the paper's Figure 7 hubs depend on 'int' being one node
+        assert ct.merge_primitive_words(["int"]) == \
+            ct.merge_primitive_words(["signed", "int"]) == \
+            ct.merge_primitive_words(["signed"]) == "int"

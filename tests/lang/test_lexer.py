@@ -1,0 +1,114 @@
+"""C tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import lexer
+
+
+def toks(code):
+    return [t for t in lexer.tokenize(code, 0) if t.kind != lexer.EOF]
+
+
+def texts(code):
+    return [t.text for t in toks(code)]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        tokens = toks("int foo _bar x9")
+        assert [t.kind for t in tokens] == [lexer.IDENT] * 4
+        assert tokens[0].is_keyword
+        assert not tokens[1].is_keyword
+
+    def test_numbers(self):
+        assert texts("42 0x1F 010 0b101 3.5 1e10 2.5f 42UL") == \
+            ["42", "0x1F", "010", "0b101", "3.5", "1e10", "2.5f", "42UL"]
+
+    def test_strings_and_chars(self):
+        tokens = toks(r'"hello\n" \'a\' L"wide"'.replace("\\'", "'"))
+        assert tokens[0].kind == lexer.STRING
+        assert tokens[1].kind == lexer.CHAR
+        assert tokens[2].kind == lexer.STRING
+
+    def test_three_char_punctuation(self):
+        assert texts("a <<= b >>= c ...") == \
+            ["a", "<<=", "b", ">>=", "c", "..."]
+
+    def test_two_char_punctuation(self):
+        assert texts("-> ++ -- << >> <= >= == != && || ##") == \
+            ["->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+             "&&", "||", "##"]
+
+    def test_positions(self):
+        tokens = toks("ab cd\n  ef")
+        assert [(t.line, t.column) for t in tokens] == \
+            [(1, 1), (1, 4), (2, 3)]
+
+    def test_end_column(self):
+        token = toks("hello")[0]
+        assert token.end_column == 5
+
+
+class TestCommentsAndContinuations:
+    def test_line_comment(self):
+        assert texts("a // comment\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x */ b") == ["a", "b"]
+
+    def test_multiline_block_comment_advances_lines(self):
+        tokens = toks("a /* 1\n2\n3 */ b")
+        assert tokens[1].line == 3
+
+    def test_backslash_newline_spliced(self):
+        tokens = toks("ab\\\ncd")
+        # splice joins physical lines; tokens continue on the next line
+        assert texts("ab \\\n cd") == ["ab", "cd"]
+
+    def test_directive_hash_detection(self):
+        tokens = toks("#define X 1\nint a = X;")
+        assert tokens[0].kind == lexer.DIRECTIVE_HASH
+        # '#' not at line start is plain punctuation
+        tokens = toks("a # b")
+        assert tokens[1].kind == lexer.PUNCT
+
+
+class TestErrors:
+    def test_invalid_character(self):
+        with pytest.raises(LexError):
+            toks("int @")
+
+    def test_unterminated_string_is_error(self):
+        with pytest.raises(LexError):
+            toks('"abc\n')
+
+
+class TestLiteralHelpers:
+    @pytest.mark.parametrize("text,value", [
+        ("42", 42), ("0x1F", 31), ("010", 8), ("0b101", 5),
+        ("42UL", 42), ("0", 0), ("1llu", 1),
+    ])
+    def test_int_literals(self, text, value):
+        assert lexer.parse_int_literal(text) == value
+
+    def test_bad_int_literal(self):
+        with pytest.raises(LexError):
+            lexer.parse_int_literal("abc")
+
+    @pytest.mark.parametrize("text,value", [
+        ("'a'", 97), (r"'\n'", 10), (r"'\0'", 0), (r"'\x41'", 65),
+        (r"'\101'", 65), ("L'a'", 97),
+    ])
+    def test_char_literals(self, text, value):
+        assert lexer.parse_char_literal(text) == value
+
+    @pytest.mark.parametrize("text,expected", [
+        ("3.5", True), ("1e10", True), ("42", False), ("0x1F", False),
+        ("2.5f", True),
+    ])
+    def test_is_float(self, text, expected):
+        assert lexer.is_float_literal(text) is expected
+
+    def test_string_value(self):
+        assert lexer.string_literal_value(r'"a\nb\x41"') == "a\nbA"

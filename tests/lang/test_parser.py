@@ -1,0 +1,338 @@
+"""C parser: declarations, declarators, statements, expressions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import cast as c
+from repro.lang import ctypes_ as ct
+from repro.lang import lexer
+from repro.lang.parser import parse_tokens
+
+
+def parse(code, typedefs=None):
+    return parse_tokens(lexer.tokenize(code, 0), "t.c", typedefs)
+
+
+def first(code, typedefs=None):
+    return parse(code, typedefs).declarations[0]
+
+
+class TestDeclarations:
+    def test_global_int(self):
+        decl = first("int x;")
+        assert isinstance(decl, c.VarDecl)
+        assert decl.name == "x"
+        assert decl.type == ct.Primitive("int")
+        assert decl.is_file_scope
+
+    def test_multiple_declarators(self):
+        decls = parse("int a, *b, c[3];").declarations
+        assert [d.name for d in decls] == ["a", "b", "c"]
+        assert isinstance(decls[1].type, ct.Pointer)
+        assert isinstance(decls[2].type, ct.Array)
+
+    def test_storage_classes(self):
+        assert first("static int x;").storage == "static"
+        assert first("extern int x;").storage == "extern"
+
+    def test_initializer(self):
+        decl = first("int x = 1 + 2;")
+        assert isinstance(decl.initializer, c.Binary)
+
+    def test_init_list(self):
+        decl = first("int a[3] = {1, 2, 3};")
+        assert isinstance(decl.initializer, c.InitList)
+        assert len(decl.initializer.items) == 3
+
+    def test_designated_initializers_tolerated(self):
+        decl = first("struct pt { int x; int y; } p = {.x = 1, .y = 2};")
+        # the record decl comes first; find the var
+        decls = parse(
+            "struct pt { int x; int y; };"
+            "struct pt p = {.x = 1, .y = 2};").declarations
+        var = decls[-1]
+        assert isinstance(var.initializer, c.InitList)
+
+    def test_implicit_int_rejected_without_specifiers(self):
+        with pytest.raises(ParseError):
+            parse("foo;")
+
+    def test_typedef_registers_name(self):
+        decls = parse("typedef unsigned long size_t; size_t n;")
+        var = decls.declarations[1]
+        assert isinstance(var.type, ct.TypedefType)
+        assert var.type.name == "size_t"
+
+
+class TestDeclarators:
+    def test_pointer_to_pointer(self):
+        decl = first("char **argv;")
+        assert ct.qualifier_code(decl.type) == "**"
+
+    def test_array_of_pointers_vs_pointer_to_array(self):
+        array_of_pointers = first("int *a[4];")
+        assert isinstance(array_of_pointers.type, ct.Array)
+        assert isinstance(array_of_pointers.type.element, ct.Pointer)
+        pointer_to_array = first("int (*a)[4];")
+        assert isinstance(pointer_to_array.type, ct.Pointer)
+        assert isinstance(pointer_to_array.type.pointee, ct.Array)
+
+    def test_multidimensional_array(self):
+        decl = first("int m[2][3];")
+        assert ct.array_lengths(decl.type) == [2, 3]
+
+    def test_function_pointer(self):
+        decl = first("int (*handler)(int, char *);")
+        assert isinstance(decl.type, ct.Pointer)
+        assert isinstance(decl.type.pointee, ct.FunctionType)
+        assert len(decl.type.pointee.parameters) == 2
+
+    def test_qualified_pointer(self):
+        decl = first("const char * const p;")
+        assert isinstance(decl.type, ct.Pointer)
+        assert decl.type.qualifiers.const
+        assert decl.type.pointee.qualifiers.const
+
+    def test_array_dimension_constant_expr(self):
+        decl = first("int a[4 * 2];")
+        assert decl.type.length == 8
+
+    def test_incomplete_array(self):
+        decl = first("extern int a[];")
+        assert decl.type.length is None
+
+
+class TestFunctions:
+    def test_prototype(self):
+        decl = first("int f(int a, char *b);")
+        assert isinstance(decl, c.FunctionDecl)
+        assert [p.name for p in decl.parameters] == ["a", "b"]
+        assert not decl.variadic
+
+    def test_variadic(self):
+        decl = first("int printf(const char *fmt, ...);")
+        assert decl.variadic
+
+    def test_void_parameter_list(self):
+        decl = first("int f(void);")
+        assert decl.parameters == []
+
+    def test_definition_with_body(self):
+        decl = first("int f(int a) { return a; }")
+        assert isinstance(decl, c.FunctionDef)
+        assert isinstance(decl.body.body[0], c.ReturnStmt)
+
+    def test_static_inline(self):
+        decl = first("static inline int f(void) { return 0; }")
+        assert decl.storage == "static"
+        assert decl.inline
+
+    def test_unnamed_parameters(self):
+        decl = first("int f(int, char);")
+        assert [p.name for p in decl.parameters] == [None, None]
+
+    def test_function_returning_pointer(self):
+        decl = first("char *strdup(const char *s);")
+        assert isinstance(decl.type.return_type, ct.Pointer)
+
+
+class TestRecordsAndEnums:
+    def test_struct_definition(self):
+        decls = parse("struct point { int x; int y; };").declarations
+        record = decls[0]
+        assert isinstance(record, c.RecordDecl)
+        assert record.kind == "struct"
+        assert [f.name for f in record.fields] == ["x", "y"]
+
+    def test_union(self):
+        record = first("union u { int i; float f; };")
+        assert record.kind == "union"
+
+    def test_forward_declaration(self):
+        record = first("struct opaque;")
+        assert not record.is_definition
+
+    def test_bitfields(self):
+        record = first("struct flags { int a : 1; int : 2; int b : 3; };")
+        widths = [f.bit_width for f in record.fields]
+        assert widths == [1, 2, 3]
+        assert record.fields[1].name is None
+
+    def test_nested_struct(self):
+        decls = parse(
+            "struct outer { struct inner { int x; } in; int y; };"
+        ).declarations
+        tags = [d.tag for d in decls if isinstance(d, c.RecordDecl)]
+        assert "inner" in tags and "outer" in tags
+
+    def test_struct_variable_combined(self):
+        decls = parse("struct p { int x; } origin;").declarations
+        assert isinstance(decls[0], c.RecordDecl)
+        assert isinstance(decls[1], c.VarDecl)
+        assert isinstance(decls[1].type, ct.RecordType)
+
+    def test_enum_values(self):
+        enum = first("enum e { A, B = 10, C };")
+        assert [(x.name, x.value) for x in enum.enumerators] == \
+            [("A", 0), ("B", 10), ("C", 11)]
+
+    def test_enum_value_references_previous(self):
+        enum = first("enum e { A = 4, B = A * 2 };")
+        assert enum.enumerators[1].value == 8
+
+
+class TestStatements:
+    def _body(self, code):
+        return first(f"void f(int n) {{ {code} }}").body.body
+
+    def test_if_else(self):
+        stmt = self._body("if (n) n = 1; else n = 2;")[0]
+        assert isinstance(stmt, c.IfStmt)
+        assert stmt.else_branch is not None
+
+    def test_loops(self):
+        body = self._body(
+            "while (n) n--; do n++; while (n < 3); "
+            "for (n = 0; n < 5; n++) continue;")
+        assert isinstance(body[0], c.WhileStmt)
+        assert isinstance(body[1], c.DoStmt)
+        assert isinstance(body[2], c.ForStmt)
+
+    def test_for_with_declaration(self):
+        stmt = self._body("for (int i = 0; i < 3; i++) break;")[0]
+        assert isinstance(stmt.init, c.DeclStmt)
+
+    def test_switch(self):
+        stmt = self._body(
+            "switch (n) { case 1: break; default: break; }")[0]
+        assert isinstance(stmt, c.SwitchStmt)
+
+    def test_goto_and_label(self):
+        body = self._body("goto done; done: n = 0;")
+        assert isinstance(body[0], c.GotoStmt)
+        assert isinstance(body[1], c.LabelStmt)
+
+    def test_locals(self):
+        stmt = self._body("int a = 1, b;")[0]
+        assert isinstance(stmt, c.DeclStmt)
+        assert [d.name for d in stmt.declarations] == ["a", "b"]
+
+    def test_static_local(self):
+        stmt = self._body("static int cache;")[0]
+        assert stmt.declarations[0].storage == "static"
+
+    def test_empty_statement(self):
+        assert isinstance(self._body(";")[0], c.EmptyStmt)
+
+
+class TestExpressions:
+    def _expr(self, code):
+        body = first(f"void f(int n, int *p) {{ x = {code}; }}").body.body
+        return body[0].expression.value
+
+    def test_precedence(self):
+        expression = self._expr("1 + 2 * 3")
+        assert expression.op == "+"
+        assert expression.right.op == "*"
+
+    def test_comparison_and_logic(self):
+        expression = self._expr("a < b && c == d || e")
+        assert expression.op == "||"
+        assert expression.left.op == "&&"
+
+    def test_assignment_ops(self):
+        body = first("void f(void) { a += 1; b <<= 2; }").body.body
+        assert body[0].expression.op == "+="
+        assert body[1].expression.op == "<<="
+
+    def test_ternary(self):
+        assert isinstance(self._expr("a ? b : c"), c.Conditional)
+
+    def test_cast(self):
+        expression = self._expr("(unsigned char)n")
+        assert isinstance(expression, c.Cast)
+        assert expression.type == ct.Primitive("unsigned char")
+
+    def test_cast_vs_parenthesized(self):
+        assert isinstance(self._expr("(n) + 1"), c.Binary)
+
+    def test_sizeof_expression(self):
+        expression = self._expr("sizeof n")
+        assert isinstance(expression, c.Unary)
+        assert expression.op == "sizeof"
+
+    def test_sizeof_type(self):
+        expression = self._expr("sizeof(struct s)")
+        assert isinstance(expression, c.SizeofType)
+
+    def test_alignof(self):
+        expression = self._expr("_Alignof(int)")
+        assert expression.op == "_Alignof"
+
+    def test_member_chain(self):
+        expression = self._expr("a.b->c")
+        assert isinstance(expression, c.Member)
+        assert expression.arrow
+        assert expression.base.name == "b"
+
+    def test_call_with_args(self):
+        expression = self._expr("f(1, g(2), h)")
+        assert isinstance(expression, c.Call)
+        assert len(expression.arguments) == 3
+
+    def test_index(self):
+        assert isinstance(self._expr("p[3]"), c.Index)
+
+    def test_address_and_deref(self):
+        assert self._expr("&n").op == "&"
+        assert self._expr("*p").op == "*"
+
+    def test_pre_post_increment(self):
+        assert self._expr("++n").op == "++"
+        assert self._expr("n++").op == "post++"
+
+    def test_comma(self):
+        assert isinstance(self._expr("(a, b)"), c.Comma)
+
+    def test_string_concatenation(self):
+        expression = self._expr('"ab" "cd"')
+        assert expression.value == "abcd"
+
+    def test_char_and_float_literals(self):
+        assert self._expr("'x'").value == 120
+        assert self._expr("2.5").value == 2.5
+
+    def test_expression_ranges(self):
+        expression = self._expr("foo(1)")
+        assert expression.range.start_column > 0
+        assert expression.range.end_line >= expression.range.start_line
+
+
+class TestGnuExtensions:
+    def test_attribute_skipped(self):
+        decl = first("int x __attribute__((aligned(8)));")
+        assert decl.name == "x"
+
+    def test_attribute_on_function(self):
+        decl = first(
+            "static int f(void) __attribute__((unused));")
+        assert isinstance(decl, c.FunctionDecl)
+
+
+class TestErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int x")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("void f(void) { int a;")
+
+    def test_bad_expression(self):
+        with pytest.raises(ParseError):
+            parse("int x = ;")
+
+    def test_error_carries_location(self):
+        with pytest.raises(ParseError) as info:
+            parse("int x = \n;")
+        assert info.value.line == 2

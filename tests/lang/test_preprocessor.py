@@ -1,0 +1,273 @@
+"""Preprocessor: directives, macro expansion, provenance events."""
+
+import pytest
+
+from repro.errors import PreprocessorError
+from repro.lang.preprocessor import Preprocessor
+from repro.lang.source import FileRegistry, VirtualFileSystem
+
+
+def preprocess(files, main="main.c", include_paths=(), predefined=None,
+               ignore_missing=False):
+    registry = FileRegistry(VirtualFileSystem(files))
+    pp = Preprocessor(registry, include_paths, predefined,
+                      ignore_missing_includes=ignore_missing)
+    return pp.preprocess(main), registry
+
+
+def token_text(unit):
+    return " ".join(t.text for t in unit.tokens if t.kind != "eof")
+
+
+class TestIncludes:
+    def test_quoted_include_relative(self):
+        unit, reg = preprocess({
+            "dir/main.c": '#include "util.h"\nint b;',
+            "dir/util.h": "int a;",
+        }, main="dir/main.c")
+        assert token_text(unit) == "int a ; int b ;"
+        assert len(unit.includes) == 1
+
+    def test_angled_include_uses_include_paths(self):
+        unit, _ = preprocess({
+            "main.c": "#include <lib.h>\n",
+            "include/lib.h": "int x;",
+        }, include_paths=["include"])
+        assert token_text(unit) == "int x ;"
+        assert unit.includes[0].angled
+
+    def test_include_guard(self):
+        unit, _ = preprocess({
+            "main.c": '#include "h.h"\n#include "h.h"\n',
+            "h.h": "#ifndef H\n#define H\nint once;\n#endif\n",
+        })
+        assert token_text(unit) == "int once ;"
+        assert len(unit.includes) == 2  # both includes recorded
+
+    def test_missing_include_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({"main.c": '#include "nope.h"\n'})
+
+    def test_missing_include_tolerated(self):
+        unit, _ = preprocess({"main.c": '#include <sys/nope.h>\nint a;'},
+                             ignore_missing=True)
+        assert unit.missing_includes[0].name == "sys/nope.h"
+        assert token_text(unit) == "int a ;"
+
+    def test_include_cycle_detected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({
+                "main.c": '#include "a.h"\n',
+                "a.h": '#include "b.h"\n',
+                "b.h": '#include "a.h"\n',
+            })
+
+    def test_nested_include_ids(self):
+        unit, reg = preprocess({
+            "main.c": '#include "a.h"\n',
+            "a.h": '#include "b.h"\nint a;',
+            "b.h": "int b;",
+        })
+        assert [(e.including_file_id, e.included_file_id)
+                for e in unit.includes] == [(0, 1), (1, 2)]
+
+
+class TestObjectMacros:
+    def test_simple_replacement(self):
+        unit, _ = preprocess({"main.c": "#define N 4\nint a = N;"})
+        assert token_text(unit) == "int a = 4 ;"
+
+    def test_chained_expansion(self):
+        unit, _ = preprocess({
+            "main.c": "#define A B\n#define B 7\nint a = A;"})
+        assert token_text(unit) == "int a = 7 ;"
+
+    def test_self_reference_no_loop(self):
+        unit, _ = preprocess({"main.c": "#define X X + 1\nint a = X;"})
+        assert token_text(unit) == "int a = X + 1 ;"
+
+    def test_undef(self):
+        unit, _ = preprocess({
+            "main.c": "#define N 4\n#undef N\nint a = N;"})
+        assert token_text(unit) == "int a = N ;"
+
+    def test_predefined(self):
+        unit, _ = preprocess({"main.c": "int v = VALUE;"},
+                             predefined={"VALUE": "99"})
+        assert token_text(unit) == "int v = 99 ;"
+
+    def test_expansion_event_recorded(self):
+        unit, _ = preprocess({"main.c": "#define N 4\nint a = N;"})
+        assert [(e.macro_name, e.parent_macro)
+                for e in unit.expansions] == [("N", None)]
+
+    def test_nested_expansion_parent(self):
+        unit, _ = preprocess({
+            "main.c": "#define INNER 1\n#define OUTER INNER\n"
+                      "int a = OUTER;"})
+        parents = {e.macro_name: e.parent_macro for e in unit.expansions}
+        assert parents["OUTER"] is None
+        assert parents["INNER"] == "OUTER"
+
+    def test_tokens_tagged_in_macro(self):
+        unit, _ = preprocess({"main.c": "#define N 4\nint a = N;"})
+        tagged = [t for t in unit.tokens if t.from_macro]
+        assert [t.text for t in tagged] == ["4"]
+
+
+class TestFunctionMacros:
+    def test_basic_substitution(self):
+        unit, _ = preprocess({
+            "main.c": "#define SQ(x) ((x)*(x))\nint a = SQ(3);"})
+        assert token_text(unit) == "int a = ( ( 3 ) * ( 3 ) ) ;"
+
+    def test_multiple_parameters(self):
+        unit, _ = preprocess({
+            "main.c": "#define ADD(a, b) (a + b)\nint x = ADD(1, 2);"})
+        assert token_text(unit) == "int x = ( 1 + 2 ) ;"
+
+    def test_name_without_parens_not_expanded(self):
+        unit, _ = preprocess({
+            "main.c": "#define F(x) x\nint F;\nint a = F(2);"})
+        assert token_text(unit) == "int F ; int a = 2 ;"
+
+    def test_nested_call_arguments(self):
+        unit, _ = preprocess({
+            "main.c": "#define ID(x) x\nint a = ID(f(1, 2));"})
+        assert token_text(unit) == "int a = f ( 1 , 2 ) ;"
+
+    def test_stringify(self):
+        unit, _ = preprocess({
+            "main.c": '#define STR(x) #x\nchar *s = STR(a b);'})
+        assert '"a b"' in token_text(unit)
+
+    def test_paste(self):
+        unit, _ = preprocess({
+            "main.c": "#define GLUE(a, b) a##b\nint GLUE(x, 1);"})
+        assert token_text(unit) == "int x1 ;"
+
+    def test_variadic(self):
+        unit, _ = preprocess({
+            "main.c": "#define LOG(f, ...) printf(f, __VA_ARGS__)\n"
+                      "void g(void) { LOG(\"%d\", 1, 2); }"})
+        assert "printf ( \"%d\" , 1 , 2 )" in token_text(unit)
+
+    def test_empty_argument_list(self):
+        unit, _ = preprocess({
+            "main.c": "#define NOP() do {} while (0)\n"
+                      "void f(void) { NOP(); }"})
+        assert "do { } while ( 0 )" in token_text(unit)
+
+    def test_argument_pre_expansion(self):
+        unit, _ = preprocess({
+            "main.c": "#define N 3\n#define ID(x) x\nint a = ID(N);"})
+        assert token_text(unit) == "int a = 3 ;"
+
+    def test_space_before_paren_is_object_like(self):
+        unit, _ = preprocess({
+            "main.c": "#define F (1)\nint a = F;"})
+        assert token_text(unit) == "int a = ( 1 ) ;"
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({
+                "main.c": "#define TWO(a, b) a\nint x = TWO(1, 2, 3);"})
+
+
+class TestConditionals:
+    def test_ifdef(self):
+        unit, _ = preprocess({
+            "main.c": "#define ON 1\n#ifdef ON\nint a;\n#endif\n"
+                      "#ifdef OFF\nint b;\n#endif\n"})
+        assert token_text(unit) == "int a ;"
+
+    def test_ifndef(self):
+        unit, _ = preprocess({
+            "main.c": "#ifndef OFF\nint a;\n#endif\n"})
+        assert token_text(unit) == "int a ;"
+
+    def test_if_arithmetic(self):
+        unit, _ = preprocess({
+            "main.c": "#define N 8\n#if N * 2 > 15\nint big;\n#else\n"
+                      "int small;\n#endif\n"})
+        assert token_text(unit) == "int big ;"
+
+    def test_elif_chain(self):
+        unit, _ = preprocess({
+            "main.c": "#define V 2\n#if V == 1\nint one;\n"
+                      "#elif V == 2\nint two;\n#elif V == 3\nint three;\n"
+                      "#else\nint other;\n#endif\n"})
+        assert token_text(unit) == "int two ;"
+
+    def test_defined_operator(self):
+        unit, _ = preprocess({
+            "main.c": "#define A 1\n#if defined(A) && !defined B\n"
+                      "int yes;\n#endif\n"})
+        assert token_text(unit) == "int yes ;"
+
+    def test_nested_conditionals(self):
+        unit, _ = preprocess({
+            "main.c": "#if 1\n#if 0\nint no;\n#else\nint yes;\n#endif\n"
+                      "#endif\n"})
+        assert token_text(unit) == "int yes ;"
+
+    def test_inactive_branch_not_processed(self):
+        unit, _ = preprocess({
+            "main.c": "#if 0\n#include \"missing.h\"\n#error nope\n"
+                      "#endif\nint ok;\n"})
+        assert token_text(unit) == "int ok ;"
+
+    def test_unknown_identifier_is_zero(self):
+        unit, _ = preprocess({
+            "main.c": "#if UNKNOWN\nint a;\n#else\nint b;\n#endif\n"})
+        assert token_text(unit) == "int b ;"
+
+    def test_ternary_in_condition(self):
+        unit, _ = preprocess({
+            "main.c": "#if 1 ? 2 : 0\nint a;\n#endif\n"})
+        assert token_text(unit) == "int a ;"
+
+    def test_interrogation_events(self):
+        unit, _ = preprocess({
+            "main.c": "#ifdef A\n#endif\n#ifndef B\n#endif\n"
+                      "#if defined(C)\n#endif\n"})
+        assert [e.macro_name for e in unit.interrogations] == \
+            ["A", "B", "C"]
+
+    def test_unterminated_if_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({"main.c": "#if 1\nint a;\n"})
+
+    def test_stray_endif_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({"main.c": "#endif\n"})
+
+    def test_else_after_else_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({
+                "main.c": "#if 1\n#else\n#else\n#endif\n"})
+
+
+class TestOtherDirectives:
+    def test_error_directive(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({"main.c": "#error broken build\n"})
+
+    def test_pragma_ignored(self):
+        unit, _ = preprocess({"main.c": "#pragma once\nint a;\n"})
+        assert token_text(unit) == "int a ;"
+
+    def test_null_directive(self):
+        unit, _ = preprocess({"main.c": "#\nint a;\n"})
+        assert token_text(unit) == "int a ;"
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess({"main.c": "#frobnicate\n"})
+
+    def test_macro_definitions_recorded(self):
+        unit, _ = preprocess({
+            "main.c": "#define A 1\n#define F(x) x\n"})
+        definitions = {m.name: m for m in unit.macro_definitions}
+        assert definitions["A"].is_function_like is False
+        assert definitions["F"].parameters == ("x",)

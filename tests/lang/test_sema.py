@@ -1,0 +1,194 @@
+"""Semantic analysis: scoping, resolution, USRs, decl/def pairing."""
+
+import pytest
+
+from repro.lang import cast as c
+from repro.lang import ctypes_ as ct
+from repro.lang import lexer
+from repro.lang.parser import parse_tokens
+from repro.lang.sema import analyze
+
+
+def info_for(code, path="t.c"):
+    return analyze(parse_tokens(lexer.tokenize(code, 0), path))
+
+
+def idents(info, function_name):
+    function = next(d for d in info.tu.declarations
+                    if isinstance(d, c.FunctionDef)
+                    and d.name == function_name)
+    return {e.name: e.symbol for e in c.walk_expressions(function.body)
+            if isinstance(e, c.Identifier)}
+
+
+class TestScoping:
+    def test_parameter_resolution(self):
+        info = info_for("int f(int a) { return a; }")
+        assert idents(info, "f")["a"].kind == "parameter"
+
+    def test_local_shadows_global(self):
+        info = info_for("int x; int f(void) { int x; return x; }")
+        assert idents(info, "f")["x"].kind == "local"
+
+    def test_global_visible_in_function(self):
+        info = info_for("int g; int f(void) { return g; }")
+        assert idents(info, "f")["g"].kind == "global"
+
+    def test_block_scope(self):
+        code = """
+        int f(int n) {
+            if (n) { int inner = 1; n = inner; }
+            return n;
+        }
+        """
+        info = info_for(code)
+        assert idents(info, "f")["inner"].kind == "local"
+
+    def test_for_loop_scope(self):
+        info = info_for(
+            "int f(void) { for (int i = 0; i < 3; i++) {} return 0; }")
+        assert idents(info, "f")["i"].kind == "local"
+
+    def test_static_local(self):
+        info = info_for("int f(void) { static int c; return c; }")
+        assert idents(info, "f")["c"].kind == "static_local"
+
+    def test_enumerator_resolution(self):
+        info = info_for("enum e { GREEN }; int f(void) { return GREEN; }")
+        assert idents(info, "f")["GREEN"].kind == "enumerator"
+
+    def test_unresolved_identifier_is_none(self):
+        info = info_for("int f(void) { return mystery; }")
+        assert idents(info, "f")["mystery"] is None
+
+    def test_implicit_function(self):
+        info = info_for("int f(void) { return undeclared(1); }")
+        symbol = idents(info, "f")["undeclared"]
+        assert symbol.kind == "function_decl"
+        assert symbol.implicit
+
+
+class TestMemberResolution:
+    def _members(self, code, function="f"):
+        info = info_for(code)
+        fn = next(d for d in info.tu.declarations
+                  if isinstance(d, c.FunctionDef) and d.name == function)
+        return {e.name: e.resolved_field
+                for e in c.walk_expressions(fn.body)
+                if isinstance(e, c.Member)}
+
+    def test_dot_access(self):
+        members = self._members(
+            "struct s { int x; }; int f(void) { struct s v; "
+            "return v.x; }")
+        assert members["x"].qualified_name == "s::x"
+
+    def test_arrow_access(self):
+        members = self._members(
+            "struct s { int x; }; int f(struct s *p) { return p->x; }")
+        assert members["x"].qualified_name == "s::x"
+
+    def test_through_typedef(self):
+        members = self._members(
+            "struct s { int x; }; typedef struct s s_t; "
+            "int f(s_t *p) { return p->x; }")
+        assert members["x"].qualified_name == "s::x"
+
+    def test_nested_access(self):
+        members = self._members(
+            "struct in { int v; }; struct out { struct in i; }; "
+            "int f(void) { struct out o; return o.i.v; }")
+        assert members["v"].qualified_name == "in::v"
+        assert members["i"].qualified_name == "out::i"
+
+    def test_unique_name_fallback(self):
+        # base type unknown (e.g. opaque) but field name is unique
+        members = self._members(
+            "struct s { int unique_field; }; "
+            "int f(void) { return mystery()->unique_field; }")
+        assert members["unique_field"] is not None
+
+    def test_field_through_array(self):
+        members = self._members(
+            "struct s { int x; }; "
+            "int f(void) { struct s a[3]; return a[0].x; }")
+        assert members["x"].qualified_name == "s::x"
+
+
+class TestDeclarationPairing:
+    def test_prototype_matched_to_definition(self):
+        info = info_for("int f(int); int f(int a) { return a; }")
+        decl = info.function_decls[0]
+        assert decl.matched_definition is info.functions[0]
+
+    def test_extern_global_matched(self):
+        info = info_for("extern int g; int g = 4;")
+        assert info.global_decls[0].matched_definition is info.globals[0]
+
+    def test_unmatched_prototype(self):
+        info = info_for("int external_thing(void);")
+        assert info.function_decls[0].matched_definition is None
+
+
+class TestLinkageAndUsrs:
+    def test_static_function_internal_usr(self):
+        info_a = info_for("static int f(void) { return 0; }", path="a.c")
+        info_b = info_for("static int f(void) { return 1; }", path="b.c")
+        assert info_a.functions[0].usr != info_b.functions[0].usr
+
+    def test_external_function_shared_usr(self):
+        info_a = info_for("int f(void) { return 0; }", path="a.c")
+        info_b = info_for("int f(void);", path="b.c")
+        assert info_a.functions[0].usr == info_b.function_decls[0].usr
+
+    def test_exports_and_imports(self):
+        info = info_for(
+            "int mine(void) { return other(); } extern int used;")
+        assert "mine" in info.exported
+        assert "other" in info.imported
+        assert "used" in info.imported
+
+    def test_in_unit_definition_not_imported(self):
+        info = info_for("int f(int); int f(int a) { return a; }")
+        assert "f" not in info.imported
+
+    def test_static_not_exported(self):
+        info = info_for("static int f(void) { return 0; }")
+        assert "f" not in info.exported
+
+
+class TestSymbolProperties:
+    def test_qualified_name_of_field(self):
+        info = info_for("struct s { int x; };")
+        assert info.fields[0].qualified_name == "s::x"
+
+    def test_enumerator_value(self):
+        info = info_for("enum e { A = 7 };")
+        assert info.enumerators[0].value == 7
+
+    def test_parameter_position(self):
+        info = info_for("int f(int a, int b) { return b; }")
+        params = [s for s in info.symbols if s.kind == "parameter"]
+        assert [(p.name, p.position) for p in params] == \
+            [("a", 0), ("b", 1)]
+
+    def test_variadic_flag(self):
+        info = info_for("int printf(const char *f, ...);")
+        assert info.function_decls[0].variadic
+
+    def test_typedef_resolution(self):
+        info = info_for("typedef unsigned long ulong_t; ulong_t v;")
+        var = info.globals[0]
+        assert isinstance(var.type, ct.TypedefType)
+        assert ct.strip_typedefs(var.type) == \
+            ct.Primitive("unsigned long")
+
+    def test_anonymous_record_gets_tag(self):
+        info = info_for("struct { int x; } v;")
+        assert info.records[0].name.startswith("<anon")
+
+    def test_record_fields_map(self):
+        info = info_for("struct s { int a; int b; };")
+        record = info.records[0]
+        assert [f.name for f in info.record_fields[record.usr]] == \
+            ["a", "b"]

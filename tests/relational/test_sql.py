@@ -1,0 +1,212 @@
+"""Mini-SQL parsing and execution."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.graphdb import PropertyGraph
+from repro.relational import Database, SqlEngine
+from repro.relational.engine import load_graph_tables
+from repro.relational.sql import parse_sql
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_table("nodes", ["id", "type", "name"], [
+        (0, "function", "main"), (1, "function", "helper"),
+        (2, "function", "util"), (3, "global", "counter")])
+    database.create_table("edges", ["src", "dst", "type"], [
+        (0, 1, "calls"), (1, 2, "calls"), (0, 3, "writes")])
+    return database
+
+
+@pytest.fixture
+def engine(db):
+    return SqlEngine(db)
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse_sql("SELECT a FROM t")
+        core = statement.select.cores[0]
+        assert core.source.name == "t"
+        assert len(core.items) == 1
+
+    def test_aliases(self):
+        statement = parse_sql("SELECT t.a AS x FROM tab t")
+        core = statement.select.cores[0]
+        assert core.source.alias == "t"
+        assert core.items[0].alias == "x"
+
+    def test_join_on(self):
+        statement = parse_sql(
+            "SELECT * FROM a JOIN b ON a.x = b.y AND a.z > 1")
+        assert len(statement.select.cores[0].joins) == 1
+
+    def test_with_recursive(self):
+        statement = parse_sql(
+            "WITH RECURSIVE r(id) AS (SELECT x FROM t UNION "
+            "SELECT y FROM r JOIN t ON t.x = r.id) SELECT id FROM r")
+        assert statement.ctes[0].recursive
+        assert statement.ctes[0].columns == ("id",)
+
+    def test_group_order_limit(self):
+        statement = parse_sql(
+            "SELECT type, COUNT(*) FROM t GROUP BY type "
+            "ORDER BY type DESC LIMIT 3")
+        select = statement.select
+        assert select.cores[0].group_by
+        assert select.order_by[0].ascending is False
+        assert select.limit == 3
+
+    def test_string_literal_escape(self):
+        statement = parse_sql("SELECT * FROM t WHERE a = 'it''s'")
+        core = statement.select.cores[0]
+        assert core.where.right.value == "it's"
+
+    def test_empty_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("  ")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a FROM t garbage garbage")
+
+    def test_bad_character(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT @ FROM t")
+
+
+class TestExecution:
+    def test_projection_and_where(self, engine):
+        result = engine.run(
+            "SELECT name FROM nodes WHERE type = 'function' ORDER BY name")
+        assert result.values() == ["helper", "main", "util"]
+
+    def test_select_star(self, engine):
+        result = engine.run("SELECT * FROM nodes n WHERE n.id = 0")
+        assert result.columns == ["n.id", "n.type", "n.name"]
+        assert result.rows == [(0, "function", "main")]
+
+    def test_hash_join(self, engine):
+        result = engine.run(
+            "SELECT a.name, b.name FROM nodes a "
+            "JOIN edges e ON e.src = a.id "
+            "JOIN nodes b ON b.id = e.dst "
+            "WHERE e.type = 'calls' ORDER BY a.name")
+        assert result.rows == [("helper", "util"), ("main", "helper")]
+
+    def test_join_counts_examined_rows(self, engine):
+        engine.run("SELECT * FROM nodes a JOIN edges e ON e.src = a.id")
+        assert engine.join_rows_examined > 0
+
+    def test_non_equi_join_nested_loop(self, engine):
+        result = engine.run(
+            "SELECT a.id, b.id FROM nodes a JOIN nodes b ON a.id < b.id")
+        assert len(result) == 6  # C(4,2)
+
+    def test_union_distinct(self, engine):
+        result = engine.run(
+            "SELECT name FROM nodes WHERE id = 0 UNION "
+            "SELECT name FROM nodes WHERE type = 'function'")
+        assert sorted(result.values()) == ["helper", "main", "util"]
+
+    def test_union_all(self, engine):
+        result = engine.run(
+            "SELECT name FROM nodes WHERE id = 0 UNION ALL "
+            "SELECT name FROM nodes WHERE id = 0")
+        assert result.values() == ["main", "main"]
+
+    def test_aggregates(self, engine):
+        result = engine.run(
+            "SELECT type, COUNT(*) AS c FROM nodes GROUP BY type "
+            "ORDER BY type")
+        assert result.rows == [("function", 3), ("global", 1)]
+
+    def test_aggregate_without_group(self, engine):
+        assert engine.run("SELECT COUNT(*) FROM edges").value() == 3
+
+    def test_min_max_sum_avg(self, engine):
+        result = engine.run(
+            "SELECT MIN(id), MAX(id), SUM(id), AVG(id) FROM nodes")
+        assert result.rows == [(0, 3, 6, 1.5)]
+
+    def test_count_distinct(self, engine):
+        assert engine.run(
+            "SELECT COUNT(DISTINCT type) FROM edges").value() == 2
+
+    def test_limit(self, engine):
+        result = engine.run("SELECT id FROM nodes ORDER BY id LIMIT 2")
+        assert result.values() == [0, 1]
+
+    def test_arithmetic(self, engine):
+        result = engine.run("SELECT id + 10 FROM nodes WHERE id = 2")
+        assert result.value() == 12
+
+    def test_unknown_column(self, engine):
+        with pytest.raises(SqlError):
+            engine.run("SELECT ghost FROM nodes")
+
+    def test_unknown_table(self, engine):
+        with pytest.raises(SqlError):
+            engine.run("SELECT a FROM ghost")
+
+    def test_result_iteration(self, engine):
+        result = engine.run("SELECT id FROM nodes WHERE id = 0")
+        assert list(result) == [{"id": 0}]
+
+
+class TestRecursion:
+    def test_transitive_closure(self, engine):
+        result = engine.run("""
+            WITH RECURSIVE reach(id) AS (
+                SELECT e.dst FROM edges e WHERE e.src = 0
+                    AND e.type = 'calls'
+                UNION
+                SELECT e.dst FROM reach r JOIN edges e ON e.src = r.id
+                    WHERE e.type = 'calls'
+            )
+            SELECT n.name FROM reach r JOIN nodes n ON n.id = r.id
+            ORDER BY n.name""")
+        assert result.values() == ["helper", "util"]
+
+    def test_cycle_converges(self):
+        db = Database()
+        db.create_table("edges", ["src", "dst"], [(0, 1), (1, 0)])
+        engine = SqlEngine(db)
+        result = engine.run("""
+            WITH RECURSIVE reach(id) AS (
+                SELECT dst FROM edges WHERE src = 0
+                UNION
+                SELECT e.dst FROM reach r JOIN edges e ON e.src = r.id
+            ) SELECT id FROM reach ORDER BY id""")
+        assert result.values() == [0, 1]
+
+    def test_non_recursive_cte(self, engine):
+        result = engine.run(
+            "WITH funcs AS (SELECT id FROM nodes WHERE type = 'function') "
+            "SELECT COUNT(*) FROM funcs")
+        assert result.value() == 3
+
+    def test_recursive_without_base_rejected(self, engine):
+        with pytest.raises(SqlError):
+            engine.run(
+                "WITH RECURSIVE r(id) AS ("
+                "SELECT e.dst FROM r JOIN edges e ON e.src = r.id) "
+                "SELECT id FROM r")
+
+
+class TestLoadGraphTables:
+    def test_roundtrip_from_graph(self):
+        g = PropertyGraph()
+        a = g.add_node("function", short_name="a", type="function")
+        b = g.add_node("function", short_name="b", type="function")
+        g.add_edge(a, b, "calls")
+        db = Database()
+        load_graph_tables(db, g)
+        engine = SqlEngine(db)
+        assert engine.run("SELECT COUNT(*) FROM nodes").value() == 2
+        result = engine.run(
+            "SELECT n.short_name FROM edges e "
+            "JOIN nodes n ON n.id = e.dst")
+        assert result.values() == ["b"]

@@ -1,0 +1,70 @@
+"""Relational tables and catalog."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.relational import Database, Table
+
+
+class TestTable:
+    def test_basic_insert_and_iterate(self):
+        table = Table("t", ["a", "b"], [(1, 2)])
+        table.insert((3, 4))
+        assert list(table) == [(1, 2), (3, 4)]
+        assert len(table) == 2
+
+    def test_columns_lowercased(self):
+        table = Table("T", ["A", "B"])
+        assert table.name == "t"
+        assert table.columns == ["a", "b"]
+
+    def test_arity_enforced(self):
+        table = Table("t", ["a"])
+        with pytest.raises(SqlError):
+            table.insert((1, 2))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SqlError):
+            Table("t", ["a", "A"])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SqlError):
+            Table("t", [])
+
+    def test_column_index(self):
+        table = Table("t", ["a", "b"])
+        assert table.column_index("B") == 1
+        with pytest.raises(SqlError):
+            table.column_index("c")
+
+    def test_insert_many(self):
+        table = Table("t", ["a"])
+        table.insert_many([(1,), (2,)])
+        assert len(table) == 2
+
+
+class TestDatabase:
+    def test_create_and_lookup(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        assert db.table("T").name == "t"
+        assert "t" in db
+        assert db.table_names() == ["t"]
+
+    def test_duplicate_create_rejected(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        with pytest.raises(SqlError):
+            db.create_table("T", ["b"])
+
+    def test_missing_table(self):
+        with pytest.raises(SqlError):
+            Database().table("ghost")
+
+    def test_drop(self):
+        db = Database()
+        db.create_table("t", ["a"])
+        db.drop_table("t")
+        assert not db.has_table("t")
+        with pytest.raises(SqlError):
+            db.drop_table("t")

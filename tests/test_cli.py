@@ -1,0 +1,151 @@
+"""The frappe command-line interface, end to end."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.workloads import generate_codebase
+
+
+@pytest.fixture(scope="module")
+def source_tree(tmp_path_factory):
+    root = tmp_path_factory.mktemp("src")
+    codebase = generate_codebase(subsystems=2, files_per_subsystem=2,
+                                 functions_per_file=2, seed=11)
+    for path, content in codebase.files.items():
+        target = root / path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(content)
+    script = root / "build.sh"
+    script.write_text(codebase.build_script)
+    return root, script
+
+
+@pytest.fixture(scope="module")
+def store(source_tree, tmp_path_factory):
+    root, script = source_tree
+    out = tmp_path_factory.mktemp("stores") / "kernel"
+    code = main(["index", str(root), "--script", str(script),
+                 "--out", str(out), "-I", "include"])
+    assert code == 0
+    return str(out)
+
+
+class TestIndex:
+    def test_store_created(self, store):
+        assert os.path.exists(os.path.join(store, "metadata.json"))
+
+    def test_index_output(self, source_tree, tmp_path, capsys):
+        root, script = source_tree
+        main(["index", str(root), "--script", str(script),
+              "--out", str(tmp_path / "s"), "-I", "include"])
+        out = capsys.readouterr().out
+        assert "indexed" in out and "nodes" in out
+
+
+class TestSearch:
+    def test_search_by_name(self, store, capsys):
+        assert main(["search", store, "start_kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "function" in out
+
+    def test_search_wildcard_with_type(self, store, capsys):
+        assert main(["search", store, "scsi_*", "--type",
+                     "function"]) == 0
+        out = capsys.readouterr().out
+        assert "(0 results)" not in out
+
+
+class TestQuery:
+    def test_cypher_query(self, store, capsys):
+        assert main(["query", store,
+                     "MATCH (n:macro) RETURN n.short_name "
+                     "ORDER BY n.short_name LIMIT 3"]) == 0
+        out = capsys.readouterr().out
+        assert "rows" in out
+
+    def test_bad_query_is_reported(self, store, capsys):
+        assert main(["query", store, "MATCH MATCH"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_explain_plan(self, store, capsys):
+        assert main(["explain", store,
+                     "MATCH (n:function{short_name: 'start_kernel'}) "
+                     "-[:calls*]-> m RETURN m"]) == 0
+        out = capsys.readouterr().out
+        assert "anchor" in out
+        assert "index-seek" in out
+        assert "path enumeration" in out
+
+
+class TestRefs:
+    def test_find_references(self, store, capsys):
+        assert main(["refs", store, "scsi_init_0", "--type",
+                     "function"]) == 0
+        out = capsys.readouterr().out
+        assert "references" in out
+        assert "calls" in out
+
+
+class TestSlice:
+    def test_backward_slice(self, store, capsys):
+        assert main(["slice", store, "start_kernel"]) == 0
+        out = capsys.readouterr().out
+        assert "entities" in out
+
+    def test_forward_slice(self, store, capsys):
+        assert main(["slice", store, "start_kernel", "--forward"]) == 0
+        assert "(0 entities)" in capsys.readouterr().out
+
+
+class TestCycles:
+    def test_call_cycles(self, store, capsys):
+        assert main(["cycles", store]) == 0
+        out = capsys.readouterr().out
+        assert "cycles over calls" in out
+
+    def test_include_cycles(self, store, capsys):
+        assert main(["cycles", store, "--edges", "includes"]) == 0
+        assert "cycles over includes" in capsys.readouterr().out
+
+
+class TestMap:
+    def test_ascii_map(self, store, capsys):
+        assert main(["map", store]) == 0
+        out = capsys.readouterr().out
+        assert "|" in out
+
+    def test_svg_map_with_highlight(self, store, tmp_path, capsys):
+        svg_path = tmp_path / "map.svg"
+        assert main(["map", store, "--svg", str(svg_path),
+                     "--highlight", "start_kernel"]) == 0
+        content = svg_path.read_text()
+        assert content.startswith("<svg")
+        assert "#e4572e" in content  # highlight color present
+
+
+class TestStats:
+    def test_stats_output(self, store, capsys):
+        assert main(["stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:" in out
+        assert "hubs" in out
+        assert "properties" in out
+
+
+class TestGenerate:
+    def test_generate_store(self, tmp_path, capsys):
+        out_dir = tmp_path / "synth"
+        assert main(["generate", "--scale", "0.002", "--out",
+                     str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "generated" in out
+        assert main(["stats", str(out_dir)]) == 0
+
+
+def test_missing_store_reports_error(tmp_path, capsys):
+    assert main(["search", str(tmp_path / "nope"), "x"]) == 1
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,295 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Each class targets one load-bearing invariant:
+
+* the disk store is a lossless codec for arbitrary property graphs,
+* Cypher's variable-length closure agrees with BFS reachability,
+* graph deltas replay to exactly the target graph,
+* alignment never changes content, only identity,
+* the treemap layout conserves area and never overlaps,
+* recursive SQL agrees with graph reachability,
+* edit distance behaves like a metric.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.cypher import CypherEngine
+from repro.graphdb import PropertyGraph, algo
+from repro.graphdb.graph import clone_graph
+from repro.graphdb.luceneql import edit_distance_at_most
+from repro.graphdb.storage import GraphStore
+from repro.graphdb.view import Direction
+from repro.relational import Database, SqlEngine
+from repro.relational.engine import load_graph_tables
+from repro.versioned import align_graph, apply_delta, diff_graphs
+
+# -- strategies --------------------------------------------------------------
+
+scalars = st.one_of(
+    st.integers(min_value=-2 ** 70, max_value=2 ** 70),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.booleans(),
+    st.text(max_size=20),
+)
+list_values = st.one_of(
+    st.lists(st.integers(min_value=-1000, max_value=1000), max_size=5),
+    st.lists(st.text(max_size=8), max_size=4),
+    st.lists(st.booleans(), max_size=4),
+)
+property_maps = st.dictionaries(
+    st.text(min_size=1, max_size=10,
+            alphabet="abcdefghijklmnopqrstuvwxyz_"),
+    st.one_of(scalars, list_values), max_size=4)
+label_sets = st.lists(st.sampled_from(
+    ["function", "file", "struct", "field", "macro", "symbol"]),
+    max_size=3)
+
+
+@st.composite
+def graphs(draw, max_nodes=12, max_edges=24):
+    graph = PropertyGraph()
+    node_count = draw(st.integers(min_value=1, max_value=max_nodes))
+    for _ in range(node_count):
+        graph.add_node(*draw(label_sets),
+                       properties=draw(property_maps))
+    nodes = list(graph.node_ids())
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    for _ in range(edge_count):
+        source = draw(st.sampled_from(nodes))
+        target = draw(st.sampled_from(nodes))
+        edge_type = draw(st.sampled_from(["calls", "reads", "includes"]))
+        graph.add_edge(source, target, edge_type,
+                       properties=draw(property_maps))
+    return graph
+
+
+@st.composite
+def dags(draw, max_nodes=10):
+    """Random DAG over 'calls' edges (no cycles, so Cypher finishes)."""
+    graph = PropertyGraph()
+    node_count = draw(st.integers(min_value=2, max_value=max_nodes))
+    for index in range(node_count):
+        graph.add_node("function", short_name=f"f{index}")
+    for source in range(node_count):
+        for target in range(source + 1, node_count):
+            if draw(st.booleans()):
+                graph.add_edge(source, target, "calls")
+    return graph
+
+
+# -- store round trip -----------------------------------------------------------
+
+class TestStoreRoundTrip:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(graph=graphs())
+    def test_lossless(self, graph, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("h") / "store")
+        GraphStore.write(graph, directory)
+        with GraphStore.open(directory) as store:
+            assert store.node_count() == graph.node_count()
+            assert store.edge_count() == graph.edge_count()
+            for node_id in graph.node_ids():
+                assert store.node_labels(node_id) == \
+                    graph.node_labels(node_id)
+                assert store.node_properties(node_id) == \
+                    pytest.approx(graph.node_properties(node_id))
+            for edge_id in graph.edge_ids():
+                assert store.edge_source(edge_id) == \
+                    graph.edge_source(edge_id)
+                assert store.edge_target(edge_id) == \
+                    graph.edge_target(edge_id)
+                assert store.edge_type(edge_id) == \
+                    graph.edge_type(edge_id)
+            for node_id in graph.node_ids():
+                for direction in Direction:
+                    assert sorted(store.edges_of(node_id, direction)) \
+                        == sorted(graph.edges_of(node_id, direction))
+
+
+# -- Cypher closure == BFS -----------------------------------------------------------
+
+class TestCypherAgreesWithBfs:
+    @settings(max_examples=30, deadline=None)
+    @given(graph=dags())
+    def test_var_length_closure(self, graph):
+        engine = CypherEngine(graph)
+        result = engine.run(
+            "MATCH (n{short_name: 'f0'}) -[:calls*]-> m "
+            "RETURN distinct id(m)")
+        cypher_nodes = {row[0] for row in result.rows}
+        native = algo.reachable_nodes(graph, 0, ("calls",),
+                                      Direction.OUT)
+        assert cypher_nodes == native
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph=dags())
+    def test_bounded_var_length(self, graph):
+        engine = CypherEngine(graph)
+        result = engine.run(
+            "MATCH (n{short_name: 'f0'}) -[:calls*1..2]-> m "
+            "RETURN distinct id(m)")
+        cypher_nodes = {row[0] for row in result.rows}
+        native = algo.reachable_nodes(graph, 0, ("calls",),
+                                      Direction.OUT, max_depth=2)
+        assert cypher_nodes == native
+
+
+# -- deltas ---------------------------------------------------------------------------
+
+class TestDeltaRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(old=graphs(), mutations=st.lists(
+        st.tuples(st.sampled_from(["add_node", "remove_node", "add_edge",
+                                   "set_prop"]),
+                  st.integers(min_value=0, max_value=100)),
+        max_size=6))
+    def test_diff_apply_reproduces(self, old, mutations):
+        new = clone_graph(old)
+        for action, seed in mutations:
+            nodes = list(new.node_ids())
+            if action == "add_node":
+                new.add_node("function", short_name=f"added{seed}")
+            elif action == "remove_node" and len(nodes) > 1:
+                new.remove_node(nodes[seed % len(nodes)])
+            elif action == "add_edge" and nodes:
+                new.add_edge(nodes[seed % len(nodes)],
+                             nodes[(seed * 7) % len(nodes)], "calls")
+            elif action == "set_prop" and nodes:
+                new.set_node_property(nodes[seed % len(nodes)],
+                                      "touched", seed)
+        delta = diff_graphs(old, new)
+        replayed = apply_delta(clone_graph(old), delta)
+        assert diff_graphs(replayed, new).is_empty
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=graphs())
+    def test_self_diff_empty(self, graph):
+        assert diff_graphs(graph, clone_graph(graph)).is_empty
+
+
+# -- alignment ---------------------------------------------------------------------------
+
+class TestAlignment:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=graphs())
+    def test_align_to_self_is_identity(self, graph):
+        aligned = align_graph(graph, clone_graph(graph))
+        assert diff_graphs(graph, aligned).is_empty
+
+    @settings(max_examples=20, deadline=None)
+    @given(old=graphs(), new=graphs())
+    def test_align_preserves_content(self, old, new):
+        aligned = align_graph(old, new)
+        assert aligned.node_count() == new.node_count()
+        assert aligned.edge_count() == new.edge_count()
+
+        def bag(view):
+            return sorted(
+                (tuple(sorted(view.node_labels(n))),
+                 tuple(sorted(view.node_properties(n).items(),
+                              key=lambda kv: kv[0])))
+                for n in view.node_ids())
+
+        def freeze(properties):
+            return tuple(sorted(
+                (key, tuple(value) if isinstance(value, list) else value)
+                for key, value in properties.items()))
+
+        old_bag = sorted((tuple(sorted(new.node_labels(n))),
+                          freeze(new.node_properties(n)))
+                         for n in new.node_ids())
+        new_bag = sorted((tuple(sorted(aligned.node_labels(n))),
+                          freeze(aligned.node_properties(n)))
+                         for n in aligned.node_ids())
+        assert old_bag == new_bag
+
+
+# -- treemap --------------------------------------------------------------------------------
+
+class TestTreemapInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(weights=st.lists(st.floats(min_value=0.1, max_value=100),
+                            min_size=1, max_size=12))
+    def test_areas_and_overlap(self, weights):
+        from repro.codemap.hierarchy import CodeRegion
+        from repro.codemap.layout import layout_map
+
+        root = CodeRegion(0, "root", "directory")
+        for index, weight in enumerate(weights):
+            child = CodeRegion(index + 1, f"c{index}", "file",
+                               weight=weight, depth=1)
+            root.children.append(child)
+        root.weight = sum(weights)
+        box = layout_map(root, 100, 80, max_depth=1)
+        total_child_area = sum(child.area for child in box.children)
+        # children fill the padded interior: close to the full area
+        assert total_child_area <= 100 * 80 + 1e-6
+        assert total_child_area >= 0.9 * 100 * 80 * 0.96
+        # pairwise disjoint
+        for index, left in enumerate(box.children):
+            for right in box.children[index + 1:]:
+                overlap_w = min(left.x + left.width,
+                                right.x + right.width) - max(left.x,
+                                                             right.x)
+                overlap_h = min(left.y + left.height,
+                                right.y + right.height) - max(left.y,
+                                                              right.y)
+                assert overlap_w <= 1e-6 or overlap_h <= 1e-6
+        # areas proportional to weights
+        for child in box.children:
+            expected = child.region.weight / root.weight
+            actual = child.area / total_child_area
+            assert actual == pytest.approx(expected, rel=1e-3)
+
+
+# -- SQL reachability --------------------------------------------------------------------------
+
+class TestSqlAgreesWithGraph:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=dags(max_nodes=8))
+    def test_recursive_closure(self, graph):
+        database = Database()
+        load_graph_tables(database, graph)
+        engine = SqlEngine(database)
+        result = engine.run("""
+            WITH RECURSIVE reach(id) AS (
+                SELECT e.dst FROM edges e WHERE e.src = 0
+                UNION
+                SELECT e.dst FROM reach r JOIN edges e ON e.src = r.id
+            ) SELECT id FROM reach ORDER BY id""")
+        assert set(result.values()) == algo.reachable_nodes(
+            graph, 0, ("calls",), Direction.OUT)
+
+
+# -- edit distance -----------------------------------------------------------------------------
+
+class TestEditDistanceMetric:
+    @settings(max_examples=60)
+    @given(word=st.text(max_size=12))
+    def test_identity(self, word):
+        assert edit_distance_at_most(word, word, 0)
+
+    @settings(max_examples=60)
+    @given(left=st.text(max_size=10), right=st.text(max_size=10),
+           limit=st.integers(min_value=0, max_value=4))
+    def test_symmetry(self, left, right, limit):
+        assert edit_distance_at_most(left, right, limit) == \
+            edit_distance_at_most(right, left, limit)
+
+    @settings(max_examples=60)
+    @given(word=st.text(min_size=1, max_size=10),
+           position=st.integers(min_value=0, max_value=9))
+    def test_single_deletion_within_one(self, word, position):
+        position = position % len(word)
+        shorter = word[:position] + word[position + 1:]
+        assert edit_distance_at_most(word, shorter, 1)
+
+    @settings(max_examples=60)
+    @given(left=st.text(max_size=10), right=st.text(max_size=10))
+    def test_length_difference_lower_bound(self, left, right):
+        gap = abs(len(left) - len(right))
+        if gap > 0:
+            assert not edit_distance_at_most(left, right, gap - 1)

@@ -1,0 +1,106 @@
+"""Whole-system integration: every layer in one flow.
+
+Generates a synthetic codebase, compiles it through the front end,
+extracts the graph, saves it to disk, reopens it page-cached, runs the
+paper's use cases cold and warm, renders the map, and versions an
+evolved release — the complete life of a Frappé deployment.
+"""
+
+import pytest
+
+from repro.build import Build
+from repro.codemap import build_hierarchy, layout_map, render_svg
+from repro.core import extract_build
+from repro.core.frappe import Frappe
+from repro.graphdb import stats
+from repro.lang.source import VirtualFileSystem
+from repro.versioned import VersionedGraphStore, align_graph, change_impact
+from repro.workloads import generate_codebase
+from repro.workloads.synthc import evolve
+
+
+@pytest.fixture(scope="module")
+def codebase():
+    return generate_codebase(subsystems=4, files_per_subsystem=3,
+                             functions_per_file=4, seed=99)
+
+
+@pytest.fixture(scope="module")
+def graph(codebase):
+    build = Build(VirtualFileSystem(codebase.files))
+    build.run_script(codebase.build_script)
+    return extract_build(build)
+
+
+@pytest.fixture(scope="module")
+def disk_frappe(graph, tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("system") / "store")
+    Frappe(graph).save(directory)
+    with Frappe.open(directory) as frappe:
+        yield frappe
+
+
+class TestEndToEnd:
+    def test_extraction_scale(self, graph, codebase):
+        metrics = stats.graph_metrics(graph)
+        # a few graph entities per source line is the expected density
+        assert metrics.node_count > codebase.line_count * 0.5
+        assert metrics.edge_count > metrics.node_count * 2
+
+    def test_cold_use_cases_on_disk(self, disk_frappe):
+        disk_frappe.evict_caches()
+        functions = disk_frappe.search("*_init_*", node_type="function")
+        assert functions
+        disk_frappe.evict_caches()
+        closure = disk_frappe.backward_slice("start_kernel")
+        assert len(closure) > 5
+        disk_frappe.evict_caches()
+        result = disk_frappe.query(
+            "MATCH (f:file) -[:file_contains]-> (n:function) "
+            "RETURN f.short_name, count(*) AS functions "
+            "ORDER BY functions DESC LIMIT 3")
+        assert len(result) == 3
+
+    def test_cypher_and_api_agree_on_disk(self, disk_frappe):
+        cypher = {row[0].id for row in disk_frappe.query(
+            "START n=node:node_auto_index('short_name: start_kernel') "
+            "MATCH n -[:calls*]-> m RETURN distinct m",
+            timeout=30.0).rows}
+        assert cypher == disk_frappe.backward_slice("start_kernel")
+
+    def test_map_renders_from_disk_store(self, disk_frappe):
+        root = build_hierarchy(disk_frappe.view)
+        box = layout_map(root, 800, 600)
+        svg = render_svg(box)
+        assert svg.count("<rect") > 10
+
+    def test_macro_impact_spans_subsystems(self, disk_frappe, codebase):
+        subsystem = codebase.subsystems[0]
+        impacted = disk_frappe.macro_impact(f"{subsystem.upper()}_MAX")
+        assert impacted
+
+    def test_versioning_lifecycle(self, codebase, graph,
+                                  tmp_path_factory):
+        store = VersionedGraphStore(
+            str(tmp_path_factory.mktemp("vers") / "repo"), mode="delta")
+        store.commit(graph, "r0")
+        evolved = evolve(codebase, change_fraction=0.08)
+        build = Build(VirtualFileSystem(evolved.files))
+        build.run_script(evolved.build_script)
+        new_graph = align_graph(graph, extract_build(build))
+        store.commit(new_graph, "r1")
+        # the delta is small relative to a snapshot
+        records = store.versions()
+        assert records[1].storage_bytes < records[0].storage_bytes / 10
+        # impact finds the hotfix
+        impact = change_impact(store.checkout("r0"),
+                               store.checkout("r1"))
+        names = {new_graph.node_property(n, "short_name")
+                 for n in impact.changed_functions}
+        assert any("hotfix" in name for name in names)
+
+    def test_store_sizes_sane(self, graph, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("sz") / "s")
+        sizes = Frappe(graph).save(directory)
+        assert sizes["properties"] > sizes["nodes"]
+        assert sizes["total"] < 50 * 1024 * 1024  # sanity ceiling

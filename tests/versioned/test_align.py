@@ -1,0 +1,133 @@
+"""Graph alignment: stable ids across re-extraction."""
+
+import pytest
+
+from repro.build import Build
+from repro.core import extract_build
+from repro.graphdb import PropertyGraph
+from repro.graphdb.graph import clone_graph
+from repro.lang.source import VirtualFileSystem
+from repro.versioned import align_graph, diff_graphs
+from repro.versioned.align import default_node_key
+
+
+def extract(files, script):
+    build = Build(VirtualFileSystem(files))
+    build.run_script(script)
+    return extract_build(build)
+
+
+BASE_FILES = {
+    "a.c": "int shared(void) { return 1; }\n",
+    "b.c": "int shared(void);\n"
+           "int user(void) { return shared(); }\n",
+}
+SCRIPT = ("gcc a.c -c -o a.o\n"
+          "gcc b.c -c -o b.o\n"
+          "gcc a.o b.o -o prog")
+
+
+class TestAlignBasics:
+    def test_identical_graphs_align_to_empty_delta(self):
+        old = extract(BASE_FILES, SCRIPT)
+        new = extract(BASE_FILES, SCRIPT)
+        aligned = align_graph(old, new)
+        assert diff_graphs(old, aligned).is_empty
+
+    def test_prepended_entity_does_not_shift_identity(self):
+        """The failure mode alignment exists for: new code added
+        *before* existing code shifts every raw extraction id."""
+        old = extract(BASE_FILES, SCRIPT)
+        changed = dict(BASE_FILES)
+        changed["a.c"] = ("int newcomer(void) { return 9; }\n"
+                          + BASE_FILES["a.c"])
+        new = extract(changed, SCRIPT)
+        raw_delta = diff_graphs(old, new)
+        aligned_delta = diff_graphs(old, align_graph(old, new))
+        assert aligned_delta.change_count() < raw_delta.change_count()
+        added = {properties.get("short_name")
+                 for _id, _labels, properties
+                 in aligned_delta.added_nodes}
+        assert "newcomer" in added
+        assert "shared" not in added  # unchanged entity kept its id
+
+    def test_content_preserved(self):
+        old = extract(BASE_FILES, SCRIPT)
+        changed = dict(BASE_FILES)
+        changed["a.c"] += "int extra(void) { return 2; }\n"
+        new = extract(changed, SCRIPT)
+        aligned = align_graph(old, new)
+        assert aligned.node_count() == new.node_count()
+        assert aligned.edge_count() == new.edge_count()
+        names_new = sorted(new.node_property(n, "short_name", "")
+                           for n in new.node_ids())
+        names_aligned = sorted(aligned.node_property(n, "short_name", "")
+                               for n in aligned.node_ids())
+        assert names_new == names_aligned
+
+    def test_new_ids_above_old_high_water(self):
+        old = extract(BASE_FILES, SCRIPT)
+        changed = dict(BASE_FILES)
+        changed["a.c"] += "int extra(void) { return 2; }\n"
+        aligned = align_graph(old, extract(changed, SCRIPT))
+        old_max = max(old.node_ids())
+        fresh = [n for n in aligned.node_ids() if n > old_max]
+        assert fresh  # the new function and its machinery
+
+    def test_removed_entity_detected(self):
+        full = dict(BASE_FILES)
+        full["a.c"] += "int doomed(void) { return 3; }\n"
+        old = extract(full, SCRIPT)
+        new = extract(BASE_FILES, SCRIPT)
+        aligned_delta = diff_graphs(old, align_graph(old, new))
+        removed_names = {old.node_property(node_id, "short_name")
+                         for node_id in aligned_delta.removed_nodes}
+        assert "doomed" in removed_names
+
+
+class TestDuplicateKeys:
+    def test_duplicate_keys_match_positionally(self):
+        old = PropertyGraph()
+        for _ in range(3):
+            old.add_node("function", short_name="dup", type="function")
+        new = clone_graph(old)
+        new.add_node("function", short_name="dup", type="function")
+        aligned = align_graph(old, new)
+        assert set(old.node_ids()) <= set(aligned.node_ids())
+        delta = diff_graphs(old, aligned)
+        assert len(delta.added_nodes) == 1
+
+    def test_parallel_edges_align(self):
+        old = PropertyGraph()
+        a = old.add_node(short_name="a")
+        b = old.add_node(short_name="b")
+        old.add_edge(a, b, "calls", use_start_line=1)
+        old.add_edge(a, b, "calls", use_start_line=1)  # same site twice
+        new = clone_graph(old)
+        new.add_edge(a, b, "calls", use_start_line=2)
+        delta = diff_graphs(old, align_graph(old, new))
+        assert len(delta.added_edges) == 1
+        assert not delta.removed_edges
+
+
+class TestCustomKey:
+    def test_custom_node_key(self):
+        old = PropertyGraph()
+        old.add_node(short_name="x", uid="stable-1")
+        new = PropertyGraph()
+        new.add_node(short_name="renamed", uid="stable-1")
+
+        def by_uid(view, node_id):
+            return view.node_property(node_id, "uid")
+
+        aligned = align_graph(old, new, node_key=by_uid)
+        delta = diff_graphs(old, aligned)
+        assert not delta.added_nodes  # matched via uid despite rename
+        assert delta.node_property_changes
+
+    def test_default_key_fields(self):
+        graph = PropertyGraph()
+        node = graph.add_node(short_name="s", name="q::s",
+                              long_name="q::s(int)", type="function")
+        key = default_node_key(graph, node)
+        assert key == ("function", "q::s", "q::s(int)", "s")

@@ -1,0 +1,208 @@
+"""Versioned graphs: deltas, multi-version store, change impact."""
+
+import pytest
+
+from repro.errors import VersionError
+from repro.graphdb import PropertyGraph
+from repro.graphdb.graph import clone_graph
+from repro.versioned import (GraphDelta, VersionedGraphStore, apply_delta,
+                             change_impact, diff_graphs)
+
+
+def call_graph(edges, n_nodes):
+    g = PropertyGraph()
+    for index in range(n_nodes):
+        g.add_node("function", short_name=f"f{index}", type="function")
+    for source, target in edges:
+        g.add_edge(source, target, "calls")
+    return g
+
+
+@pytest.fixture
+def base_graph():
+    return call_graph([(0, 1), (1, 2), (2, 3)], 5)
+
+
+class TestDiffApply:
+    def test_identical_graphs_empty_delta(self, base_graph):
+        other = clone_graph(base_graph)
+        delta = diff_graphs(base_graph, other)
+        assert delta.is_empty
+        assert delta.change_count() == 0
+
+    def test_added_node_and_edge(self, base_graph):
+        new = clone_graph(base_graph)
+        added = new.add_node("function", short_name="f5", type="function")
+        new.add_edge(added, 0, "calls")
+        delta = diff_graphs(base_graph, new)
+        assert [entry[0] for entry in delta.added_nodes] == [added]
+        assert len(delta.added_edges) == 1
+
+    def test_removed_node(self, base_graph):
+        new = clone_graph(base_graph)
+        new.remove_node(4)
+        delta = diff_graphs(base_graph, new)
+        assert delta.removed_nodes == [4]
+
+    def test_property_change(self, base_graph):
+        new = clone_graph(base_graph)
+        new.set_node_property(0, "short_name", "renamed")
+        delta = diff_graphs(base_graph, new)
+        assert delta.node_property_changes == \
+            [(0, "short_name", "f0", "renamed")]
+
+    def test_apply_roundtrip(self, base_graph):
+        new = clone_graph(base_graph)
+        new.remove_node(4)
+        added = new.add_node("global", short_name="g", type="global")
+        new.add_edge(1, added, "writes", use_start_line=3)
+        new.set_node_property(2, "short_name", "renamed")
+        delta = diff_graphs(base_graph, new)
+        replayed = apply_delta(clone_graph(base_graph), delta)
+        assert diff_graphs(replayed, new).is_empty
+
+    def test_apply_removed_edge(self, base_graph):
+        new = clone_graph(base_graph)
+        edge = next(iter(new.edge_ids()))
+        new.remove_edge(edge)
+        delta = diff_graphs(base_graph, new)
+        replayed = apply_delta(clone_graph(base_graph), delta)
+        assert not replayed.has_edge(edge)
+
+    def test_serialization_roundtrip(self, base_graph):
+        new = clone_graph(base_graph)
+        new.add_node("macro", short_name="M", type="macro",
+                     lengths=[1, 2])
+        delta = diff_graphs(base_graph, new)
+        restored = GraphDelta.from_bytes(delta.to_bytes())
+        replayed = apply_delta(clone_graph(base_graph), restored)
+        assert diff_graphs(replayed, new).is_empty
+
+    def test_corrupt_delta_rejected(self):
+        with pytest.raises(VersionError):
+            GraphDelta.from_bytes(b"not json at all \xff")
+
+    def test_apply_unknown_removal_rejected(self, base_graph):
+        delta = GraphDelta(removed_nodes=[999])
+        with pytest.raises(VersionError):
+            apply_delta(base_graph, delta)
+
+
+class TestVersionedStore:
+    def _evolve(self, graph, step):
+        new = clone_graph(graph)
+        added = new.add_node("function", short_name=f"new{step}",
+                             type="function")
+        new.add_edge(added, 0, "calls")
+        return new
+
+    @pytest.mark.parametrize("mode", ["isolated", "delta"])
+    def test_commit_and_checkout(self, base_graph, tmp_path, mode):
+        store = VersionedGraphStore(str(tmp_path / mode), mode=mode)
+        v0 = store.commit(base_graph)
+        second = self._evolve(base_graph, 1)
+        v1 = store.commit(second)
+        restored = store.checkout(v1)
+        assert diff_graphs(restored, second).is_empty
+        base_restored = store.checkout(v0)
+        assert diff_graphs(base_restored, base_graph).is_empty
+
+    def test_delta_mode_stores_less(self, base_graph, tmp_path):
+        isolated = VersionedGraphStore(str(tmp_path / "iso"),
+                                       mode="isolated")
+        delta = VersionedGraphStore(str(tmp_path / "dlt"), mode="delta")
+        graph = base_graph
+        for store in (isolated, delta):
+            current = graph
+            store.commit(current, "v0")
+            for step in range(1, 6):
+                current = self._evolve(current, step)
+                store.commit(current, f"v{step}")
+        assert delta.total_storage_bytes() < \
+            isolated.total_storage_bytes() / 2
+
+    def test_chain_length(self, base_graph, tmp_path):
+        store = VersionedGraphStore(str(tmp_path / "chain"), mode="delta")
+        store.commit(base_graph, "v0")
+        current = base_graph
+        for step in range(1, 4):
+            current = self._evolve(current, step)
+            store.commit(current, f"v{step}")
+        assert store.chain_length("v0") == 0
+        assert store.chain_length("v3") == 3
+
+    def test_versions_listing(self, base_graph, tmp_path):
+        store = VersionedGraphStore(str(tmp_path / "list"))
+        store.commit(base_graph, "rel-1")
+        records = store.versions()
+        assert records[0].version_id == "rel-1"
+        assert records[0].is_snapshot
+        assert records[0].node_count == base_graph.node_count()
+
+    def test_cross_version_diff(self, base_graph, tmp_path):
+        store = VersionedGraphStore(str(tmp_path / "diff"))
+        store.commit(base_graph, "v0")
+        second = self._evolve(base_graph, 1)
+        store.commit(second, "v1")
+        delta = store.diff("v0", "v1")
+        assert len(delta.added_nodes) == 1
+
+    def test_duplicate_version_rejected(self, base_graph, tmp_path):
+        store = VersionedGraphStore(str(tmp_path / "dup"))
+        store.commit(base_graph, "v0")
+        with pytest.raises(VersionError):
+            store.commit(base_graph, "v0")
+
+    def test_unknown_version_rejected(self, base_graph, tmp_path):
+        store = VersionedGraphStore(str(tmp_path / "missing"))
+        with pytest.raises(VersionError):
+            store.checkout("ghost")
+        with pytest.raises(VersionError):
+            store.commit(base_graph, parent="ghost")
+
+    def test_bad_mode_rejected(self, tmp_path):
+        with pytest.raises(VersionError):
+            VersionedGraphStore(str(tmp_path / "bad"), mode="quantum")
+
+    def test_explicit_parent_branching(self, base_graph, tmp_path):
+        store = VersionedGraphStore(str(tmp_path / "branch"))
+        store.commit(base_graph, "v0")
+        branch_a = self._evolve(base_graph, 1)
+        branch_b = self._evolve(base_graph, 2)
+        store.commit(branch_a, "a", parent="v0")
+        store.commit(branch_b, "b", parent="v0")
+        assert diff_graphs(store.checkout("a"), branch_a).is_empty
+        assert diff_graphs(store.checkout("b"), branch_b).is_empty
+
+
+class TestChangeImpact:
+    def test_changed_function_ripples_to_callers(self):
+        # f0 -> f1 -> f2; change f2's body (a new outgoing edge)
+        old = call_graph([(0, 1), (1, 2)], 4)
+        new = clone_graph(old)
+        new.add_edge(2, 3, "calls")  # f2 now calls f3
+        report = change_impact(old, new)
+        assert 2 in report.changed_functions
+        # callers of f2 are impacted transitively
+        assert {0, 1, 2} <= report.impacted_functions
+
+    def test_amplification(self):
+        old = call_graph([(0, 2), (1, 2)], 4)
+        new = clone_graph(old)
+        new.add_edge(2, 3, "calls")
+        report = change_impact(old, new)
+        assert report.amplification >= 1.0
+
+    def test_no_change_no_impact(self):
+        old = call_graph([(0, 1)], 2)
+        report = change_impact(old, clone_graph(old))
+        assert not report.changed_nodes
+        assert report.amplification == 0.0
+
+    def test_property_only_change(self):
+        old = call_graph([(0, 1)], 2)
+        new = clone_graph(old)
+        new.set_node_property(1, "short_name", "patched")
+        report = change_impact(old, new)
+        assert 1 in report.changed_functions
+        assert 0 in report.impacted_functions

@@ -1,0 +1,185 @@
+"""Workload generators: statistical shape and end-to-end compilation."""
+
+import pytest
+
+from repro.build import Build
+from repro.core import extract_build
+from repro.core.frappe import Frappe
+from repro.graphdb import stats
+from repro.lang.source import VirtualFileSystem
+from repro.workloads import generate_codebase, generate_kernel_graph
+from repro.workloads.profiles import BENCH_PROFILE, UEK_PROFILE
+from repro.workloads.synthc import evolve
+
+
+@pytest.fixture(scope="module")
+def synthetic_graph():
+    return generate_kernel_graph(UEK_PROFILE.scaled(1 / 200))
+
+
+class TestProfiles:
+    def test_mix_normalization(self):
+        mix = UEK_PROFILE.normalized_node_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        mix = UEK_PROFILE.normalized_reference_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_scaled_profile(self):
+        half = UEK_PROFILE.scaled(0.5)
+        assert half.total_nodes == UEK_PROFILE.total_nodes // 2
+        assert half.edges_per_node == UEK_PROFILE.edges_per_node
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            UEK_PROFILE.scaled(0)
+
+    def test_node_count_never_zero(self):
+        tiny = UEK_PROFILE.scaled(1 / 100000)
+        assert tiny.node_count("module") >= 1
+
+
+class TestGraphShape:
+    def test_edge_node_ratio_near_paper(self, synthetic_graph):
+        metrics = stats.graph_metrics(synthetic_graph)
+        # the paper quotes "a ratio of 1:8"
+        assert 5.5 <= metrics.edge_node_ratio <= 9.5
+
+    def test_int_is_the_top_hub(self, synthetic_graph):
+        top_node, _degree = stats.top_degree_nodes(synthetic_graph, 1)[0]
+        assert synthetic_graph.node_property(top_node,
+                                             "short_name") == "int"
+
+    def test_null_is_a_macro_hub(self, synthetic_graph):
+        top = stats.top_degree_nodes(synthetic_graph, 10)
+        names = [synthetic_graph.node_property(node, "short_name")
+                 for node, _degree in top]
+        assert "NULL" in names
+
+    def test_heavy_tail(self, synthetic_graph):
+        distribution = stats.degree_distribution(synthetic_graph)
+        max_degree = max(distribution)
+        # weighted median: the degree of the typical node
+        total = sum(distribution.values())
+        running = 0
+        median = 0
+        for degree in sorted(distribution):
+            running += distribution[degree]
+            if running >= total / 2:
+                median = degree
+                break
+        assert max_degree > 20 * max(median, 1)
+
+    def test_deterministic_for_seed(self):
+        profile = UEK_PROFILE.scaled(1 / 500)
+        first = generate_kernel_graph(profile, seed=7)
+        second = generate_kernel_graph(profile, seed=7)
+        assert first.node_count() == second.node_count()
+        assert first.edge_count() == second.edge_count()
+        assert (stats.degree_distribution(first)
+                == stats.degree_distribution(second))
+
+    def test_different_seeds_differ(self):
+        profile = UEK_PROFILE.scaled(1 / 500)
+        first = generate_kernel_graph(profile, seed=1)
+        second = generate_kernel_graph(profile, seed=2)
+        assert (stats.degree_distribution(first)
+                != stats.degree_distribution(second))
+
+
+class TestPlantedEntities:
+    def test_figure3_field_in_module(self, synthetic_graph):
+        frappe = Frappe(synthetic_graph)
+        found = frappe.search("id", node_type="field",
+                              module="wakeup.elf")
+        assert found
+
+    def test_figure4_reference_position(self, synthetic_graph):
+        graph = synthetic_graph
+        wakeup_core = next(iter(graph.indexes.lookup("short_name",
+                                                     "wakeup_core.c")))
+        frappe = Frappe(graph)
+        result = frappe.query(
+            "START n=node:node_auto_index('short_name: id') "
+            "WHERE (n) <-[{name_file_id: $file, name_start_line: 104, "
+            "name_start_col: 16}]- () RETURN n",
+            parameters={"file": wakeup_core})
+        assert len(result) == 1
+
+    def test_figure5_scenario(self, synthetic_graph):
+        frappe = Frappe(synthetic_graph)
+        writers = frappe.writers_of_field_between(
+            "sr_media_change", "get_sectorsize", "packet_command",
+            "cmd")
+        names = {synthetic_graph.node_property(w.writer_node,
+                                               "short_name")
+                 for w in writers}
+        assert names == {"sr_do_ioctl"}
+
+    def test_figure6_seed_exists(self, synthetic_graph):
+        frappe = Frappe(synthetic_graph)
+        assert len(frappe.backward_slice("pci_read_bases")) > 3
+
+
+class TestSyntheticCodebase:
+    def test_generation_and_compilation(self):
+        codebase = generate_codebase(subsystems=3, files_per_subsystem=2,
+                                     functions_per_file=3, seed=4)
+        build = Build(VirtualFileSystem(codebase.files))
+        build.run_script(codebase.build_script)
+        graph = extract_build(build)
+        assert graph.node_count() > 100
+        metrics = stats.graph_metrics(graph)
+        assert metrics.edge_node_ratio > 2
+
+    def test_scales_with_parameters(self):
+        small = generate_codebase(2, 1, 2)
+        large = generate_codebase(4, 3, 4)
+        assert large.line_count > 2 * small.line_count
+
+    def test_cross_subsystem_calls_exist(self):
+        codebase = generate_codebase(subsystems=3, seed=1)
+        build = Build(VirtualFileSystem(codebase.files))
+        build.run_script(codebase.build_script)
+        frappe = Frappe.index_build(build)
+        closure = frappe.backward_slice("start_kernel")
+        subsystems = {frappe.view.node_property(n, "short_name")
+                      .split("_")[0] for n in closure
+                      if frappe.view.node_property(n, "type")
+                      == "function"}
+        assert len(subsystems) >= 2
+
+    def test_deterministic(self):
+        assert generate_codebase(seed=9).files == \
+            generate_codebase(seed=9).files
+
+
+class TestEvolution:
+    def test_evolve_appends_only(self):
+        base = generate_codebase(subsystems=2, seed=3)
+        after = evolve(base, seed=1)
+        assert after.version == 1
+        changed = [path for path in base.files
+                   if base.files[path] != after.files[path]]
+        assert changed
+        for path in changed:
+            assert after.files[path].startswith(base.files[path])
+
+    def test_evolved_tree_still_compiles(self):
+        codebase = generate_codebase(subsystems=2, seed=5)
+        for _step in range(3):
+            codebase = evolve(codebase)
+        build = Build(VirtualFileSystem(codebase.files))
+        build.run_script(codebase.build_script)
+        graph = extract_build(build)
+        hotfixes = [n for n in graph.node_ids()
+                    if "hotfix" in str(graph.node_property(
+                        n, "short_name", ""))]
+        assert hotfixes
+
+    def test_change_fraction_bounds_changes(self):
+        base = generate_codebase(subsystems=4, files_per_subsystem=3,
+                                 seed=2)
+        after = evolve(base, seed=1, change_fraction=0.01)
+        changed = sum(1 for path in base.files
+                      if base.files[path] != after.files[path])
+        assert changed == 1
