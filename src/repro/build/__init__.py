@@ -1,0 +1,36 @@
+"""Build-system integration substrate (paper Section 3).
+
+The paper's extractor rides a *drop-in* build integration: wrapper
+scripts impersonate ``gcc``/``ld``, so indexing a codebase is exactly
+``make`` with ``CC`` pointed at the wrapper.  This package reproduces
+that layer for the offline toolchain:
+
+* :mod:`~repro.build.compiler` — a gcc-like driver: parse real command
+  lines, run the C front end per translation unit, produce "object
+  files" (per-unit symbol/AST/preprocessor bundles),
+* :mod:`~repro.build.linker` — cross-TU symbol resolution; produces the
+  modules and resolutions behind ``link_declares`` / ``link_matches`` /
+  ``linked_from`` edges,
+* :mod:`~repro.build.buildsys` — the declarative build replayer:
+  :class:`Build` consumes a script of compiler command lines (the
+  paper's intercepted build) and accumulates objects and modules.
+
+Robustness is a first-class concern: one broken translation unit must
+not abort a multi-hour index build.  Every compile step runs under
+per-unit fault isolation; front-end failures become structured
+:class:`~repro.build.buildsys.BuildDiagnostic` entries in a
+:class:`~repro.build.buildsys.BuildReport`, and the failure policy
+(``fail_fast`` vs ``keep_going`` with an error budget) decides whether
+a diagnostic is fatal.  Under ``keep_going`` the linker links whatever
+object graphs survived so the extractor can still emit a
+partial-but-valid dependency graph.
+"""
+
+from repro.build.buildsys import (Build, BuildDiagnostic, BuildReport,
+                                  FAIL_FAST, KEEP_GOING, UnitOutcome)
+from repro.build.compiler import CompilerInvocation, ObjectFile
+from repro.build.linker import Module, Resolution
+
+__all__ = ["Build", "BuildDiagnostic", "BuildReport", "CompilerInvocation",
+           "FAIL_FAST", "KEEP_GOING", "Module", "ObjectFile", "Resolution",
+           "UnitOutcome"]

@@ -1,0 +1,319 @@
+"""The declarative build replayer with fault isolation.
+
+:class:`Build` consumes the command lines a build system would have
+fed the compiler (the paper's wrapper-script interception, Section 3)
+and accumulates objects and modules for the extractor.
+
+Robustness model — the part the paper leaves implicit but an 11.4 MLoC
+kernel tree makes mandatory:
+
+* every translation unit compiles under **fault isolation**: a
+  :class:`~repro.errors.FrontEndError` becomes a structured
+  :class:`BuildDiagnostic` attached to a failed :class:`UnitOutcome`
+  instead of unwinding the whole build (policy permitting),
+* the **failure policy** is explicit: :data:`FAIL_FAST` re-raises the
+  first error (the strict mode tests want), :data:`KEEP_GOING`
+  records diagnostics and continues, optionally bounded by a
+  ``max_errors`` budget that raises
+  :class:`~repro.errors.BuildDiagnosticError` once exceeded,
+* the linker **degrades gracefully**: objects whose compile failed are
+  skipped from the link line (recorded on the module as
+  ``missing_object_paths``) so a partial-but-valid graph still comes
+  out the other end,
+* everything observed lands in one :class:`BuildReport` with per-unit
+  outcomes (ok / degraded / failed) and full error provenance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.build import compiler, linker
+from repro.errors import (BuildDiagnosticError, BuildError, FrontEndError,
+                          LexError, LinkError, ParseError,
+                          PreprocessorError, SemanticError)
+from repro.lang.source import FileRegistry, VirtualFileSystem
+
+#: Failure policies.
+FAIL_FAST = "fail_fast"
+KEEP_GOING = "keep_going"
+
+#: Per-unit outcome statuses.
+OK = "ok"
+DEGRADED = "degraded"
+FAILED = "failed"
+
+#: Diagnostic severities (aligned with linker.LinkIssue).
+ERROR = "error"
+WARNING = "warning"
+
+_CATEGORY_BY_ERROR = (
+    (PreprocessorError, "preprocess"),
+    (LexError, "lex"),
+    (ParseError, "parse"),
+    (SemanticError, "sema"),
+    (FrontEndError, "frontend"),
+)
+
+
+@dataclasses.dataclass
+class BuildDiagnostic:
+    """One structured problem observed during a build."""
+
+    category: str              # preprocess|lex|parse|sema|link|command
+    message: str
+    file: str = ""             # source file (or module path for links)
+    line: int = 0
+    column: int = 0
+    severity: str = ERROR
+
+    def __str__(self) -> str:
+        location = self.file
+        if self.line:
+            location += f":{self.line}:{self.column}"
+        prefix = f"{location}: " if location else ""
+        return f"{prefix}{self.severity}: [{self.category}] {self.message}"
+
+
+@dataclasses.dataclass
+class UnitOutcome:
+    """What happened to one translation unit."""
+
+    source_path: str
+    object_path: str
+    status: str                # OK | DEGRADED | FAILED
+    command: str = ""
+    diagnostics: list[BuildDiagnostic] = \
+        dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status != FAILED
+
+
+@dataclasses.dataclass
+class BuildReport:
+    """Per-unit outcomes plus link diagnostics for one build."""
+
+    policy: str = FAIL_FAST
+    outcomes: list[UnitOutcome] = dataclasses.field(default_factory=list)
+    link_diagnostics: list[BuildDiagnostic] = \
+        dataclasses.field(default_factory=list)
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def ok_units(self) -> list[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == OK]
+
+    @property
+    def degraded_units(self) -> list[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == DEGRADED]
+
+    @property
+    def failed_units(self) -> list[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == FAILED]
+
+    @property
+    def diagnostics(self) -> list[BuildDiagnostic]:
+        """Every diagnostic, unit-level first, in observation order."""
+        collected = [d for o in self.outcomes for d in o.diagnostics]
+        collected.extend(self.link_diagnostics)
+        return collected
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == ERROR)
+
+    @property
+    def partial(self) -> bool:
+        """True when the build dropped information (failed units)."""
+        return bool(self.failed_units)
+
+    def outcome_for(self, source_path: str) -> UnitOutcome | None:
+        for outcome in self.outcomes:
+            if outcome.source_path == source_path:
+                return outcome
+        return None
+
+    def summary(self) -> str:
+        return (f"{len(self.ok_units)} ok, "
+                f"{len(self.degraded_units)} degraded, "
+                f"{len(self.failed_units)} failed "
+                f"({self.error_count} errors)")
+
+
+class Build:
+    """A whole build: shared registry, objects, modules, report.
+
+    ``policy`` is :data:`FAIL_FAST` (default; first front-end or link
+    error propagates as its original exception) or :data:`KEEP_GOING`
+    (errors become diagnostics; ``max_errors`` bounds how many before
+    a :class:`BuildDiagnosticError` stops the build).
+    """
+
+    def __init__(self, filesystem: VirtualFileSystem,
+                 include_paths=(), defines=None,
+                 ignore_missing_includes: bool = False,
+                 policy: str = FAIL_FAST,
+                 max_errors: int | None = None) -> None:
+        if policy not in (FAIL_FAST, KEEP_GOING):
+            raise BuildError(f"unknown failure policy {policy!r}")
+        if max_errors is not None and max_errors < 0:
+            raise BuildError("max_errors must be non-negative")
+        self.filesystem = filesystem
+        self.registry = FileRegistry(filesystem)
+        self.include_paths = list(include_paths)
+        self.defines = dict(defines or {})
+        self.ignore_missing_includes = ignore_missing_includes
+        self.policy = policy
+        self.max_errors = max_errors
+        self.objects: dict[str, compiler.ObjectFile] = {}
+        self.modules: list[linker.Module] = []
+        self.report = BuildReport(policy=policy)
+
+    # -- public API ------------------------------------------------------------
+
+    def run_script(self, script: str) -> BuildReport:
+        """Replay a build script: one command per line, ``#`` comments."""
+        for line in script.splitlines():
+            command = line.strip()
+            if not command or command.startswith("#"):
+                continue
+            self.run(command)
+        return self.report
+
+    def run(self, command: str) -> None:
+        """Replay one intercepted compiler/linker command line."""
+        try:
+            invocation = compiler.parse_command_line(command)
+        except BuildError as error:
+            self._command_failure(command, error)
+            return
+        if invocation.compile_only:
+            for source in invocation.sources:
+                self._compile(source, invocation.object_path_for(source),
+                              invocation)
+        else:
+            self._link(invocation)
+
+    # -- compilation -----------------------------------------------------------
+
+    def _compile(self, source: str, object_path: str,
+                 invocation: compiler.CompilerInvocation,
+                 implicit: bool = False) -> compiler.ObjectFile | None:
+        """Compile one unit under fault isolation; None if it failed."""
+        include_paths = invocation.include_paths + self.include_paths
+        defines = {**self.defines, **invocation.defines}
+        try:
+            obj = compiler.compile_source(
+                self.registry, source, object_path,
+                include_paths=include_paths, defines=defines,
+                ignore_missing_includes=self.ignore_missing_includes,
+                command=invocation.command, implicit=implicit)
+        except FrontEndError as error:
+            if self.policy == FAIL_FAST:
+                raise
+            self._record(UnitOutcome(
+                source_path=source, object_path=object_path,
+                status=FAILED, command=invocation.command,
+                diagnostics=[_diagnostic_for(error, source)]))
+            return None
+        diagnostics = [
+            BuildDiagnostic(
+                category="preprocess", severity=WARNING,
+                message=f"include not found: {missing.name!r}",
+                file=source, line=missing.location.line,
+                column=missing.location.column)
+            for missing in obj.unit.missing_includes]
+        self.objects[object_path] = obj
+        self._record(UnitOutcome(
+            source_path=source, object_path=object_path,
+            status=DEGRADED if diagnostics else OK,
+            command=invocation.command, diagnostics=diagnostics))
+        return obj
+
+    # -- linking ---------------------------------------------------------------
+
+    def _link(self, invocation: compiler.CompilerInvocation) -> None:
+        output = invocation.output or "a.out"
+        objects: list[compiler.ObjectFile] = []
+        implicit_paths: list[str] = []
+        missing: list[str] = []
+        for kind, path in invocation.inputs:
+            if kind == "source":
+                # compiled inline on the link line — the paper's
+                # Figure 2 `gcc main.c foo.o -o prog` case
+                object_path = invocation.object_path_for(path)
+                obj = self._compile(path, object_path, invocation,
+                                    implicit=True)
+                if obj is not None:
+                    objects.append(obj)
+                    implicit_paths.append(object_path)
+                else:
+                    missing.append(object_path)
+            else:
+                obj = self.objects.get(path)
+                if obj is not None:
+                    objects.append(obj)
+                    continue
+                if self.policy == FAIL_FAST:
+                    raise LinkError(
+                        f"unknown object file {path!r} on link line "
+                        f"{invocation.command!r}")
+                missing.append(path)
+                self.report.link_diagnostics.append(BuildDiagnostic(
+                    category="link", severity=WARNING,
+                    message=f"skipping missing object {path!r} "
+                            "(its compile failed or never ran)",
+                    file=output))
+        module, issues = linker.link_module(
+            output, objects, implicit_object_paths=implicit_paths,
+            libraries=invocation.libraries, missing_object_paths=missing)
+        for issue in issues:
+            if issue.severity == linker.ERROR and \
+                    self.policy == FAIL_FAST:
+                raise LinkError(issue.message)
+            self.report.link_diagnostics.append(BuildDiagnostic(
+                category="link", severity=issue.severity,
+                message=issue.message, file=output))
+        self.modules.append(module)
+        self._check_budget()
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _command_failure(self, command: str, error: BuildError) -> None:
+        if self.policy == FAIL_FAST:
+            raise error
+        self._record(UnitOutcome(
+            source_path="", object_path="", status=FAILED,
+            command=command,
+            diagnostics=[BuildDiagnostic(category="command",
+                                         message=str(error))]))
+
+    def _record(self, outcome: UnitOutcome) -> None:
+        self.report.outcomes.append(outcome)
+        self._check_budget()
+
+    def _check_budget(self) -> None:
+        if self.max_errors is None:
+            return
+        count = self.report.error_count
+        if count > self.max_errors:
+            raise BuildDiagnosticError(
+                f"build stopped: {count} errors exceed the "
+                f"max_errors budget of {self.max_errors}",
+                diagnostics=self.report.diagnostics)
+
+
+def _diagnostic_for(error: FrontEndError, source: str) -> BuildDiagnostic:
+    for error_type, category in _CATEGORY_BY_ERROR:
+        if isinstance(error, error_type):
+            break
+    else:  # pragma: no cover - FrontEndError is the catch-all above
+        category = "frontend"
+    return BuildDiagnostic(
+        category=category,
+        message=getattr(error, "message", str(error)),
+        file=error.filename or source, line=error.line,
+        column=error.column)

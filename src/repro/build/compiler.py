@@ -1,0 +1,202 @@
+"""A gcc-like compiler driver.
+
+The paper's extractor is installed by pointing ``CC`` at a wrapper
+script, so the unit of work here is a *real command line*:
+``gcc -Iinclude drivers/sr.c -c -o drivers/sr.o``.  This module parses
+such lines into :class:`CompilerInvocation` and runs single translation
+units through the front-end pipeline (preprocess -> parse -> sema),
+producing :class:`ObjectFile` bundles — the in-memory analogue of a
+``.o`` with full symbol, AST and preprocessor information attached.
+
+Policy-free by design: a front-end failure propagates as the original
+:class:`~repro.errors.FrontEndError`.  Fault isolation (capturing the
+error as a diagnostic and continuing with the next unit) is the
+responsibility of :mod:`repro.build.buildsys`, which owns the failure
+policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import shlex
+
+from repro.errors import BuildError
+from repro.lang import sema
+from repro.lang.parser import parse_tokens
+from repro.lang.preprocessor import PreprocessedUnit, Preprocessor
+from repro.lang.source import FileRegistry
+
+#: Extensions treated as C sources on a command line.
+SOURCE_EXTENSIONS = (".c", ".i")
+
+#: Flags that consume the following argument but do not affect us.
+_SKIP_WITH_ARGUMENT = frozenset({
+    "-MF", "-MT", "-MQ", "-x", "-arch", "-include", "-imacros", "-T",
+    "-Xlinker", "-u", "-z",
+})
+
+
+@dataclasses.dataclass
+class CompilerInvocation:
+    """One parsed gcc-style command line.
+
+    ``inputs`` preserves the command-line order of positional inputs as
+    ``("source" | "object", path)`` pairs — link order is observable in
+    the graph (Table 1's ``LINK_ORDER``), so it must survive parsing.
+    """
+
+    command: str
+    program: str
+    inputs: list[tuple[str, str]]
+    output: str | None
+    compile_only: bool
+    include_paths: list[str]
+    defines: dict[str, str]
+    libraries: list[str]
+    library_paths: list[str]
+
+    @property
+    def sources(self) -> list[str]:
+        return [path for kind, path in self.inputs if kind == "source"]
+
+    @property
+    def objects(self) -> list[str]:
+        return [path for kind, path in self.inputs if kind == "object"]
+
+    @property
+    def links(self) -> bool:
+        return not self.compile_only
+
+    def object_path_for(self, source: str) -> str:
+        """Where the object for ``source`` lands.
+
+        With ``-c -o`` the answer is explicit; otherwise gcc's rule:
+        replace the source extension with ``.o`` (kept alongside the
+        source so paths stay unambiguous in a virtual tree).
+        """
+        if self.compile_only and self.output and len(self.sources) == 1:
+            return self.output
+        stem = source
+        for extension in SOURCE_EXTENSIONS:
+            if source.endswith(extension):
+                stem = source[:-len(extension)]
+                break
+        return stem + ".o"
+
+
+def parse_command_line(command: str) -> CompilerInvocation:
+    """Parse one gcc/cc/ld-style command line.
+
+    Unknown flags are skipped (a wrapper must survive the long tail of
+    real build-system flags); structurally broken lines — empty, no
+    inputs, ``-c`` over several sources with one ``-o`` — raise
+    :class:`BuildError`.
+    """
+    try:
+        argv = shlex.split(command)
+    except ValueError as error:
+        raise BuildError(f"unparseable command line {command!r}: {error}")
+    if len(argv) < 2:
+        raise BuildError(f"command line has no inputs: {command!r}")
+    invocation = CompilerInvocation(
+        command=command, program=argv[0], inputs=[], output=None,
+        compile_only=False, include_paths=[], defines={}, libraries=[],
+        library_paths=[])
+    index = 1
+    while index < len(argv):
+        argument = argv[index]
+        index += 1
+        if argument == "-c":
+            invocation.compile_only = True
+        elif argument == "-o":
+            invocation.output = _take(argv, index, command, "-o")
+            index += 1
+        elif argument.startswith("-I"):
+            path = argument[2:] or _take(argv, index, command, "-I")
+            if not argument[2:]:
+                index += 1
+            invocation.include_paths.append(path)
+        elif argument.startswith("-D"):
+            definition = argument[2:] or _take(argv, index, command, "-D")
+            if not argument[2:]:
+                index += 1
+            name, _, value = definition.partition("=")
+            invocation.defines[name] = value or "1"
+        elif argument.startswith("-isystem"):
+            path = argument[8:] or _take(argv, index, command, "-isystem")
+            if not argument[8:]:
+                index += 1
+            invocation.include_paths.append(path)
+        elif argument.startswith("-l"):
+            library = argument[2:] or _take(argv, index, command, "-l")
+            if not argument[2:]:
+                index += 1
+            invocation.libraries.append(library)
+        elif argument.startswith("-L"):
+            path = argument[2:] or _take(argv, index, command, "-L")
+            if not argument[2:]:
+                index += 1
+            invocation.library_paths.append(path)
+        elif argument in _SKIP_WITH_ARGUMENT:
+            index += 1  # flag's argument is irrelevant here
+        elif argument.startswith("-"):
+            continue  # -O2, -g, -Wall, -fPIC, -std=..., -shared, ...
+        elif argument.endswith(SOURCE_EXTENSIONS):
+            invocation.inputs.append(("source", argument))
+        else:
+            # anything else positional is linker input (.o, .a, .so)
+            invocation.inputs.append(("object", argument))
+    if not invocation.inputs:
+        raise BuildError(f"no input files: {command!r}")
+    if invocation.compile_only and invocation.output and \
+            len(invocation.sources) > 1:
+        raise BuildError(
+            f"cannot specify -o with -c and multiple sources: {command!r}")
+    if invocation.compile_only and invocation.objects:
+        raise BuildError(
+            f"object inputs are meaningless with -c: {command!r}")
+    return invocation
+
+
+def _take(argv: list[str], index: int, command: str, flag: str) -> str:
+    if index >= len(argv):
+        raise BuildError(
+            f"missing argument after {flag!r}: {command!r}")
+    return argv[index]
+
+
+@dataclasses.dataclass
+class ObjectFile:
+    """One compiled translation unit (the in-memory ``.o``)."""
+
+    path: str                  # object path, e.g. drivers/sr.o
+    source_path: str           # the .c it was compiled from
+    unit: PreprocessedUnit     # tokens, includes, macros, expansions
+    info: sema.UnitInfo        # symbols, references, exports/imports
+    command: str = ""          # the command line that produced it
+    implicit: bool = False     # compiled inline on a link line
+
+    @property
+    def degraded(self) -> bool:
+        """Compiled, but with includes missing — symbols may be absent."""
+        return bool(self.unit.missing_includes)
+
+
+def compile_source(registry: FileRegistry, source_path: str,
+                   object_path: str, include_paths=(), defines=None,
+                   ignore_missing_includes: bool = False,
+                   command: str = "", implicit: bool = False) -> ObjectFile:
+    """Run one translation unit through the full front end.
+
+    Raises the pipeline's own :class:`~repro.errors.FrontEndError`
+    subclasses on bad input; never partially registers a unit.
+    """
+    preprocessor = Preprocessor(
+        registry, include_paths=include_paths, predefined=defines,
+        ignore_missing_includes=ignore_missing_includes)
+    unit = preprocessor.preprocess(source_path)
+    tu = parse_tokens(unit.tokens, source_path)
+    info = sema.analyze(tu)
+    return ObjectFile(path=object_path, source_path=source_path,
+                      unit=unit, info=info, command=command,
+                      implicit=implicit)

@@ -1,0 +1,118 @@
+"""Cross-translation-unit symbol resolution (the linker simulator).
+
+Mirrors what the paper's ``ld`` wrapper learns: which objects make up a
+module, in what order, and how every external reference pairs with an
+external definition.  The extractor turns these :class:`Resolution`
+records into ``link_declares`` and ``link_matches`` edges (Table 1).
+
+Like :mod:`repro.build.compiler`, this module is policy-free: it never
+raises for link *anomalies*.  Duplicate definitions and undefined
+references are reported as :class:`LinkIssue` records and the caller
+(:mod:`repro.build.buildsys`) decides — under ``fail_fast`` a
+duplicate-definition issue becomes a :class:`~repro.errors.LinkError`,
+under ``keep_going`` it is a diagnostic and the first definition wins.
+Undefined references are always survivable: a virtual build has no
+libc, so unresolved ``printf`` must not sink the module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.build.compiler import ObjectFile
+from repro.lang.sema import Symbol
+
+#: LinkIssue severities.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclasses.dataclass
+class Resolution:
+    """One external name resolved inside a module.
+
+    ``references`` may be empty: an exported definition nobody links
+    against still yields a ``link_declares`` edge from the module.
+    """
+
+    definition: Symbol
+    references: list[tuple[Symbol, ObjectFile]] = \
+        dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class LinkIssue:
+    """A link-time anomaly, reported instead of raised."""
+
+    severity: str              # ERROR or WARNING
+    message: str
+    symbol: str = ""
+    object_path: str = ""
+
+
+@dataclasses.dataclass
+class Module:
+    """One linked output (executable, ``.o`` treated as module, lib)."""
+
+    path: str
+    objects: list[ObjectFile]
+    implicit_object_paths: set[str]
+    libraries: list[str]
+    resolutions: dict[str, Resolution]
+    undefined: dict[str, list[tuple[Symbol, ObjectFile]]] = \
+        dataclasses.field(default_factory=dict)
+    #: objects named on the link line whose compile failed (keep_going
+    #: builds link what survived; this records what was skipped)
+    missing_object_paths: list[str] = \
+        dataclasses.field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.missing_object_paths)
+
+
+def link_module(path: str, objects: Iterable[ObjectFile],
+                implicit_object_paths: Iterable[str] = (),
+                libraries: Iterable[str] = (),
+                missing_object_paths: Iterable[str] = (),
+                ) -> tuple[Module, list[LinkIssue]]:
+    """Resolve external symbols across ``objects``; first-wins merge.
+
+    Returns the module plus every anomaly observed.  Never raises.
+    """
+    objects = list(objects)
+    issues: list[LinkIssue] = []
+    exported: dict[str, tuple[Symbol, ObjectFile]] = {}
+    for obj in objects:
+        for name, symbol in obj.info.exported.items():
+            previous = exported.get(name)
+            if previous is not None:
+                issues.append(LinkIssue(
+                    ERROR,
+                    f"duplicate definition of '{name}' in "
+                    f"{obj.source_path} (first defined in "
+                    f"{previous[1].source_path})",
+                    symbol=name, object_path=obj.path))
+                continue
+            exported[name] = (symbol, obj)
+    resolutions = {name: Resolution(definition=symbol)
+                   for name, (symbol, _obj) in exported.items()}
+    undefined: dict[str, list[tuple[Symbol, ObjectFile]]] = {}
+    for obj in objects:
+        for name, symbol in obj.info.imported.items():
+            resolution = resolutions.get(name)
+            if resolution is None:
+                undefined.setdefault(name, []).append((symbol, obj))
+                continue
+            resolution.references.append((symbol, obj))
+    for name, references in undefined.items():
+        issues.append(LinkIssue(
+            WARNING, f"undefined reference to '{name}'", symbol=name,
+            object_path=references[0][1].path))
+    module = Module(path=path, objects=objects,
+                    implicit_object_paths=set(implicit_object_paths),
+                    libraries=list(libraries), resolutions=resolutions,
+                    undefined=undefined,
+                    missing_object_paths=list(missing_object_paths))
+    return module, issues

@@ -3,6 +3,7 @@
 Subcommands::
 
     frappe index   <source-dir> --script build.sh --out store/
+    frappe fsck    <store>
     frappe search  <store> NAME [--type T] [--module M]
     frappe query   <store> 'MATCH (n:function) RETURN n.short_name'
     frappe explain <store> '<cypher>'
@@ -27,9 +28,10 @@ from repro.codemap.render import overlay_nodes
 from repro.core.frappe import Frappe
 from repro.errors import FrappeError
 from repro.graphdb import stats
+from repro.graphdb import storage
 from repro.graphdb.storage import GraphStore
 from repro.lang.source import VirtualFileSystem
-from repro.build.buildsys import Build
+from repro.build.buildsys import FAIL_FAST, KEEP_GOING, Build
 from repro.core.extractor import extract_build
 
 
@@ -50,6 +52,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     index.add_argument("-I", "--include", action="append", default=[],
                        help="additional include path")
     index.add_argument("--ignore-missing-includes", action="store_true")
+    index.add_argument("--keep-going", action="store_true",
+                       help="record failed units as diagnostics and "
+                       "index what survives (default: stop at the "
+                       "first front-end error)")
+    index.add_argument("--max-errors", type=int, default=None,
+                       help="with --keep-going, abort once this many "
+                       "errors accumulate")
+
+    fsck = commands.add_parser(
+        "fsck", help="verify a store's checksums and record structure")
+    fsck.add_argument("store")
 
     search = commands.add_parser("search", help="code search (Fig. 3)")
     search.add_argument("store")
@@ -124,6 +137,8 @@ def main(argv: list[str] | None = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "index":
         return _cmd_index(args)
+    if args.command == "fsck":
+        return _cmd_fsck(args)
     if args.command == "search":
         return _cmd_search(args)
     if args.command == "query":
@@ -155,13 +170,32 @@ def _cmd_index(args: argparse.Namespace) -> int:
     with open(args.script, encoding="utf-8") as handle:
         script = handle.read()
     build = Build(filesystem, include_paths=args.include,
-                  ignore_missing_includes=args.ignore_missing_includes)
+                  ignore_missing_includes=args.ignore_missing_includes,
+                  policy=KEEP_GOING if args.keep_going else FAIL_FAST,
+                  max_errors=args.max_errors)
     build.run_script(script)
     graph = extract_build(build)
     sizes = GraphStore.write(graph, args.out)
     print(f"indexed {count} files -> {graph.node_count()} nodes, "
           f"{graph.edge_count()} edges")
+    report = build.report
+    if report.outcomes or report.link_diagnostics:
+        print(f"build: {report.summary()}")
+    for diagnostic in report.diagnostics:
+        print(f"  {diagnostic}", file=sys.stderr)
     print(f"store: {args.out} ({sizes['total'] / 1024:.1f} KiB)")
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    verification = GraphStore.verify(args.store)
+    print(verification.summary())
+    for problem in verification.problems:
+        print(f"  {problem}")
+    if verification.status == storage.CORRUPT:
+        return 1
+    if verification.status == storage.REPAIRABLE:
+        return 2
     return 0
 
 

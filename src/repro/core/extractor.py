@@ -55,6 +55,7 @@ class DependencyGraphExtractor:
     def extract_build(self, build: Build) -> PropertyGraph:
         """Extract everything a finished build knows."""
         self._extract_filesystem(build)
+        self._tag_failed_units(build)
         for obj in build.objects.values():
             self.extract_unit(obj)
         self._index_function_extents()
@@ -72,6 +73,30 @@ class DependencyGraphExtractor:
     def _extract_filesystem(self, build: Build) -> None:
         for source in build.registry.known_files():
             self._file_node(source.file_id, source.path)
+
+    def _tag_failed_units(self, build: Build) -> None:
+        """Mark file nodes whose translation unit failed to index.
+
+        A keep-going build yields a partial graph; queries must be able
+        to tell an unreferenced file from an unindexed one, so failed
+        sources carry ``index_status='failed'`` and the first
+        diagnostic's text.
+        """
+        report = getattr(build, "report", None)
+        if report is None:
+            return
+        by_path = {source.path: source.file_id
+                   for source in build.registry.known_files()}
+        for outcome in report.failed_units:
+            file_id = by_path.get(outcome.source_path)
+            node = self._file_nodes.get(file_id)
+            if node is None:
+                continue
+            self.graph.set_node_property(node, model.P_INDEX_STATUS,
+                                         "failed")
+            if outcome.diagnostics:
+                self.graph.set_node_property(node, model.P_INDEX_ERROR,
+                                             str(outcome.diagnostics[0]))
 
     def _file_node(self, file_id: int, path: str) -> int:
         existing = self._file_nodes.get(file_id)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Optional
 
-from repro.build.buildsys import Build
+from repro.build.buildsys import FAIL_FAST, Build, BuildReport
 from repro.core import model, queries, slicing
 from repro.core.extractor import extract_build
 from repro.cypher import CypherEngine, Result
@@ -41,6 +41,9 @@ class Frappe:
                  default_timeout: float | None = None) -> None:
         self.view = view
         self.engine = CypherEngine(view, default_timeout)
+        #: per-unit outcomes of the build this graph came from (None
+        #: for stores opened from disk)
+        self.build_report: BuildReport | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -48,19 +51,29 @@ class Frappe:
     def index_build(cls, build: Build,
                     default_timeout: float | None = None) -> "Frappe":
         """Extract a dependency graph from a finished build."""
-        return cls(extract_build(build), default_timeout)
+        frappe = cls(extract_build(build), default_timeout)
+        frappe.build_report = getattr(build, "report", None)
+        return frappe
 
     @classmethod
     def index_sources(cls, files: Mapping[str, str], build_script: str,
                       include_paths: Iterable[str] = (),
                       defines: Mapping[str, str] | None = None,
                       ignore_missing_includes: bool = False,
-                      default_timeout: float | None = None) -> "Frappe":
-        """Compile an in-memory source tree and index it."""
+                      default_timeout: float | None = None,
+                      policy: str = FAIL_FAST,
+                      max_errors: int | None = None) -> "Frappe":
+        """Compile an in-memory source tree and index it.
+
+        ``policy=KEEP_GOING`` indexes through broken translation units:
+        failures become diagnostics on the build report (reachable as
+        ``frappe.build_report``) and the graph is partial but valid.
+        """
         build = Build(VirtualFileSystem(dict(files)),
                       include_paths=include_paths,
                       defines=dict(defines or {}),
-                      ignore_missing_includes=ignore_missing_includes)
+                      ignore_missing_includes=ignore_missing_includes,
+                      policy=policy, max_errors=max_errors)
         build.run_script(build_script)
         return cls.index_build(build, default_timeout)
 

@@ -124,6 +124,9 @@ P_BIT_WIDTH = "bit_width"
 P_QUALIFIERS = "qualifiers"
 P_INDEX = "index"
 P_LINK_ORDER = "link_order"
+#: set on file nodes whose unit failed under a keep-going build.
+P_INDEX_STATUS = "index_status"
+P_INDEX_ERROR = "index_error"
 
 #: the keys kept in the lucene-style node auto index.
 AUTO_INDEX_KEYS = (P_SHORT_NAME, P_NAME, P_LONG_NAME, P_TYPE)

@@ -41,8 +41,13 @@ class PropertyTypeError(GraphError):
     """A property value is not one of the supported storable types."""
 
 
-class IndexError_(GraphError):
+class GraphIndexError(GraphError):
     """An index was queried or updated inconsistently."""
+
+
+#: Deprecated alias for :class:`GraphIndexError` (the historical name
+#: shadowed the ``IndexError`` builtin and needed a trailing underscore).
+IndexError_ = GraphIndexError
 
 
 class StoreError(GraphError):
@@ -51,6 +56,29 @@ class StoreError(GraphError):
 
 class StoreFormatError(StoreError):
     """A store file failed validation (bad magic, version, or record)."""
+
+
+class StoreCorruptionError(StoreFormatError, ValueError):
+    """A store file holds bytes that cannot be what the writer wrote.
+
+    Raised instead of decoding garbage when a read lands past the end of
+    a (likely truncated) store file or a record fails validation.
+    Carries the offending ``file`` path and byte ``offset`` so ``frappe
+    fsck`` and crash post-mortems can point at the exact damage.
+
+    Also subclasses :class:`ValueError` for compatibility with callers
+    that treated out-of-bounds store reads as value errors.
+    """
+
+    def __init__(self, message: str, file: str = "",
+                 offset: int | None = None) -> None:
+        location = ""
+        if file:
+            location = f" [{file}" + (
+                f" @ byte {offset}]" if offset is not None else "]")
+        super().__init__(f"{message}{location}")
+        self.file = file
+        self.offset = offset
 
 
 # --------------------------------------------------------------------------
@@ -107,6 +135,7 @@ class FrontEndError(FrappeError):
                  column: int = 0) -> None:
         location = f"{filename}:{line}:{column}: " if filename else ""
         super().__init__(f"{location}{message}")
+        self.message = message  # bare text, without the location prefix
         self.filename = filename
         self.line = line
         self.column = column
@@ -134,6 +163,22 @@ class LinkError(FrappeError):
 
 class BuildError(FrappeError):
     """A build description or compiler command line is invalid."""
+
+
+class BuildDiagnosticError(BuildError):
+    """A fault-tolerant build exceeded its error budget.
+
+    Under the ``keep_going`` failure policy, per-unit front-end errors
+    are captured as structured diagnostics in the
+    :class:`~repro.build.buildsys.BuildReport` instead of aborting the
+    build.  When ``max_errors`` is configured and the number of failed
+    units crosses it, the build stops by raising this error, carrying
+    the diagnostics collected so far in ``diagnostics``.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 # --------------------------------------------------------------------------

@@ -9,6 +9,10 @@ cache" means in the Table 5 benchmark protocol.
 """
 
 from repro.graphdb.storage.pagecache import PageCache, PagedFile
-from repro.graphdb.storage.store import GraphStore, StoreGraph
+from repro.graphdb.storage.store import (CLEAN, CORRUPT, REPAIRABLE,
+                                         GraphStore, StoreGraph,
+                                         StoreProblem, StoreVerification)
 
-__all__ = ["GraphStore", "PageCache", "PagedFile", "StoreGraph"]
+__all__ = ["CLEAN", "CORRUPT", "GraphStore", "PageCache", "PagedFile",
+           "REPAIRABLE", "StoreGraph", "StoreProblem",
+           "StoreVerification"]

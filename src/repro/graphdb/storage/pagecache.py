@@ -14,6 +14,8 @@ import os
 from collections import OrderedDict
 from typing import BinaryIO
 
+from repro.errors import StoreCorruptionError
+
 DEFAULT_PAGE_SIZE = 8192
 DEFAULT_CAPACITY_PAGES = 4096  # 32 MiB at the default page size
 
@@ -25,6 +27,10 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: reads that came back shorter than requested — a store file
+    #: truncated underneath a live reader; always paired with a
+    #: StoreCorruptionError, never with silently short data
+    short_reads: int = 0
 
     @property
     def accesses(self) -> int:
@@ -40,6 +46,7 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.short_reads = 0
 
 
 class PageCache:
@@ -109,19 +116,30 @@ class PagedFile:
         self._file_id = cache.register_file()
         self._handle: BinaryIO = open(path, "rb")
         self._size = os.fstat(self._handle.fileno()).st_size
+        self._closed = False
 
     @property
     def size(self) -> int:
         return self._size
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def read(self, offset: int, length: int) -> bytes:
-        """Read *length* bytes at *offset*, page by page through the cache."""
+        """Read *length* bytes at *offset*, page by page through the cache.
+
+        Raises :class:`StoreCorruptionError` (a ``ValueError``) when the
+        request lands outside the file, and on *short reads*: the file
+        advertised enough bytes at open time but a page came back short
+        — the signature of a store file truncated underneath us.
+        """
         if length <= 0:
             return b""
         if offset < 0 or offset + length > self._size:
-            raise ValueError(
+            raise StoreCorruptionError(
                 f"read [{offset}, {offset + length}) outside file "
-                f"{self.path!r} of size {self._size}")
+                f"of size {self._size}", file=self.path, offset=offset)
         page_size = self._cache.page_size
         first_page = offset // page_size
         last_page = (offset + length - 1) // page_size
@@ -129,20 +147,33 @@ class PagedFile:
             page = self._cache.get_page(self._file_id, first_page,
                                         self._handle)
             start = offset - first_page * page_size
-            return page[start:start + length]
-        chunks = []
-        remaining = length
-        position = offset
-        for page_no in range(first_page, last_page + 1):
-            page = self._cache.get_page(self._file_id, page_no, self._handle)
-            start = position - page_no * page_size
-            take = min(remaining, page_size - start)
-            chunks.append(page[start:start + take])
-            position += take
-            remaining -= take
-        return b"".join(chunks)
+            data = page[start:start + length]
+        else:
+            chunks = []
+            remaining = length
+            position = offset
+            for page_no in range(first_page, last_page + 1):
+                page = self._cache.get_page(self._file_id, page_no,
+                                            self._handle)
+                start = position - page_no * page_size
+                take = min(remaining, page_size - start)
+                chunks.append(page[start:start + take])
+                position += take
+                remaining -= take
+            data = b"".join(chunks)
+        if len(data) != length:
+            self._cache.stats.short_reads += 1
+            raise StoreCorruptionError(
+                f"short read: wanted {length} bytes, file (size "
+                f"{self._size} at open) yielded {len(data)} — "
+                "truncated after open", file=self.path, offset=offset)
+        return data
 
     def close(self) -> None:
+        """Release the handle and cached pages; safe to call twice."""
+        if self._closed:
+            return
+        self._closed = True
         self._cache.invalidate_file(self._file_id)
         self._handle.close()
 

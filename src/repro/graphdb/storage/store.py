@@ -28,12 +28,16 @@ Table 5 benchmark protocol.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import os
+import shutil
 import struct
-from typing import Any, Collection, Iterable, Iterator
+import zlib
+from typing import Any, Callable, Collection, Iterable, Iterator
 
-from repro.errors import (EdgeNotFoundError, NodeNotFoundError, StoreError,
+from repro.errors import (EdgeNotFoundError, NodeNotFoundError,
+                          StoreCorruptionError, StoreError,
                           StoreFormatError)
 from repro.graphdb import luceneql
 from repro.graphdb.storage import records
@@ -53,6 +57,9 @@ STRING_OFFSETS_FILE = "stringstore.offsets.db"
 INDEX_POSTINGS_FILE = "index.postings.db"
 INDEX_DICT_FILE = "index.dict.json"
 
+#: Written last during a commit; its presence marks a complete store.
+MANIFEST_FILE = "manifest.json"
+
 ALL_FILES = (METADATA_FILE, NODE_FILE, REL_FILE, ADJ_FILE, PROP_FILE,
              STRING_FILE, STRING_OFFSETS_FILE, INDEX_POSTINGS_FILE,
              INDEX_DICT_FILE)
@@ -64,6 +71,64 @@ SIZE_CATEGORIES = {
     "properties": (PROP_FILE, STRING_FILE, STRING_OFFSETS_FILE),
     "indexes": (INDEX_POSTINGS_FILE, INDEX_DICT_FILE),
 }
+
+#: file name -> fsck category ("metadata" for the bookkeeping files).
+CATEGORY_BY_FILE = {name: category
+                    for category, names in SIZE_CATEGORIES.items()
+                    for name in names}
+CATEGORY_BY_FILE[METADATA_FILE] = "metadata"
+CATEGORY_BY_FILE[MANIFEST_FILE] = "metadata"
+
+#: :meth:`GraphStore.verify` statuses.
+CLEAN = "clean"
+REPAIRABLE = "repairable"
+CORRUPT = "corrupt"
+
+
+@dataclasses.dataclass
+class StoreProblem:
+    """One defect :meth:`GraphStore.verify` found, located precisely."""
+
+    file: str                  # store file name, e.g. nodestore.db
+    category: str              # nodes|relationships|properties|indexes|metadata
+    message: str
+    offset: int | None = None  # byte offset when known
+
+    def __str__(self) -> str:
+        location = f" @ byte {self.offset}" if self.offset is not None \
+            else ""
+        return f"[{self.category}] {self.file}{location}: {self.message}"
+
+
+@dataclasses.dataclass
+class StoreVerification:
+    """The fsck verdict for one store directory.
+
+    ``status`` is :data:`CLEAN` (no problems), :data:`REPAIRABLE`
+    (damage confined to the index files, which are derivable from the
+    record stores), or :data:`CORRUPT` (primary data damaged).
+    """
+
+    directory: str
+    status: str
+    problems: list[StoreProblem] = dataclasses.field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == CLEAN
+
+    def problems_in(self, category: str) -> list[StoreProblem]:
+        return [p for p in self.problems if p.category == category]
+
+    def corrupt_files(self) -> list[str]:
+        return sorted({p.file for p in self.problems})
+
+    def summary(self) -> str:
+        if not self.problems:
+            return f"{self.directory}: clean"
+        return (f"{self.directory}: {self.status} — "
+                f"{len(self.problems)} problem(s) in "
+                f"{', '.join(self.corrupt_files())}")
 
 
 class _TokenTable:
@@ -90,8 +155,9 @@ class _TokenTable:
 class _StringStoreWriter:
     """Appends interned strings/blobs; produces the offsets table."""
 
-    def __init__(self, path: str) -> None:
-        self._handle = open(path, "wb")
+    def __init__(self, path: str, opener: Callable[..., Any] = open) -> None:
+        self._opener = opener
+        self._handle = opener(path, "wb")
         self._offsets: list[int] = []
         self._position = 0
         self._interned: dict[bytes, int] = {}
@@ -113,7 +179,7 @@ class _StringStoreWriter:
 
     def finish(self, offsets_path: str) -> None:
         self._handle.close()
-        with open(offsets_path, "wb") as handle:
+        with self._opener(offsets_path, "wb") as handle:
             handle.write(struct.pack(f"<{len(self._offsets)}Q",
                                      *self._offsets))
 
@@ -122,26 +188,90 @@ class GraphStore:
     """Namespace for store write/open/size operations."""
 
     @staticmethod
-    def write(graph: GraphView, directory: str) -> dict[str, int]:
+    def write(graph: GraphView, directory: str, *,
+              injector: Any = None) -> dict[str, int]:
         """Serialize *graph* into *directory*; returns the size breakdown.
 
         The graph's node/edge ids become the store's record ids, so ids
         are stable across a write/open round trip.
+
+        The write is **atomic at the directory level**: everything goes
+        to a ``<directory>.tmp`` sibling first, every file is fsynced,
+        a CRC32 :data:`MANIFEST_FILE` seals the staging directory, and
+        only then is the old store displaced (``<directory>.old``) and
+        the staging directory renamed into place.  A crash at any step
+        leaves either the complete old store or the complete new store
+        on disk — :meth:`open` runs :meth:`recover` to finish or roll
+        back an interrupted swap.
+
+        ``injector`` (keyword-only, used by the fault-injection tests)
+        is a :class:`repro.graphdb.storage.faults.FaultInjector`-shaped
+        object: its ``checkpoint(label)`` is called at every durability
+        step and its ``open(path, mode)`` supplies the output streams.
         """
-        os.makedirs(directory, exist_ok=True)
+        directory = directory.rstrip("/\\") or directory
+        staging = directory + ".tmp"
+        previous = directory + ".old"
+        opener: Callable[..., Any] = \
+            injector.open if injector is not None else open
+
+        def checkpoint(label: str) -> None:
+            if injector is not None:
+                injector.checkpoint(label)
+
+        if os.path.exists(staging):
+            shutil.rmtree(staging)
+        os.makedirs(staging)
+        GraphStore._write_contents(graph, staging, opener, checkpoint)
+
+        for name in ALL_FILES:
+            _fsync_file(os.path.join(staging, name))
+        checkpoint("files_synced")
+
+        manifest: dict[str, Any] = {"version": 1, "files": {}}
+        for name in ALL_FILES:
+            path = os.path.join(staging, name)
+            manifest["files"][name] = {"size": os.path.getsize(path),
+                                       "crc32": _crc32_file(path)}
+        manifest_path = os.path.join(staging, MANIFEST_FILE)
+        with opener(manifest_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+        _fsync_file(manifest_path)
+        _fsync_dir(staging)
+        checkpoint("manifest_written")
+
+        if os.path.exists(previous):
+            shutil.rmtree(previous)
+        if os.path.exists(directory):
+            os.rename(directory, previous)
+            checkpoint("old_store_displaced")
+        os.rename(staging, directory)
+        _fsync_dir(os.path.dirname(directory) or ".")
+        checkpoint("new_store_committed")
+        if os.path.exists(previous):
+            shutil.rmtree(previous)
+        checkpoint("old_store_removed")
+        return GraphStore.size_breakdown(directory)
+
+    @staticmethod
+    def _write_contents(graph: GraphView, directory: str,
+                        opener: Callable[..., Any],
+                        checkpoint: Callable[[str], None]) -> None:
+        """Serialize every store file of *graph* into *directory*."""
         key_tokens = _TokenTable()
         type_tokens = _TokenTable()
         label_tokens = _TokenTable()
         labelsets: dict[frozenset[str], int] = {}
         labelset_rows: list[list[int]] = []
 
-        strings = _StringStoreWriter(os.path.join(directory, STRING_FILE))
+        strings = _StringStoreWriter(os.path.join(directory, STRING_FILE),
+                                     opener)
 
         # property store ---------------------------------------------------
         prop_path = os.path.join(directory, PROP_FILE)
         prop_offsets_nodes: dict[int, int] = {}
         prop_offsets_edges: dict[int, int] = {}
-        with open(prop_path, "wb") as prop_handle:
+        with opener(prop_path, "wb") as prop_handle:
             position = 0
 
             def write_props(properties: dict[str, Any]) -> int:
@@ -167,10 +297,12 @@ class GraphStore:
                 prop_offsets_edges[edge_id] = write_props(
                     graph.edge_properties(edge_id))
 
+        checkpoint("properties_written")
+
         # adjacency store ----------------------------------------------------
         adj_path = os.path.join(directory, ADJ_FILE)
         adjacency: dict[int, tuple[int, int]] = {}
-        with open(adj_path, "wb") as adj_handle:
+        with opener(adj_path, "wb") as adj_handle:
             position = 0
             for node_id in graph.node_ids():
                 out_groups = _group_edges(graph, node_id, Direction.OUT,
@@ -182,10 +314,12 @@ class GraphStore:
                 adjacency[node_id] = (position, len(block))
                 position += len(block)
 
+        checkpoint("adjacency_written")
+
         # node store -----------------------------------------------------------
         high_node = max(graph.node_ids(), default=-1) + 1
         node_path = os.path.join(directory, NODE_FILE)
-        with open(node_path, "wb") as node_handle:
+        with opener(node_path, "wb") as node_handle:
             hole = records.encode_node(False, 0, records.NO_OFFSET, 0, 0)
             for node_id in range(high_node):
                 if not graph.has_node(node_id):
@@ -203,10 +337,12 @@ class GraphStore:
                     True, labelset_id, prop_offsets_nodes[node_id],
                     adj_offset, adj_length))
 
+        checkpoint("nodes_written")
+
         # relationship store -------------------------------------------------------
         high_edge = max(graph.edge_ids(), default=-1) + 1
         rel_path = os.path.join(directory, REL_FILE)
-        with open(rel_path, "wb") as rel_handle:
+        with opener(rel_path, "wb") as rel_handle:
             hole = records.encode_rel(False, 0, 0, 0, records.NO_OFFSET)
             for edge_id in range(high_edge):
                 if not graph.has_edge(edge_id):
@@ -219,11 +355,15 @@ class GraphStore:
                     graph.edge_target(edge_id),
                     prop_offsets_edges[edge_id]))
 
+        checkpoint("relationships_written")
+
         strings.finish(os.path.join(directory, STRING_OFFSETS_FILE))
+        checkpoint("strings_written")
 
         # index files ------------------------------------------------------------
         auto_keys = tuple(getattr(graph.indexes, "auto_index_keys", ()))
-        _write_index_files(graph, directory, auto_keys)
+        _write_index_files(graph, directory, auto_keys, opener)
+        checkpoint("indexes_written")
 
         # metadata ------------------------------------------------------------------
         metadata = {
@@ -239,15 +379,24 @@ class GraphStore:
             "labelsets": labelset_rows,
             "auto_index_keys": list(auto_keys),
         }
-        with open(os.path.join(directory, METADATA_FILE), "w",
-                  encoding="utf-8") as handle:
+        with opener(os.path.join(directory, METADATA_FILE), "w",
+                    encoding="utf-8") as handle:
             json.dump(metadata, handle)
-        return GraphStore.size_breakdown(directory)
+        checkpoint("metadata_written")
 
     @staticmethod
     def open(directory: str,
              page_cache: PageCache | None = None) -> "StoreGraph":
-        """Open a store directory as a read-only graph view."""
+        """Open a store directory as a read-only graph view.
+
+        Runs best-effort crash :meth:`recover` first, so a directory
+        left mid-swap by a crashed :meth:`write` opens as either the
+        complete old or the complete new store.  Checksums are *not*
+        verified here (that is :meth:`verify` / ``frappe fsck``) — open
+        stays O(metadata), corruption surfaces as precise
+        :class:`StoreCorruptionError`\\ s on access.
+        """
+        GraphStore.recover(directory)
         metadata_path = os.path.join(directory, METADATA_FILE)
         if not os.path.exists(metadata_path):
             raise StoreError(f"not a graph store: {directory!r}")
@@ -261,6 +410,350 @@ class GraphStore:
                 f"(expected {FORMAT_VERSION})")
         return StoreGraph(directory, metadata,
                           page_cache or PageCache())
+
+    @staticmethod
+    def recover(directory: str) -> str | None:
+        """Finish or roll back an interrupted :meth:`write` swap.
+
+        Returns ``"rolled_forward"`` (the sealed staging directory
+        became the store), ``"rolled_back"`` (the displaced old store
+        was restored), or ``None`` (nothing to do).  Stale siblings of
+        a complete store are removed either way.  Never raises for an
+        ordinary non-store directory.
+        """
+        directory = directory.rstrip("/\\") or directory
+        staging = directory + ".tmp"
+        previous = directory + ".old"
+        action = None
+        if not GraphStore._commit_complete(directory):
+            if GraphStore._commit_complete(staging):
+                # crash after the manifest sealed staging: roll forward
+                if os.path.exists(directory):
+                    shutil.rmtree(directory)
+                os.rename(staging, directory)
+                action = "rolled_forward"
+            elif GraphStore._commit_complete(previous):
+                # crash before staging was sealed: roll back
+                if os.path.exists(directory):
+                    shutil.rmtree(directory)
+                os.rename(previous, directory)
+                action = "rolled_back"
+        if GraphStore._commit_complete(directory):
+            for leftover in (staging, previous):
+                if os.path.exists(leftover):
+                    shutil.rmtree(leftover, ignore_errors=True)
+        return action
+
+    @staticmethod
+    def _commit_complete(directory: str) -> bool:
+        """Did a write commit fully here?
+
+        The manifest is written last, so its presence seals the commit
+        — but a torn manifest write must not count, so it also has to
+        parse.  (Its checksums are *not* validated here; that is
+        :meth:`verify`'s job.)
+        """
+        if not (os.path.isdir(directory) and os.path.exists(
+                os.path.join(directory, METADATA_FILE))):
+            return False
+        try:
+            with open(os.path.join(directory, MANIFEST_FILE),
+                      encoding="utf-8") as handle:
+                return isinstance(json.load(handle), dict)
+        except (OSError, ValueError):
+            return False
+
+    @staticmethod
+    def verify(directory: str) -> StoreVerification:
+        """Full integrity check: checksums plus record-level validation.
+
+        Classifies the store as :data:`CLEAN`, :data:`REPAIRABLE`
+        (problems confined to the derivable index files) or
+        :data:`CORRUPT`, with one :class:`StoreProblem` per defect
+        naming the exact file, Table 4 category and (where known) byte
+        offset.  This is the engine behind ``frappe fsck``.
+        """
+        problems: list[StoreProblem] = []
+        metadata_path = os.path.join(directory, METADATA_FILE)
+        if not os.path.exists(metadata_path):
+            problems.append(StoreProblem(
+                METADATA_FILE, "metadata",
+                "missing metadata — not a graph store"))
+            return StoreVerification(directory, CORRUPT, problems)
+        try:
+            with open(metadata_path, encoding="utf-8") as handle:
+                metadata = json.load(handle)
+            if not isinstance(metadata, dict):
+                raise ValueError("metadata is not a JSON object")
+        except (OSError, ValueError) as error:
+            problems.append(StoreProblem(
+                METADATA_FILE, "metadata", f"unreadable: {error}"))
+            return StoreVerification(directory, CORRUPT, problems)
+        if metadata.get("magic") != MAGIC:
+            problems.append(StoreProblem(METADATA_FILE, "metadata",
+                                         "bad magic"))
+        if metadata.get("version") != FORMAT_VERSION:
+            problems.append(StoreProblem(
+                METADATA_FILE, "metadata",
+                f"unsupported version {metadata.get('version')!r}"))
+        if problems:
+            return StoreVerification(directory, CORRUPT, problems)
+
+        problems.extend(GraphStore._verify_checksums(directory))
+        problems.extend(GraphStore._verify_records(directory, metadata))
+
+        if not problems:
+            status = CLEAN
+        elif {p.category for p in problems} <= {"indexes"}:
+            status = REPAIRABLE
+        else:
+            status = CORRUPT
+        return StoreVerification(directory, status, problems)
+
+    @staticmethod
+    def _verify_checksums(directory: str) -> list[StoreProblem]:
+        """Compare every store file against the CRC32 manifest."""
+        problems: list[StoreProblem] = []
+        manifest_path = os.path.join(directory, MANIFEST_FILE)
+        if not os.path.exists(manifest_path):
+            problems.append(StoreProblem(
+                MANIFEST_FILE, "metadata", "missing checksum manifest "
+                "(store was not committed by an atomic write)"))
+            return problems
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            files = dict(manifest["files"])
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            problems.append(StoreProblem(
+                MANIFEST_FILE, "metadata",
+                f"unreadable manifest: {error}"))
+            return problems
+        for name, entry in sorted(files.items()):
+            category = CATEGORY_BY_FILE.get(name, "metadata")
+            path = os.path.join(directory, name)
+            if not os.path.exists(path):
+                problems.append(StoreProblem(
+                    name, category, "file missing"))
+                continue
+            size = os.path.getsize(path)
+            if size != entry.get("size"):
+                problems.append(StoreProblem(
+                    name, category,
+                    f"size {size} != manifest size {entry.get('size')}",
+                    offset=min(size, entry.get("size") or 0)))
+            elif _crc32_file(path) != entry.get("crc32"):
+                problems.append(StoreProblem(
+                    name, category, "CRC32 checksum mismatch"))
+        return problems
+
+    @staticmethod
+    def _verify_records(directory: str,
+                        metadata: dict[str, Any]) -> list[StoreProblem]:
+        """Record-level validation of every store file's structure."""
+        problems: list[StoreProblem] = []
+
+        def load(name: str) -> bytes | None:
+            path = os.path.join(directory, name)
+            try:
+                with open(path, "rb") as handle:
+                    return handle.read()
+            except OSError as error:
+                problems.append(StoreProblem(
+                    name, CATEGORY_BY_FILE.get(name, "metadata"),
+                    f"unreadable: {error}"))
+                return None
+
+        try:
+            high_node = int(metadata["high_node_id"])
+            high_edge = int(metadata["high_edge_id"])
+            labelset_count = len(metadata["labelsets"])
+            key_count = len(metadata["key_tokens"])
+            type_count = len(metadata["type_tokens"])
+        except (KeyError, TypeError, ValueError) as error:
+            problems.append(StoreProblem(
+                METADATA_FILE, "metadata", f"malformed metadata: {error}"))
+            return problems
+
+        nodes_raw = load(NODE_FILE)
+        rels_raw = load(REL_FILE)
+        adj_raw = load(ADJ_FILE)
+        props_raw = load(PROP_FILE)
+        strings_raw = load(STRING_FILE)
+        offsets_raw = load(STRING_OFFSETS_FILE)
+
+        string_count = None
+        if offsets_raw is not None:
+            if len(offsets_raw) % 8:
+                problems.append(StoreProblem(
+                    STRING_OFFSETS_FILE, "properties",
+                    f"size {len(offsets_raw)} not a u64 multiple",
+                    offset=len(offsets_raw) - len(offsets_raw) % 8))
+            else:
+                string_count = len(offsets_raw) // 8
+                offsets = struct.unpack(f"<{string_count}Q", offsets_raw)
+                if strings_raw is not None:
+                    for index, offset in enumerate(offsets):
+                        if offset + 4 > len(strings_raw):
+                            problems.append(StoreProblem(
+                                STRING_FILE, "properties",
+                                f"string {index} starts past EOF",
+                                offset=offset))
+                            continue
+                        length = records.decode_string_run_length(
+                            strings_raw[offset:offset + 4])
+                        if offset + 4 + length > len(strings_raw):
+                            problems.append(StoreProblem(
+                                STRING_FILE, "properties",
+                                f"string {index} run truncated",
+                                offset=offset))
+
+        checked_blocks: set[int] = set()
+
+        def check_props(offset: int, owner: str) -> None:
+            if offset == records.NO_OFFSET or props_raw is None or \
+                    offset in checked_blocks:
+                return
+            checked_blocks.add(offset)
+            if offset + 2 > len(props_raw):
+                problems.append(StoreProblem(
+                    PROP_FILE, "properties",
+                    f"property block of {owner} starts past EOF",
+                    offset=offset))
+                return
+            count = records.decode_property_block_header(
+                props_raw[offset:offset + 2])
+            end = offset + records.property_block_size(count)
+            if end > len(props_raw):
+                problems.append(StoreProblem(
+                    PROP_FILE, "properties",
+                    f"property block of {owner} truncated "
+                    f"(needs {end - len(props_raw)} more bytes)",
+                    offset=offset))
+                return
+            for key_token, tag, payload in records.decode_property_entries(
+                    props_raw[offset:end], count):
+                if key_token >= key_count:
+                    problems.append(StoreProblem(
+                        PROP_FILE, "properties",
+                        f"unknown key token {key_token} in block of "
+                        f"{owner}", offset=offset))
+                if tag in (records.TAG_STRING, records.TAG_LIST,
+                           records.TAG_BIGINT):
+                    if string_count is not None and payload >= string_count:
+                        problems.append(StoreProblem(
+                            PROP_FILE, "properties",
+                            f"bad string id {payload} in block of "
+                            f"{owner}", offset=offset))
+                elif tag not in (records.TAG_INT, records.TAG_FLOAT,
+                                 records.TAG_BOOL):
+                    problems.append(StoreProblem(
+                        PROP_FILE, "properties",
+                        f"unknown property tag {tag} in block of "
+                        f"{owner}", offset=offset))
+
+        live_nodes = 0
+        if nodes_raw is not None:
+            expected = high_node * records.NODE_RECORD_SIZE
+            if len(nodes_raw) != expected:
+                problems.append(StoreProblem(
+                    NODE_FILE, "nodes",
+                    f"size {len(nodes_raw)} != {expected} "
+                    f"({high_node} records)",
+                    offset=min(len(nodes_raw), expected)))
+            for node_id in range(
+                    min(high_node,
+                        len(nodes_raw) // records.NODE_RECORD_SIZE)):
+                at = node_id * records.NODE_RECORD_SIZE
+                record = records.decode_node(
+                    nodes_raw[at:at + records.NODE_RECORD_SIZE])
+                if not record[0]:
+                    continue
+                live_nodes += 1
+                if record[1] >= labelset_count:
+                    problems.append(StoreProblem(
+                        NODE_FILE, "nodes",
+                        f"node {node_id} has unknown labelset "
+                        f"{record[1]}", offset=at))
+                check_props(record[2], f"node {node_id}")
+                if adj_raw is not None and \
+                        record[3] + record[4] > len(adj_raw):
+                    problems.append(StoreProblem(
+                        ADJ_FILE, "relationships",
+                        f"adjacency block of node {node_id} past EOF",
+                        offset=record[3]))
+            if len(nodes_raw) == expected and \
+                    live_nodes != metadata.get("node_count"):
+                problems.append(StoreProblem(
+                    METADATA_FILE, "metadata",
+                    f"metadata node_count {metadata.get('node_count')} "
+                    f"!= {live_nodes} live records"))
+
+        live_edges = 0
+        if rels_raw is not None:
+            expected = high_edge * records.REL_RECORD_SIZE
+            if len(rels_raw) != expected:
+                problems.append(StoreProblem(
+                    REL_FILE, "relationships",
+                    f"size {len(rels_raw)} != {expected} "
+                    f"({high_edge} records)",
+                    offset=min(len(rels_raw), expected)))
+            for edge_id in range(
+                    min(high_edge,
+                        len(rels_raw) // records.REL_RECORD_SIZE)):
+                at = edge_id * records.REL_RECORD_SIZE
+                record = records.decode_rel(
+                    rels_raw[at:at + records.REL_RECORD_SIZE])
+                if not record[0]:
+                    continue
+                live_edges += 1
+                if record[1] >= type_count:
+                    problems.append(StoreProblem(
+                        REL_FILE, "relationships",
+                        f"edge {edge_id} has unknown type token "
+                        f"{record[1]}", offset=at))
+                if record[2] >= high_node or record[3] >= high_node:
+                    problems.append(StoreProblem(
+                        REL_FILE, "relationships",
+                        f"edge {edge_id} endpoints ({record[2]}, "
+                        f"{record[3]}) outside node space", offset=at))
+                check_props(record[4], f"edge {edge_id}")
+            if len(rels_raw) == expected and \
+                    live_edges != metadata.get("edge_count"):
+                problems.append(StoreProblem(
+                    METADATA_FILE, "metadata",
+                    f"metadata edge_count {metadata.get('edge_count')} "
+                    f"!= {live_edges} live records"))
+
+        # index files: dictionary must parse, postings must be in range
+        postings_size = None
+        postings_path = os.path.join(directory, INDEX_POSTINGS_FILE)
+        if os.path.exists(postings_path):
+            postings_size = os.path.getsize(postings_path)
+        else:
+            problems.append(StoreProblem(INDEX_POSTINGS_FILE, "indexes",
+                                         "file missing"))
+        dict_path = os.path.join(directory, INDEX_DICT_FILE)
+        try:
+            with open(dict_path, encoding="utf-8") as handle:
+                dictionary = json.load(handle)
+            entries: list[tuple[int, int]] = []
+            for terms in dictionary.get("auto", {}).values():
+                entries.extend(tuple(entry) for entry in terms.values())
+            entries.extend(tuple(entry) for entry in
+                           dictionary.get("labels", {}).values())
+            if postings_size is not None:
+                for offset, count in entries:
+                    if offset + 8 * count > postings_size:
+                        problems.append(StoreProblem(
+                            INDEX_POSTINGS_FILE, "indexes",
+                            f"postings run of {count} ids past EOF",
+                            offset=offset))
+        except (OSError, ValueError, TypeError) as error:
+            problems.append(StoreProblem(
+                INDEX_DICT_FILE, "indexes",
+                f"unreadable dictionary: {error}"))
+        return problems
 
     @staticmethod
     def size_breakdown(directory: str) -> dict[str, int]:
@@ -305,8 +798,41 @@ def _encode_value(value: Any,
     raise StoreFormatError(f"unstorable property value {value!r}")
 
 
+def _fsync_file(path: str) -> None:
+    """Force one file's contents to stable storage."""
+    descriptor = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(descriptor)
+    finally:
+        os.close(descriptor)
+
+
+def _fsync_dir(path: str) -> None:
+    """Force a directory entry to stable storage (best effort)."""
+    try:
+        descriptor = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(descriptor)
+    except OSError:
+        pass  # some filesystems refuse directory fsync
+    finally:
+        os.close(descriptor)
+
+
+def _crc32_file(path: str, chunk_size: int = 1 << 20) -> int:
+    """Streaming CRC32 of a whole file (for the manifest)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(chunk_size), b""):
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
 def _write_index_files(graph: GraphView, directory: str,
-                       auto_keys: tuple[str, ...]) -> None:
+                       auto_keys: tuple[str, ...],
+                       opener: Callable[..., Any] = open) -> None:
     """Serialize auto-index and label postings.
 
     Dictionary (term -> postings offset/count) goes to JSON and is
@@ -316,7 +842,7 @@ def _write_index_files(graph: GraphView, directory: str,
     """
     postings_path = os.path.join(directory, INDEX_POSTINGS_FILE)
     dictionary: dict[str, Any] = {"auto": {}, "labels": {}}
-    with open(postings_path, "wb") as handle:
+    with opener(postings_path, "wb") as handle:
         position = 0
 
         def write_postings(ids: list[int]) -> tuple[int, int]:
@@ -347,8 +873,8 @@ def _write_index_files(graph: GraphView, directory: str,
         dictionary["labels"] = {
             label: write_postings(ids)
             for label, ids in sorted(labels.items())}
-    with open(os.path.join(directory, INDEX_DICT_FILE), "w",
-              encoding="utf-8") as handle:
+    with opener(os.path.join(directory, INDEX_DICT_FILE), "w",
+                encoding="utf-8") as handle:
         json.dump(dictionary, handle)
 
 
@@ -376,6 +902,15 @@ class StoreIndexes:
     @property
     def auto_index_keys(self) -> tuple[str, ...]:
         return tuple(self._auto)
+
+    @property
+    def postings_file(self) -> PagedFile:
+        """The paged postings file (owned by these indexes)."""
+        return self._postings
+
+    def close(self) -> None:
+        """Release the postings file; safe to call twice."""
+        self._postings.close()
 
     def lookup(self, key: str, value: Any) -> Iterator[int]:
         entry = self._auto.get(key.lower(), {}).get(_index_term(value))
@@ -494,9 +1029,11 @@ class StoreGraph:
         self._edge_prop_cache.clear()
 
     def close(self) -> None:
-        for paged_file in (self._nodes, self._rels, self._adj, self._props,
-                           self._strings, self._indexes._postings):
+        """Release every underlying file; safe to call twice."""
+        for paged_file in (self._nodes, self._rels, self._adj,
+                           self._props, self._strings):
             paged_file.close()
+        self._indexes.close()
 
     def __enter__(self) -> "StoreGraph":
         return self
@@ -678,10 +1215,19 @@ class StoreGraph:
     def _read_props(self, paged: PagedFile, offset: int) -> dict[str, Any]:
         if offset == records.NO_OFFSET:
             return {}
-        header = paged.read(offset, min(2, paged.size - offset))
+        if offset < 0 or offset + 2 > paged.size:
+            raise StoreCorruptionError(
+                "truncated property block header", file=paged.path,
+                offset=offset)
         count = records.decode_property_block_header(
-            header.ljust(2, b"\x00"))
-        block = paged.read(offset, records.property_block_size(count))
+            paged.read(offset, 2))
+        block_size = records.property_block_size(count)
+        if offset + block_size > paged.size:
+            raise StoreCorruptionError(
+                f"property block of {count} entries overruns the file "
+                f"(needs {offset + block_size - paged.size} more bytes)",
+                file=paged.path, offset=offset)
+        block = paged.read(offset, block_size)
         properties = {}
         for key_token, tag, payload in records.decode_property_entries(
                 block, count):

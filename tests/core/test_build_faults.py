@@ -1,0 +1,172 @@
+"""Fault-tolerant indexing: broken translation units must not sink a
+build.
+
+The paper indexes an 11.4 MLoC kernel tree; at that scale some units
+always fail to parse.  Under ``keep_going`` the pipeline records a
+structured diagnostic per failed unit, links what survived, and still
+produces a queryable (partial) graph.  Under ``fail_fast`` the first
+front-end error propagates unchanged.
+"""
+
+import pytest
+
+from repro.build import (FAIL_FAST, KEEP_GOING, Build, BuildReport,
+                         UnitOutcome)
+from repro.core import extract_build, model
+from repro.errors import (BuildDiagnosticError, FrontEndError, LinkError,
+                          ParseError)
+from repro.graphdb.view import Direction
+from repro.lang.source import VirtualFileSystem
+
+N_UNITS = 10
+BROKEN = ("unit3.c", "unit7.c")
+
+
+def mini_tree():
+    """Ten translation units; unit3.c and unit7.c have syntax errors."""
+    files = {"lib.h": "".join(f"int helper{index}(int);\n"
+                              for index in range(N_UNITS))}
+    for index in range(N_UNITS):
+        name = f"unit{index}.c"
+        if name in BROKEN:
+            files[name] = ('#include "lib.h"\n'
+                           f"int helper{index}(int x) {{ return ((x; }}\n")
+        else:
+            callee = f"helper{(index + 1) % N_UNITS}"
+            files[name] = ('#include "lib.h"\n'
+                           f"int helper{index}(int x) "
+                           f"{{ return {callee}(x) + 1; }}\n")
+    return VirtualFileSystem(files)
+
+
+def build_script():
+    lines = [f"gcc unit{index}.c -c -o unit{index}.o"
+             for index in range(N_UNITS)]
+    objects = " ".join(f"unit{index}.o" for index in range(N_UNITS))
+    lines.append(f"gcc {objects} -o prog")
+    return "\n".join(lines)
+
+
+class TestFailFast:
+    def test_first_broken_unit_raises(self):
+        build = Build(mini_tree(), policy=FAIL_FAST)
+        with pytest.raises(FrontEndError):
+            build.run_script(build_script())
+
+    def test_missing_object_on_link_line_raises(self):
+        build = Build(VirtualFileSystem({}), policy=FAIL_FAST)
+        with pytest.raises(LinkError):
+            build.run("gcc ghost.o -o prog")
+
+    def test_fail_fast_is_the_default(self):
+        assert Build(mini_tree()).policy == FAIL_FAST
+
+
+class TestKeepGoing:
+    @pytest.fixture(scope="class")
+    def build(self):
+        build = Build(mini_tree(), policy=KEEP_GOING)
+        build.run_script(build_script())
+        return build
+
+    def test_report_counts(self, build):
+        report = build.report
+        assert len(report.ok_units) == N_UNITS - len(BROKEN)
+        assert len(report.failed_units) == len(BROKEN)
+        assert report.partial
+        assert "2 failed" in report.summary()
+
+    def test_failed_units_carry_file_and_line(self, build):
+        for outcome in build.report.failed_units:
+            assert outcome.source_path in BROKEN
+            assert not outcome.ok
+            diagnostic = outcome.diagnostics[0]
+            assert diagnostic.category == "parse"
+            assert diagnostic.file == outcome.source_path
+            assert diagnostic.line == 2
+            assert diagnostic.column > 0
+
+    def test_outcome_lookup_by_source(self, build):
+        outcome = build.report.outcome_for("unit3.c")
+        assert outcome is not None and outcome.status == "failed"
+        assert build.report.outcome_for("unit0.c").ok
+
+    def test_link_skips_missing_objects_with_warning(self, build):
+        (module,) = build.modules
+        assert module.partial
+        assert sorted(module.missing_object_paths) == \
+            ["unit3.o", "unit7.o"]
+        assert len(module.objects) == N_UNITS - len(BROKEN)
+        skipped = [d for d in build.report.link_diagnostics
+                   if "skipping missing object" in d.message]
+        assert len(skipped) == len(BROKEN)
+
+    def test_partial_graph_still_answers_queries(self, build):
+        graph = extract_build(build)
+        # the Figure 2 question — who calls helper1? — still works
+        # for every surviving unit
+        (helper1,) = [n for n in
+                      graph.indexes.lookup("short_name", "helper1")
+                      if graph.node_property(n, "type") == "function"]
+        callers = [graph.edge_source(e)
+                   for e in graph.edges_of(helper1, Direction.IN,
+                                           (model.CALLS,))]
+        assert [graph.node_property(n, "short_name") for n in callers] \
+            == ["helper0"]
+        # the broken units contribute no functions...
+        assert not [n for n in
+                    graph.indexes.lookup("short_name", "helper3")
+                    if graph.node_property(n, "type") == "function"]
+        # ...but their file nodes exist and are tagged as failed
+        (unit3,) = [n for n in graph.indexes.lookup("short_name",
+                                                    "unit3.c")]
+        assert graph.node_property(unit3, model.P_INDEX_STATUS) == \
+            "failed"
+        assert "parse" in graph.node_property(unit3,
+                                              model.P_INDEX_ERROR)
+        (unit0,) = [n for n in graph.indexes.lookup("short_name",
+                                                    "unit0.c")]
+        assert graph.node_property(unit0, model.P_INDEX_STATUS) is None
+
+    def test_bad_command_line_becomes_diagnostic(self):
+        build = Build(mini_tree(), policy=KEEP_GOING)
+        build.run("gcc")
+        (outcome,) = build.report.outcomes
+        assert outcome.status == "failed"
+        assert outcome.diagnostics[0].category == "command"
+
+
+class TestErrorBudget:
+    def test_budget_exceeded_raises_with_diagnostics(self):
+        build = Build(mini_tree(), policy=KEEP_GOING, max_errors=1)
+        with pytest.raises(BuildDiagnosticError) as info:
+            build.run_script(build_script())
+        assert len(info.value.diagnostics) >= 2
+
+    def test_budget_of_zero_stops_at_first_error(self):
+        build = Build(mini_tree(), policy=KEEP_GOING, max_errors=0)
+        with pytest.raises(BuildDiagnosticError):
+            build.run_script(build_script())
+        assert len(build.report.failed_units) == 1
+
+    def test_generous_budget_never_trips(self):
+        build = Build(mini_tree(), policy=KEEP_GOING, max_errors=10)
+        report = build.run_script(build_script())
+        assert isinstance(report, BuildReport)
+        assert len(report.failed_units) == len(BROKEN)
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        from repro.errors import BuildError
+        with pytest.raises(BuildError):
+            Build(VirtualFileSystem({}), policy="yolo")
+
+    def test_negative_budget_rejected(self):
+        from repro.errors import BuildError
+        with pytest.raises(BuildError):
+            Build(VirtualFileSystem({}), max_errors=-1)
+
+    def test_outcome_ok_covers_degraded(self):
+        outcome = UnitOutcome("a.c", "a.o", "degraded")
+        assert outcome.ok

@@ -1,0 +1,259 @@
+"""Crash consistency and self-verification of the graph store.
+
+The store's durability contract: ``GraphStore.write`` is atomic at the
+directory level — a crash at *any* step of the commit protocol leaves
+either the complete old store or the complete new store on disk, never
+a hybrid — and ``GraphStore.verify`` (the engine behind ``frappe
+fsck``) pinpoints damage to the exact file and Table 4 category.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import StoreCorruptionError
+from repro.graphdb import PropertyGraph
+from repro.graphdb.storage import (CLEAN, CORRUPT, REPAIRABLE,
+                                   GraphStore, PageCache)
+from repro.graphdb.storage import store as store_mod
+from repro.graphdb.storage.faults import (EIO, TORN_WRITE, FaultInjector,
+                                          InjectedCrash, InjectedIOError,
+                                          checkpoint_labels, flip_byte,
+                                          truncate_file)
+
+
+def make_graph(version):
+    """A small store payload stamped with a version marker."""
+    graph = PropertyGraph(auto_index_keys=("short_name",))
+    nodes = [graph.add_node("function", short_name=f"f{index}",
+                            version=version, note="x" * 40)
+             for index in range(12)]
+    for index in range(11):
+        graph.add_edge(nodes[index], nodes[index + 1], "calls",
+                       weight=index)
+    return graph
+
+
+def stored_versions(directory):
+    with GraphStore.open(directory) as graph:
+        return {graph.node_property(node_id, "version")
+                for node_id in graph.node_ids()}
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    directory = str(tmp_path / "store")
+    GraphStore.write(make_graph("v1"), directory)
+    return directory
+
+
+def recorded_labels(tmp_path):
+    injector = FaultInjector()
+    GraphStore.write(make_graph("probe"), str(tmp_path / "probe"),
+                     injector=injector)
+    return checkpoint_labels(injector.checkpoints)
+
+
+class TestCrashAtEveryStep:
+    def test_write_has_a_rich_checkpoint_stream(self, tmp_path):
+        labels = recorded_labels(tmp_path)
+        assert len(labels) >= 10
+        assert labels.index("manifest_written") < \
+            labels.index("new_store_committed")
+
+    def test_crash_at_every_checkpoint_leaves_old_or_new(self, tmp_path):
+        labels = recorded_labels(tmp_path)
+        for label in labels:
+            directory = str(tmp_path / f"crash-{label}")
+            GraphStore.write(make_graph("v1"), directory)
+            with pytest.raises(InjectedCrash):
+                GraphStore.write(make_graph("v2"), directory,
+                                 injector=FaultInjector(crash_at=label))
+            versions = stored_versions(directory)
+            assert versions in ({"v1"}, {"v2"}), \
+                f"hybrid store after crash at {label!r}: {versions}"
+            verdict = GraphStore.verify(directory)
+            assert verdict.ok, \
+                f"crash at {label!r} left damage: {verdict.summary()}"
+
+    def test_crash_before_manifest_keeps_old_store(self, tmp_path):
+        directory = str(tmp_path / "store")
+        GraphStore.write(make_graph("v1"), directory)
+        with pytest.raises(InjectedCrash):
+            GraphStore.write(
+                make_graph("v2"), directory,
+                injector=FaultInjector(crash_at="nodes_written"))
+        assert stored_versions(directory) == {"v1"}
+
+    def test_crash_after_displacement_recovers_new_store(self, tmp_path):
+        directory = str(tmp_path / "store")
+        GraphStore.write(make_graph("v1"), directory)
+        with pytest.raises(InjectedCrash):
+            GraphStore.write(
+                make_graph("v2"), directory,
+                injector=FaultInjector(crash_at="old_store_displaced"))
+        # the sealed staging dir rolls forward at the next open
+        assert stored_versions(directory) == {"v2"}
+
+    def test_crash_cleanup_removes_siblings(self, tmp_path):
+        directory = str(tmp_path / "store")
+        GraphStore.write(make_graph("v1"), directory)
+        with pytest.raises(InjectedCrash):
+            GraphStore.write(
+                make_graph("v2"), directory,
+                injector=FaultInjector(crash_at="new_store_committed"))
+        stored_versions(directory)  # open() runs recovery
+        assert not os.path.exists(directory + ".tmp")
+        assert not os.path.exists(directory + ".old")
+
+
+class TestWriteFaults:
+    def test_torn_manifest_does_not_seal_the_commit(self, tmp_path):
+        directory = str(tmp_path / "store")
+        GraphStore.write(make_graph("v1"), directory)
+        injector = FaultInjector(crash_at="manifest_written")
+        injector.inject(store_mod.MANIFEST_FILE, TORN_WRITE, at_byte=9)
+        with pytest.raises(InjectedCrash):
+            GraphStore.write(make_graph("v2"), directory,
+                             injector=injector)
+        # staging's manifest is torn mid-JSON, so recovery must NOT
+        # roll it forward
+        assert stored_versions(directory) == {"v1"}
+        assert GraphStore.verify(directory).ok
+
+    def test_eio_during_write_preserves_old_store(self, tmp_path):
+        directory = str(tmp_path / "store")
+        GraphStore.write(make_graph("v1"), directory)
+        injector = FaultInjector()
+        injector.inject(store_mod.PROP_FILE, EIO, at_byte=8)
+        with pytest.raises(InjectedIOError):
+            GraphStore.write(make_graph("v2"), directory,
+                             injector=injector)
+        assert injector.fired == [(store_mod.PROP_FILE, EIO)]
+        assert stored_versions(directory) == {"v1"}
+        assert not os.path.exists(directory + ".tmp")  # open cleaned up
+
+    def test_first_write_crash_leaves_no_store(self, tmp_path):
+        directory = str(tmp_path / "store")
+        with pytest.raises(InjectedCrash):
+            GraphStore.write(
+                make_graph("v1"), directory,
+                injector=FaultInjector(crash_at="metadata_written"))
+        assert not os.path.exists(directory)
+
+
+class TestRecover:
+    def test_roll_forward_from_sealed_staging(self, store_dir):
+        os.rename(store_dir, store_dir + ".tmp")
+        assert GraphStore.recover(store_dir) == "rolled_forward"
+        assert stored_versions(store_dir) == {"v1"}
+
+    def test_roll_back_from_displaced_old(self, store_dir):
+        os.rename(store_dir, store_dir + ".old")
+        assert GraphStore.recover(store_dir) == "rolled_back"
+        assert stored_versions(store_dir) == {"v1"}
+
+    def test_noop_on_complete_store(self, store_dir):
+        assert GraphStore.recover(store_dir) is None
+
+    def test_noop_on_missing_directory(self, tmp_path):
+        assert GraphStore.recover(str(tmp_path / "nowhere")) is None
+
+
+class TestVerify:
+    def test_fresh_store_is_clean(self, store_dir):
+        verdict = GraphStore.verify(store_dir)
+        assert verdict.ok
+        assert verdict.status == CLEAN
+        assert verdict.problems == []
+        assert "clean" in verdict.summary()
+
+    def test_bit_flip_in_nodestore_is_corrupt_and_located(self,
+                                                         store_dir):
+        flip_byte(os.path.join(store_dir, store_mod.NODE_FILE), 40)
+        verdict = GraphStore.verify(store_dir)
+        assert verdict.status == CORRUPT
+        assert store_mod.NODE_FILE in verdict.corrupt_files()
+        assert any(problem.category == "nodes"
+                   for problem in verdict.problems)
+
+    def test_bit_flip_in_postings_is_repairable(self, store_dir):
+        flip_byte(os.path.join(store_dir,
+                               store_mod.INDEX_POSTINGS_FILE), 3)
+        verdict = GraphStore.verify(store_dir)
+        assert verdict.status == REPAIRABLE
+        assert not verdict.ok
+        assert {problem.category
+                for problem in verdict.problems} == {"indexes"}
+
+    def test_truncated_property_store_is_corrupt(self, store_dir):
+        truncate_file(os.path.join(store_dir, store_mod.PROP_FILE), 10)
+        verdict = GraphStore.verify(store_dir)
+        assert verdict.status == CORRUPT
+        assert verdict.problems_in("properties")
+
+    def test_truncated_relationship_store_reports_offset(self,
+                                                         store_dir):
+        path = os.path.join(store_dir, store_mod.REL_FILE)
+        kept = os.path.getsize(path) // 2
+        truncate_file(path, kept)
+        verdict = GraphStore.verify(store_dir)
+        assert verdict.status == CORRUPT
+        sizes = [problem for problem in
+                 verdict.problems_in("relationships")
+                 if problem.file == store_mod.REL_FILE]
+        assert sizes and sizes[0].offset is not None
+
+    def test_missing_directory_is_corrupt(self, tmp_path):
+        verdict = GraphStore.verify(str(tmp_path / "nowhere"))
+        assert verdict.status == CORRUPT
+
+    def test_count_lie_in_metadata_is_corrupt(self, store_dir):
+        import json
+        path = os.path.join(store_dir, store_mod.METADATA_FILE)
+        with open(path, encoding="utf-8") as handle:
+            metadata = json.load(handle)
+        metadata["node_count"] = 999999
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(metadata, handle)
+        verdict = GraphStore.verify(store_dir)
+        assert verdict.status == CORRUPT
+        assert verdict.problems_in("metadata")
+
+    def test_problem_str_names_file_and_offset(self, store_dir):
+        truncate_file(os.path.join(store_dir, store_mod.NODE_FILE), 5)
+        verdict = GraphStore.verify(store_dir)
+        rendered = [str(problem) for problem in verdict.problems]
+        assert any(store_mod.NODE_FILE in line and "byte" in line
+                   for line in rendered)
+
+
+class TestRuntimeCorruptionDetection:
+    def test_short_read_counted_and_raised(self, store_dir):
+        cache = PageCache()
+        graph = GraphStore.open(store_dir, cache)
+        try:
+            assert len(list(graph.node_ids())) == 12
+            truncate_file(os.path.join(store_dir, store_mod.NODE_FILE),
+                          16)
+            graph.evict_caches()
+            with pytest.raises(StoreCorruptionError):
+                list(graph.node_ids())
+            assert cache.stats.short_reads == 1
+        finally:
+            graph.close()
+
+    def test_corruption_error_names_file_and_offset(self, store_dir):
+        truncate_file(os.path.join(store_dir, store_mod.PROP_FILE), 1)
+        with pytest.raises(StoreCorruptionError) as info:
+            with GraphStore.open(store_dir) as graph:
+                for node_id in graph.node_ids():
+                    graph.node_properties(node_id)
+        assert store_mod.PROP_FILE in str(info.value)
+        assert "byte" in str(info.value)
+
+    def test_close_is_idempotent(self, store_dir):
+        graph = GraphStore.open(store_dir)
+        graph.close()
+        graph.close()  # second close must be a no-op
+        assert graph.indexes.postings_file.closed

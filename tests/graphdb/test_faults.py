@@ -1,0 +1,164 @@
+"""Unit tests for the fault-injection harness itself.
+
+The crash-safety suite leans on this harness, so each fault kind must
+demonstrably do what it claims before any store-level conclusion can
+be trusted.
+"""
+
+import json
+import os
+import zlib
+
+import pytest
+
+from repro.graphdb.storage.faults import (BIT_FLIP, EIO, TORN_WRITE,
+                                          TRUNCATE, FaultInjector,
+                                          FaultyFile, FileFault,
+                                          InjectedCrash, InjectedIOError,
+                                          checkpoint_labels, crc32_of,
+                                          flip_byte, truncate_file)
+
+
+class TestFileFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FileFault("melt")
+
+    @pytest.mark.parametrize("kind", [TORN_WRITE, BIT_FLIP, TRUNCATE,
+                                      EIO])
+    def test_known_kinds_accepted(self, kind):
+        assert FileFault(kind).kind == kind
+
+
+class TestFaultyFile:
+    def test_torn_write_silently_loses_the_tail(self, tmp_path):
+        path = str(tmp_path / "torn.bin")
+        with FaultyFile(path, "wb", FileFault(TORN_WRITE, at_byte=10)) \
+                as handle:
+            assert handle.write(b"A" * 25) == 25  # caller sees success
+            assert handle.write(b"B" * 25) == 25
+        assert os.path.getsize(path) == 10
+        with open(path, "rb") as check:
+            assert check.read() == b"A" * 10
+
+    def test_torn_write_tears_mid_chunk(self, tmp_path):
+        path = str(tmp_path / "torn2.bin")
+        with FaultyFile(path, "wb", FileFault(TORN_WRITE, at_byte=3)) \
+                as handle:
+            handle.write(b"ABCDEF")
+        with open(path, "rb") as check:
+            assert check.read() == b"ABC"
+
+    def test_bit_flip_corrupts_one_byte_at_close(self, tmp_path):
+        path = str(tmp_path / "flip.bin")
+        with FaultyFile(path, "wb",
+                        FileFault(BIT_FLIP, at_byte=3, xor_mask=0x01)) \
+                as handle:
+            handle.write(b"\x00" * 8)
+        with open(path, "rb") as check:
+            data = check.read()
+        assert data == b"\x00\x00\x00\x01\x00\x00\x00\x00"
+
+    def test_truncate_cuts_at_close(self, tmp_path):
+        path = str(tmp_path / "cut.bin")
+        with FaultyFile(path, "wb", FileFault(TRUNCATE, at_byte=5)) \
+                as handle:
+            handle.write(b"0123456789")
+        assert os.path.getsize(path) == 5
+
+    def test_eio_raises_oserror_with_partial_data(self, tmp_path):
+        path = str(tmp_path / "eio.bin")
+        handle = FaultyFile(path, "wb", FileFault(EIO, at_byte=4))
+        with pytest.raises(InjectedIOError) as info:
+            handle.write(b"0123456789")
+        assert info.value.errno == 5
+        handle.close()
+        assert os.path.getsize(path) == 4  # the bytes before the fault
+
+    def test_text_writes_are_encoded_before_tearing(self, tmp_path):
+        path = str(tmp_path / "torn.json")
+        with FaultyFile(path, "w", FileFault(TORN_WRITE, at_byte=8)) \
+                as handle:
+            json.dump({"key": "a long enough value"}, handle)
+        with open(path, "rb") as check:
+            torn = check.read()
+        assert len(torn) == 8
+        with pytest.raises(ValueError):
+            json.loads(torn.decode("utf-8"))
+
+
+class TestFaultInjector:
+    def test_checkpoints_recorded_in_order(self):
+        injector = FaultInjector()
+        for label in ("first", "second", "third"):
+            injector.checkpoint(label)
+        assert injector.checkpoints == ["first", "second", "third"]
+
+    def test_crash_at_label(self):
+        injector = FaultInjector(crash_at="second")
+        injector.checkpoint("first")
+        with pytest.raises(InjectedCrash) as info:
+            injector.checkpoint("second")
+        assert info.value.label == "second"
+
+    def test_crash_is_not_a_frappe_error(self):
+        from repro.errors import FrappeError
+        assert not issubclass(InjectedCrash, FrappeError)
+
+    def test_open_matches_by_basename(self, tmp_path):
+        injector = FaultInjector().inject("target.bin", TRUNCATE,
+                                          at_byte=1)
+        faulty = injector.open(str(tmp_path / "target.bin"))
+        assert isinstance(faulty, FaultyFile)
+        faulty.write(b"1234")
+        faulty.close()
+        assert injector.fired == [("target.bin", TRUNCATE)]
+
+    def test_open_passes_through_unmatched_and_reads(self, tmp_path):
+        injector = FaultInjector().inject("target.bin", TRUNCATE)
+        other = str(tmp_path / "other.bin")
+        with injector.open(other) as handle:
+            assert not isinstance(handle, FaultyFile)
+            handle.write(b"ok")
+        with injector.open(other, "rb") as handle:
+            assert handle.read() == b"ok"
+
+
+class TestDiskHelpers:
+    def test_flip_byte_round_trips(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"\x10\x20\x30")
+        assert flip_byte(path, 1, xor_mask=0xFF) == 1
+        with open(path, "rb") as handle:
+            assert handle.read() == b"\x10\xdf\x30"
+
+    def test_flip_byte_clamps_offset(self, tmp_path):
+        path = str(tmp_path / "tiny.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"\x00")
+        assert flip_byte(path, 999) == 0
+
+    def test_flip_byte_refuses_empty_file(self, tmp_path):
+        path = str(tmp_path / "empty.bin")
+        open(path, "wb").close()
+        with pytest.raises(ValueError):
+            flip_byte(path, 0)
+
+    def test_truncate_file_reports_removed_bytes(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"x" * 100)
+        assert truncate_file(path, 30) == 70
+        assert os.path.getsize(path) == 30
+
+    def test_crc32_of_matches_zlib(self, tmp_path):
+        path = str(tmp_path / "data.bin")
+        payload = bytes(range(256)) * 10
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        assert crc32_of(path) == zlib.crc32(payload) & 0xFFFFFFFF
+
+    def test_checkpoint_labels_dedupes_preserving_order(self):
+        assert checkpoint_labels(["a", "b", "a", "c", "b"]) == \
+            ["a", "b", "c"]

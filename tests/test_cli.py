@@ -149,3 +149,66 @@ class TestGenerate:
 def test_missing_store_reports_error(tmp_path, capsys):
     assert main(["search", str(tmp_path / "nope"), "x"]) == 1
     assert "error:" in capsys.readouterr().err
+
+
+class TestFsck:
+    def test_clean_store_exits_zero(self, store, capsys):
+        assert main(["fsck", store]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_corrupt_store_exits_one_and_names_file(self, source_tree,
+                                                    tmp_path, capsys):
+        root, script = source_tree
+        out = tmp_path / "damaged"
+        main(["index", str(root), "--script", str(script),
+              "--out", str(out), "-I", "include"])
+        capsys.readouterr()
+        from repro.graphdb.storage.faults import flip_byte
+        flip_byte(str(out / "nodestore.db"), 40)
+        assert main(["fsck", str(out)]) == 1
+        printed = capsys.readouterr().out
+        assert "corrupt" in printed and "nodestore.db" in printed
+
+    def test_repairable_store_exits_two(self, source_tree, tmp_path,
+                                        capsys):
+        root, script = source_tree
+        out = tmp_path / "dented"
+        main(["index", str(root), "--script", str(script),
+              "--out", str(out), "-I", "include"])
+        capsys.readouterr()
+        from repro.graphdb.storage.faults import flip_byte
+        flip_byte(str(out / "index.postings.db"), 3)
+        assert main(["fsck", str(out)]) == 2
+        assert "repairable" in capsys.readouterr().out
+
+
+class TestKeepGoing:
+    def test_keep_going_indexes_through_broken_unit(self, tmp_path,
+                                                    capsys):
+        root = tmp_path / "src"
+        root.mkdir()
+        (root / "good.c").write_text("int good(void) { return 1; }\n")
+        (root / "bad.c").write_text("int bad( { syntax error\n")
+        script = root / "build.sh"
+        script.write_text("gcc good.c -c -o good.o\n"
+                          "gcc bad.c -c -o bad.o\n")
+        out = tmp_path / "partial"
+        assert main(["index", str(root), "--script", str(script),
+                     "--out", str(out), "--keep-going"]) == 0
+        captured = capsys.readouterr()
+        assert "1 ok" in captured.out and "1 failed" in captured.out
+        assert "bad.c" in captured.err
+        assert main(["query", str(out),
+                     "MATCH (n:function) RETURN n.short_name"]) == 0
+        assert "good" in capsys.readouterr().out
+
+    def test_fail_fast_default_stops_on_broken_unit(self, tmp_path,
+                                                    capsys):
+        root = tmp_path / "src"
+        root.mkdir()
+        (root / "bad.c").write_text("int bad( { syntax error\n")
+        script = root / "build.sh"
+        script.write_text("gcc bad.c -c -o bad.o\n")
+        assert main(["index", str(root), "--script", str(script),
+                     "--out", str(tmp_path / "s")]) == 1
+        assert "error:" in capsys.readouterr().err
