@@ -10,10 +10,9 @@ set stops fitting.
 
 import time
 
-import pytest
 
 from repro.core.frappe import Frappe
-from repro.graphdb.storage import GraphStore, PageCache
+from repro.graphdb.storage import PageCache
 
 CAPACITIES = (16, 64, 256, 4096)
 

@@ -14,7 +14,7 @@ the two agree on the answer wherever Cypher finishes.
 
 import pytest
 
-from repro.cypher import CypherEngine, NodeRef
+from repro.cypher import CypherEngine
 from repro.errors import QueryTimeoutError
 from repro.graphdb import PropertyGraph, algo
 from repro.graphdb.view import Direction

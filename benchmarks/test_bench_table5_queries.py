@@ -59,31 +59,46 @@ def _figure4(frappe):
     return FIGURE4_TEMPLATE.format(file=wakeup_core)
 
 
+def _top_operator(frappe, text, timeout=None):
+    """Name of the operator a PROFILE run spends most time in."""
+    hottest = frappe.profile(text, timeout=timeout).profile.hottest()
+    return hottest.name if hottest is not None else None
+
+
 class TestTable5ColdWarmProtocol:
     """One run of the full paper protocol, reported as a table."""
 
     def test_table5_rows(self, frappe_store, report, scale, benchmark):
         rows = []
         queries = [
-            ("Code search (Fig.3)", lambda: frappe_store.query(FIGURE3)),
-            ("X-referencing (Fig.4)",
+            ("Code search (Fig.3)", FIGURE3,
+             lambda: frappe_store.query(FIGURE3)),
+            ("X-referencing (Fig.4)", _figure4(frappe_store),
              lambda: frappe_store.query(_figure4(frappe_store))),
-            ("Debugging (Fig.5)", lambda: frappe_store.query(FIGURE5)),
-            ("Comprehension (Fig.6)",
+            ("Debugging (Fig.5)", FIGURE5,
+             lambda: frappe_store.query(FIGURE5)),
+            ("Comprehension (Fig.6)", FIGURE6,
              lambda: frappe_store.query(FIGURE6,
                                         timeout=ABORT_AFTER_SECONDS)),
         ]
-        for name, query in queries:
+        for name, text, query in queries:
             rows.append(run_cold_warm(
                 name, query, frappe_store.evict_caches,
-                abort_after=ABORT_AFTER_SECONDS))
+                abort_after=ABORT_AFTER_SECONDS,
+                hit_ratio=frappe_store.cache_hit_ratio,
+                reset_counters=frappe_store.reset_counters,
+                top_operator=lambda text=text: _top_operator(
+                    frappe_store, text, timeout=ABORT_AFTER_SECONDS)))
         native = run_cold_warm(
             "Comprehension (native)",
             lambda: frappe_store.backward_slice("pci_read_bases"),
-            frappe_store.evict_caches)
+            frappe_store.evict_caches,
+            hit_ratio=frappe_store.cache_hit_ratio,
+            reset_counters=frappe_store.reset_counters)
         rows.append(native)
         report(f"== Table 5: query performance (ms, scale {scale:g}, "
-               f"10 cold + 10 warm runs) ==\n"
+               f"10 cold + 10 warm runs; pc-hit = cold/warm cache hit "
+               f"ratio, top = hottest PROFILE operator) ==\n"
                + "\n".join(row.format_row() for row in rows))
         # shape assertions, mirroring the paper
         search, xref, debugging, comprehension, native_row = rows
@@ -93,6 +108,10 @@ class TestTable5ColdWarmProtocol:
             # rows are noisy on a shared machine)
             assert row.cold.avg >= row.warm.avg * 0.7
             assert row.result_count >= 1
+            # warm runs are fully absorbed by the caches, cold runs
+            # must fault their pages in from disk
+            assert row.warm_hit_ratio > row.cold_hit_ratio
+            assert row.top_operator is not None
         assert comprehension.aborted  # Cypher closure: "> 15 mins"
         assert not native_row.aborted  # "~20ms via the Java API"
         assert native_row.warm.avg < 1000.0

@@ -16,7 +16,6 @@ the comparison the paper motivates qualitatively.
 
 import time
 
-import pytest
 
 from repro.core import model
 

@@ -57,7 +57,13 @@ class Timing:
 
 @dataclasses.dataclass
 class ColdWarmResult:
-    """One Table 5 row."""
+    """One Table 5 row.
+
+    ``cold_hit_ratio`` / ``warm_hit_ratio`` / ``top_operator`` are
+    filled when the caller passes the observability hooks to
+    :func:`run_cold_warm`; they make the cold/warm asymmetry
+    attributable (cache behaviour + the operator the time went to).
+    """
 
     name: str
     cold: Optional[Timing]
@@ -65,6 +71,9 @@ class ColdWarmResult:
     result_count: Optional[int]
     aborted: bool = False
     abort_after_seconds: Optional[float] = None
+    cold_hit_ratio: Optional[float] = None
+    warm_hit_ratio: Optional[float] = None
+    top_operator: Optional[str] = None
 
     def format_row(self) -> str:
         if self.aborted:
@@ -72,9 +81,16 @@ class ColdWarmResult:
                       if self.abort_after_seconds else "aborted")
             return f"{self.name:<24} {budget}, aborted"
         assert self.cold is not None and self.warm is not None
-        return (f"{self.name:<24} cold {self.cold.row()}   "
-                f"warm {self.warm.row()}   "
-                f"results {self.result_count}")
+        row = (f"{self.name:<24} cold {self.cold.row()}   "
+               f"warm {self.warm.row()}   "
+               f"results {self.result_count}")
+        if self.cold_hit_ratio is not None \
+                and self.warm_hit_ratio is not None:
+            row += (f"   pc-hit {self.cold_hit_ratio:.2f}/"
+                    f"{self.warm_hit_ratio:.2f}")
+        if self.top_operator:
+            row += f"   top {self.top_operator}"
+        return row
 
 
 def time_callable(fn: Callable[[], Any]) -> tuple[float, Any]:
@@ -89,7 +105,11 @@ def run_cold_warm(name: str, query: Callable[[], Any],
                   evict: Callable[[], None],
                   runs: int = DEFAULT_RUNS,
                   count_results: Callable[[Any], int] = len,
-                  abort_after: float | None = None) -> ColdWarmResult:
+                  abort_after: float | None = None,
+                  hit_ratio: Callable[[], float] | None = None,
+                  reset_counters: Callable[[], None] | None = None,
+                  top_operator: Callable[[], str | None] | None = None,
+                  ) -> ColdWarmResult:
     """Run the paper's cold/warm protocol for one query.
 
     ``query`` executes the workload and returns its result;
@@ -98,9 +118,17 @@ def run_cold_warm(name: str, query: Callable[[], Any],
     :class:`~repro.errors.QueryTimeoutError` from the Cypher engine or
     a harness-side wall-clock overrun — into an aborted row, the way
     the paper reports the Figure 6 comprehension query.
+
+    The optional observability hooks annotate the row: ``hit_ratio``
+    is sampled after the last cold run (eviction also resets the
+    counters, so this reflects one cold execution) and again after
+    the warm runs (after ``reset_counters``, so it reflects only warm
+    traffic); ``top_operator`` names the operator a PROFILE run of
+    the same query spends most of its time in.
     """
     cold_samples: list[float] = []
     result_count: Optional[int] = None
+    cold_ratio: Optional[float] = None
     for _ in range(runs):
         evict()
         try:
@@ -113,8 +141,12 @@ def run_cold_warm(name: str, query: Callable[[], Any],
                                   abort_after_seconds=abort_after)
         cold_samples.append(elapsed_ms)
         result_count = count_results(value)
+        if hit_ratio is not None:
+            cold_ratio = hit_ratio()
     warm_samples: list[float] = []
     query()  # one untimed run to settle the caches
+    if reset_counters is not None:
+        reset_counters()
     for _ in range(runs):
         try:
             elapsed_ms, value = time_callable(query)
@@ -122,8 +154,18 @@ def run_cold_warm(name: str, query: Callable[[], Any],
             return ColdWarmResult(name, None, None, None, aborted=True,
                                   abort_after_seconds=abort_after)
         warm_samples.append(elapsed_ms)
+    warm_ratio = hit_ratio() if hit_ratio is not None else None
+    top = None
+    if top_operator is not None:
+        try:
+            top = top_operator()
+        except QueryTimeoutError:
+            top = None
     return ColdWarmResult(name, Timing(cold_samples),
-                          Timing(warm_samples), result_count)
+                          Timing(warm_samples), result_count,
+                          cold_hit_ratio=cold_ratio,
+                          warm_hit_ratio=warm_ratio,
+                          top_operator=top)
 
 
 def print_table(title: str, rows: Sequence[ColdWarmResult],

@@ -7,6 +7,7 @@ Subcommands::
     frappe search  <store> NAME [--type T] [--module M]
     frappe query   <store> 'MATCH (n:function) RETURN n.short_name'
     frappe explain <store> '<cypher>'
+    frappe profile <store> '<cypher>'
     frappe refs    <store> NAME [--type T]
     frappe slice   <store> FUNCTION [--forward]
     frappe cycles  <store> [--edges calls,includes]
@@ -74,11 +75,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
     query.add_argument("store")
     query.add_argument("cypher")
     query.add_argument("--timeout", type=float, default=None)
+    query.add_argument("--max-rows", type=int, default=None,
+                       help="truncate the result after this many rows")
 
     explain = commands.add_parser(
         "explain", help="show a query's execution plan")
     explain.add_argument("store")
     explain.add_argument("cypher")
+
+    profile = commands.add_parser(
+        "profile", help="run a query and show its measured operator "
+        "tree (rows, db hits, time per operator)")
+    profile.add_argument("store")
+    profile.add_argument("cypher")
+    profile.add_argument("--timeout", type=float, default=None)
 
     refs = commands.add_parser(
         "refs", help="find references to a symbol (Sec. 4.2)")
@@ -145,6 +155,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_query(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "refs":
         return _cmd_refs(args)
     if args.command == "cycles":
@@ -210,12 +222,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.cypher import QueryOptions
     with _open(args.store) as frappe:
-        result = frappe.query(args.cypher, timeout=args.timeout)
+        options = QueryOptions(timeout=args.timeout,
+                               max_rows=args.max_rows)
+        result = frappe.query(args.cypher, options=options)
         print("\t".join(result.columns))
         for row in result.rows:
             print("\t".join(str(value) for value in row))
-        print(f"({len(result)} rows, "
+        truncated = " (truncated)" if result.stats.truncated else ""
+        print(f"({len(result)} rows{truncated}, "
               f"{result.stats.elapsed_seconds * 1000:.1f} ms)")
     return 0
 
@@ -223,6 +239,22 @@ def _cmd_query(args: argparse.Namespace) -> int:
 def _cmd_explain(args: argparse.Namespace) -> int:
     with _open(args.store) as frappe:
         print(frappe.engine.explain(args.cypher))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    with _open(args.store) as frappe:
+        result = frappe.profile(args.cypher, timeout=args.timeout)
+        plan = result.profile
+        print(plan.pretty())
+        print(f"({len(result)} rows, "
+              f"{result.stats.elapsed_seconds * 1000:.1f} ms, "
+              f"{plan.total_db_hits()} db hits, "
+              f"cache hit ratio {frappe.cache_hit_ratio():.2f})")
+        hottest = plan.hottest()
+        if hottest is not None and hottest.time_ms is not None:
+            print(f"hottest operator: {hottest.name} "
+                  f"({hottest.time_ms:.1f} ms)")
     return 0
 
 

@@ -27,20 +27,31 @@ from typing import Any, Iterable, Mapping, Optional
 from repro.build.buildsys import FAIL_FAST, Build, BuildReport
 from repro.core import model, queries, slicing
 from repro.core.extractor import extract_build
-from repro.cypher import CypherEngine, Result
+from repro.cypher import CypherEngine, QueryOptions, Result
 from repro.graphdb import PropertyGraph, stats
 from repro.graphdb.storage import GraphStore, PageCache, StoreGraph
 from repro.graphdb.view import Direction, GraphView
 from repro.lang.source import VirtualFileSystem
+from repro.obs import (MetricsSnapshot, Observability, SlowQueryEntry,
+                       Span)
 
 
 class Frappe:
     """A queryable dependency graph of one codebase."""
 
     def __init__(self, view: GraphView,
-                 default_timeout: float | None = None) -> None:
+                 default_timeout: float | None = None,
+                 obs: Observability | None = None) -> None:
         self.view = view
-        self.engine = CypherEngine(view, default_timeout)
+        #: one observability bundle per instance: the engine, page
+        #: cache, store reader, indexes and traversals all emit into
+        #: its registry
+        self.obs = obs if obs is not None else Observability()
+        attach = getattr(view, "attach_metrics", None)
+        if attach is not None:
+            attach(self.obs.registry)
+        self.engine = CypherEngine(view, default_timeout,
+                                   obs=self.obs)
         #: per-unit outcomes of the build this graph came from (None
         #: for stores opened from disk)
         self.build_report: BuildReport | None = None
@@ -95,9 +106,14 @@ class Frappe:
     # -- cache control (benchmark protocol) -------------------------------------------
 
     def evict_caches(self) -> None:
-        """Cold-start the store-backed view (no-op for in-memory)."""
+        """Cold-start the store-backed view (no-op for in-memory).
+
+        Also resets the metric counters, so a cold-run measurement
+        doesn't inherit hit/miss traffic from earlier queries.
+        """
         if isinstance(self.view, StoreGraph):
             self.view.evict_caches()
+        self.reset_counters()
 
     def close(self) -> None:
         if isinstance(self.view, StoreGraph):
@@ -111,10 +127,30 @@ class Frappe:
 
     # -- querying ------------------------------------------------------------------------
 
-    def query(self, text: str, parameters: Mapping[str, Any] | None = None,
-              timeout: float | None = None) -> Result:
-        """Run Cypher text against the graph."""
-        return self.engine.run(text, parameters, timeout)
+    def query(self, text: str,
+              parameters: Mapping[str, Any] | None = None,
+              *deprecated: float | None,
+              timeout: float | None = None,
+              options: QueryOptions | None = None) -> Result:
+        """Run Cypher text against the graph.
+
+        ``options`` is the structured knob surface
+        (:class:`~repro.cypher.QueryOptions`: timeout, max_rows,
+        profile, parameters); explicit keywords win over option
+        fields. The old positional-timeout form still works but emits
+        a :class:`DeprecationWarning`.
+        """
+        timeout = CypherEngine._shim_positional_timeout(deprecated,
+                                                        timeout)
+        return self.engine.run(text, parameters, timeout=timeout,
+                               options=options)
+
+    def profile(self, text: str,
+                parameters: Mapping[str, Any] | None = None,
+                timeout: float | None = None) -> Result:
+        """Run a query with profiling; ``result.profile`` is the
+        measured operator tree."""
+        return self.engine.profile(text, parameters, timeout)
 
     def search(self, name: str, node_type: Optional[str] = None,
                module: Optional[str] = None) -> list[int]:
@@ -173,6 +209,41 @@ class Frappe:
                ) -> list[list[int]]:
         """Dependency cycles (recursion groups, include cycles, ...)."""
         return queries.dependency_cycles(self.view, edge_types)
+
+    # -- observability -----------------------------------------------------------------------
+
+    def counters(self) -> MetricsSnapshot:
+        """A snapshot of every metric the read path has emitted:
+        query counts/latency, page-cache hits/misses/evictions, store
+        record faults, index lookups, traversal expansions."""
+        return self.obs.registry.snapshot()
+
+    def reset_counters(self) -> None:
+        """Zero the metric counters without evicting any cache."""
+        self.obs.registry.reset()
+
+    def cache_hit_ratio(self) -> float:
+        """Hit ratio of the store's read caches since the last reset.
+
+        Counts page-cache hits plus decoded-object cache hits over
+        that total plus page-cache misses (each disk page read is a
+        miss) — the figure the Table 5 cold/warm benchmark rows print.
+        Returns 0.0 for an in-memory graph (no cache traffic).
+        """
+        snapshot = self.counters()
+        hits = (snapshot.counter("pagecache.hits")
+                + snapshot.counter("store.object_cache.hits"))
+        misses = snapshot.counter("pagecache.misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def slow_queries(self) -> list[SlowQueryEntry]:
+        """Recent slow/timed-out queries, oldest first."""
+        return self.obs.slow_log.entries()
+
+    def traces(self) -> list[Span]:
+        """Recently finished trace spans (one root per query)."""
+        return self.obs.tracer.recent()
 
     # -- metrics (Tables 3–4, Figure 7) -------------------------------------------------------
 

@@ -32,8 +32,10 @@ Quick start::
 """
 
 from repro.cypher.engine import CypherEngine
+from repro.cypher.options import QueryOptions
 from repro.cypher.parser import parse
+from repro.cypher.plan import PlanDescription
 from repro.cypher.result import EdgeRef, NodeRef, PathValue, Result
 
-__all__ = ["CypherEngine", "EdgeRef", "NodeRef", "PathValue", "Result",
-           "parse"]
+__all__ = ["CypherEngine", "EdgeRef", "NodeRef", "PathValue",
+           "PlanDescription", "QueryOptions", "Result", "parse"]

@@ -229,6 +229,8 @@ class Return(Clause):
 class Query:
     clauses: tuple[Clause, ...]
     text: str = ""
+    #: the query text carried a leading PROFILE modifier
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if not self.clauses:

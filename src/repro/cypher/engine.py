@@ -1,21 +1,32 @@
 """The public query-engine facade.
 
 :class:`CypherEngine` binds a graph view, caches parsed queries, and
-runs them with an optional time budget — the budget is how the
-benchmark harness reproduces the paper's "aborted after 15 minutes"
-protocol for the Figure 6 comprehension query.
+runs them with per-query :class:`~repro.cypher.options.QueryOptions`
+(time budget, row cap, profiling) — the budget is how the benchmark
+harness reproduces the paper's "aborted after 15 minutes" protocol for
+the Figure 6 comprehension query, and ``PROFILE`` execution is how the
+Section 6.1 operator-level blow-up is attributed rather than asserted.
+
+Every run is booked into the engine's
+:class:`~repro.obs.Observability` bundle: query counters and latency
+histogram, the slow-query log, and a trace span per execution.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Mapping
 
 from repro.cypher import ast
 from repro.cypher.evaluator import ExecutionContext
 from repro.cypher.executor import execute
+from repro.cypher.options import QueryOptions
 from repro.cypher.parser import parse
+from repro.cypher.plan import PlanDescription
 from repro.cypher.result import Result
+from repro.errors import QueryTimeoutError
 from repro.graphdb.view import GraphView
+from repro.obs import Observability, QueryProfiler
 
 
 class CypherEngine:
@@ -27,16 +38,23 @@ class CypherEngine:
         Any :class:`~repro.graphdb.view.GraphView` — the in-memory
         graph or a page-cached disk store.
     default_timeout:
-        Seconds allowed per query unless overridden in :meth:`run`;
+        Seconds allowed per query unless overridden per run;
         ``None`` means unbounded.
+    obs:
+        The :class:`~repro.obs.Observability` bundle to record into;
+        a private one is created when not supplied (the Frappé facade
+        shares its bundle so engine and storage counters land in one
+        registry).
     """
 
     def __init__(self, view: GraphView,
                  default_timeout: float | None = None,
-                 use_index_seek: bool = True) -> None:
+                 use_index_seek: bool = True,
+                 obs: Observability | None = None) -> None:
         self.view = view
         self.default_timeout = default_timeout
         self.use_index_seek = use_index_seek
+        self.obs = obs if obs is not None else Observability()
         self._plan_cache: dict[str, ast.Query] = {}
 
     def prepare(self, text: str) -> ast.Query:
@@ -49,23 +67,83 @@ class CypherEngine:
 
     def run(self, text: str,
             parameters: Mapping[str, Any] | None = None,
-            timeout: float | None = None) -> Result:
+            *deprecated: float | None,
+            timeout: float | None = None,
+            options: QueryOptions | None = None) -> Result:
         """Execute Cypher text and materialize the result.
 
-        Raises :class:`~repro.errors.QueryTimeoutError` when the time
-        budget (``timeout`` or the engine default) is exceeded.
-        """
-        query = self.prepare(text)
-        budget = timeout if timeout is not None else self.default_timeout
-        ctx = ExecutionContext(self.view, parameters, budget,
-                               use_index_seek=self.use_index_seek)
-        return execute(query, ctx)
+        ``options`` carries the structured knobs (timeout, max_rows,
+        profile, parameters); explicit ``parameters=``/``timeout=``
+        keywords win over the corresponding option fields. Passing the
+        timeout positionally (the pre-``QueryOptions`` signature) still
+        works but emits a :class:`DeprecationWarning`.
 
-    def explain(self, text: str) -> str:
-        """Describe the execution plan without running the query."""
+        Raises :class:`~repro.errors.QueryTimeoutError` when the time
+        budget (from whichever source) is exceeded.
+        """
+        timeout = self._shim_positional_timeout(deprecated, timeout)
+        opts = options if options is not None else QueryOptions()
+        if parameters is None:
+            parameters = opts.parameters
+        budget = timeout if timeout is not None else opts.timeout
+        if budget is None:
+            budget = self.default_timeout
+        query = self.prepare(text)
+        profiler = QueryProfiler() \
+            if opts.profile or query.profile else None
+        ctx = ExecutionContext(self.view, parameters, budget,
+                               use_index_seek=self.use_index_seek,
+                               profiler=profiler)
+        with self.obs.tracer.span("cypher.query", query=text):
+            try:
+                result = execute(query, ctx)
+            except QueryTimeoutError:
+                self.obs.record_query(text, ctx.elapsed, rows=None,
+                                      timed_out=True)
+                raise
+        if opts.max_rows is not None:
+            result.truncate(opts.max_rows)
+        if profiler is not None:
+            profiler.finish(len(result.rows),
+                            result.stats.elapsed_seconds)
+            result.profile = profiler.to_plan()
+            result.stats.db_hits = result.profile.total_db_hits()
+        self.obs.record_query(text, result.stats.elapsed_seconds,
+                              len(result.rows))
+        return result
+
+    @staticmethod
+    def _shim_positional_timeout(deprecated: tuple[Any, ...],
+                                 timeout: float | None) -> float | None:
+        if not deprecated:
+            return timeout
+        if len(deprecated) > 1:
+            raise TypeError("run() takes at most one positional "
+                            "timeout argument")
+        if timeout is not None:
+            raise TypeError("timeout passed both positionally and by "
+                            "keyword")
+        warnings.warn(
+            "passing the query timeout positionally is deprecated; "
+            "use timeout=... or options=QueryOptions(timeout=...)",
+            DeprecationWarning, stacklevel=3)
+        return deprecated[0]
+
+    def explain(self, text: str) -> PlanDescription:
+        """The structured execution plan, without running the query.
+
+        ``str()`` of the returned tree is the classic text plan.
+        """
         from repro.cypher.explain import explain
         return explain(self.prepare(text), self.view,
                        self.use_index_seek)
+
+    def profile(self, text: str,
+                parameters: Mapping[str, Any] | None = None,
+                timeout: float | None = None) -> Result:
+        """Run with profiling on; ``result.profile`` holds the tree."""
+        return self.run(text, parameters, timeout=timeout,
+                        options=QueryOptions(profile=True))
 
     def clear_cache(self) -> None:
         self._plan_cache.clear()

@@ -24,7 +24,8 @@ class ExecutionContext:
     def __init__(self, view: GraphView,
                  parameters: Mapping[str, Any] | None = None,
                  timeout: float | None = None,
-                 use_index_seek: bool = True) -> None:
+                 use_index_seek: bool = True,
+                 profiler: Any | None = None) -> None:
         self.view = view
         self.parameters = dict(parameters or {})
         self.timeout = timeout
@@ -32,6 +33,9 @@ class ExecutionContext:
         #: when a node pattern carries an indexed property literal.
         #: Disabled only by the E5 planner-ablation benchmark.
         self.use_index_seek = use_index_seek
+        #: :class:`~repro.obs.profile.QueryProfiler` under PROFILE,
+        #: else None; None keeps the unprofiled hot path branch-cheap
+        self.profiler = profiler
         self.started = time.monotonic()
         self.expansions = 0
         # start one short of the check interval so the very first tick
@@ -48,6 +52,11 @@ class ExecutionContext:
             self._tick_counter = 0
             if time.monotonic() - self.started > self.timeout:
                 raise QueryTimeoutError(self.timeout)
+
+    def db_hit(self, count: int = 1) -> None:
+        """Charge store accesses to the profiled operator, if any."""
+        if self.profiler is not None:
+            self.profiler.hit(count)
 
     def check_deadline(self) -> None:
         if self.timeout is not None and \
@@ -96,8 +105,10 @@ def _property(subject: Any, key: str, ctx: ExecutionContext) -> Any:
     if subject is None:
         return None
     if isinstance(subject, NodeRef):
+        ctx.db_hit()
         return ctx.view.node_property(subject.id, key)
     if isinstance(subject, EdgeRef):
+        ctx.db_hit()
         return ctx.view.edge_property(subject.id, key)
     if isinstance(subject, Mapping):
         return subject.get(key)

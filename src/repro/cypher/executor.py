@@ -22,20 +22,65 @@ from repro.errors import CypherSemanticError, QueryError
 
 
 def execute(query: ast.Query, ctx: ExecutionContext) -> Result:
-    """Run a parsed query to a materialized result."""
+    """Run a parsed query to a materialized result.
+
+    When ``ctx.profiler`` is set (PROFILE execution), every clause
+    stage is wrapped in a timed iterator so the profiler sees rows,
+    self time and db-hits per physical operator; the unprofiled path
+    is untouched.
+    """
     rows: Iterator[dict[str, Any]] = iter([{}])
     result: Result | None = None
-    for clause in query.clauses:
+    profiler = ctx.profiler
+    for index, clause in enumerate(query.clauses):
         if isinstance(clause, ast.Start):
-            rows = _start(clause, rows, ctx)
+            if profiler is not None:
+                node = profiler.operator(None, ("start", index), "Start")
+                rows = profiler.iterate(node,
+                                        _start(clause, rows, ctx, node))
+            else:
+                rows = _start(clause, rows, ctx)
         elif isinstance(clause, ast.Match):
-            rows = match_clause(clause, rows, ctx)
+            if profiler is not None:
+                from repro.cypher.explain import describe_pattern
+                node = profiler.operator(
+                    None, ("match", index),
+                    "OptionalMatch" if clause.optional else "Match",
+                    pattern=", ".join(describe_pattern(pattern)
+                                      for pattern in clause.patterns))
+                rows = profiler.iterate(
+                    node, match_clause(clause, rows, ctx, node))
+            else:
+                rows = match_clause(clause, rows, ctx)
         elif isinstance(clause, ast.Where):
-            rows = _where(clause.predicate, rows, ctx)
+            if profiler is not None:
+                node = profiler.operator(None, ("filter", index),
+                                         "Filter")
+                rows = profiler.iterate(
+                    node, _where(clause.predicate, rows, ctx))
+            else:
+                rows = _where(clause.predicate, rows, ctx)
         elif isinstance(clause, ast.With):
-            rows = _with(clause, rows, ctx)
+            if profiler is not None:
+                node = profiler.operator(
+                    None, ("with", index),
+                    _projection_operator(clause.items),
+                    distinct=clause.distinct or None)
+                rows = profiler.iterate(node,
+                                        _with(clause, rows, ctx, node))
+            else:
+                rows = _with(clause, rows, ctx)
         elif isinstance(clause, ast.Return):
-            result = _return(clause, rows, ctx)
+            if profiler is not None:
+                node = profiler.operator(
+                    None, ("return", index),
+                    _projection_operator(clause.items, clause.star),
+                    distinct=clause.distinct or None)
+                with profiler.timed(node):
+                    result = _return(clause, rows, ctx, node)
+                node.rows += len(result.rows)
+            else:
+                result = _return(clause, rows, ctx)
         else:
             raise CypherSemanticError(f"unsupported clause {clause!r}")
     if result is None:
@@ -56,13 +101,15 @@ def execute(query: ast.Query, ctx: ExecutionContext) -> Result:
 # --------------------------------------------------------------------------
 
 def _start(clause: ast.Start, rows: Iterator[dict[str, Any]],
-           ctx: ExecutionContext) -> Iterator[dict[str, Any]]:
+           ctx: ExecutionContext,
+           plan: Any | None = None) -> Iterator[dict[str, Any]]:
     for row in rows:
-        yield from _start_points(clause.points, 0, row, ctx)
+        yield from _start_points(clause.points, 0, row, ctx, plan)
 
 
 def _start_points(points: tuple[ast.StartPoint, ...], index: int,
                   row: dict[str, Any], ctx: ExecutionContext,
+                  plan: Any | None = None,
                   ) -> Iterator[dict[str, Any]]:
     if index == len(points):
         yield row
@@ -73,18 +120,29 @@ def _start_points(points: tuple[ast.StartPoint, ...], index: int,
             raise CypherSemanticError(
                 f"unknown index {point.index_name!r}")
         candidates: Iterable[int] = ctx.view.indexes.query(point.query)
+        operator_name = "NodeByIndexQuery"
     elif point.all_nodes:
         candidates = ctx.view.node_ids()
+        operator_name = "AllNodesScan"
     else:
         for node_id in point.ids:
             if not ctx.view.has_node(node_id):
                 raise QueryError(f"no node with id {node_id}")
         candidates = point.ids
+        operator_name = "NodeById"
+    if plan is not None and ctx.profiler is not None:
+        operator = ctx.profiler.operator(
+            plan, ("point", index), operator_name,
+            variable=point.variable,
+            query=point.query
+            if isinstance(point, ast.IndexStartPoint) else None)
+        candidates = ctx.profiler.iterate(operator, candidates,
+                                          hits_per_row=1)
     for node_id in candidates:
         ctx.tick()
         extended = dict(row)
         extended[point.variable] = NodeRef(node_id)
-        yield from _start_points(points, index + 1, extended, ctx)
+        yield from _start_points(points, index + 1, extended, ctx, plan)
 
 
 # --------------------------------------------------------------------------
@@ -103,11 +161,19 @@ def _where(predicate: ast.Expr, rows: Iterator[dict[str, Any]],
 # Projection (WITH / RETURN)
 # --------------------------------------------------------------------------
 
+def _projection_operator(items: tuple[ast.ReturnItem, ...],
+                         star: bool = False) -> str:
+    aggregated = not star and any(
+        ast.contains_aggregate(item.expression) for item in items)
+    return "EagerAggregation" if aggregated else "Projection"
+
+
 def _with(clause: ast.With, rows: Iterator[dict[str, Any]],
-          ctx: ExecutionContext) -> Iterator[dict[str, Any]]:
+          ctx: ExecutionContext,
+          plan: Any | None = None) -> Iterator[dict[str, Any]]:
     columns, data = _project(clause.items, clause.distinct, clause.order_by,
                              clause.skip, clause.limit, rows, ctx,
-                             star=False)
+                             star=False, plan=plan)
     for values in data:
         row = dict(zip(columns, values))
         if clause.where is None or evaluate(clause.where, row, ctx) is True:
@@ -115,10 +181,10 @@ def _with(clause: ast.With, rows: Iterator[dict[str, Any]],
 
 
 def _return(clause: ast.Return, rows: Iterator[dict[str, Any]],
-            ctx: ExecutionContext) -> Result:
+            ctx: ExecutionContext, plan: Any | None = None) -> Result:
     columns, data = _project(clause.items, clause.distinct, clause.order_by,
                              clause.skip, clause.limit, rows, ctx,
-                             star=clause.star)
+                             star=clause.star, plan=plan)
     return Result(columns, data, QueryStats())
 
 
@@ -126,7 +192,9 @@ def _project(items: tuple[ast.ReturnItem, ...], distinct: bool,
              order_by: tuple[ast.SortItem, ...],
              skip: ast.Expr | None, limit: ast.Expr | None,
              rows: Iterator[dict[str, Any]], ctx: ExecutionContext,
-             star: bool) -> tuple[list[str], list[tuple[Any, ...]]]:
+             star: bool, plan: Any | None = None,
+             ) -> tuple[list[str], list[tuple[Any, ...]]]:
+    profiler = ctx.profiler if plan is not None else None
     if star:
         materialized = list(rows)
         columns = sorted({key for row in materialized for key in row})
@@ -144,15 +212,31 @@ def _project(items: tuple[ast.ReturnItem, ...], distinct: bool,
                                for item in items)
                 scoped.append((values, row))
     if distinct:
-        scoped = _distinct(scoped)
+        if profiler is not None:
+            operator = profiler.operator(plan, "distinct", "Distinct")
+            with profiler.timed(operator):
+                scoped = _distinct(scoped)
+            operator.rows += len(scoped)
+        else:
+            scoped = _distinct(scoped)
     if order_by:
-        scoped = _order(scoped, columns, order_by, ctx)
+        if profiler is not None:
+            operator = profiler.operator(plan, "sort", "Sort")
+            with profiler.timed(operator):
+                scoped = _order(scoped, columns, order_by, ctx)
+            operator.rows += len(scoped)
+        else:
+            scoped = _order(scoped, columns, order_by, ctx)
     data = [values for values, _scope in scoped]
     if skip is not None:
         data = data[_as_count(skip, ctx, "SKIP"):]
+        if profiler is not None:
+            profiler.operator(plan, "skip", "Skip").rows += len(data)
     if limit is not None:
         count = _as_count(limit, ctx, "LIMIT")
         data = data[:count]
+        if profiler is not None:
+            profiler.operator(plan, "limit", "Limit").rows += len(data)
     return columns, data
 
 

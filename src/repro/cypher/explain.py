@@ -3,10 +3,14 @@
 The paper's Section 6.1 diagnosis ("suboptimal graph explorations
 being chosen by the Cypher query language") is exactly the kind of
 problem a plan description surfaces. :func:`explain` walks the parsed
-clauses and reports, per MATCH pattern, which node anchors the search
-and how its candidates are sourced (bound variable, auto-index seek,
-label scan, or an all-nodes scan), plus where variable-length
-expansions — the path-enumeration hazards — sit.
+clauses into a :class:`~repro.cypher.plan.PlanDescription` operator
+tree and reports, per MATCH pattern, which node anchors the search and
+how its candidates are sourced (bound variable, auto-index seek, label
+scan, or an all-nodes scan), plus where variable-length expansions —
+the path-enumeration hazards — sit. Each operator carries the legacy
+explain text line(s), so ``str(plan)`` reproduces the historical
+output; ``PROFILE`` execution produces the same operator names
+annotated with measured rows/time/db-hits.
 """
 
 from __future__ import annotations
@@ -14,67 +18,172 @@ from __future__ import annotations
 from repro.cypher import ast
 from repro.cypher.matcher import _pick_anchor, anchor_strategy
 from repro.cypher.parser import parse
+from repro.cypher.plan import ANCHOR_OPERATORS, PlanDescription
 from repro.graphdb.view import GraphView
 
 
 def explain(text_or_query: str | ast.Query, view: GraphView,
-            use_index_seek: bool = True) -> str:
-    """A human-readable execution plan for a query."""
+            use_index_seek: bool = True) -> PlanDescription:
+    """A structured (and printable) execution plan for a query."""
     query = parse(text_or_query) if isinstance(text_or_query, str) \
         else text_or_query
     indexed_keys = tuple(getattr(view.indexes, "auto_index_keys", ()))
     known: set[str] = set()
-    lines: list[str] = []
+    clauses: list[PlanDescription] = []
     for clause in query.clauses:
         if isinstance(clause, ast.Start):
-            for point in clause.points:
-                if isinstance(point, ast.IndexStartPoint):
-                    lines.append(f"START {point.variable}: index query "
-                                 f"{point.query!r}")
-                else:
-                    what = "all nodes" if point.all_nodes \
-                        else f"ids {list(point.ids)}"
-                    lines.append(f"START {point.variable}: {what}")
-                known.add(point.variable)
+            clauses.append(_explain_start(clause, view))
+            known.update(point.variable for point in clause.points)
         elif isinstance(clause, ast.Match):
-            keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
+            clauses.append(_explain_match(clause, view, known,
+                                          indexed_keys, use_index_seek))
             for pattern in clause.patterns:
-                lines.append(f"{keyword} {_describe_pattern(pattern)}")
-                if pattern.shortest:
-                    lines.append("  strategy: BFS shortest path "
-                                 f"({pattern.shortest})")
-                else:
-                    anchor = _pick_anchor_known(pattern, known)
-                    strategy, detail = anchor_strategy(
-                        pattern.nodes[anchor], known, indexed_keys,
-                        use_index_seek)
-                    suffix = f" on {detail}" if detail else ""
-                    lines.append(f"  anchor: node {anchor} via "
-                                 f"{strategy}{suffix}")
-                    for index, rel in enumerate(pattern.rels):
-                        if rel.var_length:
-                            bound = ("unbounded" if rel.max_hops is None
-                                     else f"max {rel.max_hops}")
-                            lines.append(
-                                f"  warning: rel {index} is "
-                                f"variable-length ({bound}) — path "
-                                f"enumeration may explode")
                 known.update(pattern.variables())
         elif isinstance(clause, ast.Where):
             predicates = _count_pattern_predicates(clause.predicate)
             note = (f" ({predicates} pattern predicate"
                     f"{'s' if predicates != 1 else ''})"
                     if predicates else "")
-            lines.append(f"WHERE filter{note}")
+            clauses.append(PlanDescription(
+                "Filter", args={"pattern_predicates": predicates},
+                text=f"WHERE filter{note}"))
         elif isinstance(clause, ast.With):
-            lines.append(_describe_projection("WITH", clause.items,
-                                              clause.distinct))
+            clauses.append(_explain_projection(
+                "WITH", clause.items, clause.distinct))
             known = {item.output_name(ast.render_expr(item.expression))
                      for item in clause.items}
         elif isinstance(clause, ast.Return):
-            lines.append(_describe_projection(
+            clauses.append(_explain_projection(
                 "RETURN", clause.items, clause.distinct, clause.star))
-    return "\n".join(lines)
+    return PlanDescription("Query", children=tuple(clauses))
+
+
+def _explain_start(clause: ast.Start,
+                   view: GraphView) -> PlanDescription:
+    points = []
+    for point in clause.points:
+        if isinstance(point, ast.IndexStartPoint):
+            points.append(PlanDescription(
+                "NodeByIndexQuery",
+                args={"variable": point.variable, "query": point.query},
+                estimated_rows=_safe_count(
+                    lambda: view.indexes.query(point.query)),
+                text=f"START {point.variable}: index query "
+                     f"{point.query!r}"))
+        elif point.all_nodes:
+            points.append(PlanDescription(
+                "AllNodesScan", args={"variable": point.variable},
+                estimated_rows=_safe_count(view.node_ids),
+                text=f"START {point.variable}: all nodes"))
+        else:
+            points.append(PlanDescription(
+                "NodeById",
+                args={"variable": point.variable,
+                      "ids": list(point.ids)},
+                estimated_rows=len(point.ids),
+                text=f"START {point.variable}: ids {list(point.ids)}"))
+    return PlanDescription("Start", children=tuple(points))
+
+
+def _explain_match(clause: ast.Match, view: GraphView, known: set[str],
+                   indexed_keys: tuple[str, ...],
+                   use_index_seek: bool) -> PlanDescription:
+    keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
+    children = []
+    for pattern in clause.patterns:
+        pattern_text = f"{keyword} {describe_pattern(pattern)}"
+        if pattern.shortest:
+            children.append(PlanDescription(
+                "ShortestPath", args={"mode": pattern.shortest},
+                text=f"{pattern_text}\n  strategy: BFS shortest path "
+                     f"({pattern.shortest})"))
+            continue
+        anchor = _pick_anchor_known(pattern, known)
+        strategy, detail = anchor_strategy(
+            pattern.nodes[anchor], known, indexed_keys, use_index_seek)
+        suffix = f" on {detail}" if detail else ""
+        expands = []
+        for index, rel in enumerate(pattern.rels):
+            if rel.var_length:
+                bound = ("unbounded" if rel.max_hops is None
+                         else f"max {rel.max_hops}")
+                expands.append(PlanDescription(
+                    "VarLengthExpand",
+                    args={"types": "|".join(rel.types) or None,
+                          "direction": rel.direction},
+                    text=f"  warning: rel {index} is variable-length "
+                         f"({bound}) — path enumeration may explode"))
+            else:
+                expands.append(PlanDescription(
+                    "Expand",
+                    args={"types": "|".join(rel.types) or None,
+                          "direction": rel.direction}))
+        children.append(PlanDescription(
+            ANCHOR_OPERATORS[strategy],
+            args={"variable": pattern.nodes[anchor].variable,
+                  "on": detail or None},
+            children=tuple(expands),
+            estimated_rows=_estimate_anchor(
+                view, pattern.nodes[anchor], strategy, indexed_keys),
+            text=f"{pattern_text}\n  anchor: node {anchor} via "
+                 f"{strategy}{suffix}"))
+    return PlanDescription("OptionalMatch" if clause.optional
+                           else "Match", children=tuple(children))
+
+
+def _explain_projection(keyword: str, items: tuple[ast.ReturnItem, ...],
+                        distinct: bool,
+                        star: bool = False) -> PlanDescription:
+    if star:
+        body = "*"
+    else:
+        body = ", ".join(ast.render_expr(item.expression)
+                         for item in items)
+    aggregated = not star and any(
+        ast.contains_aggregate(item.expression) for item in items)
+    notes = []
+    if distinct:
+        notes.append("distinct")
+    if aggregated:
+        notes.append("aggregate")
+    suffix = f" ({', '.join(notes)})" if notes else ""
+    children = (PlanDescription("Distinct"),) if distinct else ()
+    return PlanDescription(
+        "EagerAggregation" if aggregated else "Projection",
+        args={"items": body, "distinct": distinct or None},
+        children=children,
+        text=f"{keyword} {body}{suffix}")
+
+
+def _estimate_anchor(view: GraphView, node: ast.NodePattern,
+                     strategy: str,
+                     indexed_keys: tuple[str, ...]) -> int | None:
+    if strategy == "bound":
+        return 1
+    if strategy == "index-seek":
+        for key, expr in node.properties:
+            if key in indexed_keys and isinstance(expr, ast.Literal) \
+                    and expr.value is not None:
+                return _safe_count(
+                    lambda: view.indexes.lookup(key, expr.value))
+    if strategy == "label-scan":
+        label_count = getattr(view.indexes, "label_count", None)
+        if label_count is not None:
+            try:
+                return label_count(node.labels[0])
+            except Exception:
+                return None
+        return None
+    if strategy == "all-nodes":
+        return _safe_count(view.node_ids)
+    return None
+
+
+def _safe_count(source) -> int | None:
+    try:
+        return sum(1 for _ in source())
+    except Exception:
+        return None
 
 
 def _pick_anchor_known(pattern: ast.Pattern, known: set[str]) -> int:
@@ -83,7 +192,8 @@ def _pick_anchor_known(pattern: ast.Pattern, known: set[str]) -> int:
     return _pick_anchor(pattern, fake_row)
 
 
-def _describe_pattern(pattern: ast.Pattern) -> str:
+def describe_pattern(pattern: ast.Pattern) -> str:
+    """Render a MATCH pattern back to (normalized) Cypher text."""
     parts = []
     if pattern.path_variable:
         parts.append(f"{pattern.path_variable} = ")
@@ -104,22 +214,8 @@ def _describe_pattern(pattern: ast.Pattern) -> str:
     return "".join(parts)
 
 
-def _describe_projection(keyword: str, items, distinct: bool,
-                         star: bool = False) -> str:
-    if star:
-        body = "*"
-    else:
-        body = ", ".join(ast.render_expr(item.expression)
-                         for item in items)
-    aggregated = any(ast.contains_aggregate(item.expression)
-                     for item in items)
-    notes = []
-    if distinct:
-        notes.append("distinct")
-    if aggregated:
-        notes.append("aggregate")
-    suffix = f" ({', '.join(notes)})" if notes else ""
-    return f"{keyword} {body}{suffix}"
+# back-compat alias for the pre-redesign private name
+_describe_pattern = describe_pattern
 
 
 def _count_pattern_predicates(expr: ast.Expr) -> int:

@@ -25,6 +25,7 @@ from typing import Any, Iterator, Mapping
 
 from repro.cypher import ast
 from repro.cypher.evaluator import ExecutionContext, evaluate
+from repro.cypher.plan import ANCHOR_OPERATORS
 from repro.cypher.result import EdgeRef, NodeRef, PathValue
 from repro.errors import CypherSemanticError
 from repro.graphdb.view import Direction, other_end
@@ -50,14 +51,20 @@ class _Step:
 
 
 def match_clause(clause: ast.Match, rows: Iterator[Mapping[str, Any]],
-                 ctx: ExecutionContext) -> Iterator[dict[str, Any]]:
-    """Apply one MATCH clause to a stream of binding rows."""
+                 ctx: ExecutionContext,
+                 plan: Any | None = None) -> Iterator[dict[str, Any]]:
+    """Apply one MATCH clause to a stream of binding rows.
+
+    ``plan`` is the clause's profiled operator (an
+    :class:`~repro.obs.profile.OperatorStats`) when running under
+    PROFILE; the matcher hangs anchor/expand operators off it.
+    """
     new_variables = sorted({name for pattern in clause.patterns
                             for name in pattern.variables()})
     for row in rows:
         produced = False
         for result in _match_patterns(clause.patterns, 0, dict(row),
-                                      frozenset(), ctx):
+                                      frozenset(), ctx, plan):
             produced = True
             yield result
         if clause.optional and not produced:
@@ -77,32 +84,54 @@ def pattern_exists(pattern: ast.Pattern, row: Mapping[str, Any],
 
 def _match_patterns(patterns: tuple[ast.Pattern, ...], index: int,
                     row: dict[str, Any], used: frozenset[int],
-                    ctx: ExecutionContext) -> Iterator[dict[str, Any]]:
+                    ctx: ExecutionContext,
+                    plan: Any | None = None) -> Iterator[dict[str, Any]]:
     if index == len(patterns):
         yield row
         return
-    for new_row, new_used in _match_one(patterns[index], row, used, ctx):
+    for new_row, new_used in _match_one(patterns[index], row, used, ctx,
+                                        plan, index):
         yield from _match_patterns(patterns, index + 1, new_row, new_used,
-                                   ctx)
+                                   ctx, plan)
 
 
 def _match_one(pattern: ast.Pattern, row: dict[str, Any],
                used: frozenset[int], ctx: ExecutionContext,
+               plan: Any | None = None, pattern_index: int = 0,
                ) -> Iterator[tuple[dict[str, Any], frozenset[int]]]:
+    profiler = ctx.profiler if plan is not None else None
     if pattern.shortest is not None:
-        yield from _match_shortest(pattern, row, used, ctx)
+        found = _match_shortest(pattern, row, used, ctx)
+        if profiler is not None:
+            operator = profiler.operator(
+                plan, ("shortest", pattern_index), "ShortestPath",
+                mode=pattern.shortest)
+            found = profiler.iterate(operator, found)
+        yield from found
         return
     anchor = _pick_anchor(pattern, row)
     steps = _build_steps(pattern, anchor)
     track_path = pattern.path_variable is not None
-    for node_id in _anchor_candidates(pattern.nodes[anchor], row, ctx):
+    candidates = _anchor_candidates(pattern.nodes[anchor], row, ctx)
+    if profiler is not None:
+        strategy, detail = anchor_strategy(
+            pattern.nodes[anchor], set(row),
+            tuple(getattr(ctx.view.indexes, "auto_index_keys", ())),
+            ctx.use_index_seek)
+        operator = profiler.operator(
+            plan, ("anchor", pattern_index), ANCHOR_OPERATORS[strategy],
+            variable=pattern.nodes[anchor].variable, on=detail or None)
+        candidates = profiler.iterate(operator, candidates,
+                                      hits_per_row=1)
+    for node_id in candidates:
         if not _node_ok(pattern.nodes[anchor], node_id, row, ctx):
             continue
         anchored = dict(row)
         _bind_node(anchored, pattern.nodes[anchor], node_id)
         bound = {anchor: node_id}
         for match_row, match_used, final_bound, final_rels in _expand(
-                steps, 0, anchored, bound, used, ctx, {}):
+                steps, 0, anchored, bound, used, ctx, {}, plan,
+                pattern_index):
             if track_path:
                 match_row = dict(match_row)
                 match_row[pattern.path_variable] = _build_path(
@@ -189,12 +218,33 @@ def _anchor_candidates(node: ast.NodePattern, row: Mapping[str, Any],
 def _expand(steps: list[_Step], step_index: int, row: dict[str, Any],
             bound: dict[int, int], used: frozenset[int],
             ctx: ExecutionContext, rel_values: dict[int, Any],
+            plan: Any | None = None, pattern_index: int = 0,
             ) -> Iterator[tuple[dict[str, Any], frozenset[int],
                                 dict[int, int], dict[int, Any]]]:
     if step_index == len(steps):
         yield row, used, bound, rel_values
         return
     step = steps[step_index]
+    results = _expand_step(step, row, bound, used, ctx, rel_values)
+    if plan is not None and ctx.profiler is not None:
+        operator = ctx.profiler.operator(
+            plan, ("expand", pattern_index, step.rel_index),
+            "VarLengthExpand" if step.rel.var_length else "Expand",
+            types="|".join(step.rel.types) or None,
+            direction=step.rel.direction,
+            bounds=_hops_text(step.rel) if step.rel.var_length else None)
+        results = ctx.profiler.iterate(operator, results)
+    for new_row, new_bound, new_used, new_rels in results:
+        yield from _expand(steps, step_index + 1, new_row, new_bound,
+                           new_used, ctx, new_rels, plan, pattern_index)
+
+
+def _expand_step(step: _Step, row: dict[str, Any],
+                 bound: dict[int, int], used: frozenset[int],
+                 ctx: ExecutionContext, rel_values: dict[int, Any],
+                 ) -> Iterator[tuple[dict[str, Any], dict[int, int],
+                                     frozenset[int], dict[int, Any]]]:
+    """One relationship step: expand, filter the target, bind."""
     source = bound[step.source_index]
     target_index = step.source_index + (-1 if step.reversed else 1)
     if step.rel.var_length:
@@ -222,8 +272,12 @@ def _expand(steps: list[_Step], step_index: int, row: dict[str, Any],
         new_bound[target_index] = target_node
         new_rels = dict(rel_values)
         new_rels[step.rel_index] = oriented
-        yield from _expand(steps, step_index + 1, new_row, new_bound,
-                           used | edges, ctx, new_rels)
+        yield new_row, new_bound, used | edges, new_rels
+
+
+def _hops_text(rel: ast.RelPattern) -> str:
+    upper = "" if rel.max_hops is None else str(rel.max_hops)
+    return f"*{rel.min_hops}..{upper}"
 
 
 def _expand_single(step: _Step, source: int, row: Mapping[str, Any],
@@ -232,6 +286,7 @@ def _expand_single(step: _Step, source: int, row: Mapping[str, Any],
     types = step.rel.types or None
     for edge_id in ctx.view.edges_of(source, step.direction, types):
         ctx.tick()
+        ctx.db_hit()
         if edge_id in used:
             continue
         if not _edge_props_ok(step.rel, edge_id, row, ctx):
@@ -258,6 +313,7 @@ def _expand_var_length(step: _Step, source: int, row: Mapping[str, Any],
             continue
         for edge_id in ctx.view.edges_of(node_id, step.direction, types):
             ctx.tick()
+            ctx.db_hit()
             if edge_id in path_edges or edge_id in used:
                 continue
             if not _edge_props_ok(rel, edge_id, row, ctx):
@@ -356,6 +412,7 @@ def _edge_props_ok(rel: ast.RelPattern, edge_id: int,
                    row: Mapping[str, Any], ctx: ExecutionContext) -> bool:
     for key, expr in rel.properties:
         wanted = evaluate(expr, row, ctx)
+        ctx.db_hit()
         if ctx.view.edge_property(edge_id, key) != wanted:
             return False
     return True
@@ -368,11 +425,13 @@ def _node_ok(node: ast.NodePattern, node_id: int, row: Mapping[str, Any],
         if not isinstance(value, NodeRef) or value.id != node_id:
             return False
     if node.labels:
+        ctx.db_hit()
         labels = ctx.view.node_labels(node_id)
         if not all(label in labels for label in node.labels):
             return False
     for key, expr in node.properties:
         wanted = evaluate(expr, row, ctx)
+        ctx.db_hit()
         if ctx.view.node_property(node_id, key) != wanted:
             return False
     return True

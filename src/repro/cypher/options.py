@@ -1,0 +1,51 @@
+"""Structured per-query execution options.
+
+One :class:`QueryOptions` value replaces the accretion of positional
+parameters on ``Frappe.query()`` / ``CypherEngine.run()``::
+
+    frappe.query("MATCH (n:function) RETURN n.short_name",
+                 options=QueryOptions(timeout=2.0, max_rows=100,
+                                      profile=True))
+
+Explicit keyword arguments (``parameters=``, ``timeout=``) win over
+the same field inside ``options``, so callers can share one options
+value and override per call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryOptions:
+    """Execution options for one Cypher query run.
+
+    timeout
+        Wall-clock budget in seconds (None = the engine default).
+    max_rows
+        Truncate the result to this many rows after execution;
+        ``result.stats.truncated`` records that it happened.
+    profile
+        Collect an operator-level execution profile on
+        ``result.profile`` (same effect as a ``PROFILE`` prefix on
+        the query text).
+    parameters
+        Query parameters, ``$name`` -> value.
+    """
+
+    timeout: float | None = None
+    max_rows: int | None = None
+    profile: bool = False
+    parameters: Mapping[str, Any] | None = None
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.max_rows is not None and self.max_rows < 0:
+            raise ValueError("max_rows must be >= 0")
+
+
+#: Default options: no timeout override, no truncation, no profiling.
+DEFAULT_OPTIONS = QueryOptions()

@@ -92,6 +92,12 @@ class _Parser:
     # -- query / clause structure ----------------------------------------------
 
     def parse_query(self) -> ast.Query:
+        # PROFILE is a query modifier, not a clause: it requests an
+        # operator-level execution profile on the result
+        profile = False
+        if self._peek().is_keyword("PROFILE"):
+            self._advance()
+            profile = True
         clauses: list[ast.Clause] = []
         while not self._peek().kind == EOF:
             if self._at_punct(";"):
@@ -100,7 +106,7 @@ class _Parser:
             clauses.append(self._clause())
         if not clauses:
             raise CypherSyntaxError("empty query")
-        query = ast.Query(tuple(clauses), self._text)
+        query = ast.Query(tuple(clauses), self._text, profile)
         self._validate(query)
         return query
 

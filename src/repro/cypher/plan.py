@@ -1,0 +1,131 @@
+"""Structured query plans: the operator tree behind EXPLAIN/PROFILE.
+
+``CypherEngine.explain()`` returns a :class:`PlanDescription` whose
+``__str__`` reproduces the engine's historical text plan line for
+line, so string-based callers keep working; structured callers walk
+``children``/``operators()`` instead. ``PROFILE`` execution produces
+the same tree shape annotated with measured rows, db-hits and
+per-operator self time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator
+
+#: anchor-strategy name (from the matcher) -> physical operator name
+ANCHOR_OPERATORS = {
+    "bound": "Argument",
+    "index-seek": "NodeIndexSeek",
+    "label-scan": "NodeByLabelScan",
+    "all-nodes": "AllNodesScan",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanDescription:
+    """One operator in an EXPLAIN/PROFILE tree.
+
+    ``estimated_rows`` is filled by EXPLAIN where an estimate is cheap
+    (index/label cardinalities); ``rows``/``db_hits``/``time_ms`` are
+    filled only by PROFILE. ``text`` carries the operator's legacy
+    explain line(s), and ``__str__`` of a tree that has them reproduces
+    the historical text output exactly.
+    """
+
+    name: str
+    args: dict[str, Any] = dataclasses.field(default_factory=dict)
+    children: tuple["PlanDescription", ...] = ()
+    estimated_rows: int | None = None
+    rows: int | None = None
+    db_hits: int | None = None
+    time_ms: float | None = None
+    text: str | None = None
+
+    # -- traversal -------------------------------------------------------------
+
+    def operators(self) -> Iterator["PlanDescription"]:
+        """Pre-order traversal, self first."""
+        yield self
+        for child in self.children:
+            yield from child.operators()
+
+    def find(self, name: str) -> list["PlanDescription"]:
+        """All operators in the tree with this name."""
+        return [op for op in self.operators() if op.name == name]
+
+    def find_one(self, name: str) -> "PlanDescription":
+        """The unique operator with this name; raises if 0 or many."""
+        found = self.find(name)
+        if len(found) != 1:
+            raise LookupError(
+                f"expected exactly one {name!r} operator, "
+                f"found {len(found)}")
+        return found[0]
+
+    # -- profile helpers -------------------------------------------------------
+
+    @property
+    def profiled(self) -> bool:
+        return self.rows is not None
+
+    def total_db_hits(self) -> int:
+        return sum(op.db_hits or 0 for op in self.operators())
+
+    def hottest(self) -> "PlanDescription | None":
+        """The non-root operator with the most self time (PROFILE)."""
+        candidates = [op for op in self.operators()
+                      if op is not self and op.time_ms is not None]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda op: op.time_ms)
+
+    # -- rendering -------------------------------------------------------------
+
+    def pretty(self) -> str:
+        """Tree rendering with whatever stats each operator carries."""
+        lines: list[str] = []
+
+        def walk(node: "PlanDescription", depth: int) -> None:
+            arg_text = ", ".join(f"{key}={value}" for key, value
+                                 in node.args.items())
+            label = f"{node.name}({arg_text})" if arg_text \
+                else node.name
+            stats: list[str] = []
+            if node.estimated_rows is not None:
+                stats.append(f"est={node.estimated_rows}")
+            if node.rows is not None:
+                stats.append(f"rows={node.rows}")
+            if node.db_hits is not None:
+                stats.append(f"dbhits={node.db_hits}")
+            if node.time_ms is not None:
+                stats.append(f"time={node.time_ms:.2f}ms")
+            prefix = "" if depth == 0 else "  " * (depth - 1) + "+ "
+            suffix = "  [" + " ".join(stats) + "]" if stats else ""
+            lines.append(prefix + label + suffix)
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self, 0)
+        return "\n".join(lines)
+
+    def _legacy_lines(self) -> list[str]:
+        return [op.text for op in self.operators() if op.text is not None]
+
+    def __str__(self) -> str:
+        legacy = self._legacy_lines()
+        if legacy:
+            return "\n".join(legacy)
+        return self.pretty()
+
+    # -- string back-compat ----------------------------------------------------
+    # explain() historically returned a str; these keep substring
+    # assertions and .splitlines() callers working on the tree.
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, str):
+            return item in str(self)
+        return any(op is item for op in self.operators())
+
+    def splitlines(self) -> list[str]:
+        return str(self).splitlines()

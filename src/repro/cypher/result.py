@@ -66,16 +66,35 @@ class QueryStats:
     rows_produced: int = 0
     expansions: int = 0
     elapsed_seconds: float = 0.0
+    #: total store accesses measured by PROFILE (0 when not profiled)
+    db_hits: int = 0
+    #: True when QueryOptions.max_rows cut the result short
+    truncated: bool = False
 
 
 class Result:
-    """Materialized query result: named columns and a list of rows."""
+    """Materialized query result: named columns and a list of rows.
+
+    When the query ran under ``PROFILE`` (or
+    ``QueryOptions(profile=True)``), :attr:`profile` holds the
+    measured :class:`~repro.cypher.plan.PlanDescription` tree.
+    """
 
     def __init__(self, columns: list[str], rows: list[tuple[Any, ...]],
                  stats: QueryStats | None = None) -> None:
         self.columns = columns
         self.rows = rows
         self.stats = stats or QueryStats(rows_produced=len(rows))
+        self.profile: Any | None = None
+
+    def truncate(self, max_rows: int) -> None:
+        """Keep only the first ``max_rows`` rows (QueryOptions)."""
+        if max_rows < 0:
+            raise QueryError("max_rows must be >= 0")
+        if len(self.rows) > max_rows:
+            self.rows = self.rows[:max_rows]
+            self.stats.rows_produced = len(self.rows)
+            self.stats.truncated = True
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -26,6 +26,9 @@ def reachable_nodes(view: GraphView, start: int,
     the seed depends on); the forward slice flips the direction
     (paper Section 4.4).
     """
+    registry = getattr(view, "metrics", None)
+    expansions = registry.counter("traversal.expansions") \
+        if registry is not None else None
     visited = {start}
     frontier = deque([(start, 0)])
     while frontier:
@@ -33,10 +36,14 @@ def reachable_nodes(view: GraphView, start: int,
         if max_depth is not None and depth >= max_depth:
             continue
         for edge_id in view.edges_of(node_id, direction, types):
+            if expansions is not None:
+                expansions.inc()
             neighbor = other_end(view, edge_id, node_id)
             if neighbor not in visited:
                 visited.add(neighbor)
                 frontier.append((neighbor, depth + 1))
+    if registry is not None:
+        registry.counter("traversal.paths").inc(len(visited))
     if not include_start:
         visited.discard(start)
     return visited

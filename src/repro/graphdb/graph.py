@@ -131,6 +131,12 @@ class PropertyGraph:
         self._out: dict[int, dict[str, list[int]]] = {}
         self._in: dict[int, dict[str, list[int]]] = {}
         self._indexes = IndexManager(auto_index_keys=keys)
+        self.metrics: Any | None = None
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Bind index/traversal counters to a metrics registry."""
+        self.metrics = registry
+        self._indexes.attach_metrics(registry)
 
     # -- mutation: nodes ----------------------------------------------------
 

@@ -46,6 +46,15 @@ class IndexManager:
         self._by_term: dict[str, dict[str, set[int]]] = {
             key: {} for key in self._auto_keys}
         self._all_nodes: set[int] = set()
+        self._lookup_counter: Any | None = None
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Bind the ``index.lookups`` counter to a metrics registry."""
+        self._lookup_counter = registry.counter("index.lookups")
+
+    def _count_lookup(self) -> None:
+        if self._lookup_counter is not None:
+            self._lookup_counter.inc()
 
     @property
     def auto_index_keys(self) -> tuple[str, ...]:
@@ -105,6 +114,7 @@ class IndexManager:
 
     def label(self, label: str) -> Iterator[int]:
         """Node ids carrying *label*, in ascending id order."""
+        self._count_lookup()
         return iter(sorted(self._by_label.get(label, ())))
 
     def labels(self) -> Iterator[str]:
@@ -115,6 +125,7 @@ class IndexManager:
 
     def lookup(self, key: str, value: Any) -> Iterator[int]:
         """Exact-term probe on an auto-indexed key."""
+        self._count_lookup()
         term_dict = self._by_term.get(key.lower())
         if term_dict is None:
             return iter(())
@@ -122,6 +133,7 @@ class IndexManager:
 
     def query(self, query_string: str) -> Iterator[int]:
         """Evaluate a legacy lucene query string; yields node ids sorted."""
+        self._count_lookup()
         ast = luceneql.parse_query(query_string)
         return iter(sorted(luceneql.evaluate(ast, self)))
 

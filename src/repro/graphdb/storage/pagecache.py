@@ -12,9 +12,12 @@ from __future__ import annotations
 import dataclasses
 import os
 from collections import OrderedDict
-from typing import BinaryIO
+from typing import TYPE_CHECKING, BinaryIO
 
 from repro.errors import StoreCorruptionError
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 DEFAULT_PAGE_SIZE = 8192
 DEFAULT_CAPACITY_PAGES = 4096  # 32 MiB at the default page size
@@ -50,10 +53,18 @@ class CacheStats:
 
 
 class PageCache:
-    """Shared LRU cache of (file id, page number) -> page bytes."""
+    """Shared LRU cache of (file id, page number) -> page bytes.
+
+    Counters are kept twice on purpose: :attr:`stats` is the local
+    :class:`CacheStats` the ablation benchmarks poke directly, and the
+    same events are mirrored into a
+    :class:`~repro.obs.metrics.MetricsRegistry` (``pagecache.*``) so
+    one ``Frappe.counters()`` snapshot covers the whole read path.
+    """
 
     def __init__(self, capacity_pages: int = DEFAULT_CAPACITY_PAGES,
-                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 registry: "MetricsRegistry | None" = None) -> None:
         if capacity_pages < 1:
             raise ValueError("page cache needs at least one page")
         if page_size < 64:
@@ -63,6 +74,22 @@ class PageCache:
         self.stats = CacheStats()
         self._pages: OrderedDict[tuple[int, int], bytes] = OrderedDict()
         self._next_file_id = 0
+        if registry is None:
+            from repro.obs import MetricsRegistry
+            registry = MetricsRegistry()
+        self.attach_metrics(registry)
+
+    def attach_metrics(self, registry: "MetricsRegistry") -> None:
+        """(Re)bind the cache's counters to a metrics registry."""
+        self.metrics = registry
+        self._hit_counter = registry.counter("pagecache.hits")
+        self._miss_counter = registry.counter("pagecache.misses")
+        self._eviction_counter = registry.counter("pagecache.evictions")
+        self._read_bytes_counter = registry.counter(
+            "pagecache.read_bytes")
+        self._short_read_counter = registry.counter(
+            "pagecache.short_reads")
+        self._resident_gauge = registry.gauge("pagecache.resident_pages")
 
     def register_file(self) -> int:
         """Hand out a unique id for a participating file."""
@@ -77,16 +104,26 @@ class PageCache:
         page = self._pages.get(key)
         if page is not None:
             self.stats.hits += 1
+            self._hit_counter.inc()
             self._pages.move_to_end(key)
             return page
         self.stats.misses += 1
+        self._miss_counter.inc()
         handle.seek(page_no * self.page_size)
         page = handle.read(self.page_size)
+        self._read_bytes_counter.inc(len(page))
         self._pages[key] = page
         if len(self._pages) > self.capacity_pages:
             self._pages.popitem(last=False)
             self.stats.evictions += 1
+            self._eviction_counter.inc()
+        self._resident_gauge.set(len(self._pages))
         return page
+
+    def note_short_read(self) -> None:
+        """Record a truncated-underneath-us read (PagedFile)."""
+        self.stats.short_reads += 1
+        self._short_read_counter.inc()
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all cached pages of one file (after a rewrite)."""
@@ -121,6 +158,10 @@ class PagedFile:
     @property
     def size(self) -> int:
         return self._size
+
+    @property
+    def cache(self) -> PageCache:
+        return self._cache
 
     @property
     def closed(self) -> bool:
@@ -162,7 +203,7 @@ class PagedFile:
                 remaining -= take
             data = b"".join(chunks)
         if len(data) != length:
-            self._cache.stats.short_reads += 1
+            self._cache.note_short_read()
             raise StoreCorruptionError(
                 f"short read: wanted {length} bytes, file (size "
                 f"{self._size} at open) yielded {len(data)} — "

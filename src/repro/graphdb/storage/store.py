@@ -898,6 +898,13 @@ class StoreIndexes:
         self._postings = postings
         self._universe_size = node_universe_size
         self._all_ids_cache: set[int] | None = None
+        self.attach_metrics(postings.cache.metrics)
+
+    def attach_metrics(self, registry: Any) -> None:
+        """(Re)bind index counters to a metrics registry."""
+        self._lookup_counter = registry.counter("index.lookups")
+        self._postings_counter = registry.counter(
+            "index.postings_read")
 
     @property
     def auto_index_keys(self) -> tuple[str, ...]:
@@ -913,16 +920,19 @@ class StoreIndexes:
         self._postings.close()
 
     def lookup(self, key: str, value: Any) -> Iterator[int]:
+        self._lookup_counter.inc()
         entry = self._auto.get(key.lower(), {}).get(_index_term(value))
         if entry is None:
             return iter(())
         return iter(self._read_postings(entry))
 
     def query(self, query_string: str) -> Iterator[int]:
+        self._lookup_counter.inc()
         ast = luceneql.parse_query(query_string)
         return iter(sorted(luceneql.evaluate(ast, self)))
 
     def label(self, label: str) -> Iterator[int]:
+        self._lookup_counter.inc()
         entry = self._labels.get(label)
         if entry is None:
             return iter(())
@@ -960,6 +970,7 @@ class StoreIndexes:
         offset, count = entry
         if not count:
             return ()
+        self._postings_counter.inc(count)
         raw = self._postings.read(offset, 8 * count)
         return struct.unpack(f"<{count}Q", raw)
 
@@ -1016,6 +1027,18 @@ class StoreGraph:
         self._adj_cache: dict[int, tuple[Any, Any]] = {}
         self._node_prop_cache: dict[int, dict[str, Any]] = {}
         self._edge_prop_cache: dict[int, dict[str, Any]] = {}
+        self.attach_metrics(page_cache.metrics)
+
+    def attach_metrics(self, registry: Any) -> None:
+        """(Re)bind the whole read path — page cache, index reader and
+        the decoded-object caches — to one metrics registry, so a
+        single snapshot covers every layer (``Frappe.counters()``)."""
+        self.metrics = registry
+        self.page_cache.attach_metrics(registry)
+        self._indexes.attach_metrics(registry)
+        self._object_hit_counter = registry.counter(
+            "store.object_cache.hits")
+        self._fault_counter = registry.counter("store.record_faults")
 
     # -- cache control ----------------------------------------------------------
 
@@ -1078,18 +1101,24 @@ class StoreGraph:
     def node_properties(self, node_id: int) -> dict[str, Any]:
         cached = self._node_prop_cache.get(node_id)
         if cached is None:
+            self._fault_counter.inc()
             record = self._live_node(node_id)
             cached = self._read_props(self._props, record[2])
             self._node_prop_cache[node_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return dict(cached)
 
     def node_property(self, node_id: int, key: str,
                       default: Any = None) -> Any:
         cached = self._node_prop_cache.get(node_id)
         if cached is None:
+            self._fault_counter.inc()
             record = self._live_node(node_id)
             cached = self._read_props(self._props, record[2])
             self._node_prop_cache[node_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return cached.get(key, default)
 
     def nodes_with_label(self, label: str) -> Iterator[int]:
@@ -1109,18 +1138,24 @@ class StoreGraph:
     def edge_properties(self, edge_id: int) -> dict[str, Any]:
         cached = self._edge_prop_cache.get(edge_id)
         if cached is None:
+            self._fault_counter.inc()
             record = self._live_rel(edge_id)
             cached = self._read_props(self._props, record[4])
             self._edge_prop_cache[edge_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return dict(cached)
 
     def edge_property(self, edge_id: int, key: str,
                       default: Any = None) -> Any:
         cached = self._edge_prop_cache.get(edge_id)
         if cached is None:
+            self._fault_counter.inc()
             record = self._live_rel(edge_id)
             cached = self._read_props(self._props, record[4])
             self._edge_prop_cache[edge_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return cached.get(key, default)
 
     # -- GraphView: adjacency ------------------------------------------------------------
@@ -1172,19 +1207,25 @@ class StoreGraph:
     def _node_record(self, node_id: int) -> tuple[bool, int, int, int, int]:
         cached = self._node_cache.get(node_id)
         if cached is None:
+            self._fault_counter.inc()
             raw = self._nodes.read(node_id * records.NODE_RECORD_SIZE,
                                    records.NODE_RECORD_SIZE)
             cached = records.decode_node(raw)
             self._node_cache[node_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return cached
 
     def _rel_record(self, edge_id: int) -> tuple[bool, int, int, int, int]:
         cached = self._rel_cache.get(edge_id)
         if cached is None:
+            self._fault_counter.inc()
             raw = self._rels.read(edge_id * records.REL_RECORD_SIZE,
                                   records.REL_RECORD_SIZE)
             cached = records.decode_rel(raw)
             self._rel_cache[edge_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return cached
 
     def _live_node(self, node_id: int) -> tuple[bool, int, int, int, int]:
@@ -1206,10 +1247,13 @@ class StoreGraph:
     def _adjacency(self, node_id: int) -> tuple[Any, Any]:
         cached = self._adj_cache.get(node_id)
         if cached is None:
+            self._fault_counter.inc()
             record = self._live_node(node_id)
             block = self._adj.read(record[3], record[4])
             cached = records.decode_adjacency(block)
             self._adj_cache[node_id] = cached
+        else:
+            self._object_hit_counter.inc()
         return cached
 
     def _read_props(self, paged: PagedFile, offset: int) -> dict[str, Any]:

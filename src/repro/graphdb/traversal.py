@@ -191,6 +191,11 @@ class TraversalDescription:
 
     def traverse(self, view: GraphView, *starts: int) -> Iterator[Path]:
         """Yield paths from the start nodes, per the description."""
+        registry = getattr(view, "metrics", None)
+        expansions = registry.counter("traversal.expansions") \
+            if registry is not None else None
+        paths_counter = registry.counter("traversal.paths") \
+            if registry is not None else None
         frontier: deque[Path] = deque(Path((start,), ()) for start in starts)
         seen_nodes: set[int] = set(starts) \
             if self._uniqueness is Uniqueness.NODE_GLOBAL else set()
@@ -200,12 +205,16 @@ class TraversalDescription:
                 else frontier.pop()
             include, continue_ = self._judge(view, path)
             if include and path.length >= self._min_depth:
+                if paths_counter is not None:
+                    paths_counter.inc()
                 yield path
             if not continue_:
                 continue
             if self._max_depth is not None and path.length >= self._max_depth:
                 continue
             for edge_id, next_node in self._expand(view, path.end_node):
+                if expansions is not None:
+                    expansions.inc()
                 if not self._admit(path, edge_id, next_node,
                                    seen_nodes, seen_edges):
                     continue

@@ -1,0 +1,254 @@
+"""Metrics registry: counters, gauges and histograms.
+
+One :class:`MetricsRegistry` spans the whole read path of a Frappé
+instance: the Cypher engine counts queries and timeouts, the page
+cache counts hits/misses/evictions, the store reader counts record
+faults and object-cache hits, the indexes count lookups, and the
+traversal framework counts expansions. A :class:`MetricsSnapshot`
+freezes all of it at once, which is what the benchmark harness reads
+to print per-row cache hit ratios (paper Table 5's cold/warm split).
+
+Everything here is deliberately single-threaded and allocation-light:
+hot paths pre-bind :class:`Counter` objects and call ``inc()``, which
+is one attribute add.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Mapping
+
+#: Default histogram bucket upper bounds, in the unit observed
+#: (seconds for query latencies): sub-ms through tens of seconds.
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
+
+
+class Counter:
+    """A monotonically increasing count (reset only via the registry)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down (e.g. resident pages)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+@dataclasses.dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable view of a histogram's accumulated distribution."""
+
+    count: int
+    total: float
+    min: float | None
+    max: float | None
+    #: bucket upper bound -> number of observations at or under it
+    #: (cumulative, Prometheus-style); the implicit +inf bucket is
+    #: ``count``.
+    buckets: tuple[tuple[float, int], ...]
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values."""
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be ascending")
+        self.name = name
+        self.bounds = tuple(buckets)
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+
+    def reset(self) -> None:
+        self.bucket_counts = [0] * len(self.bounds)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def snapshot(self) -> HistogramSnapshot:
+        return HistogramSnapshot(
+            count=self.count, total=self.total, min=self.min,
+            max=self.max,
+            buckets=tuple(zip(self.bounds, self.bucket_counts)))
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """A point-in-time copy of every metric in one registry."""
+
+    counters: Mapping[str, int]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, HistogramSnapshot]
+
+    def counter(self, name: str, default: int = 0) -> int:
+        return self.counters.get(name, default)
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        return self.gauges.get(name, default)
+
+    def histogram(self, name: str) -> HistogramSnapshot | None:
+        return self.histograms.get(name)
+
+    def ratio(self, hits_name: str, misses_name: str) -> float:
+        """hits / (hits + misses); 0.0 when there was no traffic."""
+        hits = self.counters.get(hits_name, 0)
+        misses = self.counters.get(misses_name, 0)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flat name -> value mapping (histograms become dicts)."""
+        merged: dict[str, Any] = dict(self.counters)
+        merged.update(self.gauges)
+        for name, hist in self.histograms.items():
+            merged[name] = {"count": hist.count, "total": hist.total,
+                            "min": hist.min, "max": hist.max,
+                            "mean": hist.mean}
+        return merged
+
+    def __contains__(self, name: object) -> bool:
+        return (name in self.counters or name in self.gauges
+                or name in self.histograms)
+
+    def __getitem__(self, name: str) -> Any:
+        if name in self.counters:
+            return self.counters[name]
+        if name in self.gauges:
+            return self.gauges[name]
+        if name in self.histograms:
+            return self.histograms[name]
+        raise KeyError(name)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self.counters
+        yield from self.gauges
+        yield from self.histograms
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms with get-or-create semantics.
+
+    Component code binds its instruments once (``counter(name)``) and
+    increments the returned object on the hot path; accessor names are
+    stable so :meth:`snapshot` keys can be documented and asserted on.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            self._check_free(name, self._counters)
+            instrument = Counter(name)
+            self._counters[name] = instrument
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            self._check_free(name, self._gauges)
+            instrument = Gauge(name)
+            self._gauges[name] = instrument
+        return instrument
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+                  ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            self._check_free(name, self._histograms)
+            instrument = Histogram(name, buckets)
+            self._histograms[name] = instrument
+        return instrument
+
+    def _check_free(self, name: str, own: Mapping[str, Any]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with a "
+                    "different type")
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters={name: c.value
+                      for name, c in sorted(self._counters.items())},
+            gauges={name: g.value
+                    for name, g in sorted(self._gauges.items())},
+            histograms={name: h.snapshot()
+                        for name, h in sorted(self._histograms.items())})
+
+    def reset(self) -> None:
+        """Zero every instrument (the cold-run measurement lever)."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, "
+                f"{len(self._histograms)} histograms)")

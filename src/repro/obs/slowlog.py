@@ -1,0 +1,85 @@
+"""Ring-buffer slow-query log.
+
+Queries whose wall time crosses a threshold (or that hit their timeout
+budget) are remembered, newest-evicts-oldest, so an operator can ask a
+long-lived Frappé instance "what has been slow lately?" without any
+external infrastructure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from collections import deque
+
+#: Queries at or above this many seconds are logged by default.
+DEFAULT_THRESHOLD_SECONDS = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class SlowQueryEntry:
+    """One logged query execution."""
+
+    query: str
+    elapsed_seconds: float
+    rows: int | None
+    timed_out: bool
+    #: monotonically increasing across the log's lifetime, so callers
+    #: can tell how many slow queries scrolled out of the ring
+    sequence: int
+    #: wall-clock time the entry was recorded (``time.time()``)
+    at: float
+
+    def __str__(self) -> str:
+        outcome = "TIMEOUT" if self.timed_out else \
+            f"{self.rows if self.rows is not None else '?'} rows"
+        return (f"[{self.elapsed_seconds * 1000:8.1f} ms] "
+                f"{outcome:>12}  {self.query}")
+
+
+class SlowQueryLog:
+    """Bounded log of slow query executions."""
+
+    def __init__(self, capacity: int = 128,
+                 threshold_seconds: float = DEFAULT_THRESHOLD_SECONDS,
+                 ) -> None:
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        if threshold_seconds < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        self.capacity = capacity
+        self.threshold_seconds = threshold_seconds
+        self._entries: deque[SlowQueryEntry] = deque(maxlen=capacity)
+        self._sequence = 0
+
+    def observe(self, query: str, elapsed_seconds: float,
+                rows: int | None = None,
+                timed_out: bool = False) -> bool:
+        """Log the execution if it qualifies; returns True if logged."""
+        if not timed_out and elapsed_seconds < self.threshold_seconds:
+            return False
+        self._entries.append(SlowQueryEntry(
+            query=query, elapsed_seconds=elapsed_seconds, rows=rows,
+            timed_out=timed_out, sequence=self._sequence,
+            at=time.time()))
+        self._sequence += 1
+        return True
+
+    def entries(self) -> list[SlowQueryEntry]:
+        """Logged entries, oldest first."""
+        return list(self._entries)
+
+    @property
+    def total_observed(self) -> int:
+        """Slow queries ever logged, including evicted ones."""
+        return self._sequence
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (f"SlowQueryLog({len(self._entries)}/{self.capacity} "
+                f"entries, threshold={self.threshold_seconds}s)")

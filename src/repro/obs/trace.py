@@ -1,0 +1,92 @@
+"""Nestable trace spans.
+
+A :class:`Tracer` records a tree of timed spans per top-level
+operation (one root span per query, with child spans for parse /
+execute / store phases as components opt in). Finished root spans are
+kept in a bounded ring so a long-lived Frappé instance never grows
+without bound.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed operation; children nest inside the parent's window."""
+
+    __slots__ = ("name", "attributes", "children", "start_ns", "end_ns")
+
+    def __init__(self, name: str, attributes: dict[str, Any]) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.children: list[Span] = []
+        self.start_ns = time.perf_counter_ns()
+        self.end_ns: int | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_seconds(self) -> float:
+        end = self.end_ns if self.end_ns is not None \
+            else time.perf_counter_ns()
+        return (end - self.start_ns) / 1e9
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal, self first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_seconds * 1000:.2f}ms" \
+            if self.finished else "open"
+        return f"Span({self.name}, {state}, {len(self.children)} children)"
+
+
+class Tracer:
+    """Builds span trees via a context-manager API.
+
+    ::
+
+        with tracer.span("cypher.query", query=text):
+            with tracer.span("parse"):
+                ...
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self._stack: list[Span] = []
+        self._finished: deque[Span] = deque(maxlen=capacity)
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        span = Span(name, attributes)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end_ns = time.perf_counter_ns()
+            self._stack.pop()
+            if not self._stack:
+                self._finished.append(span)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def recent(self) -> list[Span]:
+        """Finished root spans, oldest first."""
+        return list(self._finished)
+
+    def clear(self) -> None:
+        self._finished.clear()

@@ -82,6 +82,34 @@ class TestRunColdWarm:
         row = result.format_row()
         assert "named" in row
         assert "cold" in row and "warm" in row and "results 1" in row
+        assert "pc-hit" not in row  # no hooks, no ratio columns
+
+    def test_observability_hooks(self):
+        # sampled after each of the two cold runs, then once warm
+        ratios = iter([0.10, 0.25, 0.99])
+        resets = {"count": 0}
+        result = harness.run_cold_warm(
+            "t", lambda: [1], lambda: None, runs=2,
+            hit_ratio=lambda: next(ratios, 0.99),
+            reset_counters=lambda: resets.__setitem__(
+                "count", resets["count"] + 1),
+            top_operator=lambda: "VarLengthExpand")
+        assert resets["count"] == 1  # once, before the warm runs
+        assert result.cold_hit_ratio == 0.25
+        assert result.warm_hit_ratio == 0.99
+        assert result.top_operator == "VarLengthExpand"
+        row = result.format_row()
+        assert "pc-hit 0.25/0.99" in row
+        assert "top VarLengthExpand" in row
+
+    def test_top_operator_timeout_is_tolerated(self):
+        def top():
+            raise QueryTimeoutError(0.5)
+
+        result = harness.run_cold_warm("t", lambda: [1], lambda: None,
+                                       runs=1, top_operator=top)
+        assert not result.aborted
+        assert result.top_operator is None
 
 
 class TestTables:

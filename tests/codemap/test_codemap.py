@@ -5,7 +5,7 @@ import pytest
 from repro.build import Build
 from repro.codemap import (build_hierarchy, layout_map, render_ascii,
                            render_svg)
-from repro.codemap.hierarchy import CodeRegion, region_of_node
+from repro.codemap.hierarchy import region_of_node
 from repro.codemap.layout import average_leaf_aspect_ratio
 from repro.codemap.render import overlay_nodes
 from repro.core import extract_build

@@ -13,8 +13,7 @@ import pytest
 from repro.build import (FAIL_FAST, KEEP_GOING, Build, BuildReport,
                          UnitOutcome)
 from repro.core import extract_build, model
-from repro.errors import (BuildDiagnosticError, FrontEndError, LinkError,
-                          ParseError)
+from repro.errors import BuildDiagnosticError, FrontEndError, LinkError
 from repro.graphdb.view import Direction
 from repro.lang.source import VirtualFileSystem
 

@@ -8,7 +8,6 @@ implementations of every use case must agree.
 import pytest
 
 from repro.core import queries
-from repro.core.frappe import Frappe
 from repro.cypher import NodeRef
 from repro.graphdb.view import Direction
 

@@ -1,6 +1,5 @@
 """The Section 4 use cases on the extracted mini-kernel."""
 
-import pytest
 
 from repro.core import model, queries, slicing
 from repro.graphdb.view import Direction

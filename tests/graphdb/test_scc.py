@@ -1,6 +1,5 @@
 """Strongly connected components (dependency cycles)."""
 
-import pytest
 
 from repro.graphdb import PropertyGraph
 from repro.graphdb.algo import strongly_connected_components

@@ -1,7 +1,6 @@
 """On-disk store: codecs, page cache, write/open round trip."""
 
 import os
-import struct
 
 import pytest
 

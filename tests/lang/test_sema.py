@@ -1,6 +1,5 @@
 """Semantic analysis: scoping, resolution, USRs, decl/def pairing."""
 
-import pytest
 
 from repro.lang import cast as c
 from repro.lang import ctypes_ as ct

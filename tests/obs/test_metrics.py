@@ -1,0 +1,122 @@
+"""The metrics registry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter("c")
+        counter.inc(3)
+        counter.reset()
+        assert counter.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value == 11.0
+
+
+class TestHistogram:
+    def test_observe_tracks_extremes(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(2.0)
+        snap = hist.snapshot()
+        assert snap.count == 3
+        assert snap.min == 0.05
+        assert snap.max == 2.0
+        assert snap.mean == pytest.approx(2.55 / 3)
+
+    def test_buckets_are_cumulative(self):
+        hist = Histogram("h", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(2.0)
+        buckets = dict(hist.snapshot().buckets)
+        assert buckets[0.1] == 1
+        assert buckets[1.0] == 2  # includes the 0.05 observation
+
+    def test_non_ascending_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 0.1))
+
+    def test_empty_mean_is_none(self):
+        assert Histogram("h").snapshot().mean is None
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_name_collision_across_types(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("resident").set(7.0)
+        registry.histogram("lat").observe(0.2)
+        snap = registry.snapshot()
+        assert snap.counter("hits") == 3
+        assert snap.gauge("resident") == 7.0
+        assert snap.histogram("lat").count == 1
+        assert snap.counter("missing") == 0
+        assert "hits" in snap and "nope" not in snap
+        assert snap["hits"] == 3
+        with pytest.raises(KeyError):
+            snap["nope"]
+
+    def test_snapshot_is_frozen_in_time(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        counter.inc()
+        snap = registry.snapshot()
+        counter.inc(10)
+        assert snap.counter("hits") == 1
+
+    def test_ratio(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.counter("misses").inc(1)
+        snap = registry.snapshot()
+        assert snap.ratio("hits", "misses") == 0.75
+        assert snap.ratio("nohits", "nomisses") == 0.0
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("g").set(4.0)
+        registry.histogram("h").observe(1.0)
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap.counter("hits") == 0
+        assert snap.gauge("g") == 0.0
+        assert snap.histogram("h").count == 0
+
+    def test_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(2)
+        registry.histogram("lat").observe(0.5)
+        flat = registry.snapshot().as_dict()
+        assert flat["hits"] == 2
+        assert flat["lat"]["count"] == 1

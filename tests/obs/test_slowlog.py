@@ -1,0 +1,48 @@
+"""The slow-query ring buffer."""
+
+import pytest
+
+from repro.obs import SlowQueryLog
+
+
+class TestSlowQueryLog:
+    def test_fast_queries_are_not_logged(self):
+        log = SlowQueryLog(threshold_seconds=1.0)
+        assert log.observe("MATCH (n) RETURN n", 0.1) is False
+        assert len(log) == 0
+
+    def test_slow_queries_are_logged(self):
+        log = SlowQueryLog(threshold_seconds=0.5)
+        assert log.observe("q", 0.5, rows=3) is True
+        (entry,) = log.entries()
+        assert entry.query == "q"
+        assert entry.rows == 3
+        assert not entry.timed_out
+
+    def test_timeouts_always_log(self):
+        log = SlowQueryLog(threshold_seconds=100.0)
+        assert log.observe("q", 0.01, timed_out=True) is True
+        assert "TIMEOUT" in str(log.entries()[0])
+
+    def test_ring_evicts_oldest(self):
+        log = SlowQueryLog(capacity=2, threshold_seconds=0.0)
+        for index in range(4):
+            log.observe(f"q{index}", 1.0)
+        queries = [entry.query for entry in log.entries()]
+        assert queries == ["q2", "q3"]
+        assert log.total_observed == 4
+        sequences = [entry.sequence for entry in log.entries()]
+        assert sequences == [2, 3]
+
+    def test_clear(self):
+        log = SlowQueryLog(threshold_seconds=0.0)
+        log.observe("q", 1.0)
+        log.clear()
+        assert len(log) == 0
+        assert log.total_observed == 1  # eviction doesn't rewind
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_seconds=-1.0)

@@ -1,0 +1,55 @@
+"""Nestable trace spans."""
+
+import pytest
+
+from repro.obs import Tracer
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer", query="q") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+        (root,) = tracer.recent()
+        assert root is outer
+        assert root.children == [inner]
+        assert root.attributes == {"query": "q"}
+
+    def test_walk_is_preorder(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        (root,) = tracer.recent()
+        assert [span.name for span in root.walk()] == ["a", "b", "c"]
+
+    def test_durations(self):
+        tracer = Tracer()
+        with tracer.span("a") as span:
+            assert not span.finished
+        assert span.finished
+        assert span.duration_seconds >= 0.0
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("a"):
+                raise RuntimeError("boom")
+        assert tracer.current is None
+        assert tracer.recent()[0].finished
+
+    def test_ring_bound(self):
+        tracer = Tracer(capacity=2)
+        for index in range(4):
+            with tracer.span(f"s{index}"):
+                pass
+        assert [span.name for span in tracer.recent()] == ["s2", "s3"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)

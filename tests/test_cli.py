@@ -69,6 +69,13 @@ class TestQuery:
         assert main(["query", store, "MATCH MATCH"]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_max_rows_truncates(self, store, capsys):
+        assert main(["query", store,
+                     "MATCH (n:function) RETURN n.short_name",
+                     "--max-rows", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "(2 rows (truncated)," in out
+
 
 class TestExplain:
     def test_explain_plan(self, store, capsys):
@@ -79,6 +86,20 @@ class TestExplain:
         assert "anchor" in out
         assert "index-seek" in out
         assert "path enumeration" in out
+
+
+class TestProfile:
+    def test_profile_operator_tree(self, store, capsys):
+        assert main(["profile", store,
+                     "MATCH (n:function{short_name: 'start_kernel'}) "
+                     "-[:calls*]-> m RETURN distinct m"]) == 0
+        out = capsys.readouterr().out
+        assert "Query" in out
+        assert "VarLengthExpand" in out
+        assert "dbhits=" in out
+        assert "db hits" in out
+        assert "cache hit ratio" in out
+        assert "hottest operator:" in out
 
 
 class TestRefs:

@@ -1,6 +1,5 @@
 """Graph alignment: stable ids across re-extraction."""
 
-import pytest
 
 from repro.build import Build
 from repro.core import extract_build

@@ -8,7 +8,7 @@ from repro.core.frappe import Frappe
 from repro.graphdb import stats
 from repro.lang.source import VirtualFileSystem
 from repro.workloads import generate_codebase, generate_kernel_graph
-from repro.workloads.profiles import BENCH_PROFILE, UEK_PROFILE
+from repro.workloads.profiles import UEK_PROFILE
 from repro.workloads.synthc import evolve
 
 
