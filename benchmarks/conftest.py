@@ -17,7 +17,7 @@ import os
 
 import pytest
 
-from repro.bench.harness import bench_scale
+from repro.bench.harness import bench_scale, write_bench_records
 from repro.core.frappe import Frappe
 from repro.graphdb.storage import GraphStore
 from repro.workloads import generate_kernel_graph
@@ -49,6 +49,18 @@ def frappe_store(store_dir):
     """Frappé over the page-cached disk store (what Table 5 measures)."""
     with Frappe.open(store_dir) as frappe:
         yield frappe
+
+
+@pytest.fixture(scope="session")
+def bench_records():
+    """Per-query benchmark records (query id, cold/warm ms, db-hits,
+    cache hit ratio, planner used); written to
+    ``benchmarks/reports/BENCH_PR3.json`` at session end."""
+    records: list[dict] = []
+    yield records
+    if records:
+        write_bench_records(
+            os.path.join(REPORT_DIR, "BENCH_PR3.json"), records)
 
 
 @pytest.fixture(scope="session")

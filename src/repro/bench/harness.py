@@ -12,6 +12,7 @@ pathological query into an ``aborted`` row rather than a hung harness.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import time
 from typing import Any, Callable, Optional, Sequence
@@ -166,6 +167,38 @@ def run_cold_warm(name: str, query: Callable[[], Any],
                           cold_hit_ratio=cold_ratio,
                           warm_hit_ratio=warm_ratio,
                           top_operator=top)
+
+
+def bench_record(result: ColdWarmResult, *, query_id: str,
+                 planner: str = "cost-based",
+                 db_hits: int | None = None) -> dict[str, Any]:
+    """A JSON-ready record of one cold/warm row for BENCH_PR3.json."""
+    return {
+        "query": query_id,
+        "planner": planner,
+        "aborted": result.aborted,
+        "cold_ms": (round(result.cold.avg, 3)
+                    if result.cold is not None else None),
+        "warm_ms": (round(result.warm.avg, 3)
+                    if result.warm is not None else None),
+        "result_count": result.result_count,
+        "db_hits": db_hits,
+        "cold_hit_ratio": (round(result.cold_hit_ratio, 4)
+                           if result.cold_hit_ratio is not None
+                           else None),
+        "warm_hit_ratio": (round(result.warm_hit_ratio, 4)
+                           if result.warm_hit_ratio is not None
+                           else None),
+    }
+
+
+def write_bench_records(path: str,
+                        records: Sequence[dict[str, Any]]) -> None:
+    """Write collected benchmark records as a JSON array."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(list(records), handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def print_table(title: str, rows: Sequence[ColdWarmResult],

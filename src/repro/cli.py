@@ -77,6 +77,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     query.add_argument("--timeout", type=float, default=None)
     query.add_argument("--max-rows", type=int, default=None,
                        help="truncate the result after this many rows")
+    query.add_argument("--no-rewrite", action="store_true",
+                       help="disable the var-length reachability "
+                       "rewrite (reproduces the Sec. 6.1 blow-up)")
 
     explain = commands.add_parser(
         "explain", help="show a query's execution plan")
@@ -89,6 +92,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     profile.add_argument("store")
     profile.add_argument("cypher")
     profile.add_argument("--timeout", type=float, default=None)
+    profile.add_argument("--no-rewrite", action="store_true",
+                         help="disable the var-length reachability "
+                         "rewrite while profiling")
 
     refs = commands.add_parser(
         "refs", help="find references to a symbol (Sec. 4.2)")
@@ -224,8 +230,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.cypher import QueryOptions
     with _open(args.store) as frappe:
-        options = QueryOptions(timeout=args.timeout,
-                               max_rows=args.max_rows)
+        options = QueryOptions(
+            timeout=args.timeout, max_rows=args.max_rows,
+            use_reachability_rewrite=False if args.no_rewrite else None)
         result = frappe.query(args.cypher, options=options)
         print("\t".join(result.columns))
         for row in result.rows:
@@ -243,8 +250,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.cypher import QueryOptions
     with _open(args.store) as frappe:
-        result = frappe.profile(args.cypher, timeout=args.timeout)
+        options = QueryOptions(
+            timeout=args.timeout, profile=True,
+            use_reachability_rewrite=False if args.no_rewrite else None)
+        result = frappe.query(args.cypher, options=options)
         plan = result.profile
         print(plan.pretty())
         print(f"({len(result)} rows, "

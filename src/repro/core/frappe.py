@@ -41,7 +41,9 @@ class Frappe:
 
     def __init__(self, view: GraphView,
                  default_timeout: float | None = None,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 use_reachability_rewrite: bool = True,
+                 use_cost_based_planner: bool = True) -> None:
         self.view = view
         #: one observability bundle per instance: the engine, page
         #: cache, store reader, indexes and traversals all emit into
@@ -50,8 +52,10 @@ class Frappe:
         attach = getattr(view, "attach_metrics", None)
         if attach is not None:
             attach(self.obs.registry)
-        self.engine = CypherEngine(view, default_timeout,
-                                   obs=self.obs)
+        self.engine = CypherEngine(
+            view, default_timeout, obs=self.obs,
+            use_reachability_rewrite=use_reachability_rewrite,
+            use_cost_based_planner=use_cost_based_planner)
         #: per-unit outcomes of the build this graph came from (None
         #: for stores opened from disk)
         self.build_report: BuildReport | None = None
@@ -114,6 +118,15 @@ class Frappe:
         if isinstance(self.view, StoreGraph):
             self.view.evict_caches()
         self.reset_counters()
+
+    def snapshot_adjacency(self) -> None:
+        """Materialize the store's adjacency lists in memory (a
+        CSR-style snapshot): traversal-heavy workloads then expand
+        edges without touching the page cache. No-op for in-memory
+        graphs; dropped again by :meth:`evict_caches`."""
+        snapshot = getattr(self.view, "snapshot_adjacency", None)
+        if snapshot is not None:
+            snapshot()
 
     def close(self) -> None:
         if isinstance(self.view, StoreGraph):

@@ -19,6 +19,17 @@ same question in linear time. The executor therefore supports a
 time budget (:class:`~repro.errors.QueryTimeoutError`), matching the
 paper's "aborted after 15 minutes" protocol.
 
+Queries are planned cost-based before execution
+(:mod:`repro.cypher.planner`): anchors and expansion order are costed
+against live :class:`~repro.graphdb.stats.GraphStatistics`, WHERE
+equality conjuncts are pushed into the match, and var-length patterns
+whose output is endpoint-distinct are rewritten to visited-set BFS
+reachability — a semantics-preserving escape from the Figure 6
+blow-up, gated by ``CypherEngine(use_reachability_rewrite=...)`` (and
+per query via ``QueryOptions``) so the paper's pathology remains
+reproducible. Compiled plans live in a bounded LRU keyed on the
+statistics epoch (:mod:`repro.cypher.plan_cache`).
+
 Quick start::
 
     from repro.cypher import CypherEngine

@@ -116,6 +116,11 @@ class RelPattern:
     var_length: bool = False
     min_hops: int = 1
     max_hops: Optional[int] = None   # None = unbounded
+    #: planner mark: this var-length rel may run as visited-set BFS
+    #: reachability (endpoint-distinct output, no rel/path variable);
+    #: the executor still honors the engine's use_reachability_rewrite
+    #: gate at run time
+    reachability: bool = False
 
 
 @dataclasses.dataclass(frozen=True)

@@ -23,6 +23,8 @@ from repro.cypher.executor import execute
 from repro.cypher.options import QueryOptions
 from repro.cypher.parser import parse
 from repro.cypher.plan import PlanDescription
+from repro.cypher.plan_cache import DEFAULT_CAPACITY, PlanCache
+from repro.cypher.planner import plan_query
 from repro.cypher.result import Result
 from repro.errors import QueryTimeoutError
 from repro.graphdb.view import GraphView
@@ -50,19 +52,57 @@ class CypherEngine:
     def __init__(self, view: GraphView,
                  default_timeout: float | None = None,
                  use_index_seek: bool = True,
-                 obs: Observability | None = None) -> None:
+                 obs: Observability | None = None,
+                 use_reachability_rewrite: bool = True,
+                 use_cost_based_planner: bool = True,
+                 plan_cache_capacity: int = DEFAULT_CAPACITY) -> None:
         self.view = view
         self.default_timeout = default_timeout
         self.use_index_seek = use_index_seek
+        #: run endpoint-distinct var-length patterns as visited-set BFS
+        #: (Section 6.1 ablation gate; per-query override via
+        #: QueryOptions.use_reachability_rewrite)
+        self.use_reachability_rewrite = use_reachability_rewrite
+        #: cost anchors/step order from GraphStatistics and push WHERE
+        #: equality conjuncts into MATCH (off = legacy heuristic)
+        self.use_cost_based_planner = use_cost_based_planner
         self.obs = obs if obs is not None else Observability()
-        self._plan_cache: dict[str, ast.Query] = {}
+        registry = self.obs.registry
+        self._plans_built = registry.counter("planner.plans")
+        self._pushdowns = registry.counter("planner.pushed_filters")
+        self._rewrites = registry.counter(
+            "planner.reachability_rewrites")
+        self._plan_cache = PlanCache(
+            plan_cache_capacity,
+            hits=registry.counter("planner.cache.hits"),
+            misses=registry.counter("planner.cache.misses"),
+            evictions=registry.counter("planner.cache.evictions"),
+            invalidations=registry.counter(
+                "planner.cache.invalidations"))
+
+    def _graph_epoch(self) -> int:
+        """The view's statistics epoch (0 for immutable stores)."""
+        statistics = getattr(self.view, "statistics", None)
+        return getattr(statistics, "epoch", 0)
 
     def prepare(self, text: str) -> ast.Query:
-        """Parse (with caching) without executing."""
-        query = self._plan_cache.get(text)
+        """Parse and plan (with caching) without executing.
+
+        Cached plans are invalidated by graph mutation: entries carry
+        the statistics epoch they were planned at, and any mutation
+        bumps the epoch.
+        """
+        epoch = self._graph_epoch()
+        query = self._plan_cache.get(text, epoch)
         if query is None:
-            query = parse(text)
-            self._plan_cache[text] = query
+            query, report = plan_query(
+                parse(text), pushdown=self.use_cost_based_planner)
+            self._plans_built.inc()
+            if report.pushed_filters:
+                self._pushdowns.inc(report.pushed_filters)
+            if report.reachability_rewrites:
+                self._rewrites.inc(report.reachability_rewrites)
+            self._plan_cache.put(text, query, epoch)
         return query
 
     def run(self, text: str,
@@ -91,9 +131,15 @@ class CypherEngine:
         query = self.prepare(text)
         profiler = QueryProfiler() \
             if opts.profile or query.profile else None
-        ctx = ExecutionContext(self.view, parameters, budget,
-                               use_index_seek=self.use_index_seek,
-                               profiler=profiler)
+        rewrite = opts.use_reachability_rewrite
+        if rewrite is None:
+            rewrite = self.use_reachability_rewrite
+        ctx = ExecutionContext(
+            self.view, parameters, budget,
+            use_index_seek=self.use_index_seek,
+            profiler=profiler,
+            use_reachability_rewrite=rewrite,
+            use_cost_based_planner=self.use_cost_based_planner)
         with self.obs.tracer.span("cypher.query", query=text):
             try:
                 result = execute(query, ctx)
@@ -136,7 +182,9 @@ class CypherEngine:
         """
         from repro.cypher.explain import explain
         return explain(self.prepare(text), self.view,
-                       self.use_index_seek)
+                       self.use_index_seek,
+                       self.use_cost_based_planner,
+                       self.use_reachability_rewrite)
 
     def profile(self, text: str,
                 parameters: Mapping[str, Any] | None = None,

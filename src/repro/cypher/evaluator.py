@@ -20,12 +20,17 @@ class ExecutionContext:
     """Shared per-query state: graph view, parameters, time budget."""
 
     _CHECK_EVERY = 4096
+    #: adjacency memo entries kept before the memo stops growing; a
+    #: per-query cache, so the bound only guards pathological queries
+    _ADJACENCY_MEMO_LIMIT = 100_000
 
     def __init__(self, view: GraphView,
                  parameters: Mapping[str, Any] | None = None,
                  timeout: float | None = None,
                  use_index_seek: bool = True,
-                 profiler: Any | None = None) -> None:
+                 profiler: Any | None = None,
+                 use_reachability_rewrite: bool = True,
+                 use_cost_based_planner: bool = True) -> None:
         self.view = view
         self.parameters = dict(parameters or {})
         self.timeout = timeout
@@ -33,6 +38,12 @@ class ExecutionContext:
         #: when a node pattern carries an indexed property literal.
         #: Disabled only by the E5 planner-ablation benchmark.
         self.use_index_seek = use_index_seek
+        #: honor planner reachability marks on var-length rels (the
+        #: Section 6.1 ablation gate)
+        self.use_reachability_rewrite = use_reachability_rewrite
+        #: cost the anchor/step order from graph statistics instead of
+        #: the fixed bound > label > property heuristic
+        self.use_cost_based_planner = use_cost_based_planner
         #: :class:`~repro.obs.profile.QueryProfiler` under PROFILE,
         #: else None; None keeps the unprofiled hot path branch-cheap
         self.profiler = profiler
@@ -42,6 +53,15 @@ class ExecutionContext:
         # verifies the deadline — tiny budgets must fail promptly even
         # on queries that never reach _CHECK_EVERY expansions
         self._tick_counter = self._CHECK_EVERY - 1
+        # per-query (node, direction, types) -> edge tuple memo; the
+        # matcher's bulk fast path for repeated expansions of hot nodes
+        self._adjacency_memo: dict[tuple[int, Any, Any],
+                                   tuple[int, ...]] = {}
+        self.adjacency_hits = 0
+        self.adjacency_misses = 0
+        # per-clause pattern plans (anchor + step order), keyed on
+        # pattern identity and the bound-variable set
+        self._pattern_plans: dict[tuple[int, frozenset[str]], Any] = {}
 
     def tick(self, count: int = 1) -> None:
         """Account work; raise if the time budget is exhausted."""
@@ -57,6 +77,27 @@ class ExecutionContext:
         """Charge store accesses to the profiled operator, if any."""
         if self.profiler is not None:
             self.profiler.hit(count)
+
+    def adjacency(self, node_id: int, direction: Any,
+                  types: tuple[str, ...] | None) -> tuple[int, ...]:
+        """Memoized ``view.edges_of``: store layers are touched once
+        per (node, direction, types) within a query.
+
+        Callers still :meth:`tick`/:meth:`db_hit` per edge consumed;
+        db-hits are charged only on the miss that actually reads the
+        store, so PROFILE keeps counting real accesses.
+        """
+        key = (node_id, direction, types)
+        edges = self._adjacency_memo.get(key)
+        if edges is not None:
+            self.adjacency_hits += 1
+            return edges
+        self.adjacency_misses += 1
+        edges = tuple(self.view.edges_of(node_id, direction, types))
+        self.db_hit(len(edges) or 1)
+        if len(self._adjacency_memo) < self._ADJACENCY_MEMO_LIMIT:
+            self._adjacency_memo[key] = edges
+        return edges
 
     def check_deadline(self) -> None:
         if self.timeout is not None and \

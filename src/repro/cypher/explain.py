@@ -19,11 +19,14 @@ from repro.cypher import ast
 from repro.cypher.matcher import _pick_anchor, anchor_strategy
 from repro.cypher.parser import parse
 from repro.cypher.plan import ANCHOR_OPERATORS, PlanDescription
+from repro.cypher.planner import plan_pattern
 from repro.graphdb.view import GraphView
 
 
 def explain(text_or_query: str | ast.Query, view: GraphView,
-            use_index_seek: bool = True) -> PlanDescription:
+            use_index_seek: bool = True,
+            use_cost_based_planner: bool = True,
+            use_reachability_rewrite: bool = True) -> PlanDescription:
     """A structured (and printable) execution plan for a query."""
     query = parse(text_or_query) if isinstance(text_or_query, str) \
         else text_or_query
@@ -36,7 +39,9 @@ def explain(text_or_query: str | ast.Query, view: GraphView,
             known.update(point.variable for point in clause.points)
         elif isinstance(clause, ast.Match):
             clauses.append(_explain_match(clause, view, known,
-                                          indexed_keys, use_index_seek))
+                                          indexed_keys, use_index_seek,
+                                          use_cost_based_planner,
+                                          use_reachability_rewrite))
             for pattern in clause.patterns:
                 known.update(pattern.variables())
         elif isinstance(clause, ast.Where):
@@ -87,7 +92,10 @@ def _explain_start(clause: ast.Start,
 
 def _explain_match(clause: ast.Match, view: GraphView, known: set[str],
                    indexed_keys: tuple[str, ...],
-                   use_index_seek: bool) -> PlanDescription:
+                   use_index_seek: bool,
+                   use_cost_based_planner: bool = True,
+                   use_reachability_rewrite: bool = True,
+                   ) -> PlanDescription:
     keyword = "OPTIONAL MATCH" if clause.optional else "MATCH"
     children = []
     for pattern in clause.patterns:
@@ -98,35 +106,66 @@ def _explain_match(clause: ast.Match, view: GraphView, known: set[str],
                 text=f"{pattern_text}\n  strategy: BFS shortest path "
                      f"({pattern.shortest})"))
             continue
-        anchor = _pick_anchor_known(pattern, known)
-        strategy, detail = anchor_strategy(
-            pattern.nodes[anchor], known, indexed_keys, use_index_seek)
+        step_estimates: dict[int, float] = {}
+        anchor_estimate: int | None = None
+        if use_cost_based_planner:
+            costed = plan_pattern(pattern, known, view, use_index_seek)
+            anchor = costed.anchor
+            strategy, detail = costed.strategy, costed.detail
+            anchor_estimate = int(costed.anchor_estimate)
+            step_estimates = {
+                rel_index: estimate for (rel_index, _, _), estimate
+                in zip(costed.steps, costed.step_estimates)}
+        else:
+            anchor = _pick_anchor_known(pattern, known)
+            strategy, detail = anchor_strategy(
+                pattern.nodes[anchor], known, indexed_keys,
+                use_index_seek)
         suffix = f" on {detail}" if detail else ""
         expands = []
         for index, rel in enumerate(pattern.rels):
+            estimate = step_estimates.get(index)
+            estimated = None if estimate is None \
+                else int(min(estimate, 2**62))
+            reachable = rel.reachability and use_reachability_rewrite
             if rel.var_length:
                 bound = ("unbounded" if rel.max_hops is None
                          else f"max {rel.max_hops}")
+                if reachable:
+                    note = (f"  rel {index} is variable-length "
+                            f"({bound}) — runs as BFS reachability "
+                            "(endpoint-distinct)")
+                else:
+                    note = (f"  warning: rel {index} is "
+                            f"variable-length ({bound}) — path "
+                            "enumeration may explode")
                 expands.append(PlanDescription(
                     "VarLengthExpand",
                     args={"types": "|".join(rel.types) or None,
-                          "direction": rel.direction},
-                    text=f"  warning: rel {index} is variable-length "
-                         f"({bound}) — path enumeration may explode"))
+                          "direction": rel.direction,
+                          "mode": "reachability"
+                          if reachable else None},
+                    estimated_rows=estimated,
+                    text=note))
             else:
                 expands.append(PlanDescription(
                     "Expand",
                     args={"types": "|".join(rel.types) or None,
-                          "direction": rel.direction}))
+                          "direction": rel.direction},
+                    estimated_rows=estimated))
+        anchor_text = (f"{pattern_text}\n  anchor: node {anchor} via "
+                       f"{strategy}{suffix}")
+        if anchor_estimate is not None:
+            anchor_text += f"\n  estimated rows: {anchor_estimate}"
         children.append(PlanDescription(
             ANCHOR_OPERATORS[strategy],
             args={"variable": pattern.nodes[anchor].variable,
                   "on": detail or None},
             children=tuple(expands),
-            estimated_rows=_estimate_anchor(
+            estimated_rows=anchor_estimate if anchor_estimate is not None
+            else _estimate_anchor(
                 view, pattern.nodes[anchor], strategy, indexed_keys),
-            text=f"{pattern_text}\n  anchor: node {anchor} via "
-                 f"{strategy}{suffix}"))
+            text=anchor_text))
     return PlanDescription("OptionalMatch" if clause.optional
                            else "Match", children=tuple(children))
 

@@ -9,13 +9,25 @@ Semantics follow Cypher:
   visited-set reachability search — path enumeration is what makes the
   paper's Figure 6 transitive closure explode in Cypher while the
   embedded traversal answers in linear time (paper Section 6.1), and
-  the reproduction keeps that behaviour honest.
+  the reproduction keeps that behaviour honest. The one exception is
+  planner-proven safe: a var-length relationship whose paths are
+  observably *endpoint-distinct* (no rel/path variable, consumed by a
+  DISTINCT projection — see
+  :func:`repro.cypher.planner.reachability_eligible`) runs as a
+  visited-set BFS when the engine's ``use_reachability_rewrite`` gate
+  is on, returning the identical row set in linear time.
 
-Matching works outward from an *anchor*: the first pattern node whose
-variable is already bound, else the most selective scannable node
-(label scan beats full scan). Each relationship step expands adjacency
-through the :class:`~repro.graphdb.view.GraphView`, so the same code
-path serves the in-memory graph and the page-cached disk store.
+Matching works outward from an *anchor*. With the cost-based planner
+(default) the anchor and the expansion order come from
+:func:`repro.cypher.planner.plan_pattern`, costed against live
+:class:`~repro.graphdb.stats.GraphStatistics`; with the planner off,
+the legacy heuristic applies: the first pattern node whose variable is
+already bound, else the most selective scannable node (label scan
+beats full scan). Each relationship step expands adjacency through the
+:class:`~repro.graphdb.view.GraphView` (memoized per query by
+:meth:`~repro.cypher.evaluator.ExecutionContext.adjacency`), so the
+same code path serves the in-memory graph and the page-cached disk
+store.
 """
 
 from __future__ import annotations
@@ -26,9 +38,13 @@ from typing import Any, Iterator, Mapping
 from repro.cypher import ast
 from repro.cypher.evaluator import ExecutionContext, evaluate
 from repro.cypher.plan import ANCHOR_OPERATORS
+from repro.cypher.planner import (PatternPlan, anchor_strategy,
+                                  plan_pattern)
 from repro.cypher.result import EdgeRef, NodeRef, PathValue
 from repro.errors import CypherSemanticError
 from repro.graphdb.view import Direction, other_end
+
+__all__ = ["match_clause", "pattern_exists", "anchor_strategy"]
 
 _DIRECTIONS = {"out": Direction.OUT, "in": Direction.IN,
                "both": Direction.BOTH}
@@ -109,17 +125,33 @@ def _match_one(pattern: ast.Pattern, row: dict[str, Any],
             found = profiler.iterate(operator, found)
         yield from found
         return
-    anchor = _pick_anchor(pattern, row)
-    steps = _build_steps(pattern, anchor)
+    if ctx.use_cost_based_planner:
+        pattern_plan = _plan_for(pattern, row, ctx)
+        anchor = pattern_plan.anchor
+        steps = _steps_from_plan(pattern, pattern_plan)
+        estimates = {rel_index: estimate for (rel_index, _, _), estimate
+                     in zip(pattern_plan.steps,
+                            pattern_plan.step_estimates)}
+    else:
+        pattern_plan = None
+        anchor = _pick_anchor(pattern, row)
+        steps = _build_steps(pattern, anchor)
+        estimates = None
     track_path = pattern.path_variable is not None
     candidates = _anchor_candidates(pattern.nodes[anchor], row, ctx)
     if profiler is not None:
-        strategy, detail = anchor_strategy(
-            pattern.nodes[anchor], set(row),
-            tuple(getattr(ctx.view.indexes, "auto_index_keys", ())),
-            ctx.use_index_seek)
+        if pattern_plan is not None:
+            strategy, detail = pattern_plan.strategy, pattern_plan.detail
+            anchor_estimate = pattern_plan.anchor_estimate
+        else:
+            strategy, detail = anchor_strategy(
+                pattern.nodes[anchor], set(row),
+                tuple(getattr(ctx.view.indexes, "auto_index_keys", ())),
+                ctx.use_index_seek)
+            anchor_estimate = None
         operator = profiler.operator(
             plan, ("anchor", pattern_index), ANCHOR_OPERATORS[strategy],
+            estimated=anchor_estimate,
             variable=pattern.nodes[anchor].variable, on=detail or None)
         candidates = profiler.iterate(operator, candidates,
                                       hits_per_row=1)
@@ -131,7 +163,7 @@ def _match_one(pattern: ast.Pattern, row: dict[str, Any],
         bound = {anchor: node_id}
         for match_row, match_used, final_bound, final_rels in _expand(
                 steps, 0, anchored, bound, used, ctx, {}, plan,
-                pattern_index):
+                pattern_index, estimates):
             if track_path:
                 match_row = dict(match_row)
                 match_row[pattern.path_variable] = _build_path(
@@ -139,7 +171,28 @@ def _match_one(pattern: ast.Pattern, row: dict[str, Any],
             yield match_row, match_used
 
 
+def _plan_for(pattern: ast.Pattern, row: Mapping[str, Any],
+              ctx: ExecutionContext) -> PatternPlan:
+    """The pattern's costed plan, memoized per (pattern, bound vars).
+
+    Only pattern variables already bound in the row affect the plan
+    (they decide which nodes can anchor as 'bound'), so the memo key
+    intersects the row's keys with the pattern's variables: every row
+    of one clause's input stream shares a single planning pass.
+    """
+    known = frozenset(name for name in pattern.variables()
+                      if name in row)
+    key = (id(pattern), known)
+    cached = ctx._pattern_plans.get(key)
+    if cached is None:
+        cached = plan_pattern(pattern, set(known), ctx.view,
+                              ctx.use_index_seek)
+        ctx._pattern_plans[key] = cached
+    return cached
+
+
 def _pick_anchor(pattern: ast.Pattern, row: Mapping[str, Any]) -> int:
+    """Legacy anchor heuristic: bound > labeled > has-properties > 0."""
     for index, node in enumerate(pattern.nodes):
         if node.variable and node.variable in row:
             return index
@@ -153,6 +206,7 @@ def _pick_anchor(pattern: ast.Pattern, row: Mapping[str, Any]) -> int:
 
 
 def _build_steps(pattern: ast.Pattern, anchor: int) -> list[_Step]:
+    """Legacy step order: all rightward steps, then all leftward."""
     steps = []
     for index in range(anchor, len(pattern.rels)):
         steps.append(_Step(pattern.rels[index], pattern.nodes[index + 1],
@@ -165,26 +219,17 @@ def _build_steps(pattern: ast.Pattern, anchor: int) -> list[_Step]:
     return steps
 
 
-def anchor_strategy(node: ast.NodePattern, known_variables: set[str],
-                    indexed_keys: tuple[str, ...],
-                    use_index_seek: bool = True,
-                    ) -> tuple[str, str]:
-    """How the planner will source candidates for a pattern node.
-
-    Returns (strategy, detail); shared by the matcher and EXPLAIN so
-    the plan description can never drift from what actually runs.
-    Strategies: 'bound', 'index-seek', 'label-scan', 'all-nodes'.
-    """
-    if node.variable and node.variable in known_variables:
-        return "bound", node.variable
-    if use_index_seek and node.properties:
-        for key, expr in node.properties:
-            if key in indexed_keys and isinstance(expr, ast.Literal) \
-                    and expr.value is not None:
-                return "index-seek", f"{key} = {expr.value!r}"
-    if node.labels:
-        return "label-scan", node.labels[0]
-    return "all-nodes", ""
+def _steps_from_plan(pattern: ast.Pattern,
+                     pattern_plan: PatternPlan) -> list[_Step]:
+    """Materialize the planner's costed step order as ``_Step``s."""
+    steps = []
+    for rel_index, source, reverse in pattern_plan.steps:
+        target = pattern.nodes[rel_index] if reverse \
+            else pattern.nodes[rel_index + 1]
+        steps.append(_Step(pattern.rels[rel_index], target,
+                           source_index=source, rel_index=rel_index,
+                           reversed=reverse))
+    return steps
 
 
 def _anchor_candidates(node: ast.NodePattern, row: Mapping[str, Any],
@@ -215,10 +260,24 @@ def _anchor_candidates(node: ast.NodePattern, row: Mapping[str, Any],
     yield from ctx.view.node_ids()
 
 
+def _use_reachability(step: _Step, used: frozenset[int],
+                      ctx: ExecutionContext) -> bool:
+    """Run this step as visited-set BFS instead of path enumeration?
+
+    The planner proved eligibility at prepare time (the mark); the
+    engine's runtime gate decides per query. ``used`` must be empty:
+    consumed edges from a sibling pattern would re-introduce the
+    clause-level uniqueness the eligibility proof discharged.
+    """
+    return (step.rel.var_length and step.rel.reachability
+            and ctx.use_reachability_rewrite and not used)
+
+
 def _expand(steps: list[_Step], step_index: int, row: dict[str, Any],
             bound: dict[int, int], used: frozenset[int],
             ctx: ExecutionContext, rel_values: dict[int, Any],
             plan: Any | None = None, pattern_index: int = 0,
+            estimates: Mapping[int, float] | None = None,
             ) -> Iterator[tuple[dict[str, Any], frozenset[int],
                                 dict[int, int], dict[int, Any]]]:
     if step_index == len(steps):
@@ -230,13 +289,18 @@ def _expand(steps: list[_Step], step_index: int, row: dict[str, Any],
         operator = ctx.profiler.operator(
             plan, ("expand", pattern_index, step.rel_index),
             "VarLengthExpand" if step.rel.var_length else "Expand",
+            estimated=estimates.get(step.rel_index)
+            if estimates is not None else None,
             types="|".join(step.rel.types) or None,
             direction=step.rel.direction,
-            bounds=_hops_text(step.rel) if step.rel.var_length else None)
+            bounds=_hops_text(step.rel) if step.rel.var_length else None,
+            mode="reachability"
+            if _use_reachability(step, used, ctx) else None)
         results = ctx.profiler.iterate(operator, results)
     for new_row, new_bound, new_used, new_rels in results:
         yield from _expand(steps, step_index + 1, new_row, new_bound,
-                           new_used, ctx, new_rels, plan, pattern_index)
+                           new_used, ctx, new_rels, plan, pattern_index,
+                           estimates)
 
 
 def _expand_step(step: _Step, row: dict[str, Any],
@@ -248,7 +312,10 @@ def _expand_step(step: _Step, row: dict[str, Any],
     source = bound[step.source_index]
     target_index = step.source_index + (-1 if step.reversed else 1)
     if step.rel.var_length:
-        expansions = _expand_var_length(step, source, row, used, ctx)
+        if _use_reachability(step, used, ctx):
+            expansions = _expand_reachability(step, source, row, ctx)
+        else:
+            expansions = _expand_var_length(step, source, row, used, ctx)
     else:
         expansions = _expand_single(step, source, row, used, ctx)
     for target_node, rel_value, edges in expansions:
@@ -284,9 +351,8 @@ def _expand_single(step: _Step, source: int, row: Mapping[str, Any],
                    used: frozenset[int], ctx: ExecutionContext,
                    ) -> Iterator[tuple[int, Any, frozenset[int]]]:
     types = step.rel.types or None
-    for edge_id in ctx.view.edges_of(source, step.direction, types):
+    for edge_id in ctx.adjacency(source, step.direction, types):
         ctx.tick()
-        ctx.db_hit()
         if edge_id in used:
             continue
         if not _edge_props_ok(step.rel, edge_id, row, ctx):
@@ -311,9 +377,8 @@ def _expand_var_length(step: _Step, source: int, row: Mapping[str, Any],
         depth = len(path_edges)
         if max_hops is not None and depth >= max_hops:
             continue
-        for edge_id in ctx.view.edges_of(node_id, step.direction, types):
+        for edge_id in ctx.adjacency(node_id, step.direction, types):
             ctx.tick()
-            ctx.db_hit()
             if edge_id in path_edges or edge_id in used:
                 continue
             if not _edge_props_ok(rel, edge_id, row, ctx):
@@ -325,6 +390,52 @@ def _expand_var_length(step: _Step, source: int, row: Mapping[str, Any],
                        tuple(EdgeRef(edge) for edge in new_path),
                        frozenset(new_path))
             stack.append((neighbor, new_path))
+
+
+def _expand_reachability(step: _Step, source: int,
+                         row: Mapping[str, Any], ctx: ExecutionContext,
+                         ) -> Iterator[tuple[int, Any, frozenset[int]]]:
+    """Visited-set BFS for a planner-marked var-length relationship.
+
+    Yields each reachable endpoint exactly once, instead of once per
+    path: db-hits become linear in the reachable edge set. Sound only
+    under :func:`repro.cypher.planner.reachability_eligible`'s
+    preconditions — min_hops <= 1, so "reachable within <= max_hops
+    edge-unique hops" equals "BFS level <= max_hops" (a minimum-hop
+    path is node-simple, hence edge-unique), and no rel/path variable,
+    so the collapsed paths are unobservable. The endpoint binds no
+    edges (``frozenset()``): the clause holds a single relationship,
+    so clause-level edge uniqueness has nothing left to check.
+    """
+    rel = step.rel
+    types = rel.types or None
+    max_hops = rel.max_hops
+    visited = {source}
+    yielded = set()
+    if rel.min_hops == 0:
+        yielded.add(source)
+        yield source, (), frozenset()
+    frontier = [source]
+    depth = 0
+    while frontier and (max_hops is None or depth < max_hops):
+        depth += 1
+        next_frontier: list[int] = []
+        for node_id in frontier:
+            for edge_id in ctx.adjacency(node_id, step.direction, types):
+                ctx.tick()
+                if rel.properties and \
+                        not _edge_props_ok(rel, edge_id, row, ctx):
+                    continue
+                neighbor = other_end(ctx.view, edge_id, node_id)
+                if neighbor not in yielded:
+                    # the source itself is yielded only when re-reached
+                    # through an edge (a cycle), matching enumeration
+                    yielded.add(neighbor)
+                    yield neighbor, (), frozenset()
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
 
 
 def _build_path(pattern: ast.Pattern, bound: dict[int, int],
@@ -357,8 +468,10 @@ def _match_shortest(pattern: ast.Pattern, row: dict[str, Any],
     """shortestPath()/allShortestPaths() over one var-length pattern.
 
     Supported shape (the paper's Section 4.4 use case): two endpoint
-    nodes joined by a single variable-length relationship. BFS finds
-    the minimum-hop path(s) instead of enumerating all paths.
+    nodes joined by a single variable-length relationship. One BFS per
+    *source* covers every target (the target candidates are answered
+    by membership in the BFS parents DAG), instead of the old
+    O(sources x targets) BFS-per-pair loop.
     """
     if len(pattern.rels) != 1 or not pattern.rels[0].var_length:
         raise CypherSemanticError(
@@ -373,28 +486,28 @@ def _match_shortest(pattern: ast.Pattern, row: dict[str, Any],
         return _edge_props_ok(rel, edge_id, row, ctx)
 
     from repro.graphdb import algo
+    targets = [target
+               for target in _anchor_candidates(pattern.nodes[1], row,
+                                                ctx)
+               if _node_ok(pattern.nodes[1], target, row, ctx)]
+    limit = 64 if pattern.shortest == "all" else 1
     for source in _anchor_candidates(pattern.nodes[0], row, ctx):
+        ctx.tick()
         if not _node_ok(pattern.nodes[0], source, row, ctx):
             continue
-        for target in _anchor_candidates(pattern.nodes[1], row, ctx):
+        depth_of, parents = algo.shortest_path_dag(
+            ctx.view, source, types, direction, edge_filter=edge_ok,
+            max_depth=rel.max_hops)
+        for target in targets:
             ctx.tick()
-            if not _node_ok(pattern.nodes[1], target, row, ctx):
+            hops = depth_of.get(target)
+            if hops is None or hops < rel.min_hops:
                 continue
-            if pattern.shortest == "all":
-                found = algo.all_shortest_paths(
-                    ctx.view, source, target, types, direction,
-                    edge_filter=edge_ok)
-            else:
-                single = algo.shortest_path_with_edges(
-                    ctx.view, source, target, types, direction,
-                    edge_filter=edge_ok)
-                found = [single] if single is not None else []
+            if rel.max_hops is not None and hops > rel.max_hops:
+                continue
+            found = algo.unwind_shortest_paths(source, target, depth_of,
+                                               parents, limit=limit)
             for node_path, edge_path in found:
-                hops = len(edge_path)
-                if hops < rel.min_hops:
-                    continue
-                if rel.max_hops is not None and hops > rel.max_hops:
-                    continue
                 new_row = dict(row)
                 _bind_node(new_row, pattern.nodes[0], source)
                 _bind_node(new_row, pattern.nodes[1], target)

@@ -33,12 +33,18 @@ class QueryOptions:
         the query text).
     parameters
         Query parameters, ``$name`` -> value.
+    use_reachability_rewrite
+        Tri-state override of the engine's reachability-rewrite gate
+        for this run: ``None`` (default) inherits the engine setting,
+        ``True``/``False`` force the var-length BFS rewrite on or off
+        (the Section 6.1 ablation knob).
     """
 
     timeout: float | None = None
     max_rows: int | None = None
     profile: bool = False
     parameters: Mapping[str, Any] | None = None
+    use_reachability_rewrite: bool | None = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:

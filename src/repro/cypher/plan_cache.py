@@ -1,0 +1,87 @@
+"""Bounded LRU cache for compiled (planned) queries.
+
+Entries are keyed on query text and carry the graph-statistics epoch
+they were planned at: a lookup with a newer epoch is a *stale* hit —
+the graph changed underneath the plan, so anchor costs and pushdown
+decisions may no longer be right — and is treated as an invalidating
+miss. Capacity-bounded with least-recently-used eviction so a
+long-lived engine serving ad-hoc query text cannot grow without limit
+(the old implementation was an unbounded dict).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Iterator
+
+from repro.cypher import ast
+
+DEFAULT_CAPACITY = 128
+
+
+class PlanCache:
+    """text -> (planned query, epoch), LRU-bounded.
+
+    ``hits``/``misses``/``evictions``/``invalidations`` are optional
+    counter objects (anything with ``inc()``) — the engine binds them
+    to its metrics registry as ``planner.cache.*``.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY,
+                 hits: Any = None, misses: Any = None,
+                 evictions: Any = None, invalidations: Any = None,
+                 ) -> None:
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[str, tuple[ast.Query, int]] = \
+            OrderedDict()
+        self._hits = hits
+        self._misses = misses
+        self._evictions = evictions
+        self._invalidations = invalidations
+
+    def get(self, text: str, epoch: int) -> ast.Query | None:
+        """The cached plan, or None on a miss or a stale entry."""
+        entry = self._entries.get(text)
+        if entry is None:
+            self._inc(self._misses)
+            return None
+        query, cached_epoch = entry
+        if cached_epoch != epoch:
+            # the graph mutated since this plan was costed
+            del self._entries[text]
+            self._inc(self._invalidations)
+            self._inc(self._misses)
+            return None
+        self._entries.move_to_end(text)
+        self._inc(self._hits)
+        return query
+
+    def put(self, text: str, query: ast.Query, epoch: int) -> None:
+        self._entries[text] = (query, epoch)
+        self._entries.move_to_end(text)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._inc(self._evictions)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    @staticmethod
+    def _inc(counter: Any) -> None:
+        if counter is not None:
+            counter.inc()
+
+    def __repr__(self) -> str:
+        return (f"PlanCache({len(self._entries)}/{self.capacity} "
+                "entries)")

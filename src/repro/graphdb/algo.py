@@ -232,6 +232,72 @@ def all_shortest_paths(
     return results
 
 
+def shortest_path_dag(
+        view: GraphView, source: int,
+        types: Collection[str] | None = None,
+        direction: Direction = Direction.OUT,
+        edge_filter=None, max_depth: int | None = None,
+        ) -> tuple[dict[int, int], dict[int, list[tuple[int, int]]]]:
+    """One BFS from *source* covering every reachable node.
+
+    Returns ``(depth_of, parents)``: minimum hop counts and, per node,
+    every ``(previous, edge)`` pair lying on some minimum-length path.
+    This is the target-agnostic form of :func:`all_shortest_paths` —
+    ``shortestPath`` matching runs it once per source and then answers
+    all targets by membership, instead of a BFS per (source, target)
+    pair.
+    """
+    depth_of = {source: 0}
+    parents: dict[int, list[tuple[int, int]]] = {}
+    frontier = [source]
+    depth = 0
+    while frontier:
+        if max_depth is not None and depth >= max_depth:
+            break
+        depth += 1
+        next_frontier: list[int] = []
+        for node_id in frontier:
+            for edge_id in view.edges_of(node_id, direction, types):
+                if edge_filter is not None and not edge_filter(edge_id):
+                    continue
+                neighbor = other_end(view, edge_id, node_id)
+                known_depth = depth_of.get(neighbor)
+                if known_depth is None:
+                    depth_of[neighbor] = depth
+                    parents[neighbor] = [(node_id, edge_id)]
+                    next_frontier.append(neighbor)
+                elif known_depth == depth:
+                    parents[neighbor].append((node_id, edge_id))
+        frontier = next_frontier
+    return depth_of, parents
+
+
+def unwind_shortest_paths(
+        source: int, target: int,
+        depth_of: dict[int, int],
+        parents: dict[int, list[tuple[int, int]]],
+        limit: int = 64) -> list[tuple[list[int], list[int]]]:
+    """All minimum-length (nodes, edges) paths from a BFS parents DAG."""
+    if target == source:
+        return [([source], [])]
+    if target not in depth_of:
+        return []
+    results: list[tuple[list[int], list[int]]] = []
+
+    def unwind(node_id: int, nodes: list[int], edges: list[int]) -> None:
+        if len(results) >= limit:
+            return
+        if node_id == source:
+            results.append(([source] + nodes[::-1], edges[::-1]))
+            return
+        for previous, via in parents[node_id]:
+            if depth_of[previous] == depth_of[node_id] - 1:
+                unwind(previous, nodes + [node_id], edges + [via])
+
+    unwind(target, [], [])
+    return results
+
+
 def all_paths(view: GraphView, source: int, target: int,
               types: Collection[str] | None = None,
               direction: Direction = Direction.OUT,

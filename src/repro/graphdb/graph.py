@@ -19,6 +19,7 @@ from typing import Any, Collection, Iterable, Iterator, Mapping
 from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
 from repro.graphdb import properties as props
 from repro.graphdb.indexes import IndexManager
+from repro.graphdb.stats import GraphStatistics
 from repro.graphdb.view import Direction
 
 
@@ -131,6 +132,9 @@ class PropertyGraph:
         self._out: dict[int, dict[str, list[int]]] = {}
         self._in: dict[int, dict[str, list[int]]] = {}
         self._indexes = IndexManager(auto_index_keys=keys)
+        #: live planner statistics; every mutation below updates it and
+        #: bumps its epoch (which stales compiled Cypher plans)
+        self.statistics = GraphStatistics()
         self.metrics: Any | None = None
 
     def attach_metrics(self, registry: Any) -> None:
@@ -163,6 +167,7 @@ class PropertyGraph:
         self._out[node_id] = {}
         self._in[node_id] = {}
         self._indexes.on_node_added(node_id, label_set, merged)
+        self.statistics.node_added(tuple(label_set))
         return node_id
 
     def add_node_with_id(self, node_id: int, labels: Iterable[str] = (),
@@ -183,6 +188,7 @@ class PropertyGraph:
         self._in[node_id] = {}
         self._next_node_id = max(self._next_node_id, node_id + 1)
         self._indexes.on_node_added(node_id, label_set, merged)
+        self.statistics.node_added(tuple(label_set))
         return node_id
 
     def add_edge_with_id(self, edge_id: int, source: int, target: int,
@@ -204,6 +210,7 @@ class PropertyGraph:
         self._out[source].setdefault(edge_type, []).append(edge_id)
         self._in[target].setdefault(edge_type, []).append(edge_id)
         self._next_edge_id = max(self._next_edge_id, edge_id + 1)
+        self.statistics.edge_added(edge_type)
         return edge_id
 
     def remove_node(self, node_id: int) -> None:
@@ -217,6 +224,7 @@ class PropertyGraph:
             self.remove_edge(edge_id)
         self._indexes.on_node_removed(node_id, self._node_labels[node_id],
                                       self._node_props[node_id])
+        self.statistics.node_removed(tuple(self._node_labels[node_id]))
         del self._node_labels[node_id]
         del self._node_props[node_id]
         del self._out[node_id]
@@ -229,12 +237,14 @@ class PropertyGraph:
         self._node_props[node_id][key] = value
         self._indexes.on_node_property_changed(
             node_id, key, None if old is _MISSING else old, value)
+        self.statistics.bump()
 
     def remove_node_property(self, node_id: int, key: str) -> None:
         self._require_node(node_id)
         old = self._node_props[node_id].pop(key, _MISSING)
         if old is not _MISSING:
             self._indexes.on_node_property_changed(node_id, key, old, None)
+            self.statistics.bump()
 
     def add_label(self, node_id: int, label: str) -> None:
         self._require_node(node_id)
@@ -242,6 +252,7 @@ class PropertyGraph:
         if label not in labels:
             self._node_labels[node_id] = labels | {label}
             self._indexes.on_label_added(node_id, label)
+            self.statistics.label_added(label)
 
     def remove_label(self, node_id: int, label: str) -> None:
         self._require_node(node_id)
@@ -249,6 +260,7 @@ class PropertyGraph:
         if label in labels:
             self._node_labels[node_id] = labels - {label}
             self._indexes.on_label_removed(node_id, label)
+            self.statistics.label_removed(label)
 
     # -- mutation: edges ----------------------------------------------------
 
@@ -274,6 +286,7 @@ class PropertyGraph:
         self._edge_props[edge_id] = merged
         self._out[source].setdefault(edge_type, []).append(edge_id)
         self._in[target].setdefault(edge_type, []).append(edge_id)
+        self.statistics.edge_added(edge_type)
         return edge_id
 
     def remove_edge(self, edge_id: int) -> None:
@@ -288,14 +301,17 @@ class PropertyGraph:
         self._in[target][edge_type].remove(edge_id)
         if not self._in[target][edge_type]:
             del self._in[target][edge_type]
+        self.statistics.edge_removed(edge_type)
 
     def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
         self._require_edge(edge_id)
         self._edge_props[edge_id][key] = props.validate_value(key, value)
+        self.statistics.bump()
 
     def remove_edge_property(self, edge_id: int, key: str) -> None:
         self._require_edge(edge_id)
         self._edge_props[edge_id].pop(key, None)
+        self.statistics.bump()
 
     # -- GraphView: population ----------------------------------------------
 

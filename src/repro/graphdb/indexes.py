@@ -131,6 +131,18 @@ class IndexManager:
             return iter(())
         return iter(sorted(term_dict.get(_term(value), ())))
 
+    def seek_count(self, key: str, value: Any) -> int:
+        """Posting-list size for an exact term, without materializing it.
+
+        The planner's index-selectivity estimate: how many candidates a
+        ``NodeIndexSeek`` on ``key = value`` would produce. Not counted
+        as a lookup — it reads only the bucket length.
+        """
+        term_dict = self._by_term.get(key.lower())
+        if term_dict is None:
+            return 0
+        return len(term_dict.get(_term(value), ()))
+
     def query(self, query_string: str) -> Iterator[int]:
         """Evaluate a legacy lucene query string; yields node ids sorted."""
         self._count_lookup()

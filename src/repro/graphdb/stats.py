@@ -135,3 +135,124 @@ def log_binned_histogram(distribution: dict[int, int],
     if zero_nodes:
         rows.insert(0, (0.0, 1.0, zero_nodes))
     return rows
+
+
+# --------------------------------------------------------------------------
+# Planner statistics
+# --------------------------------------------------------------------------
+
+class GraphStatistics:
+    """Incrementally maintained cardinalities feeding the Cypher planner.
+
+    A :class:`~repro.graphdb.graph.PropertyGraph` owns one of these and
+    updates it on every mutation; the read-only disk store builds one
+    from metadata at open time. The planner reads label counts,
+    per-edge-type counts and average out-degree to cost anchor choices
+    and expansion orders, and the ``epoch`` invalidates compiled plans
+    when the graph changes underneath them.
+    """
+
+    __slots__ = ("epoch", "node_count", "edge_count", "label_counts",
+                 "edge_type_counts")
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.node_count = 0
+        self.edge_count = 0
+        self.label_counts: Counter[str] = Counter()
+        self.edge_type_counts: Counter[str] = Counter()
+
+    @classmethod
+    def from_counts(cls, node_count: int, edge_count: int,
+                    label_counts: dict[str, int] | None = None,
+                    edge_type_counts: dict[str, int] | None = None,
+                    ) -> "GraphStatistics":
+        stats = cls()
+        stats.node_count = node_count
+        stats.edge_count = edge_count
+        stats.label_counts.update(label_counts or {})
+        stats.edge_type_counts.update(edge_type_counts or {})
+        return stats
+
+    @classmethod
+    def of_view(cls, view: GraphView) -> "GraphStatistics":
+        """One full O(V+E) pass — the fallback for plain views."""
+        stats = cls()
+        stats.node_count = view.node_count()
+        stats.edge_count = view.edge_count()
+        for node_id in view.node_ids():
+            stats.label_counts.update(view.node_labels(node_id))
+        for edge_id in view.edge_ids():
+            stats.edge_type_counts[view.edge_type(edge_id)] += 1
+        return stats
+
+    # -- mutation hooks (PropertyGraph calls these inline) -------------
+
+    def bump(self) -> None:
+        """Advance the epoch: any mutation stales compiled plans."""
+        self.epoch += 1
+
+    def node_added(self, labels: tuple[str, ...]) -> None:
+        self.node_count += 1
+        self.label_counts.update(labels)
+        self.bump()
+
+    def node_removed(self, labels: tuple[str, ...]) -> None:
+        self.node_count -= 1
+        self.label_counts.subtract(labels)
+        self.bump()
+
+    def label_added(self, label: str) -> None:
+        self.label_counts[label] += 1
+        self.bump()
+
+    def label_removed(self, label: str) -> None:
+        self.label_counts[label] -= 1
+        self.bump()
+
+    def edge_added(self, edge_type: str) -> None:
+        self.edge_count += 1
+        self.edge_type_counts[edge_type] += 1
+        self.bump()
+
+    def edge_removed(self, edge_type: str) -> None:
+        self.edge_count -= 1
+        self.edge_type_counts[edge_type] -= 1
+        self.bump()
+
+    # -- planner reads -------------------------------------------------
+
+    def label_count(self, label: str) -> int:
+        return max(self.label_counts.get(label, 0), 0)
+
+    def edge_type_count(self, edge_type: str) -> int:
+        return max(self.edge_type_counts.get(edge_type, 0), 0)
+
+    def avg_out_degree(self, edge_types: tuple[str, ...] = ()) -> float:
+        """Mean out-degree over all nodes, restricted to edge types.
+
+        An empty ``edge_types`` means every type. This is the planner's
+        per-step fanout estimate: a uniform-degree assumption, cheap
+        and monotone in the true cost.
+        """
+        if not self.node_count:
+            return 0.0
+        if not edge_types:
+            total = self.edge_count
+        else:
+            total = sum(self.edge_type_count(t) for t in edge_types)
+        return total / self.node_count
+
+    def __repr__(self) -> str:
+        return (f"GraphStatistics(epoch={self.epoch}, "
+                f"nodes={self.node_count}, edges={self.edge_count}, "
+                f"{len(self.label_counts)} labels, "
+                f"{len(self.edge_type_counts)} edge types)")
+
+
+def graph_statistics_for(view: GraphView) -> GraphStatistics:
+    """The view's live statistics, or a one-shot computed fallback."""
+    stats = getattr(view, "statistics", None)
+    if isinstance(stats, GraphStatistics):
+        return stats
+    return GraphStatistics.of_view(view)

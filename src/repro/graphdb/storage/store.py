@@ -40,6 +40,7 @@ from repro.errors import (EdgeNotFoundError, NodeNotFoundError,
                           StoreCorruptionError, StoreError,
                           StoreFormatError)
 from repro.graphdb import luceneql
+from repro.graphdb.stats import GraphStatistics
 from repro.graphdb.storage import records
 from repro.graphdb.storage.pagecache import PageCache, PagedFile
 from repro.graphdb.view import Direction, GraphView
@@ -365,6 +366,18 @@ class GraphStore:
         _write_index_files(graph, directory, auto_keys, opener)
         checkpoint("indexes_written")
 
+        # planner statistics: cheap O(V+E) counts the reader exposes as
+        # a GraphStatistics without re-scanning the store. Optional keys
+        # (same format version) — older stores fall back to estimates.
+        label_counts: dict[str, int] = {}
+        for node_id in graph.node_ids():
+            for label in graph.node_labels(node_id):
+                label_counts[label] = label_counts.get(label, 0) + 1
+        edge_type_counts: dict[str, int] = {}
+        for edge_id in graph.edge_ids():
+            name = graph.edge_type(edge_id)
+            edge_type_counts[name] = edge_type_counts.get(name, 0) + 1
+
         # metadata ------------------------------------------------------------------
         metadata = {
             "magic": MAGIC,
@@ -378,6 +391,8 @@ class GraphStore:
             "label_tokens": label_tokens.to_list(),
             "labelsets": labelset_rows,
             "auto_index_keys": list(auto_keys),
+            "label_counts": label_counts,
+            "edge_type_counts": edge_type_counts,
         }
         with opener(os.path.join(directory, METADATA_FILE), "w",
                     encoding="utf-8") as handle:
@@ -942,6 +957,13 @@ class StoreIndexes:
         entry = self._labels.get(label)
         return entry[1] if entry else 0
 
+    def seek_count(self, key: str, value: Any) -> int:
+        """Posting-list length for an exact term — the planner's index
+        selectivity estimate. Reads only the dictionary entry, never
+        the postings file."""
+        entry = self._auto.get(key.lower(), {}).get(_index_term(value))
+        return entry[1] if entry else 0
+
     def labels(self) -> Iterator[str]:
         return iter(sorted(self._labels))
 
@@ -1027,6 +1049,22 @@ class StoreGraph:
         self._adj_cache: dict[int, tuple[Any, Any]] = {}
         self._node_prop_cache: dict[int, dict[str, Any]] = {}
         self._edge_prop_cache: dict[int, dict[str, Any]] = {}
+        #: CSR-style adjacency snapshot (see snapshot_adjacency)
+        self._csr: dict[int, tuple[Any, Any]] | None = None
+        # planner statistics: exact counts when the writer recorded
+        # them, estimates (uniform edge-type split) for older stores.
+        label_counts = metadata.get("label_counts")
+        if label_counts is None:
+            label_counts = {label: self._indexes.label_count(label)
+                            for label in self._indexes.labels()}
+        edge_type_counts = metadata.get("edge_type_counts")
+        if edge_type_counts is None and self._type_tokens:
+            uniform = self._edge_count / len(self._type_tokens)
+            edge_type_counts = {name: int(uniform)
+                                for name in self._type_tokens}
+        self.statistics = GraphStatistics.from_counts(
+            self._node_count, self._edge_count,
+            label_counts, edge_type_counts)
         self.attach_metrics(page_cache.metrics)
 
     def attach_metrics(self, registry: Any) -> None:
@@ -1050,6 +1088,27 @@ class StoreGraph:
         self._adj_cache.clear()
         self._node_prop_cache.clear()
         self._edge_prop_cache.clear()
+        self._csr = None
+
+    def snapshot_adjacency(self) -> None:
+        """Materialize the whole adjacency store into one in-memory
+        snapshot (Neo4j would call this a relationship-group cache;
+        the layout is CSR in spirit: every node's typed edge groups,
+        decoded once, contiguous per node).
+
+        Subsequent ``edges_of``/``degree`` calls skip the record and
+        page layers entirely. :meth:`evict_caches` drops the snapshot,
+        so cold-run measurements stay honest. Opt-in because it holds
+        O(E) memory.
+        """
+        snapshot: dict[int, tuple[Any, Any]] = {}
+        for node_id in range(self._high_node):
+            record = self._node_record(node_id)
+            if not record[0]:
+                continue
+            block = self._adj.read(record[3], record[4])
+            snapshot[node_id] = records.decode_adjacency(block)
+        self._csr = snapshot
 
     def close(self) -> None:
         """Release every underlying file; safe to call twice."""
@@ -1245,6 +1304,11 @@ class StoreGraph:
         return record
 
     def _adjacency(self, node_id: int) -> tuple[Any, Any]:
+        if self._csr is not None:
+            groups = self._csr.get(node_id)
+            if groups is None:
+                raise NodeNotFoundError(node_id)
+            return groups
         cached = self._adj_cache.get(node_id)
         if cached is None:
             self._fault_counter.inc()

@@ -23,7 +23,7 @@ class OperatorStats:
     """Mutable per-operator accumulator; converts to PlanDescription."""
 
     __slots__ = ("name", "args", "rows", "db_hits", "time_ns",
-                 "children", "_child_index")
+                 "estimated_rows", "children", "_child_index")
 
     def __init__(self, name: str, args: dict[str, Any]) -> None:
         self.name = name
@@ -31,6 +31,8 @@ class OperatorStats:
         self.rows = 0
         self.db_hits = 0
         self.time_ns = 0
+        #: planner's cardinality estimate, when it costed this operator
+        self.estimated_rows: int | None = None
         self.children: list[OperatorStats] = []
         self._child_index: dict[Any, OperatorStats] = {}
 
@@ -55,18 +57,23 @@ class QueryProfiler:
     # -- tree construction ------------------------------------------------------
 
     def operator(self, parent: OperatorStats | None, key: Any,
-                 name: str, **args: Any) -> OperatorStats:
+                 name: str, estimated: float | None = None,
+                 **args: Any) -> OperatorStats:
         """Get or create a child operator of ``parent`` (root if None).
 
         ``key`` identifies the operator across repeated visits (a
         pattern matched once per incoming row still profiles as one
-        operator); the first visit's ``name``/``args`` win.
+        operator); the first visit's ``name``/``args``/``estimated``
+        win. ``estimated`` is the planner's cardinality estimate, shown
+        next to the measured rows so misestimates are visible.
         """
         parent = parent if parent is not None else self.root
         child = parent._child_index.get(key)
         if child is None:
             child = OperatorStats(
                 name, {k: v for k, v in args.items() if v is not None})
+            if estimated is not None:
+                child.estimated_rows = int(estimated)
             parent._child_index[key] = child
             parent.children.append(child)
         return child
@@ -137,6 +144,7 @@ class QueryProfiler:
             return PlanDescription(
                 name=op.name, args=dict(op.args),
                 children=tuple(convert(child) for child in op.children),
+                estimated_rows=op.estimated_rows,
                 rows=op.rows, db_hits=op.db_hits, time_ms=op.time_ms)
 
         return convert(self.root)

@@ -1,0 +1,131 @@
+"""The bounded LRU plan cache and its engine integration.
+
+Plans are keyed on query text and the graph-statistics epoch they
+were compiled at; any graph mutation bumps the epoch and so
+invalidates every cached plan lazily on next lookup.
+"""
+
+import pytest
+
+from repro.cypher import CypherEngine, parse
+from repro.cypher.plan_cache import DEFAULT_CAPACITY, PlanCache
+from repro.graphdb import PropertyGraph
+
+
+class Counter:
+    def __init__(self):
+        self.count = 0
+
+    def inc(self, amount=1):
+        self.count += amount
+
+
+@pytest.fixture
+def counters():
+    return {name: Counter() for name in
+            ("hits", "misses", "evictions", "invalidations")}
+
+
+@pytest.fixture
+def cache(counters):
+    return PlanCache(capacity=2, **counters)
+
+
+PLAN = parse("MATCH (n) RETURN n")
+
+
+class TestPlanCacheUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+
+    def test_default_capacity(self):
+        assert PlanCache().capacity == DEFAULT_CAPACITY
+
+    def test_miss_then_hit(self, cache, counters):
+        assert cache.get("q", epoch=0) is None
+        assert counters["misses"].count == 1
+        cache.put("q", PLAN, epoch=0)
+        assert cache.get("q", epoch=0) is PLAN
+        assert counters["hits"].count == 1
+
+    def test_lru_eviction_prefers_recently_used(self, cache, counters):
+        cache.put("a", PLAN, 0)
+        cache.put("b", PLAN, 0)
+        cache.get("a", 0)  # touch: 'b' is now least recently used
+        cache.put("c", PLAN, 0)
+        assert counters["evictions"].count == 1
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_stale_epoch_invalidates(self, cache, counters):
+        cache.put("q", PLAN, epoch=3)
+        assert cache.get("q", epoch=4) is None
+        assert counters["invalidations"].count == 1
+        assert counters["misses"].count == 1
+        assert "q" not in cache  # dropped eagerly, not just skipped
+
+    def test_clear(self, cache):
+        cache.put("q", PLAN, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("q", 0) is None
+
+
+class TestEngineIntegration:
+    QUERY = "MATCH (n:function) RETURN n"
+
+    @pytest.fixture
+    def graph(self):
+        g = PropertyGraph()
+        g.add_node("function", short_name="main")
+        return g
+
+    def snapshot(self, engine):
+        return engine.obs.registry.snapshot()
+
+    def test_repeat_query_hits_cache(self, graph):
+        engine = CypherEngine(graph)
+        engine.run(self.QUERY)
+        engine.run(self.QUERY)
+        snapshot = self.snapshot(engine)
+        assert snapshot.counter("planner.plans") == 1
+        assert snapshot.counter("planner.cache.misses") == 1
+        assert snapshot.counter("planner.cache.hits") == 1
+
+    def test_mutation_invalidates(self, graph):
+        engine = CypherEngine(graph)
+        engine.run(self.QUERY)
+        graph.add_node("function", short_name="other")
+        engine.run(self.QUERY)
+        snapshot = self.snapshot(engine)
+        assert snapshot.counter("planner.cache.invalidations") == 1
+        assert snapshot.counter("planner.plans") == 2
+
+    def test_capacity_evicts(self, graph):
+        engine = CypherEngine(graph, plan_cache_capacity=1)
+        engine.run("MATCH (n:function) RETURN n")
+        engine.run("MATCH (m:function) RETURN m")
+        engine.run("MATCH (n:function) RETURN n")  # evicted: replanned
+        snapshot = self.snapshot(engine)
+        assert snapshot.counter("planner.cache.evictions") >= 1
+        assert snapshot.counter("planner.plans") == 3
+
+    def test_clear_cache(self, graph):
+        engine = CypherEngine(graph)
+        engine.run(self.QUERY)
+        engine.clear_cache()
+        engine.run(self.QUERY)
+        snapshot = self.snapshot(engine)
+        assert snapshot.counter("planner.plans") == 2
+        assert snapshot.counter("planner.cache.hits") == 0
+
+    def test_pushdown_and_rewrite_counters(self, graph):
+        engine = CypherEngine(graph)
+        engine.run("MATCH (n:function) WHERE n.short_name = 'main' "
+                   "RETURN n")
+        engine.run("MATCH (n) -[:calls*]-> (m) RETURN distinct m")
+        snapshot = self.snapshot(engine)
+        assert snapshot.counter("planner.pushed_filters") == 1
+        assert snapshot.counter("planner.reachability_rewrites") == 1

@@ -180,11 +180,14 @@ class TestE8Attribution:
                     g.add_edge(source, target, "calls")
         return g
 
+    CLOSURE = ("START n=node:node_auto_index('short_name: l0_0') "
+               "MATCH n -[:calls*]-> m RETURN distinct m")
+
     def test_var_length_expand_dominates(self, layered):
-        engine = CypherEngine(layered)
-        result = engine.profile(
-            "START n=node:node_auto_index('short_name: l0_0') "
-            "MATCH n -[:calls*]-> m RETURN distinct m")
+        # the Section 6.1 blow-up: with the reachability rewrite off,
+        # the var-length expansion enumerates every path
+        engine = CypherEngine(layered, use_reachability_rewrite=False)
+        result = engine.profile(self.CLOSURE)
         plan = result.profile
         assert len(result) == 20  # closure: 4 layers of 5
         hottest = plan.hottest()
@@ -195,6 +198,26 @@ class TestE8Attribution:
         assert expand.db_hits > plan.total_db_hits() / 2
         # far more paths enumerated than distinct results
         assert expand.rows > len(result) * 5
+
+    def test_reachability_rewrite_collapses_paths(self, layered):
+        # same query, rewrite on (the default): one row per endpoint
+        # and db-hits linear in the reachable adjacency lists
+        engine = CypherEngine(layered)
+        result = engine.profile(self.CLOSURE)
+        plan = result.profile
+        assert len(result) == 20
+        expand = plan.find_one("VarLengthExpand")
+        assert expand.args.get("mode") == "reachability"
+        assert expand.rows == len(result)
+        # 21 reachable nodes (source + 20), <= 5 out-edges each
+        assert expand.db_hits <= 21 * 5
+
+    def test_rewrite_on_off_same_rows(self, layered):
+        on = CypherEngine(layered).run(self.CLOSURE)
+        off = CypherEngine(layered, use_reachability_rewrite=False) \
+            .run(self.CLOSURE)
+        assert sorted(r[0].id for r in on.rows) == \
+            sorted(r[0].id for r in off.rows)
 
 
 class TestStoreBackedProfile:

@@ -1,0 +1,120 @@
+"""Live planner statistics (repro.graphdb.stats.GraphStatistics).
+
+The cost-based Cypher planner reads label/edge-type cardinalities and
+average out-degree from here, and the plan cache keys on the epoch —
+so every mutation must keep the counts exact and bump the epoch.
+"""
+
+import pytest
+
+from repro.graphdb import PropertyGraph
+from repro.graphdb.stats import GraphStatistics, graph_statistics_for
+from repro.graphdb.storage import GraphStore
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    functions = [g.add_node("function", short_name=f"fn{i}")
+                 for i in range(3)]
+    field = g.add_node("field", short_name="id")
+    for fn in functions:
+        g.add_edge(fn, field, "reads")
+    g.add_edge(functions[0], functions[1], "calls")
+    return g
+
+
+class TestIncrementalCounts:
+    def test_node_and_edge_counts(self, graph):
+        stats = graph.statistics
+        assert stats.node_count == 4
+        assert stats.edge_count == 4
+        assert stats.label_count("function") == 3
+        assert stats.label_count("field") == 1
+        assert stats.label_count("missing") == 0
+        assert stats.edge_type_count("reads") == 3
+        assert stats.edge_type_count("calls") == 1
+
+    def test_removal_decrements(self, graph):
+        edge = next(iter(graph.edges_of(0)))
+        graph.remove_edge(edge)
+        assert graph.statistics.edge_type_count("reads") == 2
+        graph.remove_node(3)
+        assert graph.statistics.node_count == 3
+        assert graph.statistics.label_count("field") == 0
+
+    def test_label_mutations(self, graph):
+        graph.add_label(0, "exported")
+        assert graph.statistics.label_count("exported") == 1
+        graph.remove_label(0, "exported")
+        assert graph.statistics.label_count("exported") == 0
+
+    def test_avg_out_degree(self, graph):
+        stats = graph.statistics
+        assert stats.avg_out_degree() == pytest.approx(4 / 4)
+        assert stats.avg_out_degree(("reads",)) == pytest.approx(3 / 4)
+        assert stats.avg_out_degree(("calls",)) == pytest.approx(1 / 4)
+        assert stats.avg_out_degree(("calls", "reads")) == \
+            pytest.approx(4 / 4)
+
+    def test_empty_graph(self):
+        stats = PropertyGraph().statistics
+        assert stats.node_count == 0
+        assert stats.avg_out_degree() == 0.0
+
+
+class TestEpoch:
+    def test_every_mutation_bumps(self, graph):
+        epoch = graph.statistics.epoch
+        for mutate in (
+                lambda: graph.add_node("macro"),
+                lambda: graph.add_edge(0, 1, "includes"),
+                lambda: graph.set_node_property(0, "k", 1),
+                lambda: graph.add_label(0, "tmp"),
+                lambda: graph.remove_label(0, "tmp"),
+                lambda: graph.set_edge_property(
+                    next(iter(graph.edges_of(0))), "k", 1)):
+            mutate()
+            assert graph.statistics.epoch > epoch
+            epoch = graph.statistics.epoch
+
+    def test_reads_do_not_bump(self, graph):
+        epoch = graph.statistics.epoch
+        graph.node_labels(0)
+        graph.statistics.label_count("function")
+        graph.statistics.avg_out_degree()
+        assert graph.statistics.epoch == epoch
+
+
+class TestOfViewFallback:
+    def test_matches_incremental(self, graph):
+        computed = GraphStatistics.of_view(graph)
+        live = graph.statistics
+        assert computed.node_count == live.node_count
+        assert computed.edge_count == live.edge_count
+        assert computed.label_counts == live.label_counts
+        assert computed.edge_type_counts == live.edge_type_counts
+
+    def test_graph_statistics_for_returns_live(self, graph):
+        assert graph_statistics_for(graph) is graph.statistics
+
+    def test_from_counts(self):
+        stats = GraphStatistics.from_counts(
+            10, 20, {"function": 7}, {"calls": 20})
+        assert stats.label_count("function") == 7
+        assert stats.avg_out_degree(("calls",)) == pytest.approx(2.0)
+
+
+class TestStoreStatistics:
+    def test_built_from_metadata(self, graph, tmp_path):
+        directory = str(tmp_path / "store")
+        GraphStore.write(graph, directory)
+        with GraphStore.open(directory) as store:
+            stats = store.statistics
+            assert stats.node_count == graph.node_count()
+            assert stats.edge_count == graph.edge_count()
+            assert stats.label_count("function") == 3
+            assert stats.edge_type_count("reads") == 3
+            # immutable store: plans never go stale
+            assert stats.epoch == 0
+            assert graph_statistics_for(store) is stats
