@@ -64,6 +64,18 @@ def bench_records():
 
 
 @pytest.fixture(scope="session")
+def bench_records_pr4():
+    """Concurrency benchmark records (thread-sweep query throughput,
+    parallel vs serial extraction); written to
+    ``benchmarks/reports/BENCH_PR4.json`` at session end."""
+    records: list[dict] = []
+    yield records
+    if records:
+        write_bench_records(
+            os.path.join(REPORT_DIR, "BENCH_PR4.json"), records)
+
+
+@pytest.fixture(scope="session")
 def report():
     """Append paper-style tables to benchmarks/reports/summary.txt."""
     os.makedirs(REPORT_DIR, exist_ok=True)

@@ -1,0 +1,113 @@
+"""Concurrent serving benchmarks: thread-sweep throughput + parallel
+extraction.
+
+Two experiments the paper does not report but deployment needs:
+
+* **Warm query throughput vs worker count.**  The Table 5 query mix
+  (index start + reachability + neighbourhood + aggregate) submitted
+  through ``Frappe.query_async`` against the page-cached disk store,
+  with the serving pool at 1, 2, 4 and 8 workers.  Snapshot-isolated
+  reads share one immutable store, so throughput should not *degrade*
+  as workers are added (the GIL caps the speed-up for this pure-Python
+  engine; the row to watch is queries/sec staying flat-or-better).
+
+* **Parallel vs serial extraction.**  The same synthetic tree indexed
+  with ``jobs=1`` and ``jobs=4``; the graphs must be identical, the
+  wall clock should not be (process pool, so the GIL does not apply).
+
+Rows land in ``benchmarks/reports/BENCH_PR4.json``.
+"""
+
+import time
+
+import pytest
+
+from repro.build import Build
+from repro.core import Frappe, extract_build
+from repro.lang.source import VirtualFileSystem
+from repro.workloads import generate_codebase
+
+ROUNDS = 12  # each round submits the whole query mix once
+
+
+def _query_mix(frappe):
+    """The Table 5 flavours, grounded in whatever the store contains."""
+    seed_rows = frappe.query(
+        "MATCH (n:function) RETURN n.short_name").rows
+    name = sorted(row[0] for row in seed_rows)[len(seed_rows) // 2]
+    return [
+        # code search: index start, one hop out
+        f"START n=node:node_auto_index('short_name: {name}') "
+        "MATCH n -[:calls]-> m RETURN m.short_name",
+        # cross-referencing: callers of one function
+        f"START n=node:node_auto_index('short_name: {name}') "
+        "MATCH n <-[:calls]- m RETURN m.short_name",
+        # comprehension: full reachability (rewrite on)
+        f"START n=node:node_auto_index('short_name: {name}') "
+        "MATCH n -[:calls*]-> m RETURN distinct m",
+        # aggregate scan
+        "MATCH (n:function) RETURN count(*)",
+    ]
+
+
+class TestWarmThroughput:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_thread_sweep(self, store_dir, scale, bench_records_pr4,
+                          threads):
+        frappe = Frappe.open(store_dir)
+        try:
+            queries = _query_mix(frappe)
+            total = len(queries) * ROUNDS
+            frappe.serve(workers=threads, queue_capacity=total + 8,
+                         max_per_client=total)  # throughput, not fairness
+            for text in queries:  # warm page cache + plan cache
+                frappe.query(text)
+            started = time.perf_counter()
+            futures = [
+                frappe.query_async(text, timeout=60.0,
+                                   client=f"bench-{index % threads}")
+                for index in range(ROUNDS)
+                for text in queries]
+            rows = sum(len(f.result(timeout=120.0)) for f in futures)
+            elapsed = time.perf_counter() - started
+        finally:
+            frappe.close()
+        bench_records_pr4.append({
+            "experiment": "warm_query_throughput",
+            "threads": threads,
+            "queries": total,
+            "rows": rows,
+            "wall_ms": round(elapsed * 1000, 3),
+            "queries_per_second": round(total / elapsed, 2),
+            "scale": scale,
+        })
+        assert rows > 0
+
+
+class TestParallelExtraction:
+    def test_parallel_vs_serial_wall_time(self, bench_records_pr4):
+        codebase = generate_codebase(subsystems=6,
+                                     files_per_subsystem=4,
+                                     functions_per_file=5)
+        timings = {}
+        counts = {}
+        for jobs in (1, 4):
+            build = Build(VirtualFileSystem(dict(codebase.files)),
+                          include_paths=["include"], jobs=jobs)
+            started = time.perf_counter()
+            build.run_script(codebase.build_script)
+            graph = extract_build(build)
+            timings[jobs] = time.perf_counter() - started
+            counts[jobs] = (graph.node_count(), graph.edge_count())
+        # determinism is the contract; the speed-up is the point
+        assert counts[4] == counts[1]
+        for jobs, elapsed in timings.items():
+            bench_records_pr4.append({
+                "experiment": "extraction_wall_time",
+                "jobs": jobs,
+                "wall_ms": round(elapsed * 1000, 3),
+                "nodes": counts[jobs][0],
+                "edges": counts[jobs][1],
+                "speedup_vs_serial":
+                    round(timings[1] / elapsed, 2),
+            })

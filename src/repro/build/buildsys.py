@@ -22,13 +22,19 @@ kernel tree makes mandatory:
   out the other end,
 * everything observed lands in one :class:`BuildReport` with per-unit
   outcomes (ok / degraded / failed) and full error provenance.
+
+With ``jobs > 1`` the script replayer fans consecutive ``-c`` commands
+over a process pool (:mod:`repro.build.parallel`) and merges the
+results in submission order — file ids, outcome order, failure policy
+and the report are byte-identical to a serial build; link commands act
+as barriers because they consume prior objects.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.build import compiler, linker
+from repro.build import compiler, linker, parallel
 from repro.errors import (BuildDiagnosticError, BuildError, FrontEndError,
                           LexError, LinkError, ParseError,
                           PreprocessorError, SemanticError)
@@ -156,11 +162,14 @@ class Build:
                  include_paths=(), defines=None,
                  ignore_missing_includes: bool = False,
                  policy: str = FAIL_FAST,
-                 max_errors: int | None = None) -> None:
+                 max_errors: int | None = None,
+                 jobs: int = 1) -> None:
         if policy not in (FAIL_FAST, KEEP_GOING):
             raise BuildError(f"unknown failure policy {policy!r}")
         if max_errors is not None and max_errors < 0:
             raise BuildError("max_errors must be non-negative")
+        if jobs < 1:
+            raise BuildError("jobs must be >= 1")
         self.filesystem = filesystem
         self.registry = FileRegistry(filesystem)
         self.include_paths = list(include_paths)
@@ -168,6 +177,7 @@ class Build:
         self.ignore_missing_includes = ignore_missing_includes
         self.policy = policy
         self.max_errors = max_errors
+        self.jobs = jobs
         self.objects: dict[str, compiler.ObjectFile] = {}
         self.modules: list[linker.Module] = []
         self.report = BuildReport(policy=policy)
@@ -175,12 +185,34 @@ class Build:
     # -- public API ------------------------------------------------------------
 
     def run_script(self, script: str) -> BuildReport:
-        """Replay a build script: one command per line, ``#`` comments."""
-        for line in script.splitlines():
-            command = line.strip()
-            if not command or command.startswith("#"):
+        """Replay a build script: one command per line, ``#`` comments.
+
+        With ``jobs > 1``, consecutive compile-only commands run as a
+        parallel wave; the merge is deterministic (see module
+        docstring), so the resulting build state is identical to a
+        serial replay.
+        """
+        commands = [line.strip() for line in script.splitlines()
+                    if line.strip() and not line.strip().startswith("#")]
+        if self.jobs <= 1:
+            for command in commands:
+                self.run(command)
+            return self.report
+        wave: list[compiler.CompilerInvocation] = []
+        for command in commands:
+            try:
+                invocation = compiler.parse_command_line(command)
+            except BuildError as error:
+                self._flush_wave(wave)
+                self._command_failure(command, error)
                 continue
-            self.run(command)
+            if invocation.compile_only:
+                wave.append(invocation)
+            else:
+                # links consume prior objects: a barrier
+                self._flush_wave(wave)
+                self._link(invocation)
+        self._flush_wave(wave)
         return self.report
 
     def run(self, command: str) -> None:
@@ -232,6 +264,70 @@ class Build:
             status=DEGRADED if diagnostics else OK,
             command=invocation.command, diagnostics=diagnostics))
         return obj
+
+    # -- parallel waves --------------------------------------------------------
+
+    def _flush_wave(self,
+                    wave: list[compiler.CompilerInvocation]) -> None:
+        """Compile a wave of ``-c`` invocations on the process pool.
+
+        Results merge in submission order: each unit's files intern
+        into the shared registry in the worker's open order, which
+        reproduces the serial file-id assignment exactly; worker-local
+        ids inside the returned objects are then rewritten to match.
+        """
+        if not wave:
+            return
+        jobs: list[parallel.CompileJob] = []
+        invocations: list[compiler.CompilerInvocation] = []
+        for invocation in wave:
+            include_paths = invocation.include_paths + \
+                self.include_paths
+            defines = {**self.defines, **invocation.defines}
+            for source in invocation.sources:
+                jobs.append(parallel.CompileJob(
+                    source=source,
+                    object_path=invocation.object_path_for(source),
+                    include_paths=tuple(include_paths),
+                    defines=tuple(defines.items()),
+                    command=invocation.command))
+                invocations.append(invocation)
+        wave.clear()
+        results = parallel.run_jobs(jobs, self.jobs, self.filesystem,
+                                    self.ignore_missing_includes)
+        for job, invocation, result in zip(jobs, invocations, results):
+            self._merge_result(job, invocation, result)
+
+    def _merge_result(self, job: parallel.CompileJob,
+                      invocation: compiler.CompilerInvocation,
+                      result: parallel.JobResult) -> None:
+        """Fold one worker result into the build, as _compile would."""
+        mapping = {
+            worker_id: self.registry.open(path).file_id
+            for worker_id, path in enumerate(result.opened_paths)}
+        if result.failure is not None:
+            error = result.failure.rebuild()
+            if self.policy == FAIL_FAST:
+                raise error
+            self._record(UnitOutcome(
+                source_path=job.source, object_path=job.object_path,
+                status=FAILED, command=invocation.command,
+                diagnostics=[_diagnostic_for(error, job.source)]))
+            return
+        obj = result.object_file
+        parallel.remap_file_ids([obj], mapping)
+        diagnostics = [
+            BuildDiagnostic(
+                category="preprocess", severity=WARNING,
+                message=f"include not found: {missing.name!r}",
+                file=job.source, line=missing.location.line,
+                column=missing.location.column)
+            for missing in obj.unit.missing_includes]
+        self.objects[job.object_path] = obj
+        self._record(UnitOutcome(
+            source_path=job.source, object_path=job.object_path,
+            status=DEGRADED if diagnostics else OK,
+            command=invocation.command, diagnostics=diagnostics))
 
     # -- linking ---------------------------------------------------------------
 

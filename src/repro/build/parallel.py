@@ -1,0 +1,219 @@
+"""Parallel compilation of translation units with deterministic merge.
+
+The front end is CPU-bound pure Python, so the only way to use more
+than one core on an 11.4 MLoC tree is a **process** pool.  The design
+constraint is determinism: a parallel build must produce *exactly* the
+graph a serial build produces, file ids included.  That hinges on two
+facts:
+
+* Preprocessing one unit is deterministic, so a worker compiling
+  against a **fresh** :class:`~repro.lang.source.FileRegistry` opens
+  the same files in the same relative order a serial build would while
+  compiling that unit.  The worker reports that open order as
+  ``opened_paths``.
+* The parent merges results in **submission order** and interns each
+  worker's ``opened_paths`` into the shared registry in order.
+  ``FileRegistry.open`` is idempotent, so first-opens land in the same
+  global order as a serial build — the serial id assignment exactly.
+
+What remains is translating worker-local file ids (dense from 0 in
+each worker) to the parent's ids: :func:`remap_file_ids` walks the
+returned object graph once per unit and rewrites every ``*file_id``
+field in place (``object.__setattr__`` reaches through frozen
+dataclasses like :class:`~repro.lang.source.SourceLocation`).
+
+Failures cannot cross the process boundary as exceptions —
+:class:`~repro.errors.FrontEndError` formats its location into
+``args``, so pickling round-trips it unfaithfully.  Workers therefore
+return a structured :class:`UnitFailure` and the parent reconstructs
+the exact exception class and fields, which keeps ``fail_fast`` (the
+original exception type propagates) and ``keep_going`` (diagnostics
+carry file/line/column) behaviour identical to a serial build.
+
+When a process pool cannot be created (sandboxed environments) the
+batch silently degrades to in-process compilation through the same
+merge path — slower, never different.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+import re
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Iterable
+
+from repro.build import compiler
+from repro.lang.source import FileRegistry, VirtualFileSystem
+from repro import errors
+from repro.errors import FrontEndError
+
+
+@dataclasses.dataclass(frozen=True)
+class CompileJob:
+    """One translation unit to compile, fully self-describing."""
+
+    source: str
+    object_path: str
+    include_paths: tuple[str, ...]
+    defines: tuple[tuple[str, str], ...]
+    command: str
+    implicit: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitFailure:
+    """A front-end error, flattened for faithful IPC transport."""
+
+    error_type: str            # class name in repro.errors
+    message: str
+    filename: str
+    line: int
+    column: int
+
+    @classmethod
+    def of(cls, error: FrontEndError) -> "UnitFailure":
+        return cls(error_type=type(error).__name__,
+                   message=error.message, filename=error.filename,
+                   line=error.line, column=error.column)
+
+    def rebuild(self) -> FrontEndError:
+        """The original exception, byte-for-byte."""
+        error_class = getattr(errors, self.error_type, FrontEndError)
+        if not (isinstance(error_class, type)
+                and issubclass(error_class, FrontEndError)):
+            error_class = FrontEndError
+        return error_class(self.message, self.filename, self.line,
+                           self.column)
+
+
+@dataclasses.dataclass
+class JobResult:
+    """What one worker sends back for one unit."""
+
+    #: every file the worker's fresh registry opened, in id order —
+    #: the parent replays these opens to reproduce serial ids
+    opened_paths: list[str]
+    object_file: compiler.ObjectFile | None = None
+    failure: UnitFailure | None = None
+
+
+# -- worker side (runs in the pool processes) --------------------------
+
+_WORKER_STATE: tuple[VirtualFileSystem, bool] | None = None
+
+
+def _init_worker(filesystem: VirtualFileSystem,
+                 ignore_missing_includes: bool) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (filesystem, ignore_missing_includes)
+
+
+def _compile_job(job: CompileJob) -> JobResult:
+    assert _WORKER_STATE is not None, "pool initializer did not run"
+    filesystem, ignore_missing_includes = _WORKER_STATE
+    registry = FileRegistry(filesystem)
+    try:
+        obj = compiler.compile_source(
+            registry, job.source, job.object_path,
+            include_paths=list(job.include_paths),
+            defines=dict(job.defines),
+            ignore_missing_includes=ignore_missing_includes,
+            command=job.command, implicit=job.implicit)
+    except FrontEndError as error:
+        return JobResult(
+            opened_paths=[f.path for f in registry.known_files()],
+            failure=UnitFailure.of(error))
+    return JobResult(
+        opened_paths=[f.path for f in registry.known_files()],
+        object_file=obj)
+
+
+def run_jobs(jobs: list[CompileJob], workers: int,
+             filesystem: VirtualFileSystem,
+             ignore_missing_includes: bool) -> list[JobResult]:
+    """Compile *jobs*, results in submission order.
+
+    Uses a process pool of ``workers``; degrades to in-process serial
+    compilation when the pool cannot be created or breaks (the result
+    is identical either way, only slower).
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return _run_serial(jobs, filesystem, ignore_missing_includes)
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)),
+                initializer=_init_worker,
+                initargs=(filesystem, ignore_missing_includes)) as pool:
+            return list(pool.map(_compile_job, jobs))
+    except (OSError, BrokenProcessPool, pickle.PicklingError):
+        return _run_serial(jobs, filesystem, ignore_missing_includes)
+
+
+def _run_serial(jobs: list[CompileJob],
+                filesystem: VirtualFileSystem,
+                ignore_missing_includes: bool) -> list[JobResult]:
+    _init_worker(filesystem, ignore_missing_includes)
+    return [_compile_job(job) for job in jobs]
+
+
+# -- parent side: id translation ---------------------------------------
+
+#: scalar types the walk never descends into
+_LEAVES = (int, float, complex, str, bytes, bool, type(None))
+
+#: location-based typedef USRs (sema) bake the defining file's id into
+#: a *string*: ``c:t@<file_id>:<line>@<name>``.  The extractor dedupes
+#: shared-header typedefs on it, so it must be translated too.
+_TYPEDEF_USR = re.compile(r"^c:t@(\d+):")
+
+
+def _remap_usr(usr: str, mapping: dict[int, int]) -> str:
+    match = _TYPEDEF_USR.match(usr)
+    if match is None:
+        return usr
+    file_id = int(match.group(1))
+    return f"c:t@{mapping.get(file_id, file_id)}:" + usr[match.end():]
+
+
+def remap_file_ids(roots: Iterable[Any],
+                   mapping: dict[int, int]) -> None:
+    """Rewrite every ``*file_id`` field reachable from *roots*.
+
+    One pass with one visited set: objects shared between roots (a
+    token in both the unit and a symbol range) are remapped exactly
+    once, which matters because ``mapping`` is not idempotent.
+    Mutates in place, reaching through frozen dataclasses.
+    """
+    if not mapping or all(old == new for old, new in mapping.items()):
+        return
+    seen: set[int] = set()
+    stack: list[Any] = [root for root in roots if root is not None]
+    while stack:
+        obj = stack.pop()
+        if isinstance(obj, _LEAVES):
+            continue
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+            for field in dataclasses.fields(obj):
+                value = getattr(obj, field.name, None)
+                if field.name.endswith("file_id") \
+                        and isinstance(value, int):
+                    object.__setattr__(obj, field.name,
+                                       mapping.get(value, value))
+                elif field.name.endswith("file_ids") \
+                        and isinstance(value, list):
+                    value[:] = [mapping.get(v, v) for v in value]
+                elif field.name == "usr" and isinstance(value, str):
+                    object.__setattr__(obj, field.name,
+                                       _remap_usr(value, mapping))
+                else:
+                    stack.append(value)
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())

@@ -6,6 +6,7 @@ Subcommands::
     frappe fsck    <store>
     frappe search  <store> NAME [--type T] [--module M]
     frappe query   <store> 'MATCH (n:function) RETURN n.short_name'
+    frappe serve   <store> --workers 4    (queries from stdin)
     frappe explain <store> '<cypher>'
     frappe profile <store> '<cypher>'
     frappe refs    <store> NAME [--type T]
@@ -60,6 +61,9 @@ def build_arg_parser() -> argparse.ArgumentParser:
     index.add_argument("--max-errors", type=int, default=None,
                        help="with --keep-going, abort once this many "
                        "errors accumulate")
+    index.add_argument("-j", "--jobs", type=int, default=1,
+                       help="compile units on this many worker "
+                       "processes (default 1 = serial)")
 
     fsck = commands.add_parser(
         "fsck", help="verify a store's checksums and record structure")
@@ -80,6 +84,17 @@ def build_arg_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-rewrite", action="store_true",
                        help="disable the var-length reachability "
                        "rewrite (reproduces the Sec. 6.1 blow-up)")
+
+    serve = commands.add_parser(
+        "serve", help="run queries from stdin on a worker pool "
+        "(one Cypher query per line)")
+    serve.add_argument("store")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads (default 4)")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admission queue capacity (default 64)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="per-query budget, counted from submit")
 
     explain = commands.add_parser(
         "explain", help="show a query's execution plan")
@@ -159,6 +174,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_search(args)
     if args.command == "query":
         return _cmd_query(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "profile":
@@ -190,7 +207,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
     build = Build(filesystem, include_paths=args.include,
                   ignore_missing_includes=args.ignore_missing_includes,
                   policy=KEEP_GOING if args.keep_going else FAIL_FAST,
-                  max_errors=args.max_errors)
+                  max_errors=args.max_errors, jobs=args.jobs)
     build.run_script(script)
     graph = extract_build(build)
     sizes = GraphStore.write(graph, args.out)
@@ -241,6 +258,54 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"({len(result)} rows{truncated}, "
               f"{result.stats.elapsed_seconds * 1000:.1f} ms)")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.cypher import QueryOptions
+    from repro.errors import AdmissionError, QueryTimeoutError
+    options = QueryOptions(timeout=args.timeout)
+    with _open(args.store) as frappe:
+        executor = frappe.serve(args.workers,
+                                queue_capacity=args.queue)
+        print(f"serving with {executor.workers} workers "
+              f"(queue {executor.queue_capacity}); one query per "
+              "line, EOF to finish", file=sys.stderr)
+        futures = []
+        for line in sys.stdin:
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                futures.append(
+                    (text, frappe.query_async(text, options=options)))
+            except AdmissionError as error:
+                print(f"[{len(futures)}] rejected: {error}",
+                      file=sys.stderr)
+        failures = 0
+        for index, (text, future) in enumerate(futures):
+            try:
+                result = future.result()
+            except QueryTimeoutError as error:
+                failures += 1
+                print(f"[{index}] timeout: {error}", file=sys.stderr)
+            except FrappeError as error:
+                failures += 1
+                print(f"[{index}] error: {error}", file=sys.stderr)
+            else:
+                rows = "; ".join(
+                    "\t".join(str(value) for value in row)
+                    for row in result.rows[:5])
+                more = "" if len(result) <= 5 else \
+                    f" (+{len(result) - 5} more)"
+                print(f"[{index}] {len(result)} rows in "
+                      f"{result.stats.elapsed_seconds * 1000:.1f} ms: "
+                      f"{rows}{more}")
+        wait = frappe.counters().histogram("server.queue_wait_seconds")
+        max_wait = (wait.max or 0.0) if wait is not None else 0.0
+        print(f"({len(futures)} queries, {failures} failed, "
+              f"max queue wait {max_wait * 1000:.1f} ms)",
+              file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:

@@ -22,6 +22,8 @@ Typical flows::
 
 from __future__ import annotations
 
+import dataclasses
+from concurrent.futures import Future
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.build.buildsys import FAIL_FAST, Build, BuildReport
@@ -34,6 +36,7 @@ from repro.graphdb.view import Direction, GraphView
 from repro.lang.source import VirtualFileSystem
 from repro.obs import (MetricsSnapshot, Observability, SlowQueryEntry,
                        Span)
+from repro.server import Executor
 
 
 class Frappe:
@@ -59,6 +62,8 @@ class Frappe:
         #: per-unit outcomes of the build this graph came from (None
         #: for stores opened from disk)
         self.build_report: BuildReport | None = None
+        #: lazily-started concurrent serving executor (query_async)
+        self._executor: Executor | None = None
 
     # -- construction -------------------------------------------------------------
 
@@ -77,18 +82,21 @@ class Frappe:
                       ignore_missing_includes: bool = False,
                       default_timeout: float | None = None,
                       policy: str = FAIL_FAST,
-                      max_errors: int | None = None) -> "Frappe":
+                      max_errors: int | None = None,
+                      jobs: int = 1) -> "Frappe":
         """Compile an in-memory source tree and index it.
 
         ``policy=KEEP_GOING`` indexes through broken translation units:
         failures become diagnostics on the build report (reachable as
         ``frappe.build_report``) and the graph is partial but valid.
+        ``jobs > 1`` compiles units on a process pool; the resulting
+        graph is identical to a serial build.
         """
         build = Build(VirtualFileSystem(dict(files)),
                       include_paths=include_paths,
                       defines=dict(defines or {}),
                       ignore_missing_includes=ignore_missing_includes,
-                      policy=policy, max_errors=max_errors)
+                      policy=policy, max_errors=max_errors, jobs=jobs)
         build.run_script(build_script)
         return cls.index_build(build, default_timeout)
 
@@ -129,6 +137,9 @@ class Frappe:
             snapshot()
 
     def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
         if isinstance(self.view, StoreGraph):
             self.view.close()
 
@@ -137,6 +148,18 @@ class Frappe:
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
+
+    def snapshot(self) -> GraphView:
+        """An epoch-pinned read view of the graph.
+
+        For an in-memory graph this is the O(1) copy-on-write
+        :class:`~repro.graphdb.GraphSnapshot` — hand it to the native
+        query helpers (``queries``, ``traversal``) to read one
+        consistent state while a writer keeps ingesting. Disk stores
+        are immutable, so the store itself is returned.
+        """
+        from repro.graphdb.snapshot import pin_view
+        return pin_view(self.view)
 
     # -- querying ------------------------------------------------------------------------
 
@@ -157,6 +180,44 @@ class Frappe:
                                                         timeout)
         return self.engine.run(text, parameters, timeout=timeout,
                                options=options)
+
+    # -- concurrent serving ------------------------------------------------------------
+
+    def serve(self, workers: int = 4, *,
+              queue_capacity: int = 64,
+              max_per_client: int | None = None) -> Executor:
+        """Start (or return) the concurrent serving executor.
+
+        Safe to call repeatedly; the first call fixes the pool shape.
+        Each served query pins its own epoch snapshot, so serving
+        proceeds while a writer mutates an in-memory graph.
+        """
+        if self._executor is None:
+            self._executor = Executor(
+                self.engine.run, workers=workers,
+                queue_capacity=queue_capacity,
+                max_per_client=max_per_client, obs=self.obs)
+        return self._executor
+
+    def query_async(self, text: str,
+                    parameters: Mapping[str, Any] | None = None,
+                    *, timeout: float | None = None,
+                    options: QueryOptions | None = None,
+                    client: str = "anonymous") -> Future:
+        """Submit a query to the serving executor; returns a Future.
+
+        The future resolves to the same :class:`~repro.cypher.Result`
+        a synchronous :meth:`query` would produce. A ``timeout`` (or
+        ``options.timeout``) is a *latency from submission* budget —
+        time spent waiting in the executor queue counts against it.
+        Raises :class:`~repro.errors.AdmissionError` on backpressure.
+        """
+        opts = options if options is not None else QueryOptions()
+        if parameters is not None:
+            opts = dataclasses.replace(opts, parameters=parameters)
+        if timeout is not None:
+            opts = dataclasses.replace(opts, timeout=timeout)
+        return self.serve().submit(text, opts, client=client)
 
     def profile(self, text: str,
                 parameters: Mapping[str, Any] | None = None,

@@ -10,6 +10,14 @@ Section 6.1 operator-level blow-up is attributed rather than asserted.
 Every run is booked into the engine's
 :class:`~repro.obs.Observability` bundle: query counters and latency
 histogram, the slow-query log, and a trace span per execution.
+
+Concurrency: each :meth:`CypherEngine.run` pins one epoch snapshot of
+the bound view (:func:`~repro.graphdb.snapshot.pin_view`) and uses it
+for plan-cache keying, planner statistics *and* execution, so a query
+observes exactly one graph state even while a writer mutates the live
+graph — and the plan it was given was costed at that same state. The
+plan cache itself is lock-protected, making a single engine safe to
+share across the serving executor's worker threads.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from repro.cypher.plan_cache import DEFAULT_CAPACITY, PlanCache
 from repro.cypher.planner import plan_query
 from repro.cypher.result import Result
 from repro.errors import QueryTimeoutError
+from repro.graphdb.snapshot import pin_view
 from repro.graphdb.view import GraphView
 from repro.obs import Observability, QueryProfiler
 
@@ -80,19 +89,26 @@ class CypherEngine:
             invalidations=registry.counter(
                 "planner.cache.invalidations"))
 
-    def _graph_epoch(self) -> int:
-        """The view's statistics epoch (0 for immutable stores)."""
-        statistics = getattr(self.view, "statistics", None)
+    @staticmethod
+    def _epoch_of(view: Any) -> int:
+        """A view's statistics epoch (0 for immutable stores)."""
+        statistics = getattr(view, "statistics", None)
         return getattr(statistics, "epoch", 0)
 
-    def prepare(self, text: str) -> ast.Query:
+    def _graph_epoch(self) -> int:
+        """The live view's statistics epoch."""
+        return self._epoch_of(self.view)
+
+    def prepare(self, text: str, *, epoch: int | None = None) -> ast.Query:
         """Parse and plan (with caching) without executing.
 
         Cached plans are invalidated by graph mutation: entries carry
         the statistics epoch they were planned at, and any mutation
-        bumps the epoch.
+        bumps the epoch. ``run()`` passes the epoch of the snapshot it
+        pinned so the cached plan and the executed graph state agree.
         """
-        epoch = self._graph_epoch()
+        if epoch is None:
+            epoch = self._graph_epoch()
         query = self._plan_cache.get(text, epoch)
         if query is None:
             query, report = plan_query(
@@ -128,14 +144,20 @@ class CypherEngine:
         budget = timeout if timeout is not None else opts.timeout
         if budget is None:
             budget = self.default_timeout
-        query = self.prepare(text)
+        # pin ONE graph state for planning and execution: the cache
+        # key, the planner's statistics and every store read below all
+        # come from this snapshot, so concurrent writers cannot slip a
+        # newer epoch between plan lookup and row production
+        pinned = pin_view(self.view)
+        epoch = self._epoch_of(pinned)
+        query = self.prepare(text, epoch=epoch)
         profiler = QueryProfiler() \
             if opts.profile or query.profile else None
         rewrite = opts.use_reachability_rewrite
         if rewrite is None:
             rewrite = self.use_reachability_rewrite
         ctx = ExecutionContext(
-            self.view, parameters, budget,
+            pinned, parameters, budget,
             use_index_seek=self.use_index_seek,
             profiler=profiler,
             use_reachability_rewrite=rewrite,
@@ -147,6 +169,7 @@ class CypherEngine:
                 self.obs.record_query(text, ctx.elapsed, rows=None,
                                       timed_out=True)
                 raise
+        result.stats.epoch = epoch
         if opts.max_rows is not None:
             result.truncate(opts.max_rows)
         if profiler is not None:
@@ -181,7 +204,9 @@ class CypherEngine:
         ``str()`` of the returned tree is the classic text plan.
         """
         from repro.cypher.explain import explain
-        return explain(self.prepare(text), self.view,
+        pinned = pin_view(self.view)
+        query = self.prepare(text, epoch=self._epoch_of(pinned))
+        return explain(query, pinned,
                        self.use_index_seek,
                        self.use_cost_based_planner,
                        self.use_reachability_rewrite)

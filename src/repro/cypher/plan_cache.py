@@ -7,10 +7,15 @@ decisions may no longer be right — and is treated as an invalidating
 miss. Capacity-bounded with least-recently-used eviction so a
 long-lived engine serving ad-hoc query text cannot grow without limit
 (the old implementation was an unbounded dict).
+
+The cache is thread-safe: ``get``/``put``/``clear`` serialize on an
+internal lock because the serving executor probes it from many worker
+threads at once, and ``OrderedDict`` reordering is not atomic.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Iterator
 
@@ -36,6 +41,7 @@ class PlanCache:
         self.capacity = capacity
         self._entries: OrderedDict[str, tuple[ast.Query, int]] = \
             OrderedDict()
+        self._lock = threading.Lock()
         self._hits = hits
         self._misses = misses
         self._evictions = evictions
@@ -43,30 +49,33 @@ class PlanCache:
 
     def get(self, text: str, epoch: int) -> ast.Query | None:
         """The cached plan, or None on a miss or a stale entry."""
-        entry = self._entries.get(text)
-        if entry is None:
-            self._inc(self._misses)
-            return None
-        query, cached_epoch = entry
-        if cached_epoch != epoch:
-            # the graph mutated since this plan was costed
-            del self._entries[text]
-            self._inc(self._invalidations)
-            self._inc(self._misses)
-            return None
-        self._entries.move_to_end(text)
-        self._inc(self._hits)
-        return query
+        with self._lock:
+            entry = self._entries.get(text)
+            if entry is None:
+                self._inc(self._misses)
+                return None
+            query, cached_epoch = entry
+            if cached_epoch != epoch:
+                # the graph mutated since this plan was costed
+                del self._entries[text]
+                self._inc(self._invalidations)
+                self._inc(self._misses)
+                return None
+            self._entries.move_to_end(text)
+            self._inc(self._hits)
+            return query
 
     def put(self, text: str, query: ast.Query, epoch: int) -> None:
-        self._entries[text] = (query, epoch)
-        self._entries.move_to_end(text)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self._inc(self._evictions)
+        with self._lock:
+            self._entries[text] = (query, epoch)
+            self._entries.move_to_end(text)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._inc(self._evictions)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __contains__(self, text: str) -> bool:
         return text in self._entries

@@ -70,6 +70,10 @@ class QueryStats:
     db_hits: int = 0
     #: True when QueryOptions.max_rows cut the result short
     truncated: bool = False
+    #: statistics epoch of the snapshot the query was planned *and*
+    #: executed against (0 for immutable stores). The concurrency
+    #: harness asserts plan/execution epoch agreement with this.
+    epoch: int = 0
 
 
 class Result:

@@ -187,3 +187,29 @@ class BuildDiagnosticError(BuildError):
 
 class VersionError(FrappeError):
     """Unknown version id or inconsistent delta chain."""
+
+
+# --------------------------------------------------------------------------
+# Concurrent serving
+# --------------------------------------------------------------------------
+
+class ServerError(FrappeError):
+    """Base class for the concurrent query-serving layer."""
+
+
+class AdmissionError(ServerError):
+    """The executor refused a submission — backpressure.
+
+    Raised when the bounded queue is full or the submitting client is
+    over its fair share of it. The request was *not* enqueued; the
+    caller should retry later or shed load. ``client`` names the
+    submitter the limit was applied to (None for the global bound).
+    """
+
+    def __init__(self, message: str, client: str | None = None) -> None:
+        super().__init__(message)
+        self.client = client
+
+
+class ExecutorShutdownError(ServerError):
+    """A query was submitted to an executor that has shut down."""

@@ -16,13 +16,16 @@ The package provides:
 
 from repro.graphdb.graph import Direction, Edge, Node, PropertyGraph
 from repro.graphdb.indexes import IndexManager
+from repro.graphdb.snapshot import GraphSnapshot, pin_view
 from repro.graphdb.view import GraphView
 
 __all__ = [
     "Direction",
     "Edge",
+    "GraphSnapshot",
     "GraphView",
     "IndexManager",
     "Node",
     "PropertyGraph",
+    "pin_view",
 ]

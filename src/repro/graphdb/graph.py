@@ -10,15 +10,26 @@ Adjacency is kept per node, grouped by edge type, in insertion order —
 the same access pattern Neo4j's relationship chains give you, and the
 one the type-filtered expansions in Cypher patterns (``-[:calls]->``)
 need to be cheap.
+
+Concurrency model: all mutation runs under one re-entrant writer lock
+(``write_lock``), and reads that must not tear pin an O(1)
+copy-on-write :meth:`PropertyGraph.snapshot` — the first mutation
+after a snapshot detaches the graph onto fresh copies of its internal
+structures, so the snapshot's view is frozen forever. Reads against
+the *live* graph from other threads remain unsynchronized by design;
+the query engine always pins a snapshot.
 """
 
 from __future__ import annotations
 
+import functools
+import threading
 from typing import Any, Collection, Iterable, Iterator, Mapping
 
 from repro.errors import EdgeNotFoundError, GraphError, NodeNotFoundError
 from repro.graphdb import properties as props
 from repro.graphdb.indexes import IndexManager
+from repro.graphdb.snapshot import GraphSnapshot
 from repro.graphdb.stats import GraphStatistics
 from repro.graphdb.view import Direction
 
@@ -104,6 +115,17 @@ class Edge:
 _MISSING = object()
 
 
+def _mutator(fn):
+    """Run a mutation under the writer lock, detaching any pinned
+    snapshot onto copy-on-write copies first."""
+    @functools.wraps(fn)
+    def locked(self, *args, **kwargs):
+        with self._write_lock:
+            self._detach_snapshot()
+            return fn(self, *args, **kwargs)
+    return locked
+
+
 class PropertyGraph:
     """Mutable labeled property multigraph with auto-maintained indexes.
 
@@ -136,14 +158,81 @@ class PropertyGraph:
         #: bumps its epoch (which stales compiled Cypher plans)
         self.statistics = GraphStatistics()
         self.metrics: Any | None = None
+        self._write_lock = threading.RLock()
+        # the snapshot currently sharing this graph's structures, if
+        # any; cleared (after detaching onto copies) by the first
+        # mutation that follows it
+        self._cow_snapshot: GraphSnapshot | None = None
 
     def attach_metrics(self, registry: Any) -> None:
         """Bind index/traversal counters to a metrics registry."""
         self.metrics = registry
         self._indexes.attach_metrics(registry)
 
+    # -- snapshots & locking ------------------------------------------------
+
+    @property
+    def write_lock(self) -> threading.RLock:
+        """The re-entrant lock serializing mutation.
+
+        Every mutator acquires it internally; bulk loaders hold it
+        across a batch (``with graph.write_lock: ...``) to make the
+        batch atomic with respect to :meth:`snapshot` — a snapshot can
+        never be pinned between the batch's individual operations.
+        """
+        return self._write_lock
+
+    def snapshot(self) -> GraphSnapshot:
+        """Pin the current state as an immutable epoch snapshot, O(1).
+
+        Snapshots taken at the same epoch are the same object. The
+        next mutation pays one copy of the graph's internal structures
+        (copy-on-write); until then the snapshot shares them.
+        """
+        with self._write_lock:
+            if self._cow_snapshot is None:
+                self._cow_snapshot = GraphSnapshot(
+                    epoch=self.statistics.epoch,
+                    statistics=self.statistics.clone(),
+                    node_labels=self._node_labels,
+                    node_props=self._node_props,
+                    edge_src=self._edge_src,
+                    edge_dst=self._edge_dst,
+                    edge_type=self._edge_type,
+                    edge_props=self._edge_props,
+                    out=self._out,
+                    in_=self._in,
+                    indexes=self._indexes)
+            return self._cow_snapshot
+
+    def _detach_snapshot(self) -> None:
+        """Copy-on-write: leave the shared structures to the pinned
+        snapshot and continue mutating fresh copies. Called (under the
+        writer lock) by every mutator before it touches anything."""
+        if self._cow_snapshot is None:
+            return
+        self._node_labels = dict(self._node_labels)
+        self._node_props = {node_id: dict(properties)
+                            for node_id, properties
+                            in self._node_props.items()}
+        self._edge_src = dict(self._edge_src)
+        self._edge_dst = dict(self._edge_dst)
+        self._edge_type = dict(self._edge_type)
+        self._edge_props = {edge_id: dict(properties)
+                            for edge_id, properties
+                            in self._edge_props.items()}
+        self._out = {node_id: {etype: list(edges)
+                               for etype, edges in by_type.items()}
+                     for node_id, by_type in self._out.items()}
+        self._in = {node_id: {etype: list(edges)
+                              for etype, edges in by_type.items()}
+                    for node_id, by_type in self._in.items()}
+        self._indexes = self._indexes.clone()
+        self._cow_snapshot = None
+
     # -- mutation: nodes ----------------------------------------------------
 
+    @_mutator
     def add_node(self, *labels: str,
                  properties: Mapping[str, Any] | None = None,
                  **props_kw: Any) -> int:
@@ -170,6 +259,7 @@ class PropertyGraph:
         self.statistics.node_added(tuple(label_set))
         return node_id
 
+    @_mutator
     def add_node_with_id(self, node_id: int, labels: Iterable[str] = (),
                          properties: Mapping[str, Any] | None = None,
                          ) -> int:
@@ -191,6 +281,7 @@ class PropertyGraph:
         self.statistics.node_added(tuple(label_set))
         return node_id
 
+    @_mutator
     def add_edge_with_id(self, edge_id: int, source: int, target: int,
                          edge_type: str,
                          properties: Mapping[str, Any] | None = None,
@@ -213,6 +304,7 @@ class PropertyGraph:
         self.statistics.edge_added(edge_type)
         return edge_id
 
+    @_mutator
     def remove_node(self, node_id: int) -> None:
         """Remove a node and all incident edges."""
         self._require_node(node_id)
@@ -230,6 +322,7 @@ class PropertyGraph:
         del self._out[node_id]
         del self._in[node_id]
 
+    @_mutator
     def set_node_property(self, node_id: int, key: str, value: Any) -> None:
         self._require_node(node_id)
         value = props.validate_value(key, value)
@@ -239,6 +332,7 @@ class PropertyGraph:
             node_id, key, None if old is _MISSING else old, value)
         self.statistics.bump()
 
+    @_mutator
     def remove_node_property(self, node_id: int, key: str) -> None:
         self._require_node(node_id)
         old = self._node_props[node_id].pop(key, _MISSING)
@@ -246,6 +340,7 @@ class PropertyGraph:
             self._indexes.on_node_property_changed(node_id, key, old, None)
             self.statistics.bump()
 
+    @_mutator
     def add_label(self, node_id: int, label: str) -> None:
         self._require_node(node_id)
         labels = self._node_labels[node_id]
@@ -254,6 +349,7 @@ class PropertyGraph:
             self._indexes.on_label_added(node_id, label)
             self.statistics.label_added(label)
 
+    @_mutator
     def remove_label(self, node_id: int, label: str) -> None:
         self._require_node(node_id)
         labels = self._node_labels[node_id]
@@ -264,6 +360,7 @@ class PropertyGraph:
 
     # -- mutation: edges ----------------------------------------------------
 
+    @_mutator
     def add_edge(self, source: int, target: int, edge_type: str,
                  properties: Mapping[str, Any] | None = None,
                  **props_kw: Any) -> int:
@@ -289,6 +386,7 @@ class PropertyGraph:
         self.statistics.edge_added(edge_type)
         return edge_id
 
+    @_mutator
     def remove_edge(self, edge_id: int) -> None:
         self._require_edge(edge_id)
         source = self._edge_src.pop(edge_id)
@@ -303,11 +401,13 @@ class PropertyGraph:
             del self._in[target][edge_type]
         self.statistics.edge_removed(edge_type)
 
+    @_mutator
     def set_edge_property(self, edge_id: int, key: str, value: Any) -> None:
         self._require_edge(edge_id)
         self._edge_props[edge_id][key] = props.validate_value(key, value)
         self.statistics.bump()
 
+    @_mutator
     def remove_edge_property(self, edge_id: int, key: str) -> None:
         self._require_edge(edge_id)
         self._edge_props[edge_id].pop(key, None)

@@ -99,6 +99,20 @@ class IndexManager:
             if not bucket:
                 del self._by_label[label]
 
+    def clone(self) -> "IndexManager":
+        """An independent copy with the same postings and metric
+        binding; the copy-on-write detach hands the original to the
+        pinned snapshot and mutates the clone."""
+        twin = IndexManager(self._auto_keys)
+        twin._by_label = {label: set(ids)
+                         for label, ids in self._by_label.items()}
+        twin._by_term = {key: {term: set(ids)
+                               for term, ids in terms.items()}
+                        for key, terms in self._by_term.items()}
+        twin._all_nodes = set(self._all_nodes)
+        twin._lookup_counter = self._lookup_counter
+        return twin
+
     def rebuild(self, node_ids: Iterable[int],
                 labels_of, properties_of) -> None:
         """Repopulate from scratch (used when opening a disk store)."""

@@ -1,0 +1,200 @@
+"""Immutable epoch snapshots of the in-memory graph.
+
+A :class:`GraphSnapshot` is a frozen :class:`~repro.graphdb.view.GraphView`
+pinned at one statistics epoch. Taking one is O(1): the snapshot
+*shares* the owning :class:`~repro.graphdb.graph.PropertyGraph`'s
+internal structures, and the first mutation after a snapshot detaches
+the graph onto fresh copies (copy-on-write), leaving the shared
+originals to the snapshot — which therefore never observes the
+mutation. Readers of a snapshot need no locks: every structure they
+touch is written exactly never again.
+
+This is what makes concurrent serving safe: the Cypher engine pins a
+snapshot per query, so a bulk load running on another thread cannot
+tear a ``MATCH`` mid-flight, and the plan cache's epoch key, the
+planner's :class:`~repro.graphdb.stats.GraphStatistics` and the rows
+the executor produces all agree on one graph state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Collection, Iterable, Iterator
+
+from repro.errors import EdgeNotFoundError, NodeNotFoundError
+from repro.graphdb.indexes import IndexManager
+from repro.graphdb.stats import GraphStatistics
+from repro.graphdb.view import Direction
+
+
+class GraphSnapshot:
+    """Read-only view of a PropertyGraph frozen at one epoch.
+
+    Constructed by :meth:`~repro.graphdb.graph.PropertyGraph.snapshot`;
+    not meant to be built directly. Implements the full
+    :class:`~repro.graphdb.view.GraphView` protocol plus ``epoch`` and
+    ``statistics`` (a frozen copy the planner costs against).
+    """
+
+    __slots__ = ("epoch", "statistics", "_node_labels", "_node_props",
+                 "_edge_src", "_edge_dst", "_edge_type", "_edge_props",
+                 "_out", "_in", "_indexes")
+
+    def __init__(self, *, epoch: int, statistics: GraphStatistics,
+                 node_labels: dict[int, frozenset[str]],
+                 node_props: dict[int, dict[str, Any]],
+                 edge_src: dict[int, int], edge_dst: dict[int, int],
+                 edge_type: dict[int, str],
+                 edge_props: dict[int, dict[str, Any]],
+                 out: dict[int, dict[str, list[int]]],
+                 in_: dict[int, dict[str, list[int]]],
+                 indexes: IndexManager) -> None:
+        self.epoch = epoch
+        self.statistics = statistics
+        self._node_labels = node_labels
+        self._node_props = node_props
+        self._edge_src = edge_src
+        self._edge_dst = edge_dst
+        self._edge_type = edge_type
+        self._edge_props = edge_props
+        self._out = out
+        self._in = in_
+        self._indexes = indexes
+
+    def snapshot(self) -> "GraphSnapshot":
+        """A snapshot of a snapshot is itself (already immutable)."""
+        return self
+
+    # -- GraphView: population ------------------------------------------
+
+    def node_ids(self) -> Iterable[int]:
+        return self._node_labels.keys()
+
+    def edge_ids(self) -> Iterable[int]:
+        return self._edge_type.keys()
+
+    def node_count(self) -> int:
+        return len(self._node_labels)
+
+    def edge_count(self) -> int:
+        return len(self._edge_type)
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._node_labels
+
+    def has_edge(self, edge_id: int) -> bool:
+        return edge_id in self._edge_type
+
+    # -- GraphView: nodes -----------------------------------------------
+
+    def node_labels(self, node_id: int) -> frozenset[str]:
+        self._require_node(node_id)
+        return self._node_labels[node_id]
+
+    def node_properties(self, node_id: int) -> dict[str, Any]:
+        self._require_node(node_id)
+        return dict(self._node_props[node_id])
+
+    def node_property(self, node_id: int, key: str,
+                      default: Any = None) -> Any:
+        self._require_node(node_id)
+        return self._node_props[node_id].get(key, default)
+
+    def nodes_with_label(self, label: str) -> Iterator[int]:
+        return self._indexes.label(label)
+
+    # -- GraphView: edges -----------------------------------------------
+
+    def edge_source(self, edge_id: int) -> int:
+        self._require_edge(edge_id)
+        return self._edge_src[edge_id]
+
+    def edge_target(self, edge_id: int) -> int:
+        self._require_edge(edge_id)
+        return self._edge_dst[edge_id]
+
+    def edge_type(self, edge_id: int) -> str:
+        self._require_edge(edge_id)
+        return self._edge_type[edge_id]
+
+    def edge_properties(self, edge_id: int) -> dict[str, Any]:
+        self._require_edge(edge_id)
+        return dict(self._edge_props[edge_id])
+
+    def edge_property(self, edge_id: int, key: str,
+                      default: Any = None) -> Any:
+        self._require_edge(edge_id)
+        return self._edge_props[edge_id].get(key, default)
+
+    # -- GraphView: adjacency -------------------------------------------
+
+    def edges_of(self, node_id: int,
+                 direction: Direction = Direction.BOTH,
+                 types: Collection[str] | None = None) -> Iterator[int]:
+        self._require_node(node_id)
+        if direction in (Direction.OUT, Direction.BOTH):
+            yield from self._iter_adjacency(self._out[node_id], types)
+        if direction in (Direction.IN, Direction.BOTH):
+            yield from self._iter_adjacency(self._in[node_id], types)
+
+    def degree(self, node_id: int,
+               direction: Direction = Direction.BOTH,
+               types: Collection[str] | None = None) -> int:
+        self._require_node(node_id)
+        total = 0
+        if direction in (Direction.OUT, Direction.BOTH):
+            total += self._count_adjacency(self._out[node_id], types)
+        if direction in (Direction.IN, Direction.BOTH):
+            total += self._count_adjacency(self._in[node_id], types)
+        return total
+
+    @property
+    def indexes(self) -> IndexManager:
+        return self._indexes
+
+    def __len__(self) -> int:
+        return self.node_count()
+
+    def __repr__(self) -> str:
+        return (f"GraphSnapshot(epoch={self.epoch}, "
+                f"nodes={self.node_count()}, "
+                f"edges={self.edge_count()})")
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _iter_adjacency(by_type: dict[str, list[int]],
+                        types: Collection[str] | None) -> Iterator[int]:
+        if types is None:
+            for edge_list in by_type.values():
+                yield from edge_list
+        else:
+            for edge_type in types:
+                yield from by_type.get(edge_type, ())
+
+    @staticmethod
+    def _count_adjacency(by_type: dict[str, list[int]],
+                         types: Collection[str] | None) -> int:
+        if types is None:
+            return sum(len(edge_list) for edge_list in by_type.values())
+        return sum(len(by_type.get(edge_type, ())) for edge_type in types)
+
+    def _require_node(self, node_id: int) -> None:
+        if node_id not in self._node_labels:
+            raise NodeNotFoundError(node_id)
+
+    def _require_edge(self, edge_id: int) -> None:
+        if edge_id not in self._edge_type:
+            raise EdgeNotFoundError(edge_id)
+
+
+def pin_view(view: Any) -> Any:
+    """The stable view to execute a query against.
+
+    In-memory graphs (and snapshots themselves) answer ``snapshot()``;
+    anything else — the immutable disk store, ad-hoc test doubles — is
+    already safe to read and is returned unchanged.
+    """
+    take = getattr(view, "snapshot", None)
+    if take is None:
+        return view
+    return take()

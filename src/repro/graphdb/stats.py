@@ -174,6 +174,17 @@ class GraphStatistics:
         stats.edge_type_counts.update(edge_type_counts or {})
         return stats
 
+    def clone(self) -> "GraphStatistics":
+        """An independent copy (what an epoch snapshot pins): the
+        planner costs against it while the live counters keep moving."""
+        twin = GraphStatistics()
+        twin.epoch = self.epoch
+        twin.node_count = self.node_count
+        twin.edge_count = self.edge_count
+        twin.label_counts = Counter(self.label_counts)
+        twin.edge_type_counts = Counter(self.edge_type_counts)
+        return twin
+
     @classmethod
     def of_view(cls, view: GraphView) -> "GraphStatistics":
         """One full O(V+E) pass — the fallback for plain views."""

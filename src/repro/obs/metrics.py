@@ -8,14 +8,18 @@ traversal framework counts expansions. A :class:`MetricsSnapshot`
 freezes all of it at once, which is what the benchmark harness reads
 to print per-row cache hit ratios (paper Table 5's cold/warm split).
 
-Everything here is deliberately single-threaded and allocation-light:
-hot paths pre-bind :class:`Counter` objects and call ``inc()``, which
-is one attribute add.
+Instruments are thread-safe: the serving layer
+(:mod:`repro.server`) increments them from many worker threads at
+once, so every read-modify-write (``inc``, ``observe``) happens under
+a per-instrument lock, and the registry's get-or-create paths are
+locked too. Hot paths still pre-bind :class:`Counter` objects and call
+``inc()`` — one lock acquire plus one attribute add.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Iterator, Mapping
 
 #: Default histogram bucket upper bounds, in the unit observed
@@ -24,19 +28,27 @@ DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0)
 
 
 class Counter:
-    """A monotonically increasing count (reset only via the registry)."""
+    """A monotonically increasing count (reset only via the registry).
 
-    __slots__ = ("name", "value")
+    ``inc`` is a read-modify-write, which CPython does not make atomic
+    (``+=`` is a LOAD/ADD/STORE triple that threads can interleave),
+    so it runs under a per-counter lock.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
@@ -45,23 +57,28 @@ class Counter:
 class Gauge:
     """A value that can go up and down (e.g. resident pages)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"
@@ -89,7 +106,7 @@ class Histogram:
     """Fixed-bucket distribution of observed values."""
 
     __slots__ = ("name", "bounds", "bucket_counts", "count", "total",
-                 "min", "max")
+                 "min", "max", "_lock")
 
     def __init__(self, name: str,
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -102,30 +119,34 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
 
     def reset(self) -> None:
-        self.bucket_counts = [0] * len(self.bounds)
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
+        with self._lock:
+            self.bucket_counts = [0] * len(self.bounds)
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
 
     def snapshot(self) -> HistogramSnapshot:
-        return HistogramSnapshot(
-            count=self.count, total=self.total, min=self.min,
-            max=self.max,
-            buckets=tuple(zip(self.bounds, self.bucket_counts)))
+        with self._lock:
+            return HistogramSnapshot(
+                count=self.count, total=self.total, min=self.min,
+                max=self.max,
+                buckets=tuple(zip(self.bounds, self.bucket_counts)))
 
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count})"
@@ -196,21 +217,28 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)
         if instrument is None:
-            self._check_free(name, self._counters)
-            instrument = Counter(name)
-            self._counters[name] = instrument
+            with self._lock:
+                instrument = self._counters.get(name)
+                if instrument is None:
+                    self._check_free(name, self._counters)
+                    instrument = Counter(name)
+                    self._counters[name] = instrument
         return instrument
 
     def gauge(self, name: str) -> Gauge:
         instrument = self._gauges.get(name)
         if instrument is None:
-            self._check_free(name, self._gauges)
-            instrument = Gauge(name)
-            self._gauges[name] = instrument
+            with self._lock:
+                instrument = self._gauges.get(name)
+                if instrument is None:
+                    self._check_free(name, self._gauges)
+                    instrument = Gauge(name)
+                    self._gauges[name] = instrument
         return instrument
 
     def histogram(self, name: str,
@@ -218,9 +246,12 @@ class MetricsRegistry:
                   ) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            self._check_free(name, self._histograms)
-            instrument = Histogram(name, buckets)
-            self._histograms[name] = instrument
+            with self._lock:
+                instrument = self._histograms.get(name)
+                if instrument is None:
+                    self._check_free(name, self._histograms)
+                    instrument = Histogram(name, buckets)
+                    self._histograms[name] = instrument
         return instrument
 
     def _check_free(self, name: str, own: Mapping[str, Any]) -> None:

@@ -4,11 +4,16 @@ Queries whose wall time crosses a threshold (or that hit their timeout
 budget) are remembered, newest-evicts-oldest, so an operator can ask a
 long-lived Frappé instance "what has been slow lately?" without any
 external infrastructure.
+
+Appends are thread-safe: the serving layer records from many worker
+threads, and the entry sequence number is a read-modify-write that
+must pair atomically with its ring-buffer append.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from collections import deque
 
@@ -51,6 +56,7 @@ class SlowQueryLog:
         self.threshold_seconds = threshold_seconds
         self._entries: deque[SlowQueryEntry] = deque(maxlen=capacity)
         self._sequence = 0
+        self._lock = threading.Lock()
 
     def observe(self, query: str, elapsed_seconds: float,
                 rows: int | None = None,
@@ -58,16 +64,18 @@ class SlowQueryLog:
         """Log the execution if it qualifies; returns True if logged."""
         if not timed_out and elapsed_seconds < self.threshold_seconds:
             return False
-        self._entries.append(SlowQueryEntry(
-            query=query, elapsed_seconds=elapsed_seconds, rows=rows,
-            timed_out=timed_out, sequence=self._sequence,
-            at=time.time()))
-        self._sequence += 1
+        with self._lock:
+            self._entries.append(SlowQueryEntry(
+                query=query, elapsed_seconds=elapsed_seconds, rows=rows,
+                timed_out=timed_out, sequence=self._sequence,
+                at=time.time()))
+            self._sequence += 1
         return True
 
     def entries(self) -> list[SlowQueryEntry]:
         """Logged entries, oldest first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     @property
     def total_observed(self) -> int:

@@ -5,10 +5,16 @@ operation (one root span per query, with child spans for parse /
 execute / store phases as components opt in). Finished root spans are
 kept in a bounded ring so a long-lived Frappé instance never grows
 without bound.
+
+The open-span stack is thread-local: concurrent queries on the
+serving layer's worker threads each build their own span tree instead
+of nesting into each other. The finished ring is shared (appends go
+through the GIL-atomic ``deque.append``).
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -62,27 +68,36 @@ class Tracer:
     def __init__(self, capacity: int = 256) -> None:
         if capacity < 1:
             raise ValueError("tracer capacity must be >= 1")
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self._finished: deque[Span] = deque(maxlen=capacity)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        stack = self._stack
         span = Span(name, attributes)
-        if self._stack:
-            self._stack[-1].children.append(span)
-        self._stack.append(span)
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
         try:
             yield span
         finally:
             span.end_ns = time.perf_counter_ns()
-            self._stack.pop()
-            if not self._stack:
+            stack.pop()
+            if not stack:
                 self._finished.append(span)
 
     @property
     def current(self) -> Span | None:
-        """The innermost open span, if any."""
-        return self._stack[-1] if self._stack else None
+        """The innermost open span, if any (on the calling thread)."""
+        stack = self._stack
+        return stack[-1] if stack else None
 
     def recent(self) -> list[Span]:
         """Finished root spans, oldest first."""

@@ -1,0 +1,15 @@
+"""Concurrent query serving.
+
+A :class:`~repro.server.executor.Executor` runs queries from a pool of
+worker threads against one engine, with bounded admission
+(backpressure instead of unbounded queue growth), per-client fair
+share, and cooperative deadline enforcement that counts queue wait
+against each query's time budget.
+
+:meth:`repro.core.frappe.Frappe.query_async` is the friendly front
+door; ``frappe serve`` drives it from the command line.
+"""
+
+from repro.server.executor import Executor, QueryJob
+
+__all__ = ["Executor", "QueryJob"]

@@ -1,0 +1,123 @@
+"""Query-while-ingesting soak: real threads, real pool, real clock.
+
+The interleaving tests prove the invariants under a deterministic
+scheduler; this smoke proves the same invariants survive genuine OS
+preemption.  Eight reader threads hammer ``Frappe.query_async`` while
+a writer ingests nodes and edges, for ``FRAPPE_SOAK_SECONDS`` (default
+a short local smoke; CI runs the full 10 s).  It fails on any thread
+exception, any torn read (a count that matches no recorded epoch) and
+any plan-cache epoch regression (a reader seeing epochs go backwards).
+
+Seeding is deliberately independent of pytest-randomly: the workload
+derives from ``FRAPPE_SOAK_SEED`` (default fixed), so the module-level
+reseeding pytest-randomly performs cannot change what this test does.
+"""
+
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.core import Frappe
+from repro.graphdb import PropertyGraph
+
+SOAK_SECONDS = float(os.environ.get("FRAPPE_SOAK_SECONDS", "2.0"))
+SOAK_SEED = int(os.environ.get("FRAPPE_SOAK_SEED", "140914"))
+READERS = 8
+
+COUNT_QUERY = "MATCH (n:function) RETURN count(*)"
+
+
+@pytest.mark.slow
+class TestSoak:
+    def test_query_while_ingesting(self):
+        graph = PropertyGraph()
+        for index in range(8):
+            graph.add_node("function", short_name=f"seed{index}")
+        frappe = Frappe(graph)
+        frappe.serve(workers=READERS, queue_capacity=256)
+
+        #: epoch -> function count at that epoch; every write batch
+        #: records inside the write lock, which snapshot() also takes,
+        #: so a query can never pin an unrecorded epoch
+        expected = {graph.statistics.epoch: graph.node_count()}
+        errors = []
+        stop = threading.Event()
+        rng = random.Random(SOAK_SEED)
+
+        def ingest():
+            fresh = 8
+            try:
+                while not stop.is_set():
+                    with graph.write_lock:
+                        node = graph.add_node(
+                            "function", short_name=f"fn{fresh}")
+                        expected[graph.statistics.epoch] = \
+                            graph.node_count()
+                        if rng.random() < 0.5:
+                            graph.add_edge(
+                                node, rng.randrange(node + 1), "calls")
+                            expected[graph.statistics.epoch] = \
+                                graph.node_count()
+                    fresh += 1
+                    time.sleep(0)  # encourage preemption
+            except BaseException as error:  # noqa: BLE001
+                errors.append(("ingest", error))
+
+        def read(reader_id):
+            last_epoch = -1
+            completed = 0
+            try:
+                while not stop.is_set():
+                    future = frappe.query_async(
+                        COUNT_QUERY, client=f"reader-{reader_id}")
+                    result = future.result(timeout=30.0)
+                    epoch = result.stats.epoch
+                    if epoch < last_epoch:
+                        raise AssertionError(
+                            f"reader {reader_id}: epoch went backwards"
+                            f" ({last_epoch} -> {epoch})")
+                    last_epoch = epoch
+                    if epoch not in expected:
+                        raise AssertionError(
+                            f"reader {reader_id}: torn read — epoch "
+                            f"{epoch} was never recorded")
+                    if result.value() != expected[epoch]:
+                        raise AssertionError(
+                            f"reader {reader_id}: count "
+                            f"{result.value()} != "
+                            f"{expected[epoch]} at epoch {epoch}")
+                    completed += 1
+            except BaseException as error:  # noqa: BLE001
+                errors.append((f"reader-{reader_id}", error))
+            return completed
+
+        counts = [0] * READERS
+
+        def reader_main(reader_id):
+            counts[reader_id] = read(reader_id)
+
+        threads = [threading.Thread(target=ingest, name="soak-ingest")]
+        threads += [threading.Thread(target=reader_main, args=(i,),
+                                     name=f"soak-reader-{i}")
+                    for i in range(READERS)]
+        for thread in threads:
+            thread.start()
+        time.sleep(SOAK_SECONDS)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive(), f"{thread.name} hung"
+        frappe.close()
+
+        assert not errors, \
+            f"[seed={SOAK_SEED}] soak failures: " + "; ".join(
+                f"{who}: {type(e).__name__}: {e}" for who, e in errors)
+        # the soak must actually have exercised both sides
+        assert sum(counts) > READERS, "readers barely ran"
+        assert len(expected) > 2, "ingest barely ran"
+        snapshot = frappe.obs.registry.snapshot()
+        assert snapshot.counter("server.completed") == sum(counts)
+        assert snapshot.counter("server.failed") == 0

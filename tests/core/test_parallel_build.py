@@ -1,0 +1,222 @@
+"""Parallel extraction must be indistinguishable from serial.
+
+The process-pool build path (``Build(jobs=N)``) exists purely for
+wall-clock; every observable — file ids, graph shape, report contents,
+failure-policy behaviour — must match a serial replay byte for byte.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.build import FAIL_FAST, KEEP_GOING, Build
+from repro.build.parallel import (CompileJob, UnitFailure,
+                                  remap_file_ids, run_jobs)
+from repro.core import extract_build
+from repro.errors import (BuildDiagnosticError, ParseError,
+                          PreprocessorError)
+from repro.lang.source import (SourceLocation, SourceRange,
+                               VirtualFileSystem)
+
+from tests.core.conftest import BUILD_SCRIPT, MINI_KERNEL
+from tests.core.test_build_faults import build_script, mini_tree
+
+JOBS = 3
+
+
+def graph_signature(graph):
+    """Everything observable about a graph, in comparable form."""
+    nodes = {node_id: (sorted(graph.node_labels(node_id)),
+                       sorted(graph.node_properties(node_id).items()))
+             for node_id in graph.node_ids()}
+    edges = {edge_id: (graph.edge_source(edge_id),
+                       graph.edge_target(edge_id),
+                       graph.edge_type(edge_id),
+                       sorted(graph.edge_properties(edge_id).items()))
+             for edge_id in graph.edge_ids()}
+    return nodes, edges
+
+
+def report_signature(report):
+    return [(o.source_path, o.object_path, o.status, o.command,
+             [str(d) for d in o.diagnostics])
+            for o in report.outcomes] + \
+        [str(d) for d in report.link_diagnostics]
+
+
+def run_mini_kernel(jobs):
+    build = Build(VirtualFileSystem(dict(MINI_KERNEL)), jobs=jobs)
+    build.run_script(BUILD_SCRIPT)
+    return build
+
+
+class TestDeterminism:
+    def test_graph_identical_to_serial(self):
+        serial = run_mini_kernel(jobs=1)
+        fanned = run_mini_kernel(jobs=JOBS)
+        assert graph_signature(extract_build(serial)) == \
+            graph_signature(extract_build(fanned))
+
+    def test_file_ids_identical_to_serial(self):
+        serial = run_mini_kernel(jobs=1)
+        fanned = run_mini_kernel(jobs=JOBS)
+        assert [f.path for f in serial.registry.known_files()] == \
+            [f.path for f in fanned.registry.known_files()]
+        assert [(f.file_id, f.path)
+                for f in fanned.registry.known_files()] == \
+            [(f.file_id, f.path)
+             for f in serial.registry.known_files()]
+
+    def test_report_identical_to_serial(self):
+        serial = run_mini_kernel(jobs=1)
+        fanned = run_mini_kernel(jobs=JOBS)
+        assert report_signature(fanned.report) == \
+            report_signature(serial.report)
+        assert fanned.report.summary() == serial.report.summary()
+
+    def test_object_units_remapped(self):
+        # every location inside the fanned objects must point at the
+        # parent registry's ids, not worker-local ones
+        fanned = run_mini_kernel(jobs=JOBS)
+        for path, obj in fanned.objects.items():
+            registered = fanned.registry.open(obj.source_path)
+            assert obj.unit.main_file.file_id == registered.file_id
+            for include in obj.unit.includes:
+                opened = fanned.registry.by_id(include.included_file_id)
+                assert fanned.registry.open(opened.path) is opened
+
+
+class TestFailurePolicies:
+    def test_fail_fast_raises_original_error(self):
+        serial_error = parallel_error = None
+        try:
+            Build(mini_tree(), policy=FAIL_FAST).run_script(
+                build_script())
+        except ParseError as error:
+            serial_error = error
+        try:
+            Build(mini_tree(), policy=FAIL_FAST,
+                  jobs=JOBS).run_script(build_script())
+        except ParseError as error:
+            parallel_error = error
+        assert serial_error is not None and parallel_error is not None
+        assert type(parallel_error) is type(serial_error)
+        assert str(parallel_error) == str(serial_error)
+        assert parallel_error.filename == serial_error.filename
+        assert parallel_error.line == serial_error.line
+
+    def test_fail_fast_keeps_units_before_failure(self):
+        serial = Build(mini_tree(), policy=FAIL_FAST)
+        with pytest.raises(ParseError):
+            serial.run_script(build_script())
+        fanned = Build(mini_tree(), policy=FAIL_FAST, jobs=JOBS)
+        with pytest.raises(ParseError):
+            fanned.run_script(build_script())
+        assert sorted(fanned.objects) == sorted(serial.objects)
+        assert report_signature(fanned.report) == \
+            report_signature(serial.report)
+
+    def test_keep_going_report_identical(self):
+        serial = Build(mini_tree(), policy=KEEP_GOING)
+        serial.run_script(build_script())
+        fanned = Build(mini_tree(), policy=KEEP_GOING, jobs=JOBS)
+        fanned.run_script(build_script())
+        assert report_signature(fanned.report) == \
+            report_signature(serial.report)
+        assert graph_signature(extract_build(fanned)) == \
+            graph_signature(extract_build(serial))
+
+    def test_max_errors_budget_still_enforced(self):
+        build = Build(mini_tree(), policy=KEEP_GOING, max_errors=1,
+                      jobs=JOBS)
+        with pytest.raises(BuildDiagnosticError):
+            build.run_script(build_script())
+
+    def test_bad_command_line_recorded(self):
+        build = Build(mini_tree(), policy=KEEP_GOING, jobs=JOBS)
+        build.run_script("gcc unit0.c -c -o unit0.o\n"
+                         "gcc 'unterminated\n"
+                         "gcc unit1.c -c -o unit1.o\n")
+        assert len(build.report.failed_units) == 1
+        assert build.report.failed_units[0].diagnostics[0].category \
+            == "command"
+        assert len(build.report.ok_units) == 2
+
+    def test_jobs_must_be_positive(self):
+        from repro.errors import BuildError
+        with pytest.raises(BuildError):
+            Build(VirtualFileSystem({}), jobs=0)
+
+
+class TestWorkerProtocol:
+    def test_unit_failure_rebuilds_exact_exception(self):
+        original = PreprocessorError("no such file: 'ghost.h'",
+                                     "a.c", 3, 7)
+        rebuilt = UnitFailure.of(original).rebuild()
+        assert type(rebuilt) is PreprocessorError
+        assert str(rebuilt) == str(original)
+        assert (rebuilt.message, rebuilt.filename, rebuilt.line,
+                rebuilt.column) == ("no such file: 'ghost.h'",
+                                    "a.c", 3, 7)
+
+    def test_unknown_error_type_degrades_to_base(self):
+        failure = UnitFailure(error_type="NotARealError",
+                              message="m", filename="f", line=1,
+                              column=2)
+        from repro.errors import FrontEndError
+        assert type(failure.rebuild()) is FrontEndError
+
+    def test_run_jobs_serial_path(self):
+        filesystem = VirtualFileSystem(
+            {"a.c": "int a(void) { return 1; }\n"})
+        results = run_jobs(
+            [CompileJob(source="a.c", object_path="a.o",
+                        include_paths=(), defines=(), command="gcc")],
+            workers=1, filesystem=filesystem,
+            ignore_missing_includes=False)
+        assert results[0].failure is None
+        assert results[0].opened_paths == ["a.c"]
+        assert results[0].object_file.path == "a.o"
+
+
+class TestRemap:
+    def test_shared_objects_remapped_once(self):
+        # a frozen location shared by two roots must translate once,
+        # even though the mapping chains (1 -> 2 and 2 -> 3)
+        @dataclasses.dataclass
+        class Holder:
+            location: SourceLocation
+            ids: "list[int]" = dataclasses.field(default_factory=list)
+
+        shared = SourceLocation(1, 10, 2)
+        left = Holder(shared, ids=[])
+        right = Holder(shared, ids=[])
+        remap_file_ids([left, right], {1: 2, 2: 3})
+        assert shared.file_id == 2
+
+    def test_file_ids_list_field(self):
+        @dataclasses.dataclass
+        class Unitish:
+            included_file_ids: "list[int]"
+
+        unit = Unitish(included_file_ids=[0, 4, 9])
+        remap_file_ids([unit], {0: 5, 4: 4, 9: 0})
+        assert unit.included_file_ids == [5, 4, 0]
+
+    def test_ranges_and_nesting(self):
+        span = SourceRange(7, 1, 1, 2, 2)
+        nested = {"key": [(span,)]}
+        remap_file_ids([nested], {7: 11})
+        assert span.file_id == 11
+
+    def test_identity_mapping_is_free(self):
+        span = SourceRange(7, 1, 1, 2, 2)
+        remap_file_ids([span], {7: 7})
+        assert span.file_id == 7
+
+    def test_typedef_usr_string_remapped(self):
+        from repro.build.parallel import _remap_usr
+        assert _remap_usr("c:t@4:12@size_t", {4: 9}) == \
+            "c:t@9:12@size_t"
+        assert _remap_usr("c:@F@main", {4: 9}) == "c:@F@main"
+        assert _remap_usr("c:t@7:3@u8", {4: 9}) == "c:t@7:3@u8"

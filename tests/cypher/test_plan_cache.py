@@ -129,3 +129,70 @@ class TestEngineIntegration:
         snapshot = self.snapshot(engine)
         assert snapshot.counter("planner.pushed_filters") == 1
         assert snapshot.counter("planner.reachability_rewrites") == 1
+
+
+class TestSnapshotPinning:
+    """run() pins one epoch for plan cache, planner and execution."""
+
+    QUERY = "MATCH (n:function) RETURN n.short_name"
+
+    @pytest.fixture
+    def graph(self):
+        g = PropertyGraph()
+        g.add_node("function", short_name="main")
+        return g
+
+    def test_result_records_epoch(self, graph):
+        engine = CypherEngine(graph)
+        first = engine.run(self.QUERY)
+        assert first.stats.epoch == graph.statistics.epoch
+        graph.add_node("function", short_name="other")
+        second = engine.run(self.QUERY)
+        assert second.stats.epoch == graph.statistics.epoch
+        assert second.stats.epoch > first.stats.epoch
+
+    def test_writer_after_pin_is_invisible(self, graph):
+        # interleave a writer right after run() pins its snapshot:
+        # the query must report the pinned epoch and the pinned rows,
+        # not the sneaked-in mutation
+        engine = CypherEngine(graph)
+        pinned_epoch = graph.statistics.epoch
+        real_snapshot = graph.snapshot
+
+        def write_after_pin():
+            snap = real_snapshot()
+            graph.add_node("function", short_name="late")
+            return snap
+
+        graph.snapshot = write_after_pin
+        try:
+            result = engine.run(self.QUERY)
+        finally:
+            del graph.snapshot
+        assert result.values() == ["main"]
+        assert result.stats.epoch == pinned_epoch
+        assert graph.statistics.epoch > pinned_epoch
+
+    def test_cached_plan_reused_for_unchanged_epoch(self, graph):
+        # pinning must not defeat the cache: two runs at one epoch
+        # share the plan, and the hit is keyed on the pinned epoch
+        engine = CypherEngine(graph)
+        first = engine.run(self.QUERY)
+        second = engine.run(self.QUERY)
+        assert first.stats.epoch == second.stats.epoch
+        snapshot = engine.obs.registry.snapshot()
+        assert snapshot.counter("planner.cache.hits") == 1
+
+    def test_plain_view_still_works(self, graph):
+        # pin_view passes through views without snapshot support
+        # (the disk store path) — epoch stays at the statistics value
+        class Plain:
+            def __getattr__(self, name):
+                if name == "snapshot":
+                    raise AttributeError(name)
+                return getattr(graph, name)
+
+        engine = CypherEngine(Plain())
+        result = engine.run(self.QUERY)
+        assert result.values() == ["main"]
+        assert result.stats.epoch == graph.statistics.epoch

@@ -1,0 +1,162 @@
+"""Copy-on-write epoch snapshots of the in-memory graph."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graphdb import Direction, GraphSnapshot, PropertyGraph, pin_view
+from repro.graphdb.graph import clone_graph
+from repro.graphdb.stats import graph_statistics_for
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    a = g.add_node("function", short_name="a")
+    b = g.add_node("function", short_name="b")
+    c = g.add_node("file", short_name="c.c")
+    g.add_edge(a, b, "calls", properties={"line": 3})
+    g.add_edge(c, a, "contains")
+    return g
+
+
+class TestSnapshotBasics:
+    def test_snapshot_reads_match_graph(self, graph):
+        snap = graph.snapshot()
+        assert snap.node_count() == graph.node_count()
+        assert snap.edge_count() == graph.edge_count()
+        for node_id in graph.node_ids():
+            assert snap.node_labels(node_id) == graph.node_labels(node_id)
+            assert snap.node_properties(node_id) == \
+                graph.node_properties(node_id)
+            for direction in Direction:
+                assert list(snap.edges_of(node_id, direction)) == \
+                    list(graph.edges_of(node_id, direction))
+        for edge_id in graph.edge_ids():
+            assert snap.edge_source(edge_id) == graph.edge_source(edge_id)
+            assert snap.edge_type(edge_id) == graph.edge_type(edge_id)
+            assert snap.edge_properties(edge_id) == \
+                graph.edge_properties(edge_id)
+
+    def test_same_epoch_same_object(self, graph):
+        assert graph.snapshot() is graph.snapshot()
+
+    def test_snapshot_of_snapshot_is_itself(self, graph):
+        snap = graph.snapshot()
+        assert snap.snapshot() is snap
+
+    def test_epoch_and_statistics_pinned(self, graph):
+        snap = graph.snapshot()
+        assert snap.epoch == graph.statistics.epoch
+        assert snap.statistics.node_count == 3
+        graph.add_node("function", short_name="d")
+        assert snap.statistics.node_count == 3
+        assert snap.epoch < graph.statistics.epoch
+
+    def test_missing_ids_raise(self, graph):
+        snap = graph.snapshot()
+        with pytest.raises(NodeNotFoundError):
+            snap.node_labels(99)
+
+    def test_pin_view(self, graph):
+        assert isinstance(pin_view(graph), GraphSnapshot)
+
+        class Plain:
+            pass
+
+        plain = Plain()
+        assert pin_view(plain) is plain
+
+
+class TestCopyOnWriteIsolation:
+    def test_add_node_invisible(self, graph):
+        snap = graph.snapshot()
+        new = graph.add_node("function", short_name="late")
+        assert graph.has_node(new)
+        assert not snap.has_node(new)
+        assert snap.node_count() == 3
+
+    def test_remove_node_invisible(self, graph):
+        snap = graph.snapshot()
+        graph.remove_node(0)
+        assert not graph.has_node(0)
+        assert snap.has_node(0)
+        assert list(snap.edges_of(0, Direction.OUT)) == [0]
+        assert snap.edge_source(0) == 0
+
+    def test_property_change_invisible(self, graph):
+        snap = graph.snapshot()
+        graph.set_node_property(0, "short_name", "renamed")
+        graph.set_edge_property(0, "line", 99)
+        assert snap.node_property(0, "short_name") == "a"
+        assert snap.edge_property(0, "line") == 3
+
+    def test_index_isolated(self, graph):
+        snap = graph.snapshot()
+        graph.set_node_property(0, "short_name", "renamed")
+        assert list(snap.indexes.lookup("short_name", "a")) == [0]
+        assert list(graph.indexes.lookup("short_name", "a")) == []
+        assert list(graph.indexes.lookup("short_name", "renamed")) == [0]
+
+    def test_label_index_isolated(self, graph):
+        snap = graph.snapshot()
+        graph.add_label(0, "exported")
+        assert list(snap.nodes_with_label("exported")) == []
+        assert list(graph.nodes_with_label("exported")) == [0]
+
+    def test_adjacency_isolated(self, graph):
+        snap = graph.snapshot()
+        graph.add_edge(1, 0, "calls")
+        assert snap.degree(0, Direction.IN, ("calls",)) == 0
+        assert graph.degree(0, Direction.IN, ("calls",)) == 1
+
+    def test_two_epochs_coexist(self, graph):
+        first = graph.snapshot()
+        graph.add_node("function", short_name="d")
+        second = graph.snapshot()
+        graph.add_node("function", short_name="e")
+        assert first.node_count() == 3
+        assert second.node_count() == 4
+        assert graph.node_count() == 5
+        assert first.epoch < second.epoch < graph.statistics.epoch
+
+    def test_detach_only_pays_once(self, graph):
+        snap = graph.snapshot()
+        graph.add_node("function")
+        labels_after_first_write = graph._node_labels
+        graph.add_node("function")
+        assert graph._node_labels is labels_after_first_write
+        assert snap.node_count() == 3
+
+    def test_statistics_for_snapshot_is_pinned_clone(self, graph):
+        snap = graph.snapshot()
+        stats = graph_statistics_for(snap)
+        assert stats is snap.statistics
+        graph.add_edge(0, 1, "calls")
+        assert stats.edge_type_count("calls") == 1
+
+    def test_clone_graph_accepts_snapshot(self, graph):
+        snap = graph.snapshot()
+        graph.remove_node(2)
+        copy = clone_graph(snap)
+        assert copy.node_count() == 3
+        assert copy.node_property(2, "short_name") == "c.c"
+
+
+class TestWriteLock:
+    def test_lock_blocks_snapshot_mid_batch(self, graph):
+        # holding the writer lock makes a multi-op batch atomic:
+        # snapshot() from another thread must wait for the batch
+        import threading
+
+        snapshots = []
+        with graph.write_lock:
+            taker = threading.Thread(
+                target=lambda: snapshots.append(graph.snapshot()))
+            taker.start()
+            graph.add_node("function", short_name="x")
+            graph.add_edge(3, 0, "calls")
+            taker.join(timeout=0.2)
+            assert snapshots == []  # still blocked
+        taker.join(timeout=5.0)
+        assert snapshots[0].node_count() == 4
+        assert snapshots[0].has_edge(2)

@@ -1,0 +1,291 @@
+"""The concurrent serving executor: admission, deadlines, metering."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.frappe import Frappe
+from repro.cypher import QueryOptions, Result
+from repro.errors import (AdmissionError, ExecutorShutdownError,
+                          QueryTimeoutError)
+from repro.graphdb import PropertyGraph
+from repro.obs import Observability
+from repro.server import Executor
+
+
+class Gate:
+    """A runner whose jobs block until released (controls the pool)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, text, options=None):
+        with self.lock:
+            self.calls.append((text, options))
+        self.started.set()
+        if not self.release.wait(timeout=10.0):
+            raise TimeoutError("gate never released")
+        if options is not None and options.timeout is not None \
+                and options.timeout < 1e-6:
+            raise QueryTimeoutError(options.timeout)
+        return text.upper()
+
+
+def make_executor(runner, **kwargs):
+    kwargs.setdefault("obs", Observability())
+    return Executor(runner, **kwargs)
+
+
+class TestBasics:
+    def test_submit_resolves_future(self):
+        with make_executor(lambda text, options=None: text * 2,
+                           workers=2) as executor:
+            future = executor.submit("ab")
+            assert future.result(timeout=5.0) == "abab"
+
+    def test_map_preserves_order(self):
+        with make_executor(lambda text, options=None: text.upper(),
+                           workers=4) as executor:
+            futures = executor.map(["a", "b", "c"])
+            assert [f.result(timeout=5.0) for f in futures] == \
+                ["A", "B", "C"]
+
+    def test_runner_error_lands_on_future(self):
+        def boom(text, options=None):
+            raise ValueError("bad query")
+
+        with make_executor(boom, workers=1) as executor:
+            future = executor.submit("x")
+            with pytest.raises(ValueError, match="bad query"):
+                future.result(timeout=5.0)
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            Executor(print, workers=0)
+        with pytest.raises(ValueError):
+            Executor(print, queue_capacity=0)
+        with pytest.raises(ValueError):
+            Executor(print, max_per_client=0)
+
+
+class TestAdmission:
+    def test_queue_full_backpressure(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=2,
+                                 max_per_client=100)
+        try:
+            first = executor.submit("running")
+            gate.started.wait(timeout=5.0)
+            executor.submit("queued-1")
+            executor.submit("queued-2")
+            with pytest.raises(AdmissionError, match="queue full"):
+                executor.submit("overflow")
+            snapshot = executor._submitted  # noqa: SLF001
+            assert snapshot.value == 3
+            assert executor._rejected.value == 1  # noqa: SLF001
+        finally:
+            gate.release.set()
+            executor.shutdown(wait=True)
+        assert first.result(timeout=5.0) == "RUNNING"
+
+    def test_fair_share_per_client(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10,
+                                 max_per_client=2)
+        try:
+            executor.submit("a", client="greedy")
+            gate.started.wait(timeout=5.0)
+            executor.submit("b", client="greedy")
+            with pytest.raises(AdmissionError) as excinfo:
+                executor.submit("c", client="greedy")
+            assert excinfo.value.client == "greedy"
+            # another client still gets in: the queue has room
+            other = executor.submit("d", client="polite")
+            assert executor.in_flight("greedy") == 2
+            assert executor.in_flight("polite") == 1
+        finally:
+            gate.release.set()
+            executor.shutdown(wait=True)
+        assert other.result(timeout=5.0) == "D"
+        assert executor.in_flight("greedy") == 0
+
+    def test_default_fair_share_derived(self):
+        executor = make_executor(print, queue_capacity=64)
+        try:
+            assert executor.max_per_client == 16
+        finally:
+            executor.shutdown(wait=True)
+
+    def test_submit_after_shutdown(self):
+        executor = make_executor(lambda text, options=None: text)
+        executor.shutdown(wait=True)
+        with pytest.raises(ExecutorShutdownError):
+            executor.submit("late")
+
+    def test_cancel_while_queued(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        try:
+            executor.submit("running")
+            gate.started.wait(timeout=5.0)
+            queued = executor.submit("victim")
+            assert queued.cancel()
+        finally:
+            gate.release.set()
+            executor.shutdown(wait=True)
+        assert queued.cancelled()
+        # the cancelled job never reached the runner
+        assert all(text != "victim" for text, _ in gate.calls)
+
+
+class TestDeadlines:
+    def test_queue_wait_counts_against_budget(self):
+        # with the only worker blocked, a queued query's budget drains
+        # while it waits; the runner must receive the reduced remainder
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        try:
+            executor.submit("blocker")
+            gate.started.wait(timeout=5.0)
+            queued = executor.submit(
+                "waiter", QueryOptions(timeout=30.0))
+            time.sleep(0.05)
+        finally:
+            gate.release.set()
+        queued.result(timeout=5.0)
+        executor.shutdown(wait=True)
+        options = dict(gate.calls)["waiter"]
+        assert options.timeout < 30.0
+        assert options.timeout > 29.0
+
+    def test_budget_expired_in_queue_times_out(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        try:
+            executor.submit("blocker")
+            gate.started.wait(timeout=5.0)
+            doomed = executor.submit(
+                "doomed", QueryOptions(timeout=0.01))
+            time.sleep(0.05)  # budget gone while queued
+        finally:
+            gate.release.set()
+        with pytest.raises(QueryTimeoutError):
+            doomed.result(timeout=5.0)
+        executor.shutdown(wait=True)
+        assert executor._timeouts.value == 1  # noqa: SLF001
+
+    def test_no_timeout_passes_options_through(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1)
+        gate.release.set()
+        try:
+            options = QueryOptions(max_rows=7)
+            executor.submit("q", options).result(timeout=5.0)
+        finally:
+            executor.shutdown(wait=True)
+        assert dict(gate.calls)["q"] is options
+
+
+class TestMetering:
+    def test_counters_and_wait_histogram(self):
+        obs = Observability()
+        executor = Executor(lambda text, options=None: text,
+                            workers=2, obs=obs)
+        try:
+            futures = executor.map(["a", "b", "c"])
+            for future in futures:
+                future.result(timeout=5.0)
+        finally:
+            executor.shutdown(wait=True)
+        snapshot = obs.registry.snapshot()
+        assert snapshot.counter("server.submitted") == 3
+        assert snapshot.counter("server.completed") == 3
+        assert snapshot.counter("server.failed") == 0
+        assert snapshot.histogram("server.queue_wait_seconds").count \
+            == 3
+        assert snapshot.gauge("server.active_workers") == 0
+        assert snapshot.gauge("server.queue_depth") == 0
+
+    def test_unmetered_executor_works(self):
+        executor = Executor(lambda text, options=None: text, workers=1)
+        try:
+            assert executor.submit("q").result(timeout=5.0) == "q"
+        finally:
+            executor.shutdown(wait=True)
+
+
+class TestFrappeIntegration:
+    @pytest.fixture
+    def frappe(self):
+        graph = PropertyGraph()
+        for name in ("alpha", "beta", "gamma"):
+            graph.add_node("function", short_name=name, type="function")
+        instance = Frappe(graph)
+        yield instance
+        instance.close()
+
+    QUERY = "MATCH (n:function) RETURN n.short_name ORDER BY n.short_name"
+
+    def test_query_async_matches_sync(self, frappe):
+        sync = frappe.query(self.QUERY)
+        result = frappe.query_async(self.QUERY).result(timeout=5.0)
+        assert isinstance(result, Result)
+        assert result.values() == sync.values()
+        assert result.stats.epoch == sync.stats.epoch
+
+    def test_concurrent_submitters(self, frappe):
+        frappe.serve(workers=4)
+        futures = [frappe.query_async(self.QUERY, client=f"c{i % 3}")
+                   for i in range(24)]
+        values = [future.result(timeout=10.0).values()
+                  for future in futures]
+        assert all(v == ["alpha", "beta", "gamma"] for v in values)
+        snapshot = frappe.counters()
+        assert snapshot.counter("server.completed") == 24
+        assert snapshot.counter("query.count") == 24
+
+    def test_serve_shape_fixed_by_first_call(self, frappe):
+        executor = frappe.serve(workers=2)
+        assert frappe.serve(workers=8) is executor
+        assert executor.workers == 2
+
+    def test_close_shuts_executor_down(self, frappe):
+        executor = frappe.serve(workers=1)
+        frappe.close()
+        with pytest.raises(ExecutorShutdownError):
+            executor.submit(self.QUERY)
+        # the facade itself serves again with a fresh pool
+        result = frappe.query_async(self.QUERY).result(timeout=5.0)
+        assert result.values() == ["alpha", "beta", "gamma"]
+
+    def test_query_async_while_writing(self, frappe):
+        # a writer keeps mutating while queries are in flight; every
+        # result must be internally consistent (snapshot-isolated)
+        frappe.serve(workers=4)
+        stop = threading.Event()
+
+        def writer():
+            index = 0
+            while not stop.is_set():
+                frappe.view.add_node("function",
+                                     short_name=f"late{index:03d}",
+                                     type="function")
+                index += 1
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            futures = [frappe.query_async(
+                "MATCH (n:function) RETURN count(*)",
+                client=f"reader-{index % 4}")
+                for index in range(20)]
+            counts = [future.result(timeout=10.0).value()
+                      for future in futures]
+        finally:
+            stop.set()
+            thread.join()
+        assert all(count >= 3 for count in counts)

@@ -233,3 +233,41 @@ class TestKeepGoing:
         assert main(["index", str(root), "--script", str(script),
                      "--out", str(tmp_path / "s")]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_serve_runs_stdin_queries(self, store, capsys,
+                                      monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "# a comment line\n"
+            "MATCH (n:function) RETURN count(*)\n"
+            "\n"
+            "MATCH (n:file) RETURN count(*)\n"))
+        assert main(["serve", store, "--workers", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "[0]" in captured.out and "[1]" in captured.out
+        assert "2 queries, 0 failed" in captured.err
+
+    def test_serve_reports_bad_query(self, store, capsys,
+                                     monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("MATCH MATCH\n"))
+        assert main(["serve", store]) == 1
+        assert "[0] error:" in capsys.readouterr().err
+
+
+class TestIndexJobs:
+    def test_index_with_jobs_matches_serial(self, source_tree,
+                                            tmp_path, capsys):
+        root, script = source_tree
+        assert main(["index", str(root), "--script", str(script),
+                     "--out", str(tmp_path / "serial"),
+                     "-I", "include"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["index", str(root), "--script", str(script),
+                     "--out", str(tmp_path / "fanned"),
+                     "-I", "include", "--jobs", "3"]) == 0
+        fanned_out = capsys.readouterr().out
+        assert fanned_out.splitlines()[0] == serial_out.splitlines()[0]

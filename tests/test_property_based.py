@@ -8,12 +8,16 @@ Each class targets one load-bearing invariant:
 * alignment never changes content, only identity,
 * the treemap layout conserves area and never overlaps,
 * recursive SQL agrees with graph reachability,
-* edit distance behaves like a metric.
+* edit distance behaves like a metric,
+* snapshots stay frozen under arbitrary mutate/query/snapshot
+  sequences (stateful machine vs a sequential model).
 """
 
 import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
 
 from repro.cypher import CypherEngine
 from repro.graphdb import PropertyGraph, algo
@@ -293,3 +297,117 @@ class TestEditDistanceMetric:
         gap = abs(len(left) - len(right))
         if gap > 0:
             assert not edit_distance_at_most(left, right, gap - 1)
+
+
+# -- stateful snapshot isolation ----------------------------------------------------------------
+
+class SnapshotIsolationMachine(RuleBasedStateMachine):
+    """Random mutate/query/snapshot sequences vs a sequential model.
+
+    Hypothesis drives arbitrary interleavings of ``add_node``,
+    ``add_edge``, deletes, Cypher queries and ``snapshot()`` and
+    shrinks any failure to a minimal op sequence.  The model is two
+    plain dicts; every held snapshot is re-checked against the model
+    state captured when it was pinned after *every* rule, so a
+    copy-on-write bug anywhere (detach, index clone, shared adjacency)
+    surfaces as a pinned snapshot drifting.
+    """
+
+    MODEL_QUERY = "MATCH (n:function) RETURN id(n), n.short_name"
+
+    def __init__(self):
+        super().__init__()
+        self.graph = PropertyGraph()
+        self.engine = CypherEngine(self.graph)
+        self.nodes = {}   # node_id -> short_name (the model)
+        self.edges = {}   # edge_id -> (source, target)
+        self.held = []    # (snapshot, nodes-at-pin, edges-at-pin)
+        self.fresh = 0
+
+    # -- mutations ------------------------------------------------------
+
+    @rule()
+    def add_node(self):
+        name = f"fn{self.fresh}"
+        self.fresh += 1
+        node_id = self.graph.add_node("function", short_name=name)
+        self.nodes[node_id] = name
+
+    @precondition(lambda self: self.nodes)
+    @rule(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def add_edge(self, seed):
+        ids = sorted(self.nodes)
+        source = ids[seed % len(ids)]
+        target = ids[(seed * 7) % len(ids)]
+        edge_id = self.graph.add_edge(source, target, "calls")
+        self.edges[edge_id] = (source, target)
+
+    @precondition(lambda self: self.nodes)
+    @rule(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def remove_node(self, seed):
+        ids = sorted(self.nodes)
+        victim = ids[seed % len(ids)]
+        self.graph.remove_node(victim)
+        del self.nodes[victim]
+        self.edges = {edge_id: (source, target)
+                      for edge_id, (source, target) in self.edges.items()
+                      if victim not in (source, target)}
+
+    @precondition(lambda self: self.edges)
+    @rule(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def remove_edge(self, seed):
+        ids = sorted(self.edges)
+        victim = ids[seed % len(ids)]
+        self.graph.remove_edge(victim)
+        del self.edges[victim]
+
+    @precondition(lambda self: self.nodes)
+    @rule(seed=st.integers(min_value=0, max_value=10 ** 6))
+    def rename_node(self, seed):
+        ids = sorted(self.nodes)
+        victim = ids[seed % len(ids)]
+        name = f"renamed{self.fresh}"
+        self.fresh += 1
+        self.graph.set_node_property(victim, "short_name", name)
+        self.nodes[victim] = name
+
+    # -- observations ---------------------------------------------------
+
+    @rule()
+    def take_snapshot(self):
+        snap = self.graph.snapshot()
+        self.held.append((snap, dict(self.nodes), dict(self.edges)))
+        if len(self.held) > 4:  # bound memory, keep old epochs alive
+            self.held.pop(0)
+
+    @rule()
+    def query(self):
+        result = self.engine.run(self.MODEL_QUERY)
+        assert sorted(result.rows) == sorted(self.nodes.items())
+        # a query on the live graph pins the *current* epoch
+        assert result.stats.epoch == self.graph.statistics.epoch
+
+    # -- the isolation invariant ----------------------------------------
+
+    @invariant()
+    def held_snapshots_never_move(self):
+        for snap, nodes, edges in self.held:
+            got_nodes = {
+                node_id: snap.node_property(node_id, "short_name")
+                for node_id in snap.node_ids()}
+            assert got_nodes == nodes
+            got_edges = {
+                edge_id: (snap.edge_source(edge_id),
+                          snap.edge_target(edge_id))
+                for edge_id in snap.edge_ids()}
+            assert got_edges == edges
+
+    @invariant()
+    def model_matches_graph(self):
+        assert self.graph.node_count() == len(self.nodes)
+        assert self.graph.edge_count() == len(self.edges)
+
+
+SnapshotIsolationMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)
+TestSnapshotIsolation = SnapshotIsolationMachine.TestCase
