@@ -76,6 +76,18 @@ def bench_records_pr4():
 
 
 @pytest.fixture(scope="session")
+def bench_records_pr5():
+    """Execution-mode benchmark records (Table 5 mix rows vs batch,
+    mmap vs buffered reads, morsel-size ablation); written to
+    ``benchmarks/reports/BENCH_PR5.json`` at session end."""
+    records: list[dict] = []
+    yield records
+    if records:
+        write_bench_records(
+            os.path.join(REPORT_DIR, "BENCH_PR5.json"), records)
+
+
+@pytest.fixture(scope="session")
 def report():
     """Append paper-style tables to benchmarks/reports/summary.txt."""
     os.makedirs(REPORT_DIR, exist_ok=True)

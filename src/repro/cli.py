@@ -84,6 +84,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-rewrite", action="store_true",
                        help="disable the var-length reachability "
                        "rewrite (reproduces the Sec. 6.1 blow-up)")
+    _add_read_path_flags(query)
 
     serve = commands.add_parser(
         "serve", help="run queries from stdin on a worker pool "
@@ -95,6 +96,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="admission queue capacity (default 64)")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-query budget, counted from submit")
+    _add_read_path_flags(serve)
 
     explain = commands.add_parser(
         "explain", help="show a query's execution plan")
@@ -110,6 +112,7 @@ def build_arg_parser() -> argparse.ArgumentParser:
     profile.add_argument("--no-rewrite", action="store_true",
                          help="disable the var-length reachability "
                          "rewrite while profiling")
+    _add_read_path_flags(profile)
 
     refs = commands.add_parser(
         "refs", help="find references to a symbol (Sec. 4.2)")
@@ -154,6 +157,23 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_read_path_flags(subparser: argparse.ArgumentParser) -> None:
+    """Flags shared by the store-querying subcommands."""
+    subparser.add_argument(
+        "--execution-mode", choices=("auto", "batch", "rows"),
+        default="auto",
+        help="Cypher engine: 'batch' forces vectorized morsel "
+        "execution, 'rows' the generator pipeline, 'auto' (default) "
+        "picks batch when every clause has a batch kernel")
+    subparser.add_argument(
+        "--morsel-size", type=int, default=None,
+        help="rows per batch under batch execution (default 1024)")
+    subparser.add_argument(
+        "--mmap", action="store_true",
+        help="memory-map the store files (zero-copy reads) instead "
+        "of the buffered LRU page cache")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_arg_parser()
@@ -195,8 +215,14 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command}")
 
 
-def _open(store: str) -> Frappe:
-    return Frappe.open(store)
+def _open(store: str, args: argparse.Namespace | None = None) -> Frappe:
+    if args is None:
+        return Frappe.open(store)
+    return Frappe.open(
+        store,
+        mmap=getattr(args, "mmap", False),
+        execution_mode=getattr(args, "execution_mode", "auto"),
+        morsel_size=getattr(args, "morsel_size", None))
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
@@ -246,7 +272,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.cypher import QueryOptions
-    with _open(args.store) as frappe:
+    with _open(args.store, args) as frappe:
         options = QueryOptions(
             timeout=args.timeout, max_rows=args.max_rows,
             use_reachability_rewrite=False if args.no_rewrite else None)
@@ -256,7 +282,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print("\t".join(str(value) for value in row))
         truncated = " (truncated)" if result.stats.truncated else ""
         print(f"({len(result)} rows{truncated}, "
-              f"{result.stats.elapsed_seconds * 1000:.1f} ms)")
+              f"{result.stats.elapsed_seconds * 1000:.1f} ms, "
+              f"{result.stats.execution_mode} mode)")
     return 0
 
 
@@ -264,7 +291,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.cypher import QueryOptions
     from repro.errors import AdmissionError, QueryTimeoutError
     options = QueryOptions(timeout=args.timeout)
-    with _open(args.store) as frappe:
+    with _open(args.store, args) as frappe:
         executor = frappe.serve(args.workers,
                                 queue_capacity=args.queue)
         print(f"serving with {executor.workers} workers "
@@ -316,7 +343,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.cypher import QueryOptions
-    with _open(args.store) as frappe:
+    with _open(args.store, args) as frappe:
         options = QueryOptions(
             timeout=args.timeout, profile=True,
             use_reachability_rewrite=False if args.no_rewrite else None)

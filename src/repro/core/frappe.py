@@ -46,7 +46,9 @@ class Frappe:
                  default_timeout: float | None = None,
                  obs: Observability | None = None,
                  use_reachability_rewrite: bool = True,
-                 use_cost_based_planner: bool = True) -> None:
+                 use_cost_based_planner: bool = True,
+                 execution_mode: str = "auto",
+                 morsel_size: int | None = None) -> None:
         self.view = view
         #: one observability bundle per instance: the engine, page
         #: cache, store reader, indexes and traversals all emit into
@@ -55,10 +57,14 @@ class Frappe:
         attach = getattr(view, "attach_metrics", None)
         if attach is not None:
             attach(self.obs.registry)
+        engine_kw: dict[str, Any] = {}
+        if morsel_size is not None:
+            engine_kw["morsel_size"] = morsel_size
         self.engine = CypherEngine(
             view, default_timeout, obs=self.obs,
             use_reachability_rewrite=use_reachability_rewrite,
-            use_cost_based_planner=use_cost_based_planner)
+            use_cost_based_planner=use_cost_based_planner,
+            execution_mode=execution_mode, **engine_kw)
         #: per-unit outcomes of the build this graph came from (None
         #: for stores opened from disk)
         self.build_report: BuildReport | None = None
@@ -103,10 +109,25 @@ class Frappe:
     @classmethod
     def open(cls, directory: str,
              page_cache: PageCache | None = None,
-             default_timeout: float | None = None) -> "Frappe":
-        """Open a saved store as a page-cached read view."""
+             default_timeout: float | None = None, *,
+             mmap: bool = False,
+             execution_mode: str = "auto",
+             morsel_size: int | None = None) -> "Frappe":
+        """Open a saved store as a page-cached read view.
+
+        ``mmap=True`` memory-maps the store files and serves reads as
+        zero-copy slices (files that cannot be mapped fall back to the
+        buffered LRU per file); it is ignored when an explicit
+        ``page_cache`` is given, since that cache already fixes the
+        mode. ``execution_mode``/``morsel_size`` set the engine-wide
+        defaults for batch execution (see :class:`CypherEngine`).
+        """
+        if page_cache is None and mmap:
+            page_cache = PageCache(mode="mmap")
         return cls(GraphStore.open(directory, page_cache),
-                   default_timeout)
+                   default_timeout,
+                   execution_mode=execution_mode,
+                   morsel_size=morsel_size)
 
     def save(self, directory: str) -> dict[str, int]:
         """Persist to a store directory; returns the size breakdown."""

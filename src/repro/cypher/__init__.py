@@ -42,11 +42,14 @@ Quick start::
         print(row["m"])
 """
 
+from repro.cypher.batch import (DEFAULT_MORSEL_SIZE, RowBatch,
+                                batch_supported)
 from repro.cypher.engine import CypherEngine
 from repro.cypher.options import QueryOptions
 from repro.cypher.parser import parse
 from repro.cypher.plan import PlanDescription
 from repro.cypher.result import EdgeRef, NodeRef, PathValue, Result
 
-__all__ = ["CypherEngine", "EdgeRef", "NodeRef", "PathValue",
-           "PlanDescription", "QueryOptions", "Result", "parse"]
+__all__ = ["CypherEngine", "DEFAULT_MORSEL_SIZE", "EdgeRef", "NodeRef",
+           "PathValue", "PlanDescription", "QueryOptions", "Result",
+           "RowBatch", "batch_supported", "parse"]

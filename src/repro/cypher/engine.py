@@ -26,6 +26,8 @@ import warnings
 from typing import Any, Mapping
 
 from repro.cypher import ast
+from repro.cypher.batch import (DEFAULT_MORSEL_SIZE, batch_supported,
+                                execute_batch)
 from repro.cypher.evaluator import ExecutionContext
 from repro.cypher.executor import execute
 from repro.cypher.options import QueryOptions
@@ -64,10 +66,21 @@ class CypherEngine:
                  obs: Observability | None = None,
                  use_reachability_rewrite: bool = True,
                  use_cost_based_planner: bool = True,
-                 plan_cache_capacity: int = DEFAULT_CAPACITY) -> None:
+                 plan_cache_capacity: int = DEFAULT_CAPACITY,
+                 execution_mode: str = "auto",
+                 morsel_size: int = DEFAULT_MORSEL_SIZE) -> None:
         self.view = view
         self.default_timeout = default_timeout
         self.use_index_seek = use_index_seek
+        if execution_mode not in ("auto", "batch", "rows"):
+            raise ValueError(
+                "execution_mode must be 'auto', 'batch' or 'rows'")
+        #: 'auto' runs a query batch-at-a-time when every clause has a
+        #: batch kernel; 'batch'/'rows' force one engine (per-query
+        #: override via QueryOptions.execution_mode)
+        self.execution_mode = execution_mode
+        #: rows per batch in batch execution
+        self.morsel_size = morsel_size
         #: run endpoint-distinct var-length patterns as visited-set BFS
         #: (Section 6.1 ablation gate; per-query override via
         #: QueryOptions.use_reachability_rewrite)
@@ -162,14 +175,26 @@ class CypherEngine:
             profiler=profiler,
             use_reachability_rewrite=rewrite,
             use_cost_based_planner=self.use_cost_based_planner)
+        mode = opts.execution_mode
+        if mode is None:
+            mode = self.execution_mode
+        use_batch = mode == "batch" or \
+            (mode == "auto" and batch_supported(query))
+        morsel_size = opts.morsel_size
+        if morsel_size is None:
+            morsel_size = self.morsel_size
         with self.obs.tracer.span("cypher.query", query=text):
             try:
-                result = execute(query, ctx)
+                if use_batch:
+                    result = execute_batch(query, ctx, morsel_size)
+                else:
+                    result = execute(query, ctx)
             except QueryTimeoutError:
                 self.obs.record_query(text, ctx.elapsed, rows=None,
                                       timed_out=True)
                 raise
         result.stats.epoch = epoch
+        result.stats.execution_mode = "batch" if use_batch else "rows"
         if opts.max_rows is not None:
             result.truncate(opts.max_rows)
         if profiler is not None:

@@ -57,6 +57,13 @@ class ExecutionContext:
         # matcher's bulk fast path for repeated expansions of hot nodes
         self._adjacency_memo: dict[tuple[int, Any, Any],
                                    tuple[int, ...]] = {}
+        # (node, direction, types) -> [(edge, other_end)] memo for the
+        # batch executor's resolved-adjacency fast path
+        self._neighbor_memo: dict[tuple[int, Any, Any],
+                                  list[tuple[int, int]]] = {}
+        self._resolve_neighbors = getattr(view, "resolve_neighbors",
+                                          None)
+        self._bulk_neighbors = getattr(view, "neighbors_of", None)
         self.adjacency_hits = 0
         self.adjacency_misses = 0
         # per-clause pattern plans (anchor + step order), keyed on
@@ -98,6 +105,46 @@ class ExecutionContext:
         if len(self._adjacency_memo) < self._ADJACENCY_MEMO_LIMIT:
             self._adjacency_memo[key] = edges
         return edges
+
+    def neighbors(self, node_id: int, direction: Any,
+                  types: tuple[str, ...] | None,
+                  ) -> list[tuple[int, int]]:
+        """Memoized, endpoint-resolved :meth:`adjacency`: the batch
+        executor's expansion kernels consume ``(edge_id, other_end)``
+        pairs, so the per-edge endpoint lookups happen once per
+        (node, direction, types) within a query.
+
+        Misses route through :meth:`adjacency`, so store reads are
+        charged as db-hits exactly as the row kernels charge them;
+        callers still :meth:`tick` per edge consumed.
+        """
+        key = (node_id, direction, types)
+        pairs = self._neighbor_memo.get(key)
+        if pairs is not None:
+            self.adjacency_hits += 1
+            return pairs
+        if self._bulk_neighbors is not None:
+            # the view caches resolved adjacency across queries; the
+            # logical access is still charged here, once per key per
+            # query, exactly as the adjacency() miss path charges it
+            self.adjacency_misses += 1
+            pairs = self._bulk_neighbors(node_id, direction, types)
+            self.db_hit(len(pairs) or 1)
+        else:
+            edges = self.adjacency(node_id, direction, types)
+            resolver = self._resolve_neighbors
+            if resolver is not None:
+                pairs = resolver(node_id, edges)
+            else:
+                view = self.view
+                pairs = []
+                for edge_id in edges:
+                    source = view.edge_source(edge_id)
+                    pairs.append((edge_id, source if source != node_id
+                                  else view.edge_target(edge_id)))
+        if len(self._neighbor_memo) < self._ADJACENCY_MEMO_LIMIT:
+            self._neighbor_memo[key] = pairs
+        return pairs
 
     def check_deadline(self) -> None:
         if self.timeout is not None and \

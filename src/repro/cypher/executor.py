@@ -11,6 +11,7 @@ time budget throughout.
 from __future__ import annotations
 
 import functools
+import heapq
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.cypher import ast
@@ -276,25 +277,73 @@ def _hashable(value: Any) -> Any:
     return value
 
 
+class _Descending:
+    """Inverts a ``_SortKey``'s order for a DESC sort component."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: "_SortKey") -> None:
+        self.key = key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and self.key == other.key
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.key < self.key
+
+
+def _decorate(scoped: list[tuple[tuple[Any, ...], Mapping[str, Any]]],
+              columns: list[str], order_by: tuple[ast.SortItem, ...],
+              ctx: ExecutionContext,
+              ) -> list[tuple[tuple[Any, ...], int,
+                              tuple[tuple[Any, ...], Mapping[str, Any]]]]:
+    """Compute each row's full composite sort key exactly once.
+
+    Returns ``(key_tuple, position, entry)`` triples: sorting the
+    triples (position breaks ties, so ``entry`` is never compared)
+    reproduces the stable multi-pass sort the executor used to do,
+    without rebuilding the merged scope and ``_SortKey`` wrappers on
+    every comparison.
+    """
+    decorated = []
+    for position, entry in enumerate(scoped):
+        values, scope = entry
+        merged = dict(scope)
+        merged.update(zip(columns, values))
+        key = tuple(
+            _SortKey(evaluate(item.expression, merged, ctx))
+            if item.ascending else
+            _Descending(_SortKey(evaluate(item.expression, merged, ctx)))
+            for item in order_by)
+        decorated.append((key, position, entry))
+    return decorated
+
+
 def _order(scoped: list[tuple[tuple[Any, ...], Mapping[str, Any]]],
            columns: list[str], order_by: tuple[ast.SortItem, ...],
            ctx: ExecutionContext,
            ) -> list[tuple[tuple[Any, ...], Mapping[str, Any]]]:
-    def sort_scope(entry: tuple[tuple[Any, ...], Mapping[str, Any]],
-                   ) -> dict[str, Any]:
-        values, scope = entry
-        merged = dict(scope)
-        merged.update(zip(columns, values))
-        return merged
+    decorated = _decorate(scoped, columns, order_by, ctx)
+    decorated.sort()
+    return [entry for _key, _position, entry in decorated]
 
-    # stable multi-key sort: apply keys from least to most significant
-    ordered = list(scoped)
-    for sort_item in reversed(order_by):
-        ordered.sort(
-            key=lambda entry: _sort_key(
-                evaluate(sort_item.expression, sort_scope(entry), ctx)),
-            reverse=not sort_item.ascending)
-    return ordered
+
+def _top_k(scoped: list[tuple[tuple[Any, ...], Mapping[str, Any]]],
+           columns: list[str], order_by: tuple[ast.SortItem, ...],
+           ctx: ExecutionContext, count: int,
+           ) -> list[tuple[tuple[Any, ...], Mapping[str, Any]]]:
+    """The first ``count`` rows of ``_order``, via a bounded heap.
+
+    ``heapq.nsmallest`` over the same decorated triples returns
+    exactly ``sorted(decorated)[:count]`` (the position tiebreak keeps
+    ties in input order), so ORDER BY + LIMIT can skip the full sort
+    without changing which tied rows survive.
+    """
+    if count <= 0:
+        return []
+    decorated = _decorate(scoped, columns, order_by, ctx)
+    return [entry for _key, _position, entry
+            in heapq.nsmallest(count, decorated)]
 
 
 @functools.total_ordering

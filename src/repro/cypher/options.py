@@ -38,6 +38,16 @@ class QueryOptions:
         for this run: ``None`` (default) inherits the engine setting,
         ``True``/``False`` force the var-length BFS rewrite on or off
         (the Section 6.1 ablation knob).
+    execution_mode
+        Per-run override of the engine's execution mode: ``None``
+        (default) inherits the engine setting; ``"auto"`` picks
+        batch execution when every clause has a batch kernel,
+        ``"batch"`` forces morsel-at-a-time execution (clauses
+        without a kernel fall back per clause), ``"rows"`` forces the
+        row-at-a-time generator pipeline.
+    morsel_size
+        Rows per batch in batch execution; ``None`` inherits the
+        engine's morsel size (default 1024).
     """
 
     timeout: float | None = None
@@ -45,12 +55,20 @@ class QueryOptions:
     profile: bool = False
     parameters: Mapping[str, Any] | None = None
     use_reachability_rewrite: bool | None = None
+    execution_mode: str | None = None
+    morsel_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
             raise ValueError("timeout must be positive")
         if self.max_rows is not None and self.max_rows < 0:
             raise ValueError("max_rows must be >= 0")
+        if self.execution_mode is not None and \
+                self.execution_mode not in ("auto", "batch", "rows"):
+            raise ValueError(
+                "execution_mode must be 'auto', 'batch' or 'rows'")
+        if self.morsel_size is not None and self.morsel_size < 1:
+            raise ValueError("morsel_size must be >= 1")
 
 
 #: Default options: no timeout override, no truncation, no profiling.

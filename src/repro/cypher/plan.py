@@ -41,6 +41,8 @@ class PlanDescription:
     db_hits: int | None = None
     time_ms: float | None = None
     text: str | None = None
+    #: morsels produced under batch execution (None in row mode)
+    batches: int | None = None
 
     # -- traversal -------------------------------------------------------------
 
@@ -96,6 +98,8 @@ class PlanDescription:
                 stats.append(f"est={node.estimated_rows}")
             if node.rows is not None:
                 stats.append(f"rows={node.rows}")
+            if node.batches is not None:
+                stats.append(f"batches={node.batches}")
             if node.db_hits is not None:
                 stats.append(f"dbhits={node.db_hits}")
             if node.time_ms is not None:

@@ -74,6 +74,9 @@ class QueryStats:
     #: executed against (0 for immutable stores). The concurrency
     #: harness asserts plan/execution epoch agreement with this.
     epoch: int = 0
+    #: which engine ran the query: 'rows' (generator pipeline) or
+    #: 'batch' (vectorized morsel execution)
+    execution_mode: str = "rows"
 
 
 class Result:

@@ -439,6 +439,13 @@ class PropertyGraph:
         self._require_node(node_id)
         return self._node_labels[node_id]
 
+    def labels_of(self, node_ids: Collection[int],
+                  ) -> list[frozenset[str]]:
+        """Bulk :meth:`node_labels` for the batch executor's
+        label-filtering expansion kernel."""
+        labels = self._node_labels
+        return [labels[node_id] for node_id in node_ids]
+
     def node_properties(self, node_id: int) -> dict[str, Any]:
         self._require_node(node_id)
         return dict(self._node_props[node_id])
@@ -493,6 +500,20 @@ class PropertyGraph:
         if direction in (Direction.IN, Direction.BOTH):
             total += self._count_adjacency(self._in[node_id], types)
         return total
+
+    def resolve_neighbors(self, node_id: int,
+                          edge_ids: Collection[int],
+                          ) -> list[tuple[int, int]]:
+        """Bulk ``(edge_id, other_end)`` for edges known to be live
+        (they came from this graph's own adjacency lists), so the
+        per-edge existence checks of ``edge_source``/``edge_target``
+        are skipped."""
+        src = self._edge_src
+        dst = self._edge_dst
+        return [(edge_id,
+                 source if (source := src[edge_id]) != node_id
+                 else dst[edge_id])
+                for edge_id in edge_ids]
 
     @property
     def indexes(self) -> IndexManager:

@@ -1,15 +1,32 @@
-"""LRU page cache over store files.
+"""LRU page cache over store files, with an optional mmap mode.
 
 Every byte read from a store file passes through one shared
 :class:`PageCache`. The cache records hit/miss/eviction counts so the
 benchmark harness can verify a "cold" run really started from an empty
 cache and a "warm" run really stayed resident — the distinction paper
 Table 5 is built on.
+
+Two modes:
+
+* ``"buffered"`` (default): pages are ``read()`` into an LRU
+  ``OrderedDict`` and byte ranges are assembled by copying page
+  slices.
+* ``"mmap"``: each file is memory-mapped once and ``read()`` returns a
+  zero-copy ``memoryview`` slice of the mapping; the OS page cache
+  does the caching. Hit/miss accounting is preserved by tracking which
+  pages have been touched since the last :meth:`PageCache.clear` —
+  first touch counts as a miss (and re-checks the on-disk size, so a
+  file truncated underneath us still raises
+  :class:`~repro.errors.StoreCorruptionError` exactly when the
+  buffered path would detect it: on a page miss), later touches count
+  as hits. Files that cannot be mapped (zero length, exotic
+  filesystems) fall back to the buffered path per file.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import mmap
 import os
 from collections import OrderedDict
 from typing import TYPE_CHECKING, BinaryIO
@@ -64,15 +81,22 @@ class PageCache:
 
     def __init__(self, capacity_pages: int = DEFAULT_CAPACITY_PAGES,
                  page_size: int = DEFAULT_PAGE_SIZE,
-                 registry: "MetricsRegistry | None" = None) -> None:
+                 registry: "MetricsRegistry | None" = None,
+                 mode: str = "buffered") -> None:
         if capacity_pages < 1:
             raise ValueError("page cache needs at least one page")
         if page_size < 64:
             raise ValueError("page size below 64 bytes is not sensible")
+        if mode not in ("buffered", "mmap"):
+            raise ValueError("mode must be 'buffered' or 'mmap'")
         self.page_size = page_size
         self.capacity_pages = capacity_pages
+        self.mode = mode
         self.stats = CacheStats()
         self._pages: OrderedDict[tuple[int, int], bytes] = OrderedDict()
+        #: mmap mode: pages touched since the last clear(), per file —
+        #: the cold/warm distinction the buffered LRU gives for free
+        self._touched: dict[int, set[int]] = {}
         self._next_file_id = 0
         if registry is None:
             from repro.obs import MetricsRegistry
@@ -120,6 +144,34 @@ class PageCache:
         self._resident_gauge.set(len(self._pages))
         return page
 
+    def record_mapped_pages(self, file_id: int, first_page: int,
+                            last_page: int, file_size: int) -> int:
+        """Account an mmap-mode access to ``[first_page, last_page]``.
+
+        Pages touched for the first time since the last :meth:`clear`
+        count as misses (with their backed bytes added to
+        ``pagecache.read_bytes``); pages seen before count as hits.
+        Returns the number of first-touch pages so the caller can
+        re-validate the on-disk size exactly when the buffered path
+        would have gone to disk.
+        """
+        touched = self._touched.setdefault(file_id, set())
+        fresh = 0
+        for page_no in range(first_page, last_page + 1):
+            if page_no in touched:
+                self.stats.hits += 1
+                self._hit_counter.inc()
+            else:
+                touched.add(page_no)
+                fresh += 1
+                self.stats.misses += 1
+                self._miss_counter.inc()
+                backed = min(self.page_size,
+                             file_size - page_no * self.page_size)
+                if backed > 0:
+                    self._read_bytes_counter.inc(backed)
+        return fresh
+
     def note_short_read(self) -> None:
         """Record a truncated-underneath-us read (PagedFile)."""
         self.stats.short_reads += 1
@@ -130,10 +182,13 @@ class PageCache:
         stale = [key for key in self._pages if key[0] == file_id]
         for key in stale:
             del self._pages[key]
+        self._touched.pop(file_id, None)
 
     def clear(self) -> None:
         """Evict everything — the 'cold cache' lever of the benchmarks."""
         self._pages.clear()
+        for touched in self._touched.values():
+            touched.clear()
 
     @property
     def resident_pages(self) -> int:
@@ -145,7 +200,14 @@ class PageCache:
 
 
 class PagedFile:
-    """Read-only view of one store file through a shared page cache."""
+    """Read-only view of one store file through a shared page cache.
+
+    In a cache's ``"mmap"`` mode the file is memory-mapped at open and
+    :meth:`read` returns zero-copy ``memoryview`` slices; when the
+    mapping cannot be created (empty file, mmap-hostile filesystem)
+    the file silently uses the buffered LRU path instead —
+    :attr:`mapped` tells which one is active.
+    """
 
     def __init__(self, path: str, cache: PageCache) -> None:
         self.path = path
@@ -154,6 +216,21 @@ class PagedFile:
         self._handle: BinaryIO = open(path, "rb")
         self._size = os.fstat(self._handle.fileno()).st_size
         self._closed = False
+        self._map: mmap.mmap | None = None
+        self._view: memoryview | None = None
+        if cache.mode == "mmap" and self._size > 0:
+            try:
+                self._map = mmap.mmap(self._handle.fileno(), 0,
+                                      access=mmap.ACCESS_READ)
+            except (OSError, ValueError):
+                self._map = None  # graceful fallback to buffered reads
+            else:
+                self._view = memoryview(self._map)
+
+    @property
+    def mapped(self) -> bool:
+        """True when reads are zero-copy mmap slices."""
+        return self._map is not None
 
     @property
     def size(self) -> int:
@@ -167,8 +244,12 @@ class PagedFile:
     def closed(self) -> bool:
         return self._closed
 
-    def read(self, offset: int, length: int) -> bytes:
-        """Read *length* bytes at *offset*, page by page through the cache.
+    def read(self, offset: int, length: int) -> "bytes | memoryview":
+        """Read *length* bytes at *offset* through the cache.
+
+        Buffered mode assembles the range page by page; mmap mode
+        returns a zero-copy ``memoryview`` slice (both satisfy the
+        buffer protocol, and record decoding accepts either).
 
         Raises :class:`StoreCorruptionError` (a ``ValueError``) when the
         request lands outside the file, and on *short reads*: the file
@@ -184,6 +265,20 @@ class PagedFile:
         page_size = self._cache.page_size
         first_page = offset // page_size
         last_page = (offset + length - 1) // page_size
+        if self._map is not None:
+            fresh = self._cache.record_mapped_pages(
+                self._file_id, first_page, last_page, self._size)
+            if fresh and \
+                    os.fstat(self._handle.fileno()).st_size < self._size:
+                # the file shrank after open: surface it on the first
+                # touch of a page, exactly when a buffered read would
+                # have come back short
+                self._cache.note_short_read()
+                raise StoreCorruptionError(
+                    f"short read: wanted {length} bytes, file (size "
+                    f"{self._size} at open) truncated after open",
+                    file=self.path, offset=offset)
+            return self._view[offset:offset + length]
         if first_page == last_page:
             page = self._cache.get_page(self._file_id, first_page,
                                         self._handle)
@@ -216,6 +311,17 @@ class PagedFile:
             return
         self._closed = True
         self._cache.invalidate_file(self._file_id)
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+        if self._map is not None:
+            try:
+                self._map.close()
+            except BufferError:
+                # a caller still holds an exported slice; the mapping
+                # is released when the last slice is garbage-collected
+                pass
+            self._map = None
         self._handle.close()
 
     def __enter__(self) -> "PagedFile":

@@ -261,7 +261,9 @@ def decode_list_blob(blob: bytes) -> list[Any]:
         for _ in range(count):
             (length,) = struct.unpack_from("<I", blob, offset)
             offset += 4
-            values.append(blob[offset:offset + length].decode("utf-8"))
+            # str(buffer, encoding) accepts bytes and memoryview alike
+            # (mmap-mode page cache reads are zero-copy views)
+            values.append(str(blob[offset:offset + length], "utf-8"))
             offset += length
         return values
     raise StoreFormatError(f"unknown list blob kind {kind}")

@@ -33,6 +33,7 @@ import json
 import os
 import shutil
 import struct
+import sys
 import zlib
 from typing import Any, Callable, Collection, Iterable, Iterator
 
@@ -401,7 +402,8 @@ class GraphStore:
 
     @staticmethod
     def open(directory: str,
-             page_cache: PageCache | None = None) -> "StoreGraph":
+             page_cache: PageCache | None = None,
+             record_cache_capacity: int | None = None) -> "StoreGraph":
         """Open a store directory as a read-only graph view.
 
         Runs best-effort crash :meth:`recover` first, so a directory
@@ -424,7 +426,8 @@ class GraphStore:
                 f"store version {metadata.get('version')} unsupported "
                 f"(expected {FORMAT_VERSION})")
         return StoreGraph(directory, metadata,
-                          page_cache or PageCache())
+                          page_cache or PageCache(),
+                          record_cache_capacity=record_cache_capacity)
 
     @staticmethod
     def recover(directory: str) -> str | None:
@@ -997,6 +1000,35 @@ class StoreIndexes:
         return struct.unpack(f"<{count}Q", raw)
 
 
+#: default per-cache bound of the decoded-object caches (entries, not
+#: bytes): five caches × 256 Ki entries keeps whole-graph scans of the
+#: evaluation kernels resident while bounding worst-case memory
+DEFAULT_RECORD_CACHE_CAPACITY = 262_144
+
+
+class _FIFOCache(dict):
+    """Insertion-order-bounded dict for decoded records.
+
+    FIFO rather than LRU on purpose: get stays a plain dict lookup (no
+    move-to-end bookkeeping on the hottest path in the codebase), and
+    sequential scans — the access pattern that overflows the cache in
+    the first place — gain nothing from recency ordering. A dict
+    subclass so existing callers (and benchmarks that poke
+    ``_node_cache`` directly) keep their ``clear()``/``len()`` idioms.
+    """
+
+    __slots__ = ("capacity",)
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__()
+        self.capacity = capacity
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if key not in self and len(self) >= self.capacity:
+            del self[next(iter(self))]
+        super().__setitem__(key, value)
+
+
 class StoreGraph:
     """Read-only :class:`GraphView` over a store directory.
 
@@ -1010,16 +1042,28 @@ class StoreGraph:
     """
 
     def __init__(self, directory: str, metadata: dict[str, Any],
-                 page_cache: PageCache) -> None:
+                 page_cache: PageCache,
+                 record_cache_capacity: int | None = None) -> None:
+        if record_cache_capacity is None:
+            record_cache_capacity = DEFAULT_RECORD_CACHE_CAPACITY
+        if record_cache_capacity < 1:
+            raise ValueError("record cache needs at least one entry")
         self.directory = directory
         self.page_cache = page_cache
         self._node_count = metadata["node_count"]
         self._edge_count = metadata["edge_count"]
         self._high_node = metadata["high_node_id"]
         self._high_edge = metadata["high_edge_id"]
-        self._key_tokens: list[str] = metadata["key_tokens"]
-        self._type_tokens: list[str] = metadata["type_tokens"]
-        self._label_tokens: list[str] = metadata["label_tokens"]
+        # intern the token tables once at open: every decoded record
+        # resolves its key/type/label tokens to these exact string
+        # objects, so equality checks on the hot path are pointer
+        # comparisons and repeated decodes share one string each
+        self._key_tokens: list[str] = [
+            sys.intern(token) for token in metadata["key_tokens"]]
+        self._type_tokens: list[str] = [
+            sys.intern(token) for token in metadata["type_tokens"]]
+        self._label_tokens: list[str] = [
+            sys.intern(token) for token in metadata["label_tokens"]]
         self._labelsets = [
             frozenset(self._label_tokens[token] for token in row)
             for row in metadata["labelsets"]]
@@ -1043,12 +1087,25 @@ class StoreGraph:
             dictionary = json.load(handle)
         self._indexes = StoreIndexes(dictionary, paged(INDEX_POSTINGS_FILE),
                                      self._node_count)
-        # decoded-object caches
-        self._node_cache: dict[int, tuple[bool, int, int, int, int]] = {}
-        self._rel_cache: dict[int, tuple[bool, int, int, int, int]] = {}
-        self._adj_cache: dict[int, tuple[Any, Any]] = {}
-        self._node_prop_cache: dict[int, dict[str, Any]] = {}
-        self._edge_prop_cache: dict[int, dict[str, Any]] = {}
+        # decoded-object caches, bounded so a scan of a store larger
+        # than memory cannot pin every decoded record at once
+        capacity = record_cache_capacity
+        self._node_cache: dict[int, tuple[bool, int, int, int, int]] = \
+            _FIFOCache(capacity)
+        self._rel_cache: dict[int, tuple[bool, int, int, int, int]] = \
+            _FIFOCache(capacity)
+        self._adj_cache: dict[int, tuple[Any, Any]] = _FIFOCache(capacity)
+        self._node_prop_cache: dict[int, dict[str, Any]] = \
+            _FIFOCache(capacity)
+        self._edge_prop_cache: dict[int, dict[str, Any]] = \
+            _FIFOCache(capacity)
+        # resolved (edge, other_end) adjacency lists keyed on
+        # (node, direction, types); the store is immutable once open,
+        # so these survive across queries (the batch executor's
+        # expansion kernels are pure lookups on a warm store)
+        self._neighbor_pair_cache: dict[
+            tuple[int, Any, tuple[str, ...] | None],
+            list[tuple[int, int]]] = _FIFOCache(capacity)
         #: CSR-style adjacency snapshot (see snapshot_adjacency)
         self._csr: dict[int, tuple[Any, Any]] | None = None
         # planner statistics: exact counts when the writer recorded
@@ -1088,6 +1145,7 @@ class StoreGraph:
         self._adj_cache.clear()
         self._node_prop_cache.clear()
         self._edge_prop_cache.clear()
+        self._neighbor_pair_cache.clear()
         self._csr = None
 
     def snapshot_adjacency(self) -> None:
@@ -1156,6 +1214,29 @@ class StoreGraph:
     def node_labels(self, node_id: int) -> frozenset[str]:
         record = self._live_node(node_id)
         return self._labelsets[record[1]]
+
+    def labels_of(self, node_ids: Collection[int],
+                  ) -> list[frozenset[str]]:
+        """Bulk :meth:`node_labels` over the node-record cache: one
+        dict probe per node and a single counter update per run,
+        instead of the three-deep call chain per node. Used by the
+        batch executor's label-filtering expansion kernel."""
+        cache = self._node_cache
+        labelsets = self._labelsets
+        out = []
+        hits = 0
+        for node_id in node_ids:
+            record = cache.get(node_id)
+            if record is None:
+                record = self._live_node(node_id)  # counts its fault
+            else:
+                hits += 1
+                if not record[0]:
+                    raise NodeNotFoundError(node_id)
+            out.append(labelsets[record[1]])
+        if hits:
+            self._object_hit_counter.inc(hits)
+        return out
 
     def node_properties(self, node_id: int) -> dict[str, Any]:
         cached = self._node_prop_cache.get(node_id)
@@ -1252,6 +1333,59 @@ class StoreGraph:
             total += sum(len(edge_ids) for token, edge_ids in in_groups
                          if wanted is None or token in wanted)
         return total
+
+    def resolve_neighbors(self, node_id: int,
+                          edge_ids: Collection[int],
+                          ) -> list[tuple[int, int]]:
+        """Bulk ``(edge_id, other_end)`` over the rel-record cache.
+
+        The batch executor hands back whole adjacency lists, so the
+        common case is every record already decoded: one cache lookup
+        per edge and a single counter update for the run, instead of
+        the ``edge_source``/``edge_target`` call pair (each a
+        ``_live_rel`` liveness re-check) per edge. Edges are known
+        live — they came from this store's own adjacency groups."""
+        cache = self._rel_cache
+        pairs = []
+        hits = 0
+        for edge_id in edge_ids:
+            record = cache.get(edge_id)
+            if record is None:
+                record = self._rel_record(edge_id)  # counts its fault
+            else:
+                hits += 1
+            source = record[2]
+            pairs.append((edge_id,
+                          source if source != node_id else record[3]))
+        if hits:
+            self._object_hit_counter.inc(hits)
+        return pairs
+
+    def neighbors_of(self, node_id: int,
+                     direction: Direction = Direction.BOTH,
+                     types: Collection[str] | None = None,
+                     ) -> list[tuple[int, int]]:
+        """Resolved ``(edge_id, other_end)`` adjacency, cached across
+        queries.
+
+        The store is immutable once open, so the resolved list for a
+        (node, direction, types) key never goes stale; traversal-heavy
+        queries over a warm store degrade to one dict lookup per
+        visited node. Logical-access accounting (db-hits) stays with
+        the caller — the executor charges per query, cached or not —
+        while the object-cache counters here keep reflecting physical
+        decode work."""
+        if types is not None and not isinstance(types, tuple):
+            types = tuple(types)
+        key = (node_id, direction, types)
+        cached = self._neighbor_pair_cache.get(key)
+        if cached is not None:
+            self._object_hit_counter.inc()
+            return cached
+        pairs = self.resolve_neighbors(
+            node_id, tuple(self.edges_of(node_id, direction, types)))
+        self._neighbor_pair_cache[key] = pairs
+        return pairs
 
     @property
     def indexes(self) -> StoreIndexes:
@@ -1351,14 +1485,16 @@ class StoreGraph:
         if tag == records.TAG_BOOL:
             return bool(payload)
         if tag == records.TAG_STRING:
-            return self._read_string(payload).decode("utf-8")
+            # str(buffer, encoding) accepts both bytes and the mmap
+            # page cache's zero-copy memoryview slices
+            return str(self._read_string(payload), "utf-8")
         if tag == records.TAG_LIST:
             return records.decode_list_blob(self._read_string(payload))
         if tag == records.TAG_BIGINT:
-            return int(self._read_string(payload).decode("ascii"))
+            return int(str(self._read_string(payload), "ascii"))
         raise StoreFormatError(f"unknown property tag {tag}")
 
-    def _read_string(self, string_id: int) -> bytes:
+    def _read_string(self, string_id: int) -> "bytes | memoryview":
         if not 0 <= string_id < len(self._string_offsets):
             raise StoreFormatError(f"bad string id {string_id}")
         offset = self._string_offsets[string_id]

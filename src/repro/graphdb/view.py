@@ -143,3 +143,24 @@ def neighbors(view: GraphView, node_id: int,
     """Neighbor node ids of *node_id* (with multiplicity, as Neo4j does)."""
     for edge_id in view.edges_of(node_id, direction, types):
         yield other_end(view, edge_id, node_id)
+
+
+def resolve_neighbors(view: GraphView, node_id: int,
+                      edge_ids: Collection[int],
+                      ) -> list[tuple[int, int]]:
+    """``(edge_id, other_end)`` pairs for a pre-fetched adjacency list.
+
+    The batch executor resolves whole adjacency lists at once; graph
+    implementations may expose a ``resolve_neighbors`` method with a
+    bulk fast path over their own edge storage. This fallback is the
+    reference semantics: :func:`other_end` applied edge by edge.
+    """
+    resolver = getattr(view, "resolve_neighbors", None)
+    if resolver is not None:
+        return resolver(node_id, edge_ids)
+    pairs = []
+    for edge_id in edge_ids:
+        source = view.edge_source(edge_id)
+        pairs.append((edge_id, source if source != node_id
+                      else view.edge_target(edge_id)))
+    return pairs

@@ -22,13 +22,16 @@ from typing import Any, Iterable, Iterator
 class OperatorStats:
     """Mutable per-operator accumulator; converts to PlanDescription."""
 
-    __slots__ = ("name", "args", "rows", "db_hits", "time_ns",
-                 "estimated_rows", "children", "_child_index")
+    __slots__ = ("name", "args", "rows", "batches", "db_hits",
+                 "time_ns", "estimated_rows", "children",
+                 "_child_index")
 
     def __init__(self, name: str, args: dict[str, Any]) -> None:
         self.name = name
         self.args = args
         self.rows = 0
+        #: morsels produced under batch execution (0 in row mode)
+        self.batches = 0
         self.db_hits = 0
         self.time_ns = 0
         #: planner's cardinality estimate, when it costed this operator
@@ -126,6 +129,24 @@ class QueryProfiler:
                 operator.db_hits += hits_per_row
             yield item
 
+    def iterate_batches(self, operator: OperatorStats,
+                        iterable: Iterable[Any]) -> Iterator[Any]:
+        """Wrap a batch pipeline stage: time each pull, count the
+        rows inside each morsel and the morsels themselves."""
+        iterator = iter(iterable)
+        while True:
+            self._enter(operator)
+            try:
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    return
+            finally:
+                self._exit()
+            operator.rows += batch.count
+            operator.batches += 1
+            yield batch
+
     # -- output ----------------------------------------------------------------
 
     def finish(self, rows: int, elapsed_seconds: float) -> None:
@@ -145,6 +166,7 @@ class QueryProfiler:
                 name=op.name, args=dict(op.args),
                 children=tuple(convert(child) for child in op.children),
                 estimated_rows=op.estimated_rows,
-                rows=op.rows, db_hits=op.db_hits, time_ms=op.time_ms)
+                rows=op.rows, db_hits=op.db_hits, time_ms=op.time_ms,
+                batches=op.batches or None)
 
         return convert(self.root)

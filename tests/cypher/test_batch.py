@@ -1,0 +1,234 @@
+"""Vectorized batch execution: RowBatch, mode selection, parity.
+
+The deeper row-vs-batch equivalence coverage lives in
+tests/cypher/test_batch_equivalence.py (property-based); this file
+pins the batch machinery itself — RowBatch/BatchRow mechanics, the
+auto/batch/rows mode choice at engine and per-query level, the
+fallback path for clauses without a batch kernel, and the ``batches``
+column PROFILE grows under batch execution.
+"""
+
+import pytest
+
+from repro.cypher import (CypherEngine, DEFAULT_MORSEL_SIZE, QueryOptions,
+                          RowBatch, batch_supported, parse)
+from repro.cypher.batch import BatchRow
+from repro.graphdb import PropertyGraph
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    functions = [g.add_node("function", short_name=f"fn{index}",
+                            type="function", size=index % 3)
+                 for index in range(12)]
+    for index, source in enumerate(functions):
+        g.add_edge(source, functions[(index + 1) % len(functions)],
+                   "calls")
+        g.add_edge(source, functions[(index + 5) % len(functions)],
+                   "calls")
+    g.add_node("file", path="a.c")
+    return g
+
+
+@pytest.fixture
+def engine(graph):
+    return CypherEngine(graph)
+
+
+# --------------------------------------------------------------------------
+# RowBatch / BatchRow mechanics
+# --------------------------------------------------------------------------
+
+class TestRowBatch:
+    def test_unit_batch_is_one_empty_row(self):
+        unit = RowBatch.unit()
+        assert unit.count == 1
+        assert dict(unit.row_view(0)) == {}
+
+    def test_row_view_reads_columns(self):
+        batch = RowBatch({"a": 0, "b": 1}, [[1, 2], ["x", "y"]], 2)
+        view = batch.row_view(1)
+        assert view["a"] == 2
+        assert view.get("b") == "y"
+        assert view.get("missing", "default") == "default"
+        assert "a" in view and "missing" not in view
+        assert dict(view) == {"a": 2, "b": "y"}
+        assert len(view) == 2
+
+    def test_row_view_keyerror(self):
+        batch = RowBatch({"a": 0}, [[1]], 1)
+        with pytest.raises(KeyError):
+            batch.row_view(0)["nope"]
+
+    def test_views_iterates_all_rows(self):
+        batch = RowBatch({"a": 0}, [[10, 20, 30]], 3)
+        assert [view["a"] for view in batch.views()] == [10, 20, 30]
+
+    def test_row_values_pads_to_width(self):
+        batch = RowBatch({"a": 0}, [[7]], 1)
+        assert batch.row_values(0) == [7]
+        assert batch.row_values(0, width=3) == [7, None, None]
+
+    def test_batch_row_is_a_mapping(self):
+        view = RowBatch({"a": 0}, [[1]], 1).row_view(0)
+        assert isinstance(view, BatchRow)
+        merged = {**view, "b": 2}
+        assert merged == {"a": 1, "b": 2}
+
+
+# --------------------------------------------------------------------------
+# batch_supported / mode selection
+# --------------------------------------------------------------------------
+
+class TestModeSelection:
+    def test_simple_query_is_batch_supported(self):
+        assert batch_supported(parse(
+            "MATCH (n:function) WHERE n.size > 0 "
+            "RETURN n.short_name ORDER BY n.short_name LIMIT 5"))
+
+    @pytest.mark.parametrize("text", [
+        "MATCH (a:function) OPTIONAL MATCH (a)-[:calls]->(b) RETURN b",
+        "MATCH (a:function), (b:file) RETURN a, b",
+        "MATCH p = shortestPath((a:function)-[:calls*]->(b:function)) "
+        "RETURN p",
+    ])
+    def test_unsupported_clauses_fall_back(self, text):
+        assert not batch_supported(parse(text))
+
+    def test_auto_mode_picks_batch_when_supported(self, engine):
+        result = engine.run("MATCH (n:function) RETURN count(n)")
+        assert result.stats.execution_mode == "batch"
+
+    def test_auto_mode_picks_rows_when_not_supported(self, engine):
+        result = engine.run(
+            "MATCH (a:function) OPTIONAL MATCH (a)-[:zz]->(b) "
+            "RETURN count(b)")
+        assert result.stats.execution_mode == "rows"
+
+    def test_engine_level_rows_mode(self, graph):
+        engine = CypherEngine(graph, execution_mode="rows")
+        result = engine.run("MATCH (n:function) RETURN count(n)")
+        assert result.stats.execution_mode == "rows"
+
+    def test_query_options_override_engine_mode(self, graph):
+        engine = CypherEngine(graph, execution_mode="rows")
+        result = engine.run(
+            "MATCH (n:function) RETURN count(n)",
+            options=QueryOptions(execution_mode="batch"))
+        assert result.stats.execution_mode == "batch"
+
+    def test_forced_batch_runs_fallback_clauses(self, engine):
+        # OPTIONAL MATCH has no batch kernel; forcing batch mode must
+        # still produce row-mode results via the fallback path
+        text = ("MATCH (a:function) OPTIONAL MATCH (a)-[:calls]->(b) "
+                "RETURN a.short_name, b.short_name "
+                "ORDER BY a.short_name, b.short_name")
+        forced = engine.run(text,
+                            options=QueryOptions(execution_mode="batch"))
+        rows = engine.run(text,
+                          options=QueryOptions(execution_mode="rows"))
+        assert forced.stats.execution_mode == "batch"
+        assert forced.rows == rows.rows
+
+    def test_invalid_engine_mode_rejected(self, graph):
+        with pytest.raises(ValueError):
+            CypherEngine(graph, execution_mode="columnar")
+
+    def test_invalid_option_mode_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(execution_mode="columnar")
+        with pytest.raises(ValueError):
+            QueryOptions(morsel_size=0)
+
+
+# --------------------------------------------------------------------------
+# Morsel sizing
+# --------------------------------------------------------------------------
+
+class TestMorselSize:
+    def test_default_morsel_size(self, engine):
+        assert engine.morsel_size == DEFAULT_MORSEL_SIZE
+
+    def test_results_independent_of_morsel_size(self, engine):
+        text = ("MATCH (a:function)-[:calls]->(b:function) "
+                "RETURN a.short_name, b.short_name "
+                "ORDER BY a.short_name, b.short_name")
+        baseline = engine.run(
+            text, options=QueryOptions(execution_mode="rows"))
+        for morsel_size in (1, 2, 7, 4096):
+            result = engine.run(text, options=QueryOptions(
+                execution_mode="batch", morsel_size=morsel_size))
+            assert result.rows == baseline.rows, morsel_size
+
+    def test_morsel_size_bounds_batch_count(self, engine):
+        result = engine.run(
+            "PROFILE MATCH (n:function) RETURN n.short_name",
+            options=QueryOptions(execution_mode="batch",
+                                 morsel_size=4))
+        match = result.profile.find_one("Match")
+        # 12 function nodes in morsels of 4 -> exactly 3 batches
+        assert match.batches == 3
+        assert match.rows == 12
+
+
+# --------------------------------------------------------------------------
+# PROFILE integration
+# --------------------------------------------------------------------------
+
+class TestBatchProfile:
+    def test_batches_column_present_in_batch_mode(self, engine):
+        result = engine.run(
+            "PROFILE MATCH (n:function) WHERE n.size > 0 "
+            "RETURN n.short_name",
+            options=QueryOptions(execution_mode="batch"))
+        assert result.stats.execution_mode == "batch"
+        assert "batches=" in result.profile.pretty()
+
+    def test_batches_column_absent_in_row_mode(self, engine):
+        result = engine.run(
+            "PROFILE MATCH (n:function) RETURN n.short_name",
+            options=QueryOptions(execution_mode="rows"))
+        assert "batches=" not in result.profile.pretty()
+
+    def test_db_hit_parity_with_row_mode(self, engine):
+        text = ("PROFILE MATCH (a:function)-[:calls]->(b:function) "
+                "WHERE b.size = 1 RETURN a.short_name, count(b)")
+        batch = engine.run(text,
+                           options=QueryOptions(execution_mode="batch"))
+        rows = engine.run(text,
+                          options=QueryOptions(execution_mode="rows"))
+        assert batch.rows == rows.rows
+        assert batch.profile.total_db_hits() == \
+            rows.profile.total_db_hits()
+        assert batch.stats.db_hits == batch.profile.total_db_hits()
+
+    def test_operator_tree_shape_matches_row_mode(self, engine):
+        text = ("PROFILE MATCH (a:function)-[:calls]->(b) "
+                "RETURN DISTINCT a.short_name ORDER BY a.short_name "
+                "SKIP 1 LIMIT 3")
+        batch = engine.run(text,
+                           options=QueryOptions(execution_mode="batch"))
+        rows = engine.run(text,
+                          options=QueryOptions(execution_mode="rows"))
+        assert batch.rows == rows.rows
+        assert [op.name for op in batch.profile.operators()] == \
+            [op.name for op in rows.profile.operators()]
+        # ORDER BY + LIMIT runs as a bounded top-K heap in batch mode:
+        # Sort/Skip report only the skip+limit rows actually retained,
+        # while row mode sorts (and then skips through) everything
+        assert batch.profile.find_one("Sort").rows == 4
+        assert rows.profile.find_one("Sort").rows == 12
+
+    def test_operator_rows_match_without_limit(self, engine):
+        text = ("PROFILE MATCH (a:function)-[:calls]->(b) "
+                "RETURN DISTINCT a.short_name ORDER BY a.short_name "
+                "SKIP 1")
+        batch = engine.run(text,
+                           options=QueryOptions(execution_mode="batch"))
+        rows = engine.run(text,
+                          options=QueryOptions(execution_mode="rows"))
+        assert batch.rows == rows.rows
+        assert [(op.name, op.rows)
+                for op in batch.profile.operators()] == \
+            [(op.name, op.rows) for op in rows.profile.operators()]

@@ -46,6 +46,19 @@ class TestQueryOptions:
             QueryOptions(max_rows=-1)
         QueryOptions(max_rows=0)  # zero rows is a valid cap
 
+    def test_execution_mode_defaults_and_validation(self):
+        options = QueryOptions()
+        assert options.execution_mode is None  # defer to the engine
+        assert options.morsel_size is None
+        for mode in ("auto", "batch", "rows"):
+            assert QueryOptions(execution_mode=mode).execution_mode \
+                == mode
+        with pytest.raises(ValueError):
+            QueryOptions(execution_mode="vectorized")
+        with pytest.raises(ValueError):
+            QueryOptions(morsel_size=0)
+        assert QueryOptions(morsel_size=1).morsel_size == 1
+
 
 class TestOptionsOnRun:
     def test_plain_run_still_works(self, engine):
@@ -144,3 +157,12 @@ class TestFrappeOptions:
         assert len(result) == 3
         assert result.stats.truncated
         assert result.profile is not None
+
+    def test_execution_mode_flows_through_facade(self, graph):
+        frappe = Frappe(graph, execution_mode="rows")
+        text = "MATCH (n:function) RETURN count(n)"
+        assert frappe.query(text).stats.execution_mode == "rows"
+        forced = frappe.query(
+            text, options=QueryOptions(execution_mode="batch",
+                                       morsel_size=2))
+        assert forced.stats.execution_mode == "batch"
