@@ -88,6 +88,18 @@ def bench_records_pr5():
 
 
 @pytest.fixture(scope="session")
+def bench_records_pr7():
+    """HTTP serving-tier benchmark records (1/2/4-replica warm
+    throughput and p50/p99 latency over the Table 5 mix); written to
+    ``benchmarks/reports/BENCH_PR7.json`` at session end."""
+    records: list[dict] = []
+    yield records
+    if records:
+        write_bench_records(
+            os.path.join(REPORT_DIR, "BENCH_PR7.json"), records)
+
+
+@pytest.fixture(scope="session")
 def report():
     """Append paper-style tables to benchmarks/reports/summary.txt."""
     os.makedirs(REPORT_DIR, exist_ok=True)

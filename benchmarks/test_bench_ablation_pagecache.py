@@ -11,6 +11,7 @@ set stops fitting.
 import time
 
 
+from repro.core.config import StoreConfig
 from repro.core.frappe import Frappe
 from repro.graphdb.storage import PageCache
 
@@ -28,7 +29,9 @@ class TestCacheSweep:
         warm_times = {}
         for capacity in CAPACITIES:
             cache = PageCache(capacity_pages=capacity)
-            with Frappe.open(store_dir, page_cache=cache) as frappe:
+            with Frappe.open(store_dir,
+                             config=StoreConfig(page_cache=cache)) \
+                    as frappe:
                 closure_workload(frappe)  # populate
                 # warm runs, but drop the object caches each time so the
                 # page cache (the variable under test) does the work
@@ -61,7 +64,9 @@ class TestCacheSweep:
         ratios = []
         for capacity in (16, 4096):
             cache = PageCache(capacity_pages=capacity)
-            with Frappe.open(store_dir, page_cache=cache) as frappe:
+            with Frappe.open(store_dir,
+                             config=StoreConfig(page_cache=cache)) \
+                    as frappe:
                 closure_workload(frappe)
                 frappe.view._node_cache.clear()
                 frappe.view._adj_cache.clear()

@@ -22,6 +22,7 @@ gate is meaningless if the fast path returns different rows.
 """
 
 from repro.bench.harness import bench_record, run_cold_warm
+from repro.core.config import StoreConfig
 from repro.core.frappe import Frappe
 from repro.cypher import QueryOptions
 
@@ -123,7 +124,8 @@ class TestMmapReadPath:
                                       report, scale, benchmark,
                                       bench_records_pr5):
         buffered = _run_mix(frappe_store, "batch")
-        with Frappe.open(store_dir, mmap=True) as mapped:
+        with Frappe.open(store_dir,
+                         config=StoreConfig(mmap=True)) as mapped:
             mmap_rows = _run_mix(mapped, "batch")
         lines = []
         for name in buffered:

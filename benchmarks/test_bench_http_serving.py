@@ -1,0 +1,162 @@
+"""HTTP serving-tier benchmark: replica-sweep throughput + latency.
+
+The deployment experiment behind ``frappe serve --http --replicas N``:
+the Table 5 query mix submitted over the wire by concurrent
+``FrappeClient`` threads, against 1, 2 and 4 mmap'd replica worker
+processes sharing one OS page cache.
+
+Each replica is its own interpreter, so on a multi-core box the sweep
+shows the GIL ceiling lifting: the acceptance gate (4-replica warm
+throughput at least twice the 1-replica figure) is asserted when the
+machine actually has 4+ cores, and recorded honestly either way — on
+a single-core CI runner the processes time-share one core and the
+row to watch is throughput staying flat rather than collapsing under
+the extra process and wire overhead.
+
+Rows land in ``benchmarks/reports/BENCH_PR7.json``.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.client import FrappeClient
+from repro.server.http import HttpServer
+from repro.server.replica import ReplicaBackend, ReplicaSet
+
+from test_bench_concurrency import _query_mix
+
+ROUNDS = 5          # each client thread runs the whole mix this often
+CLIENT_THREADS = 3  # concurrent wire clients per sweep point
+REPLICA_SWEEP = (1, 2, 4)
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class TestReplicaSweep:
+    @pytest.fixture(scope="class")
+    def query_mix(self, frappe_store):
+        return _query_mix(frappe_store)
+
+    @pytest.fixture(scope="class")
+    def sweep(self, store_dir, query_mix):
+        """Run the whole sweep once; tests assert over its rows."""
+        rows_by_replicas = {}
+        for replicas in REPLICA_SWEEP:
+            rows_by_replicas[replicas] = self._measure(
+                store_dir, query_mix, replicas)
+        return rows_by_replicas
+
+    @staticmethod
+    def _measure(store_dir, queries, replicas):
+        with ReplicaSet(store_dir, replicas=replicas) as replica_set:
+            backend = ReplicaBackend(
+                replica_set,
+                queue_capacity=len(queries) * ROUNDS
+                * CLIENT_THREADS + 8,
+                max_per_client=len(queries) * ROUNDS + 8)
+            server = HttpServer(backend).start_background()
+            try:
+                with FrappeClient(port=server.port,
+                                  client_id="warm") as warmer:
+                    for text in queries:  # warm plan + page caches
+                        warmer.query(text, timeout=120.0)
+                latencies = []
+                failures = []
+                produced = [0]
+                lock = threading.Lock()
+
+                def run_mix(thread_index):
+                    with FrappeClient(
+                            port=server.port,
+                            client_id=f"bench-{thread_index}",
+                            timeout=180.0) as client:
+                        for _ in range(ROUNDS):
+                            for text in queries:
+                                begun = time.perf_counter()
+                                try:
+                                    result = client.query(
+                                        text, timeout=120.0)
+                                except Exception as error:
+                                    with lock:
+                                        failures.append(error)
+                                    continue
+                                elapsed = time.perf_counter() - begun
+                                with lock:
+                                    latencies.append(elapsed)
+                                    produced[0] += len(result)
+
+                threads = [threading.Thread(target=run_mix,
+                                            args=(index,))
+                           for index in range(CLIENT_THREADS)]
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - started
+            finally:
+                server.stop(close_backend=False)
+        total = len(queries) * ROUNDS * CLIENT_THREADS
+        return {
+            "replicas": replicas,
+            "queries": total,
+            "failures": len(failures),
+            "rows": produced[0],
+            "wall_ms": round(wall * 1000, 3),
+            "queries_per_second": round(total / wall, 2),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        }
+
+    def test_replica_sweep(self, sweep, scale, report,
+                           bench_records_pr7):
+        lines = [f"{'replicas':>8} {'q/s':>8} {'p50 ms':>9} "
+                 f"{'p99 ms':>9} {'failures':>9}"]
+        for replicas in REPLICA_SWEEP:
+            row = sweep[replicas]
+            bench_records_pr7.append(
+                {"experiment": "http_replica_throughput",
+                 "scale": scale, **row})
+            lines.append(
+                f"{row['replicas']:>8} "
+                f"{row['queries_per_second']:>8.2f} "
+                f"{row['p50_ms']:>9.2f} {row['p99_ms']:>9.2f} "
+                f"{row['failures']:>9}")
+        report("HTTP replica sweep (Table 5 mix over the wire)\n"
+               + "\n".join(lines))
+        for row in sweep.values():
+            assert row["failures"] == 0
+            assert row["rows"] > 0
+
+    def test_scaling_gate_on_multicore(self, sweep):
+        """The ISSUE acceptance gate: 4 replicas >= 2x one replica.
+
+        Real parallelism needs real cores; on fewer than 4 the
+        processes time-share and the gate is physically unreachable
+        for a CPU-bound pure-Python engine, so (like the PR 4 GIL
+        rows) the figures are recorded and only the never-collapse
+        floor is enforced.
+        """
+        single = sweep[1]["queries_per_second"]
+        quad = sweep[4]["queries_per_second"]
+        cores = os.cpu_count() or 1
+        if cores >= 4:
+            assert quad >= 2.0 * single, (
+                f"4-replica throughput {quad} q/s is less than 2x "
+                f"the 1-replica {single} q/s on a {cores}-core box")
+        else:
+            # single core: wire + router overhead must not collapse
+            # throughput as replicas are added
+            assert quad >= 0.4 * single
+
+    def test_tail_latency_reported(self, sweep):
+        for row in sweep.values():
+            assert row["p99_ms"] >= row["p50_ms"] > 0

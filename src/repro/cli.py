@@ -27,6 +27,7 @@ import sys
 
 from repro.codemap import build_hierarchy, layout_map, render_ascii, render_svg
 from repro.codemap.render import overlay_nodes
+from repro.core.config import StoreConfig
 from repro.core.frappe import Frappe
 from repro.errors import FrappeError
 from repro.graphdb import stats
@@ -84,11 +85,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-rewrite", action="store_true",
                        help="disable the var-length reachability "
                        "rewrite (reproduces the Sec. 6.1 blow-up)")
+    query.add_argument("--json", action="store_true",
+                       help="print the canonical ResultPayload JSON "
+                       "instead of a text table")
     _add_read_path_flags(query)
 
     serve = commands.add_parser(
-        "serve", help="run queries from stdin on a worker pool "
-        "(one Cypher query per line)")
+        "serve", help="serve queries: from stdin on a worker pool "
+        "(default), or over HTTP with --http PORT")
     serve.add_argument("store")
     serve.add_argument("--workers", type=int, default=4,
                        help="worker threads (default 4)")
@@ -96,6 +100,25 @@ def build_arg_parser() -> argparse.ArgumentParser:
                        help="admission queue capacity (default 64)")
     serve.add_argument("--timeout", type=float, default=None,
                        help="per-query budget, counted from submit")
+    serve.add_argument("--http", type=int, default=None,
+                       metavar="PORT",
+                       help="serve the HTTP/JSON wire protocol on "
+                       "this port instead of reading stdin "
+                       "(POST /v1/query, GET /v1/health, "
+                       "GET /v1/metrics)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address for --http "
+                       "(default 127.0.0.1)")
+    serve.add_argument("--replicas", type=int, default=0,
+                       help="with --http: serve from this many "
+                       "mmap'd worker processes (0 = in-process "
+                       "thread pool)")
+    serve.add_argument("--max-per-client", type=int, default=None,
+                       help="fair-share bound on one client's "
+                       "in-flight queries")
+    serve.add_argument("--json", action="store_true",
+                       help="stdin mode: print one canonical "
+                       "ResultPayload JSON object per query")
     _add_read_path_flags(serve)
 
     explain = commands.add_parser(
@@ -218,8 +241,11 @@ def _dispatch(args: argparse.Namespace) -> int:
 def _open(store: str, args: argparse.Namespace | None = None) -> Frappe:
     if args is None:
         return Frappe.open(store)
-    return Frappe.open(
-        store,
+    return Frappe.open(store, config=_store_config(args))
+
+
+def _store_config(args: argparse.Namespace) -> StoreConfig:
+    return StoreConfig(
         mmap=getattr(args, "mmap", False),
         execution_mode=getattr(args, "execution_mode", "auto"),
         morsel_size=getattr(args, "morsel_size", None))
@@ -277,6 +303,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
             timeout=args.timeout, max_rows=args.max_rows,
             use_reachability_rewrite=False if args.no_rewrite else None)
         result = frappe.query(args.cypher, options=options)
+        if args.json:
+            import json
+            print(json.dumps(result.to_dict()))
+            return 0
         print("\t".join(result.columns))
         for row in result.rows:
             print("\t".join(str(value) for value in row))
@@ -288,6 +318,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.http is not None:
+        return _cmd_serve_http(args)
     from repro.cypher import QueryOptions
     from repro.errors import AdmissionError, QueryTimeoutError
     options = QueryOptions(timeout=args.timeout)
@@ -319,6 +351,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 failures += 1
                 print(f"[{index}] error: {error}", file=sys.stderr)
             else:
+                if args.json:
+                    import json
+                    print(json.dumps(result.to_dict()))
+                    continue
                 rows = "; ".join(
                     "\t".join(str(value) for value in row)
                     for row in result.rows[:5])
@@ -333,6 +369,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"max queue wait {max_wait * 1000:.1f} ms)",
               file=sys.stderr)
     return 1 if failures else 0
+
+
+def _cmd_serve_http(args: argparse.Namespace) -> int:
+    from repro.server.http import ExecutorBackend, HttpServer
+    if args.replicas > 0:
+        from repro.server.replica import ReplicaBackend, ReplicaSet
+        config = _store_config(args)
+        if not config.mmap:
+            config = StoreConfig(
+                mmap=True, execution_mode=config.execution_mode,
+                morsel_size=config.morsel_size)
+        replicas = ReplicaSet(args.store, args.replicas, config=config)
+        backend = ReplicaBackend(
+            replicas, workers=args.workers,
+            queue_capacity=args.queue,
+            max_per_client=args.max_per_client)
+        topology = f"{args.replicas} mmap replica processes " \
+                   f"(pids {replicas.pids()})"
+    else:
+        frappe = Frappe.open(args.store, config=_store_config(args))
+        backend = ExecutorBackend(
+            frappe, workers=args.workers, queue_capacity=args.queue,
+            max_per_client=args.max_per_client)
+        topology = f"in-process pool of {args.workers} threads"
+    server = HttpServer(backend, host=args.host, port=args.http)
+    print(f"frappe serving http://{args.host}:{args.http} "
+          f"({topology}); POST /v1/query, GET /v1/health, "
+          "GET /v1/metrics; Ctrl-C to stop", file=sys.stderr)
+    server.run()
+    return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:

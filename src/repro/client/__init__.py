@@ -1,0 +1,26 @@
+"""The blocking HTTP client for a ``frappe serve --http`` tier.
+
+:class:`FrappeClient` speaks the versioned wire protocol
+(:mod:`repro.server.wire`) over one keep-alive connection and gives
+back the same objects the in-process API does: ``query()`` returns a
+:class:`~repro.cypher.Result` (rebuilt from the canonical
+ResultPayload), and server-side failures raise the same exception
+classes — :class:`~repro.errors.AdmissionError` for a 429,
+:class:`~repro.errors.QueryTimeoutError` for a 504,
+:class:`~repro.errors.ServerClosedError` for a 503 — so code written
+against ``Frappe.query`` ports to the network tier by swapping the
+object it calls.
+
+Quick start::
+
+    from repro.client import FrappeClient
+
+    with FrappeClient(port=8127) as client:
+        result = client.query(
+            "MATCH (n:function) RETURN count(*)")
+        print(result.value())
+"""
+
+from repro.client.client import FrappeClient
+
+__all__ = ["FrappeClient"]

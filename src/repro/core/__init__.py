@@ -13,7 +13,9 @@
   graph (Section 4.4).
 """
 
+from repro.core.config import DEFAULT_CONFIG, StoreConfig
 from repro.core.extractor import DependencyGraphExtractor, extract_build
 from repro.core.frappe import Frappe
 
-__all__ = ["DependencyGraphExtractor", "Frappe", "extract_build"]
+__all__ = ["DEFAULT_CONFIG", "DependencyGraphExtractor", "Frappe",
+           "StoreConfig", "extract_build"]

@@ -23,15 +23,17 @@ Typical flows::
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from concurrent.futures import Future
 from typing import Any, Iterable, Mapping, Optional
 
 from repro.build.buildsys import FAIL_FAST, Build, BuildReport
 from repro.core import model, queries, slicing
+from repro.core.config import StoreConfig
 from repro.core.extractor import extract_build
 from repro.cypher import CypherEngine, QueryOptions, Result
 from repro.graphdb import PropertyGraph, stats
-from repro.graphdb.storage import GraphStore, PageCache, StoreGraph
+from repro.graphdb.storage import GraphStore, StoreGraph
 from repro.graphdb.view import Direction, GraphView
 from repro.lang.source import VirtualFileSystem
 from repro.obs import (MetricsSnapshot, Observability, SlowQueryEntry,
@@ -106,28 +108,72 @@ class Frappe:
         build.run_script(build_script)
         return cls.index_build(build, default_timeout)
 
+    #: ``Frappe.open`` keywords that predate :class:`StoreConfig`;
+    #: each maps onto the config field of the same name
+    _OPEN_LEGACY_KWARGS = ("page_cache", "default_timeout", "mmap",
+                           "execution_mode", "morsel_size")
+
     @classmethod
-    def open(cls, directory: str,
-             page_cache: PageCache | None = None,
-             default_timeout: float | None = None, *,
-             mmap: bool = False,
-             execution_mode: str = "auto",
-             morsel_size: int | None = None) -> "Frappe":
+    def open(cls, directory: str, *legacy: Any,
+             config: StoreConfig | None = None,
+             **legacy_kwargs: Any) -> "Frappe":
         """Open a saved store as a page-cached read view.
 
-        ``mmap=True`` memory-maps the store files and serves reads as
-        zero-copy slices (files that cannot be mapped fall back to the
-        buffered LRU per file); it is ignored when an explicit
-        ``page_cache`` is given, since that cache already fixes the
-        mode. ``execution_mode``/``morsel_size`` set the engine-wide
-        defaults for batch execution (see :class:`CypherEngine`).
+        All open-time knobs live on one :class:`StoreConfig` value::
+
+            Frappe.open(path, config=StoreConfig(mmap=True))
+
+        The pre-config keywords (``page_cache``, ``default_timeout``,
+        ``mmap``, ``execution_mode``, ``morsel_size`` — positionally
+        for the first two) still work but emit a
+        :class:`DeprecationWarning` and cannot be combined with an
+        explicit ``config``.
         """
-        if page_cache is None and mmap:
-            page_cache = PageCache(mode="mmap")
-        return cls(GraphStore.open(directory, page_cache),
-                   default_timeout,
-                   execution_mode=execution_mode,
-                   morsel_size=morsel_size)
+        config = cls._shim_open_kwargs(config, legacy, legacy_kwargs)
+        engine_kw: dict[str, Any] = {}
+        if config.morsel_size is not None:
+            engine_kw["morsel_size"] = config.morsel_size
+        return cls(GraphStore.open(directory, config.make_page_cache()),
+                   config.default_timeout,
+                   use_reachability_rewrite=config.use_reachability_rewrite,
+                   use_cost_based_planner=config.use_cost_based_planner,
+                   execution_mode=config.execution_mode, **engine_kw)
+
+    @classmethod
+    def _shim_open_kwargs(cls, config: StoreConfig | None,
+                          legacy: tuple[Any, ...],
+                          legacy_kwargs: dict[str, Any]) -> StoreConfig:
+        """Fold pre-``StoreConfig`` arguments into a config value."""
+        if len(legacy) > len(cls._OPEN_LEGACY_KWARGS[:2]):
+            raise TypeError(
+                "open() takes at most two positional configuration "
+                "arguments (page_cache, default_timeout)")
+        for name, value in zip(cls._OPEN_LEGACY_KWARGS, legacy):
+            if name in legacy_kwargs:
+                raise TypeError(f"open() got multiple values for "
+                                f"argument {name!r}")
+            legacy_kwargs[name] = value
+        unknown = set(legacy_kwargs) - set(cls._OPEN_LEGACY_KWARGS)
+        if unknown:
+            raise TypeError("open() got unexpected keyword "
+                            "argument(s): "
+                            + ", ".join(sorted(unknown)))
+        overrides = {name: value
+                     for name, value in legacy_kwargs.items()
+                     if value is not None and value is not False}
+        if not overrides and not legacy_kwargs:
+            return config if config is not None else StoreConfig()
+        if config is not None:
+            raise TypeError(
+                "open() got both config= and the deprecated "
+                "per-knob arguments: "
+                + ", ".join(sorted(legacy_kwargs)))
+        warnings.warn(
+            "passing Frappe.open() knobs individually ("
+            + ", ".join(sorted(legacy_kwargs))
+            + ") is deprecated; pass config=StoreConfig(...)",
+            DeprecationWarning, stacklevel=3)
+        return dataclasses.replace(StoreConfig(), **overrides)
 
     def save(self, directory: str) -> dict[str, int]:
         """Persist to a store directory; returns the size breakdown."""
@@ -159,7 +205,9 @@ class Frappe:
 
     def close(self) -> None:
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            # drain, don't hang: queued-but-unstarted queries fail
+            # deterministically with ServerClosedError
+            self._executor.close(wait=True)
             self._executor = None
         if isinstance(self.view, StoreGraph):
             self.view.close()
@@ -233,19 +281,17 @@ class Frappe:
         time spent waiting in the executor queue counts against it.
         Raises :class:`~repro.errors.AdmissionError` on backpressure.
         """
-        opts = options if options is not None else QueryOptions()
-        if parameters is not None:
-            opts = dataclasses.replace(opts, parameters=parameters)
-        if timeout is not None:
-            opts = dataclasses.replace(opts, timeout=timeout)
+        opts = QueryOptions.resolve(options, parameters=parameters,
+                                    timeout=timeout)
         return self.serve().submit(text, opts, client=client)
 
     def profile(self, text: str,
                 parameters: Mapping[str, Any] | None = None,
-                timeout: float | None = None) -> Result:
+                timeout: float | None = None,
+                options: QueryOptions | None = None) -> Result:
         """Run a query with profiling; ``result.profile`` is the
         measured operator tree."""
-        return self.engine.profile(text, parameters, timeout)
+        return self.engine.profile(text, parameters, timeout, options)
 
     def search(self, name: str, node_type: Optional[str] = None,
                module: Optional[str] = None) -> list[int]:

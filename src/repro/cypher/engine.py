@@ -151,10 +151,13 @@ class CypherEngine:
         budget (from whichever source) is exceeded.
         """
         timeout = self._shim_positional_timeout(deprecated, timeout)
-        opts = options if options is not None else QueryOptions()
-        if parameters is None:
-            parameters = opts.parameters
-        budget = timeout if timeout is not None else opts.timeout
+        # QueryOptions is the one knob surface: the legacy keyword and
+        # positional shims above fold into a single canonical options
+        # value, and everything below reads only `opts`
+        opts = QueryOptions.resolve(options, parameters=parameters,
+                                    timeout=timeout)
+        parameters = opts.parameters
+        budget = opts.timeout
         if budget is None:
             budget = self.default_timeout
         # pin ONE graph state for planning and execution: the cache
@@ -238,10 +241,12 @@ class CypherEngine:
 
     def profile(self, text: str,
                 parameters: Mapping[str, Any] | None = None,
-                timeout: float | None = None) -> Result:
+                timeout: float | None = None,
+                options: QueryOptions | None = None) -> Result:
         """Run with profiling on; ``result.profile`` holds the tree."""
-        return self.run(text, parameters, timeout=timeout,
-                        options=QueryOptions(profile=True))
+        opts = QueryOptions.resolve(options, parameters=parameters,
+                                    timeout=timeout, profile=True)
+        return self.run(text, options=opts)
 
     def clear_cache(self) -> None:
         self._plan_cache.clear()

@@ -70,6 +70,64 @@ class QueryOptions:
         if self.morsel_size is not None and self.morsel_size < 1:
             raise ValueError("morsel_size must be >= 1")
 
+    @classmethod
+    def resolve(cls, options: "QueryOptions | None" = None, *,
+                parameters: Mapping[str, Any] | None = None,
+                timeout: float | None = None,
+                profile: bool | None = None) -> "QueryOptions":
+        """The one canonical options value for a query run.
+
+        Every public entry point (``Frappe.query``,
+        ``CypherEngine.run``, ``Frappe.query_async``, the HTTP wire)
+        funnels its convenience keywords through here, so there is a
+        single precedence rule: an explicit keyword wins over the same
+        field inside ``options``, and ``options=None`` means defaults.
+        """
+        merged = options if options is not None else cls()
+        overrides: dict[str, Any] = {}
+        if parameters is not None:
+            overrides["parameters"] = parameters
+        if timeout is not None:
+            overrides["timeout"] = timeout
+        if profile is not None:
+            overrides["profile"] = profile
+        if overrides:
+            merged = dataclasses.replace(merged, **overrides)
+        return merged
+
+    # -- wire format (the HTTP tier's request schema) ------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Non-default fields as a JSON-compatible mapping.
+
+        The inverse of :meth:`from_dict`; the HTTP client sends this
+        as the request's ``options`` object.
+        """
+        payload: dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value != field.default:
+                if field.name == "parameters" and value is not None:
+                    value = dict(value)
+                payload[field.name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "QueryOptions":
+        """Build options from a wire mapping; unknown keys are errors.
+
+        Raises :class:`ValueError` (never a silent drop) so a client
+        typo like ``max_row`` comes back as a structured 400 instead
+        of an ignored knob.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                "unknown query option(s): "
+                + ", ".join(sorted(str(key) for key in unknown)))
+        return cls(**dict(payload))
+
 
 #: Default options: no timeout override, no truncation, no profiling.
 DEFAULT_OPTIONS = QueryOptions()

@@ -82,6 +82,44 @@ class PlanDescription:
             return None
         return max(candidates, key=lambda op: op.time_ms)
 
+    # -- wire format -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Recursive JSON-compatible encoding (the wire's ``profile``
+        field); non-string ``args`` values are stringified so the tree
+        always survives ``json.dumps``."""
+        payload: dict[str, Any] = {"name": self.name}
+        if self.args:
+            payload["args"] = {
+                key: value if isinstance(value, (str, int, float,
+                                                 bool, type(None)))
+                else str(value)
+                for key, value in self.args.items()}
+        for field in ("estimated_rows", "rows", "db_hits", "time_ms",
+                      "text", "batches"):
+            value = getattr(self, field)
+            if value is not None:
+                payload[field] = value
+        if self.children:
+            payload["children"] = [child.to_dict()
+                                   for child in self.children]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "PlanDescription":
+        """Rebuild a tree encoded by :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            args=dict(payload.get("args", {})),
+            children=tuple(cls.from_dict(child)
+                           for child in payload.get("children", ())),
+            estimated_rows=payload.get("estimated_rows"),
+            rows=payload.get("rows"),
+            db_hits=payload.get("db_hits"),
+            time_ms=payload.get("time_ms"),
+            text=payload.get("text"),
+            batches=payload.get("batches"))
+
     # -- rendering -------------------------------------------------------------
 
     def pretty(self) -> str:

@@ -12,6 +12,11 @@ from typing import Any, Iterator
 
 from repro.errors import QueryError
 
+#: Version stamp on every serialized result payload. Bump when the
+#: wire shape below changes incompatibly; readers refuse versions they
+#: do not know instead of misdecoding rows.
+RESULT_SCHEMA_VERSION = 1
+
 
 @dataclasses.dataclass(frozen=True)
 class NodeRef:
@@ -79,6 +84,49 @@ class QueryStats:
     execution_mode: str = "rows"
 
 
+def encode_value(value: Any) -> Any:
+    """One row cell as a JSON-compatible value.
+
+    Graph references become tagged objects (``{"@node": id}``,
+    ``{"@rel": id}``, ``{"@path": {...}}``) so a decoder can tell a
+    node apart from an integer property; plain scalars pass through.
+    """
+    if isinstance(value, NodeRef):
+        return {"@node": value.id}
+    if isinstance(value, EdgeRef):
+        return {"@rel": value.id}
+    if isinstance(value, PathValue):
+        return {"@path": {"nodes": [node.id for node in value.nodes],
+                          "edges": [edge.id for edge in value.edges]}}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise QueryError(
+        f"cannot serialize result value of type {type(value).__name__}")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if "@node" in value:
+            return NodeRef(value["@node"])
+        if "@rel" in value:
+            return EdgeRef(value["@rel"])
+        if "@path" in value:
+            return PathValue(
+                nodes=tuple(NodeRef(node)
+                            for node in value["@path"]["nodes"]),
+                edges=tuple(EdgeRef(edge)
+                            for edge in value["@path"]["edges"]))
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
 class Result:
     """Materialized query result: named columns and a list of rows.
 
@@ -133,6 +181,49 @@ class Result:
             raise QueryError(
                 f"expected exactly one row, got {len(self.rows)}")
         return dict(zip(self.columns, self.rows[0]))
+
+    # -- canonical wire payload (ResultPayload) ------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """The canonical serialized form of a result.
+
+        Every JSON-producing surface — the HTTP tier, ``frappe serve``
+        stdin mode, the CLI ``--json`` flag — emits exactly this
+        shape; :meth:`from_dict` rebuilds an equivalent
+        :class:`Result` on the other end.
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "columns": list(self.columns),
+            "rows": [[encode_value(value) for value in row]
+                     for row in self.rows],
+            "stats": dataclasses.asdict(self.stats),
+            "profile": self.profile.to_dict()
+            if self.profile is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "Result":
+        """Rebuild a result serialized by :meth:`to_dict`.
+
+        Raises :class:`~repro.errors.QueryError` on a payload whose
+        ``schema_version`` this reader does not understand.
+        """
+        version = payload.get("schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise QueryError(
+                f"unsupported result schema_version {version!r} "
+                f"(this reader speaks {RESULT_SCHEMA_VERSION})")
+        stats = QueryStats(**payload.get("stats", {}))
+        result = cls(list(payload["columns"]),
+                     [tuple(decode_value(value) for value in row)
+                      for row in payload["rows"]],
+                     stats)
+        profile = payload.get("profile")
+        if profile is not None:
+            from repro.cypher.plan import PlanDescription
+            result.profile = PlanDescription.from_dict(profile)
+        return result
 
     def __repr__(self) -> str:
         return f"Result(columns={self.columns}, rows={len(self.rows)})"

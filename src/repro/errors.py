@@ -211,5 +211,31 @@ class AdmissionError(ServerError):
         self.client = client
 
 
-class ExecutorShutdownError(ServerError):
-    """A query was submitted to an executor that has shut down."""
+class ServerClosedError(ServerError):
+    """The serving layer closed underneath a query.
+
+    Raised deterministically for every query still waiting in the
+    admission queue when :meth:`~repro.server.executor.Executor.close`
+    drains it (instead of a hang or a bare ``CancelledError``), and
+    for submissions arriving after the close. The HTTP tier maps it to
+    a 503 response.
+    """
+
+
+class ExecutorShutdownError(ServerClosedError):
+    """A query was submitted to an executor that has shut down.
+
+    Kept as the historical submit-after-shutdown error; it now
+    *is-a* :class:`ServerClosedError` so callers can catch one class
+    for every "the server is gone" outcome.
+    """
+
+
+class ReplicaCrashedError(ServerError):
+    """A replica worker process died while holding in-flight queries.
+
+    Internal to the routing tier: the router catches it and retries
+    the query on a surviving replica (the store is immutable, so a
+    replay is safe), so it reaches a client only when *every* replica
+    is gone.
+    """

@@ -28,6 +28,7 @@ from __future__ import annotations
 import dataclasses
 import mmap
 import os
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, BinaryIO
 
@@ -98,6 +99,10 @@ class PageCache:
         #: the cold/warm distinction the buffered LRU gives for free
         self._touched: dict[int, set[int]] = {}
         self._next_file_id = 0
+        # one cache serves every worker thread of an Executor: the
+        # LRU OrderedDict and the seek+read pair on a shared file
+        # handle must not interleave across threads
+        self._lock = threading.Lock()
         if registry is None:
             from repro.obs import MetricsRegistry
             registry = MetricsRegistry()
@@ -117,32 +122,34 @@ class PageCache:
 
     def register_file(self) -> int:
         """Hand out a unique id for a participating file."""
-        file_id = self._next_file_id
-        self._next_file_id += 1
-        return file_id
+        with self._lock:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            return file_id
 
     def get_page(self, file_id: int, page_no: int,
                  handle: BinaryIO) -> bytes:
         """Return the page, loading from *handle* on a miss."""
         key = (file_id, page_no)
-        page = self._pages.get(key)
-        if page is not None:
-            self.stats.hits += 1
-            self._hit_counter.inc()
-            self._pages.move_to_end(key)
+        with self._lock:
+            page = self._pages.get(key)
+            if page is not None:
+                self.stats.hits += 1
+                self._hit_counter.inc()
+                self._pages.move_to_end(key)
+                return page
+            self.stats.misses += 1
+            self._miss_counter.inc()
+            handle.seek(page_no * self.page_size)
+            page = handle.read(self.page_size)
+            self._read_bytes_counter.inc(len(page))
+            self._pages[key] = page
+            if len(self._pages) > self.capacity_pages:
+                self._pages.popitem(last=False)
+                self.stats.evictions += 1
+                self._eviction_counter.inc()
+            self._resident_gauge.set(len(self._pages))
             return page
-        self.stats.misses += 1
-        self._miss_counter.inc()
-        handle.seek(page_no * self.page_size)
-        page = handle.read(self.page_size)
-        self._read_bytes_counter.inc(len(page))
-        self._pages[key] = page
-        if len(self._pages) > self.capacity_pages:
-            self._pages.popitem(last=False)
-            self.stats.evictions += 1
-            self._eviction_counter.inc()
-        self._resident_gauge.set(len(self._pages))
-        return page
 
     def record_mapped_pages(self, file_id: int, first_page: int,
                             last_page: int, file_size: int) -> int:
@@ -155,22 +162,23 @@ class PageCache:
         re-validate the on-disk size exactly when the buffered path
         would have gone to disk.
         """
-        touched = self._touched.setdefault(file_id, set())
-        fresh = 0
-        for page_no in range(first_page, last_page + 1):
-            if page_no in touched:
-                self.stats.hits += 1
-                self._hit_counter.inc()
-            else:
-                touched.add(page_no)
-                fresh += 1
-                self.stats.misses += 1
-                self._miss_counter.inc()
-                backed = min(self.page_size,
-                             file_size - page_no * self.page_size)
-                if backed > 0:
-                    self._read_bytes_counter.inc(backed)
-        return fresh
+        with self._lock:
+            touched = self._touched.setdefault(file_id, set())
+            fresh = 0
+            for page_no in range(first_page, last_page + 1):
+                if page_no in touched:
+                    self.stats.hits += 1
+                    self._hit_counter.inc()
+                else:
+                    touched.add(page_no)
+                    fresh += 1
+                    self.stats.misses += 1
+                    self._miss_counter.inc()
+                    backed = min(self.page_size,
+                                 file_size - page_no * self.page_size)
+                    if backed > 0:
+                        self._read_bytes_counter.inc(backed)
+            return fresh
 
     def note_short_read(self) -> None:
         """Record a truncated-underneath-us read (PagedFile)."""
@@ -179,16 +187,18 @@ class PageCache:
 
     def invalidate_file(self, file_id: int) -> None:
         """Drop all cached pages of one file (after a rewrite)."""
-        stale = [key for key in self._pages if key[0] == file_id]
-        for key in stale:
-            del self._pages[key]
-        self._touched.pop(file_id, None)
+        with self._lock:
+            stale = [key for key in self._pages if key[0] == file_id]
+            for key in stale:
+                del self._pages[key]
+            self._touched.pop(file_id, None)
 
     def clear(self) -> None:
         """Evict everything — the 'cold cache' lever of the benchmarks."""
-        self._pages.clear()
-        for touched in self._touched.values():
-            touched.clear()
+        with self._lock:
+            self._pages.clear()
+            for touched in self._touched.values():
+                touched.clear()
 
     @property
     def resident_pages(self) -> int:
@@ -196,7 +206,8 @@ class PageCache:
 
     @property
     def resident_bytes(self) -> int:
-        return sum(len(page) for page in self._pages.values())
+        with self._lock:
+            return sum(len(page) for page in self._pages.values())
 
 
 class PagedFile:

@@ -1,15 +1,28 @@
-"""Concurrent query serving.
+"""Concurrent and networked query serving.
 
-A :class:`~repro.server.executor.Executor` runs queries from a pool of
-worker threads against one engine, with bounded admission
-(backpressure instead of unbounded queue growth), per-client fair
-share, and cooperative deadline enforcement that counts queue wait
-against each query's time budget.
+Three layers, innermost first:
 
-:meth:`repro.core.frappe.Frappe.query_async` is the friendly front
-door; ``frappe serve`` drives it from the command line.
+* :class:`~repro.server.executor.Executor` — a thread-pool query
+  executor with bounded admission (backpressure instead of unbounded
+  queue growth), per-client fair share, and cooperative deadline
+  enforcement that counts queue wait against each query's budget.
+  :meth:`repro.core.frappe.Frappe.query_async` is its friendly front
+  door.
+* :mod:`repro.server.http` — an asyncio HTTP/JSON wire tier in front
+  of an executor: ``POST /v1/query`` (NDJSON-streamed rows),
+  ``GET /v1/health``, ``GET /v1/metrics``, structured error mapping
+  (429/504/503/400). The request/response schema lives in
+  :mod:`repro.server.wire`.
+* :mod:`repro.server.replica` — N ``mmap``'d worker processes behind
+  a least-loaded router with crash detection, transparent retry and
+  respawn. ``frappe serve --http PORT --replicas N`` is the CLI
+  deployment of the full stack; :class:`repro.client.FrappeClient`
+  is the matching in-Python client.
 """
 
 from repro.server.executor import Executor, QueryJob
+from repro.server.http import ExecutorBackend, HttpServer, serve_http
+from repro.server.replica import Replica, ReplicaBackend, ReplicaSet
 
-__all__ = ["Executor", "QueryJob"]
+__all__ = ["Executor", "ExecutorBackend", "HttpServer", "QueryJob",
+           "Replica", "ReplicaBackend", "ReplicaSet", "serve_http"]

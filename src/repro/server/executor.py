@@ -37,7 +37,7 @@ from typing import Any, Callable
 
 from repro.cypher.options import QueryOptions
 from repro.errors import (AdmissionError, ExecutorShutdownError,
-                          QueryTimeoutError)
+                          QueryTimeoutError, ServerClosedError)
 
 DEFAULT_WORKERS = 4
 DEFAULT_QUEUE_CAPACITY = 64
@@ -118,6 +118,7 @@ class Executor:
             self._completed = registry.counter("server.completed")
             self._failed = registry.counter("server.failed")
             self._timeouts = registry.counter("server.timeouts")
+            self._drained = registry.counter("server.drained")
             self._queue_depth = registry.gauge("server.queue_depth")
             self._active = registry.gauge("server.active_workers")
             self._wait = registry.histogram(
@@ -189,6 +190,42 @@ class Executor:
         with self._work:
             self._shutdown = True
             self._work.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries and *drain* the admission queue.
+
+        Unlike :meth:`shutdown`, queued-but-not-yet-running queries do
+        not run: each drained job's future fails deterministically
+        with :class:`~repro.errors.ServerClosedError` (never a hang,
+        never a bare ``CancelledError``), so a caller blocked in
+        ``future.result()`` returns immediately. Queries a worker
+        already picked up still run to completion; with ``wait=True``
+        the call returns only once the worker threads exit.
+        """
+        with self._work:
+            self._shutdown = True
+            drained = list(self._queue)
+            self._queue.clear()
+            for job in drained:
+                remaining = self._in_flight.get(job.client, 1) - 1
+                if remaining > 0:
+                    self._in_flight[job.client] = remaining
+                else:
+                    self._in_flight.pop(job.client, None)
+            self._set_gauge("_queue_depth", 0)
+            self._work.notify_all()
+        error = ServerClosedError(
+            "executor closed; the query was drained from the "
+            "admission queue before a worker picked it up")
+        for job in drained:
+            # a job someone already cancelled stays cancelled; every
+            # other drained future carries the deterministic error
+            if job.future.set_running_or_notify_cancel():
+                job.future.set_exception(error)
+                self._inc("_drained")
         if wait:
             for thread in self._threads:
                 thread.join()

@@ -1,0 +1,234 @@
+"""The versioned HTTP/JSON wire schema.
+
+One module owns everything that crosses a process or network boundary
+so every surface speaks the same dialect:
+
+* **Requests** — ``POST /v1/query`` bodies: ``{"query": "...",
+  "options": {...QueryOptions fields...}}``. Unknown option keys are
+  rejected (a client typo must not become a silently-ignored knob).
+* **Results** — the canonical ``ResultPayload``
+  (:meth:`repro.cypher.Result.to_dict`), streamed as NDJSON frames: a
+  header line carrying ``schema_version`` and ``columns``, one
+  ``{"row": [...]}`` line per row, and a trailing ``{"summary":
+  {...}}`` line with stats and the optional profile tree.
+* **Errors** — ``{"schema_version": 1, "error": {"type": ...,
+  "message": ...}}`` plus an HTTP status per error class
+  (:data:`ERROR_STATUS`); :func:`exception_from_dict` rebuilds the
+  matching Python exception client-side, so ``FrappeClient.query``
+  raises exactly what an in-process ``Frappe.query`` would have.
+
+The replica tier reuses the same encoding over its worker pipes:
+workers ship back pre-serialized NDJSON payload bytes, which the
+router streams into HTTP responses without re-encoding.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro import errors
+from repro.cypher.options import QueryOptions
+from repro.cypher.result import RESULT_SCHEMA_VERSION, Result
+
+#: Version of the request/response envelope (independent of the
+#: result payload's own ``schema_version``, though currently in step).
+WIRE_SCHEMA_VERSION = 1
+
+class WireFormatError(errors.ServerError):
+    """A request or frame did not match the wire schema (HTTP 400)."""
+
+
+#: Error class -> HTTP status. Ordered most-specific-first; the first
+#: ``isinstance`` match wins.
+ERROR_STATUS: tuple[tuple[type[BaseException], int], ...] = (
+    (errors.AdmissionError, 429),
+    (errors.QueryTimeoutError, 504),
+    (errors.ServerClosedError, 503),
+    (WireFormatError, 400),
+    (errors.CypherSyntaxError, 400),
+    (errors.CypherSemanticError, 400),
+    (errors.QueryError, 400),
+    (errors.FrappeError, 500),
+)
+
+#: Seconds a 429'd client is told to back off (the Retry-After header).
+RETRY_AFTER_SECONDS = 1
+
+
+# -- requests ----------------------------------------------------------
+
+
+def parse_query_request(body: bytes | str) -> tuple[str, QueryOptions]:
+    """Decode a ``POST /v1/query`` body into (text, options).
+
+    Raises :class:`WireFormatError` on malformed JSON, a missing
+    ``query`` field, or unknown option keys.
+    """
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise WireFormatError(f"request body is not JSON: {error}") \
+            from error
+    if not isinstance(payload, dict):
+        raise WireFormatError("request body must be a JSON object")
+    text = payload.get("query")
+    if not isinstance(text, str) or not text.strip():
+        raise WireFormatError(
+            'request body needs a non-empty "query" string')
+    unknown = set(payload) - {"query", "options"}
+    if unknown:
+        raise WireFormatError("unknown request field(s): "
+                              + ", ".join(sorted(unknown)))
+    options_payload = payload.get("options") or {}
+    if not isinstance(options_payload, dict):
+        raise WireFormatError('"options" must be a JSON object')
+    try:
+        options = QueryOptions.from_dict(options_payload)
+    except (ValueError, TypeError) as error:
+        raise WireFormatError(str(error)) from error
+    return text, options
+
+
+def query_request(text: str,
+                  options: QueryOptions | None = None) -> bytes:
+    """Encode the client side of :func:`parse_query_request`."""
+    payload: dict[str, Any] = {"query": text}
+    if options is not None:
+        encoded = options.to_dict()
+        if encoded:
+            payload["options"] = encoded
+    return json.dumps(payload).encode("utf-8")
+
+
+# -- results (NDJSON framing of the canonical ResultPayload) -----------
+
+
+def _line(obj: Any) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") \
+        + b"\n"
+
+
+def result_to_ndjson(result: Result) -> bytes:
+    """Frame one result as NDJSON: header, rows, summary."""
+    return payload_to_ndjson(result.to_dict())
+
+
+def payload_to_ndjson(payload: dict[str, Any]) -> bytes:
+    """Frame a :meth:`Result.to_dict` payload as NDJSON lines."""
+    frames = [_line({"schema_version": payload["schema_version"],
+                     "columns": payload["columns"]})]
+    frames.extend(_line({"row": row}) for row in payload["rows"])
+    frames.append(_line({"summary": {
+        "stats": payload["stats"], "profile": payload["profile"]}}))
+    return b"".join(frames)
+
+
+def payload_from_ndjson(data: bytes | str | Iterable[str],
+                        ) -> dict[str, Any]:
+    """Reassemble NDJSON frames into the canonical ResultPayload.
+
+    Accepts the whole stream as bytes/str or an iterable of lines (a
+    streaming client hands the response line iterator straight in).
+    """
+    if isinstance(data, bytes):
+        lines: Iterable[str] = data.decode("utf-8").splitlines()
+    elif isinstance(data, str):
+        lines = data.splitlines()
+    else:
+        lines = data
+    header: dict[str, Any] | None = None
+    rows: list[list[Any]] = []
+    summary: dict[str, Any] | None = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            frame = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise WireFormatError(
+                f"bad NDJSON frame: {error}") from error
+        if "row" in frame:
+            rows.append(frame["row"])
+        elif "summary" in frame:
+            summary = frame["summary"]
+        elif "columns" in frame:
+            header = frame
+        elif "error" in frame:
+            raise exception_from_dict(frame["error"])
+        else:
+            raise WireFormatError(f"unrecognized frame: {line[:80]}")
+    if header is None:
+        raise WireFormatError("result stream carried no header frame")
+    if summary is None:
+        raise WireFormatError("result stream ended without a summary "
+                              "frame (truncated response?)")
+    return {"schema_version": header.get("schema_version",
+                                         RESULT_SCHEMA_VERSION),
+            "columns": header["columns"],
+            "rows": rows,
+            "stats": summary.get("stats", {}),
+            "profile": summary.get("profile")}
+
+
+def result_from_ndjson(data: bytes | str | Iterable[str]) -> Result:
+    return Result.from_dict(payload_from_ndjson(data))
+
+
+# -- errors ------------------------------------------------------------
+
+
+def status_for(error: BaseException) -> int:
+    """The HTTP status a given exception maps to (500 fallback)."""
+    for cls, status in ERROR_STATUS:
+        if isinstance(error, cls):
+            return status
+    return 500
+
+
+def error_to_dict(error: BaseException) -> dict[str, Any]:
+    """Encode an exception for the wire (or a worker pipe)."""
+    payload: dict[str, Any] = {
+        "type": type(error).__name__,
+        "message": str(error),
+    }
+    if isinstance(error, errors.QueryTimeoutError):
+        payload["seconds"] = error.seconds
+    if isinstance(error, errors.AdmissionError):
+        payload["client"] = error.client
+        payload["retry_after"] = RETRY_AFTER_SECONDS
+    return payload
+
+
+def error_body(error: BaseException) -> bytes:
+    """The JSON body of a non-200 response."""
+    return json.dumps({"schema_version": WIRE_SCHEMA_VERSION,
+                       "error": error_to_dict(error)}).encode("utf-8")
+
+
+def exception_from_dict(payload: dict[str, Any]) -> errors.FrappeError:
+    """Rebuild the Python exception an error payload describes.
+
+    Unknown types degrade to :class:`~repro.errors.ServerError` with
+    the original type name preserved in the message — a client talking
+    to a newer server fails usefully instead of crashing the decoder.
+    """
+    kind = payload.get("type", "")
+    message = payload.get("message", "")
+    if kind == "QueryTimeoutError":
+        error = errors.QueryTimeoutError(payload.get("seconds", 0.0))
+        # keep the server's exact message (it names the server-side
+        # budget, which is what the operator greps for)
+        error.args = (message,)
+        return error
+    if kind == "AdmissionError":
+        return errors.AdmissionError(message,
+                                     client=payload.get("client"))
+    cls = getattr(errors, kind, None)
+    if isinstance(cls, type) and issubclass(cls, errors.FrappeError):
+        try:
+            return cls(message)
+        except TypeError:
+            pass  # odd constructor signature; fall through
+    return errors.ServerError(f"{kind or 'unknown error'}: {message}")

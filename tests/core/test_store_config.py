@@ -1,0 +1,131 @@
+"""StoreConfig: the consolidated Frappe.open surface and its shim."""
+
+import pickle
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, StoreConfig
+from repro.core.frappe import Frappe
+from repro.graphdb import PropertyGraph
+from repro.graphdb.storage import GraphStore, PageCache
+
+
+@pytest.fixture(scope="module")
+def store_dir(tmp_path_factory):
+    graph = PropertyGraph()
+    for name in ("alpha", "beta", "gamma"):
+        graph.add_node("function", short_name=name, type="function")
+    path = tmp_path_factory.mktemp("config") / "store"
+    GraphStore.write(graph, str(path))
+    return str(path)
+
+
+QUERY = "MATCH (n:function) RETURN n.short_name ORDER BY n.short_name"
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = StoreConfig()
+        assert config == DEFAULT_CONFIG
+        assert config.make_page_cache() is None
+
+    def test_rejects_bad_execution_mode(self):
+        with pytest.raises(ValueError, match="execution_mode"):
+            StoreConfig(execution_mode="vectorized")
+
+    def test_rejects_bad_morsel_size(self):
+        with pytest.raises(ValueError, match="morsel_size"):
+            StoreConfig(morsel_size=0)
+
+    def test_rejects_bad_timeout(self):
+        with pytest.raises(ValueError, match="default_timeout"):
+            StoreConfig(default_timeout=-1.0)
+
+    def test_mmap_makes_mmap_cache(self):
+        cache = StoreConfig(mmap=True).make_page_cache()
+        assert isinstance(cache, PageCache)
+
+    def test_explicit_cache_wins_over_mmap(self):
+        cache = PageCache(capacity_pages=16)
+        config = StoreConfig(page_cache=cache, mmap=True)
+        assert config.make_page_cache() is cache
+
+
+class TestWireForm:
+    def test_dict_roundtrip(self):
+        config = StoreConfig(mmap=True, execution_mode="batch",
+                             morsel_size=512, default_timeout=3.0)
+        assert StoreConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_drops_page_cache(self):
+        config = StoreConfig(page_cache=PageCache(capacity_pages=4))
+        assert "page_cache" not in config.to_dict()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="mmaped"):
+            StoreConfig.from_dict({"mmaped": True})
+
+    def test_picklable_without_explicit_cache(self):
+        config = StoreConfig(mmap=True, morsel_size=256)
+        assert pickle.loads(pickle.dumps(config)) == config
+
+
+class TestOpenWithConfig:
+    def test_open_default_config(self, store_dir):
+        with Frappe.open(store_dir) as frappe:
+            assert frappe.query(QUERY).values() == \
+                ["alpha", "beta", "gamma"]
+
+    def test_open_applies_engine_knobs(self, store_dir):
+        config = StoreConfig(execution_mode="rows",
+                             default_timeout=30.0)
+        with Frappe.open(store_dir, config=config) as frappe:
+            result = frappe.query(QUERY)
+            assert result.stats.execution_mode == "rows"
+            assert frappe.engine.default_timeout == 30.0
+
+    def test_open_mmap_config(self, store_dir):
+        config = StoreConfig(mmap=True)
+        with Frappe.open(store_dir, config=config) as frappe:
+            assert frappe.query(QUERY).values() == \
+                ["alpha", "beta", "gamma"]
+
+
+class TestDeprecationShim:
+    def test_legacy_keyword_warns_and_works(self, store_dir):
+        with pytest.warns(DeprecationWarning, match="StoreConfig"):
+            frappe = Frappe.open(store_dir, mmap=True)
+        with frappe:
+            assert len(frappe.query(QUERY)) == 3
+
+    def test_legacy_positional_page_cache(self, store_dir):
+        cache = PageCache(capacity_pages=64)
+        with pytest.warns(DeprecationWarning):
+            frappe = Frappe.open(store_dir, cache)
+        with frappe:
+            frappe.query(QUERY)
+            assert cache.stats.hits + cache.stats.misses > 0
+
+    def test_legacy_execution_mode_kwarg(self, store_dir):
+        with pytest.warns(DeprecationWarning):
+            frappe = Frappe.open(store_dir, execution_mode="rows")
+        with frappe:
+            assert frappe.query(QUERY).stats.execution_mode == "rows"
+
+    def test_config_plus_legacy_is_an_error(self, store_dir):
+        with pytest.raises(TypeError, match="config="):
+            Frappe.open(store_dir, mmap=True,
+                        config=StoreConfig(mmap=True))
+
+    def test_unknown_kwarg_is_an_error(self, store_dir):
+        with pytest.raises(TypeError, match="mmaped"):
+            Frappe.open(store_dir, mmaped=True)
+
+    def test_too_many_positionals_is_an_error(self, store_dir):
+        with pytest.raises(TypeError, match="positional"):
+            Frappe.open(store_dir, None, None, True)
+
+    def test_duplicate_positional_and_keyword(self, store_dir):
+        cache = PageCache(capacity_pages=8)
+        with pytest.raises(TypeError, match="page_cache"):
+            Frappe.open(store_dir, cache, page_cache=cache)

@@ -217,3 +217,57 @@ class TestRecordCacheBound:
             assert nodes[-1] in store._node_prop_cache
             # evicted records are still readable, just re-decoded
             assert store.node_properties(nodes[0])["short_name"] == "f0"
+
+
+class TestConcurrentBufferedReads:
+    def test_threaded_misses_share_one_handle_safely(self, tmp_path):
+        """Regression: a cache miss does seek+read on the shared file
+        handle; two executor worker threads interleaving those calls
+        used to read at each other's position and come back short
+        (a spurious "truncated after open" StoreCorruptionError under
+        ``frappe serve``). A one-page cache forces every access to
+        miss, so every read races every other; sleeping inside seek()
+        forces the thread switch right at the vulnerable point, which
+        makes the pre-fix failure deterministic."""
+        import threading
+        import time
+
+        class SwitchySeekHandle:
+            """File wrapper that yields the GIL between seek and read."""
+
+            def __init__(self, handle):
+                self._handle = handle
+
+            def seek(self, offset):
+                result = self._handle.seek(offset)
+                time.sleep(0.0005)
+                return result
+
+            def __getattr__(self, name):
+                return getattr(self._handle, name)
+
+        path = tmp_path / "data.bin"
+        payload = bytes(range(256)) * 256  # 64 KiB, many 4 KiB pages
+        path.write_bytes(payload)
+        cache = PageCache(page_size=4096, capacity_pages=1)
+        errors = []
+        with PagedFile(str(path), cache) as paged:
+            paged._handle = SwitchySeekHandle(paged._handle)
+            def hammer(seed):
+                offsets = [(seed * 7919 + step * 4096) % (len(payload)
+                           - 512) for step in range(40)]
+                try:
+                    for offset in offsets:
+                        data = paged.read(offset, 512)
+                        assert bytes(data) == payload[offset:offset
+                                                      + 512]
+                except Exception as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=hammer, args=(seed,))
+                       for seed in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert errors == []

@@ -1,0 +1,21 @@
+"""Shared serving-tier fixtures: one saved store, HTTP helpers."""
+
+import pytest
+
+from repro.graphdb.storage import GraphStore
+from repro.workloads import generate_kernel_graph
+from repro.workloads.profiles import UEK_PROFILE
+
+
+@pytest.fixture(scope="session")
+def saved_store(tmp_path_factory):
+    """A small kernel-shaped store on disk (read-only, shared).
+
+    Replica workers need a *saved* store (they ``Frappe.open`` the
+    directory in their own process), so this is written once per
+    session rather than handing around in-memory graphs.
+    """
+    store = tmp_path_factory.mktemp("serving") / "store"
+    graph = generate_kernel_graph(UEK_PROFILE.scaled(0.002), seed=7)
+    GraphStore.write(graph, str(store))
+    return str(store)

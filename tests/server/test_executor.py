@@ -8,7 +8,7 @@ import pytest
 from repro.core.frappe import Frappe
 from repro.cypher import QueryOptions, Result
 from repro.errors import (AdmissionError, ExecutorShutdownError,
-                          QueryTimeoutError)
+                          QueryTimeoutError, ServerClosedError)
 from repro.graphdb import PropertyGraph
 from repro.obs import Observability
 from repro.server import Executor
@@ -140,6 +140,80 @@ class TestAdmission:
         assert queued.cancelled()
         # the cancelled job never reached the runner
         assert all(text != "victim" for text, _ in gate.calls)
+
+
+class TestCloseDrain:
+    """Regression: close() must drain the queue deterministically.
+
+    shutdown() runs the backlog to completion; close() instead fails
+    every queued-but-not-running future with ServerClosedError — a
+    caller blocked in future.result() returns immediately instead of
+    hanging on jobs no worker will ever pick up.
+    """
+
+    def test_queued_futures_raise_server_closed(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10,
+                                 max_per_client=10)
+        running = executor.submit("running")
+        assert gate.started.wait(timeout=5.0)
+        queued = [executor.submit(f"queued-{i}") for i in range(3)]
+        closer = threading.Thread(
+            target=executor.close, kwargs={"wait": True})
+        closer.start()
+        # drained futures resolve before the in-flight query finishes
+        for future in queued:
+            with pytest.raises(ServerClosedError):
+                future.result(timeout=5.0)
+        gate.release.set()
+        closer.join(timeout=5.0)
+        assert not closer.is_alive()
+        # the job a worker already held still ran to completion
+        assert running.result(timeout=5.0) == "RUNNING"
+        assert [text for text, _ in gate.calls] == ["running"]
+
+    def test_close_refuses_new_submissions(self):
+        executor = make_executor(lambda text, options=None: text)
+        executor.close(wait=True)
+        with pytest.raises(ExecutorShutdownError):
+            executor.submit("late")
+
+    def test_drained_jobs_release_fair_share_accounting(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10,
+                                 max_per_client=5)
+        executor.submit("running", client="alice")
+        assert gate.started.wait(timeout=5.0)
+        for index in range(3):
+            executor.submit(f"queued-{index}", client="alice")
+        assert executor.in_flight("alice") == 4
+        gate.release.set()
+        executor.close(wait=True)
+        assert executor.in_flight("alice") == 0
+        assert executor.queued == 0
+
+    def test_cancelled_job_stays_cancelled_through_close(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        executor.submit("running")
+        assert gate.started.wait(timeout=5.0)
+        queued = executor.submit("victim")
+        assert queued.cancel()
+        gate.release.set()
+        executor.close(wait=True)
+        assert queued.cancelled()
+
+    def test_close_meters_drained_counter(self):
+        gate = Gate()
+        obs = Observability()
+        executor = Executor(gate, workers=1, queue_capacity=10,
+                            obs=obs)
+        executor.submit("running")
+        assert gate.started.wait(timeout=5.0)
+        executor.submit("queued")
+        gate.release.set()
+        executor.close(wait=True)
+        assert obs.registry.snapshot().counter("server.drained") == 1
 
 
 class TestDeadlines:

@@ -76,6 +76,19 @@ class TestQuery:
         out = capsys.readouterr().out
         assert "(2 rows (truncated)," in out
 
+    def test_json_emits_canonical_payload(self, store, capsys):
+        import json
+        from repro.cypher.result import (RESULT_SCHEMA_VERSION,
+                                         Result)
+        assert main(["query", store,
+                     "MATCH (n:function) RETURN count(*) AS n",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == RESULT_SCHEMA_VERSION
+        result = Result.from_dict(payload)
+        assert result.columns == ["n"]
+        assert result.value() > 0
+
 
 class TestExplain:
     def test_explain_plan(self, store, capsys):
@@ -256,6 +269,34 @@ class TestServe:
                             io.StringIO("MATCH MATCH\n"))
         assert main(["serve", store]) == 1
         assert "[0] error:" in capsys.readouterr().err
+
+    def test_serve_stdin_json_mode(self, store, capsys, monkeypatch):
+        import io
+        import json
+        from repro.cypher.result import Result
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "MATCH (n:function) RETURN count(*) AS n\n"))
+        assert main(["serve", store, "--json"]) == 0
+        line = capsys.readouterr().out.strip().splitlines()[-1]
+        result = Result.from_dict(json.loads(line))
+        assert result.columns == ["n"]
+
+    def test_serve_http_flag_boots_and_answers(self, store):
+        # drive the HTTP deployment through the same backend wiring
+        # the CLI flag uses (the blocking run() loop itself is
+        # exercised by the CI serve-smoke job)
+        from repro.client import FrappeClient
+        from repro.core.config import StoreConfig
+        from repro.core.frappe import Frappe
+        from repro.server.http import ExecutorBackend, HttpServer
+        frappe = Frappe.open(store, config=StoreConfig())
+        backend = ExecutorBackend(frappe, workers=2,
+                                  queue_capacity=8)
+        with HttpServer(backend) as server:
+            with FrappeClient(port=server.port) as client:
+                assert client.health()["status"] == "ok"
+                assert client.query(
+                    "MATCH (n:function) RETURN count(*)").value() > 0
 
 
 class TestIndexJobs:
