@@ -100,6 +100,19 @@ def bench_records_pr7():
 
 
 @pytest.fixture(scope="session")
+def bench_records_pr8():
+    """Morsel-parallelism and compiled-kernel benchmark records
+    (1/2/4/8-worker scaling on the Table 5 mix, compiled-vs-
+    interpreted kernel ablation); written to
+    ``benchmarks/reports/BENCH_PR8.json`` at session end."""
+    records: list[dict] = []
+    yield records
+    if records:
+        write_bench_records(
+            os.path.join(REPORT_DIR, "BENCH_PR8.json"), records)
+
+
+@pytest.fixture(scope="session")
 def report():
     """Append paper-style tables to benchmarks/reports/summary.txt."""
     os.makedirs(REPORT_DIR, exist_ok=True)

@@ -70,7 +70,10 @@ def _run_mix(frappe, mode: str,
 
 
 def _warm_total(rows) -> float:
-    return sum(row.warm.avg for row in rows.values())
+    # gate on the min: it is what the report tables print, and it is
+    # robust to the one-off scheduler spikes that make a 10-run avg
+    # flap on a loaded box (a real regression moves the min too)
+    return sum(row.warm.min for row in rows.values())
 
 
 class TestBatchVersusRows:

@@ -1,0 +1,223 @@
+"""Experiment E15 — morsel parallelism and compiled kernels (PR 8).
+
+The PR-8 tentpole claims: (a) compiled columnar kernels close the
+PR-5 speedup holes — cross-reference and debugging, stuck near 1x
+batch-over-rows, must now clear 1.2x warm; (b) the morsel-driven
+parallel pipeline scales the heavy comprehension-rewrite query with
+workers on multi-core boxes while returning byte-identical rows.
+This suite measures both claims with the Table 5 cold/warm protocol
+and gates on them:
+
+* per-query rows-vs-batch warm timings with kernels on
+  (BENCH_PR8.json), gating batch never slower on the full mix and
+  >= 1.2x warm on xref and debugging;
+* a compiled-vs-interpreted kernel ablation (the
+  ``use_compiled_kernels`` flag), gating the compiled mix never
+  slower than the interpreted one;
+* a 1/2/4/8-worker scaling sweep over the mix on a real
+  :class:`~repro.server.executor.Executor` pool, gating
+  comprehension-rewrite >= 1.5x over serial batch on 4+-core boxes
+  (single-core boxes only gate against pathological slowdowns — the
+  GIL serializes compute, so threads cannot win there).
+
+Result counts are cross-checked between every configuration — a perf
+gate is meaningless if the fast path returns different rows.
+"""
+
+import os
+
+from repro.bench.harness import bench_record, run_cold_warm
+from repro.cypher import QueryOptions
+from repro.server.executor import Executor
+
+from test_bench_execution_modes import MIX_TOLERANCE, _mix, _warm_total
+from test_bench_table5_queries import ABORT_AFTER_SECONDS
+
+#: queries whose compiled kernels must deliver >= 1.2x warm over rows
+#: (the PR-5 report measured both at ~1x; PR 8 closes that hole)
+EXPECT_1_2X = ("xref", "debugging")
+
+#: worker counts for the intra-query parallelism sweep
+WORKER_SWEEP = (1, 2, 4, 8)
+
+CORES = os.cpu_count() or 1
+
+
+def _kernel_mix(frappe, label: str, **option_kwargs):
+    """Cold/warm rows for the mix under explicit batch options."""
+    rows = {}
+    for name, text in _mix(frappe):
+        options = QueryOptions(timeout=ABORT_AFTER_SECONDS,
+                               execution_mode="batch",
+                               **option_kwargs)
+        rows[name] = run_cold_warm(
+            f"{name} [{label}]",
+            lambda text=text, options=options: frappe.query(
+                text, options=options),
+            frappe.evict_caches,
+            abort_after=ABORT_AFTER_SECONDS,
+            hit_ratio=frappe.cache_hit_ratio,
+            reset_counters=frappe.reset_counters)
+    return rows
+
+
+class TestCompiledKernels:
+    """Tentpole (b): compiled kernels versus the row engine."""
+
+    def test_kernels_close_the_table5_holes(self, frappe_store, report,
+                                            scale, benchmark,
+                                            bench_records_pr8):
+        # interleave the two modes per query so box drift over the
+        # session cannot skew the ratio between them; the two gated
+        # sub-millisecond queries get extra samples because their
+        # warm minimum moves by tens of microseconds run to run —
+        # the same order as the margin the 1.2x floor is judged on
+        row_mode = {}
+        batch_mode = {}
+        for name, text in _mix(frappe_store):
+            runs = 30 if name in EXPECT_1_2X else 10
+            for label, mode, dest in (
+                    ("rows", "rows", row_mode),
+                    ("batch+kernels", "batch", batch_mode)):
+                options = QueryOptions(timeout=ABORT_AFTER_SECONDS,
+                                       execution_mode=mode)
+                dest[name] = run_cold_warm(
+                    f"{name} [{label}]",
+                    lambda text=text, options=options:
+                        frappe_store.query(text, options=options),
+                    frappe_store.evict_caches,
+                    runs=runs,
+                    abort_after=ABORT_AFTER_SECONDS,
+                    hit_ratio=frappe_store.cache_hit_ratio,
+                    reset_counters=frappe_store.reset_counters)
+        lines = []
+        speedups = {}
+        for name in row_mode:
+            rows = row_mode[name]
+            batch = batch_mode[name]
+            assert not rows.aborted and not batch.aborted
+            assert rows.result_count == batch.result_count
+            speedups[name] = rows.warm.min / batch.warm.min
+            lines.append(f"{name:<24} rows {rows.warm.min:8.2f}ms  "
+                         f"batch {batch.warm.min:8.2f}ms  "
+                         f"warm speedup {speedups[name]:5.2f}x")
+            bench_records_pr8.append(bench_record(
+                rows, query_id=f"kernels/{name}/rows"))
+            bench_records_pr8.append(bench_record(
+                batch, query_id=f"kernels/{name}/batch"))
+        report(f"== Compiled kernels: batch vs rows (warm min ms, "
+               f"scale {scale:g}) ==\n" + "\n".join(lines))
+        # acceptance: the PR-5 ~1x queries now clear 1.2x...
+        for name in EXPECT_1_2X:
+            assert speedups[name] >= 1.2, (name, speedups)
+        # ...and batch stays never-slower across the whole mix
+        assert _warm_total(batch_mode) \
+            <= _warm_total(row_mode) * MIX_TOLERANCE
+        benchmark.pedantic(
+            frappe_store.query, args=(_mix(frappe_store)[1][1],),
+            kwargs={"options": QueryOptions(
+                timeout=ABORT_AFTER_SECONDS, execution_mode="batch")},
+            rounds=1, iterations=1)
+
+    def test_compiled_vs_interpreted_ablation(self, frappe_store,
+                                              report, scale, benchmark,
+                                              bench_records_pr8):
+        # measure the two configurations back to back per query, so
+        # box drift over the session hits both sides equally
+        compiled = {}
+        interpreted = {}
+        for name, text in _mix(frappe_store):
+            for label, flag, rows in (
+                    ("compiled", True, compiled),
+                    ("interpreted", False, interpreted)):
+                options = QueryOptions(timeout=ABORT_AFTER_SECONDS,
+                                       execution_mode="batch",
+                                       use_compiled_kernels=flag)
+                rows[name] = run_cold_warm(
+                    f"{name} [{label}]",
+                    lambda text=text, options=options:
+                        frappe_store.query(text, options=options),
+                    frappe_store.evict_caches,
+                    abort_after=ABORT_AFTER_SECONDS,
+                    hit_ratio=frappe_store.cache_hit_ratio,
+                    reset_counters=frappe_store.reset_counters)
+        lines = []
+        for name in compiled:
+            fast = compiled[name]
+            slow = interpreted[name]
+            assert not fast.aborted and not slow.aborted
+            assert fast.result_count == slow.result_count
+            lines.append(
+                f"{name:<24} compiled {fast.warm.min:8.2f}ms  "
+                f"interpreted {slow.warm.min:8.2f}ms  "
+                f"({slow.warm.min / fast.warm.min:5.2f}x)")
+            bench_records_pr8.append(bench_record(
+                fast, query_id=f"kernel_ablation/{name}/compiled"))
+            bench_records_pr8.append(bench_record(
+                slow, query_id=f"kernel_ablation/{name}/interpreted"))
+        report(f"== Compiled vs interpreted kernels (batch mode, warm "
+               f"min ms, scale {scale:g}) ==\n" + "\n".join(lines))
+        # the kernels must pay for themselves across the mix
+        assert _warm_total(compiled) \
+            <= _warm_total(interpreted) * MIX_TOLERANCE
+        benchmark.pedantic(
+            frappe_store.query, args=(_mix(frappe_store)[0][1],),
+            kwargs={"options": QueryOptions(
+                timeout=ABORT_AFTER_SECONDS, execution_mode="batch",
+                use_compiled_kernels=False)},
+            rounds=1, iterations=1)
+
+
+class TestWorkerScaling:
+    """Tentpole (a): morsel-driven parallelism on a real pool."""
+
+    def test_worker_sweep(self, frappe_store, report, scale, benchmark,
+                          bench_records_pr8):
+        engine = frappe_store.engine
+        sweeps = {}
+        for workers in WORKER_SWEEP:
+            if workers == 1:
+                sweeps[workers] = _kernel_mix(frappe_store, "serial",
+                                              parallelism=1)
+                continue
+            executor = Executor(lambda *a, **k: None, workers=workers)
+            engine.task_spawner = executor.spawn_task
+            engine.pool_workers = executor.workers
+            try:
+                sweeps[workers] = _kernel_mix(
+                    frappe_store, f"{workers}w", parallelism=workers)
+            finally:
+                engine.task_spawner = None
+                engine.pool_workers = 0
+                executor.close(wait=True)
+        lines = []
+        for name, _text in _mix(frappe_store):
+            counts = {sweep[name].result_count
+                      for sweep in sweeps.values()}
+            assert len(counts) == 1  # workers never change the rows
+            lines.append(f"{name:<24} " + "  ".join(
+                f"{workers}w: {sweep[name].warm.min:7.2f}ms"
+                for workers, sweep in sweeps.items()))
+            for workers, sweep in sweeps.items():
+                bench_records_pr8.append(bench_record(
+                    sweep[name],
+                    query_id=f"parallel/{name}/{workers}w"))
+        report(f"== Morsel parallelism worker sweep (batch mode, warm "
+               f"min ms, scale {scale:g}, {CORES} cores) ==\n"
+               + "\n".join(lines))
+        serial = sweeps[1]["comprehension_rewrite"].warm.min
+        quad = sweeps[4]["comprehension_rewrite"].warm.min
+        if CORES >= 4:
+            # the heavy traversal must actually scale with workers
+            assert serial / quad >= 1.5, (serial, quad)
+        else:
+            # GIL-bound boxes cannot speed up, but the ordered-merge
+            # driver must not collapse either (cf. the replica-sweep
+            # gate's degraded-box floor)
+            assert serial / quad >= 0.4, (serial, quad)
+        benchmark.pedantic(
+            frappe_store.query, args=(_mix(frappe_store)[3][1],),
+            kwargs={"options": QueryOptions(
+                timeout=ABORT_AFTER_SECONDS, execution_mode="batch",
+                parallelism=2)},
+            rounds=1, iterations=1)

@@ -23,6 +23,7 @@ A "store" argument is a directory produced by ``frappe index``/
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.codemap import build_hierarchy, layout_map, render_ascii, render_svg
@@ -192,6 +193,11 @@ def _add_read_path_flags(subparser: argparse.ArgumentParser) -> None:
         "--morsel-size", type=int, default=None,
         help="rows per batch under batch execution (default 1024)")
     subparser.add_argument(
+        "--parallelism", type=int, default=0,
+        help="morsel tasks per batch query: 0 (default) sizes to the "
+        "serving pool when one is running (serial otherwise), 1 forces "
+        "serial, N caps the fan-out at N tasks")
+    subparser.add_argument(
         "--mmap", action="store_true",
         help="memory-map the store files (zero-copy reads) instead "
         "of the buffered LRU page cache")
@@ -248,7 +254,8 @@ def _store_config(args: argparse.Namespace) -> StoreConfig:
     return StoreConfig(
         mmap=getattr(args, "mmap", False),
         execution_mode=getattr(args, "execution_mode", "auto"),
-        morsel_size=getattr(args, "morsel_size", None))
+        morsel_size=getattr(args, "morsel_size", None),
+        parallelism=getattr(args, "parallelism", 0))
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
@@ -377,9 +384,7 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         from repro.server.replica import ReplicaBackend, ReplicaSet
         config = _store_config(args)
         if not config.mmap:
-            config = StoreConfig(
-                mmap=True, execution_mode=config.execution_mode,
-                morsel_size=config.morsel_size)
+            config = dataclasses.replace(config, mmap=True)
         replicas = ReplicaSet(args.store, args.replicas, config=config)
         backend = ReplicaBackend(
             replicas, workers=args.workers,

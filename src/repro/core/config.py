@@ -43,6 +43,18 @@ class StoreConfig:
         one engine. Per-query override via ``QueryOptions``.
     morsel_size
         Rows per batch under batch execution (None = engine default).
+    parallelism
+        Engine-wide default for intra-query parallelism under batch
+        execution: 0 = auto (the serving pool's worker count when one
+        is running, serial otherwise), 1 = serial, N = up to N morsel
+        tasks per query. Per-query override via ``QueryOptions``.
+    use_compiled_kernels
+        Run batch WHERE/projection expressions through precompiled
+        closure kernels (off = the interpreted baseline; the
+        compiled-vs-interpreted ablation gate).
+    use_csr_adjacency
+        Promote the CSR adjacency snapshot (lazily built) to the
+        default read format for batch execution.
     use_reachability_rewrite
         Run endpoint-distinct var-length patterns as visited-set BFS
         (the Section 6.1 ablation gate).
@@ -56,6 +68,9 @@ class StoreConfig:
     default_timeout: float | None = None
     execution_mode: str = "auto"
     morsel_size: int | None = None
+    parallelism: int = 0
+    use_compiled_kernels: bool = True
+    use_csr_adjacency: bool = True
     use_reachability_rewrite: bool = True
     use_cost_based_planner: bool = True
 
@@ -65,6 +80,8 @@ class StoreConfig:
                 "execution_mode must be 'auto', 'batch' or 'rows'")
         if self.morsel_size is not None and self.morsel_size < 1:
             raise ValueError("morsel_size must be >= 1")
+        if self.parallelism < 0:
+            raise ValueError("parallelism must be >= 0")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ValueError("default_timeout must be positive")
 

@@ -50,7 +50,10 @@ class Frappe:
                  use_reachability_rewrite: bool = True,
                  use_cost_based_planner: bool = True,
                  execution_mode: str = "auto",
-                 morsel_size: int | None = None) -> None:
+                 morsel_size: int | None = None,
+                 parallelism: int = 0,
+                 use_compiled_kernels: bool = True,
+                 use_csr_adjacency: bool = True) -> None:
         self.view = view
         #: one observability bundle per instance: the engine, page
         #: cache, store reader, indexes and traversals all emit into
@@ -66,7 +69,9 @@ class Frappe:
             view, default_timeout, obs=self.obs,
             use_reachability_rewrite=use_reachability_rewrite,
             use_cost_based_planner=use_cost_based_planner,
-            execution_mode=execution_mode, **engine_kw)
+            execution_mode=execution_mode, parallelism=parallelism,
+            use_compiled_kernels=use_compiled_kernels,
+            use_csr_adjacency=use_csr_adjacency, **engine_kw)
         #: per-unit outcomes of the build this graph came from (None
         #: for stores opened from disk)
         self.build_report: BuildReport | None = None
@@ -137,7 +142,11 @@ class Frappe:
                    config.default_timeout,
                    use_reachability_rewrite=config.use_reachability_rewrite,
                    use_cost_based_planner=config.use_cost_based_planner,
-                   execution_mode=config.execution_mode, **engine_kw)
+                   execution_mode=config.execution_mode,
+                   parallelism=config.parallelism,
+                   use_compiled_kernels=config.use_compiled_kernels,
+                   use_csr_adjacency=config.use_csr_adjacency,
+                   **engine_kw)
 
     @classmethod
     def _shim_open_kwargs(cls, config: StoreConfig | None,
@@ -192,6 +201,7 @@ class Frappe:
         """
         if isinstance(self.view, StoreGraph):
             self.view.evict_caches()
+        self.engine.evict_epoch_memos()
         self.reset_counters()
 
     def snapshot_adjacency(self) -> None:
@@ -207,6 +217,8 @@ class Frappe:
         if self._executor is not None:
             # drain, don't hang: queued-but-unstarted queries fail
             # deterministically with ServerClosedError
+            self.engine.task_spawner = None
+            self.engine.pool_workers = 0
             self._executor.close(wait=True)
             self._executor = None
         if isinstance(self.view, StoreGraph):
@@ -266,6 +278,11 @@ class Frappe:
                 self.engine.run, workers=workers,
                 queue_capacity=queue_capacity,
                 max_per_client=max_per_client, obs=self.obs)
+            # wire intra-query parallelism onto the same fair-share
+            # pool: a query may split its scan into morsel tasks
+            # (QueryOptions.parallelism; 0-auto = the pool width)
+            self.engine.task_spawner = self._executor.spawn_task
+            self.engine.pool_workers = self._executor.workers
         return self._executor
 
     def query_async(self, text: str,

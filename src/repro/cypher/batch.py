@@ -39,7 +39,9 @@ from typing import Any, Iterator, Mapping
 
 from repro.cypher import ast
 from repro.cypher import matcher as _matcher
-from repro.cypher.evaluator import ExecutionContext, evaluate
+from repro.cypher.evaluator import (ExecutionContext, compile_expr,
+                                    compile_props, evaluate, expr_kernel,
+                                    literal_props)
 from repro.cypher.executor import (_aggregate, _as_count, _column_names,
                                    _distinct, _order, _projection_operator,
                                    _top_k)
@@ -371,7 +373,7 @@ def _point_candidates(point: ast.StartPoint, ctx: ExecutionContext,
         if point.index_name != "node_auto_index":
             raise CypherSemanticError(
                 f"unknown index {point.index_name!r}")
-        return ctx.view.indexes.query(point.query), "NodeByIndexQuery"
+        return ctx.index_candidates(point.query), "NodeByIndexQuery"
     if point.all_nodes:
         return ctx.view.node_ids(), "AllNodesScan"
     for node_id in point.ids:
@@ -587,17 +589,22 @@ def _match_batch(pattern: ast.Pattern, batch: RowBatch,
     input_width = setup.input_width
     builder = _Builder(setup.out_slots, morsel_size)
 
-    states = anchor_states()
-    while True:
-        chunk = list(itertools.islice(states, morsel_size))
-        if not chunk:
-            break
+    def run_steps(chunk: list[Any], context: ExecutionContext,
+                  prof: Any, parent: Any) -> list[Any]:
+        """The per-morsel operator chain: every step over one chunk.
+
+        ``prof``/``parent`` are the profiler wiring for *context* —
+        the main profiler with the Match plan node when run inline, a
+        task-local profiler with its root as parent when run on a
+        worker. Operator keys are identical either way, so task trees
+        merge back into the serial tree shape.
+        """
         for step in steps:
             if not chunk:
                 break
-            if profiler is not None:
-                step_op = profiler.operator(
-                    plan, ("expand", 0, step.rel_index),
+            if prof is not None:
+                step_op = prof.operator(
+                    parent, ("expand", 0, step.rel_index),
                     "VarLengthExpand" if step.rel.var_length
                     else "Expand",
                     estimated=estimates.get(step.rel_index)
@@ -608,18 +615,27 @@ def _match_batch(pattern: ast.Pattern, batch: RowBatch,
                     if step.rel.var_length else None,
                     mode="reachability"
                     if _matcher._use_reachability(step, chunk[0][2],
-                                                  ctx) else None)
-                with profiler.timed(step_op):
+                                                  context) else None)
+                with prof.timed(step_op):
                     chunk = _expand_chunk(step, chunk, batch,
-                                          node_slots, rel_slots, ctx)
+                                          node_slots, rel_slots,
+                                          context)
                 step_op.rows += len(chunk)
             else:
                 chunk = _expand_chunk(step, chunk, batch, node_slots,
-                                      rel_slots, ctx)
+                                      rel_slots, context)
+        return chunk
+
+    input_columns = batch.columns[:input_width]
+    padding = [None] * (width - input_width)
+
+    def assemble(chunk: list[Any], context: ExecutionContext,
+                 ) -> list[list[Any]]:
+        """Output rows (in state order) for one fully-expanded chunk."""
+        rows = []
         for src, bound, _used, rels in chunk:
-            values = [None] * width
-            for column_index in range(input_width):
-                values[column_index] = batch.columns[column_index][src]
+            values = [column[src] for column in input_columns]
+            values += padding
             for slot, node_indexes in new_node_out:
                 for node_index in node_indexes:
                     node_id = bound[node_index]
@@ -638,12 +654,217 @@ def _match_batch(pattern: ast.Pattern, batch: RowBatch,
                 rel_map = {rel_index: value for rel_index, value
                            in enumerate(rels) if value is not _UNSET}
                 values[path_slot] = _matcher._build_path(
-                    pattern, bound_map, rel_map, ctx)
+                    pattern, bound_map, rel_map, context)
+            rows.append(values)
+        return rows
+
+    states = anchor_states()
+    buffered: list[list[Any]] = []
+    if ctx.parallelism > 1:
+        # peek ahead: with a single anchor chunk there is nothing to
+        # morsel-parallelize — fall through to the inline loop, where
+        # var-length expansion can frontier-parallelize instead
+        first = list(itertools.islice(states, morsel_size))
+        if first:
+            buffered.append(first)
+            second = list(itertools.islice(states, morsel_size))
+            if second:
+                buffered.append(second)
+                yield from _parallel_chunks(
+                    buffered, states, morsel_size, ctx, profiler, plan,
+                    run_steps, assemble, builder)
+                if builder.count:
+                    yield builder.take()
+                return
+    while True:
+        if buffered:
+            chunk = buffered.pop(0)
+        else:
+            chunk = list(itertools.islice(states, morsel_size))
+        if not chunk:
+            break
+        chunk = run_steps(chunk, ctx, profiler, plan)
+        for values in assemble(chunk, ctx):
             builder.append(values)
             if builder.full:
                 yield builder.take()
     if builder.count:
         yield builder.take()
+
+
+class _InlineTask:
+    """`spawn` fallback when no serving pool is attached: runs the
+    task immediately on the calling thread. Parallel runs without a
+    pool therefore execute serially but through the identical
+    fork/merge path — the determinism the equivalence suite checks is
+    a property of the merge, not of the schedule."""
+
+    __slots__ = ("_result", "_error")
+
+    def __init__(self, fn: Any) -> None:
+        try:
+            self._result = fn()
+            self._error = None
+        except BaseException as error:  # noqa: BLE001 - re-raised below
+            self._result = None
+            self._error = error
+
+    def result(self) -> Any:
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
+def _parallel_chunks(buffered: list[list[Any]], states: Iterator[Any],
+                     morsel_size: int, ctx: ExecutionContext,
+                     profiler: Any, plan: Any, run_steps: Any,
+                     assemble: Any, builder: "_Builder",
+                     ) -> Iterator[RowBatch]:
+    """The morsel-driven parallel pipeline driver.
+
+    Anchor chunks are drawn serially on the caller (anchor-scan
+    db-hits stay on the main profiler, exactly where serial execution
+    charges them) and handed to the shared Executor pool as tasks; at
+    most ``ctx.parallelism`` are outstanding. Results are consumed in
+    draw order — the deterministic ordered merge — so output rows,
+    row order and morsel boundaries are byte-identical to the serial
+    loop, and each task's profiler tree / expansion counters fold back
+    in that same order.
+    """
+    from collections import deque
+
+    from repro.obs import QueryProfiler, merge_operator_stats
+
+    parallelism = ctx.parallelism
+    spawn = ctx.task_spawner
+    if profiler is not None:
+        plan.args["workers"] = parallelism
+
+    def run_task(chunk: list[Any], fork: ExecutionContext) -> Any:
+        out = run_steps(chunk, fork, fork.profiler, None)
+        return assemble(out, fork), fork
+
+    pending: Any = deque()
+    drained = False
+    while True:
+        while not drained and len(pending) < parallelism:
+            if buffered:
+                chunk = buffered.pop(0)
+            else:
+                chunk = list(itertools.islice(states, morsel_size))
+            if not chunk:
+                drained = True
+                break
+            fork = ctx.fork(QueryProfiler()
+                            if profiler is not None else None)
+            fn = (lambda c=chunk, f=fork: run_task(c, f))
+            pending.append(spawn(fn) if spawn is not None
+                           else _InlineTask(fn))
+        if not pending:
+            return
+        rows, fork = pending.popleft().result()
+        ctx.absorb(fork)
+        if profiler is not None:
+            merge_operator_stats(plan, fork.profiler.root)
+        for values in rows:
+            builder.append(values)
+            if builder.full:
+                yield builder.take()
+
+
+def _edge_filter(rel: ast.RelPattern, ctx: ExecutionContext):
+    """A ``(edge_id, row, ctx) -> bool`` check for a relationship's
+    property map — the compiled restatement of
+    :func:`repro.cypher.matcher._edge_props_ok` (same per-key db-hit
+    charging, same short-circuit order) — or ``None`` when the map is
+    empty. Compiled checks are cached on the AST node, so they live
+    with the plan; the interpreted shim serves the ablation."""
+    if not rel.properties:
+        return None
+    if not ctx.use_compiled_kernels:
+
+        def interpreted(edge_id: int, row: Mapping[str, Any],
+                        context: ExecutionContext) -> bool:
+            return _matcher._edge_props_ok(rel, edge_id, row, context)
+
+        return interpreted
+    check = getattr(rel, "_compiled_edge_check", None)
+    if check is None:
+        literals = literal_props(rel.properties)
+        if literals is not None:
+            # all-literal map: the wanted values are row-independent,
+            # so the per-edge kernel calls disappear entirely
+            def check(edge_id: int, row: Mapping[str, Any],
+                      context: ExecutionContext) -> bool:
+                edge_property = context.view.edge_property
+                for key, wanted in literals:
+                    context.db_hit()
+                    if edge_property(edge_id, key) != wanted:
+                        return False
+                return True
+        else:
+            props = compile_props(rel.properties)
+
+            def check(edge_id: int, row: Mapping[str, Any],
+                      context: ExecutionContext) -> bool:
+                edge_property = context.view.edge_property
+                for key, kernel in props:
+                    wanted = kernel(row, context)
+                    context.db_hit()
+                    if edge_property(edge_id, key) != wanted:
+                        return False
+                return True
+
+        object.__setattr__(rel, "_compiled_edge_check", check)
+    return check
+
+
+def _node_filter(node: ast.NodePattern, ctx: ExecutionContext):
+    """A ``(node_id, row, ctx) -> bool`` check mirroring
+    :func:`repro.cypher.matcher._node_ok` exactly (prior-binding,
+    labels, then the property map — db-hits in that order)."""
+    if not ctx.use_compiled_kernels:
+
+        def interpreted(node_id: int, row: Mapping[str, Any],
+                        context: ExecutionContext) -> bool:
+            return _matcher._node_ok(node, node_id, row, context)
+
+        return interpreted
+    check = getattr(node, "_compiled_node_check", None)
+    if check is None:
+        variable = node.variable
+        labels = node.labels
+        literals = literal_props(node.properties)
+        props = compile_props(node.properties) \
+            if literals is None else ()
+
+        def check(node_id: int, row: Mapping[str, Any],
+                  context: ExecutionContext) -> bool:
+            if variable and variable in row:
+                value = row[variable]
+                if not isinstance(value, NodeRef) or value.id != node_id:
+                    return False
+            if labels:
+                context.db_hit()
+                node_labels = context.view.node_labels(node_id)
+                if not all(label in node_labels for label in labels):
+                    return False
+            if literals is not None:
+                for key, wanted in literals:
+                    context.db_hit()
+                    if context.view.node_property(node_id, key) \
+                            != wanted:
+                        return False
+                return True
+            for key, kernel in props:
+                wanted = kernel(row, context)
+                context.db_hit()
+                if context.view.node_property(node_id, key) != wanted:
+                    return False
+            return True
+
+        object.__setattr__(node, "_compiled_node_check", check)
+    return check
 
 
 def _expand_chunk(step: Any,
@@ -681,6 +902,7 @@ def _expand_chunk(step: Any,
     plain_target = not target.labels and not target.properties
     target_variable = target.variable
     if rel.var_length:
+        target_check = _node_filter(target, ctx)
         for src, bound, used, rels in states:
             view = _MatchRow(batch.row_view(src), node_slots,
                              rel_slots, bound, rels)
@@ -696,8 +918,8 @@ def _expand_chunk(step: Any,
             prior = view[rel_variable] if rel_variable \
                 and rel_variable in view else _UNSET
             for target_node, rel_value, edges in expansions:
-                if check_target and not _matcher._node_ok(
-                        target, target_node, view, ctx):
+                if check_target and not target_check(target_node, view,
+                                                     ctx):
                     continue
                 oriented = tuple(reversed(rel_value)) \
                     if step.reversed else rel_value
@@ -711,6 +933,12 @@ def _expand_chunk(step: Any,
         return out
     target_labels = target.labels
     target_props = target.properties
+    target_prop_literals = literal_props(target_props) \
+        if target_props and ctx.use_compiled_kernels else None
+    target_prop_checks = compile_props(target_props) \
+        if target_props and ctx.use_compiled_kernels \
+        and target_prop_literals is None else None
+    edge_ok = _edge_filter(rel, ctx)
     view_node_labels = ctx.view.node_labels
     view_node_property = ctx.view.node_property
     bulk_labels = getattr(ctx.view, "labels_of", None) \
@@ -742,8 +970,7 @@ def _expand_chunk(step: Any,
         for index, (edge_id, neighbor) in enumerate(pairs):
             if edge_id in used:
                 continue
-            if has_rel_props and not _matcher._edge_props_ok(
-                    rel, edge_id, view, ctx):
+            if has_rel_props and not edge_ok(edge_id, view, ctx):
                 continue
             # inline _node_ok, in its exact check (and db-hit) order:
             # prior binding, then labels, then the property map
@@ -758,12 +985,26 @@ def _expand_chunk(step: Any,
                     continue
             if target_props:
                 ok = True
-                for key, expr in target_props:
-                    wanted = evaluate(expr, view, ctx)
-                    db_hit()
-                    if view_node_property(neighbor, key) != wanted:
-                        ok = False
-                        break
+                if target_prop_literals is not None:
+                    for key, wanted in target_prop_literals:
+                        db_hit()
+                        if view_node_property(neighbor, key) != wanted:
+                            ok = False
+                            break
+                elif target_prop_checks is not None:
+                    for key, kernel in target_prop_checks:
+                        wanted = kernel(view, ctx)
+                        db_hit()
+                        if view_node_property(neighbor, key) != wanted:
+                            ok = False
+                            break
+                else:
+                    for key, expr in target_props:
+                        wanted = evaluate(expr, view, ctx)
+                        db_hit()
+                        if view_node_property(neighbor, key) != wanted:
+                            ok = False
+                            break
                 if not ok:
                     continue
             oriented = EdgeRef(edge_id)
@@ -789,7 +1030,7 @@ def _expand_var_length_vec(step: Any, source: int,
     types = rel.types or None
     min_hops = rel.min_hops
     max_hops = rel.max_hops
-    has_props = bool(rel.properties)
+    edge_ok = _edge_filter(rel, ctx)
     results: list[tuple[int, Any, frozenset[int]]] = []
     if min_hops == 0:
         results.append((source, (), frozenset()))
@@ -803,8 +1044,7 @@ def _expand_var_length_vec(step: Any, source: int,
         for edge_id, neighbor in pairs:
             if edge_id in path_edges or edge_id in used:
                 continue
-            if has_props and not _matcher._edge_props_ok(
-                    rel, edge_id, view, ctx):
+            if edge_ok is not None and not edge_ok(edge_id, view, ctx):
                 continue
             new_path = path_edges + (edge_id,)
             if len(new_path) >= min_hops:
@@ -827,7 +1067,7 @@ def _expand_reachability_vec(step: Any, source: int,
     direction = step.direction
     types = rel.types or None
     max_hops = rel.max_hops
-    has_props = bool(rel.properties)
+    edge_ok = _edge_filter(rel, ctx)
     no_edges: frozenset[int] = frozenset()
     results: list[tuple[int, Any, frozenset[int]]] = []
     visited = {source}
@@ -840,12 +1080,29 @@ def _expand_reachability_vec(step: Any, source: int,
     while frontier and (max_hops is None or depth < max_hops):
         depth += 1
         next_frontier: list[int] = []
+        if ctx.parallelism > 1 and len(frontier) > 1:
+            # frontier-parallel level: neighbor lists come back in
+            # frontier order, and the yielded/visited updates below
+            # run serially in that order, so first-reach order — and
+            # therefore the result rows — match the serial BFS exactly
+            for neighbors in _frontier_parallel(frontier, direction,
+                                                types, edge_ok, view,
+                                                ctx):
+                for neighbor in neighbors:
+                    if neighbor not in yielded:
+                        yielded.add(neighbor)
+                        results.append((neighbor, (), no_edges))
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+            continue
         for node_id in frontier:
             pairs = ctx.neighbors(node_id, direction, types)
             ctx.tick(len(pairs))
             for edge_id, neighbor in pairs:
-                if has_props and not _matcher._edge_props_ok(
-                        rel, edge_id, view, ctx):
+                if edge_ok is not None and not edge_ok(edge_id, view,
+                                                       ctx):
                     continue
                 if neighbor not in yielded:
                     yielded.add(neighbor)
@@ -857,18 +1114,75 @@ def _expand_reachability_vec(step: Any, source: int,
     return results
 
 
+def _frontier_parallel(frontier: list[int], direction: Any,
+                       types: tuple[str, ...] | None, edge_ok: Any,
+                       view: Mapping[str, Any], ctx: ExecutionContext,
+                       ) -> list[list[int]]:
+    """Expand one BFS level on the pool: the frontier splits into
+    ``ctx.parallelism`` contiguous slices, each slice's nodes resolve
+    (and edge-filter) their adjacency on a forked context, and the
+    per-node neighbor lists come back concatenated in frontier order.
+
+    Accounting merges in slice order: expansion ticks via
+    :meth:`ExecutionContext.absorb` and db-hits onto whichever
+    operator frame the caller holds open (the VarLengthExpand step) —
+    the same operator serial expansion charges. Adjacency memos are
+    shared and lock-exact, so each store read is charged once per key
+    regardless of which slice got there first.
+    """
+    from repro.obs import QueryProfiler
+
+    spawn = ctx.task_spawner
+    profiled = ctx.profiler is not None
+    size = -(-len(frontier) // ctx.parallelism)
+    slices = [frontier[start:start + size]
+              for start in range(0, len(frontier), size)]
+
+    def expand(nodes: list[int], fork: ExecutionContext) -> list[list[int]]:
+        out = []
+        for node_id in nodes:
+            pairs = fork.neighbors(node_id, direction, types)
+            fork.tick(len(pairs))
+            if edge_ok is None:
+                out.append([neighbor for _edge, neighbor in pairs])
+            else:
+                out.append([neighbor for edge_id, neighbor in pairs
+                            if edge_ok(edge_id, view, fork)])
+        return out
+
+    tasks = []
+    for nodes in slices:
+        fork = ctx.fork(QueryProfiler() if profiled else None)
+        fn = (lambda n=nodes, f=fork: (expand(n, f), f))
+        tasks.append(spawn(fn) if spawn is not None else _InlineTask(fn))
+    results: list[list[int]] = []
+    for task in tasks:
+        out, fork = task.result()
+        ctx.absorb(fork)
+        if profiled:
+            ctx.db_hit(fork.profiler.root.db_hits)
+        results.extend(out)
+    return results
+
+
 # --------------------------------------------------------------------------
 # WHERE
 # --------------------------------------------------------------------------
 
 def _filter_stage(predicate: ast.Expr, batches: Iterator[RowBatch],
                   ctx: ExecutionContext) -> Iterator[RowBatch]:
+    kernel = expr_kernel(predicate, ctx)
     for batch in batches:
         keep = []
+        append = keep.append
+        ctx.tick(batch.count)  # same totals as the per-row tick
+        # one reusable row view: the predicate kernels read the row
+        # only inside the call, so re-pointing the index is safe
+        row = BatchRow(batch, 0)
         for index in range(batch.count):
-            ctx.tick()
-            if evaluate(predicate, batch.row_view(index), ctx) is True:
-                keep.append(index)
+            row._index = index
+            if kernel(row, ctx) is True:
+                append(index)
         if not keep:
             continue
         if len(keep) == batch.count:
@@ -894,11 +1208,13 @@ def _with_stage(clause: ast.With, batches: Iterator[RowBatch],
     last = {name: position for position, name in enumerate(columns)}
     slots = {name: slot for slot, name in enumerate(last)}
     sources = list(last.values())
+    where_kernel = expr_kernel(clause.where, ctx) \
+        if clause.where is not None else None
     builder = _Builder(slots, morsel_size)
     for values in data:
-        if clause.where is not None:
+        if where_kernel is not None:
             row = dict(zip(columns, values))
-            if evaluate(clause.where, row, ctx) is not True:
+            if where_kernel(row, ctx) is not True:
                 continue
         builder.append([values[source] for source in sources])
         if builder.full:
@@ -987,6 +1303,20 @@ def _column_kernel(expr: ast.Expr):
     return None
 
 
+def _compiled_column_kernel(expr: ast.Expr):
+    """Column kernel for any non-aggregate expression: the compiled
+    row kernel mapped over per-row batch views. Slower than the
+    shape-specialized kernels above (one BatchRow per row), still well
+    ahead of per-row AST dispatch."""
+    row_kernel = compile_expr(expr)
+
+    def column(batch: RowBatch, ctx: ExecutionContext) -> list[Any]:
+        return [row_kernel(BatchRow(batch, index), ctx)
+                for index in range(batch.count)]
+
+    return column
+
+
 def _project_batch(items: tuple[ast.ReturnItem, ...], distinct: bool,
                    order_by: tuple[ast.SortItem, ...],
                    skip: ast.Expr | None, limit: ast.Expr | None,
@@ -1009,6 +1339,10 @@ def _project_batch(items: tuple[ast.ReturnItem, ...], distinct: bool,
         else:
             kernels = [_column_kernel(item.expression)
                        for item in items]
+            if ctx.use_compiled_kernels:
+                kernels = [kernel if kernel is not None
+                           else _compiled_column_kernel(item.expression)
+                           for kernel, item in zip(kernels, items)]
             vectorized = all(kernel is not None for kernel in kernels)
             # scope rows are only ever read back by ORDER BY's key
             # evaluation; everything else uses the value tuples

@@ -28,13 +28,13 @@ from typing import Any, Mapping
 from repro.cypher import ast
 from repro.cypher.batch import (DEFAULT_MORSEL_SIZE, batch_supported,
                                 execute_batch)
-from repro.cypher.evaluator import ExecutionContext
+from repro.cypher.evaluator import ExecutionContext, precompile_query
 from repro.cypher.executor import execute
 from repro.cypher.options import QueryOptions
 from repro.cypher.parser import parse
 from repro.cypher.plan import PlanDescription
 from repro.cypher.plan_cache import DEFAULT_CAPACITY, PlanCache
-from repro.cypher.planner import plan_query
+from repro.cypher.planner import plan_query, prefer_rows
 from repro.cypher.result import Result
 from repro.errors import QueryTimeoutError
 from repro.graphdb.snapshot import pin_view
@@ -68,7 +68,10 @@ class CypherEngine:
                  use_cost_based_planner: bool = True,
                  plan_cache_capacity: int = DEFAULT_CAPACITY,
                  execution_mode: str = "auto",
-                 morsel_size: int = DEFAULT_MORSEL_SIZE) -> None:
+                 morsel_size: int = DEFAULT_MORSEL_SIZE,
+                 parallelism: int = 0,
+                 use_compiled_kernels: bool = True,
+                 use_csr_adjacency: bool = True) -> None:
         self.view = view
         self.default_timeout = default_timeout
         self.use_index_seek = use_index_seek
@@ -81,6 +84,35 @@ class CypherEngine:
         self.execution_mode = execution_mode
         #: rows per batch in batch execution
         self.morsel_size = morsel_size
+        if parallelism < 0:
+            raise ValueError("parallelism must be >= 0")
+        #: morsel tasks per query in batch execution: 0 = auto (the
+        #: attached pool's worker count, serial without a pool), 1 =
+        #: serial, N = up to N concurrent tasks (per-query override
+        #: via QueryOptions.parallelism)
+        self.parallelism = parallelism
+        #: run batch WHERE/projection through precompiled closure
+        #: kernels (off = interpreted evaluate(), the ablation knob)
+        self.use_compiled_kernels = use_compiled_kernels
+        #: promote the store's CSR adjacency snapshot to the default
+        #: read format for batch execution (lazily built per epoch)
+        self.use_csr_adjacency = use_csr_adjacency
+        #: intra-query work spawner — ``callable(fn) -> handle`` on the
+        #: serving pool; Frappe.serve() wires this to
+        #: Executor.spawn_task (with pool_workers as the auto
+        #: parallelism), so queries parallelize onto the same
+        #: fair-share pool that runs them
+        self.task_spawner = None
+        self.pool_workers = 0
+        # engine-persistent pattern-plan memo: cached plans outlive a
+        # single run so re-executions of a cached query skip replanning
+        # every MATCH clause; invalidated wholesale on epoch change
+        # (plans are costed against the pinned view's statistics)
+        self._pattern_plan_memo: dict = {}
+        # START index candidates, keyed by query string, same epoch
+        # lifecycle as the plan memo
+        self._start_candidate_memo: dict = {}
+        self._pattern_plan_epoch: int | None = None
         #: run endpoint-distinct var-length patterns as visited-set BFS
         #: (Section 6.1 ablation gate; per-query override via
         #: QueryOptions.use_reachability_rewrite)
@@ -131,6 +163,10 @@ class CypherEngine:
                 self._pushdowns.inc(report.pushed_filters)
             if report.reachability_rewrites:
                 self._rewrites.inc(report.reachability_rewrites)
+            # lower WHERE/projection expressions to closure kernels at
+            # prepare time; kernels cache on the AST nodes, so they
+            # live exactly as long as this plan-cache entry
+            precompile_query(query)
             self._plan_cache.put(text, query, epoch)
         return query
 
@@ -172,20 +208,51 @@ class CypherEngine:
         rewrite = opts.use_reachability_rewrite
         if rewrite is None:
             rewrite = self.use_reachability_rewrite
+        mode = opts.execution_mode
+        if mode is None:
+            mode = self.execution_mode
+        use_batch = mode == "batch" or \
+            (mode == "auto" and batch_supported(query)
+             and not self._route_to_rows(query, pinned, epoch))
+        compiled = opts.use_compiled_kernels
+        if compiled is None:
+            compiled = self.use_compiled_kernels
+        parallelism = opts.parallelism
+        if parallelism is None:
+            parallelism = self.parallelism
+        if parallelism == 0:  # auto: fan out to the attached pool
+            parallelism = self.pool_workers \
+                if self.task_spawner is not None else 1
+        if epoch != self._pattern_plan_epoch or \
+                len(self._pattern_plan_memo) > 4096 or \
+                len(self._start_candidate_memo) > 4096:
+            # plans are costed against this epoch's statistics and
+            # START candidates against its index state; a new epoch
+            # means every cached choice is suspect
+            self._pattern_plan_memo = {}
+            self._start_candidate_memo = {}
+            self._pattern_plan_epoch = epoch
         ctx = ExecutionContext(
             pinned, parameters, budget,
             use_index_seek=self.use_index_seek,
             profiler=profiler,
             use_reachability_rewrite=rewrite,
-            use_cost_based_planner=self.use_cost_based_planner)
-        mode = opts.execution_mode
-        if mode is None:
-            mode = self.execution_mode
-        use_batch = mode == "batch" or \
-            (mode == "auto" and batch_supported(query))
+            use_cost_based_planner=self.use_cost_based_planner,
+            use_compiled_kernels=compiled,
+            parallelism=parallelism if use_batch else 1,
+            task_spawner=self.task_spawner,
+            pattern_plans=self._pattern_plan_memo,
+            start_candidates=self._start_candidate_memo)
         morsel_size = opts.morsel_size
         if morsel_size is None:
             morsel_size = self.morsel_size
+        if use_batch and self.use_csr_adjacency:
+            # batch kernels read bulk adjacency; promote the pinned
+            # store view's CSR snapshot to the default read format
+            # (lazy: rings are decoded into the CSR on first access)
+            enable_csr = getattr(pinned, "enable_csr", None)
+            if enable_csr is not None:
+                enable_csr()
         with self.obs.tracer.span("cypher.query", query=text):
             try:
                 if use_batch:
@@ -208,6 +275,22 @@ class CypherEngine:
         self.obs.record_query(text, result.stats.elapsed_seconds,
                               len(result.rows))
         return result
+
+    def _route_to_rows(self, query: ast.Query, pinned: Any,
+                       epoch: int) -> bool:
+        """The 'auto' mode cost consult, memoized per plan + epoch.
+
+        :func:`~repro.cypher.planner.prefer_rows` probes statistics
+        (and, for START points, the index itself, bounded); caching
+        the verdict on the cached plan keeps the consult off the
+        per-run hot path.
+        """
+        hint = getattr(query, "_route_hint", None)
+        if hint is not None and hint[0] == epoch:
+            return hint[1]
+        prefer = prefer_rows(query, pinned, self.use_index_seek)
+        object.__setattr__(query, "_route_hint", (epoch, prefer))
+        return prefer
 
     @staticmethod
     def _shim_positional_timeout(deprecated: tuple[Any, ...],
@@ -250,3 +333,11 @@ class CypherEngine:
 
     def clear_cache(self) -> None:
         self._plan_cache.clear()
+        self.evict_epoch_memos()
+
+    def evict_epoch_memos(self) -> None:
+        """Drop the cross-run plan and START-candidate memos (cold
+        measurements must pay planning and index evaluation again)."""
+        self._pattern_plan_memo = {}
+        self._start_candidate_memo = {}
+        self._pattern_plan_epoch = None

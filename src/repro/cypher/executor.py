@@ -120,7 +120,7 @@ def _start_points(points: tuple[ast.StartPoint, ...], index: int,
         if point.index_name != "node_auto_index":
             raise CypherSemanticError(
                 f"unknown index {point.index_name!r}")
-        candidates: Iterable[int] = ctx.view.indexes.query(point.query)
+        candidates: Iterable[int] = ctx.index_candidates(point.query)
         operator_name = "NodeByIndexQuery"
     elif point.all_nodes:
         candidates = ctx.view.node_ids()

@@ -185,10 +185,13 @@ def _plan_for(pattern: ast.Pattern, row: Mapping[str, Any],
     key = (id(pattern), known)
     cached = ctx._pattern_plans.get(key)
     if cached is None:
-        cached = plan_pattern(pattern, set(known), ctx.view,
-                              ctx.use_index_seek)
+        plan = plan_pattern(pattern, set(known), ctx.view,
+                            ctx.use_index_seek)
+        # the entry pins the pattern object so an engine-persistent
+        # memo can never serve a plan for a recycled id()
+        cached = (pattern, plan)
         ctx._pattern_plans[key] = cached
-    return cached
+    return cached[1]
 
 
 def _pick_anchor(pattern: ast.Pattern, row: Mapping[str, Any]) -> int:

@@ -48,6 +48,19 @@ class QueryOptions:
     morsel_size
         Rows per batch in batch execution; ``None`` inherits the
         engine's morsel size (default 1024).
+    parallelism
+        Worker tasks for the morsel-driven parallel pipeline in batch
+        execution: ``None`` inherits the engine setting, ``0`` means
+        auto (the serving pool's worker count when one is attached,
+        else serial), ``1`` forces serial, ``N > 1`` runs up to N
+        morsel tasks concurrently on the shared Executor pool. Output
+        rows, row order and PROFILE db-hit counts are identical at
+        every setting.
+    use_compiled_kernels
+        Tri-state override of compiled expression kernels in batch
+        execution: ``None`` inherits the engine setting (on), ``False``
+        falls back to the interpreted ``evaluate()`` walker — the
+        compiled-vs-interpreted ablation knob.
     """
 
     timeout: float | None = None
@@ -57,6 +70,8 @@ class QueryOptions:
     use_reachability_rewrite: bool | None = None
     execution_mode: str | None = None
     morsel_size: int | None = None
+    parallelism: int | None = None
+    use_compiled_kernels: bool | None = None
 
     def __post_init__(self) -> None:
         if self.timeout is not None and self.timeout <= 0:
@@ -69,6 +84,8 @@ class QueryOptions:
                 "execution_mode must be 'auto', 'batch' or 'rows'")
         if self.morsel_size is not None and self.morsel_size < 1:
             raise ValueError("morsel_size must be >= 1")
+        if self.parallelism is not None and self.parallelism < 0:
+            raise ValueError("parallelism must be >= 0")
 
     @classmethod
     def resolve(cls, options: "QueryOptions | None" = None, *,

@@ -177,6 +177,78 @@ def plan_pattern(pattern: ast.Pattern, known_variables: set[str],
 
 
 # --------------------------------------------------------------------------
+# Execution-mode routing (the 'auto' cost consult)
+# --------------------------------------------------------------------------
+
+#: estimated source rows below which 'auto' execution runs the row
+#: pipeline: batch setup (per-clause layout work, morsel plumbing) is
+#: only recouped once morsels actually fill up
+ROW_MODE_SOURCE_THRESHOLD = 64
+
+
+def _point_estimate(point: ast.StartPoint, view: Any,
+                    limit: int) -> float:
+    """Candidate count for one START point, probed up to *limit*."""
+    if isinstance(point, ast.IndexStartPoint):
+        if point.index_name != "node_auto_index":
+            return float(limit)
+        try:
+            probe = view.indexes.query(point.query)
+        except Exception:
+            return float(limit)
+        import itertools
+        return float(len(list(itertools.islice(probe, limit))))
+    if point.all_nodes:
+        return float(view.node_count())
+    return float(len(point.ids))
+
+
+def prefer_rows(query: ast.Query, view: Any,
+                use_index_seek: bool = True) -> bool:
+    """True when 'auto' execution should run the row pipeline.
+
+    Batch execution wins by amortizing per-clause work over morsels
+    and by bulk adjacency on traversals. Two rules, both costed from
+    the same statistics the planner uses:
+
+    * any var-length relationship forces batch — reachability/DFS
+      expansion over bulk adjacency dominates regardless of source
+      size (the Figure 6 comprehension query);
+    * otherwise, when the pipeline's source (the START points'
+      cartesian product, or the first MATCH pattern's costed anchor)
+      is estimated under :data:`ROW_MODE_SOURCE_THRESHOLD` rows, the
+      generator pipeline wins — short pipelines like the Table 5
+      debugging query never fill a morsel, so batch setup is pure
+      overhead.
+    """
+    for clause in query.clauses:
+        if isinstance(clause, ast.Match):
+            for pattern in clause.patterns:
+                if any(rel.var_length for rel in pattern.rels):
+                    return False
+    source = next((clause for clause in query.clauses
+                   if isinstance(clause, (ast.Start, ast.Match))), None)
+    if source is None:
+        return True  # expression-only query: one row
+    threshold = ROW_MODE_SOURCE_THRESHOLD
+    if isinstance(source, ast.Start):
+        cardinality = 1.0
+        for point in source.points:
+            cardinality *= _point_estimate(point, view, threshold + 1)
+            if cardinality > threshold:
+                return False
+        return True
+    if source.optional or len(source.patterns) != 1:
+        return False  # row-fallback clauses; batch handles per clause
+    try:
+        plan = plan_pattern(source.patterns[0], set(), view,
+                            use_index_seek)
+    except Exception:
+        return False
+    return plan.anchor_estimate <= threshold
+
+
+# --------------------------------------------------------------------------
 # Prepare-time query rewrites
 # --------------------------------------------------------------------------
 

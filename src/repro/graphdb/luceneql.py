@@ -209,11 +209,26 @@ class _Parser:
         return token
 
 
+#: parsed-query memo: parsed trees are immutable and evaluation never
+#: mutates them, so the same query string (every START clause of a
+#: cached Cypher plan re-runs its index query per execution) can skip
+#: tokenization; the cap only guards adversarial churn
+_PARSE_CACHE: dict[str, QueryNode] = {}
+_PARSE_CACHE_LIMIT = 512
+
+
 def parse_query(text: str) -> QueryNode:
-    """Parse a legacy index query string into its AST."""
+    """Parse a legacy index query string into its AST (memoized)."""
+    cached = _PARSE_CACHE.get(text)
+    if cached is not None:
+        return cached
     if not text or not text.strip():
         raise LuceneQueryError("empty index query")
-    return _Parser(text).parse()
+    parsed = _Parser(text).parse()
+    if len(_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+        _PARSE_CACHE.clear()
+    _PARSE_CACHE[text] = parsed
+    return parsed
 
 
 # --------------------------------------------------------------------------

@@ -1106,8 +1106,11 @@ class StoreGraph:
         self._neighbor_pair_cache: dict[
             tuple[int, Any, tuple[str, ...] | None],
             list[tuple[int, int]]] = _FIFOCache(capacity)
-        #: CSR-style adjacency snapshot (see snapshot_adjacency)
+        #: CSR-style adjacency snapshot (see snapshot_adjacency /
+        #: enable_csr); _csr_complete marks an eager full build, where
+        #: a missing key means a dead node rather than not-yet-decoded
         self._csr: dict[int, tuple[Any, Any]] | None = None
+        self._csr_complete = False
         # planner statistics: exact counts when the writer recorded
         # them, estimates (uniform edge-type split) for older stores.
         label_counts = metadata.get("label_counts")
@@ -1146,7 +1149,12 @@ class StoreGraph:
         self._node_prop_cache.clear()
         self._edge_prop_cache.clear()
         self._neighbor_pair_cache.clear()
-        self._csr = None
+        # a lazily-enabled CSR empties but stays enabled (entries are
+        # rebuilt on access, so cold runs stay honest); an eager
+        # snapshot drops entirely, as it always did
+        self._csr = {} if self._csr is not None \
+            and not self._csr_complete else None
+        self._csr_complete = False
 
     def snapshot_adjacency(self) -> None:
         """Materialize the whole adjacency store into one in-memory
@@ -1167,6 +1175,24 @@ class StoreGraph:
             block = self._adj.read(record[3], record[4])
             snapshot[node_id] = records.decode_adjacency(block)
         self._csr = snapshot
+        self._csr_complete = True
+
+    def enable_csr(self) -> None:
+        """Promote the CSR snapshot to the default adjacency format,
+        built *lazily*: each node's edge groups are decoded on first
+        access and kept for the store's lifetime (unbounded, unlike
+        the FIFO ``_adj_cache``), so batch execution gets
+        snapshot-speed adjacency on warm nodes without
+        :meth:`snapshot_adjacency`'s eager full scan on cold stores.
+
+        Idempotent; a no-op when an eager snapshot is already in
+        place. The engine calls this per batch query (cheap after the
+        first), so eviction for a cold benchmark run re-enables on the
+        next query.
+        """
+        if self._csr is None:
+            self._csr = {}
+            self._csr_complete = False
 
     def close(self) -> None:
         """Release every underlying file; safe to call twice."""
@@ -1438,10 +1464,20 @@ class StoreGraph:
         return record
 
     def _adjacency(self, node_id: int) -> tuple[Any, Any]:
-        if self._csr is not None:
-            groups = self._csr.get(node_id)
-            if groups is None:
+        csr = self._csr
+        if csr is not None:
+            groups = csr.get(node_id)
+            if groups is not None:
+                return groups
+            if self._csr_complete:
+                # eager snapshot: absence means the node is dead
                 raise NodeNotFoundError(node_id)
+            # lazy CSR: decode once, keep for the store's lifetime
+            self._fault_counter.inc()
+            record = self._live_node(node_id)
+            block = self._adj.read(record[3], record[4])
+            groups = records.decode_adjacency(block)
+            csr[node_id] = groups
             return groups
         cached = self._adj_cache.get(node_id)
         if cached is None:

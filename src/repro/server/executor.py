@@ -62,6 +62,58 @@ class QueryJob:
     deadline: float | None = None
 
 
+class TaskHandle:
+    """A claimable unit of intra-query work (``Executor.spawn_task``).
+
+    Exactly one thread runs the task: a pool worker that claims it
+    from the task deque, or the spawner itself inside :meth:`result`
+    (caller-help). Caller-help is the no-deadlock guarantee — a query
+    that parallelized itself onto a saturated pool degrades to running
+    its own morsels inline instead of waiting on workers that are all
+    busy running queries that are themselves waiting on tasks.
+    """
+
+    __slots__ = ("_fn", "_claimed", "_lock", "_done", "_result",
+                 "_error")
+
+    def __init__(self, fn: Callable[[], Any]) -> None:
+        self._fn = fn
+        self._claimed = False
+        self._lock = threading.Lock()
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    def _claim(self) -> bool:
+        with self._lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
+
+    def _run(self) -> None:
+        try:
+            self._result = self._fn()
+        except BaseException as error:  # noqa: BLE001 - result re-raises
+            self._error = error
+        finally:
+            self._done.set()
+
+    def result(self) -> Any:
+        """The task's return value (re-raises its exception).
+
+        If no worker claimed the task yet, the calling thread claims
+        and runs it here — so ``result()`` never deadlocks, even with
+        zero free workers.
+        """
+        if self._claim():
+            self._run()
+        self._done.wait()
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+
 class Executor:
     """Runs queries on worker threads against one engine.
 
@@ -106,6 +158,9 @@ class Executor:
             if max_per_client is not None \
             else max(1, queue_capacity // 4)
         self._queue: deque[QueryJob] = deque()
+        #: intra-query work (morsel tasks) — preferred over new jobs
+        #: so a running query finishes before fresh ones start
+        self._tasks: deque[TaskHandle] = deque()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._in_flight: dict[str, int] = {}
@@ -119,6 +174,8 @@ class Executor:
             self._failed = registry.counter("server.failed")
             self._timeouts = registry.counter("server.timeouts")
             self._drained = registry.counter("server.drained")
+            self._tasks_spawned = registry.counter(
+                "server.tasks_spawned")
             self._queue_depth = registry.gauge("server.queue_depth")
             self._active = registry.gauge("server.active_workers")
             self._wait = registry.histogram(
@@ -171,6 +228,25 @@ class Executor:
             self._set_gauge("_queue_depth", len(self._queue))
             self._work.notify()
         return job.future
+
+    def spawn_task(self, fn: Callable[[], Any]) -> TaskHandle:
+        """Offer *fn* to the pool as intra-query work.
+
+        Unlike :meth:`submit`, tasks bypass admission control: they
+        are fractions of an already-admitted query, so refusing them
+        would double-charge the client. Workers prefer tasks over new
+        jobs (finish what's running first); if every worker is busy,
+        the spawner's ``result()`` call runs the task inline
+        (caller-help), so spawning is always safe — including after
+        shutdown, when the task simply never reaches a worker.
+        """
+        handle = TaskHandle(fn)
+        with self._work:
+            if not self._shutdown:
+                self._tasks.append(handle)
+                self._inc("_tasks_spawned")
+                self._work.notify()
+        return handle
 
     def map(self, texts: list[str],
             options: QueryOptions | None = None,
@@ -251,12 +327,24 @@ class Executor:
     def _worker_loop(self) -> None:
         while True:
             with self._work:
-                while not self._queue and not self._shutdown:
+                while not self._tasks and not self._queue \
+                        and not self._shutdown:
                     self._work.wait()
-                if not self._queue:
+                if self._tasks:
+                    task = self._tasks.popleft()
+                    # run outside the lock; a task some caller already
+                    # helped with is simply skipped
+                    job = None
+                elif self._queue:
+                    task = None
+                    job = self._queue.popleft()
+                    self._set_gauge("_queue_depth", len(self._queue))
+                else:
                     return  # shutdown with a drained queue
-                job = self._queue.popleft()
-                self._set_gauge("_queue_depth", len(self._queue))
+            if task is not None:
+                if task._claim():
+                    task._run()
+                continue
             try:
                 self._run_job(job)
             finally:

@@ -52,6 +52,16 @@ from repro.server.executor import Executor
 #: Seconds a worker gets to open the store and report ready.
 STARTUP_TIMEOUT = 60.0
 
+#: Seed for a fresh replica's reply-size EWMA: one page of NDJSON.
+#: Until real replies arrive every replica scores identically, so the
+#: router degenerates to the old least-in-flight-count behaviour.
+INITIAL_REPLY_BYTES = 4096.0
+
+#: EWMA smoothing for observed reply payload sizes. 0.2 keeps ~5
+#: recent replies of memory — fast enough to follow a workload shift,
+#: slow enough that one outlier reply does not blacklist a replica.
+REPLY_BYTES_ALPHA = 0.2
+
 #: spawn, not fork: the parent runs pump threads and an asyncio loop,
 #: and forking a threaded process can clone held locks into the child.
 _CONTEXT = multiprocessing.get_context("spawn")
@@ -167,6 +177,8 @@ class Replica:
         self.pid: int = ready["pid"]
         self.alive = True
         self.in_flight = 0
+        self.in_flight_bytes = 0.0
+        self._bytes_ewma = INITIAL_REPLY_BYTES
         self._ids = itertools.count()
         self._pending: dict[int, _PendingReply] = {}
         self._lock = threading.Lock()
@@ -192,11 +204,22 @@ class Replica:
             request_id = next(self._ids)
             self._pending[request_id] = slot
             self.in_flight += 1
+            # charge the dispatch at the replica's current expected
+            # reply size; settled against the observed size on reply
+            estimate = self._bytes_ewma
+            self.in_flight_bytes += estimate
             try:
                 self._conn.send({**message, "id": request_id})
             except (BrokenPipeError, OSError) as error:
                 self._pending.pop(request_id, None)
                 self.in_flight -= 1
+                self.in_flight_bytes -= estimate
+                # a broken pipe is definitive death: mark it here so
+                # the caller's retry cannot re-pick this replica while
+                # the pump thread is still blocked on its EOF (on a
+                # loaded box that window is long enough for a retry
+                # loop to burn every attempt on the same dead worker)
+                self.alive = False
                 raise ReplicaCrashedError(
                     f"replica {self.index} pipe closed mid-send"
                 ) from error
@@ -205,6 +228,11 @@ class Replica:
         finally:
             with self._lock:
                 self.in_flight -= 1
+                self.in_flight_bytes -= estimate
+                payload = (slot.message or {}).get("payload")
+                if isinstance(payload, (bytes, bytearray)):
+                    self._bytes_ewma += REPLY_BYTES_ALPHA * (
+                        len(payload) - self._bytes_ewma)
         if slot.message is None:
             raise ReplicaCrashedError(
                 f"replica {self.index} (pid {self.pid}) died with "
@@ -232,6 +260,19 @@ class Replica:
         callback = self._on_death
         if callback is not None:
             callback(self)
+
+    def load(self) -> float:
+        """Dispatch score: estimated bytes still owed by this worker.
+
+        A count-only score dispatches a point lookup behind a replica
+        that is serializing a multi-megabyte traversal reply while its
+        siblings sit idle at the same job count — the 4-replica
+        regression recorded in BENCH_PR7.json / EXPERIMENTS.md. Bytes
+        in flight (each dispatch charged at the replica's reply-size
+        EWMA) makes expensive queries visibly expensive to the router.
+        """
+        with self._lock:
+            return self.in_flight_bytes
 
     # -- lifecycle -----------------------------------------------------
 
@@ -317,7 +358,13 @@ class ReplicaSet:
     # -- routing -------------------------------------------------------
 
     def _pick(self) -> Replica:
-        """Least-loaded live replica; round-robin breaks ties."""
+        """Least-loaded live replica; round-robin breaks ties.
+
+        Load is :meth:`Replica.load` — estimated reply bytes in
+        flight, not job count — so one replica grinding a large
+        traversal reply stops absorbing point lookups that an idle
+        sibling could answer immediately.
+        """
         with self._lock:
             live = [replica for replica in self._replicas
                     if replica.alive]
@@ -326,7 +373,7 @@ class ReplicaSet:
                     "no live replicas (all workers down)")
             offset = next(self._rr) % len(live)
             rotated = live[offset:] + live[:offset]
-            return min(rotated, key=lambda replica: replica.in_flight)
+        return min(rotated, key=lambda replica: replica.load())
 
     def execute(self, text: str,
                 options: QueryOptions | None = None) -> bytes:

@@ -96,8 +96,23 @@ class TestModeSelection:
     def test_unsupported_clauses_fall_back(self, text):
         assert not batch_supported(parse(text))
 
-    def test_auto_mode_picks_batch_when_supported(self, engine):
+    def test_auto_mode_routes_tiny_scan_to_rows(self, engine):
+        # Cost-based routing: the fixture graph has 12 function nodes,
+        # well under the row-mode source threshold, so auto picks the
+        # generator pipeline even though every clause has a batch
+        # kernel.  Forcing batch still works.
         result = engine.run("MATCH (n:function) RETURN count(n)")
+        assert result.stats.execution_mode == "rows"
+        forced = engine.run("MATCH (n:function) RETURN count(n)",
+                            options=QueryOptions(execution_mode="batch"))
+        assert forced.stats.execution_mode == "batch"
+        assert forced.rows == result.rows
+
+    def test_auto_mode_picks_batch_for_var_length(self, engine):
+        # Var-length traversal is where the vectorized engine wins;
+        # auto must keep routing it to batch regardless of source size.
+        result = engine.run(
+            "MATCH (a:function)-[:calls*]->(b) RETURN count(distinct b)")
         assert result.stats.execution_mode == "batch"
 
     def test_auto_mode_picks_rows_when_not_supported(self, engine):
@@ -140,6 +155,66 @@ class TestModeSelection:
             QueryOptions(execution_mode="columnar")
         with pytest.raises(ValueError):
             QueryOptions(morsel_size=0)
+
+
+# --------------------------------------------------------------------------
+# Cost-based auto routing (prefer_rows)
+# --------------------------------------------------------------------------
+
+class TestAutoRouting:
+    """Pins the auto-mode cost decision from ISSUE 8 satellite 1:
+    short pipelines (the Table 5 debugging shape, 0.90x under batch)
+    route to rows; wide scans and traversals keep the batch engine."""
+
+    @pytest.fixture
+    def wide_graph(self):
+        g = PropertyGraph()
+        nodes = [g.add_node("function", short_name=f"fn{i}",
+                            type="function") for i in range(200)]
+        for index, source in enumerate(nodes):
+            g.add_edge(source, nodes[(index + 1) % len(nodes)], "calls")
+        return g
+
+    def test_debugging_shape_routes_to_rows(self, engine):
+        # START seeds from index points with a cartesian product of a
+        # couple of rows — the per-morsel setup never amortizes.
+        result = engine.run(
+            "START a=node:node_auto_index('short_name: fn1'), "
+            "b=node:node_auto_index('short_name: fn2') "
+            "MATCH a -[r:calls]-> c RETURN b, c")
+        assert result.stats.execution_mode == "rows"
+
+    def test_wide_scan_routes_to_batch(self, wide_graph):
+        engine = CypherEngine(wide_graph)
+        result = engine.run(
+            "MATCH (n:function) WHERE n.short_name <> 'fn0' "
+            "RETURN count(n)")
+        assert result.stats.execution_mode == "batch"
+
+    def test_prefer_rows_unit(self, graph, wide_graph):
+        from repro.cypher.planner import prefer_rows
+        from repro.graphdb.snapshot import pin_view
+        tiny, wide = pin_view(graph), pin_view(wide_graph)
+        assert prefer_rows(parse("MATCH (n:function) RETURN n"), tiny)
+        assert not prefer_rows(parse("MATCH (n:function) RETURN n"),
+                               wide)
+        # var-length always goes to batch, even on a tiny source
+        assert not prefer_rows(
+            parse("MATCH (a:function)-[:calls*]->(b) RETURN b"), tiny)
+        # explicit node ids: product under/over the threshold
+        assert prefer_rows(parse("START n=node(1, 2, 3) RETURN n"),
+                           tiny)
+        assert not prefer_rows(
+            parse("START a=node(%s), b=node(%s) RETURN a, b"
+                  % (", ".join(map(str, range(9))),
+                     ", ".join(map(str, range(9))))), tiny)
+
+    def test_route_decision_is_memoized_per_epoch(self, engine):
+        text = "MATCH (n:function) RETURN count(n)"
+        first = engine.run(text)
+        second = engine.run(text)
+        assert first.stats.execution_mode == "rows"
+        assert second.stats.execution_mode == "rows"
 
 
 # --------------------------------------------------------------------------

@@ -107,6 +107,31 @@ def assert_modes_agree(graph, text, morsel_size):
         row_result.stats.rows_produced
 
 
+def assert_three_way(engine, text, morsel_size, parallelism):
+    """rows == serial batch == parallel batch: columns, rows, order
+    AND profiled db-hit totals (the morsel driver's ordered merge must
+    leave no observable trace of the task decomposition)."""
+    rows = engine.run(
+        text, options=QueryOptions(execution_mode="rows",
+                                   profile=True))
+    serial = engine.run(
+        text, options=QueryOptions(execution_mode="batch",
+                                   morsel_size=morsel_size,
+                                   parallelism=1, profile=True))
+    parallel = engine.run(
+        text, options=QueryOptions(execution_mode="batch",
+                                   morsel_size=morsel_size,
+                                   parallelism=parallelism,
+                                   profile=True))
+    assert serial.columns == rows.columns == parallel.columns
+    assert serial.rows == rows.rows, text
+    assert parallel.rows == serial.rows, \
+        f"{text} (morsel={morsel_size}, parallelism={parallelism})"
+    assert parallel.stats.rows_produced == serial.stats.rows_produced
+    assert parallel.stats.db_hits == serial.stats.db_hits, \
+        f"{text} (morsel={morsel_size}, parallelism={parallelism})"
+
+
 class TestBatchRowEquivalence:
     @settings(max_examples=120, deadline=None)
     @given(graph=call_graphs(), text=queries(),
@@ -142,3 +167,63 @@ class TestBatchRowEquivalence:
         rows = engine.run(
             text, options=QueryOptions(execution_mode="rows"))
         assert auto.rows == rows.rows
+
+
+class TestParallelBatchEquivalence:
+    """ISSUE 8: the morsel-parallel driver is observationally
+    identical to serial batch (which is identical to rows) — same
+    rows, same order, same profiled db-hit totals — across the full
+    (parallelism x morsel size) grid. Without a pool attached the
+    driver falls back to inline tasks, which exercises the exact same
+    fork/ordered-merge path; determinism is a property of the merge,
+    not of the schedule."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(graph=call_graphs(), text=queries(),
+           morsel_size=st.sampled_from([1, 128, 1024]),
+           parallelism=st.sampled_from([1, 2, 8]))
+    def test_single_match_pipeline(self, graph, text, morsel_size,
+                                   parallelism):
+        assert_three_way(CypherEngine(graph), text, morsel_size,
+                         parallelism)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=call_graphs(), text=with_queries(),
+           morsel_size=st.sampled_from([1, 128]),
+           parallelism=st.sampled_from([2, 8]))
+    def test_with_pipeline(self, graph, text, morsel_size,
+                           parallelism):
+        assert_three_way(CypherEngine(graph), text, morsel_size,
+                         parallelism)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph=call_graphs(max_nodes=6), text=queries(),
+           morsel_size=st.sampled_from([1, 128]),
+           parallelism=st.sampled_from([2, 8]))
+    def test_on_a_real_thread_pool(self, graph, text, morsel_size,
+                                   parallelism):
+        # same grid, but tasks really run on Executor worker threads
+        from repro.server.executor import Executor
+        executor = Executor(lambda *a, **k: None, workers=2)
+        engine = CypherEngine(graph)
+        engine.task_spawner = executor.spawn_task
+        engine.pool_workers = executor.workers
+        try:
+            assert_three_way(engine, text, morsel_size, parallelism)
+        finally:
+            engine.task_spawner = None
+            executor.close(wait=True)
+
+    @settings(max_examples=25, deadline=None)
+    @given(graph=call_graphs(),
+           morsel_size=st.sampled_from([1, 128]),
+           parallelism=st.sampled_from([2, 8]))
+    def test_var_length_frontier_parallel(self, graph, morsel_size,
+                                          parallelism):
+        # reachability expansion takes the frontier-parallel path;
+        # first-reach order (hence DISTINCT row order) must not move
+        assert_three_way(
+            CypherEngine(graph),
+            "MATCH (a:function)-[:calls*]->(b) "
+            "RETURN DISTINCT a.short_name, b.short_name",
+            morsel_size, parallelism)

@@ -216,6 +216,79 @@ class TestCloseDrain:
         assert obs.registry.snapshot().counter("server.drained") == 1
 
 
+class TestSpawnTask:
+    """Morsel tasks (ISSUE 8): fractions of an already-admitted query
+    offered to the pool. They bypass admission, workers prefer them
+    over new jobs, and result() helps instead of deadlocking."""
+
+    def test_task_runs_on_a_worker(self):
+        obs = Observability()
+        with make_executor(lambda text, options=None: text,
+                           workers=2, obs=obs) as executor:
+            handle = executor.spawn_task(lambda: 41 + 1)
+            assert handle.result() == 42
+            snapshot = obs.registry.snapshot()
+            assert snapshot.counter("server.tasks_spawned") == 1
+
+    def test_task_error_propagates(self):
+        with make_executor(lambda text, options=None: text,
+                           workers=2) as executor:
+            def boom():
+                raise ValueError("morsel exploded")
+            handle = executor.spawn_task(boom)
+            with pytest.raises(ValueError, match="morsel exploded"):
+                handle.result()
+
+    def test_caller_helps_when_pool_is_saturated(self):
+        # every worker is wedged behind the gate: result() must claim
+        # and run the task on the calling thread, not deadlock
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        try:
+            blocked = executor.submit("blocked")
+            assert gate.started.wait(timeout=5.0)
+            ran_on = []
+            handle = executor.spawn_task(
+                lambda: ran_on.append(threading.current_thread().name)
+                or "done")
+            assert handle.result() == "done"
+            assert ran_on == [threading.current_thread().name]
+        finally:
+            gate.release.set()
+            assert blocked.result(timeout=5.0) == "BLOCKED"
+            executor.close(wait=True)
+
+    def test_task_runs_once_under_racing_result_calls(self):
+        with make_executor(lambda text, options=None: text,
+                           workers=4) as executor:
+            runs = []
+            lock = threading.Lock()
+
+            def task():
+                with lock:
+                    runs.append(1)
+                return len(runs)
+
+            handles = [executor.spawn_task(task) for _ in range(8)]
+            results = []
+            threads = [threading.Thread(
+                target=lambda h=h: results.append(h.result()))
+                for h in handles]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert len(runs) == 8  # each task exactly once
+
+    def test_spawn_after_close_still_completes(self):
+        executor = make_executor(lambda text, options=None: text,
+                                 workers=1)
+        executor.close(wait=True)
+        # no worker will ever claim it; caller-help covers it
+        handle = executor.spawn_task(lambda: "late")
+        assert handle.result() == "late"
+
+
 class TestDeadlines:
     def test_queue_wait_counts_against_budget(self):
         # with the only worker blocked, a queued query's budget drains

@@ -1,5 +1,6 @@
 """Multi-process replica serving: routing, crashes, respawn."""
 
+import itertools
 import os
 import signal
 import threading
@@ -14,7 +15,8 @@ from repro.cypher import QueryOptions
 from repro.errors import QueryTimeoutError, ServerError
 from repro.server import wire
 from repro.server.http import HttpServer
-from repro.server.replica import ReplicaBackend, ReplicaSet
+from repro.server.replica import (INITIAL_REPLY_BYTES, ReplicaBackend,
+                                  ReplicaSet)
 
 COUNT_QUERY = "MATCH (n:function) RETURN count(*) AS n"
 
@@ -88,6 +90,72 @@ class TestReplicaSet:
             ReplicaSet(saved_store, replicas=0)
 
 
+class _StubReplica:
+    """Just enough surface for exercising ``ReplicaSet._pick``."""
+
+    def __init__(self, index, in_flight_bytes=0.0, alive=True):
+        self.index = index
+        self.alive = alive
+        self.in_flight = 0
+        self.in_flight_bytes = in_flight_bytes
+
+    def load(self):
+        return self.in_flight_bytes
+
+
+def _routing_set(stubs):
+    replica_set = ReplicaSet.__new__(ReplicaSet)
+    replica_set._lock = threading.Lock()
+    replica_set._rr = itertools.count()
+    replica_set._replicas = list(stubs)
+    return replica_set
+
+
+class TestBytesAwareRouting:
+    """The BENCH_PR7 4-replica regression fix: dispatch scores count
+    estimated reply bytes in flight, not outstanding job count."""
+
+    def test_picks_fewest_outstanding_bytes(self):
+        # replica 0 owes one huge traversal reply; replica 1 owes two
+        # point lookups — count-based routing would pick 0 and queue
+        # behind the megabyte, bytes-based routing must pick 1
+        heavy = _StubReplica(0, in_flight_bytes=1_000_000.0)
+        heavy.in_flight = 1
+        light = _StubReplica(1, in_flight_bytes=2 * 200.0)
+        light.in_flight = 2
+        picks = {_routing_set([heavy, light])._pick().index
+                 for _ in range(4)}
+        assert picks == {1}
+
+    def test_round_robin_breaks_ties(self):
+        stubs = [_StubReplica(0), _StubReplica(1)]
+        picked = [_routing_set(stubs)._pick().index for _ in range(2)]
+        replica_set = _routing_set(stubs)
+        assert {replica_set._pick().index,
+                replica_set._pick().index} == {0, 1}
+
+    def test_dead_replicas_never_picked(self):
+        stubs = [_StubReplica(0, alive=False),
+                 _StubReplica(1, in_flight_bytes=9e9)]
+        replica_set = _routing_set(stubs)
+        assert replica_set._pick().index == 1
+        stubs[1].alive = False
+        with pytest.raises(ServerError):
+            replica_set._pick()
+
+    def test_reply_sizes_feed_the_ewma(self, replica_set):
+        replica_set.execute("MATCH (n:function) RETURN n.short_name")
+        replicas = replica_set._replicas
+        # the charge is settled once the reply lands (float add/sub
+        # of interleaved estimates can leave sub-byte residue)
+        assert all(abs(replica.in_flight_bytes) < 1e-6
+                   for replica in replicas)
+        # whoever served has folded the observed payload size in
+        assert any(replica._bytes_ewma != INITIAL_REPLY_BYTES
+                   for replica in replicas)
+        assert all(replica._bytes_ewma > 0 for replica in replicas)
+
+
 class TestCrashRecovery:
     def test_kill_one_worker_zero_failed_requests(self, saved_store):
         """The acceptance criterion: SIGKILL a replica under load and
@@ -149,6 +217,42 @@ class TestCrashRecovery:
             # the survivor still serves
             payload = replica_set_execute_retry(replicas)
             assert wire.result_from_ndjson(payload).value() > 0
+
+    def test_send_failure_marks_replica_dead(self, saved_store):
+        """A broken pipe on dispatch is definitive death, recorded
+        immediately — not left for the pump thread's EOF.
+
+        While the pump is still blocked in recv, a corpse keeps the
+        lowest byte score (its refunded charges make it look idle),
+        so without the immediate mark a retry loop can burn every
+        attempt re-picking the same dead worker."""
+        with ReplicaSet(saved_store, replicas=2,
+                        respawn=False) as replicas:
+            victim = replicas._replicas[0]
+            real_conn = victim._conn
+
+            class _BrokenPipe:
+                def send(self, message):
+                    raise BrokenPipeError("worker gone")
+
+                def __getattr__(self, name):
+                    return getattr(real_conn, name)
+
+            victim._conn = _BrokenPipe()
+            try:
+                with pytest.raises(Exception) as excinfo:
+                    victim.request({"op": "query", "text": COUNT_QUERY,
+                                    "options": {}})
+                assert "pipe closed" in str(excinfo.value)
+                assert victim.alive is False
+                # every subsequent execute routes around the corpse —
+                # no "failed on N replicas in a row"
+                for _ in range(5):
+                    payload = replicas.execute(COUNT_QUERY)
+                    assert wire.result_from_ndjson(payload).value() > 0
+                assert replicas.alive() == 1
+            finally:
+                victim._conn = real_conn
 
     def test_all_dead_is_a_server_error(self, saved_store):
         with ReplicaSet(saved_store, replicas=1,
