@@ -113,6 +113,19 @@ def bench_records_pr8():
 
 
 @pytest.fixture(scope="session")
+def bench_records_pr9():
+    """Sharded serving-tier benchmark records (1/2/4-shard warm
+    throughput and p50/p99 latency over the Table 5 mix, anchored
+    dispatch vs unsharded, crash transparency); written to
+    ``benchmarks/reports/BENCH_PR9.json`` at session end."""
+    records: list[dict] = []
+    yield records
+    if records:
+        write_bench_records(
+            os.path.join(REPORT_DIR, "BENCH_PR9.json"), records)
+
+
+@pytest.fixture(scope="session")
 def report():
     """Append paper-style tables to benchmarks/reports/summary.txt."""
     os.makedirs(REPORT_DIR, exist_ok=True)

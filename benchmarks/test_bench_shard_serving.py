@@ -1,0 +1,295 @@
+"""Sharded serving-tier benchmark: shard-sweep throughput + gates.
+
+The deployment experiment behind ``frappe serve --http --shards DIR``:
+the Table 5 query mix submitted over the wire by concurrent
+``FrappeClient`` threads against the store split into 1, 2 and 4
+subtree shards (one mmap'd worker process per shard), routed by the
+scatter/gather tier.
+
+Two ISSUE 9 acceptance gates ride along:
+
+* a single-subtree anchored query through the router must not be
+  slower than the same query against the unsharded replica tier
+  (the dispatch tier touches one smaller store; its only added cost
+  is the routing classification, which must stay in the noise);
+* SIGKILLing one shard worker under load must never surface to a
+  client as anything but a transparent retry — zero failed requests.
+
+Rows land in ``benchmarks/reports/BENCH_PR9.json`` next to the
+BENCH_PR7 replica-sweep rows.
+"""
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.client import FrappeClient
+from repro.graphdb.storage import split_store
+from repro.server import wire
+from repro.server.http import HttpServer
+from repro.server.replica import ReplicaBackend, ReplicaSet
+from repro.server.shard import ShardBackend, ShardRouter
+
+from test_bench_concurrency import _query_mix
+from test_bench_http_serving import _percentile
+
+ROUNDS = 4          # each client thread runs the whole mix this often
+CLIENT_THREADS = 3  # concurrent wire clients per sweep point
+SHARD_SWEEP = (1, 2, 4)
+ANCHOR_SAMPLES = 40
+
+
+class TestShardSweep:
+    @pytest.fixture(scope="class")
+    def query_mix(self, frappe_store):
+        return _query_mix(frappe_store)
+
+    @pytest.fixture(scope="class")
+    def shard_roots(self, store_dir, tmp_path_factory):
+        """The bench store split at every sweep point, once."""
+        base = tmp_path_factory.mktemp("bench-shards")
+        roots = {}
+        for shards in SHARD_SWEEP:
+            root = str(base / f"shards{shards}")
+            split_store(store_dir, root, shards)
+            roots[shards] = root
+        return roots
+
+    @pytest.fixture(scope="class")
+    def sweep(self, shard_roots, query_mix):
+        rows_by_shards = {}
+        for shards in SHARD_SWEEP:
+            rows_by_shards[shards] = self._measure(
+                shard_roots[shards], query_mix, shards)
+        return rows_by_shards
+
+    @staticmethod
+    def _measure(root, queries, shards):
+        with ShardRouter(root, replicas=1) as router:
+            backend = ShardBackend(
+                router,
+                queue_capacity=len(queries) * ROUNDS
+                * CLIENT_THREADS + 8,
+                max_per_client=len(queries) * ROUNDS + 8)
+            server = HttpServer(backend).start_background()
+            try:
+                with FrappeClient(port=server.port,
+                                  client_id="warm") as warmer:
+                    for text in queries:  # warm plan + page caches
+                        warmer.query(text, timeout=120.0)
+                latencies = []
+                failures = []
+                produced = [0]
+                lock = threading.Lock()
+
+                def run_mix(thread_index):
+                    with FrappeClient(
+                            port=server.port,
+                            client_id=f"bench-{thread_index}",
+                            timeout=180.0) as client:
+                        for _ in range(ROUNDS):
+                            for text in queries:
+                                begun = time.perf_counter()
+                                try:
+                                    result = client.query(
+                                        text, timeout=120.0)
+                                except Exception as error:
+                                    with lock:
+                                        failures.append(error)
+                                    continue
+                                elapsed = (time.perf_counter()
+                                           - begun)
+                                with lock:
+                                    latencies.append(elapsed)
+                                    produced[0] += len(result)
+
+                threads = [threading.Thread(target=run_mix,
+                                            args=(index,))
+                           for index in range(CLIENT_THREADS)]
+                started = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - started
+            finally:
+                server.stop(close_backend=False)
+                backend.close()
+        total = len(queries) * ROUNDS * CLIENT_THREADS
+        return {
+            "shards": shards,
+            "queries": total,
+            "failures": len(failures),
+            "rows": produced[0],
+            "wall_ms": round(wall * 1000, 3),
+            "queries_per_second": round(total / wall, 2),
+            "p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+            "p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        }
+
+    def test_shard_sweep(self, sweep, scale, report,
+                         bench_records_pr9):
+        lines = [f"{'shards':>8} {'q/s':>8} {'p50 ms':>9} "
+                 f"{'p99 ms':>9} {'failures':>9}"]
+        for shards in SHARD_SWEEP:
+            row = sweep[shards]
+            bench_records_pr9.append(
+                {"experiment": "shard_http_throughput",
+                 "scale": scale, **row})
+            lines.append(
+                f"{row['shards']:>8} "
+                f"{row['queries_per_second']:>8.2f} "
+                f"{row['p50_ms']:>9.2f} {row['p99_ms']:>9.2f} "
+                f"{row['failures']:>9}")
+        report("HTTP shard sweep (Table 5 mix over the wire)\n"
+               + "\n".join(lines))
+        for row in sweep.values():
+            assert row["failures"] == 0
+            assert row["rows"] > 0
+
+    def test_sharding_never_collapses_throughput(self, sweep):
+        """Routing + scatter overhead must stay bounded: 4 shards
+        must hold a reasonable fraction of the 1-shard figure even on
+        a single-core runner time-sharing the worker processes."""
+        single = sweep[1]["queries_per_second"]
+        quad = sweep[4]["queries_per_second"]
+        assert quad >= 0.4 * single
+
+    def test_tail_latency_reported(self, sweep):
+        for row in sweep.values():
+            assert row["p99_ms"] >= row["p50_ms"] > 0
+
+
+class TestAnchorDispatchGate:
+    """ISSUE 9 gate: single-subtree anchor queries never slower than
+    unsharded. Measured at the backend seam (same Executor + worker
+    pipe path on both sides) so the comparison isolates what sharding
+    adds: routing classification against one smaller shard store."""
+
+    @pytest.fixture(scope="class")
+    def anchored_query(self, frappe_store):
+        rows = frappe_store.query(
+            "MATCH (n:function) RETURN n.short_name").rows
+        name = sorted(row[0] for row in rows)[len(rows) // 2]
+        return (f"START n=node:node_auto_index('short_name:{name}') "
+                "RETURN n.short_name, n.type")
+
+    @staticmethod
+    def _sample(backend, text):
+        backend.submit(text, None, "warm").result(timeout=60)
+        samples = []
+        for index in range(ANCHOR_SAMPLES):
+            begun = time.perf_counter()
+            payload = backend.submit(text, None,
+                                     f"anchor-{index % 3}").result(
+                                         timeout=60)
+            samples.append(time.perf_counter() - begun)
+            assert wire.result_from_ndjson(payload).rows
+        return samples
+
+    def test_anchor_dispatch_not_slower_than_unsharded(
+            self, store_dir, tmp_path_factory, anchored_query, scale,
+            report, bench_records_pr9):
+        root = str(tmp_path_factory.mktemp("bench-anchor") / "shards")
+        split_store(store_dir, root, 4)
+
+        with ReplicaSet(store_dir, replicas=1) as replicas:
+            flat_backend = ReplicaBackend(replicas, queue_capacity=16)
+            try:
+                flat = self._sample(flat_backend, anchored_query)
+            finally:
+                flat_backend.close()
+        with ShardRouter(root, replicas=1) as router:
+            shard_backend = ShardBackend(router, queue_capacity=16)
+            try:
+                decision = router.classify(anchored_query)
+                assert decision.tier == "dispatch"
+                sharded = self._sample(shard_backend, anchored_query)
+            finally:
+                shard_backend.close()
+
+        flat_p50 = _percentile(flat, 0.50) * 1000
+        sharded_p50 = _percentile(sharded, 0.50) * 1000
+        bench_records_pr9.append({
+            "experiment": "anchor_dispatch_vs_unsharded",
+            "scale": scale,
+            "samples": ANCHOR_SAMPLES,
+            "unsharded_p50_ms": round(flat_p50, 3),
+            "sharded_p50_ms": round(sharded_p50, 3),
+            "unsharded_p99_ms": round(
+                _percentile(flat, 0.99) * 1000, 3),
+            "sharded_p99_ms": round(
+                _percentile(sharded, 0.99) * 1000, 3),
+        })
+        report("Anchored dispatch vs unsharded (p50 ms): "
+               f"unsharded {flat_p50:.3f}, sharded {sharded_p50:.3f}")
+        # "never slower", with a jitter allowance for sub-millisecond
+        # medians on a shared CI box
+        assert sharded_p50 <= flat_p50 * 1.25 + 0.5, (
+            f"anchored dispatch p50 {sharded_p50:.3f} ms regressed "
+            f"past the unsharded {flat_p50:.3f} ms")
+
+
+class TestCrashTransparencyGate:
+    def test_kill_one_worker_zero_failed_requests(
+            self, store_dir, tmp_path_factory, scale,
+            bench_records_pr9):
+        """ISSUE 9 gate: killing one shard worker never surfaces to a
+        client as anything but a transparent retry."""
+        root = str(tmp_path_factory.mktemp("bench-crash") / "shards")
+        split_store(store_dir, root, 2)
+        with ShardRouter(root, replicas=2) as router:
+            backend = ShardBackend(router, queue_capacity=64)
+            server = HttpServer(backend).start_background()
+            try:
+                stop = threading.Event()
+                failures = []
+                completed = [0]
+
+                def hammer(index):
+                    with FrappeClient(
+                            port=server.port,
+                            client_id=f"hammer-{index}") as client:
+                        while not stop.is_set():
+                            try:
+                                client.query(
+                                    "MATCH (n:function) "
+                                    "RETURN count(n)", timeout=60.0)
+                                completed[0] += 1
+                            except Exception as error:
+                                failures.append(error)
+
+                threads = [threading.Thread(target=hammer,
+                                            args=(index,))
+                           for index in range(3)]
+                for thread in threads:
+                    thread.start()
+                deadline = time.monotonic() + 30
+                while completed[0] < 5 \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                victim = router.pids()[0][0]
+                os.kill(victim, signal.SIGKILL)
+                target = completed[0] + 20
+                while completed[0] < target \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                stop.set()
+                for thread in threads:
+                    thread.join()
+                assert completed[0] >= target, \
+                    "load never progressed past the crash"
+                assert not failures, \
+                    f"client saw failures: {failures[:3]}"
+            finally:
+                server.stop(close_backend=True)
+        bench_records_pr9.append({
+            "experiment": "shard_crash_transparency",
+            "scale": scale,
+            "killed_workers": 1,
+            "completed_requests": completed[0],
+            "client_visible_failures": len(failures),
+        })

@@ -15,9 +15,13 @@ Subcommands::
     frappe map     <store> [--svg out.svg] [--highlight NAME]
     frappe stats   <store>
     frappe generate --scale 0.02 --out store/   (synthetic kernel)
+    frappe shard-split <store> --by-subtree --shards 4 --out shards/
+    frappe serve   --http PORT --shards shards/   (scatter/gather)
 
 A "store" argument is a directory produced by ``frappe index``/
-``generate`` (or by :meth:`repro.core.frappe.Frappe.save`).
+``generate`` (or by :meth:`repro.core.frappe.Frappe.save`);
+``fsck`` and ``serve --shards`` also accept a shard root produced by
+``shard-split``.
 """
 
 from __future__ import annotations
@@ -94,7 +98,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     serve = commands.add_parser(
         "serve", help="serve queries: from stdin on a worker pool "
         "(default), or over HTTP with --http PORT")
-    serve.add_argument("store")
+    serve.add_argument("store", nargs="?", default=None,
+                       help="store directory (omit with --shards)")
+    serve.add_argument("--shards", default=None, metavar="DIR",
+                       help="with --http: scatter/gather over a "
+                       "shard root from 'frappe shard-split' "
+                       "(per-shard replica processes + a gateway "
+                       "over the composite view)")
     serve.add_argument("--workers", type=int, default=4,
                        help="worker threads (default 4)")
     serve.add_argument("--queue", type=int, default=64,
@@ -178,6 +188,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                           help="fraction of UEK size (default 0.02)")
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument("--out", required=True)
+
+    shard_split = commands.add_parser(
+        "shard-split", help="partition a store into per-subtree "
+        "shard stores under a shard root")
+    shard_split.add_argument("store")
+    shard_split.add_argument("--shards", type=int, required=True,
+                             help="number of shards")
+    shard_split.add_argument("--out", required=True,
+                             help="shard root directory")
+    shard_split.add_argument("--by-subtree", action="store_true",
+                             default=True,
+                             help="shard by top-level directory "
+                             "subtree (the only — and default — "
+                             "strategy)")
     return parser
 
 
@@ -241,6 +265,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_stats(args)
     if args.command == "generate":
         return _cmd_generate(args)
+    if args.command == "shard-split":
+        return _cmd_shard_split(args)
     raise AssertionError(f"unhandled command {args.command}")
 
 
@@ -282,7 +308,10 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 
 def _cmd_fsck(args: argparse.Namespace) -> int:
-    verification = GraphStore.verify(args.store)
+    if storage.is_shard_root(args.store):
+        verification = storage.verify_shard_root(args.store)
+    else:
+        verification = GraphStore.verify(args.store)
     print(verification.summary())
     for problem in verification.problems:
         print(f"  {problem}")
@@ -325,6 +354,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.shards is not None and args.http is None:
+        raise FrappeError("--shards requires --http PORT")
+    if args.store is None and args.shards is None:
+        raise FrappeError("serve needs a store directory or --shards")
     if args.http is not None:
         return _cmd_serve_http(args)
     from repro.cypher import QueryOptions
@@ -380,7 +413,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_serve_http(args: argparse.Namespace) -> int:
     from repro.server.http import ExecutorBackend, HttpServer
-    if args.replicas > 0:
+    if args.shards is not None:
+        from repro.server.shard import ShardBackend, ShardRouter
+        config = _store_config(args)
+        if not config.mmap:
+            config = dataclasses.replace(config, mmap=True)
+        router = ShardRouter(
+            args.shards,
+            args.replicas if args.replicas > 0 else 2,
+            config=config)
+        backend = ShardBackend(
+            router, workers=args.workers, queue_capacity=args.queue,
+            max_per_client=args.max_per_client)
+        backend_alive = router.alive()
+        topology = (f"{router.shard_count} shards x "
+                    f"{backend_alive[0] if backend_alive else 0} "
+                    f"replica processes + gateway")
+    elif args.replicas > 0:
         from repro.server.replica import ReplicaBackend, ReplicaSet
         config = _store_config(args)
         if not config.mmap:
@@ -525,6 +574,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         for type_name, count in sorted(edge_types.items(),
                                        key=lambda kv: -kv[1])[:args.top]:
             print(f"  {count:>8}  {type_name}")
+    return 0
+
+
+def _cmd_shard_split(args: argparse.Namespace) -> int:
+    manifest = storage.split_store(args.store, args.out, args.shards,
+                                   by="subtree")
+    for entry in manifest["shards"]:
+        prefixes = ",".join(entry["path_prefixes"]) or "-"
+        print(f"{entry['directory']}: {entry['nodes']} nodes, "
+              f"{entry['edges']} edges, {entry['ghosts']} ghosts, "
+              f"{entry['boundary_edges']} boundary edges "
+              f"[{prefixes}]")
+    source = manifest["source"]
+    print(f"split {source['node_count']} nodes / "
+          f"{source['edge_count']} edges into "
+          f"{manifest['shard_count']} shards -> {args.out}")
     return 0
 
 

@@ -33,7 +33,7 @@ from repro.core.config import StoreConfig
 from repro.core.extractor import extract_build
 from repro.cypher import CypherEngine, QueryOptions, Result
 from repro.graphdb import PropertyGraph, stats
-from repro.graphdb.storage import GraphStore, StoreGraph
+from repro.graphdb.storage import GraphStore
 from repro.graphdb.view import Direction, GraphView
 from repro.lang.source import VirtualFileSystem
 from repro.obs import (MetricsSnapshot, Observability, SlowQueryEntry,
@@ -199,8 +199,9 @@ class Frappe:
         Also resets the metric counters, so a cold-run measurement
         doesn't inherit hit/miss traffic from earlier queries.
         """
-        if isinstance(self.view, StoreGraph):
-            self.view.evict_caches()
+        evict = getattr(self.view, "evict_caches", None)
+        if evict is not None:
+            evict()
         self.engine.evict_epoch_memos()
         self.reset_counters()
 
@@ -221,8 +222,11 @@ class Frappe:
             self.engine.pool_workers = 0
             self._executor.close(wait=True)
             self._executor = None
-        if isinstance(self.view, StoreGraph):
-            self.view.close()
+        # duck-typed: StoreGraph and ShardedStore both own file
+        # handles; in-memory graphs have nothing to close
+        closer = getattr(self.view, "close", None)
+        if closer is not None:
+            closer()
 
     def __enter__(self) -> "Frappe":
         return self

@@ -82,6 +82,10 @@ class QueryStats:
     #: which engine ran the query: 'rows' (generator pipeline) or
     #: 'batch' (vectorized morsel execution)
     execution_mode: str = "rows"
+    #: shard ids that served this query (None when the query did not
+    #: pass through the scatter/gather router; omitted from the wire
+    #: payload in that case, so unsharded payloads are unchanged)
+    shards: list[int] | None = None
 
 
 def encode_value(value: Any) -> Any:
@@ -192,12 +196,16 @@ class Result:
         shape; :meth:`from_dict` rebuilds an equivalent
         :class:`Result` on the other end.
         """
+        stats = dataclasses.asdict(self.stats)
+        if stats.get("shards") is None:
+            # keep unsharded payloads byte-identical to pre-shard wire
+            del stats["shards"]
         return {
             "schema_version": RESULT_SCHEMA_VERSION,
             "columns": list(self.columns),
             "rows": [[encode_value(value) for value in row]
                      for row in self.rows],
-            "stats": dataclasses.asdict(self.stats),
+            "stats": stats,
             "profile": self.profile.to_dict()
             if self.profile is not None else None,
         }

@@ -239,3 +239,19 @@ class ReplicaCrashedError(ServerError):
     replay is safe), so it reaches a client only when *every* replica
     is gone.
     """
+
+
+class ShardCrashedError(ServerError):
+    """Every worker of one shard is gone and retries are exhausted.
+
+    The scatter/gather router's structured escalation of
+    :class:`ReplicaCrashedError`: a single worker death stays
+    invisible (the shard's replica set retries on a survivor and
+    respawns in the background), so a client sees this only when a
+    whole shard's worker tier is unrecoverable. ``shard`` names the
+    shard so operators know which partition to revive.
+    """
+
+    def __init__(self, message: str, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard

@@ -12,7 +12,16 @@ from repro.graphdb.storage.pagecache import PageCache, PagedFile
 from repro.graphdb.storage.store import (CLEAN, CORRUPT, REPAIRABLE,
                                          GraphStore, StoreGraph,
                                          StoreProblem, StoreVerification)
+# imported after store on purpose: sharding pulls in repro.core.model,
+# whose package init re-enters this package for GraphStore/StoreGraph
+from repro.graphdb.storage.sharding import (ShardedStore, ShardView,
+                                            assign_subtrees,
+                                            frontier_exchange,
+                                            is_shard_root, split_store,
+                                            verify_shard_root)
 
 __all__ = ["CLEAN", "CORRUPT", "GraphStore", "PageCache", "PagedFile",
-           "REPAIRABLE", "StoreGraph", "StoreProblem",
-           "StoreVerification"]
+           "REPAIRABLE", "ShardView", "ShardedStore", "StoreGraph",
+           "StoreProblem", "StoreVerification", "assign_subtrees",
+           "frontier_exchange", "is_shard_root", "split_store",
+           "verify_shard_root"]

@@ -240,6 +240,20 @@ def crc32_of(path: str, chunk_size: int = 1 << 20) -> int:
     return crc & 0xFFFFFFFF
 
 
+def corrupt_boundary_table(shard_root: str, shard: int = 0,
+                           offset: int = 0, xor_mask: int = 0xFF) -> str:
+    """Flip a byte of one shard's boundary-edge table.
+
+    Damages ``boundary-NNN.json`` inside a shard root produced by
+    ``frappe shard-split``; ``verify_shard_root`` must flag the store
+    as *repairable* (the table is derivable from the shard stores'
+    relationship records). Returns the path that was damaged.
+    """
+    path = os.path.join(shard_root, f"boundary-{shard:03d}.json")
+    flip_byte(path, offset, xor_mask)
+    return path
+
+
 def checkpoint_labels(run: Iterable[str]) -> list[str]:
     """De-duplicate a recorded checkpoint stream, preserving order."""
     seen: set[str] = set()

@@ -191,11 +191,32 @@ class GraphStore:
 
     @staticmethod
     def write(graph: GraphView, directory: str, *,
-              injector: Any = None) -> dict[str, int]:
+              injector: Any = None,
+              ghost_nodes: Collection[int] | None = None,
+              vocabulary: dict[str, list[str]] | None = None,
+              ) -> dict[str, int]:
         """Serialize *graph* into *directory*; returns the size breakdown.
 
         The graph's node/edge ids become the store's record ids, so ids
         are stable across a write/open round trip.
+
+        ``ghost_nodes`` (keyword-only, used by the shard-split writer)
+        names node ids of *graph* that are boundary replicas owned by
+        another shard: they are written with their full labels and
+        properties so cross-boundary expansions resolve locally, but
+        they are **excluded** from the index postings, the label
+        counts and the metadata ``node_count`` — a shard-local label
+        scan or index seek therefore yields only nodes this store
+        owns, which is what keeps scattered results disjoint across
+        shards.  The ids are recorded under metadata ``ghost_nodes``.
+
+        ``vocabulary`` (keyword-only) pre-seeds the key/type/label
+        token tables from a source store's metadata (``key_tokens``,
+        ``type_tokens``, ``label_tokens`` lists).  Adjacency groups
+        are ordered by type token, so shard stores seeded with the
+        source vocabulary reproduce the source store's exact
+        ``edges_of`` iteration order — the bedrock of the sharded
+        result-equivalence guarantee.
 
         The write is **atomic at the directory level**: everything goes
         to a ``<directory>.tmp`` sibling first, every file is fsynced,
@@ -224,7 +245,9 @@ class GraphStore:
         if os.path.exists(staging):
             shutil.rmtree(staging)
         os.makedirs(staging)
-        GraphStore._write_contents(graph, staging, opener, checkpoint)
+        GraphStore._write_contents(graph, staging, opener, checkpoint,
+                                   ghost_nodes=ghost_nodes,
+                                   vocabulary=vocabulary)
 
         for name in ALL_FILES:
             _fsync_file(os.path.join(staging, name))
@@ -258,11 +281,22 @@ class GraphStore:
     @staticmethod
     def _write_contents(graph: GraphView, directory: str,
                         opener: Callable[..., Any],
-                        checkpoint: Callable[[str], None]) -> None:
+                        checkpoint: Callable[[str], None],
+                        ghost_nodes: Collection[int] | None = None,
+                        vocabulary: dict[str, list[str]] | None = None,
+                        ) -> None:
         """Serialize every store file of *graph* into *directory*."""
+        ghosts = frozenset(ghost_nodes or ())
         key_tokens = _TokenTable()
         type_tokens = _TokenTable()
         label_tokens = _TokenTable()
+        if vocabulary is not None:
+            for text in vocabulary.get("key_tokens", ()):
+                key_tokens.token(text)
+            for text in vocabulary.get("type_tokens", ()):
+                type_tokens.token(text)
+            for text in vocabulary.get("label_tokens", ()):
+                label_tokens.token(text)
         labelsets: dict[frozenset[str], int] = {}
         labelset_rows: list[list[int]] = []
 
@@ -364,14 +398,19 @@ class GraphStore:
 
         # index files ------------------------------------------------------------
         auto_keys = tuple(getattr(graph.indexes, "auto_index_keys", ()))
-        _write_index_files(graph, directory, auto_keys, opener)
+        _write_index_files(graph, directory, auto_keys, opener,
+                           skip_nodes=ghosts)
         checkpoint("indexes_written")
 
         # planner statistics: cheap O(V+E) counts the reader exposes as
         # a GraphStatistics without re-scanning the store. Optional keys
         # (same format version) — older stores fall back to estimates.
+        # Ghost replicas are invisible here too: a shard's label counts
+        # describe only the nodes it owns.
         label_counts: dict[str, int] = {}
         for node_id in graph.node_ids():
+            if node_id in ghosts:
+                continue
             for label in graph.node_labels(node_id):
                 label_counts[label] = label_counts.get(label, 0) + 1
         edge_type_counts: dict[str, int] = {}
@@ -383,7 +422,7 @@ class GraphStore:
         metadata = {
             "magic": MAGIC,
             "version": FORMAT_VERSION,
-            "node_count": graph.node_count(),
+            "node_count": graph.node_count() - len(ghosts),
             "edge_count": graph.edge_count(),
             "high_node_id": high_node,
             "high_edge_id": high_edge,
@@ -395,6 +434,8 @@ class GraphStore:
             "label_counts": label_counts,
             "edge_type_counts": edge_type_counts,
         }
+        if ghosts:
+            metadata["ghost_nodes"] = sorted(ghosts)
         with opener(os.path.join(directory, METADATA_FILE), "w",
                     encoding="utf-8") as handle:
             json.dump(metadata, handle)
@@ -700,11 +741,15 @@ class GraphStore:
                         ADJ_FILE, "relationships",
                         f"adjacency block of node {node_id} past EOF",
                         offset=record[3]))
-            if len(nodes_raw) == expected and \
-                    live_nodes != metadata.get("node_count"):
+            # ghost replicas (shard stores) are live records that do
+            # not count toward the owned node_count
+            expected_live = (metadata.get("node_count") or 0) + \
+                len(metadata.get("ghost_nodes", ()))
+            if len(nodes_raw) == expected and live_nodes != expected_live:
                 problems.append(StoreProblem(
                     METADATA_FILE, "metadata",
                     f"metadata node_count {metadata.get('node_count')} "
+                    f"(+{len(metadata.get('ghost_nodes', ()))} ghosts) "
                     f"!= {live_nodes} live records"))
 
         live_edges = 0
@@ -850,13 +895,18 @@ def _crc32_file(path: str, chunk_size: int = 1 << 20) -> int:
 
 def _write_index_files(graph: GraphView, directory: str,
                        auto_keys: tuple[str, ...],
-                       opener: Callable[..., Any] = open) -> None:
+                       opener: Callable[..., Any] = open,
+                       skip_nodes: frozenset[int] = frozenset()) -> None:
     """Serialize auto-index and label postings.
 
     Dictionary (term -> postings offset/count) goes to JSON and is
     loaded eagerly at open; the postings themselves are read through
     the page cache, so cold index lookups fault pages like Lucene
     segment reads would.
+
+    ``skip_nodes`` (the shard writer's ghost replicas) are left out of
+    every posting list, so index seeks and label scans return only the
+    nodes this store owns.
     """
     postings_path = os.path.join(directory, INDEX_POSTINGS_FILE)
     dictionary: dict[str, Any] = {"auto": {}, "labels": {}}
@@ -875,6 +925,8 @@ def _write_index_files(graph: GraphView, directory: str,
             key: {} for key in auto_keys}
         labels: dict[str, list[int]] = {}
         for node_id in graph.node_ids():
+            if node_id in skip_nodes:
+                continue
             for label in graph.node_labels(node_id):
                 labels.setdefault(label, []).append(node_id)
             properties = graph.node_properties(node_id)
@@ -1069,6 +1121,10 @@ class StoreGraph:
             for row in metadata["labelsets"]]
         self._type_token_by_name = {
             name: token for token, name in enumerate(self._type_tokens)}
+        #: boundary replicas owned by another shard (empty for a
+        #: normal store); live records excluded from indexes/counts
+        self.ghost_nodes: frozenset[int] = frozenset(
+            metadata.get("ghost_nodes", ()))
 
         def paged(name: str) -> PagedFile:
             return PagedFile(os.path.join(directory, name), page_cache)

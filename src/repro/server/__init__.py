@@ -18,11 +18,33 @@ Three layers, innermost first:
   respawn. ``frappe serve --http PORT --replicas N`` is the CLI
   deployment of the full stack; :class:`repro.client.FrappeClient`
   is the matching in-Python client.
+* :mod:`repro.server.shard` — scatter/gather routing over a
+  subtree-sharded store (``frappe shard-split`` + ``frappe serve
+  --http --shards DIR``): per-shard replica sets, single-shard
+  dispatch pruned by index statistics, partial-aggregation scatter,
+  and a gateway engine over the composite
+  :class:`~repro.graphdb.storage.sharding.ShardedStore` view.
 """
+
+from typing import Any
 
 from repro.server.executor import Executor, QueryJob
 from repro.server.http import ExecutorBackend, HttpServer, serve_http
 from repro.server.replica import Replica, ReplicaBackend, ReplicaSet
 
 __all__ = ["Executor", "ExecutorBackend", "HttpServer", "QueryJob",
-           "Replica", "ReplicaBackend", "ReplicaSet", "serve_http"]
+           "Replica", "ReplicaBackend", "ReplicaSet", "ShardBackend",
+           "ShardRouter", "serve_http"]
+
+_SHARD_EXPORTS = ("ShardBackend", "ShardRouter")
+
+
+def __getattr__(name: str) -> Any:
+    # resolved lazily: repro.server.shard imports the sharded-store
+    # layer, whose own import chain re-enters this package — an eager
+    # import here would dead-end mid-initialization
+    if name in _SHARD_EXPORTS:
+        from repro.server import shard
+        return getattr(shard, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -99,6 +99,28 @@ class TaskHandle:
         finally:
             self._done.set()
 
+    def _fail(self, error: BaseException) -> bool:
+        """Claim the task and resolve it with *error* without running
+        it.  Returns False when some thread already claimed it (its
+        outcome stands).  This is how :meth:`Executor.close` drains
+        the task deque and how a scatter/gather caller releases
+        partials it will never collect."""
+        if not self._claim():
+            return False
+        self._error = error
+        self._done.set()
+        return True
+
+    def cancel(self) -> bool:
+        """Release an uncollected task: if no thread claimed it yet it
+        resolves with :class:`~repro.errors.ServerClosedError` and
+        ``True`` is returned; a task already running (or finished)
+        keeps its outcome and ``False`` is returned.  Gather loops
+        call this on remaining handles when one partial fails, so a
+        scattered query never leaves claimable work behind."""
+        return self._fail(ServerClosedError(
+            "task released by its spawner before it ran"))
+
     def result(self) -> Any:
         """The task's return value (re-raises its exception).
 
@@ -174,6 +196,8 @@ class Executor:
             self._failed = registry.counter("server.failed")
             self._timeouts = registry.counter("server.timeouts")
             self._drained = registry.counter("server.drained")
+            self._tasks_drained = registry.counter(
+                "server.tasks_drained")
             self._tasks_spawned = registry.counter(
                 "server.tasks_spawned")
             self._queue_depth = registry.gauge("server.queue_depth")
@@ -280,11 +304,20 @@ class Executor:
         ``future.result()`` returns immediately. Queries a worker
         already picked up still run to completion; with ``wait=True``
         the call returns only once the worker threads exit.
+
+        Unclaimed intra-query tasks (:meth:`spawn_task`) are drained
+        the same way: each unclaimed handle resolves with
+        :class:`~repro.errors.ServerClosedError` instead of lingering
+        on the task deque, so a scatter/gather caller blocked in
+        ``TaskHandle.result()`` unblocks and can release its gathered
+        partials instead of leaking them.
         """
         with self._work:
             self._shutdown = True
             drained = list(self._queue)
             self._queue.clear()
+            task_backlog = list(self._tasks)
+            self._tasks.clear()
             for job in drained:
                 remaining = self._in_flight.get(job.client, 1) - 1
                 if remaining > 0:
@@ -302,6 +335,15 @@ class Executor:
             if job.future.set_running_or_notify_cancel():
                 job.future.set_exception(error)
                 self._inc("_drained")
+        task_error = ServerClosedError(
+            "executor closed; the task was drained before any worker "
+            "claimed it")
+        for handle in task_backlog:
+            # a task already claimed (by a worker or by caller-help)
+            # keeps its outcome; every other handle resolves with the
+            # deterministic error
+            if handle._fail(task_error):
+                self._inc("_tasks_drained")
         if wait:
             for thread in self._threads:
                 thread.join()

@@ -198,6 +198,8 @@ def error_to_dict(error: BaseException) -> dict[str, Any]:
     if isinstance(error, errors.AdmissionError):
         payload["client"] = error.client
         payload["retry_after"] = RETRY_AFTER_SECONDS
+    if isinstance(error, errors.ShardCrashedError):
+        payload["shard"] = error.shard
     return payload
 
 
@@ -225,6 +227,9 @@ def exception_from_dict(payload: dict[str, Any]) -> errors.FrappeError:
     if kind == "AdmissionError":
         return errors.AdmissionError(message,
                                      client=payload.get("client"))
+    if kind == "ShardCrashedError":
+        return errors.ShardCrashedError(message,
+                                        shard=payload.get("shard"))
     cls = getattr(errors, kind, None)
     if isinstance(cls, type) and issubclass(cls, errors.FrappeError):
         try:

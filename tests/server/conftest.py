@@ -19,3 +19,13 @@ def saved_store(tmp_path_factory):
     graph = generate_kernel_graph(UEK_PROFILE.scaled(0.002), seed=7)
     GraphStore.write(graph, str(store))
     return str(store)
+
+
+@pytest.fixture(scope="session")
+def shard_root(tmp_path_factory, saved_store):
+    """``saved_store`` split into a 3-shard root (read-only, shared)."""
+    from repro.graphdb.storage import split_store
+
+    root = tmp_path_factory.mktemp("serving") / "shards3"
+    split_store(saved_store, str(root), 3)
+    return str(root)

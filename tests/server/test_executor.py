@@ -436,3 +436,99 @@ class TestFrappeIntegration:
             stop.set()
             thread.join()
         assert all(count >= 3 for count in counts)
+
+
+class TestTaskDrain:
+    """Regression (ISSUE 9): close() during a scatter must not leave
+    gathered partials unreleased.
+
+    Before the fix, close() only drained the admission queue; spawned
+    task handles stayed on the task deque forever, so a gatherer that
+    had not yet collected them blocked in result() (or, with
+    caller-help, silently ran partials on a closed server). Now every
+    unclaimed handle resolves with ServerClosedError and is metered.
+    """
+
+    def test_close_drains_unclaimed_tasks(self):
+        gate = Gate()
+        obs = Observability()
+        executor = Executor(gate, workers=1, queue_capacity=10,
+                            obs=obs)
+        blocked = executor.submit("blocked")
+        assert gate.started.wait(timeout=5.0)
+        ran = []
+        handles = [executor.spawn_task(
+            lambda index=index: ran.append(index))
+            for index in range(3)]
+        executor.close(wait=False)
+        for handle in handles:
+            with pytest.raises(ServerClosedError):
+                handle.result()
+        assert ran == []  # drained, not run via caller-help
+        snapshot = obs.registry.snapshot()
+        assert snapshot.counter("server.tasks_drained") == 3
+        gate.release.set()
+        assert blocked.result(timeout=5.0) == "BLOCKED"
+        executor.close(wait=True)
+
+    def test_cancel_releases_unclaimed_task(self):
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        try:
+            wedge = executor.submit("wedge")
+            assert gate.started.wait(timeout=5.0)
+            ran = []
+            handle = executor.spawn_task(lambda: ran.append(1))
+            assert handle.cancel() is True
+            with pytest.raises(ServerClosedError):
+                handle.result()
+            assert ran == []
+        finally:
+            gate.release.set()
+            assert wedge.result(timeout=5.0) == "WEDGE"
+            executor.close(wait=True)
+
+    def test_cancel_respects_a_claimed_task(self):
+        with make_executor(lambda text, options=None: text,
+                           workers=2) as executor:
+            handle = executor.spawn_task(lambda: 7)
+            assert handle.result() == 7
+            assert handle.cancel() is False  # outcome stands
+            assert handle.result() == 7
+
+    def test_gather_failure_releases_sibling_partials(self):
+        """The scatter idiom: when one partial fails, the gather loop
+        cancels every handle it will never collect — no claimable
+        work is left behind on the pool."""
+        gate = Gate()
+        executor = make_executor(gate, workers=1, queue_capacity=10)
+        try:
+            wedge = executor.submit("wedge")
+            assert gate.started.wait(timeout=5.0)
+            ran = []
+
+            def partial(index):
+                if index == 0:
+                    raise ValueError("partial exploded")
+                ran.append(index)
+                return index
+
+            handles = [executor.spawn_task(
+                lambda index=index: partial(index))
+                for index in range(3)]
+            collected = []
+            with pytest.raises(ValueError, match="partial exploded"):
+                try:
+                    for handle in handles:
+                        collected.append(handle.result())
+                finally:
+                    for handle in handles[len(collected):]:
+                        handle.cancel()
+            for handle in handles[1:]:
+                with pytest.raises(ServerClosedError):
+                    handle.result()
+            assert ran == []
+        finally:
+            gate.release.set()
+            assert wedge.result(timeout=5.0) == "WEDGE"
+            executor.close(wait=True)

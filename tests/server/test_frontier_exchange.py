@@ -1,0 +1,135 @@
+"""Frontier exchange: sharded var-length traversal building block.
+
+A hand-built two-subtree graph with a cross-shard ``calls`` cycle and
+duplicated boundary edges, split so the cycle genuinely straddles the
+shard boundary. The properties a gateway var-length plan depends on:
+fixpoint termination on cycles, exact min/max-hop windowing across
+boundaries, boundary edges traversed exactly once despite being
+replicated in both side shards, and deterministic per-round
+accounting.
+"""
+
+import pytest
+
+from repro.graphdb import PropertyGraph
+from repro.graphdb.storage import GraphStore, ShardedStore, split_store
+from repro.graphdb.storage.sharding import frontier_exchange
+from repro.graphdb.view import Direction
+
+
+@pytest.fixture(scope="module")
+def cyclic_store(tmp_path_factory):
+    """root -> {alpha, beta} subtrees; fa -> fb -> fc -> fa calls
+    cycle straddling the subtree boundary, with the fa -> fb boundary
+    edge intentionally duplicated (parallel edges)."""
+    graph = PropertyGraph()
+    root = graph.add_node("directory", short_name="linux",
+                          type="directory")
+    names = {}
+    for subtree, functions in (("alpha", ["fa"]),
+                               ("beta", ["fb", "fc"])):
+        directory = graph.add_node("directory", short_name=subtree,
+                                   type="directory")
+        graph.add_edge(root, directory, "dir_contains")
+        file_node = graph.add_node("file", type="file",
+                                   short_name=f"{subtree}.c")
+        graph.add_edge(directory, file_node, "dir_contains")
+        for name in functions:
+            node = graph.add_node("function", type="function",
+                                  short_name=name)
+            graph.add_edge(file_node, node, "file_contains")
+            names[name] = node
+    graph.add_edge(names["fa"], names["fb"], "calls")
+    graph.add_edge(names["fa"], names["fb"], "calls")  # duplicate
+    graph.add_edge(names["fb"], names["fc"], "calls")
+    graph.add_edge(names["fc"], names["fa"], "calls")
+    base = tmp_path_factory.mktemp("frontier")
+    GraphStore.write(graph, str(base / "store"))
+    split_store(str(base / "store"), str(base / "shards"), 2)
+    store = ShardedStore(str(base / "shards"))
+    yield store, names
+    store.close()
+
+
+class TestFrontierExchange:
+    def test_cycle_terminates_at_fixpoint(self, cyclic_store):
+        store, names = cyclic_store
+        # precondition: the cycle actually crosses the shard boundary
+        owners = {store.node_owner(names[name])
+                  for name in ("fa", "fb", "fc")}
+        assert len(owners) == 2
+        reachable, stats = frontier_exchange(
+            store, [names["fa"]], types=["calls"])
+        # fa is the source (depth 0, below the default min_hops of 1)
+        # and is never re-visited when the cycle closes back onto it
+        assert reachable == {names["fb"]: 1, names["fc"]: 2}
+        # unbounded on a cycle: rounds stop once everything is visited
+        assert stats.total_rounds <= 4
+
+    def test_min_hops_zero_includes_sources(self, cyclic_store):
+        store, names = cyclic_store
+        reachable, _ = frontier_exchange(
+            store, [names["fa"]], types=["calls"], min_hops=0)
+        assert reachable[names["fa"]] == 0
+
+    def test_min_max_hops_window_across_boundary(self, cyclic_store):
+        store, names = cyclic_store
+        reachable, _ = frontier_exchange(
+            store, [names["fa"]], types=["calls"],
+            min_hops=2, max_hops=2)
+        assert reachable == {names["fc"]: 2}
+        reachable, _ = frontier_exchange(
+            store, [names["fa"]], types=["calls"],
+            min_hops=1, max_hops=1)
+        assert reachable == {names["fb"]: 1}
+
+    def test_max_hops_caps_the_rounds(self, cyclic_store):
+        store, names = cyclic_store
+        _, stats = frontier_exchange(
+            store, [names["fa"]], types=["calls"], max_hops=1)
+        assert stats.total_rounds == 1
+
+    def test_duplicate_boundary_edges_visit_target_once(
+            self, cyclic_store):
+        store, names = cyclic_store
+        reachable, stats = frontier_exchange(
+            store, [names["fa"]], types=["calls"], max_hops=1)
+        # two parallel fa->fb boundary edges, one visit, one shipment
+        assert reachable == {names["fb"]: 1}
+        assert stats.rounds[0].shipped == \
+            (1 if store.node_owner(names["fa"])
+             != store.node_owner(names["fb"]) else 0)
+
+    def test_incoming_direction(self, cyclic_store):
+        store, names = cyclic_store
+        reachable, _ = frontier_exchange(
+            store, [names["fb"]], types=["calls"],
+            direction=Direction.IN, max_hops=1)
+        assert reachable == {names["fa"]: 1}
+
+    def test_deterministic_accounting(self, cyclic_store):
+        store, names = cyclic_store
+        first = frontier_exchange(store, [names["fa"]],
+                                  types=["calls"])
+        second = frontier_exchange(store, [names["fa"]],
+                                   types=["calls"])
+        assert first[0] == second[0]
+        assert first[1].to_dict() == second[1].to_dict()
+        assert set(first[1].to_dict()) == \
+            {"rounds", "shipped_ids", "db_hits"}
+        assert first[1].total_db_hits > 0
+
+    def test_unknown_sources_are_skipped(self, cyclic_store):
+        store, names = cyclic_store
+        reachable, stats = frontier_exchange(
+            store, [10 ** 9], types=["calls"])
+        assert reachable == {}
+        assert stats.total_rounds == 0
+
+    def test_rejects_bad_hop_windows(self, cyclic_store):
+        store, names = cyclic_store
+        with pytest.raises(ValueError):
+            frontier_exchange(store, [names["fa"]], min_hops=-1)
+        with pytest.raises(ValueError):
+            frontier_exchange(store, [names["fa"]],
+                              min_hops=3, max_hops=2)

@@ -1,0 +1,211 @@
+"""``frappe shard-split``: the shard writer, manifest, and fsck.
+
+The invariants the scatter/gather router leans on:
+
+* global node/edge ids survive the split (a shard's rows are the
+  source store's rows, bit for bit);
+* ghost replicas resolve locally but never leak into a shard's
+  indexes or counts (scattered partials stay disjoint);
+* every boundary edge is recorded in both side shards' tables, with
+  owner tags;
+* ``verify_shard_root`` treats boundary-table damage as *repairable*
+  (the tables are derivable from the shard stores) and anything
+  structural as corrupt.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.graphdb.storage import (CLEAN, CORRUPT, REPAIRABLE,
+                                   GraphStore, ShardedStore,
+                                   assign_subtrees, is_shard_root,
+                                   split_store, verify_shard_root)
+from repro.graphdb.storage.faults import (corrupt_boundary_table,
+                                          flip_byte)
+from repro.graphdb.storage.sharding import load_shard_manifest
+
+
+class TestAssignment:
+    def test_deterministic_and_total(self, saved_store):
+        source = GraphStore.open(saved_store)
+        try:
+            first = assign_subtrees(source, 3)
+            second = assign_subtrees(source, 3)
+            assert first.owner == second.owner
+            assert first.path_prefixes == second.path_prefixes
+            # total: every live node gets exactly one shard
+            assert set(first.owner) == set(source.node_ids())
+            assert set(first.owner.values()) <= {0, 1, 2}
+        finally:
+            source.close()
+
+    def test_subtrees_stay_whole(self, saved_store):
+        """Two nodes of one top-level subtree share a shard."""
+        source = GraphStore.open(saved_store)
+        try:
+            assignment = assign_subtrees(source, 3)
+            prefixes = assignment.path_prefixes
+            # each top-level subtree name appears on exactly one shard
+            seen = [name for names in prefixes for name in names]
+            assert len(seen) == len(set(seen))
+            assert any(prefixes)
+        finally:
+            source.close()
+
+    def test_rejects_bad_counts(self, saved_store):
+        source = GraphStore.open(saved_store)
+        try:
+            with pytest.raises(ValueError):
+                assign_subtrees(source, 0)
+        finally:
+            source.close()
+
+
+class TestSplit:
+    def test_manifest_shape(self, saved_store, shard_root):
+        manifest = load_shard_manifest(shard_root)
+        assert manifest["shard_count"] == 3
+        assert manifest["strategy"] == "subtree"
+        assert len(manifest["shards"]) == 3
+        source_meta = manifest["source"]
+        with open(os.path.join(saved_store, "metadata.json"),
+                  encoding="utf-8") as handle:
+            original = json.load(handle)
+        assert source_meta["node_count"] == original["node_count"]
+        assert source_meta["edge_count"] == original["edge_count"]
+        for entry in manifest["shards"]:
+            assert os.path.isdir(
+                os.path.join(shard_root, entry["directory"]))
+            assert os.path.exists(
+                os.path.join(shard_root, entry["boundary_file"]))
+
+    def test_is_shard_root(self, saved_store, shard_root):
+        assert is_shard_root(shard_root)
+        assert not is_shard_root(saved_store)
+
+    def test_owned_nodes_partition_the_source(self, saved_store,
+                                              shard_root):
+        source = GraphStore.open(saved_store)
+        sharded = ShardedStore(shard_root)
+        try:
+            assert list(sharded.node_ids()) == list(source.node_ids())
+            assert list(sharded.edge_ids()) == list(source.edge_ids())
+        finally:
+            sharded.close()
+            source.close()
+
+    def test_ghosts_outside_indexes_and_counts(self, shard_root):
+        """A ghost resolves reads but is invisible to scans/seeks."""
+        manifest = load_shard_manifest(shard_root)
+        for entry in manifest["shards"]:
+            shard = GraphStore.open(
+                os.path.join(shard_root, entry["directory"]))
+            try:
+                ghosts = shard.ghost_nodes
+                assert len(ghosts) == entry["ghosts"]
+                # metadata count excludes ghosts
+                assert shard.node_count() == entry["nodes"]
+                owned = set(shard.node_ids()) - ghosts
+                for label in shard.indexes.labels():
+                    posted = set(shard.indexes.label(label))
+                    assert posted <= owned
+                if ghosts:
+                    ghost = next(iter(ghosts))
+                    # reads still resolve (labels + properties)
+                    assert shard.node_labels(ghost)
+                    name = shard.node_property(ghost, "short_name")
+                    if name is not None:
+                        posted = set(shard.indexes.lookup(
+                            "short_name", name))
+                        assert ghost not in posted
+            finally:
+                shard.close()
+
+    def test_boundary_tables_mirrored_with_owner_tags(self,
+                                                      shard_root):
+        manifest = load_shard_manifest(shard_root)
+        tables = []
+        for entry in manifest["shards"]:
+            with open(os.path.join(shard_root, entry["boundary_file"]),
+                      encoding="utf-8") as handle:
+                tables.append(json.load(handle)["edges"])
+        by_edge = {}
+        for shard, rows in enumerate(tables):
+            for edge_id, src, tgt, owner, peer in rows:
+                assert owner != peer
+                assert shard in (owner, peer)
+                by_edge.setdefault(edge_id, []).append(
+                    (src, tgt, owner, peer))
+        # every boundary edge is recorded on both sides, identically
+        assert by_edge
+        for edge_id, rows in by_edge.items():
+            assert len(rows) == 2
+            assert rows[0] == rows[1]
+
+    def test_rejects_unknown_strategy(self, saved_store, tmp_path):
+        with pytest.raises(ValueError):
+            split_store(saved_store, str(tmp_path / "x"), 2, by="hash")
+
+
+class TestVerify:
+    @pytest.fixture()
+    def split_copy(self, saved_store, tmp_path):
+        root = tmp_path / "shards"
+        split_store(saved_store, str(root), 2)
+        return str(root)
+
+    def test_clean(self, split_copy):
+        verification = verify_shard_root(split_copy)
+        assert verification.status == CLEAN
+        assert not verification.problems
+
+    def test_boundary_damage_is_repairable(self, split_copy):
+        corrupt_boundary_table(split_copy, shard=1, offset=30)
+        verification = verify_shard_root(split_copy)
+        assert verification.status == REPAIRABLE
+        assert any(problem.category == "boundary"
+                   for problem in verification.problems)
+        assert any("boundary-001" in problem.file
+                   for problem in verification.problems)
+
+    def test_missing_boundary_table_is_repairable(self, split_copy):
+        os.unlink(os.path.join(split_copy, "boundary-000.json"))
+        verification = verify_shard_root(split_copy)
+        assert verification.status == REPAIRABLE
+
+    def test_shard_store_damage_prefixed_and_corrupt(self, split_copy):
+        flip_byte(os.path.join(split_copy, "shard-000",
+                               "nodestore.db"), 64)
+        verification = verify_shard_root(split_copy)
+        assert verification.status == CORRUPT
+        assert any(problem.file.startswith("shard-000/")
+                   for problem in verification.problems)
+
+    def test_missing_manifest_is_corrupt(self, tmp_path):
+        verification = verify_shard_root(str(tmp_path))
+        assert verification.status == CORRUPT
+
+
+class TestCli:
+    def test_shard_split_and_fsck_roundtrip(self, saved_store,
+                                            tmp_path, capsys):
+        out = tmp_path / "shards"
+        assert cli_main(["shard-split", saved_store, "--shards", "2",
+                         "--out", str(out), "--by-subtree"]) == 0
+        printed = capsys.readouterr().out
+        assert "shard-000" in printed and "boundary edges" in printed
+        assert cli_main(["fsck", str(out)]) == 0
+
+    def test_fsck_exit_codes_on_shard_root(self, saved_store,
+                                           tmp_path, capsys):
+        out = tmp_path / "shards"
+        split_store(saved_store, str(out), 2)
+        corrupt_boundary_table(str(out), shard=0, offset=12)
+        assert cli_main(["fsck", str(out)]) == 2  # repairable
+        flip_byte(os.path.join(str(out), "shard-001",
+                               "relationshipstore.db"), 32)
+        assert cli_main(["fsck", str(out)]) == 1  # corrupt
+        capsys.readouterr()
