@@ -4,6 +4,7 @@ Subcommands::
 
     frappe index   <source-dir> --script build.sh --out store/
     frappe fsck    <store>
+    frappe compact <store>     (rebuild compiled CSR + dictionary)
     frappe search  <store> NAME [--type T] [--module M]
     frappe query   <store> 'MATCH (n:function) RETURN n.short_name'
     frappe serve   <store> --workers 4    (queries from stdin)
@@ -74,6 +75,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
     fsck = commands.add_parser(
         "fsck", help="verify a store's checksums and record structure")
     fsck.add_argument("store")
+
+    compact = commands.add_parser(
+        "compact", help="rewrite a store (or every shard of a shard "
+        "root) in the current compiled format: persistent CSR "
+        "adjacency segments + string dictionary page; also the repair "
+        "for damaged CSR files")
+    compact.add_argument("store")
 
     search = commands.add_parser("search", help="code search (Fig. 3)")
     search.add_argument("store")
@@ -225,6 +233,11 @@ def _add_read_path_flags(subparser: argparse.ArgumentParser) -> None:
         "--mmap", action="store_true",
         help="memory-map the store files (zero-copy reads) instead "
         "of the buffered LRU page cache")
+    subparser.add_argument(
+        "--no-csr", action="store_true",
+        help="ignore the store's persistent compiled CSR segments "
+        "and decode adjacency from records at runtime (the "
+        "cold-start ablation)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -243,6 +256,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_index(args)
     if args.command == "fsck":
         return _cmd_fsck(args)
+    if args.command == "compact":
+        return _cmd_compact(args)
     if args.command == "search":
         return _cmd_search(args)
     if args.command == "query":
@@ -281,7 +296,8 @@ def _store_config(args: argparse.Namespace) -> StoreConfig:
         mmap=getattr(args, "mmap", False),
         execution_mode=getattr(args, "execution_mode", "auto"),
         morsel_size=getattr(args, "morsel_size", None),
-        parallelism=getattr(args, "parallelism", 0))
+        parallelism=getattr(args, "parallelism", 0),
+        use_compiled_csr=not getattr(args, "no_csr", False))
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
@@ -315,10 +331,49 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
     print(verification.summary())
     for problem in verification.problems:
         print(f"  {problem}")
+    _print_fsck_breakdown(verification.files)
     if verification.status == storage.CORRUPT:
         return 1
     if verification.status == storage.REPAIRABLE:
         return 2
+    return 0
+
+
+def _print_fsck_breakdown(files: dict) -> None:
+    """The Table-4-style per-file size/record-count report of fsck."""
+    if not files:
+        return
+    print(f"{'file':<42} {'category':<14} {'bytes':>12} {'records':>12}")
+    total = 0
+    by_category: dict[str, int] = {}
+    for name in sorted(files):
+        report = files[name]
+        size = report.get("bytes", 0)
+        total += size
+        category = report.get("category", "?")
+        by_category[category] = by_category.get(category, 0) + size
+        count = report.get("records")
+        print(f"{name:<42} {category:<14} {size:>12}"
+              f" {count if count is not None else '-':>12}")
+    for category in sorted(by_category):
+        print(f"{'':<42} {category:<14} {by_category[category]:>12}")
+    print(f"{'total':<42} {'':<14} {total:>12}")
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    if storage.is_shard_root(args.store):
+        breakdowns = storage.compact_shard_root(args.store)
+        for shard_dir in sorted(breakdowns):
+            sizes = breakdowns[shard_dir]
+            print(f"{shard_dir}: {sizes['total'] / 1024:.1f} KiB "
+                  f"(csr {sizes.get('csr', 0) / 1024:.1f} KiB, "
+                  f"dictionary {sizes.get('dictionary', 0) / 1024:.1f} "
+                  f"KiB)")
+        return 0
+    sizes = storage.compact_store(args.store)
+    print(f"compacted {args.store}: {sizes['total'] / 1024:.1f} KiB "
+          f"(csr {sizes.get('csr', 0) / 1024:.1f} KiB, "
+          f"dictionary {sizes.get('dictionary', 0) / 1024:.1f} KiB)")
     return 0
 
 

@@ -55,6 +55,12 @@ class StoreConfig:
     use_csr_adjacency
         Promote the CSR adjacency snapshot (lazily built) to the
         default read format for batch execution.
+    use_compiled_csr
+        Serve adjacency and resolved neighbors from the store's
+        persistent compiled CSR segments when the store carries them
+        (format 3); off = decode record-by-record at runtime (the
+        cold-start ablation gate, ``--no-csr`` on the CLI). Stores
+        without compiled segments always use the record path.
     use_reachability_rewrite
         Run endpoint-distinct var-length patterns as visited-set BFS
         (the Section 6.1 ablation gate).
@@ -71,6 +77,7 @@ class StoreConfig:
     parallelism: int = 0
     use_compiled_kernels: bool = True
     use_csr_adjacency: bool = True
+    use_compiled_csr: bool = True
     use_reachability_rewrite: bool = True
     use_cost_based_planner: bool = True
 

@@ -153,7 +153,7 @@ class GraphStatistics:
     """
 
     __slots__ = ("epoch", "node_count", "edge_count", "label_counts",
-                 "edge_type_counts")
+                 "edge_type_counts", "degree_stats")
 
     def __init__(self) -> None:
         self.epoch = 0
@@ -161,6 +161,13 @@ class GraphStatistics:
         self.edge_count = 0
         self.label_counts: Counter[str] = Counter()
         self.edge_type_counts: Counter[str] = Counter()
+        # per-(direction, edge type) degree statistics, read for free
+        # from the compiled CSR segment descriptors at store open:
+        # {"edges": int, "max_degree": int, "histogram": [log2 buckets]}.
+        # Purely additive — absent entries mean "unknown", and the
+        # cost-model reads above never consult these, so plans are
+        # identical with or without them.
+        self.degree_stats: dict[tuple[str, str], dict] = {}
 
     @classmethod
     def from_counts(cls, node_count: int, edge_count: int,
@@ -183,6 +190,8 @@ class GraphStatistics:
         twin.edge_count = self.edge_count
         twin.label_counts = Counter(self.label_counts)
         twin.edge_type_counts = Counter(self.edge_type_counts)
+        twin.degree_stats = {key: dict(entry)
+                             for key, entry in self.degree_stats.items()}
         return twin
 
     @classmethod
@@ -253,6 +262,48 @@ class GraphStatistics:
         else:
             total = sum(self.edge_type_count(t) for t in edge_types)
         return total / self.node_count
+
+    def set_degree_stats(self, direction: str, edge_type: str,
+                         edges: int, max_degree: int,
+                         histogram: list[int]) -> None:
+        """Record one (direction, edge type) degree summary (the store
+        reader feeds these from the CSR segment descriptors)."""
+        self.degree_stats[(direction, edge_type)] = {
+            "edges": edges,
+            "max_degree": max_degree,
+            "histogram": list(histogram),
+        }
+
+    def max_degree(self, edge_type: str | None = None,
+                   direction: str = "out") -> int:
+        """Largest per-node degree for *edge_type* in *direction* (all
+        types when ``None``); 0 when no degree stats were recorded."""
+        best = 0
+        for (stat_direction, stat_type), entry in self.degree_stats.items():
+            if stat_direction != direction:
+                continue
+            if edge_type is not None and stat_type != edge_type:
+                continue
+            best = max(best, entry["max_degree"])
+        return best
+
+    def degree_histogram(self, edge_type: str | None = None,
+                         direction: str = "out") -> list[int]:
+        """Element-wise sum of the log2-bucketed degree histograms
+        matching *edge_type*/*direction* (empty list when unknown).
+        Bucket ``b`` counts nodes with ``2**(b-1) <= degree < 2**b``."""
+        total: list[int] = []
+        for (stat_direction, stat_type), entry in self.degree_stats.items():
+            if stat_direction != direction:
+                continue
+            if edge_type is not None and stat_type != edge_type:
+                continue
+            histogram = entry["histogram"]
+            if len(histogram) > len(total):
+                total.extend([0] * (len(histogram) - len(total)))
+            for bucket, count in enumerate(histogram):
+                total[bucket] += count
+        return total
 
     def __repr__(self) -> str:
         return (f"GraphStatistics(epoch={self.epoch}, "

@@ -8,20 +8,24 @@ reads go through an LRU page cache plus a decoded-object cache (Neo4j
 cache" means in the Table 5 benchmark protocol.
 """
 
+from repro.graphdb.storage.csr import CsrBuilder, CsrReader
 from repro.graphdb.storage.pagecache import PageCache, PagedFile
 from repro.graphdb.storage.store import (CLEAN, CORRUPT, REPAIRABLE,
                                          GraphStore, StoreGraph,
-                                         StoreProblem, StoreVerification)
+                                         StoreProblem, StoreVerification,
+                                         compact_store)
 # imported after store on purpose: sharding pulls in repro.core.model,
 # whose package init re-enters this package for GraphStore/StoreGraph
 from repro.graphdb.storage.sharding import (ShardedStore, ShardView,
                                             assign_subtrees,
+                                            compact_shard_root,
                                             frontier_exchange,
                                             is_shard_root, split_store,
                                             verify_shard_root)
 
-__all__ = ["CLEAN", "CORRUPT", "GraphStore", "PageCache", "PagedFile",
-           "REPAIRABLE", "ShardView", "ShardedStore", "StoreGraph",
-           "StoreProblem", "StoreVerification", "assign_subtrees",
-           "frontier_exchange", "is_shard_root", "split_store",
-           "verify_shard_root"]
+__all__ = ["CLEAN", "CORRUPT", "CsrBuilder", "CsrReader", "GraphStore",
+           "PageCache", "PagedFile", "REPAIRABLE", "ShardView",
+           "ShardedStore", "StoreGraph", "StoreProblem",
+           "StoreVerification", "assign_subtrees", "compact_shard_root",
+           "compact_store", "frontier_exchange", "is_shard_root",
+           "split_store", "verify_shard_root"]

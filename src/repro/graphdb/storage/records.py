@@ -63,6 +63,7 @@ TAG_BOOL = 2
 TAG_STRING = 3
 TAG_LIST = 4
 TAG_BIGINT = 5
+TAG_DICT_STRING = 6  # payload = id into the store dictionary page
 
 _I64_MIN = -(2 ** 63)
 _I64_MAX = 2 ** 63 - 1
@@ -281,3 +282,211 @@ def decode_string_run_length(header: bytes) -> int:
     if len(header) < 4:
         raise StoreFormatError("string run header truncated")
     return struct.unpack_from("<I", header)[0]
+
+
+# --------------------------------------------------------------------------
+# Varint / zigzag primitives (CSR delta runs)
+# --------------------------------------------------------------------------
+
+def encode_uvarint(value: int) -> bytes:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buffer: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode one uvarint; returns (value, next offset)."""
+    result = 0
+    shift = 0
+    length = len(buffer)
+    while True:
+        if offset >= length:
+            raise StoreFormatError("uvarint truncated")
+        byte = buffer[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 70:
+            raise StoreFormatError("uvarint too long")
+
+
+def zigzag(value: int) -> int:
+    """Map a signed delta to an unsigned varint-friendly value."""
+    return (value << 1) ^ (value >> 63) if value >= 0 else \
+        ((-value) << 1) - 1
+
+
+def unzigzag(value: int) -> int:
+    return (value >> 1) ^ -(value & 1)
+
+
+# --------------------------------------------------------------------------
+# CSR pair runs
+# --------------------------------------------------------------------------
+#
+# One run serializes a node's (edge id, neighbor id) pairs for a single
+# (direction, edge-type) CSR segment, order-preserving::
+#
+#     uvarint  count
+#     count ×  zigzag-varint edge-id delta      (vs previous edge id)
+#     count ×  zigzag-varint neighbor-id delta  (vs previous neighbor)
+#
+# Edge ids within one adjacency group are ascending (insertion order of
+# an append-only build), so the deltas are small and the run compresses
+# to a byte or two per edge — the paper's "compact representation"
+# argument made concrete.
+
+def encode_pair_run(pairs: Sequence[tuple[int, int]]) -> bytes:
+    parts = [encode_uvarint(len(pairs))]
+    previous = 0
+    for edge_id, _neighbor in pairs:
+        parts.append(encode_uvarint(zigzag(edge_id - previous)))
+        previous = edge_id
+    previous = 0
+    for _edge, neighbor in pairs:
+        parts.append(encode_uvarint(zigzag(neighbor - previous)))
+        previous = neighbor
+    return b"".join(parts)
+
+
+def decode_pair_run(buffer: bytes,
+                    offset: int = 0) -> tuple[list[tuple[int, int]], int]:
+    """Decode one pair run; returns (pairs, next offset)."""
+    count, offset = decode_uvarint(buffer, offset)
+    length = len(buffer)
+    if count == 1:
+        # single-pair fast path: the overwhelmingly common run shape,
+        # decoded without the list/zip scaffolding of the general case
+        pair = []
+        for _ in range(2):
+            result = 0
+            shift = 0
+            while True:
+                if offset >= length:
+                    raise StoreFormatError("CSR pair run truncated")
+                byte = buffer[offset]
+                offset += 1
+                result |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    break
+                shift += 7
+            pair.append((result >> 1) ^ -(result & 1))
+        return [(pair[0], pair[1])], offset
+    edges: list[int] = []
+    append_edge = edges.append
+    value = 0
+    for _ in range(count):
+        # inlined uvarint decode: this is the hot cold-read loop
+        result = 0
+        shift = 0
+        while True:
+            if offset >= length:
+                raise StoreFormatError("CSR pair run truncated")
+            byte = buffer[offset]
+            offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        value += (result >> 1) ^ -(result & 1)
+        append_edge(value)
+    neighbors: list[int] = []
+    append_neighbor = neighbors.append
+    value = 0
+    for _ in range(count):
+        result = 0
+        shift = 0
+        while True:
+            if offset >= length:
+                raise StoreFormatError("CSR pair run truncated")
+            byte = buffer[offset]
+            offset += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                break
+            shift += 7
+        value += (result >> 1) ^ -(result & 1)
+        append_neighbor(value)
+    return list(zip(edges, neighbors)), offset
+
+
+# --------------------------------------------------------------------------
+# Dictionary page
+# --------------------------------------------------------------------------
+#
+# The store dictionary maps small integer ids to the high-frequency
+# strings of a store (labels, edge types, property keys, repeated
+# property values)::
+#
+#     u32  count
+#     u32  offsets × (count + 1)   (relative to the start of the data
+#                                   area that follows the offset table)
+#     utf-8 data, concatenated
+#
+# Entry *i* is ``data[offsets[i]:offsets[i + 1]]`` — decoding one entry
+# is an mmap slice, not a scan.
+
+_DICT_HEADER = struct.Struct("<I")
+
+
+def encode_dictionary(values: Sequence[str]) -> bytes:
+    encoded = [value.encode("utf-8") for value in values]
+    offsets = [0]
+    for blob in encoded:
+        offsets.append(offsets[-1] + len(blob))
+    return b"".join([
+        _DICT_HEADER.pack(len(encoded)),
+        struct.pack(f"<{len(offsets)}I", *offsets),
+        b"".join(encoded),
+    ])
+
+
+def decode_dictionary_count(buffer: bytes) -> int:
+    if len(buffer) < _DICT_HEADER.size:
+        raise StoreFormatError("dictionary page truncated")
+    return _DICT_HEADER.unpack_from(buffer)[0]
+
+
+def decode_dictionary_entry(buffer: bytes, index: int) -> str:
+    """Decode entry *index* with two offset reads and one slice."""
+    count = decode_dictionary_count(buffer)
+    if not 0 <= index < count:
+        raise StoreFormatError(
+            f"dictionary id {index} out of range (count {count})")
+    base = _DICT_HEADER.size
+    start, end = struct.unpack_from("<II", buffer, base + 4 * index)
+    data_start = base + 4 * (count + 1)
+    if data_start + end > len(buffer) or start > end:
+        raise StoreFormatError("dictionary entry out of bounds")
+    return str(buffer[data_start + start:data_start + end], "utf-8")
+
+
+def decode_dictionary(buffer: bytes) -> list[str]:
+    """Decode the whole dictionary page (fsck / eager paths)."""
+    count = decode_dictionary_count(buffer)
+    base = _DICT_HEADER.size
+    if base + 4 * (count + 1) > len(buffer):
+        raise StoreFormatError("dictionary offset table truncated")
+    offsets = struct.unpack_from(f"<{count + 1}I", buffer, base)
+    data_start = base + 4 * (count + 1)
+    if data_start + offsets[-1] > len(buffer):
+        raise StoreFormatError("dictionary data truncated")
+    values = []
+    for index in range(count):
+        start, end = offsets[index], offsets[index + 1]
+        if start > end:
+            raise StoreFormatError("dictionary offsets not monotonic")
+        values.append(str(buffer[data_start + start:data_start + end],
+                          "utf-8"))
+    return values

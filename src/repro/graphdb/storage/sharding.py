@@ -58,7 +58,7 @@ from repro.graphdb.storage.pagecache import PageCache
 from repro.graphdb.storage.store import (CLEAN, CORRUPT, METADATA_FILE,
                                          REPAIRABLE, GraphStore,
                                          StoreGraph, StoreProblem,
-                                         StoreVerification)
+                                         StoreVerification, compact_store)
 from repro.graphdb.view import Direction, GraphView
 
 SHARD_MAGIC = "frappe-shard-root"
@@ -391,6 +391,7 @@ def verify_shard_root(directory: str) -> StoreVerification:
         problems.append(StoreProblem(SHARD_MANIFEST_FILE, "metadata",
                                      f"unreadable: {error}"))
         return StoreVerification(directory, CORRUPT, problems)
+    files: dict[str, dict[str, Any]] = {}
     for entry in manifest.get("shards", ()):
         shard_dir = entry.get("directory", "")
         verification = GraphStore.verify(
@@ -399,6 +400,8 @@ def verify_shard_root(directory: str) -> StoreVerification:
             problems.append(StoreProblem(
                 f"{shard_dir}/{problem.file}", problem.category,
                 problem.message, offset=problem.offset))
+        for name, report in verification.files.items():
+            files[f"{shard_dir}/{name}"] = report
         boundary_name = entry.get("boundary_file", "")
         boundary_path = os.path.join(directory, boundary_name)
         if not os.path.exists(boundary_path):
@@ -429,11 +432,31 @@ def verify_shard_root(directory: str) -> StoreVerification:
                 f"{entry.get('boundary_edges')}"))
     if not problems:
         status = CLEAN
-    elif {p.category for p in problems} <= {"indexes", "boundary"}:
+    elif {p.category for p in problems} <= {"indexes", "boundary", "csr"}:
         status = REPAIRABLE
     else:
         status = CORRUPT
-    return StoreVerification(directory, status, problems)
+    return StoreVerification(directory, status, problems, files)
+
+
+def compact_shard_root(directory: str) -> dict[str, dict[str, int]]:
+    """Compact every shard store of a shard root in place.
+
+    Each shard is rewritten through :func:`compact_store` (per-shard
+    compiled CSR and dictionary pages, boundary-aware: ghost replicas
+    and the pre-seeded vocabulary survive, so post-compaction shard
+    results remain bit-identical to the source store's).  Boundary
+    tables and the root manifest are untouched — record ids do not
+    change.  Returns per-shard size breakdowns keyed by shard
+    directory name.
+    """
+    manifest = load_shard_manifest(directory)
+    breakdowns: dict[str, dict[str, int]] = {}
+    for entry in manifest.get("shards", ()):
+        shard_dir = entry.get("directory", "")
+        breakdowns[shard_dir] = compact_store(
+            os.path.join(directory, shard_dir))
+    return breakdowns
 
 
 # --------------------------------------------------------------------------
@@ -530,7 +553,7 @@ class ShardedStore:
     """
 
     def __init__(self, root: str, page_cache: PageCache | None = None,
-                 ) -> None:
+                 use_compiled_csr: bool = True) -> None:
         self.root = root
         self.manifest = load_shard_manifest(root)
         self.page_cache = page_cache or PageCache()
@@ -538,7 +561,7 @@ class ShardedStore:
         for entry in self.manifest["shards"]:
             self.shards.append(GraphStore.open(
                 os.path.join(root, entry["directory"]),
-                self.page_cache))
+                self.page_cache, use_compiled_csr=use_compiled_csr))
         self._node_owner: dict[int, int] = {}
         owned_lists: list[list[int]] = []
         for index, shard in enumerate(self.shards):

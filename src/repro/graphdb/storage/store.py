@@ -42,12 +42,17 @@ from repro.errors import (EdgeNotFoundError, NodeNotFoundError,
                           StoreFormatError)
 from repro.graphdb import luceneql
 from repro.graphdb.stats import GraphStatistics
+from repro.graphdb.storage import csr as csr_mod
 from repro.graphdb.storage import records
 from repro.graphdb.storage.pagecache import PageCache, PagedFile
 from repro.graphdb.view import Direction, GraphView
 
 MAGIC = "frappe-graph-store"
-FORMAT_VERSION = 2
+#: Format 3 added the compiled CSR adjacency segments and the string
+#: dictionary page. Version-2 stores still open: they simply have no
+#: compiled structures, so reads fall back to record decoding.
+FORMAT_VERSION = 3
+SUPPORTED_VERSIONS = (2, FORMAT_VERSION)
 
 METADATA_FILE = "metadata.json"
 NODE_FILE = "nodestore.db"
@@ -58,13 +63,30 @@ STRING_FILE = "stringstore.db"
 STRING_OFFSETS_FILE = "stringstore.offsets.db"
 INDEX_POSTINGS_FILE = "index.postings.db"
 INDEX_DICT_FILE = "index.dict.json"
+#: format >= 3: compiled CSR adjacency payloads and offset arrays
+CSR_FILE = "csr.db"
+CSR_OFFSETS_FILE = "csr.offsets.db"
+#: format >= 3: the string dictionary page (labels, edge types,
+#: property keys, high-frequency property values)
+DICT_FILE = "dictionary.db"
 
 #: Written last during a commit; its presence marks a complete store.
 MANIFEST_FILE = "manifest.json"
 
 ALL_FILES = (METADATA_FILE, NODE_FILE, REL_FILE, ADJ_FILE, PROP_FILE,
              STRING_FILE, STRING_OFFSETS_FILE, INDEX_POSTINGS_FILE,
-             INDEX_DICT_FILE)
+             INDEX_DICT_FILE, CSR_FILE, CSR_OFFSETS_FILE, DICT_FILE)
+
+#: files a version-2 (pre-compiled) store commits
+LEGACY_FILES = (METADATA_FILE, NODE_FILE, REL_FILE, ADJ_FILE, PROP_FILE,
+                STRING_FILE, STRING_OFFSETS_FILE, INDEX_POSTINGS_FILE,
+                INDEX_DICT_FILE)
+
+#: maximum dictionary-page entries; beyond the token vocabularies only
+#: the highest-frequency property values make the cut
+DICTIONARY_CAPACITY = 65536
+#: a property value must repeat at least this often to be dictionarized
+DICTIONARY_MIN_FREQUENCY = 2
 
 #: Table 4 category -> store files whose sizes sum into it.
 SIZE_CATEGORIES = {
@@ -72,7 +94,17 @@ SIZE_CATEGORIES = {
     "relationships": (REL_FILE, ADJ_FILE),
     "properties": (PROP_FILE, STRING_FILE, STRING_OFFSETS_FILE),
     "indexes": (INDEX_POSTINGS_FILE, INDEX_DICT_FILE),
+    "csr": (CSR_FILE, CSR_OFFSETS_FILE),
+    "dictionary": (DICT_FILE,),
 }
+
+#: fsck categories whose damage is derivable from the record stores —
+#: the store still answers correctly without them ("repairable").
+#: Compiled CSR segments are a projection of the adjacency +
+#: relationship stores (rebuild with ``frappe compact``); the
+#: dictionary page is NOT here: it holds the only copy of
+#: dict-encoded property values.
+DERIVABLE_CATEGORIES = frozenset({"indexes", "csr"})
 
 #: file name -> fsck category ("metadata" for the bookkeeping files).
 CATEGORY_BY_FILE = {name: category
@@ -114,6 +146,12 @@ class StoreVerification:
     directory: str
     status: str
     problems: list[StoreProblem] = dataclasses.field(default_factory=list)
+    #: per-file report gathered during verification (one pass):
+    #: ``{file: {"category", "bytes", "records"}}`` where ``records``
+    #: is the live record/entry count when the file has one — the
+    #: Table-4-style breakdown ``frappe fsck`` prints.
+    files: dict[str, dict[str, Any]] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -194,6 +232,7 @@ class GraphStore:
               injector: Any = None,
               ghost_nodes: Collection[int] | None = None,
               vocabulary: dict[str, list[str]] | None = None,
+              compiled: bool = True,
               ) -> dict[str, int]:
         """Serialize *graph* into *directory*; returns the size breakdown.
 
@@ -231,6 +270,11 @@ class GraphStore:
         is a :class:`repro.graphdb.storage.faults.FaultInjector`-shaped
         object: its ``checkpoint(label)`` is called at every durability
         step and its ``open(path, mode)`` supplies the output streams.
+
+        ``compiled`` (keyword-only) controls the format-3 compiled
+        structures (CSR adjacency segments + dictionary page); pass
+        ``False`` to write a legacy version-2 store — the ablation
+        baseline and the compatibility-test fixture.
         """
         directory = directory.rstrip("/\\") or directory
         staging = directory + ".tmp"
@@ -247,14 +291,16 @@ class GraphStore:
         os.makedirs(staging)
         GraphStore._write_contents(graph, staging, opener, checkpoint,
                                    ghost_nodes=ghost_nodes,
-                                   vocabulary=vocabulary)
+                                   vocabulary=vocabulary,
+                                   compiled=compiled)
 
-        for name in ALL_FILES:
+        written = ALL_FILES if compiled else LEGACY_FILES
+        for name in written:
             _fsync_file(os.path.join(staging, name))
         checkpoint("files_synced")
 
         manifest: dict[str, Any] = {"version": 1, "files": {}}
-        for name in ALL_FILES:
+        for name in written:
             path = os.path.join(staging, name)
             manifest["files"][name] = {"size": os.path.getsize(path),
                                        "crc32": _crc32_file(path)}
@@ -284,6 +330,7 @@ class GraphStore:
                         checkpoint: Callable[[str], None],
                         ghost_nodes: Collection[int] | None = None,
                         vocabulary: dict[str, list[str]] | None = None,
+                        compiled: bool = True,
                         ) -> None:
         """Serialize every store file of *graph* into *directory*."""
         ghosts = frozenset(ghost_nodes or ())
@@ -299,6 +346,52 @@ class GraphStore:
                 label_tokens.token(text)
         labelsets: dict[frozenset[str], int] = {}
         labelset_rows: list[list[int]] = []
+
+        # dictionary page (format 3) -----------------------------------
+        # One pre-pass over properties to find the strings worth a
+        # small dict id instead of a string-store run: every label,
+        # edge type and property key (they repeat per record by
+        # construction), plus property values that repeat at least
+        # DICTIONARY_MIN_FREQUENCY times. Deterministic order: names
+        # first (first-seen order of the iteration), then values by
+        # descending frequency with a lexicographic tiebreak.
+        dictionary_ids: dict[str, int] | None = None
+        if compiled:
+            names: dict[str, None] = {}
+            frequencies: dict[str, int] = {}
+            live_count = 0
+            for node_id in graph.node_ids():
+                live_count += 1
+                for label in graph.node_labels(node_id):
+                    names.setdefault(label, None)
+                for key, value in graph.node_properties(node_id).items():
+                    names.setdefault(key, None)
+                    if isinstance(value, str):
+                        frequencies[value] = frequencies.get(value, 0) + 1
+            for edge_id in graph.edge_ids():
+                names.setdefault(graph.edge_type(edge_id), None)
+                for key, value in graph.edge_properties(edge_id).items():
+                    names.setdefault(key, None)
+                    if isinstance(value, str):
+                        frequencies[value] = frequencies.get(value, 0) + 1
+            dictionary_ids = {text: index
+                              for index, text in enumerate(names)}
+            hot = sorted(
+                ((count, value) for value, count in frequencies.items()
+                 if count >= DICTIONARY_MIN_FREQUENCY
+                 and value not in dictionary_ids),
+                key=lambda item: (-item[0], item[1]))
+            for _count, value in hot:
+                if len(dictionary_ids) >= DICTIONARY_CAPACITY:
+                    break
+                dictionary_ids[value] = len(dictionary_ids)
+            dict_path = os.path.join(directory, DICT_FILE)
+            with opener(dict_path, "wb") as handle:
+                handle.write(records.encode_dictionary(
+                    list(dictionary_ids)))
+            checkpoint("dictionary_written")
+        else:
+            live_count = sum(1 for _ in graph.node_ids())
 
         strings = _StringStoreWriter(os.path.join(directory, STRING_FILE),
                                      opener)
@@ -318,7 +411,8 @@ class GraphStore:
                 for key in sorted(properties):
                     value = properties[key]
                     key_token = key_tokens.token(key)
-                    tag, payload = _encode_value(value, strings)
+                    tag, payload = _encode_value(value, strings,
+                                                 dictionary_ids)
                     entries.append((key_token, tag, payload))
                 block = records.encode_property_block(entries)
                 offset = position
@@ -335,9 +429,15 @@ class GraphStore:
 
         checkpoint("properties_written")
 
-        # adjacency store ----------------------------------------------------
+        # adjacency store + compiled CSR segments ------------------------
+        # Node ids ascend, so the same pass that serializes each node's
+        # adjacency block appends its (edge id, neighbor id) runs to
+        # the per-(direction, type) CSR segments — ghost replicas
+        # included, exactly like their adjacency blocks, which is what
+        # keeps shard-local one-hop expansion on the compiled path.
         adj_path = os.path.join(directory, ADJ_FILE)
         adjacency: dict[int, tuple[int, int]] = {}
+        csr_builder = csr_mod.CsrBuilder() if compiled else None
         with opener(adj_path, "wb") as adj_handle:
             position = 0
             for node_id in graph.node_ids():
@@ -349,8 +449,30 @@ class GraphStore:
                 adj_handle.write(block)
                 adjacency[node_id] = (position, len(block))
                 position += len(block)
+                if csr_builder is None:
+                    continue
+                for direction, groups in ((csr_mod.OUT, out_groups),
+                                          (csr_mod.IN, in_groups)):
+                    for token, edge_ids in groups:
+                        pairs = []
+                        for edge_id in edge_ids:
+                            source = graph.edge_source(edge_id)
+                            pairs.append(
+                                (edge_id, source if source != node_id
+                                 else graph.edge_target(edge_id)))
+                        csr_builder.add(node_id, direction, token, pairs)
 
         checkpoint("adjacency_written")
+
+        csr_descriptor = None
+        if csr_builder is not None:
+            csr_payload, csr_offsets, csr_descriptor = csr_builder.finish()
+            with opener(os.path.join(directory, CSR_FILE), "wb") as handle:
+                handle.write(csr_payload)
+            with opener(os.path.join(directory, CSR_OFFSETS_FILE),
+                        "wb") as handle:
+                handle.write(csr_offsets)
+            checkpoint("csr_written")
 
         # node store -----------------------------------------------------------
         high_node = max(graph.node_ids(), default=-1) + 1
@@ -421,8 +543,12 @@ class GraphStore:
         # metadata ------------------------------------------------------------------
         metadata = {
             "magic": MAGIC,
-            "version": FORMAT_VERSION,
-            "node_count": graph.node_count() - len(ghosts),
+            "version": FORMAT_VERSION if compiled else 2,
+            # Count what was actually serialized rather than trusting
+            # graph.node_count(): a StoreGraph source already excludes
+            # its ghosts there, so compacting a shard must not subtract
+            # them twice.
+            "node_count": live_count - len(ghosts),
             "edge_count": graph.edge_count(),
             "high_node_id": high_node,
             "high_edge_id": high_edge,
@@ -436,6 +562,9 @@ class GraphStore:
         }
         if ghosts:
             metadata["ghost_nodes"] = sorted(ghosts)
+        if compiled:
+            metadata["csr"] = csr_descriptor
+            metadata["dictionary_count"] = len(dictionary_ids or ())
         with opener(os.path.join(directory, METADATA_FILE), "w",
                     encoding="utf-8") as handle:
             json.dump(metadata, handle)
@@ -444,7 +573,8 @@ class GraphStore:
     @staticmethod
     def open(directory: str,
              page_cache: PageCache | None = None,
-             record_cache_capacity: int | None = None) -> "StoreGraph":
+             record_cache_capacity: int | None = None,
+             use_compiled_csr: bool = True) -> "StoreGraph":
         """Open a store directory as a read-only graph view.
 
         Runs best-effort crash :meth:`recover` first, so a directory
@@ -462,13 +592,14 @@ class GraphStore:
             metadata = json.load(handle)
         if metadata.get("magic") != MAGIC:
             raise StoreFormatError(f"bad magic in {metadata_path!r}")
-        if metadata.get("version") != FORMAT_VERSION:
+        if metadata.get("version") not in SUPPORTED_VERSIONS:
             raise StoreFormatError(
                 f"store version {metadata.get('version')} unsupported "
-                f"(expected {FORMAT_VERSION})")
+                f"(expected one of {SUPPORTED_VERSIONS})")
         return StoreGraph(directory, metadata,
                           page_cache or PageCache(),
-                          record_cache_capacity=record_cache_capacity)
+                          record_cache_capacity=record_cache_capacity,
+                          use_compiled_csr=use_compiled_csr)
 
     @staticmethod
     def recover(directory: str) -> str | None:
@@ -551,7 +682,7 @@ class GraphStore:
         if metadata.get("magic") != MAGIC:
             problems.append(StoreProblem(METADATA_FILE, "metadata",
                                          "bad magic"))
-        if metadata.get("version") != FORMAT_VERSION:
+        if metadata.get("version") not in SUPPORTED_VERSIONS:
             problems.append(StoreProblem(
                 METADATA_FILE, "metadata",
                 f"unsupported version {metadata.get('version')!r}"))
@@ -559,15 +690,19 @@ class GraphStore:
             return StoreVerification(directory, CORRUPT, problems)
 
         problems.extend(GraphStore._verify_checksums(directory))
-        problems.extend(GraphStore._verify_records(directory, metadata))
+        record_problems, files = GraphStore._verify_records(
+            directory, metadata)
+        problems.extend(record_problems)
 
+        # only problems confined to files rebuildable from the primary
+        # records (indexes, compiled CSR segments) are repairable
         if not problems:
             status = CLEAN
-        elif {p.category for p in problems} <= {"indexes"}:
+        elif {p.category for p in problems} <= DERIVABLE_CATEGORIES:
             status = REPAIRABLE
         else:
             status = CORRUPT
-        return StoreVerification(directory, status, problems)
+        return StoreVerification(directory, status, problems, files)
 
     @staticmethod
     def _verify_checksums(directory: str) -> list[StoreProblem]:
@@ -607,10 +742,28 @@ class GraphStore:
         return problems
 
     @staticmethod
-    def _verify_records(directory: str,
-                        metadata: dict[str, Any]) -> list[StoreProblem]:
-        """Record-level validation of every store file's structure."""
+    def _verify_records(directory: str, metadata: dict[str, Any],
+                        ) -> tuple[list[StoreProblem],
+                                   dict[str, dict[str, Any]]]:
+        """Record-level validation of every store file's structure.
+
+        Returns (problems, per-file report); the report carries each
+        file's Table 4 category, on-disk byte size and — where the
+        format defines one — live record/entry count, all gathered in
+        the same pass the validation makes anyway.
+        """
         problems: list[StoreProblem] = []
+        files: dict[str, dict[str, Any]] = {}
+
+        def report(name: str, record_count: int | None = None) -> None:
+            path = os.path.join(directory, name)
+            if not os.path.exists(path):
+                return
+            files[name] = {
+                "category": CATEGORY_BY_FILE.get(name, "metadata"),
+                "bytes": os.path.getsize(path),
+                "records": record_count,
+            }
 
         def load(name: str) -> bytes | None:
             path = os.path.join(directory, name)
@@ -632,7 +785,7 @@ class GraphStore:
         except (KeyError, TypeError, ValueError) as error:
             problems.append(StoreProblem(
                 METADATA_FILE, "metadata", f"malformed metadata: {error}"))
-            return problems
+            return problems, files
 
         nodes_raw = load(NODE_FILE)
         rels_raw = load(REL_FILE)
@@ -640,6 +793,27 @@ class GraphStore:
         props_raw = load(PROP_FILE)
         strings_raw = load(STRING_FILE)
         offsets_raw = load(STRING_OFFSETS_FILE)
+
+        # string dictionary page (format 3): primary data — every
+        # TAG_DICT_STRING payload resolves here, so structural damage
+        # is CORRUPT, not repairable
+        dict_count = None
+        if metadata.get("version", FORMAT_VERSION) >= 3 or \
+                os.path.exists(os.path.join(directory, DICT_FILE)):
+            dict_raw = load(DICT_FILE)
+            if dict_raw is not None:
+                try:
+                    dict_count = len(records.decode_dictionary(dict_raw))
+                except StoreFormatError as error:
+                    problems.append(StoreProblem(
+                        DICT_FILE, "dictionary", str(error)))
+            declared = metadata.get("dictionary_count")
+            if dict_count is not None and declared is not None and \
+                    dict_count != declared:
+                problems.append(StoreProblem(
+                    DICT_FILE, "dictionary",
+                    f"{dict_count} entries on disk, metadata says "
+                    f"{declared}"))
 
         string_count = None
         if offsets_raw is not None:
@@ -703,6 +877,12 @@ class GraphStore:
                         problems.append(StoreProblem(
                             PROP_FILE, "properties",
                             f"bad string id {payload} in block of "
+                            f"{owner}", offset=offset))
+                elif tag == records.TAG_DICT_STRING:
+                    if dict_count is not None and payload >= dict_count:
+                        problems.append(StoreProblem(
+                            PROP_FILE, "properties",
+                            f"bad dictionary id {payload} in block of "
                             f"{owner}", offset=offset))
                 elif tag not in (records.TAG_INT, records.TAG_FLOAT,
                                  records.TAG_BOOL):
@@ -816,7 +996,57 @@ class GraphStore:
             problems.append(StoreProblem(
                 INDEX_DICT_FILE, "indexes",
                 f"unreadable dictionary: {error}"))
-        return problems
+            entries = []
+
+        # compiled CSR segments (format 3): fully derivable from the
+        # record stores, so damage here is REPAIRABLE (frappe compact
+        # rebuilds them)
+        csr_descriptor = metadata.get("csr")
+        csr_edges = None
+        csr_segments = None
+        if csr_descriptor is not None:
+            if not isinstance(csr_descriptor, dict):
+                problems.append(StoreProblem(
+                    CSR_FILE, "csr", "malformed CSR descriptor"))
+            else:
+                csr_payload = load(CSR_FILE)
+                csr_offsets = load(CSR_OFFSETS_FILE)
+                if csr_payload is not None and csr_offsets is not None:
+                    try:
+                        for kind, message in csr_mod.verify_descriptor(
+                                csr_descriptor, csr_payload, csr_offsets,
+                                high_node, high_edge):
+                            problems.append(StoreProblem(
+                                CSR_FILE if kind == "payload"
+                                else CSR_OFFSETS_FILE, "csr", message))
+                    except (KeyError, TypeError, ValueError) as error:
+                        problems.append(StoreProblem(
+                            CSR_FILE, "csr",
+                            f"malformed CSR descriptor: {error}"))
+                segments = csr_descriptor.get("segments")
+                if isinstance(segments, list):
+                    csr_segments = len(segments)
+                    try:
+                        csr_edges = sum(entry["edges"]
+                                        for entry in segments)
+                    except (KeyError, TypeError):
+                        csr_edges = None
+
+        report(NODE_FILE, live_nodes if nodes_raw is not None else None)
+        report(REL_FILE, live_edges if rels_raw is not None else None)
+        report(ADJ_FILE, live_nodes if nodes_raw is not None else None)
+        report(PROP_FILE, len(checked_blocks))
+        report(STRING_FILE, string_count)
+        report(STRING_OFFSETS_FILE, string_count)
+        report(INDEX_DICT_FILE, len(entries))
+        report(INDEX_POSTINGS_FILE,
+               sum(count for _offset, count in entries))
+        report(DICT_FILE, dict_count)
+        report(CSR_FILE, csr_edges)
+        report(CSR_OFFSETS_FILE, csr_segments)
+        report(METADATA_FILE)
+        report(MANIFEST_FILE)
+        return problems, files
 
     @staticmethod
     def size_breakdown(directory: str) -> dict[str, int]:
@@ -834,6 +1064,36 @@ class GraphStore:
         return breakdown
 
 
+def compact_store(directory: str,
+                  page_cache: PageCache | None = None) -> dict[str, int]:
+    """Rewrite *directory* in the current compiled store format.
+
+    Opens the store through the record-decode path (never trusting any
+    existing compiled segments — this is also the ``fsck`` repair for
+    damaged CSR files), then rewrites it in place with the same atomic
+    staging/rename protocol as any other :meth:`GraphStore.write`.
+    Token tables are re-seeded from the source metadata so record ids,
+    token ids and iteration order all survive the round trip.  Works on
+    both legacy (format 2) and already-compiled stores; shard stores
+    keep their ghost replicas.  Returns the post-compaction size
+    breakdown.
+    """
+    store = GraphStore.open(directory, page_cache=page_cache,
+                            use_compiled_csr=False)
+    try:
+        GraphStore.write(store, directory,
+                         ghost_nodes=store.ghost_nodes,
+                         vocabulary={
+                             "key_tokens": store._key_tokens,
+                             "type_tokens": store._type_tokens,
+                             "label_tokens": store._label_tokens,
+                         },
+                         compiled=True)
+    finally:
+        store.close()
+    return GraphStore.size_breakdown(directory)
+
+
 def _group_edges(graph: GraphView, node_id: int, direction: Direction,
                  type_tokens: _TokenTable) -> list[tuple[int, list[int]]]:
     groups: dict[int, list[int]] = {}
@@ -844,7 +1104,9 @@ def _group_edges(graph: GraphView, node_id: int, direction: Direction,
 
 
 def _encode_value(value: Any,
-                  strings: _StringStoreWriter) -> tuple[int, int]:
+                  strings: _StringStoreWriter,
+                  dictionary: dict[str, int] | None = None,
+                  ) -> tuple[int, int]:
     if isinstance(value, bool):
         return records.TAG_BOOL, 1 if value else 0
     if isinstance(value, int):
@@ -854,6 +1116,10 @@ def _encode_value(value: Any,
     if isinstance(value, float):
         return records.TAG_FLOAT, records.pack_float(value)
     if isinstance(value, str):
+        if dictionary is not None:
+            dict_id = dictionary.get(value)
+            if dict_id is not None:
+                return records.TAG_DICT_STRING, dict_id
         return records.TAG_STRING, strings.put_string(value)
     if isinstance(value, (list, tuple)):
         return records.TAG_LIST, strings.put_bytes(
@@ -989,6 +1255,11 @@ class StoreIndexes:
         """Release the postings file; safe to call twice."""
         self._postings.close()
 
+    def evict_caches(self) -> None:
+        """Drop the memoized all-ids universe so the next full-index
+        scan re-reads postings (keeps cold runs honest)."""
+        self._all_ids_cache = None
+
     def lookup(self, key: str, value: Any) -> Iterator[int]:
         self._lookup_counter.inc()
         entry = self._auto.get(key.lower(), {}).get(_index_term(value))
@@ -1095,7 +1366,8 @@ class StoreGraph:
 
     def __init__(self, directory: str, metadata: dict[str, Any],
                  page_cache: PageCache,
-                 record_cache_capacity: int | None = None) -> None:
+                 record_cache_capacity: int | None = None,
+                 use_compiled_csr: bool = True) -> None:
         if record_cache_capacity is None:
             record_cache_capacity = DEFAULT_RECORD_CACHE_CAPACITY
         if record_cache_capacity < 1:
@@ -1143,6 +1415,39 @@ class StoreGraph:
             dictionary = json.load(handle)
         self._indexes = StoreIndexes(dictionary, paged(INDEX_POSTINGS_FILE),
                                      self._node_count)
+        # compiled read structures (format 3): per-(direction, type)
+        # CSR adjacency segments and the string dictionary page.
+        # Anything short of a fully consistent descriptor/file pair
+        # falls back to the record-decode path silently — a damaged or
+        # absent compiled layer costs speed, never answers.
+        self.format_version: int = metadata.get("version", FORMAT_VERSION)
+        self._csr_reader: csr_mod.CsrReader | None = None
+        self._csr_payload_file: PagedFile | None = None
+        self._csr_offsets_file: PagedFile | None = None
+        csr_descriptor = metadata.get("csr")
+        if use_compiled_csr and csr_descriptor is not None:
+            payload_path = os.path.join(directory, CSR_FILE)
+            offsets_path = os.path.join(directory, CSR_OFFSETS_FILE)
+            try:
+                sizes_ok = (
+                    os.path.getsize(payload_path)
+                    == csr_descriptor["payload_bytes"]
+                    and os.path.getsize(offsets_path)
+                    == csr_descriptor["offsets_bytes"])
+            except (OSError, KeyError, TypeError):
+                sizes_ok = False
+            if sizes_ok:
+                self._csr_payload_file = paged(CSR_FILE)
+                self._csr_offsets_file = paged(CSR_OFFSETS_FILE)
+                self._csr_reader = csr_mod.CsrReader(
+                    self._csr_payload_file, self._csr_offsets_file,
+                    csr_descriptor)
+        self._dict_file: PagedFile | None = None
+        self._dict_buffer: Any = None
+        self._dict_values: list[str | None] | None = None
+        self._dictionary_count = int(metadata.get("dictionary_count", 0))
+        if os.path.exists(os.path.join(directory, DICT_FILE)):
+            self._dict_file = paged(DICT_FILE)
         # decoded-object caches, bounded so a scan of a store larger
         # than memory cannot pin every decoded record at once
         capacity = record_cache_capacity
@@ -1162,6 +1467,16 @@ class StoreGraph:
         self._neighbor_pair_cache: dict[
             tuple[int, Any, tuple[str, ...] | None],
             list[tuple[int, int]]] = _FIFOCache(capacity)
+        # (source, target, type token) per edge, filled as a side
+        # effect of compiled CSR run decodes: an OUT run pins the edge
+        # as (node, neighbor), an IN run as (neighbor, node), so
+        # other_end/edge_type resolution never touches the rel record
+        # for edges reached through compiled adjacency.  Strictly a
+        # fast path — a miss falls through to _live_rel, and the
+        # record path never writes it, so the two paths stay
+        # row-identical.
+        self._endpoint_memo: dict[int, tuple[int, int, int]] = \
+            _FIFOCache(capacity)
         #: CSR-style adjacency snapshot (see snapshot_adjacency /
         #: enable_csr); _csr_complete marks an eager full build, where
         #: a missing key means a dead node rather than not-yet-decoded
@@ -1181,6 +1496,20 @@ class StoreGraph:
         self.statistics = GraphStatistics.from_counts(
             self._node_count, self._edge_count,
             label_counts, edge_type_counts)
+        # degree summaries fall out of the CSR segment descriptors for
+        # free (valid regardless of whether the compiled reader is in
+        # use — they describe the same adjacency either way)
+        if isinstance(csr_descriptor, dict):
+            for entry in csr_descriptor.get("segments", ()):
+                try:
+                    self.statistics.set_degree_stats(
+                        "out" if entry["direction"] == csr_mod.OUT
+                        else "in",
+                        self._type_tokens[entry["token"]],
+                        entry["edges"], entry["max_degree"],
+                        entry["degree_hist"])
+                except (KeyError, TypeError, IndexError):
+                    continue
         self.attach_metrics(page_cache.metrics)
 
     def attach_metrics(self, registry: Any) -> None:
@@ -1205,12 +1534,20 @@ class StoreGraph:
         self._node_prop_cache.clear()
         self._edge_prop_cache.clear()
         self._neighbor_pair_cache.clear()
+        self._endpoint_memo.clear()
         # a lazily-enabled CSR empties but stays enabled (entries are
         # rebuilt on access, so cold runs stay honest); an eager
         # snapshot drops entirely, as it always did
         self._csr = {} if self._csr is not None \
             and not self._csr_complete else None
         self._csr_complete = False
+        # compiled-layer caches: memoized index universe, CSR offset
+        # views, decoded dictionary entries
+        self._indexes.evict_caches()
+        if self._csr_reader is not None:
+            self._csr_reader.evict()
+        self._dict_buffer = None
+        self._dict_values = None
 
     def snapshot_adjacency(self) -> None:
         """Materialize the whole adjacency store into one in-memory
@@ -1253,8 +1590,15 @@ class StoreGraph:
     def close(self) -> None:
         """Release every underlying file; safe to call twice."""
         for paged_file in (self._nodes, self._rels, self._adj,
-                           self._props, self._strings):
-            paged_file.close()
+                           self._props, self._strings,
+                           self._csr_payload_file,
+                           self._csr_offsets_file, self._dict_file):
+            if paged_file is not None:
+                paged_file.close()
+        if self._csr_reader is not None:
+            self._csr_reader.evict()
+        self._dict_buffer = None
+        self._dict_values = None
         self._indexes.close()
 
     def __enter__(self) -> "StoreGraph":
@@ -1349,12 +1693,21 @@ class StoreGraph:
     # -- GraphView: edges -------------------------------------------------------------
 
     def edge_source(self, edge_id: int) -> int:
+        ends = self._endpoint_memo.get(edge_id)
+        if ends is not None:
+            return ends[0]
         return self._live_rel(edge_id)[2]
 
     def edge_target(self, edge_id: int) -> int:
+        ends = self._endpoint_memo.get(edge_id)
+        if ends is not None:
+            return ends[1]
         return self._live_rel(edge_id)[3]
 
     def edge_type(self, edge_id: int) -> str:
+        ends = self._endpoint_memo.get(edge_id)
+        if ends is not None:
+            return self._type_tokens[ends[2]]
         return self._type_tokens[self._live_rel(edge_id)[1]]
 
     def edge_properties(self, edge_id: int) -> dict[str, Any]:
@@ -1385,6 +1738,16 @@ class StoreGraph:
     def edges_of(self, node_id: int,
                  direction: Direction = Direction.BOTH,
                  types: Collection[str] | None = None) -> Iterator[int]:
+        if types is not None and self._csr_reader is not None:
+            # typed scan over a compiled store: only the wanted
+            # (direction, type) CSR runs are decoded — the full
+            # adjacency block is never assembled.  neighbors_of yields
+            # pairs in exactly this method's group order (out then in,
+            # tokens ascending), so the edge-id sequence is identical.
+            for edge_id, _neighbor in self.neighbors_of(
+                    node_id, direction, types):
+                yield edge_id
+            return
         out_groups, in_groups = self._adjacency(node_id)
         wanted = None
         if types is not None:
@@ -1402,6 +1765,8 @@ class StoreGraph:
     def degree(self, node_id: int,
                direction: Direction = Direction.BOTH,
                types: Collection[str] | None = None) -> int:
+        if types is not None and self._csr_reader is not None:
+            return len(self.neighbors_of(node_id, direction, types))
         out_groups, in_groups = self._adjacency(node_id)
         wanted = None
         if types is not None:
@@ -1464,8 +1829,37 @@ class StoreGraph:
         if cached is not None:
             self._object_hit_counter.inc()
             return cached
-        pairs = self.resolve_neighbors(
-            node_id, tuple(self.edges_of(node_id, direction, types)))
+        reader = self._csr_reader
+        if reader is not None:
+            # compiled fast path: the (edge, neighbor) pairs are already
+            # materialized in the CSR runs — no node record, adjacency
+            # block or rel-record decode per edge.  Group order (out
+            # then in, tokens ascending) matches edges_of ∘
+            # resolve_neighbors exactly.
+            self._fault_counter.inc()
+            wanted = None
+            if types is not None:
+                wanted = {self._type_token_by_name[name] for name in types
+                          if name in self._type_token_by_name}
+            memo = self._endpoint_memo
+            pairs = []
+            if direction in (Direction.OUT, Direction.BOTH):
+                for token, run in reader.groups(node_id, csr_mod.OUT,
+                                                wanted):
+                    for edge_id, neighbor in run:
+                        memo[edge_id] = (node_id, neighbor, token)
+                    pairs.extend(run)
+            if direction in (Direction.IN, Direction.BOTH):
+                for token, run in reader.groups(node_id, csr_mod.IN,
+                                                wanted):
+                    for edge_id, neighbor in run:
+                        memo[edge_id] = (neighbor, node_id, token)
+                    pairs.extend(run)
+            if not pairs:
+                self._live_node(node_id)  # dead ids must still raise
+        else:
+            pairs = self.resolve_neighbors(
+                node_id, tuple(self.edges_of(node_id, direction, types)))
         self._neighbor_pair_cache[key] = pairs
         return pairs
 
@@ -1530,21 +1924,31 @@ class StoreGraph:
                 raise NodeNotFoundError(node_id)
             # lazy CSR: decode once, keep for the store's lifetime
             self._fault_counter.inc()
-            record = self._live_node(node_id)
-            block = self._adj.read(record[3], record[4])
-            groups = records.decode_adjacency(block)
+            groups = self._decode_adjacency_groups(node_id)
             csr[node_id] = groups
             return groups
         cached = self._adj_cache.get(node_id)
         if cached is None:
             self._fault_counter.inc()
-            record = self._live_node(node_id)
-            block = self._adj.read(record[3], record[4])
-            cached = records.decode_adjacency(block)
+            cached = self._decode_adjacency_groups(node_id)
             self._adj_cache[node_id] = cached
         else:
             self._object_hit_counter.inc()
         return cached
+
+    def _decode_adjacency_groups(self, node_id: int) -> tuple[Any, Any]:
+        """Physically materialize one node's (out, in) edge groups.
+
+        Always the record path — one contiguous adjacency-block decode
+        is cheaper than reassembling every (direction, type) group
+        from per-segment CSR runs, so full-adjacency requests stay on
+        it even for compiled stores.  The compiled CSR serves the
+        *selective* reads (typed ``edges_of``/``neighbors_of``), where
+        decoding only the wanted runs wins.
+        """
+        record = self._live_node(node_id)
+        block = self._adj.read(record[3], record[4])
+        return records.decode_adjacency(block)
 
     def _read_props(self, paged: PagedFile, offset: int) -> dict[str, Any]:
         if offset == records.NO_OFFSET:
@@ -1584,7 +1988,50 @@ class StoreGraph:
             return records.decode_list_blob(self._read_string(payload))
         if tag == records.TAG_BIGINT:
             return int(str(self._read_string(payload), "ascii"))
+        if tag == records.TAG_DICT_STRING:
+            return self._dict_value(payload)
         raise StoreFormatError(f"unknown property tag {tag}")
+
+    def _dict_value(self, dict_id: int) -> str:
+        """Resolve a dictionary id to its interned string.
+
+        The dictionary page is primary data (records carrying
+        ``TAG_DICT_STRING`` have no other copy of the value), so a
+        missing or short file is corruption, not a fallback case.
+        Entries decode lazily — one slice off the (mmap'd) page — and
+        intern so repeated decodes share one string object, exactly
+        like the token tables.
+        """
+        values = self._dict_values
+        if values is None:
+            if self._dict_file is None:
+                raise StoreCorruptionError(
+                    "record references the string dictionary but "
+                    f"{DICT_FILE} is missing",
+                    file=os.path.join(self.directory, DICT_FILE))
+            buffer = self._dict_file.read(0, self._dict_file.size)
+            try:
+                count = records.decode_dictionary_count(buffer)
+            except StoreFormatError as error:
+                raise StoreCorruptionError(
+                    str(error), file=self._dict_file.path) from error
+            values = self._dict_values = [None] * count
+            self._dict_buffer = buffer
+        if not 0 <= dict_id < len(values):
+            raise StoreCorruptionError(
+                f"dictionary id {dict_id} out of range "
+                f"(dictionary has {len(values)} entries)",
+                file=self._dict_file.path if self._dict_file else None)
+        value = values[dict_id]
+        if value is None:
+            try:
+                value = sys.intern(records.decode_dictionary_entry(
+                    self._dict_buffer, dict_id))
+            except StoreFormatError as error:
+                raise StoreCorruptionError(
+                    str(error), file=self._dict_file.path) from error
+            values[dict_id] = value
+        return value
 
     def _read_string(self, string_id: int) -> "bytes | memoryview":
         if not 0 <= string_id < len(self._string_offsets):

@@ -235,7 +235,8 @@ class ShardRouter:
         self._decision_lock = threading.Lock()
         if config is None:
             config = StoreConfig(mmap=True)
-        self.store = ShardedStore(root)
+        self.store = ShardedStore(
+            root, use_compiled_csr=config.use_compiled_csr)
         self.gateway = Frappe(self.store, obs=self.obs)
         self.replica_sets: list[ReplicaSet] = []
         self.shard_engines: list[Any] = []

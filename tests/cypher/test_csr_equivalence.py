@@ -1,0 +1,160 @@
+"""Property-based compiled-CSR vs record-decode equivalence.
+
+The compiled CSR adjacency is a pure physical-layer change: for any
+graph and any traversal query, a compiled store must produce the same
+columns, the same rows in the same order, the same profiled db-hit
+totals, and the same PROFILE operator tree (modulo wall-clock times)
+as the record-decode path — in both buffered and mmap cache modes.
+db-hit parity is the sharp edge: the execution context charges hits
+above the physical layer, so a CSR read that touched a different
+*number* of logical adjacency requests would show up here first.
+
+Stores are written to ``tempfile.mkdtemp`` (not ``tmp_path``) because
+hypothesis re-runs the test body many times per fixture instantiation.
+"""
+
+import re
+import shutil
+import tempfile
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.core.config import StoreConfig
+from repro.core.frappe import Frappe
+from repro.cypher import QueryOptions
+from repro.graphdb import PropertyGraph
+from repro.graphdb.storage import GraphStore
+
+_NAMES = ["alpha", "beta", "gamma"]
+_EDGE_TYPES = ["calls", "reads", "writes"]
+
+#: the (use_compiled_csr, mmap) grid; index 0 is the baseline
+_CONFIGS = [(False, False), (False, True), (True, False), (True, True)]
+
+
+@st.composite
+def stored_graphs(draw, max_nodes=7):
+    """Small multi-type graphs with type-skewed edges, so typed
+    expansions exercise the selective CSR segment reads."""
+    graph = PropertyGraph()
+    node_count = draw(st.integers(min_value=2, max_value=max_nodes))
+    for index in range(node_count):
+        if index % 3 == 2:
+            graph.add_node("global",
+                           short_name=draw(st.sampled_from(_NAMES)),
+                           size=draw(st.sampled_from([0, 1, 2])))
+        else:
+            graph.add_node("function",
+                           short_name=draw(st.sampled_from(_NAMES)),
+                           size=draw(st.sampled_from([0, 1, 2])))
+    nodes = list(graph.node_ids())
+    edge_count = draw(st.integers(min_value=0,
+                                  max_value=3 * node_count))
+    for _ in range(edge_count):
+        graph.add_edge(draw(st.sampled_from(nodes)),
+                       draw(st.sampled_from(nodes)),
+                       draw(st.sampled_from(_EDGE_TYPES)))
+    return graph
+
+
+@st.composite
+def traversal_queries(draw):
+    pattern = draw(st.sampled_from([
+        "MATCH (a:function)-[:calls]->(b)",
+        "MATCH (a:function)<-[:calls]-(b)",
+        "MATCH (a:function)-[:calls|reads]->(b)",
+        "MATCH (a:function)-[r:writes]->(b:global)",
+        "MATCH (a:function)-[:calls*1..2]->(b)",
+        "MATCH (a:function)-[:calls*]->(b)",
+        "MATCH (a)-[:reads]->(b)<-[:writes]-(c)",
+    ]))
+    returns = draw(st.sampled_from(
+        ["RETURN a.short_name, b.short_name",
+         "RETURN DISTINCT a.short_name",
+         "RETURN a.short_name, count(b)",
+         "RETURN count(*)"]))
+    order = ""
+    if returns == "RETURN a.short_name, b.short_name":
+        order = draw(st.sampled_from(["", " ORDER BY a.short_name"]))
+    mode = draw(st.sampled_from(["rows", "batch"]))
+    return pattern + " " + returns + order, mode
+
+
+def _normalize(profile):
+    """PROFILE tree with wall-clock times stripped: structure,
+    operator names, row counts and db-hits all remain comparable."""
+    return re.sub(r"time[=:][0-9.]+\S*", "", str(profile))
+
+
+def run_matrix(graph, text, mode):
+    directory = tempfile.mkdtemp(prefix="csr-equiv-")
+    try:
+        GraphStore.write(graph, directory)
+        observed = []
+        for use_csr, mmap in _CONFIGS:
+            with Frappe.open(directory, config=StoreConfig(
+                    mmap=mmap, use_compiled_csr=use_csr)) as frappe:
+                result = frappe.query(text, options=QueryOptions(
+                    execution_mode=mode, profile=True))
+                observed.append((result.columns, result.rows,
+                                 result.stats.db_hits,
+                                 _normalize(result.profile)))
+        baseline = observed[0]
+        for config, other in zip(_CONFIGS[1:], observed[1:]):
+            assert other == baseline, (text, mode, config)
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
+class TestCompiledCsrEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(graph=stored_graphs(), query=traversal_queries())
+    def test_traversals_identical_across_configs(self, graph, query):
+        text, mode = query
+        run_matrix(graph, text, mode)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=stored_graphs(max_nodes=5))
+    def test_native_slices_identical(self, graph):
+        directory = tempfile.mkdtemp(prefix="csr-equiv-")
+        try:
+            GraphStore.write(graph, directory)
+            slices = []
+            for use_csr, mmap in _CONFIGS:
+                with Frappe.open(directory, config=StoreConfig(
+                        mmap=mmap, use_compiled_csr=use_csr)) as frappe:
+                    slices.append([
+                        (frappe.backward_slice(name),
+                         frappe.forward_slice(name))
+                        for name in _NAMES])
+            assert all(other == slices[0] for other in slices[1:])
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    @settings(max_examples=15, deadline=None)
+    @given(graph=stored_graphs(max_nodes=5), query=traversal_queries())
+    def test_damaged_csr_answers_from_records(self, graph, query):
+        """A torn compiled segment must never change an answer: the
+        reader refuses it at open and the record path serves."""
+        import os
+        from repro.graphdb.storage import store as store_mod
+        assume(graph.edge_count() > 0)  # else the CSR payload is empty
+        text, mode = query
+        directory = tempfile.mkdtemp(prefix="csr-equiv-")
+        try:
+            GraphStore.write(graph, directory)
+            with Frappe.open(directory, config=StoreConfig(
+                    use_compiled_csr=False)) as frappe:
+                want = frappe.query(text, options=QueryOptions(
+                    execution_mode=mode)).rows
+            path = os.path.join(directory, store_mod.CSR_FILE)
+            with open(path, "r+b") as handle:
+                handle.truncate(max(0, handle.seek(0, 2) - 5))
+            with Frappe.open(directory) as frappe:
+                assert frappe.view._csr_reader is None
+                got = frappe.query(text, options=QueryOptions(
+                    execution_mode=mode)).rows
+            assert got == want
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)

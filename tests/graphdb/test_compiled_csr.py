@@ -1,0 +1,395 @@
+"""Compiled CSR adjacency + dictionary pages (store format 3).
+
+The compiled layer is *derived* data: everything here checks the two
+invariants that make it safe to ship — (1) answers through the CSR
+fast path are identical to the record-decode path, byte for byte, and
+(2) any damage to the compiled files silently falls back to records
+(never wrong answers) and is repairable by ``compact``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import StoreConfig
+from repro.core.frappe import Frappe
+from repro.errors import (EdgeNotFoundError, NodeNotFoundError,
+                          StoreFormatError)
+from repro.graphdb import Direction, PropertyGraph
+from repro.graphdb.storage import (GraphStore, PageCache, compact_store,
+                                   records)
+from repro.graphdb.storage import csr as csr_mod
+from repro.graphdb.storage import store as store_mod
+
+
+@pytest.fixture
+def sample_graph():
+    g = PropertyGraph()
+    f = g.add_node("file", short_name="main.c", type="file")
+    m = g.add_node("function", "symbol", short_name="main",
+                   type="function")
+    b = g.add_node("function", "symbol", short_name="bar",
+                   type="function")
+    v = g.add_node("global", short_name="counter", type="global")
+    g.add_edge(f, m, "file_contains")
+    g.add_edge(f, b, "file_contains")
+    g.add_edge(m, b, "calls", use_start_line=7)
+    g.add_edge(m, v, "writes")
+    g.add_edge(b, v, "reads")
+    g.add_edge(b, b, "calls")  # self-loop: endpoint memo edge case
+    return g
+
+
+@pytest.fixture
+def store_dir(tmp_path, sample_graph):
+    directory = str(tmp_path / "store")
+    GraphStore.write(sample_graph, directory)
+    return directory
+
+
+# --------------------------------------------------------------------------
+# Codecs
+# --------------------------------------------------------------------------
+
+class TestPairRunCodec:
+    @pytest.mark.parametrize("pairs", [
+        [(0, 0)],
+        [(5, 2)],                          # count == 1 fast path
+        [(3, 9), (7, 1), (8, 1)],          # non-monotonic neighbors
+        [(10, 10)],                        # self-loop shape
+        [(2 ** 40, 2 ** 35), (2 ** 40 + 1, 0)],  # wide varints
+    ])
+    def test_roundtrip(self, pairs):
+        blob = records.encode_pair_run(pairs)
+        decoded, consumed = records.decode_pair_run(blob)
+        assert decoded == pairs
+        assert consumed == len(blob)
+
+    def test_order_preserved(self):
+        pairs = [(9, 3), (1, 7), (4, 4)]
+        decoded, _ = records.decode_pair_run(records.encode_pair_run(pairs))
+        assert decoded == pairs  # NOT sorted: group order is the contract
+
+    def test_memoryview_input(self):
+        pairs = [(3, 1), (5, 2)]
+        blob = memoryview(records.encode_pair_run(pairs))
+        assert records.decode_pair_run(blob)[0] == pairs
+
+    def test_truncated_raises(self):
+        blob = records.encode_pair_run([(300, 4000)])
+        with pytest.raises(StoreFormatError):
+            records.decode_pair_run(blob[:-1])
+
+
+class TestDictionaryCodec:
+    def test_roundtrip(self):
+        values = ["calls", "short_name", "", "fünction", "x" * 500]
+        page = records.encode_dictionary(values)
+        assert records.decode_dictionary(page) == values
+        assert records.decode_dictionary_count(page) == len(values)
+        for index, value in enumerate(values):
+            assert records.decode_dictionary_entry(page, index) == value
+
+    def test_empty(self):
+        page = records.encode_dictionary([])
+        assert records.decode_dictionary(page) == []
+
+    def test_corrupt_raises(self):
+        page = bytearray(records.encode_dictionary(["a", "b"]))
+        page[4:8] = (0xFF).to_bytes(4, "little") * 1  # offsets garbage
+        with pytest.raises(StoreFormatError):
+            records.decode_dictionary(bytes(page))
+
+
+# --------------------------------------------------------------------------
+# Builder / reader round trip
+# --------------------------------------------------------------------------
+
+class TestCsrRoundTrip:
+    def test_groups_match_record_adjacency(self, sample_graph, store_dir):
+        with GraphStore.open(store_dir) as sg:
+            reader = sg._csr_reader
+            assert reader is not None
+            for node_id in sample_graph.node_ids():
+                out_groups, in_groups = sg._decode_adjacency_groups(node_id)
+                compiled_out = [
+                    (token, tuple(e for e, _n in pairs))
+                    for token, pairs in reader.groups(node_id, csr_mod.OUT)]
+                compiled_in = [
+                    (token, tuple(e for e, _n in pairs))
+                    for token, pairs in reader.groups(node_id, csr_mod.IN)]
+                assert compiled_out == list(out_groups)
+                assert compiled_in == list(in_groups)
+
+    def test_neighbors_carry_correct_endpoints(self, sample_graph,
+                                               store_dir):
+        with GraphStore.open(store_dir) as compiled, \
+                GraphStore.open(store_dir,
+                                use_compiled_csr=False) as fallback:
+            for node_id in sample_graph.node_ids():
+                for direction in (Direction.OUT, Direction.IN,
+                                  Direction.BOTH):
+                    assert compiled.neighbors_of(node_id, direction) == \
+                        fallback.neighbors_of(node_id, direction)
+
+    def test_typed_edges_of_identical_to_fallback(self, store_dir):
+        with GraphStore.open(store_dir) as compiled, \
+                GraphStore.open(store_dir,
+                                use_compiled_csr=False) as fallback:
+            assert compiled._csr_reader is not None
+            assert fallback._csr_reader is None
+            for node_id in compiled.node_ids():
+                for types in (("calls",), ("calls", "reads"),
+                              ("no_such_type",), None):
+                    for direction in Direction:
+                        assert list(compiled.edges_of(
+                            node_id, direction, types)) == \
+                            list(fallback.edges_of(
+                                node_id, direction, types))
+
+    def test_degree_typed(self, sample_graph, store_dir):
+        with GraphStore.open(store_dir) as sg:
+            for node_id in sample_graph.node_ids():
+                assert sg.degree(node_id, Direction.OUT, ("calls",)) == \
+                    sample_graph.degree(node_id, Direction.OUT, ("calls",))
+
+    def test_dead_node_raises_on_typed_path(self, tmp_path, sample_graph):
+        sample_graph.remove_node(2)
+        directory = str(tmp_path / "holes")
+        GraphStore.write(sample_graph, directory)
+        with GraphStore.open(directory) as sg:
+            assert sg._csr_reader is not None
+            with pytest.raises(NodeNotFoundError):
+                list(sg.edges_of(2, Direction.OUT, ("calls",)))
+            with pytest.raises(NodeNotFoundError):
+                sg.neighbors_of(2, Direction.BOTH)
+
+    def test_mmap_mode_serves_zero_copy(self, sample_graph, store_dir):
+        with GraphStore.open(store_dir,
+                             page_cache=PageCache(mode="mmap")) as mapped, \
+                GraphStore.open(store_dir,
+                                use_compiled_csr=False) as fallback:
+            assert mapped._csr_reader is not None
+            for node_id in sample_graph.node_ids():
+                assert mapped.neighbors_of(node_id, Direction.BOTH) == \
+                    fallback.neighbors_of(node_id, Direction.BOTH)
+            assert mapped._csr_reader._buffer is not None  # whole-file view
+
+
+class TestEndpointMemo:
+    def test_memo_agrees_with_rel_records(self, sample_graph, store_dir):
+        with GraphStore.open(store_dir) as sg:
+            # warm the memo through the compiled typed path
+            for node_id in sample_graph.node_ids():
+                sg.neighbors_of(node_id, Direction.BOTH)
+            assert sg._endpoint_memo
+            for edge_id in sample_graph.edge_ids():
+                assert sg.edge_source(edge_id) == \
+                    sample_graph.edge_source(edge_id)
+                assert sg.edge_target(edge_id) == \
+                    sample_graph.edge_target(edge_id)
+                assert sg.edge_type(edge_id) == \
+                    sample_graph.edge_type(edge_id)
+
+    def test_dead_edge_still_raises(self, store_dir):
+        with GraphStore.open(store_dir) as sg:
+            with pytest.raises(EdgeNotFoundError):
+                sg.edge_source(10 ** 6)
+
+
+# --------------------------------------------------------------------------
+# Format versioning and fallback
+# --------------------------------------------------------------------------
+
+class TestFormatV3:
+    def test_compiled_store_is_v3_with_all_files(self, store_dir):
+        with open(os.path.join(store_dir, "metadata.json")) as handle:
+            metadata = json.load(handle)
+        assert metadata["version"] == store_mod.FORMAT_VERSION == 3
+        assert "csr" in metadata and metadata["csr"]["segments"]
+        for name in (store_mod.CSR_FILE, store_mod.CSR_OFFSETS_FILE,
+                     store_mod.DICT_FILE):
+            assert os.path.exists(os.path.join(store_dir, name))
+
+    def test_legacy_write_is_v2_without_compiled_files(self, tmp_path,
+                                                       sample_graph):
+        directory = str(tmp_path / "legacy")
+        GraphStore.write(sample_graph, directory, compiled=False)
+        with open(os.path.join(directory, "metadata.json")) as handle:
+            metadata = json.load(handle)
+        assert metadata["version"] == 2
+        assert "csr" not in metadata
+        for name in (store_mod.CSR_FILE, store_mod.CSR_OFFSETS_FILE,
+                     store_mod.DICT_FILE):
+            assert not os.path.exists(os.path.join(directory, name))
+
+    def test_legacy_store_opens_with_silent_fallback(self, tmp_path,
+                                                     sample_graph):
+        directory = str(tmp_path / "legacy")
+        GraphStore.write(sample_graph, directory, compiled=False)
+        with GraphStore.open(directory) as sg:
+            assert sg._csr_reader is None
+            assert sg.format_version == 2
+            assert set(sg.edges_of(1, Direction.BOTH)) == \
+                set(sample_graph.edges_of(1, Direction.BOTH))
+
+    def test_unknown_version_rejected(self, store_dir):
+        path = os.path.join(store_dir, "metadata.json")
+        with open(path) as handle:
+            metadata = json.load(handle)
+        metadata["version"] = 99
+        with open(path, "w") as handle:
+            json.dump(metadata, handle)
+        with pytest.raises(StoreFormatError):
+            GraphStore.open(store_dir)
+
+    def test_damaged_csr_falls_back_silently(self, sample_graph,
+                                             store_dir):
+        path = os.path.join(store_dir, store_mod.CSR_FILE)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, os.path.getsize(path) - 3))
+        with GraphStore.open(store_dir) as sg:
+            assert sg._csr_reader is None  # size mismatch -> records
+            for node_id in sample_graph.node_ids():
+                assert set(sg.edges_of(node_id, Direction.BOTH)) == \
+                    set(sample_graph.edges_of(node_id, Direction.BOTH))
+
+    def test_missing_csr_file_falls_back(self, store_dir):
+        os.unlink(os.path.join(store_dir, store_mod.CSR_OFFSETS_FILE))
+        with GraphStore.open(store_dir) as sg:
+            assert sg._csr_reader is None
+
+
+# --------------------------------------------------------------------------
+# fsck and repair
+# --------------------------------------------------------------------------
+
+class TestVerifyAndRepair:
+    def test_clean_store_verifies_with_file_breakdown(self, store_dir):
+        verification = GraphStore.verify(store_dir)
+        assert verification.status == "clean"
+        files = verification.files
+        assert files[store_mod.CSR_FILE]["category"] == "csr"
+        assert files[store_mod.CSR_FILE]["records"] > 0  # edges
+        assert files[store_mod.DICT_FILE]["category"] == "dictionary"
+        assert files[store_mod.DICT_FILE]["records"] > 0  # entries
+        assert all("bytes" in report for report in files.values())
+
+    def test_truncated_csr_is_repairable(self, store_dir):
+        path = os.path.join(store_dir, store_mod.CSR_FILE)
+        with open(path, "r+b") as handle:
+            handle.truncate(max(0, os.path.getsize(path) - 3))
+        verification = GraphStore.verify(store_dir)
+        assert verification.status == "repairable"
+        assert {p.category for p in verification.problems} == {"csr"}
+
+    def test_corrupted_csr_payload_is_repairable(self, store_dir):
+        path = os.path.join(store_dir, store_mod.CSR_FILE)
+        with open(path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\xFF\xFF\xFF")
+        verification = GraphStore.verify(store_dir)
+        assert verification.status == "repairable"
+        assert {p.category for p in verification.problems} == {"csr"}
+
+    def test_compact_repairs_damaged_csr(self, sample_graph, store_dir):
+        path = os.path.join(store_dir, store_mod.CSR_FILE)
+        with open(path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\xFF\xFF\xFF")
+        compact_store(store_dir)
+        assert GraphStore.verify(store_dir).status == "clean"
+        with GraphStore.open(store_dir) as sg:
+            assert sg._csr_reader is not None
+            for node_id in sample_graph.node_ids():
+                assert set(sg.edges_of(node_id, Direction.OUT)) == \
+                    set(sample_graph.edges_of(node_id, Direction.OUT))
+
+    def test_damaged_dictionary_is_corrupt_not_repairable(self,
+                                                          store_dir):
+        path = os.path.join(store_dir, store_mod.DICT_FILE)
+        with open(path, "r+b") as handle:
+            handle.truncate(2)
+        verification = GraphStore.verify(store_dir)
+        assert verification.status == "corrupt"
+        assert "dictionary" in {p.category for p in verification.problems}
+
+
+# --------------------------------------------------------------------------
+# Compact
+# --------------------------------------------------------------------------
+
+class TestCompact:
+    def test_compacts_legacy_to_v3(self, tmp_path, sample_graph):
+        directory = str(tmp_path / "legacy")
+        GraphStore.write(sample_graph, directory, compiled=False)
+        sizes = compact_store(directory)
+        assert sizes["csr"] > 0 and sizes["dictionary"] > 0
+        with open(os.path.join(directory, "metadata.json")) as handle:
+            assert json.load(handle)["version"] == 3
+        with GraphStore.open(directory) as sg:
+            assert sg._csr_reader is not None
+            assert sg.node_count() == sample_graph.node_count()
+            assert sg.edge_count() == sample_graph.edge_count()
+            for node_id in sample_graph.node_ids():
+                assert sg.node_properties(node_id) == \
+                    sample_graph.node_properties(node_id)
+
+    def test_compact_is_idempotent(self, sample_graph, store_dir):
+        before = compact_store(store_dir)
+        after = compact_store(store_dir)
+        assert before == after
+        assert GraphStore.verify(store_dir).status == "clean"
+
+
+# --------------------------------------------------------------------------
+# Planner degree statistics (free from the descriptor)
+# --------------------------------------------------------------------------
+
+class TestDegreeStats:
+    def test_populated_from_descriptor(self, sample_graph, store_dir):
+        with GraphStore.open(store_dir) as sg:
+            stats = sg.statistics
+            assert stats.max_degree(None, "out") >= 2  # node 1: calls+...
+            assert stats.max_degree("file_contains", "out") == 2
+            hist = stats.degree_histogram("calls", "out")
+            assert sum(hist) > 0
+
+    def test_populated_even_with_reader_disabled(self, store_dir):
+        with GraphStore.open(store_dir, use_compiled_csr=False) as sg:
+            assert sg._csr_reader is None
+            assert sg.statistics.max_degree("file_contains", "out") == 2
+
+
+# --------------------------------------------------------------------------
+# Eviction regression (the cold-run honesty contract)
+# --------------------------------------------------------------------------
+
+class TestEvictionRegression:
+    def test_facade_evict_drops_store_level_caches(self, store_dir):
+        with Frappe.open(store_dir, config=StoreConfig(mmap=True)) as fr:
+            fr.query("MATCH (a:function)-[:calls]->(b) RETURN count(*)")
+            fr.query("MATCH (n) RETURN count(n)")  # all-ids universe
+            sg = fr.view
+            sg.neighbors_of(1, Direction.BOTH)
+            assert sg._neighbor_pair_cache
+            assert sg._endpoint_memo
+            assert sg._csr_reader._views or sg._csr_reader._buffer
+            fr.evict_caches()
+            assert not sg._neighbor_pair_cache
+            assert not sg._endpoint_memo
+            assert not sg._adj_cache and not sg._rel_cache
+            assert not sg._csr_reader._views
+            assert sg._csr_reader._buffer is None
+            assert sg._indexes._all_ids_cache is None
+            assert sg._dict_values is None
+
+    def test_cold_runs_fault_again_after_evict(self, store_dir):
+        with Frappe.open(store_dir) as fr:
+            query = "MATCH (a:function)-[:calls]->(b) RETURN count(*)"
+            fr.query(query)
+            fr.evict_caches()
+            before = fr.view._fault_counter.value
+            fr.query(query)
+            assert fr.view._fault_counter.value > before

@@ -312,3 +312,72 @@ class TestIndexJobs:
                      "-I", "include", "--jobs", "3"]) == 0
         fanned_out = capsys.readouterr().out
         assert fanned_out.splitlines()[0] == serial_out.splitlines()[0]
+
+
+class TestCompact:
+    def test_compact_prints_size_breakdown(self, source_tree, tmp_path,
+                                           capsys):
+        root, script = source_tree
+        out = tmp_path / "compacted"
+        main(["index", str(root), "--script", str(script),
+              "--out", str(out), "-I", "include"])
+        capsys.readouterr()
+        assert main(["compact", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "compacted" in printed and "KiB" in printed
+        assert "csr" in printed and "dictionary" in printed
+
+    def test_compact_repairs_fsck_repairable_store(self, source_tree,
+                                                   tmp_path, capsys):
+        root, script = source_tree
+        out = tmp_path / "torn"
+        main(["index", str(root), "--script", str(script),
+              "--out", str(out), "-I", "include"])
+        capsys.readouterr()
+        from repro.graphdb.storage.faults import flip_byte
+        flip_byte(str(out / "csr.db"), 10)
+        assert main(["fsck", str(out)]) == 2  # repairable, not corrupt
+        assert "csr" in capsys.readouterr().out
+        assert main(["compact", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["fsck", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["query", str(out),
+                     "MATCH (n:function) RETURN count(*)"]) == 0
+
+    def test_compact_shard_root_reports_every_shard(self, store,
+                                                    tmp_path, capsys):
+        shard_root = tmp_path / "shards"
+        assert main(["shard-split", store, "--shards", "2",
+                     "--out", str(shard_root), "--by-subtree"]) == 0
+        capsys.readouterr()
+        assert main(["compact", str(shard_root)]) == 0
+        printed = capsys.readouterr().out
+        assert printed.count("csr") >= 2  # one line per shard
+
+
+class TestFsckBreakdown:
+    def test_reports_compiled_files_with_sizes(self, store, capsys):
+        assert main(["fsck", store]) == 0
+        printed = capsys.readouterr().out
+        assert "file" in printed and "category" in printed
+        assert "records" in printed
+        assert "csr.db" in printed and "dictionary.db" in printed
+        assert "total" in printed
+
+
+class TestNoCsrFlag:
+    def test_query_answers_match_with_and_without_csr(self, store,
+                                                      capsys):
+        text = ("MATCH (a:function)-[:calls]->(b:function) "
+                "RETURN a.short_name, b.short_name "
+                "ORDER BY a.short_name, b.short_name")
+        import re
+
+        def normalize(text):
+            return re.sub(r"[0-9.]+ ms", "", text)
+
+        assert main(["query", store, text]) == 0
+        default = capsys.readouterr().out
+        assert main(["query", store, text, "--no-csr"]) == 0
+        assert normalize(capsys.readouterr().out) == normalize(default)
